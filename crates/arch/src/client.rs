@@ -1,0 +1,171 @@
+//! The virtual client: the paper's load-generator machine.
+
+use sli_simnet::{HttpRequest, HttpResponse, SimDuration};
+use sli_trade::TradeAction;
+
+use crate::topology::Testbed;
+
+/// Measurements for one client/server interaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interaction {
+    /// Round-trip latency as observed by the client.
+    pub latency: SimDuration,
+    /// HTTP status of the response.
+    pub status: u16,
+    /// Request size on the wire.
+    pub request_bytes: usize,
+    /// Response size on the wire.
+    pub response_bytes: usize,
+}
+
+/// A virtual client bound to one edge/application server of a testbed.
+///
+/// "Client requests are driven by a load generator program on a dedicated
+/// machine" (§4.3); this is that program. It keeps the HTTP session cookie
+/// between requests like a browser would.
+#[derive(Debug)]
+pub struct VirtualClient<'t> {
+    testbed: &'t Testbed,
+    edge: usize,
+    cookie: Option<String>,
+}
+
+impl<'t> VirtualClient<'t> {
+    /// Creates a client pointed at edge `edge` of `testbed`.
+    pub fn new(testbed: &'t Testbed, edge: usize) -> VirtualClient<'t> {
+        VirtualClient {
+            testbed,
+            edge,
+            cookie: None,
+        }
+    }
+
+    /// Performs one trade action as an HTTP round trip, measuring latency
+    /// and sizes.
+    pub fn perform(&mut self, action: &TradeAction) -> Interaction {
+        let node = &self.testbed.edges[self.edge];
+        let mut req = HttpRequest::get("/trade/app", action.query_params());
+        if let Some(cookie) = &self.cookie {
+            req = req.with_cookie(cookie.clone());
+        }
+        // The request really crosses the wire as bytes and is re-parsed by
+        // the server, like every other protocol in the testbed.
+        let raw_request = req.encode();
+        let request_bytes = raw_request.len();
+
+        let clock = &self.testbed.clock;
+        let start = clock.now();
+        node.client_path.request(request_bytes);
+        // Any peer-invalidation messages whose crossing completed while this
+        // request was in flight are picked off the wire first.
+        node.deliver_due_invalidations();
+        let parsed = HttpRequest::parse(&raw_request).expect("client emits well-formed HTTP");
+        let resp = node.server.handle(&parsed);
+        let raw_response = resp.encode();
+        let response_bytes = raw_response.len();
+        node.client_path.respond(response_bytes);
+        let resp =
+            HttpResponse::parse(&raw_response).expect("server emits well-formed HTTP");
+        let latency = clock.now() - start;
+
+        if let Some(cookie) = &resp.set_cookie {
+            self.cookie = Some(cookie.clone());
+        }
+        if matches!(action, TradeAction::Logout { .. }) {
+            self.cookie = None;
+        }
+        Interaction {
+            latency,
+            status: resp.status,
+            request_bytes,
+            response_bytes,
+        }
+    }
+
+    /// Runs a full session (sequence of actions), returning one
+    /// measurement per interaction.
+    pub fn run_session(&mut self, actions: &[TradeAction]) -> Vec<Interaction> {
+        actions.iter().map(|a| self.perform(a)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Architecture, Flavor, Testbed, TestbedConfig};
+    use sli_simnet::SimDuration;
+    use sli_trade::seed::Population;
+    use sli_trade::session::SessionGenerator;
+
+    #[test]
+    fn client_keeps_cookie_across_session() {
+        let tb = Testbed::build(Architecture::EsRdb(Flavor::Jdbc), TestbedConfig::default());
+        let mut client = VirtualClient::new(&tb, 0);
+        let login = client.perform(&TradeAction::Login {
+            user: "uid:1".into(),
+        });
+        assert_eq!(login.status, 200);
+        assert!(client.cookie.is_some());
+        client.perform(&TradeAction::Home {
+            user: "uid:1".into(),
+        });
+        let logout = client.perform(&TradeAction::Logout {
+            user: "uid:1".into(),
+        });
+        assert_eq!(logout.status, 200);
+        assert!(client.cookie.is_none());
+    }
+
+    #[test]
+    fn latency_grows_with_injected_delay() {
+        let tb = Testbed::build(Architecture::EsRdb(Flavor::Jdbc), TestbedConfig::default());
+        let mut client = VirtualClient::new(&tb, 0);
+        let base = client
+            .perform(&TradeAction::Quote {
+                symbol: "s:1".into(),
+            })
+            .latency;
+        tb.set_delay(SimDuration::from_millis(50));
+        let delayed = client
+            .perform(&TradeAction::Quote {
+                symbol: "s:1".into(),
+            })
+            .latency;
+        // one SQL round trip = two 50ms crossings at least
+        assert!(delayed.as_micros() >= base.as_micros() + 100_000);
+    }
+
+    #[test]
+    fn full_generated_session_succeeds_everywhere() {
+        for arch in [
+            Architecture::EsRdb(Flavor::VanillaEjb),
+            Architecture::EsRdb(Flavor::CachedEjb),
+            Architecture::EsRbes,
+            Architecture::ClientsRas(Flavor::Jdbc),
+        ] {
+            let tb = Testbed::build(arch, TestbedConfig::default());
+            let mut generator = SessionGenerator::new(11, Population::default());
+            let mut client = VirtualClient::new(&tb, 0);
+            for _ in 0..3 {
+                let session = generator.session();
+                for outcome in client.run_session(&session) {
+                    assert_eq!(outcome.status, 200, "{arch:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn response_bytes_reflect_rendered_pages() {
+        let tb = Testbed::build(Architecture::ClientsRas(Flavor::Jdbc), TestbedConfig::default());
+        let mut client = VirtualClient::new(&tb, 0);
+        let o = client.perform(&TradeAction::Portfolio {
+            user: "uid:1".into(),
+        });
+        assert!(o.response_bytes > 3_000, "page was {} bytes", o.response_bytes);
+        assert!(o.request_bytes > 100);
+        // all of it crossed the client path
+        let stats = tb.edges[0].client_path.stats();
+        assert_eq!(stats.bytes_from_server as usize, o.response_bytes);
+    }
+}

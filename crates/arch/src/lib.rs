@@ -1,0 +1,30 @@
+//! # sli-arch — the three high-latency deployment architectures
+//!
+//! §3 of the paper characterizes three architectures "in terms of the
+//! location of the high-latency communication path":
+//!
+//! * **ES/RDB** — edge servers share a remote database; the delay proxy
+//!   sits between the application servers and the database. Runs all three
+//!   data-access flavors (JDBC / vanilla EJB / cached EJB, the latter in
+//!   the *combined-servers* configuration).
+//! * **ES/RBES** — cache-enhanced edge servers coordinate through a remote
+//!   back-end server clustered with the database; the delay proxy sits
+//!   between the edges and the back-end. Only meaningful with EJB caching
+//!   (the *split-servers* configuration).
+//! * **Clients/RAS** — no edge servers: clients cross the delay proxy to
+//!   reach a remote application server co-located with the database.
+//!
+//! [`Testbed::build`] assembles the four simulated machines (application
+//! server, delay proxy, back-end, database — §4.1) for any architecture ×
+//! flavor combination; [`VirtualClient`] plays the load-generator machine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod servlet;
+mod topology;
+
+pub use client::{Interaction, VirtualClient};
+pub use servlet::{parse_action, AppServer, AppServerCost};
+pub use topology::{Architecture, EdgeNode, Flavor, Testbed, TestbedConfig};

@@ -1,0 +1,316 @@
+//! The application-server node: servlet dispatch, JSP rendering, HTTP
+//! session management.
+//!
+//! "The client web-browser sends a trade action request to a servlet; the
+//! servlet invokes the appropriate session bean method; the method, in
+//! turn, drives methods on one or more entity beans. Finally, the result of
+//! the trade action is constructed in a JSP and returned to the client
+//! browser" (§4.2).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use sli_simnet::{Clock, HttpRequest, HttpResponse, SimDuration};
+use sli_trade::{page, TradeAction, TradeEngine, TradeResult};
+use std::sync::Arc;
+
+/// CPU cost model for an application-server machine (servlet container +
+/// JSP engine). Gives the latency curves their non-zero intercept, like the
+/// paper's Pentium III machines did.
+#[derive(Debug, Clone, Copy)]
+pub struct AppServerCost {
+    /// Servlet dispatch + session-bean invocation overhead per request.
+    pub per_request: SimDuration,
+    /// JSP rendering cost per KiB of produced HTML.
+    pub render_per_kib: SimDuration,
+}
+
+impl Default for AppServerCost {
+    fn default() -> AppServerCost {
+        AppServerCost {
+            per_request: SimDuration::from_micros(2_500),
+            render_per_kib: SimDuration::from_micros(400),
+        }
+    }
+}
+
+/// Parses the servlet request parameters into a [`TradeAction`].
+///
+/// Returns `None` for unknown actions or missing parameters (the servlet
+/// answers those with `404`).
+pub fn parse_action(req: &HttpRequest) -> Option<TradeAction> {
+    let action = req.param("action")?;
+    let user = || req.param("uid").map(str::to_owned);
+    Some(match action {
+        "login" => TradeAction::Login { user: user()? },
+        "logout" => TradeAction::Logout { user: user()? },
+        "register" => TradeAction::Register { user: user()? },
+        "home" => TradeAction::Home { user: user()? },
+        "account" => TradeAction::Account { user: user()? },
+        "update" => TradeAction::AccountUpdate {
+            user: user()?,
+            email: req.param("email")?.to_owned(),
+        },
+        "portfolio" => TradeAction::Portfolio { user: user()? },
+        "quote" => TradeAction::Quote {
+            symbol: req.param("symbol")?.to_owned(),
+        },
+        "buy" => TradeAction::Buy {
+            user: user()?,
+            symbol: req.param("symbol")?.to_owned(),
+            quantity: req.param("quantity")?.parse().ok()?,
+        },
+        "sell" => TradeAction::Sell { user: user()? },
+        _ => return None,
+    })
+}
+
+/// One application-server machine: HTTP front end over a [`TradeEngine`].
+pub struct AppServer {
+    engine: Box<dyn TradeEngine>,
+    clock: Arc<Clock>,
+    cost: AppServerCost,
+    /// HTTP sessions: cookie → user (created at login, destroyed at
+    /// logout — Table 1's "HTTP Session" column).
+    sessions: Mutex<HashMap<String, String>>,
+    /// Transparent application-level retries on optimistic aborts.
+    retries: usize,
+}
+
+impl std::fmt::Debug for AppServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppServer")
+            .field("engine", &self.engine.label())
+            .finish_non_exhaustive()
+    }
+}
+
+impl AppServer {
+    /// Creates a server around `engine`, charging CPU costs to `clock`.
+    pub fn new(engine: Box<dyn TradeEngine>, clock: Arc<Clock>) -> AppServer {
+        AppServer {
+            engine,
+            clock,
+            cost: AppServerCost::default(),
+            sessions: Mutex::new(HashMap::new()),
+            retries: 3,
+        }
+    }
+
+    /// The engine's label ("JDBC" / "Vanilla EJB" / "Cached EJB").
+    pub fn engine_label(&self) -> &'static str {
+        self.engine.label()
+    }
+
+    /// Number of live HTTP sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    fn perform_with_retry(&self, action: &TradeAction) -> sli_component::EjbResult<TradeResult> {
+        let mut last_err = None;
+        for _ in 0..self.retries.max(1) {
+            match self.engine.perform(action) {
+                Ok(r) => return Ok(r),
+                Err(e) if e.is_retryable() => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.expect("loop ran at least once"))
+    }
+
+    /// Handles one HTTP request end to end: parse, session bean, JSP.
+    pub fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        self.clock.advance(self.cost.per_request);
+        let Some(action) = parse_action(req) else {
+            let body = page::render_error("Invalid Request", "unknown action or missing parameter");
+            return self.finish(HttpResponse::error(404, body));
+        };
+        match self.perform_with_retry(&action) {
+            Ok(result) => {
+                let body = page::render(&result);
+                let mut resp = HttpResponse::ok(body);
+                match &action {
+                    TradeAction::Login { user } => {
+                        let cookie = format!("sess-{user}");
+                        self.sessions.lock().insert(cookie.clone(), user.clone());
+                        resp = resp.with_cookie(cookie);
+                    }
+                    TradeAction::Logout { user } => {
+                        self.sessions.lock().remove(&format!("sess-{user}"));
+                    }
+                    _ => {}
+                }
+                self.finish(resp)
+            }
+            Err(e) => {
+                let (status, title) = if e.is_retryable() {
+                    (409, "Transaction Conflict")
+                } else {
+                    (500, "Trade Error")
+                };
+                let body = page::render_error(title, &e.to_string());
+                self.finish(HttpResponse::error(status, body))
+            }
+        }
+    }
+
+    fn finish(&self, resp: HttpResponse) -> HttpResponse {
+        let kib = (resp.body.len() as u64).div_ceil(1024);
+        self.clock
+            .advance(self.cost.render_per_kib.saturating_mul(kib));
+        resp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sli_component::{share_connection, EjbResult};
+    use sli_datastore::Database;
+    use sli_trade::seed::{create_and_seed, Population};
+    use sli_trade::JdbcTradeEngine;
+
+    fn server() -> (Arc<Clock>, AppServer) {
+        let db = Database::new();
+        create_and_seed(&db, Population::default()).unwrap();
+        let clock = Arc::new(Clock::new());
+        let engine = JdbcTradeEngine::new(share_connection(db.connect()), 1_000_000);
+        (Arc::clone(&clock), AppServer::new(Box::new(engine), clock))
+    }
+
+    fn get(params: &[(&str, &str)]) -> HttpRequest {
+        HttpRequest::get(
+            "/trade/app",
+            params
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn parse_action_round_trips_query_params() {
+        let actions = vec![
+            TradeAction::Login { user: "uid:1".into() },
+            TradeAction::Quote { symbol: "s:2".into() },
+            TradeAction::Buy {
+                user: "uid:1".into(),
+                symbol: "s:3".into(),
+                quantity: 100.0,
+            },
+            TradeAction::AccountUpdate {
+                user: "uid:1".into(),
+                email: "x@y.z".into(),
+            },
+            TradeAction::Sell { user: "uid:1".into() },
+        ];
+        for a in actions {
+            let req = HttpRequest::get("/trade/app", a.query_params());
+            assert_eq!(parse_action(&req).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_action(&get(&[("action", "explode")])).is_none());
+        assert!(parse_action(&get(&[("action", "buy"), ("uid", "u")])).is_none());
+        assert!(parse_action(&get(&[])).is_none());
+    }
+
+    #[test]
+    fn login_creates_session_logout_destroys_it() {
+        let (_clock, server) = server();
+        let resp = server.handle(&get(&[("action", "login"), ("uid", "uid:1")]));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.set_cookie.as_deref(), Some("sess-uid:1"));
+        assert_eq!(server.session_count(), 1);
+        let resp = server.handle(&get(&[("action", "logout"), ("uid", "uid:1")]));
+        assert_eq!(resp.status, 200);
+        assert_eq!(server.session_count(), 0);
+    }
+
+    #[test]
+    fn unknown_action_is_404() {
+        let (_clock, server) = server();
+        let resp = server.handle(&get(&[("action", "explode")]));
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn business_error_is_500() {
+        let (_clock, server) = server();
+        let resp = server.handle(&get(&[("action", "home"), ("uid", "uid:9999")]));
+        assert_eq!(resp.status, 500);
+        assert!(resp.body.contains("no Account bean"));
+    }
+
+    #[test]
+    fn handling_advances_the_clock() {
+        let (clock, server) = server();
+        let t0 = clock.now();
+        server.handle(&get(&[("action", "quote"), ("symbol", "s:1")]));
+        assert!((clock.now() - t0).as_micros() > 2_000);
+    }
+
+    /// An engine that conflicts twice before succeeding, to exercise the
+    /// retry policy.
+    struct Flaky {
+        inner: std::sync::atomic::AtomicUsize,
+    }
+
+    impl TradeEngine for Flaky {
+        fn perform(&self, _action: &TradeAction) -> EjbResult<TradeResult> {
+            let n = self
+                .inner
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if n < 2 {
+                Err(sli_component::EjbError::conflict("Account", "u"))
+            } else {
+                Ok(TradeResult::new("OK"))
+            }
+        }
+        fn label(&self) -> &'static str {
+            "flaky"
+        }
+    }
+
+    #[test]
+    fn optimistic_conflicts_are_retried_transparently() {
+        let clock = Arc::new(Clock::new());
+        let server = AppServer::new(
+            Box::new(Flaky {
+                inner: std::sync::atomic::AtomicUsize::new(0),
+            }),
+            clock,
+        );
+        let resp = server.handle(&get(&[("action", "home"), ("uid", "uid:1")]));
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_409() {
+        let clock = Arc::new(Clock::new());
+        let server = AppServer::new(
+            Box::new(Flaky {
+                inner: std::sync::atomic::AtomicUsize::new(usize::MIN),
+            }),
+            clock,
+        );
+        // retries=3 but Flaky needs 3 failures before success at call 3;
+        // force permanent failure instead
+        struct Always;
+        impl TradeEngine for Always {
+            fn perform(&self, _a: &TradeAction) -> EjbResult<TradeResult> {
+                Err(sli_component::EjbError::conflict("Account", "u"))
+            }
+            fn label(&self) -> &'static str {
+                "always-conflict"
+            }
+        }
+        let server2 = AppServer::new(Box::new(Always), Arc::new(Clock::new()));
+        let resp = server2.handle(&get(&[("action", "home"), ("uid", "uid:1")]));
+        assert_eq!(resp.status, 409);
+        drop(server);
+    }
+}

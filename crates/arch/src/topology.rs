@@ -1,0 +1,506 @@
+//! Testbed assembly: the four simulated machines of §4.1 wired into any of
+//! the three architectures.
+
+use std::sync::Arc;
+
+use sli_component::share_connection;
+use sli_core::{
+    BackendServer, BackendSource, CombinedCommitter, CommonStore, DeferredInvalidationSink,
+    DirectSource, SliResourceManager, SplitCommitter,
+};
+use sli_datastore::server::{DbCostModel, DbServer, RemoteConnection};
+use sli_datastore::Database;
+use sli_simnet::{Clock, Path, PathSpec, Remote, SimDuration};
+use sli_trade::deploy;
+use sli_trade::model::trade_registry;
+use sli_trade::seed::{create_and_seed, Population};
+use sli_trade::{EjbTradeEngine, JdbcTradeEngine, TradeEngine};
+
+use crate::servlet::AppServer;
+
+/// What a flavor's wiring yields: the engine plus the cache handles that
+/// only exist for the cached flavor.
+type WiredEngine = (
+    Box<dyn TradeEngine>,
+    Option<Arc<CommonStore>>,
+    Option<Arc<SliResourceManager>>,
+);
+
+/// Data-access flavor running on the application server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Flavor {
+    /// Hand-optimized SQL (Trade2's pure-JDBC mode).
+    Jdbc,
+    /// Non-cached BMP entity beans (Trade2's EJB-ALT mode).
+    VanillaEjb,
+    /// Cache-enabled SLI entity beans.
+    CachedEjb,
+}
+
+impl Flavor {
+    /// Report label matching the paper's terminology.
+    pub fn label(self) -> &'static str {
+        match self {
+            Flavor::Jdbc => "JDBC",
+            Flavor::VanillaEjb => "Vanilla EJBs",
+            Flavor::CachedEjb => "Cached EJBs",
+        }
+    }
+}
+
+/// One of the paper's three high-latency architectures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// Edge servers sharing a remote database (delay: edge ↔ database).
+    EsRdb(Flavor),
+    /// Cache-enhanced edge servers sharing a remote back-end server
+    /// clustered with the database (delay: edge ↔ back-end). Implies
+    /// [`Flavor::CachedEjb`].
+    EsRbes,
+    /// Clients reaching a remote application server directly (delay:
+    /// client ↔ application server).
+    ClientsRas(Flavor),
+}
+
+impl Architecture {
+    /// Report label matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Architecture::EsRdb(_) => "ES/RDB",
+            Architecture::EsRbes => "ES/RBES",
+            Architecture::ClientsRas(_) => "Clients/RAS",
+        }
+    }
+
+    /// The data-access flavor deployed on the application server.
+    pub fn flavor(self) -> Flavor {
+        match self {
+            Architecture::EsRdb(f) | Architecture::ClientsRas(f) => f,
+            Architecture::EsRbes => Flavor::CachedEjb,
+        }
+    }
+}
+
+/// Testbed sizing and seeding options.
+#[derive(Debug, Clone, Copy)]
+pub struct TestbedConfig {
+    /// Database population.
+    pub population: Population,
+    /// Number of edge/application servers (each gets its own client).
+    pub edges: usize,
+    /// Optional bound on each edge's common transient store (LRU eviction).
+    /// `None` reproduces the paper's unbounded store.
+    pub cache_capacity: Option<usize>,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> TestbedConfig {
+        TestbedConfig {
+            population: Population::default(),
+            edges: 1,
+            cache_capacity: None,
+        }
+    }
+}
+
+/// One application-server node plus its two communication paths.
+pub struct EdgeNode {
+    /// The HTTP application server the client talks to.
+    pub server: Arc<AppServer>,
+    /// Client ↔ server path (LAN for edge architectures, the delayed path
+    /// for Clients/RAS).
+    pub client_path: Arc<Path>,
+    /// Server ↔ shared-site path (delayed for the edge architectures).
+    pub shared_path: Arc<Path>,
+    /// The cache-enabled node's common store (None for JDBC / vanilla).
+    pub store: Option<Arc<CommonStore>>,
+    /// The optimistic resource manager (None for JDBC / vanilla).
+    pub rm: Option<Arc<SliResourceManager>>,
+    /// In-flight peer-invalidation queue (ES/RBES only): messages crossing
+    /// the back-end → edge channel that have not arrived yet.
+    pub invalidations: Option<Arc<DeferredInvalidationSink>>,
+    /// The back-end → edge invalidation path (ES/RBES only).
+    pub invalidation_path: Option<Arc<Path>>,
+}
+
+impl EdgeNode {
+    /// Delivers every invalidation whose network crossing has completed.
+    /// Called when a request reaches this server, i.e. whenever the edge
+    /// would next touch its cache.
+    pub fn deliver_due_invalidations(&self) {
+        if let Some(sink) = &self.invalidations {
+            sink.deliver_due();
+        }
+    }
+}
+
+impl std::fmt::Debug for EdgeNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EdgeNode")
+            .field("engine", &self.server.engine_label())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The assembled four-machine testbed for one architecture.
+pub struct Testbed {
+    /// The simulation clock shared by every machine and path.
+    pub clock: Arc<Clock>,
+    /// The persistent store (the DB2 machine).
+    pub db: Arc<Database>,
+    /// Application-server nodes (one per edge; exactly one for
+    /// Clients/RAS).
+    pub edges: Vec<EdgeNode>,
+    arch: Architecture,
+}
+
+impl std::fmt::Debug for Testbed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Testbed")
+            .field("arch", &self.arch.label())
+            .field("flavor", &self.arch.flavor().label())
+            .field("edges", &self.edges.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Testbed {
+    /// Builds and seeds the testbed for `arch`.
+    ///
+    /// ```
+    /// use sli_arch::{Architecture, Testbed, TestbedConfig, VirtualClient};
+    /// use sli_simnet::SimDuration;
+    /// use sli_trade::TradeAction;
+    ///
+    /// let testbed = Testbed::build(Architecture::EsRbes, TestbedConfig::default());
+    /// testbed.set_delay(SimDuration::from_millis(40));
+    /// let mut client = VirtualClient::new(&testbed, 0);
+    /// let outcome = client.perform(&TradeAction::Quote { symbol: "s:1".into() });
+    /// assert_eq!(outcome.status, 200);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if seeding fails (schema conflicts cannot happen on a fresh
+    /// database).
+    pub fn build(arch: Architecture, config: TestbedConfig) -> Testbed {
+        let clock = Arc::new(Clock::new());
+        let db = Database::new();
+        create_and_seed(&db, config.population).expect("fresh database seeds cleanly");
+        let db_server = DbServer::new(Arc::clone(&db), Arc::clone(&clock), DbCostModel::default());
+
+        let mut edges = Vec::with_capacity(config.edges);
+
+        // The ES/RBES back-end is shared by all edges and clustered with
+        // the database over a LAN path of its own.
+        let backend = if arch == Architecture::EsRbes {
+            let backend_db_path =
+                Path::new("backend-db", Arc::clone(&clock), PathSpec::lan());
+            let conn =
+                RemoteConnection::open(Remote::new(backend_db_path, Arc::clone(&db_server)))
+                    .expect("backend connects to fresh db");
+            Some(BackendServer::new(
+                Box::new(conn),
+                trade_registry(),
+                Arc::clone(&clock),
+            ))
+        } else {
+            None
+        };
+
+        for edge_id in 0..config.edges.max(1) {
+            let id = edge_id as u32 + 1;
+            let holding_base = 1_000_000 * id as i64;
+            let (client_spec, shared_name) = match arch {
+                Architecture::ClientsRas(_) => (PathSpec::lan(), "ras-db"),
+                Architecture::EsRdb(_) => (PathSpec::lan(), "edge-db"),
+                Architecture::EsRbes => (PathSpec::lan(), "edge-backend"),
+            };
+            let client_path = Path::new(
+                format!("client-{id}"),
+                Arc::clone(&clock),
+                client_spec,
+            );
+            let shared_path = Path::new(
+                format!("{shared_name}-{id}"),
+                Arc::clone(&clock),
+                PathSpec::lan(),
+            );
+
+            let mut invalidations = None;
+            let mut invalidation_path = None;
+            let (engine, store, rm): WiredEngine = match arch.flavor() {
+                Flavor::Jdbc => {
+                    let conn = RemoteConnection::open(Remote::new(
+                        Arc::clone(&shared_path),
+                        Arc::clone(&db_server),
+                    ))
+                    .expect("edge connects to fresh db");
+                    (
+                        Box::new(JdbcTradeEngine::new(share_connection(conn), holding_base)),
+                        None,
+                        None,
+                    )
+                }
+                Flavor::VanillaEjb => {
+                    let conn = RemoteConnection::open(Remote::new(
+                        Arc::clone(&shared_path),
+                        Arc::clone(&db_server),
+                    ))
+                    .expect("edge connects to fresh db");
+                    let container = deploy::vanilla_container(share_connection(conn));
+                    (
+                        Box::new(EjbTradeEngine::new(container, "Vanilla EJBs", holding_base)),
+                        None,
+                        None,
+                    )
+                }
+                Flavor::CachedEjb => {
+                    let store = match config.cache_capacity {
+                        Some(capacity) => CommonStore::with_capacity(capacity),
+                        None => CommonStore::new(),
+                    };
+                    let (source, committer): (
+                        Arc<dyn sli_core::StateSource>,
+                        Arc<dyn sli_core::Committer>,
+                    ) = match &backend {
+                        // Split-servers: fault and commit through the
+                        // back-end across the shared path.
+                        Some(backend) => {
+                            let remote =
+                                Remote::new(Arc::clone(&shared_path), Arc::clone(backend));
+                            // Invalidations flow over a dedicated channel so
+                            // they never block the request path — but they
+                            // still take one (possibly delayed) crossing to
+                            // arrive, leaving a real staleness window.
+                            let inv_path = Path::new(
+                                format!("backend-invalidate-{id}"),
+                                Arc::clone(&clock),
+                                PathSpec::lan(),
+                            );
+                            let sink = DeferredInvalidationSink::over_path(
+                                Arc::clone(&store),
+                                Arc::clone(&inv_path),
+                            );
+                            backend.register_edge(
+                                id,
+                                Remote::new(Arc::clone(&inv_path), Arc::clone(&sink)),
+                            );
+                            invalidations = Some(sink);
+                            invalidation_path = Some(inv_path);
+                            (
+                                Arc::new(BackendSource::new(remote.clone())),
+                                Arc::new(SplitCommitter::new(remote)),
+                            )
+                        }
+                        // Combined-servers: fault and commit straight
+                        // against the (remote) database.
+                        None => {
+                            let fetch_conn = RemoteConnection::open(Remote::new(
+                                Arc::clone(&shared_path),
+                                Arc::clone(&db_server),
+                            ))
+                            .expect("edge connects to fresh db");
+                            let commit_conn = RemoteConnection::open(Remote::new(
+                                Arc::clone(&shared_path),
+                                Arc::clone(&db_server),
+                            ))
+                            .expect("edge connects to fresh db");
+                            (
+                                Arc::new(DirectSource::new(
+                                    Box::new(fetch_conn),
+                                    trade_registry(),
+                                )),
+                                Arc::new(CombinedCommitter::new(
+                                    Box::new(commit_conn),
+                                    trade_registry(),
+                                )),
+                            )
+                        }
+                    };
+                    let (container, rm) = deploy::cached_container_with_rm(
+                        id,
+                        Arc::clone(&store),
+                        source,
+                        committer,
+                    );
+                    (
+                        Box::new(EjbTradeEngine::new(container, "Cached EJBs", holding_base)),
+                        Some(store),
+                        Some(rm),
+                    )
+                }
+            };
+
+            let server = Arc::new(AppServer::new(engine, Arc::clone(&clock)));
+            edges.push(EdgeNode {
+                server,
+                client_path,
+                shared_path,
+                store,
+                rm,
+                invalidations,
+                invalidation_path,
+            });
+        }
+
+        Testbed {
+            clock,
+            db,
+            edges,
+            arch,
+        }
+    }
+
+    /// The architecture this testbed implements.
+    pub fn architecture(&self) -> Architecture {
+        self.arch
+    }
+
+    /// The path the delay proxy intercepts for this architecture (per
+    /// edge): the client path for Clients/RAS, the shared path otherwise.
+    pub fn delayed_path(&self, edge: usize) -> &Arc<Path> {
+        match self.arch {
+            Architecture::ClientsRas(_) => &self.edges[edge].client_path,
+            _ => &self.edges[edge].shared_path,
+        }
+    }
+
+    /// Sets the one-way delay injected by the proxy on every delayed path
+    /// (including the back-end → edge invalidation channels, which cross
+    /// the same wide-area link in ES/RBES).
+    pub fn set_delay(&self, delay: SimDuration) {
+        for i in 0..self.edges.len() {
+            self.delayed_path(i).set_proxy_delay(delay);
+            if let Some(inv) = &self.edges[i].invalidation_path {
+                inv.set_proxy_delay(delay);
+            }
+        }
+    }
+
+    /// Enables deterministic per-message jitter on every delayed path —
+    /// the paper's testbed noise (its fits report R² ≈ 0.99, not 1.0).
+    /// Each edge's path gets a distinct derived seed.
+    pub fn set_jitter(&self, max: SimDuration, seed: u64) {
+        for i in 0..self.edges.len() {
+            self.delayed_path(i).set_jitter(max, seed.wrapping_add(i as u64));
+        }
+    }
+
+    /// Zeroes traffic counters on every path (between warm-up and
+    /// measurement).
+    pub fn reset_path_stats(&self) {
+        for edge in &self.edges {
+            edge.client_path.reset_stats();
+            edge.shared_path.reset_stats();
+        }
+    }
+
+    /// Bytes transmitted to the shared site (back-end server or database —
+    /// or the remote application server for Clients/RAS), summed over both
+    /// directions. This is the Figure 8 metric.
+    pub fn shared_site_bytes(&self) -> u64 {
+        (0..self.edges.len())
+            .map(|i| self.delayed_path(i).stats().total_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::VirtualClient;
+    use sli_trade::TradeAction;
+
+    fn all_architectures() -> Vec<Architecture> {
+        vec![
+            Architecture::EsRdb(Flavor::Jdbc),
+            Architecture::EsRdb(Flavor::VanillaEjb),
+            Architecture::EsRdb(Flavor::CachedEjb),
+            Architecture::EsRbes,
+            Architecture::ClientsRas(Flavor::Jdbc),
+            Architecture::ClientsRas(Flavor::VanillaEjb),
+            Architecture::ClientsRas(Flavor::CachedEjb),
+        ]
+    }
+
+    #[test]
+    fn every_architecture_builds_and_serves_a_quote() {
+        for arch in all_architectures() {
+            let tb = Testbed::build(arch, TestbedConfig::default());
+            let mut client = VirtualClient::new(&tb, 0);
+            let outcome = client.perform(&TradeAction::Quote {
+                symbol: "s:1".into(),
+            });
+            assert_eq!(outcome.status, 200, "{arch:?}");
+            assert!(outcome.latency.as_micros() > 0, "{arch:?}");
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Architecture::EsRbes.label(), "ES/RBES");
+        assert_eq!(Architecture::EsRbes.flavor(), Flavor::CachedEjb);
+        assert_eq!(
+            Architecture::EsRdb(Flavor::VanillaEjb).flavor().label(),
+            "Vanilla EJBs"
+        );
+    }
+
+    #[test]
+    fn delay_applies_to_the_architectures_own_path() {
+        // Clients/RAS delays the client path.
+        let tb = Testbed::build(Architecture::ClientsRas(Flavor::Jdbc), TestbedConfig::default());
+        tb.set_delay(SimDuration::from_millis(25));
+        assert_eq!(
+            tb.edges[0].client_path.proxy_delay(),
+            SimDuration::from_millis(25)
+        );
+        assert_eq!(tb.edges[0].shared_path.proxy_delay(), SimDuration::ZERO);
+        // ES/RDB delays the shared path.
+        let tb = Testbed::build(Architecture::EsRdb(Flavor::Jdbc), TestbedConfig::default());
+        tb.set_delay(SimDuration::from_millis(25));
+        assert_eq!(tb.edges[0].client_path.proxy_delay(), SimDuration::ZERO);
+        assert_eq!(
+            tb.edges[0].shared_path.proxy_delay(),
+            SimDuration::from_millis(25)
+        );
+    }
+
+    #[test]
+    fn multi_edge_rbes_shares_one_backend_and_invalidates() {
+        let tb = Testbed::build(
+            Architecture::EsRbes,
+            TestbedConfig {
+                edges: 2,
+                ..TestbedConfig::default()
+            },
+        );
+        let mut c1 = VirtualClient::new(&tb, 0);
+        let mut c2 = VirtualClient::new(&tb, 1);
+        // Edge 2 caches uid:0's account via a home-page read.
+        let o = c2.perform(&TradeAction::Home {
+            user: "uid:0".into(),
+        });
+        assert_eq!(o.status, 200);
+        let cached_before = tb.edges[1].store.as_ref().unwrap().len();
+        assert!(cached_before > 0);
+        // Edge 1 buys for uid:0 → account update → an invalidation message
+        // is now in flight toward edge 2.
+        let o = c1.perform(&TradeAction::Buy {
+            user: "uid:0".into(),
+            symbol: "s:1".into(),
+            quantity: 10.0,
+        });
+        assert_eq!(o.status, 200);
+        let sink = tb.edges[1].invalidations.as_ref().unwrap();
+        assert!(sink.in_flight() > 0, "invalidation should be in flight");
+        // Edge 2's next request picks the message off the wire first, so it
+        // re-faults fresh state instead of serving the stale image.
+        let o = c2.perform(&TradeAction::Home {
+            user: "uid:0".into(),
+        });
+        assert_eq!(o.status, 200);
+        assert!(tb.edges[1].store.as_ref().unwrap().stats().invalidations > 0);
+        assert_eq!(sink.in_flight(), 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Microbenchmarks of the SLI caching layer: store lookups, direct-access
+//! population hit/miss, and the custom-finder merge.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sli_component::{EntityMeta, Home, Memento, TxContext};
+use sli_core::{CommonStore, DirectSource, MetaRegistry, SliHome};
+use sli_datastore::{CmpOp, ColumnType, Database, Predicate, SqlConnection, Value};
+
+fn holding_meta() -> EntityMeta {
+    EntityMeta::new("Holding", "holding", "id", ColumnType::Int)
+        .field("owner", ColumnType::Varchar)
+        .field("qty", ColumnType::Double)
+        .index("owner")
+        .finder(
+            "findByOwner",
+            Predicate::CmpParam {
+                column: "owner".into(),
+                op: CmpOp::Eq,
+                index: 0,
+            },
+        )
+}
+
+fn setup() -> (Arc<Database>, SliHome) {
+    let db = Database::new();
+    let registry = MetaRegistry::new().with(holding_meta());
+    registry.create_schema(&db).unwrap();
+    let mut conn = db.connect();
+    for i in 0..1_000i64 {
+        conn.execute(
+            "INSERT INTO holding (id, owner, qty) VALUES (?, ?, ?)",
+            &[
+                Value::from(i),
+                Value::from(format!("uid:{}", i % 50)),
+                Value::from(i as f64),
+            ],
+        )
+        .unwrap();
+    }
+    let source = Arc::new(DirectSource::new(Box::new(db.connect()), registry));
+    let home = SliHome::new(holding_meta(), CommonStore::new(), source);
+    (db, home)
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+
+    group.bench_function("common_store_hit", |b| {
+        let store = CommonStore::new();
+        store.put(
+            Memento::new("Holding", Value::from(1)).with_field("qty", 1.0),
+        );
+        b.iter(|| store.get("Holding", std::hint::black_box(&Value::from(1))))
+    });
+
+    group.bench_function("common_store_miss", |b| {
+        let store = CommonStore::new();
+        b.iter(|| store.get("Holding", std::hint::black_box(&Value::from(404))))
+    });
+
+    group.bench_function("common_store_put", |b| {
+        let store = CommonStore::new();
+        let image = Memento::new("Holding", Value::from(1)).with_field("qty", 1.0);
+        b.iter(|| store.put(image.clone()))
+    });
+
+    group.bench_function("direct_access_warm_hit", |b| {
+        let (_db, home) = setup();
+        // warm the common store
+        let mut warm = TxContext::new();
+        home.find_by_primary_key(&mut warm, &Value::from(5)).unwrap();
+        b.iter_batched(
+            TxContext::new,
+            |mut ctx| home.find_by_primary_key(&mut ctx, &Value::from(5)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("direct_access_cold_miss", |b| {
+        let (_db, home) = setup();
+        let mut next = 0i64;
+        b.iter_batched(
+            || {
+                home.common_store().clear();
+                let key = next % 1_000;
+                next += 1;
+                (TxContext::new(), Value::from(key))
+            },
+            |(mut ctx, key)| home.find_by_primary_key(&mut ctx, &key).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("finder_merge_20_results", |b| {
+        let (_db, home) = setup();
+        b.iter_batched(
+            TxContext::new,
+            |mut ctx| {
+                home.find(&mut ctx, "findByOwner", &[Value::from("uid:7")])
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! The ablation bench from DESIGN.md §5: how commit cost scales with the
+//! transaction footprint under the two committers — combined-servers
+//! (per-image statements on the shared connection) vs split-servers (one
+//! shipped request) — and the two validator implementations.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sli_component::{EntityMeta, Memento};
+use sli_core::{
+    validate_and_apply, validate_and_apply_per_image, BackendServer, CommitEntry, CommitOutcome,
+    CommitRequest, Committer, EntryKind, MetaRegistry, SplitCommitter,
+};
+use sli_datastore::{ColumnType, Database, SqlConnection, Value};
+use sli_simnet::{Clock, Path, PathSpec, Remote};
+
+fn meta() -> EntityMeta {
+    EntityMeta::new("Account", "account", "userid", ColumnType::Varchar)
+        .field("balance", ColumnType::Double)
+}
+
+fn registry() -> MetaRegistry {
+    MetaRegistry::new().with(meta())
+}
+
+fn seeded(users: usize) -> Arc<Database> {
+    let db = Database::new();
+    registry().create_schema(&db).unwrap();
+    let mut conn = db.connect();
+    for i in 0..users {
+        conn.execute(
+            "INSERT INTO account (userid, balance) VALUES (?, 100.0)",
+            &[Value::from(format!("u{i}"))],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn image(user: &str, balance: f64) -> Memento {
+    Memento::new("Account", Value::from(user)).with_field("balance", balance)
+}
+
+/// An all-updates commit request touching `n` distinct beans, oscillating
+/// between two balance values so repeated runs keep validating.
+fn request(n: usize, from: f64, to: f64) -> CommitRequest {
+    CommitRequest {
+        origin: 1,
+        entries: (0..n)
+            .map(|i| {
+                let user = format!("u{i}");
+                CommitEntry {
+                    bean: "Account".into(),
+                    key: Value::from(user.clone()),
+                    kind: EntryKind::Update {
+                        before: image(&user, from),
+                        after: image(&user, to),
+                    },
+                }
+            })
+            .collect(),
+    }
+}
+
+fn bench_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit");
+
+    for &n in &[1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("validator_select_then_write", n),
+            &n,
+            |b, &n| {
+                let db = seeded(n);
+                let mut conn = db.connect();
+                let reg = registry();
+                let mut flip = false;
+                b.iter(|| {
+                    let (from, to) = if flip { (50.0, 100.0) } else { (100.0, 50.0) };
+                    flip = !flip;
+                    let out = validate_and_apply(&mut conn, &reg, &request(n, from, to)).unwrap();
+                    assert_eq!(out, CommitOutcome::Committed);
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("validator_per_image_conditional", n),
+            &n,
+            |b, &n| {
+                let db = seeded(n);
+                let mut conn = db.connect();
+                let reg = registry();
+                let mut flip = false;
+                b.iter(|| {
+                    let (from, to) = if flip { (50.0, 100.0) } else { (100.0, 50.0) };
+                    flip = !flip;
+                    let out =
+                        validate_and_apply_per_image(&mut conn, &reg, &request(n, from, to))
+                            .unwrap();
+                    assert_eq!(out, CommitOutcome::Committed);
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("split_committer_shipped", n),
+            &n,
+            |b, &n| {
+                let db = seeded(n);
+                let clock = Arc::new(Clock::new());
+                let backend =
+                    BackendServer::new(Box::new(db.connect()), registry(), Arc::clone(&clock));
+                let path = Path::new("edge-backend", clock, PathSpec::lan());
+                let committer = SplitCommitter::new(Remote::new(path, backend));
+                let mut flip = false;
+                b.iter(|| {
+                    let (from, to) = if flip { (50.0, 100.0) } else { (100.0, 50.0) };
+                    flip = !flip;
+                    let out = committer.commit(&request(n, from, to)).unwrap();
+                    assert_eq!(out, CommitOutcome::Committed);
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit);
+criterion_main!(benches);

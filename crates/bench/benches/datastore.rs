@@ -1,0 +1,131 @@
+//! Microbenchmarks of the embedded relational engine: the substrate every
+//! architecture's round trips bottom out in.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sli_datastore::{Database, SqlConnection, Value};
+
+fn seeded(rows: i64) -> Arc<Database> {
+    let db = Database::new();
+    db.execute_ddl(
+        "CREATE TABLE holding (id INT PRIMARY KEY, owner VARCHAR, qty DOUBLE, symbol VARCHAR)",
+    )
+    .unwrap();
+    db.execute_ddl("CREATE INDEX holding_owner ON holding (owner)")
+        .unwrap();
+    let mut conn = db.connect();
+    for i in 0..rows {
+        conn.execute(
+            "INSERT INTO holding (id, owner, qty, symbol) VALUES (?, ?, ?, ?)",
+            &[
+                Value::from(i),
+                Value::from(format!("uid:{}", i % 100)),
+                Value::from(i as f64),
+                Value::from(format!("s:{}", i % 50)),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn bench_datastore(c: &mut Criterion) {
+    let db = seeded(10_000);
+    let mut group = c.benchmark_group("datastore");
+
+    group.bench_function("point_select_by_pk", |b| {
+        let mut conn = db.connect();
+        b.iter(|| {
+            conn.execute(
+                "SELECT qty FROM holding WHERE id = ?",
+                std::hint::black_box(&[Value::from(4321)]),
+            )
+            .unwrap()
+        })
+    });
+
+    group.bench_function("indexed_probe_100_rows", |b| {
+        let mut conn = db.connect();
+        b.iter(|| {
+            conn.execute(
+                "SELECT id FROM holding WHERE owner = ?",
+                std::hint::black_box(&[Value::from("uid:42")]),
+            )
+            .unwrap()
+        })
+    });
+
+    group.bench_function("full_scan_predicate", |b| {
+        let mut conn = db.connect();
+        b.iter(|| {
+            conn.execute(
+                "SELECT id FROM holding WHERE qty > 9990.0",
+                std::hint::black_box(&[]),
+            )
+            .unwrap()
+        })
+    });
+
+    group.bench_function("update_by_pk", |b| {
+        let mut conn = db.connect();
+        b.iter(|| {
+            conn.execute(
+                "UPDATE holding SET qty = ? WHERE id = ?",
+                std::hint::black_box(&[Value::from(1.0), Value::from(777)]),
+            )
+            .unwrap()
+        })
+    });
+
+    group.bench_function("insert_delete_pair", |b| {
+        let mut conn = db.connect();
+        b.iter(|| {
+            conn.execute(
+                "INSERT INTO holding (id, owner, qty, symbol) VALUES (?, 'x', 1.0, 's:1')",
+                &[Value::from(999_999)],
+            )
+            .unwrap();
+            conn.execute("DELETE FROM holding WHERE id = ?", &[Value::from(999_999)])
+                .unwrap()
+        })
+    });
+
+    group.bench_function("txn_begin_commit_empty", |b| {
+        let mut conn = db.connect();
+        b.iter(|| {
+            conn.begin().unwrap();
+            conn.commit().unwrap();
+        })
+    });
+
+    group.bench_function("txn_update_rollback", |b| {
+        let mut conn = db.connect();
+        b.iter(|| {
+            conn.begin().unwrap();
+            conn.execute("UPDATE holding SET qty = 0.0 WHERE id = 5", &[])
+                .unwrap();
+            conn.rollback().unwrap();
+        })
+    });
+
+    group.bench_function("parse_cached_statement", |b| {
+        let mut conn = db.connect();
+        b.iter(|| {
+            conn.execute(
+                "SELECT id, owner, qty FROM holding WHERE owner = 'uid:1' AND qty >= 0.0",
+                &[],
+            )
+            .unwrap()
+        })
+    });
+
+    group.bench_function("seed_1000_rows", |b| {
+        b.iter_batched(|| (), |()| seeded(1_000), BatchSize::SmallInput)
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_datastore);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! End-to-end benchmarks: one full Trade2 client interaction per
+//! architecture (wall-clock cost of the *simulation*, complementing the
+//! simulated-latency results of the fig6/fig7 binaries), plus a whole
+//! session.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sli_arch::{Architecture, Flavor, Testbed, TestbedConfig, VirtualClient};
+use sli_simnet::SimDuration;
+use sli_trade::seed::Population;
+use sli_trade::session::SessionGenerator;
+use sli_trade::TradeAction;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(30);
+
+    let architectures = [
+        ("es_rdb_jdbc", Architecture::EsRdb(Flavor::Jdbc)),
+        ("es_rdb_vanilla", Architecture::EsRdb(Flavor::VanillaEjb)),
+        ("es_rdb_cached", Architecture::EsRdb(Flavor::CachedEjb)),
+        ("es_rbes", Architecture::EsRbes),
+        ("clients_ras_jdbc", Architecture::ClientsRas(Flavor::Jdbc)),
+    ];
+
+    for (name, arch) in architectures {
+        group.bench_function(format!("buy_interaction/{name}"), |b| {
+            let tb = Testbed::build(arch, TestbedConfig::default());
+            tb.set_delay(SimDuration::from_millis(40));
+            let mut client = VirtualClient::new(&tb, 0);
+            // warm caches and sessions
+            client.perform(&TradeAction::Login { user: "uid:1".into() });
+            let action = TradeAction::Buy {
+                user: "uid:1".into(),
+                symbol: "s:2".into(),
+                quantity: 10.0,
+            };
+            b.iter(|| {
+                let o = client.perform(std::hint::black_box(&action));
+                assert_eq!(o.status, 200);
+                o
+            })
+        });
+    }
+
+    group.bench_function("full_session/es_rbes", |b| {
+        let tb = Testbed::build(Architecture::EsRbes, TestbedConfig::default());
+        tb.set_delay(SimDuration::from_millis(40));
+        let mut generator = SessionGenerator::new(5, Population::default());
+        let mut client = VirtualClient::new(&tb, 0);
+        b.iter_batched(
+            || generator.session(),
+            |session| client.run_session(&session),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("testbed_build_and_seed", |b| {
+        b.iter(|| Testbed::build(Architecture::EsRbes, TestbedConfig::default()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Microbenchmarks of the wire codecs: everything that crosses a simulated
+//! path is really serialized, so codec speed bounds simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sli_component::Memento;
+use sli_core::{CommitEntry, CommitRequest, EntryKind};
+use sli_datastore::{Predicate, ResultSet, Value};
+use sli_simnet::wire::{frame, protocol, unframe, Reader, Writer};
+
+fn sample_memento(i: i64) -> Memento {
+    Memento::new("Holding", Value::from(i))
+        .with_field("userid", "uid:42")
+        .with_field("symbol", "s:17")
+        .with_field("quantity", 100.0)
+        .with_field("purchaseprice", 25.5)
+        .with_field("purchasedate", 9_000)
+}
+
+fn sample_result_set(rows: usize) -> ResultSet {
+    ResultSet::with_rows(
+        vec!["id".into(), "owner".into(), "qty".into()],
+        (0..rows)
+            .map(|i| {
+                vec![
+                    Value::from(i as i64),
+                    Value::from("uid:1"),
+                    Value::from(i as f64),
+                ]
+            })
+            .collect(),
+    )
+}
+
+fn sample_commit_request(entries: usize) -> CommitRequest {
+    CommitRequest {
+        origin: 1,
+        entries: (0..entries as i64)
+            .map(|i| CommitEntry {
+                bean: "Holding".into(),
+                key: Value::from(i),
+                kind: EntryKind::Update {
+                    before: sample_memento(i),
+                    after: sample_memento(i).with_field("quantity", 50.0),
+                },
+            })
+            .collect(),
+    }
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+
+    group.bench_function("memento_encode_decode", |b| {
+        let m = sample_memento(7);
+        b.iter(|| {
+            let mut w = Writer::new();
+            m.encode(&mut w);
+            Memento::decode(&mut Reader::new(w.finish())).unwrap()
+        })
+    });
+
+    group.bench_function("result_set_20_rows_encode_decode", |b| {
+        let rs = sample_result_set(20);
+        b.iter(|| {
+            let mut w = Writer::new();
+            rs.encode(&mut w);
+            ResultSet::decode(&mut Reader::new(w.finish())).unwrap()
+        })
+    });
+
+    group.bench_function("commit_request_5_images_encode_decode", |b| {
+        let req = sample_commit_request(5);
+        b.iter(|| CommitRequest::decode(&mut Reader::new(req.encode())).unwrap())
+    });
+
+    group.bench_function("predicate_encode_decode", |b| {
+        let p = Predicate::eq("owner", "uid:1")
+            .and(Predicate::cmp("qty", sli_datastore::CmpOp::Ge, 10))
+            .or(Predicate::Like {
+                column: "symbol".into(),
+                pattern: "s:%".into(),
+            });
+        b.iter(|| {
+            let mut w = Writer::new();
+            p.encode(&mut w);
+            Predicate::decode(&mut Reader::new(w.finish())).unwrap()
+        })
+    });
+
+    group.bench_function("frame_unframe_1kib", |b| {
+        let payload = bytes::Bytes::from(vec![0xa5u8; 1024]);
+        b.iter(|| {
+            let f = frame(protocol::JDBC, 42, &payload);
+            unframe(f).unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

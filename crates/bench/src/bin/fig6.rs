@@ -1,0 +1,80 @@
+//! Regenerates **Figure 6** — "Comparison of High-Latency Architectures":
+//! average client latency vs injected one-way delay for
+//!
+//! * ES/RDB with its best algorithm (JDBC — "diamonds"),
+//! * ES/RBES with cached EJBs ("triangles"),
+//! * Clients/RAS ("stars"),
+//!
+//! plus the linear fit the paper overlays (R² ≈ 99%).
+//!
+//! Run with `cargo run --release -p sli-bench --bin fig6`.
+
+use sli_arch::{Architecture, Flavor};
+use sli_bench::{sensitivity, sweep, RunConfig, PAPER_DELAYS_MS};
+use sli_workload::{Csv, TextTable};
+
+fn main() {
+    let cfg = RunConfig::default();
+    let series = [
+        ("ES/RDB (JDBC, best algorithm)", Architecture::EsRdb(Flavor::Jdbc)),
+        ("ES/RBES (Cached EJBs)", Architecture::EsRbes),
+        ("Clients/RAS (JDBC)", Architecture::ClientsRas(Flavor::Jdbc)),
+    ];
+
+    println!("Figure 6: Comparison of High-Latency Architectures");
+    println!(
+        "(one virtual client; {} warm-up + {} measured sessions; latency = batched \
+         average over {} batches)\n",
+        cfg.warmup_sessions, cfg.measured_sessions, cfg.batches
+    );
+
+    let mut table = TextTable::new(&[
+        "one-way delay (ms)",
+        series[0].0,
+        series[1].0,
+        series[2].0,
+    ]);
+    let mut csv = Csv::new(&["delay_ms", "es_rdb_jdbc_ms", "es_rbes_cached_ms", "clients_ras_ms"]);
+
+    let results: Vec<_> = series
+        .iter()
+        .map(|(_, arch)| sweep(*arch, PAPER_DELAYS_MS, cfg))
+        .collect();
+
+    for (i, delay) in PAPER_DELAYS_MS.iter().enumerate() {
+        let cells: Vec<String> = std::iter::once(delay.to_string())
+            .chain(results.iter().map(|r| format!("{:.1}", r[i].latency_ms)))
+            .collect();
+        table.row(cells.clone());
+        csv.row(cells);
+    }
+    println!("{}", table.render());
+
+    println!("Linear fits (latency_ms = slope * delay_ms + intercept):");
+    let mut fits = TextTable::new(&["series", "slope (sensitivity)", "intercept (ms)", "R^2"]);
+    for ((name, _), points) in series.iter().zip(&results) {
+        let f = sensitivity(points).expect("sweep has multiple delays");
+        fits.row(vec![
+            (*name).to_owned(),
+            format!("{:.1}", f.slope),
+            format!("{:.1}", f.intercept),
+            format!("{:.4}", f.r2),
+        ]);
+    }
+    println!("{}", fits.render());
+    println!(
+        "Paper's qualitative result: Clients/RAS lowest latency (slope 2.0); ES/RBES \
+         close behind (3.1); ES/RDB far more sensitive (9.4 for its best algorithm)."
+    );
+    println!("\nCSV:\n{}", csv.render());
+    if std::fs::create_dir_all("results").is_ok() {
+        let _ = std::fs::write(concat!("results/", env!("CARGO_BIN_NAME"), ".csv"), csv.render());
+        println!("(also written to results/{}.csv)", env!("CARGO_BIN_NAME"));
+    }
+
+    for (point, delay) in results[0].iter().zip(PAPER_DELAYS_MS) {
+        if point.failed > 0 {
+            eprintln!("warning: {} failed interactions at delay {delay}", point.failed);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Regenerates **Figure 7** — "Edge-Servers Accessing Remote Database":
+//! within the ES/RDB architecture, average client latency vs injected
+//! one-way delay for the three data-access algorithms (JDBC, vanilla EJBs,
+//! cached EJBs).
+//!
+//! Run with `cargo run --release -p sli-bench --bin fig7`.
+
+use sli_arch::{Architecture, Flavor};
+use sli_bench::{sensitivity, sweep, RunConfig, PAPER_DELAYS_MS};
+use sli_workload::{Csv, TextTable};
+
+fn main() {
+    let cfg = RunConfig::default();
+    let series = [
+        ("JDBC", Architecture::EsRdb(Flavor::Jdbc)),
+        ("Vanilla EJBs", Architecture::EsRdb(Flavor::VanillaEjb)),
+        ("Cached EJBs", Architecture::EsRdb(Flavor::CachedEjb)),
+    ];
+
+    println!("Figure 7: Edge-Servers Accessing Remote Database (ES/RDB)");
+    println!("(latency vs one-way delay for the three data-access algorithms)\n");
+
+    let results: Vec<_> = series
+        .iter()
+        .map(|(_, arch)| sweep(*arch, PAPER_DELAYS_MS, cfg))
+        .collect();
+
+    let mut table = TextTable::new(&["one-way delay (ms)", "JDBC", "Vanilla EJBs", "Cached EJBs"]);
+    let mut csv = Csv::new(&["delay_ms", "jdbc_ms", "vanilla_ejb_ms", "cached_ejb_ms"]);
+    for (i, delay) in PAPER_DELAYS_MS.iter().enumerate() {
+        let cells: Vec<String> = std::iter::once(delay.to_string())
+            .chain(results.iter().map(|r| format!("{:.1}", r[i].latency_ms)))
+            .collect();
+        table.row(cells.clone());
+        csv.row(cells);
+    }
+    println!("{}", table.render());
+
+    println!("Linear fits:");
+    let mut fits = TextTable::new(&["algorithm", "slope (sensitivity)", "intercept (ms)", "R^2"]);
+    for ((name, _), points) in series.iter().zip(&results) {
+        let f = sensitivity(points).expect("sweep has multiple delays");
+        fits.row(vec![
+            (*name).to_owned(),
+            format!("{:.1}", f.slope),
+            format!("{:.1}", f.intercept),
+            format!("{:.4}", f.r2),
+        ]);
+    }
+    println!("{}", fits.render());
+    println!(
+        "Paper's qualitative result (Table 2, ES/RDB column): vanilla EJBs are the most \
+         latency-sensitive (23.6), caching reduces that substantially (13.0), and the \
+         hand-crafted JDBC implementation is the least sensitive (9.4) because the tooled \
+         EJB implementations pay finder/commit round trips JDBC avoids."
+    );
+    println!("\nCSV:\n{}", csv.render());
+    if std::fs::create_dir_all("results").is_ok() {
+        let _ = std::fs::write(concat!("results/", env!("CARGO_BIN_NAME"), ".csv"), csv.render());
+        println!("(also written to results/{}.csv)", env!("CARGO_BIN_NAME"));
+    }
+}

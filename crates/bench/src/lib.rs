@@ -1,0 +1,251 @@
+//! # sli-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation:
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Trade2 runtime & database usage characteristics |
+//! | `fig6` | latency vs delay for the three architectures |
+//! | `fig7` | latency vs delay for the three ES/RDB flavors |
+//! | `fig8` | bytes to the shared site per client interaction |
+//! | `table2` | latency-sensitivity (slope) matrix |
+//!
+//! This library hosts the shared measurement loop implementing the paper's
+//! §4.3 protocol: one virtual client, 400 warm-up sessions, 300 measured
+//! sessions (~11 interactions each), latencies averaged over 20 batches,
+//! and a least-squares fit across the delay sweep.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sli_arch::{Architecture, Testbed, TestbedConfig, VirtualClient};
+use sli_simnet::SimDuration;
+use sli_trade::seed::Population;
+use sli_trade::session::SessionGenerator;
+use sli_workload::{batch_means, fit, percentile, LinearFit};
+
+/// Measurement-protocol parameters (§4.3 of the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Warm-up sessions before measurement (paper: 400).
+    pub warmup_sessions: usize,
+    /// Measured sessions (paper: 300).
+    pub measured_sessions: usize,
+    /// Batches for the batched average (paper: 20).
+    pub batches: usize,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Database population.
+    pub population: Population,
+    /// Optional per-crossing jitter on the delayed path (maximum added
+    /// microseconds). Zero reproduces the deterministic runs; a small value
+    /// reproduces the paper's R² ≈ 0.99 texture.
+    pub jitter_us: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> RunConfig {
+        RunConfig {
+            warmup_sessions: 400,
+            measured_sessions: 300,
+            batches: 20,
+            seed: 20040101, // Middleware 2004
+            population: Population::default(),
+            jitter_us: 0,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A scaled-down protocol for unit tests and quick sanity runs.
+    pub fn quick() -> RunConfig {
+        RunConfig {
+            warmup_sessions: 20,
+            measured_sessions: 30,
+            batches: 5,
+            ..RunConfig::default()
+        }
+    }
+}
+
+/// One point of a delay sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Injected one-way delay in milliseconds.
+    pub delay_ms: f64,
+    /// Batched-average client latency in milliseconds.
+    pub latency_ms: f64,
+    /// Standard deviation across batch means.
+    pub latency_stdev_ms: f64,
+    /// 95th-percentile interaction latency (over raw interactions, not
+    /// batches).
+    pub latency_p95_ms: f64,
+    /// Bytes to the shared site per client interaction (Figure 8 metric).
+    pub shared_bytes_per_interaction: f64,
+    /// Round trips across the delayed path per client interaction.
+    pub shared_round_trips_per_interaction: f64,
+    /// Interactions that returned HTTP 200.
+    pub ok: usize,
+    /// Interactions that returned a non-200 status.
+    pub failed: usize,
+}
+
+/// Runs the full measurement protocol for one architecture at one delay.
+pub fn run_point(arch: Architecture, delay: SimDuration, cfg: RunConfig) -> SweepPoint {
+    let testbed = Testbed::build(
+        arch,
+        TestbedConfig {
+            population: cfg.population,
+            edges: 1,
+            ..TestbedConfig::default()
+        },
+    );
+    testbed.set_delay(delay);
+    if cfg.jitter_us > 0 {
+        // Derive the jitter seed from the delay too: otherwise every sweep
+        // point would draw the identical noise sequence and the noise would
+        // cancel out of the fit entirely.
+        testbed.set_jitter(
+            SimDuration::from_micros(cfg.jitter_us),
+            cfg.seed ^ delay.as_micros().wrapping_mul(0x9E37_79B9),
+        );
+    }
+    let mut generator = SessionGenerator::new(cfg.seed, cfg.population);
+    let mut client = VirtualClient::new(&testbed, 0);
+
+    for _ in 0..cfg.warmup_sessions {
+        let session = generator.session();
+        client.run_session(&session);
+    }
+
+    testbed.reset_path_stats();
+    let mut latencies = Vec::new();
+    let mut ok = 0;
+    let mut failed = 0;
+    for _ in 0..cfg.measured_sessions {
+        let session = generator.session();
+        for outcome in client.run_session(&session) {
+            latencies.push(outcome.latency.as_millis_f64());
+            if outcome.status == 200 {
+                ok += 1;
+            } else {
+                failed += 1;
+            }
+        }
+    }
+
+    let batched = batch_means(&latencies, cfg.batches);
+    let interactions = latencies.len().max(1) as f64;
+    let shared = testbed.delayed_path(0).stats();
+    SweepPoint {
+        delay_ms: delay.as_millis_f64(),
+        latency_ms: batched.overall.mean,
+        latency_stdev_ms: batched.overall.stdev,
+        latency_p95_ms: percentile(&latencies, 0.95).unwrap_or(0.0),
+        shared_bytes_per_interaction: shared.total_bytes() as f64 / interactions,
+        shared_round_trips_per_interaction: shared.round_trips() as f64 / interactions,
+        ok,
+        failed,
+    }
+}
+
+/// Sweeps the proxy delay (in milliseconds) for one architecture.
+pub fn sweep(arch: Architecture, delays_ms: &[u64], cfg: RunConfig) -> Vec<SweepPoint> {
+    delays_ms
+        .iter()
+        .map(|&d| run_point(arch, SimDuration::from_millis(d), cfg))
+        .collect()
+}
+
+/// The delay sweep of Figures 6 and 7: 0–100 ms one-way in 20 ms steps.
+pub const PAPER_DELAYS_MS: &[u64] = &[0, 20, 40, 60, 80, 100];
+
+/// Fits latency (ms) against one-way delay (ms); the slope is the latency
+/// sensitivity of Table 2.
+///
+/// Returns `None` for degenerate sweeps (fewer than two distinct delays).
+pub fn sensitivity(points: &[SweepPoint]) -> Option<LinearFit> {
+    fit(&points
+        .iter()
+        .map(|p| (p.delay_ms, p.latency_ms))
+        .collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sli_arch::Flavor;
+
+    #[test]
+    fn clients_ras_sensitivity_is_two() {
+        // One HTTP round trip per interaction ⇒ every ms of one-way delay
+        // costs exactly 2 ms of client latency, for every flavor.
+        for flavor in [Flavor::Jdbc, Flavor::VanillaEjb, Flavor::CachedEjb] {
+            let points = sweep(
+                Architecture::ClientsRas(flavor),
+                &[0, 40, 80],
+                RunConfig::quick(),
+            );
+            let fit = sensitivity(&points).unwrap();
+            assert!(
+                (fit.slope - 2.0).abs() < 0.01,
+                "{flavor:?}: slope {}",
+                fit.slope
+            );
+            assert!(fit.r2 > 0.999);
+            assert!(points.iter().all(|p| p.failed == 0));
+        }
+    }
+
+    #[test]
+    fn es_rdb_vanilla_is_most_sensitive() {
+        let cfg = RunConfig::quick();
+        let delays = &[0, 40, 80];
+        let jdbc = sensitivity(&sweep(Architecture::EsRdb(Flavor::Jdbc), delays, cfg))
+            .unwrap()
+            .slope;
+        let vanilla = sensitivity(&sweep(Architecture::EsRdb(Flavor::VanillaEjb), delays, cfg))
+            .unwrap()
+            .slope;
+        let cached = sensitivity(&sweep(Architecture::EsRdb(Flavor::CachedEjb), delays, cfg))
+            .unwrap()
+            .slope;
+        let rbes = sensitivity(&sweep(Architecture::EsRbes, delays, cfg))
+            .unwrap()
+            .slope;
+        // Paper Table 2 ordering: vanilla (23.6) > cached (13.0) > JDBC
+        // (9.4) in ES/RDB, and ES/RBES (3.1) beats all of them but stays
+        // above the Clients/RAS floor of 2.
+        assert!(vanilla > cached, "vanilla {vanilla} vs cached {cached}");
+        assert!(cached > jdbc, "cached {cached} vs jdbc {jdbc}");
+        assert!(jdbc > rbes, "jdbc {jdbc} vs rbes {rbes}");
+        assert!(rbes > 2.0, "rbes {rbes}");
+    }
+
+    #[test]
+    fn jitter_reproduces_the_papers_imperfect_fits() {
+        let mut cfg = RunConfig::quick();
+        cfg.jitter_us = 2_000; // ±2 ms per crossing
+        let points = sweep(Architecture::EsRdb(Flavor::Jdbc), &[0, 40, 80], cfg);
+        let f = sensitivity(&points).unwrap();
+        assert!(f.r2 < 1.0, "jitter must leave residuals");
+        assert!(f.r2 > 0.98, "but the fit stays excellent: r2 = {}", f.r2);
+        assert!((f.slope - 3.9).abs() < 0.5, "slope survives jitter: {}", f.slope);
+    }
+
+    #[test]
+    fn bandwidth_ordering_matches_figure8() {
+        let cfg = RunConfig::quick();
+        let d = SimDuration::from_millis(20);
+        let ras = run_point(Architecture::ClientsRas(Flavor::Jdbc), d, cfg)
+            .shared_bytes_per_interaction;
+        let rbes = run_point(Architecture::EsRbes, d, cfg).shared_bytes_per_interaction;
+        let rdb = run_point(Architecture::EsRdb(Flavor::Jdbc), d, cfg)
+            .shared_bytes_per_interaction;
+        assert!(
+            ras > rbes && rbes > rdb,
+            "expected RAS ({ras:.0}) > RBES ({rbes:.0}) > RDB ({rdb:.0})"
+        );
+        assert!(ras > 5_000.0, "Clients/RAS ships whole pages: {ras:.0}");
+    }
+}

@@ -1,0 +1,179 @@
+//! The per-transaction instance store.
+//!
+//! Every application transaction gets a [`TxContext`]: the container's
+//! record of which beans the transaction has touched, their in-transaction
+//! state, their **before-images** (the memento captured when the state was
+//! first faulted in) and their pending life-cycle events (created/removed).
+//! This is the paper's "per-transaction transient store"; the BMP container
+//! uses it as the usual entity-instance cache, and the SLI runtime reads it
+//! at commit time to build the optimistic commit request.
+
+use std::collections::{BTreeMap, HashMap};
+
+use sli_datastore::Value;
+
+use crate::memento::Memento;
+
+/// In-transaction state of one enlisted bean.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InstanceState {
+    /// Current (possibly modified) non-key fields.
+    pub fields: BTreeMap<String, Value>,
+    /// Whether `fields` has been populated from the store.
+    pub loaded: bool,
+    /// Whether the state diverged from the loaded image.
+    pub dirty: bool,
+    /// Whether this bean was created inside the transaction.
+    pub created: bool,
+    /// Whether this bean was removed inside the transaction.
+    pub removed: bool,
+    /// Whether the bean is known to exist (a find succeeded), even before
+    /// any load.
+    pub exists: bool,
+    /// The state first observed by this transaction — the before-image the
+    /// optimistic validator compares against the persistent store.
+    pub before: Option<Memento>,
+}
+
+impl InstanceState {
+    /// Snapshot of the current state as a memento (the after-image when
+    /// taken at commit).
+    pub fn to_memento(&self, bean: &str, key: &Value) -> Memento {
+        let mut m = Memento::new(bean, key.clone());
+        for (name, value) in &self.fields {
+            m.set(name.clone(), value.clone());
+        }
+        m
+    }
+
+    /// Loads `image` as this instance's observed state and before-image.
+    pub fn load_from(&mut self, image: &Memento) {
+        self.fields = image.fields().clone();
+        self.loaded = true;
+        self.exists = true;
+        self.dirty = false;
+        if self.before.is_none() {
+            self.before = Some(image.clone());
+        }
+    }
+}
+
+/// The per-transaction transient store.
+#[derive(Debug, Default)]
+pub struct TxContext {
+    instances: HashMap<(String, Value), InstanceState>,
+    /// Monotonic touch order, for deterministic commit processing.
+    order: Vec<(String, Value)>,
+}
+
+impl TxContext {
+    /// Creates an empty context (one application transaction).
+    pub fn new() -> TxContext {
+        TxContext::default()
+    }
+
+    /// Read-only view of an enlisted instance.
+    pub fn instance(&self, bean: &str, key: &Value) -> Option<&InstanceState> {
+        self.instances.get(&(bean.to_owned(), key.clone()))
+    }
+
+    /// Mutable view of an enlisted instance.
+    pub fn instance_mut(&mut self, bean: &str, key: &Value) -> Option<&mut InstanceState> {
+        self.instances.get_mut(&(bean.to_owned(), key.clone()))
+    }
+
+    /// Fetches or creates the instance entry for (`bean`, `key`).
+    pub fn enlist(&mut self, bean: &str, key: &Value) -> &mut InstanceState {
+        let entry_key = (bean.to_owned(), key.clone());
+        if !self.instances.contains_key(&entry_key) {
+            self.order.push(entry_key.clone());
+            self.instances.insert(entry_key.clone(), InstanceState::default());
+        }
+        self.instances.get_mut(&entry_key).expect("just inserted")
+    }
+
+    /// Iterates enlisted instances in first-touch order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value, &InstanceState)> {
+        self.order.iter().filter_map(|k| {
+            self.instances
+                .get(k)
+                .map(|st| (k.0.as_str(), &k.1, st))
+        })
+    }
+
+    /// Number of enlisted instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether no bean has been touched yet.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Drops all enlisted state (transaction end).
+    pub fn clear(&mut self) {
+        self.instances.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enlist_is_idempotent_and_ordered() {
+        let mut ctx = TxContext::new();
+        ctx.enlist("Account", &Value::from("a")).exists = true;
+        ctx.enlist("Quote", &Value::from("q"));
+        ctx.enlist("Account", &Value::from("a")).dirty = true;
+        assert_eq!(ctx.len(), 2);
+        let touched: Vec<&str> = ctx.iter().map(|(b, _, _)| b).collect();
+        assert_eq!(touched, vec!["Account", "Quote"]);
+        let acct = ctx.instance("Account", &Value::from("a")).unwrap();
+        assert!(acct.exists && acct.dirty);
+    }
+
+    #[test]
+    fn load_from_sets_before_image_once() {
+        let mut st = InstanceState::default();
+        let img1 = Memento::new("Account", Value::from("a")).with_field("balance", 10.0);
+        st.load_from(&img1);
+        assert!(st.loaded && st.exists && !st.dirty);
+        assert_eq!(st.before.as_ref(), Some(&img1));
+        // a re-load (e.g. refresh) must NOT overwrite the before-image
+        let img2 = Memento::new("Account", Value::from("a")).with_field("balance", 20.0);
+        st.load_from(&img2);
+        assert_eq!(st.before.as_ref(), Some(&img1));
+        assert_eq!(st.fields.get("balance"), Some(&Value::from(20.0)));
+    }
+
+    #[test]
+    fn to_memento_captures_current_fields() {
+        let mut st = InstanceState::default();
+        st.fields.insert("balance".into(), Value::from(42.0));
+        let m = st.to_memento("Account", &Value::from("a"));
+        assert_eq!(m.bean(), "Account");
+        assert_eq!(m.get("balance"), Some(&Value::from(42.0)));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut ctx = TxContext::new();
+        ctx.enlist("A", &Value::from(1));
+        assert!(!ctx.is_empty());
+        ctx.clear();
+        assert!(ctx.is_empty());
+        assert_eq!(ctx.iter().count(), 0);
+    }
+
+    #[test]
+    fn instance_mut_mutates() {
+        let mut ctx = TxContext::new();
+        ctx.enlist("A", &Value::from(1));
+        ctx.instance_mut("A", &Value::from(1)).unwrap().removed = true;
+        assert!(ctx.instance("A", &Value::from(1)).unwrap().removed);
+        assert!(ctx.instance("B", &Value::from(1)).is_none());
+    }
+}

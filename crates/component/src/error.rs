@@ -1,0 +1,138 @@
+//! Component-model error type.
+
+use std::error::Error;
+use std::fmt;
+
+use sli_datastore::DbError;
+
+/// Errors raised by homes, containers and resource managers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EjbError {
+    /// No bean exists with the requested primary key.
+    NotFound {
+        /// Bean (entity) name.
+        bean: String,
+        /// Primary key that was looked up.
+        key: String,
+    },
+    /// `create` collided with an existing bean of the same key.
+    DuplicateKey {
+        /// Bean (entity) name.
+        bean: String,
+        /// Offending key.
+        key: String,
+    },
+    /// The named custom finder is not declared in the entity metadata.
+    NoSuchFinder {
+        /// Bean (entity) name.
+        bean: String,
+        /// Finder name that was requested.
+        finder: String,
+    },
+    /// A field name not present in the entity metadata was accessed.
+    NoSuchField {
+        /// Bean (entity) name.
+        bean: String,
+        /// Offending field.
+        field: String,
+    },
+    /// An operation that requires a transaction ran outside one.
+    TransactionRequired,
+    /// Optimistic validation failed at commit: another transaction changed
+    /// the persistent state read by this one.
+    OptimisticConflict {
+        /// Bean (entity) name of the first conflicting image.
+        bean: String,
+        /// Key of the conflicting image.
+        key: String,
+    },
+    /// The underlying datastore failed.
+    Db(DbError),
+}
+
+impl EjbError {
+    /// Builds a `NotFound` for `bean`/`key`.
+    pub fn not_found(bean: impl Into<String>, key: impl fmt::Display) -> EjbError {
+        EjbError::NotFound {
+            bean: bean.into(),
+            key: key.to_string(),
+        }
+    }
+
+    /// Builds an `OptimisticConflict` for `bean`/`key`.
+    pub fn conflict(bean: impl Into<String>, key: impl fmt::Display) -> EjbError {
+        EjbError::OptimisticConflict {
+            bean: bean.into(),
+            key: key.to_string(),
+        }
+    }
+
+    /// Whether this error means the transaction should be retried (the
+    /// usual application response to an optimistic abort or deadlock).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            EjbError::OptimisticConflict { .. } | EjbError::Db(DbError::Deadlock)
+        )
+    }
+}
+
+impl fmt::Display for EjbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EjbError::NotFound { bean, key } => write!(f, "no {bean} bean with key {key}"),
+            EjbError::DuplicateKey { bean, key } => {
+                write!(f, "{bean} bean with key {key} already exists")
+            }
+            EjbError::NoSuchFinder { bean, finder } => {
+                write!(f, "bean {bean} declares no finder '{finder}'")
+            }
+            EjbError::NoSuchField { bean, field } => {
+                write!(f, "bean {bean} has no field '{field}'")
+            }
+            EjbError::TransactionRequired => write!(f, "operation requires a transaction"),
+            EjbError::OptimisticConflict { bean, key } => write!(
+                f,
+                "optimistic conflict on {bean}[{key}]: persistent state changed since the before-image was taken"
+            ),
+            EjbError::Db(e) => write!(f, "datastore error: {e}"),
+        }
+    }
+}
+
+impl Error for EjbError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EjbError::Db(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DbError> for EjbError {
+    fn from(e: DbError) -> EjbError {
+        EjbError::Db(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = EjbError::not_found("Account", "uid:1");
+        assert_eq!(e.to_string(), "no Account bean with key uid:1");
+        let e: EjbError = DbError::Deadlock.into();
+        assert!(e.to_string().contains("deadlock"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn retryability() {
+        assert!(EjbError::conflict("Account", "uid:1").is_retryable());
+        assert!(EjbError::Db(DbError::Deadlock).is_retryable());
+        assert!(!EjbError::not_found("Account", "uid:1").is_retryable());
+        assert!(!EjbError::TransactionRequired.is_retryable());
+    }
+}

@@ -1,0 +1,226 @@
+//! Mementos: serializable bean-state value objects.
+//!
+//! The EJB specification forbids serializing entity beans (they are passed
+//! by reference), so the paper introduces *mementos* — value objects with
+//! the same identity as the bean (`getPrimaryKey`) that carry its state
+//! between address spaces. The state captured at transaction start is the
+//! **before-image**; the state at transaction end is the **after-image**.
+//! The optimistic commit protocol ships and compares exactly these images.
+
+use std::collections::BTreeMap;
+
+use sli_simnet::wire::{DecodeError, Reader, Writer};
+
+use sli_datastore::{Schema, Value};
+
+/// A snapshot of one entity bean's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memento {
+    bean: String,
+    key: Value,
+    fields: BTreeMap<String, Value>,
+}
+
+impl Memento {
+    /// Creates a memento for bean type `bean` with identity `key`.
+    pub fn new(bean: impl Into<String>, key: Value) -> Memento {
+        Memento {
+            bean: bean.into(),
+            key,
+            fields: BTreeMap::new(),
+        }
+    }
+
+    /// The bean (entity) type name.
+    pub fn bean(&self) -> &str {
+        &self.bean
+    }
+
+    /// The bean identity — the same value the bean's `getPrimaryKey`
+    /// returns.
+    pub fn primary_key(&self) -> &Value {
+        &self.key
+    }
+
+    /// Sets a field (builder style).
+    pub fn with_field(mut self, name: impl Into<String>, value: impl Into<Value>) -> Memento {
+        self.fields.insert(name.into(), value.into());
+        self
+    }
+
+    /// Sets a field in place.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+        self.fields.insert(name.into(), value.into());
+    }
+
+    /// Reads a field.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields.get(name)
+    }
+
+    /// All fields, sorted by name.
+    pub fn fields(&self) -> &BTreeMap<String, Value> {
+        &self.fields
+    }
+
+    /// Converts this memento into a row aligned with `schema` (missing
+    /// fields become NULL; the key lands in the primary-key column).
+    pub fn to_row(&self, schema: &Schema) -> Vec<Value> {
+        schema
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, col)| {
+                if i == schema.pk_index() {
+                    self.key.clone()
+                } else {
+                    self.fields.get(&col.name).cloned().unwrap_or(Value::Null)
+                }
+            })
+            .collect()
+    }
+
+    /// Builds a memento from a row aligned with `schema`.
+    pub fn from_row(bean: impl Into<String>, schema: &Schema, row: &[Value]) -> Memento {
+        let mut m = Memento::new(bean, row[schema.pk_index()].clone());
+        for (i, col) in schema.columns().iter().enumerate() {
+            if i != schema.pk_index() {
+                m.fields.insert(col.name.clone(), row[i].clone());
+            }
+        }
+        m
+    }
+
+    /// Stream prefix mirroring Java serialization's class descriptor: the
+    /// fully-qualified memento class name plus a serialVersionUID. The
+    /// paper's mementos travel as serialized Java objects, whose wire form
+    /// carries this metadata with every instance.
+    fn class_descriptor(&self) -> String {
+        format!("com.ibm.websphere.samples.trade.ejb.{}Memento", self.bean)
+    }
+
+    /// Encodes the memento onto a wire frame.
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.class_descriptor());
+        w.put_u64(0x05CA_1AB1_EC0F_FEE5); // serialVersionUID
+        w.put_str(&self.bean);
+        self.key.encode(w);
+        w.put_u32(self.fields.len() as u32);
+        for (name, value) in &self.fields {
+            w.put_str(name);
+            value.encode(w);
+        }
+    }
+
+    /// Decodes a memento from a wire frame.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError`] on truncation.
+    pub fn decode(r: &mut Reader) -> Result<Memento, DecodeError> {
+        let class = r.get_str()?;
+        let _uid = r.get_u64()?;
+        let bean = r.get_str()?;
+        if !class.ends_with(&format!("{bean}Memento")) {
+            return Err(DecodeError::new("memento class descriptor"));
+        }
+        let key = Value::decode(r)?;
+        let n = r.get_u32()? as usize;
+        let mut fields = BTreeMap::new();
+        for _ in 0..n {
+            let name = r.get_str()?;
+            fields.insert(name, Value::decode(r)?);
+        }
+        Ok(Memento { bean, key, fields })
+    }
+
+    /// The encoded size in bytes — the unit the paper's commit protocols
+    /// ship per image.
+    pub fn encoded_len(&self) -> usize {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sli_datastore::{Column, ColumnType};
+
+    fn account_schema() -> Schema {
+        Schema::new(
+            "account",
+            vec![
+                Column::new("userid", ColumnType::Varchar),
+                Column::new("balance", ColumnType::Double),
+                Column::new("logins", ColumnType::Int),
+            ],
+            "userid",
+        )
+        .unwrap()
+    }
+
+    fn sample() -> Memento {
+        Memento::new("Account", Value::from("uid:1"))
+            .with_field("balance", 1_000.0)
+            .with_field("logins", 3)
+    }
+
+    #[test]
+    fn identity_and_fields() {
+        let m = sample();
+        assert_eq!(m.bean(), "Account");
+        assert_eq!(m.primary_key(), &Value::from("uid:1"));
+        assert_eq!(m.get("balance"), Some(&Value::from(1_000.0)));
+        assert_eq!(m.get("missing"), None);
+    }
+
+    #[test]
+    fn row_round_trip() {
+        let schema = account_schema();
+        let m = sample();
+        let row = m.to_row(&schema);
+        assert_eq!(
+            row,
+            vec![Value::from("uid:1"), Value::from(1_000.0), Value::from(3)]
+        );
+        let back = Memento::from_row("Account", &schema, &row);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn missing_fields_become_null_in_rows() {
+        let schema = account_schema();
+        let m = Memento::new("Account", Value::from("uid:2")).with_field("balance", 5.0);
+        let row = m.to_row(&schema);
+        assert_eq!(row[2], Value::Null);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let m = sample();
+        let mut w = Writer::new();
+        m.encode(&mut w);
+        let frame = w.finish();
+        assert_eq!(frame.len(), m.encoded_len());
+        let back = Memento::decode(&mut Reader::new(frame)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut m = sample();
+        m.set("balance", 2_000.0);
+        assert_eq!(m.get("balance"), Some(&Value::from(2_000.0)));
+        assert_eq!(m.fields().len(), 2);
+    }
+
+    #[test]
+    fn before_and_after_images_compare_by_value() {
+        let before = sample();
+        let mut after = before.clone();
+        assert_eq!(before, after);
+        after.set("balance", 999.0);
+        assert_ne!(before, after);
+    }
+}

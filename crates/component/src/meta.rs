@@ -1,0 +1,509 @@
+//! Entity deployment metadata.
+//!
+//! In the paper, a deployer specifies that e.g. an `Employee` bean's state
+//! is backed by the `Employees` table, and tooling generates persistence
+//! code from that description. [`EntityMeta`] is that deployment
+//! descriptor; both the vanilla BMP homes and the cache-enabled SLI homes
+//! are driven by the *same* metadata, which is what makes cache-enabling
+//! transparent to the application.
+
+use std::collections::BTreeMap;
+
+use sli_datastore::{ColumnType, Predicate, Value};
+
+use crate::error::EjbError;
+use crate::EjbResult;
+
+/// A non-key persistent field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    /// Field (column) name.
+    pub name: String,
+    /// Declared type.
+    pub ty: ColumnType,
+}
+
+/// A named custom finder: a parameterized predicate over the entity's
+/// fields (`findByOwner(owner)` ⇒ `owner = ?0`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinderDef {
+    /// Finder name (`findByOwner`).
+    pub name: String,
+    /// Parameterized predicate; placeholders bind to the finder arguments.
+    pub predicate: Predicate,
+}
+
+/// Deployment metadata for one entity bean type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntityMeta {
+    bean: String,
+    table: String,
+    key_field: String,
+    key_type: ColumnType,
+    fields: Vec<FieldDef>,
+    finders: BTreeMap<String, FinderDef>,
+    indexes: Vec<String>,
+}
+
+impl EntityMeta {
+    /// Starts metadata for bean `bean` backed by `table`, keyed by
+    /// `key_field` of type `key_type`.
+    pub fn new(
+        bean: impl Into<String>,
+        table: impl Into<String>,
+        key_field: impl Into<String>,
+        key_type: ColumnType,
+    ) -> EntityMeta {
+        EntityMeta {
+            bean: bean.into(),
+            table: table.into(),
+            key_field: key_field.into(),
+            key_type,
+            fields: Vec::new(),
+            finders: BTreeMap::new(),
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Adds a persistent field (builder style).
+    pub fn field(mut self, name: impl Into<String>, ty: ColumnType) -> EntityMeta {
+        self.fields.push(FieldDef {
+            name: name.into(),
+            ty,
+        });
+        self
+    }
+
+    /// Declares a named custom finder.
+    pub fn finder(mut self, name: impl Into<String>, predicate: Predicate) -> EntityMeta {
+        let name = name.into();
+        self.finders.insert(
+            name.clone(),
+            FinderDef {
+                name,
+                predicate,
+            },
+        );
+        self
+    }
+
+    /// Requests a secondary index on `column` (generated in the DDL).
+    pub fn index(mut self, column: impl Into<String>) -> EntityMeta {
+        self.indexes.push(column.into());
+        self
+    }
+
+    /// The bean type name.
+    pub fn bean(&self) -> &str {
+        &self.bean
+    }
+
+    /// The backing table name.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// The primary-key field name.
+    pub fn key_field(&self) -> &str {
+        &self.key_field
+    }
+
+    /// Non-key fields in declaration order.
+    pub fn fields(&self) -> &[FieldDef] {
+        &self.fields
+    }
+
+    /// Whether `name` is a persistent field (key or non-key).
+    pub fn has_field(&self, name: &str) -> bool {
+        name == self.key_field || self.fields.iter().any(|f| f.name == name)
+    }
+
+    /// Looks up a declared finder.
+    ///
+    /// # Errors
+    /// Returns [`EjbError::NoSuchFinder`] for undeclared names.
+    pub fn finder_def(&self, name: &str) -> EjbResult<&FinderDef> {
+        self.finders.get(name).ok_or_else(|| EjbError::NoSuchFinder {
+            bean: self.bean.clone(),
+            finder: name.to_owned(),
+        })
+    }
+
+    /// All declared finders.
+    pub fn finders(&self) -> impl Iterator<Item = &FinderDef> {
+        self.finders.values()
+    }
+
+    /// A [`Schema`](sli_datastore::Schema) equivalent to the backing table,
+    /// used to evaluate finder predicates against cached bean state without
+    /// touching the persistent store.
+    pub fn schema(&self) -> sli_datastore::Schema {
+        let mut cols = vec![sli_datastore::Column::new(self.key_field.clone(), self.key_type)];
+        cols.extend(
+            self.fields
+                .iter()
+                .map(|f| sli_datastore::Column::new(f.name.clone(), f.ty)),
+        );
+        sli_datastore::Schema::new(self.table.clone(), cols, &self.key_field)
+            .expect("key field is always a column")
+    }
+
+    /// `SELECT <key> FROM <table> WHERE <key> = ?` — the existence probe.
+    pub fn exists_sql(&self) -> String {
+        format!(
+            "SELECT {key} FROM {table} WHERE {key} = ?",
+            key = self.key_field,
+            table = self.table
+        )
+    }
+
+    /// `SELECT <all columns> FROM <table> WHERE <key> = ?` — `ejbLoad`.
+    pub fn load_sql(&self) -> String {
+        format!(
+            "SELECT {cols} FROM {table} WHERE {key} = ?",
+            cols = self.select_columns().join(", "),
+            table = self.table,
+            key = self.key_field
+        )
+    }
+
+    /// `INSERT INTO <table> (<all columns>) VALUES (?, ...)` — `ejbCreate`.
+    pub fn insert_sql(&self) -> String {
+        let cols = self.select_columns();
+        format!(
+            "INSERT INTO {table} ({names}) VALUES ({ph})",
+            table = self.table,
+            names = cols.join(", "),
+            ph = vec!["?"; cols.len()].join(", ")
+        )
+    }
+
+    /// `UPDATE <table> SET f = ?, ... WHERE <key> = ?` — `ejbStore`.
+    pub fn update_sql(&self) -> String {
+        let sets = self
+            .fields
+            .iter()
+            .map(|f| format!("{} = ?", f.name))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "UPDATE {table} SET {sets} WHERE {key} = ?",
+            table = self.table,
+            key = self.key_field
+        )
+    }
+
+    /// `DELETE FROM <table> WHERE <key> = ?` — `ejbRemove`.
+    pub fn delete_sql(&self) -> String {
+        format!(
+            "DELETE FROM {table} WHERE {key} = ?",
+            table = self.table,
+            key = self.key_field
+        )
+    }
+
+    /// A `WHERE` fragment matching the key *and every field value* of
+    /// `before` — the single-statement optimistic check: a conditional
+    /// `UPDATE`/`DELETE` using this clause affects one row exactly when the
+    /// persistent image still equals the before-image. NULL fields compare
+    /// with `IS NULL`. Returns the SQL fragment and the parameters it
+    /// binds.
+    pub fn before_image_where(&self, before: &crate::Memento) -> (String, Vec<Value>) {
+        let mut clauses = vec![format!("{} = ?", self.key_field)];
+        let mut params = vec![before.primary_key().clone()];
+        for f in &self.fields {
+            match before.get(&f.name) {
+                Some(Value::Null) | None => clauses.push(format!("{} IS NULL", f.name)),
+                Some(v) => {
+                    clauses.push(format!("{} = ?", f.name));
+                    params.push(v.clone());
+                }
+            }
+        }
+        (clauses.join(" AND "), params)
+    }
+
+    /// `UPDATE <table> SET f = ?, ... WHERE <before-image clause>` — the
+    /// one-access-per-image optimistic update. Returns the SQL and the full
+    /// parameter vector (new field values, then the before-image
+    /// parameters).
+    pub fn conditional_update_sql(
+        &self,
+        before: &crate::Memento,
+        after: &crate::Memento,
+    ) -> (String, Vec<Value>) {
+        let sets = self
+            .fields
+            .iter()
+            .map(|f| format!("{} = ?", f.name))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let (clause, where_params) = self.before_image_where(before);
+        let mut params: Vec<Value> = self
+            .fields
+            .iter()
+            .map(|f| after.get(&f.name).cloned().unwrap_or(Value::Null))
+            .collect();
+        params.extend(where_params);
+        (
+            format!("UPDATE {} SET {sets} WHERE {clause}", self.table),
+            params,
+        )
+    }
+
+    /// `DELETE FROM <table> WHERE <before-image clause>` — the
+    /// one-access-per-image optimistic remove.
+    pub fn conditional_delete_sql(&self, before: &crate::Memento) -> (String, Vec<Value>) {
+        let (clause, params) = self.before_image_where(before);
+        (
+            format!("DELETE FROM {} WHERE {clause}", self.table),
+            params,
+        )
+    }
+
+    /// Builds a memento from a row laid out as [`EntityMeta::select_columns`]
+    /// (key first, then fields).
+    pub fn memento_from_row(&self, row: &[Value]) -> crate::Memento {
+        let mut m = crate::Memento::new(self.bean.clone(), row[0].clone());
+        for (i, f) in self.fields.iter().enumerate() {
+            m.set(f.name.clone(), row[i + 1].clone());
+        }
+        m
+    }
+
+    /// Parameter vector for [`EntityMeta::insert_sql`]: key, then declared
+    /// fields (missing ones become NULL).
+    pub fn insert_params(&self, image: &crate::Memento) -> Vec<Value> {
+        let mut params = Vec::with_capacity(self.fields.len() + 1);
+        params.push(image.primary_key().clone());
+        for f in &self.fields {
+            params.push(image.get(&f.name).cloned().unwrap_or(Value::Null));
+        }
+        params
+    }
+
+    /// Parameter vector for [`EntityMeta::update_sql`]: declared fields,
+    /// then the key.
+    pub fn update_params(&self, image: &crate::Memento) -> Vec<Value> {
+        let mut params: Vec<Value> = self
+            .fields
+            .iter()
+            .map(|f| image.get(&f.name).cloned().unwrap_or(Value::Null))
+            .collect();
+        params.push(image.primary_key().clone());
+        params
+    }
+
+    /// `CREATE TABLE` DDL for the backing table.
+    pub fn create_table_ddl(&self) -> String {
+        let mut cols = vec![format!(
+            "{} {} PRIMARY KEY",
+            self.key_field,
+            ddl_type(self.key_type)
+        )];
+        for f in &self.fields {
+            cols.push(format!("{} {}", f.name, ddl_type(f.ty)));
+        }
+        format!("CREATE TABLE {} ({})", self.table, cols.join(", "))
+    }
+
+    /// `CREATE INDEX` DDL statements for the requested secondary indexes.
+    pub fn create_index_ddl(&self) -> Vec<String> {
+        self.indexes
+            .iter()
+            .map(|col| format!("CREATE INDEX {}_{} ON {} ({})", self.table, col, self.table, col))
+            .collect()
+    }
+
+    /// `SELECT *`-equivalent projection: key column then fields, in the
+    /// order `to_row`/`from_row` expect.
+    pub fn select_columns(&self) -> Vec<String> {
+        let mut cols = vec![self.key_field.clone()];
+        cols.extend(self.fields.iter().map(|f| f.name.clone()));
+        cols
+    }
+
+    /// Validates a field write against the metadata.
+    ///
+    /// # Errors
+    /// [`EjbError::NoSuchField`] for undeclared fields.
+    pub fn check_field(&self, field: &str) -> EjbResult<()> {
+        if self.has_field(field) {
+            Ok(())
+        } else {
+            Err(EjbError::NoSuchField {
+                bean: self.bean.clone(),
+                field: field.to_owned(),
+            })
+        }
+    }
+
+    /// Binds a finder's predicate to concrete arguments.
+    ///
+    /// # Errors
+    /// [`EjbError::NoSuchFinder`] or a parameter-arity error from the
+    /// datastore layer.
+    pub fn bind_finder(&self, name: &str, params: &[Value]) -> EjbResult<Predicate> {
+        let def = self.finder_def(name)?;
+        Ok(def.predicate.bind(params)?)
+    }
+}
+
+fn ddl_type(ty: ColumnType) -> &'static str {
+    match ty {
+        ColumnType::Int => "INT",
+        ColumnType::Double => "DOUBLE",
+        ColumnType::Varchar => "VARCHAR",
+        ColumnType::Bool => "BOOLEAN",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sli_datastore::CmpOp;
+
+    fn holding_meta() -> EntityMeta {
+        EntityMeta::new("Holding", "holding", "id", ColumnType::Int)
+            .field("owner", ColumnType::Varchar)
+            .field("symbol", ColumnType::Varchar)
+            .field("qty", ColumnType::Double)
+            .index("owner")
+            .finder(
+                "findByOwner",
+                Predicate::CmpParam {
+                    column: "owner".into(),
+                    op: CmpOp::Eq,
+                    index: 0,
+                },
+            )
+    }
+
+    #[test]
+    fn ddl_generation() {
+        let m = holding_meta();
+        assert_eq!(
+            m.create_table_ddl(),
+            "CREATE TABLE holding (id INT PRIMARY KEY, owner VARCHAR, symbol VARCHAR, qty DOUBLE)"
+        );
+        assert_eq!(
+            m.create_index_ddl(),
+            vec!["CREATE INDEX holding_owner ON holding (owner)".to_owned()]
+        );
+    }
+
+    #[test]
+    fn field_checks() {
+        let m = holding_meta();
+        assert!(m.has_field("id"));
+        assert!(m.has_field("qty"));
+        assert!(!m.has_field("ghost"));
+        assert!(m.check_field("owner").is_ok());
+        assert!(matches!(
+            m.check_field("ghost"),
+            Err(EjbError::NoSuchField { .. })
+        ));
+    }
+
+    #[test]
+    fn finder_binding() {
+        let m = holding_meta();
+        let p = m.bind_finder("findByOwner", &[Value::from("uid:3")]).unwrap();
+        assert_eq!(p, Predicate::eq("owner", "uid:3"));
+        assert!(matches!(
+            m.bind_finder("findByGhost", &[]),
+            Err(EjbError::NoSuchFinder { .. })
+        ));
+        assert!(m.bind_finder("findByOwner", &[]).is_err());
+        assert_eq!(m.finders().count(), 1);
+    }
+
+    #[test]
+    fn before_image_where_handles_nulls() {
+        let m = holding_meta();
+        let before = crate::Memento::new("Holding", Value::from(7))
+            .with_field("owner", "uid:1")
+            .with_field("qty", 5.0); // symbol missing → NULL
+        let (clause, params) = m.before_image_where(&before);
+        assert_eq!(clause, "id = ? AND owner = ? AND symbol IS NULL AND qty = ?");
+        assert_eq!(
+            params,
+            vec![Value::from(7), Value::from("uid:1"), Value::from(5.0)]
+        );
+    }
+
+    #[test]
+    fn conditional_update_sql_sets_after_and_matches_before() {
+        let m = holding_meta();
+        let before = crate::Memento::new("Holding", Value::from(7))
+            .with_field("owner", "uid:1")
+            .with_field("symbol", "s:1")
+            .with_field("qty", 5.0);
+        let mut after = before.clone();
+        after.set("qty", 6.0);
+        let (sql, params) = m.conditional_update_sql(&before, &after);
+        assert_eq!(
+            sql,
+            "UPDATE holding SET owner = ?, symbol = ?, qty = ? \
+             WHERE id = ? AND owner = ? AND symbol = ? AND qty = ?"
+        );
+        assert_eq!(params.len(), 7);
+        assert_eq!(params[2], Value::from(6.0)); // new qty
+        assert_eq!(params[6], Value::from(5.0)); // old qty in WHERE
+    }
+
+    #[test]
+    fn conditional_delete_sql_matches_full_image() {
+        let m = holding_meta();
+        let before = crate::Memento::new("Holding", Value::from(7))
+            .with_field("owner", "uid:1")
+            .with_field("symbol", "s:1")
+            .with_field("qty", 5.0);
+        let (sql, params) = m.conditional_delete_sql(&before);
+        assert!(sql.starts_with("DELETE FROM holding WHERE id = ?"));
+        assert_eq!(params.len(), 4);
+    }
+
+    #[test]
+    fn sql_helper_texts() {
+        let m = holding_meta();
+        assert_eq!(m.exists_sql(), "SELECT id FROM holding WHERE id = ?");
+        assert_eq!(
+            m.load_sql(),
+            "SELECT id, owner, symbol, qty FROM holding WHERE id = ?"
+        );
+        assert_eq!(
+            m.insert_sql(),
+            "INSERT INTO holding (id, owner, symbol, qty) VALUES (?, ?, ?, ?)"
+        );
+        assert_eq!(
+            m.update_sql(),
+            "UPDATE holding SET owner = ?, symbol = ?, qty = ? WHERE id = ?"
+        );
+        assert_eq!(m.delete_sql(), "DELETE FROM holding WHERE id = ?");
+    }
+
+    #[test]
+    fn insert_and_update_params_align_with_sql() {
+        let m = holding_meta();
+        let image = crate::Memento::new("Holding", Value::from(3)).with_field("qty", 1.5);
+        let ins = m.insert_params(&image);
+        assert_eq!(
+            ins,
+            vec![Value::from(3), Value::Null, Value::Null, Value::from(1.5)]
+        );
+        let upd = m.update_params(&image);
+        assert_eq!(
+            upd,
+            vec![Value::Null, Value::Null, Value::from(1.5), Value::from(3)]
+        );
+    }
+
+    #[test]
+    fn select_columns_order() {
+        assert_eq!(
+            holding_meta().select_columns(),
+            vec!["id", "owner", "symbol", "qty"]
+        );
+    }
+}

@@ -1,0 +1,354 @@
+//! The optimistic commit request: before- and after-images of everything a
+//! transaction touched.
+
+use bytes::Bytes;
+use sli_component::{InstanceState, Memento, TxContext};
+use sli_datastore::Value;
+use sli_simnet::wire::{DecodeError, Reader, Writer};
+
+/// What happened to one bean inside the transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryKind {
+    /// Read but not modified: validate the before-image only.
+    Read {
+        /// State observed at first access.
+        before: Memento,
+    },
+    /// Modified: validate `before`, then write `after`.
+    Update {
+        /// State observed at first access.
+        before: Memento,
+        /// State at commit time.
+        after: Memento,
+    },
+    /// Created in the transaction: verify no bean with the key exists, then
+    /// insert `after`.
+    Create {
+        /// Initial state to insert.
+        after: Memento,
+    },
+    /// Removed in the transaction: verify the current image still equals
+    /// `before`, then delete.
+    Remove {
+        /// State observed before removal.
+        before: Memento,
+    },
+}
+
+impl EntryKind {
+    fn tag(&self) -> u8 {
+        match self {
+            EntryKind::Read { .. } => 0,
+            EntryKind::Update { .. } => 1,
+            EntryKind::Create { .. } => 2,
+            EntryKind::Remove { .. } => 3,
+        }
+    }
+
+    /// Whether this entry writes to the persistent store.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, EntryKind::Read { .. })
+    }
+}
+
+/// One bean's contribution to a commit request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitEntry {
+    /// Bean type name.
+    pub bean: String,
+    /// Bean identity.
+    pub key: Value,
+    /// Life-cycle classification plus images.
+    pub kind: EntryKind,
+}
+
+/// The full transaction state shipped at commit time.
+///
+/// In the split-servers configuration this is the single message sent to
+/// the back-end server ("this access is done at commit time in order to
+/// transmit the set of memento images involved in the transaction"); in the
+/// combined configuration the same entries drive one datastore access per
+/// image.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CommitRequest {
+    /// Identifier of the submitting edge server (drives invalidation
+    /// fan-out to the *other* edges).
+    pub origin: u32,
+    /// Per-bean entries in first-touch order.
+    pub entries: Vec<CommitEntry>,
+}
+
+impl CommitRequest {
+    /// Builds a request from a finished transaction context.
+    ///
+    /// Classification:
+    /// * created & not removed → `Create`
+    /// * created & removed → dropped (never left the transaction)
+    /// * removed → `Remove` (requires a before-image)
+    /// * dirty → `Update`
+    /// * loaded (read) → `Read`
+    /// * touched but never loaded (e.g. enlisted by a finder and never
+    ///   accessed) → dropped; with no before-image there is nothing to
+    ///   validate.
+    pub fn from_context(origin: u32, ctx: &TxContext) -> CommitRequest {
+        let mut entries = Vec::new();
+        for (bean, key, st) in ctx.iter() {
+            if let Some(kind) = Self::classify(bean, key, st) {
+                entries.push(CommitEntry {
+                    bean: bean.to_owned(),
+                    key: key.clone(),
+                    kind,
+                });
+            }
+        }
+        CommitRequest { origin, entries }
+    }
+
+    fn classify(bean: &str, key: &Value, st: &InstanceState) -> Option<EntryKind> {
+        if st.created {
+            if st.removed {
+                return None;
+            }
+            return Some(EntryKind::Create {
+                after: st.to_memento(bean, key),
+            });
+        }
+        if st.removed {
+            return st.before.clone().map(|before| EntryKind::Remove { before });
+        }
+        let before = st.before.clone()?;
+        if st.dirty {
+            Some(EntryKind::Update {
+                before,
+                after: st.to_memento(bean, key),
+            })
+        } else {
+            Some(EntryKind::Read { before })
+        }
+    }
+
+    /// Whether the transaction wrote anything.
+    pub fn has_writes(&self) -> bool {
+        self.entries.iter().any(|e| e.kind.is_write())
+    }
+
+    /// The (bean, key) pairs whose persistent images this commit changes —
+    /// the invalidation set for peer edges.
+    pub fn written_keys(&self) -> Vec<(String, Value)> {
+        self.entries
+            .iter()
+            .filter(|e| e.kind.is_write())
+            .map(|e| (e.bean.clone(), e.key.clone()))
+            .collect()
+    }
+
+    /// Encodes the request to a wire frame.
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.put_u32(self.origin);
+        w.put_u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.put_str(&e.bean);
+            e.key.encode(&mut w);
+            w.put_u8(e.kind.tag());
+            match &e.kind {
+                EntryKind::Read { before } | EntryKind::Remove { before } => before.encode(&mut w),
+                EntryKind::Update { before, after } => {
+                    before.encode(&mut w);
+                    after.encode(&mut w);
+                }
+                EntryKind::Create { after } => after.encode(&mut w),
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a request from a wire frame.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError`] on truncation or unknown tags.
+    pub fn decode(r: &mut Reader) -> Result<CommitRequest, DecodeError> {
+        let origin = r.get_u32()?;
+        let n = r.get_u32()? as usize;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let bean = r.get_str()?;
+            let key = Value::decode(r)?;
+            let kind = match r.get_u8()? {
+                0 => EntryKind::Read {
+                    before: Memento::decode(r)?,
+                },
+                1 => EntryKind::Update {
+                    before: Memento::decode(r)?,
+                    after: Memento::decode(r)?,
+                },
+                2 => EntryKind::Create {
+                    after: Memento::decode(r)?,
+                },
+                3 => EntryKind::Remove {
+                    before: Memento::decode(r)?,
+                },
+                _ => return Err(DecodeError::new("commit entry tag")),
+            };
+            entries.push(CommitEntry { bean, key, kind });
+        }
+        Ok(CommitRequest { origin, entries })
+    }
+}
+
+/// Outcome of optimistic validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// Every before-image matched; after-images were applied atomically.
+    Committed,
+    /// Validation failed: the named bean's persistent state diverged from
+    /// the transaction's before-image (or a created key exists / a removed
+    /// bean vanished).
+    Conflict {
+        /// Conflicting bean type.
+        bean: String,
+        /// Conflicting key, stringified for transport.
+        key: String,
+    },
+}
+
+impl CommitOutcome {
+    /// Encodes the outcome to a wire frame body.
+    pub fn encode(&self, w: &mut Writer) {
+        match self {
+            CommitOutcome::Committed => {
+                w.put_u8(0);
+            }
+            CommitOutcome::Conflict { bean, key } => {
+                w.put_u8(1).put_str(bean).put_str(key);
+            }
+        }
+    }
+
+    /// Decodes an outcome.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError`] on truncation or unknown tags.
+    pub fn decode(r: &mut Reader) -> Result<CommitOutcome, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(CommitOutcome::Committed),
+            1 => Ok(CommitOutcome::Conflict {
+                bean: r.get_str()?,
+                key: r.get_str()?,
+            }),
+            _ => Err(DecodeError::new("commit outcome tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(bean: &str, key: i64, v: f64) -> Memento {
+        Memento::new(bean, Value::from(key)).with_field("balance", v)
+    }
+
+    fn context_with_all_kinds() -> TxContext {
+        let mut ctx = TxContext::new();
+        // read-only bean
+        ctx.enlist("A", &Value::from(1)).load_from(&img("A", 1, 10.0));
+        // updated bean
+        {
+            let st = ctx.enlist("A", &Value::from(2));
+            st.load_from(&img("A", 2, 20.0));
+            st.fields.insert("balance".into(), Value::from(25.0));
+            st.dirty = true;
+        }
+        // created bean
+        {
+            let st = ctx.enlist("A", &Value::from(3));
+            st.created = true;
+            st.loaded = true;
+            st.exists = true;
+            st.fields.insert("balance".into(), Value::from(30.0));
+        }
+        // removed bean
+        {
+            let st = ctx.enlist("A", &Value::from(4));
+            st.load_from(&img("A", 4, 40.0));
+            st.removed = true;
+        }
+        // created-then-removed: must vanish
+        {
+            let st = ctx.enlist("A", &Value::from(5));
+            st.created = true;
+            st.removed = true;
+        }
+        // enlisted but never loaded (finder touch only): dropped
+        ctx.enlist("A", &Value::from(6)).exists = true;
+        ctx
+    }
+
+    #[test]
+    fn classification_covers_lifecycle() {
+        let req = CommitRequest::from_context(7, &context_with_all_kinds());
+        assert_eq!(req.origin, 7);
+        assert_eq!(req.entries.len(), 4);
+        assert!(matches!(req.entries[0].kind, EntryKind::Read { .. }));
+        assert!(matches!(req.entries[1].kind, EntryKind::Update { .. }));
+        assert!(matches!(req.entries[2].kind, EntryKind::Create { .. }));
+        assert!(matches!(req.entries[3].kind, EntryKind::Remove { .. }));
+        assert!(req.has_writes());
+        let written = req.written_keys();
+        assert_eq!(written.len(), 3);
+        assert!(!written.contains(&("A".to_owned(), Value::from(1))));
+    }
+
+    #[test]
+    fn read_only_request_has_no_writes() {
+        let mut ctx = TxContext::new();
+        ctx.enlist("A", &Value::from(1)).load_from(&img("A", 1, 1.0));
+        let req = CommitRequest::from_context(0, &ctx);
+        assert!(!req.has_writes());
+        assert!(req.written_keys().is_empty());
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let req = CommitRequest::from_context(3, &context_with_all_kinds());
+        let frame = req.encode();
+        let back = CommitRequest::decode(&mut Reader::new(frame)).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn outcome_round_trip() {
+        for outcome in [
+            CommitOutcome::Committed,
+            CommitOutcome::Conflict {
+                bean: "A".into(),
+                key: "1".into(),
+            },
+        ] {
+            let mut w = Writer::new();
+            outcome.encode(&mut w);
+            let back = CommitOutcome::decode(&mut Reader::new(w.finish())).unwrap();
+            assert_eq!(back, outcome);
+        }
+    }
+
+    #[test]
+    fn update_after_image_reflects_current_fields() {
+        let req = CommitRequest::from_context(0, &context_with_all_kinds());
+        match &req.entries[1].kind {
+            EntryKind::Update { before, after } => {
+                assert_eq!(before.get("balance"), Some(&Value::from(20.0)));
+                assert_eq!(after.get("balance"), Some(&Value::from(25.0)));
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_decode_is_error() {
+        let frame = CommitRequest::from_context(0, &context_with_all_kinds()).encode();
+        let cut = frame.slice(0..frame.len() / 2);
+        assert!(CommitRequest::decode(&mut Reader::new(cut)).is_err());
+    }
+}

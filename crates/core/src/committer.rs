@@ -1,0 +1,506 @@
+//! Optimistic validation and the combined-servers committer.
+
+use parking_lot::Mutex;
+use sli_component::{EjbError, EjbResult, EntityMeta, Memento};
+use sli_datastore::{SqlConnection, Value};
+
+use crate::commit::{CommitOutcome, CommitRequest, EntryKind};
+use crate::registry::MetaRegistry;
+
+/// Runs the paper's optimistic validation + apply against `conn`, inside a
+/// single datastore transaction:
+///
+/// 1. for every entry, fetch the current persistent image;
+/// 2. `Read`/`Update`/`Remove` entries require it to equal the
+///    transaction's before-image **by value**; `Create` entries require it
+///    to be absent;
+/// 3. on the first mismatch, roll back and report the conflict;
+/// 4. otherwise apply the after-images (UPDATE/INSERT/DELETE) and commit.
+///
+/// The same function backs both deployment flavors: the
+/// [`CombinedCommitter`] runs it over a (remote) JDBC connection so each
+/// fetch/apply is a high-latency round trip, while the
+/// [`BackendServer`](crate::BackendServer) runs it over its co-located
+/// connection so the round trips are cheap — which is precisely the
+/// performance distinction the paper measures between ES/RDB-cached and
+/// ES/RBES.
+///
+/// # Errors
+/// Datastore failures (including deadlocks) surface as `Err`; a validation
+/// failure is *not* an error — it returns `Ok(CommitOutcome::Conflict)`.
+pub fn validate_and_apply(
+    conn: &mut dyn SqlConnection,
+    registry: &MetaRegistry,
+    request: &CommitRequest,
+) -> EjbResult<CommitOutcome> {
+    conn.begin()?;
+    let result = run_validation(conn, registry, request);
+    match result {
+        Ok(CommitOutcome::Committed) => {
+            conn.commit()?;
+            Ok(CommitOutcome::Committed)
+        }
+        Ok(conflict) => {
+            conn.rollback()?;
+            Ok(conflict)
+        }
+        Err(e) => {
+            let _ = conn.rollback();
+            Err(e)
+        }
+    }
+}
+
+fn run_validation(
+    conn: &mut dyn SqlConnection,
+    registry: &MetaRegistry,
+    request: &CommitRequest,
+) -> EjbResult<CommitOutcome> {
+    for entry in &request.entries {
+        let meta = registry.meta(&entry.bean)?;
+        let current = fetch_current(conn, meta, &entry.key)?;
+        let conflict = || CommitOutcome::Conflict {
+            bean: entry.bean.clone(),
+            key: entry.key.to_string(),
+        };
+        match &entry.kind {
+            EntryKind::Read { before } => {
+                if current.as_ref() != Some(before) {
+                    return Ok(conflict());
+                }
+            }
+            EntryKind::Update { before, after } => {
+                if current.as_ref() != Some(before) {
+                    return Ok(conflict());
+                }
+                conn.execute(&meta.update_sql(), &meta.update_params(after))?;
+            }
+            EntryKind::Create { after } => {
+                if current.is_some() {
+                    return Ok(conflict());
+                }
+                conn.execute(&meta.insert_sql(), &meta.insert_params(after))?;
+            }
+            EntryKind::Remove { before } => {
+                if current.as_ref() != Some(before) {
+                    return Ok(conflict());
+                }
+                conn.execute(&meta.delete_sql(), std::slice::from_ref(&entry.key))?;
+            }
+        }
+    }
+    Ok(CommitOutcome::Committed)
+}
+
+/// The paper's *combined-servers* commit: "one [database access] per
+/// memento image". Reads validate with a `SELECT` + compare; writes use
+/// *conditional* statements whose `WHERE` clause encodes the whole
+/// before-image, so validation and apply are a single statement:
+///
+/// * `Update` → `UPDATE … SET after WHERE key AND before-image` (0 rows
+///   affected ⇒ conflict);
+/// * `Create` → plain `INSERT` (duplicate key ⇒ conflict);
+/// * `Remove` → `DELETE … WHERE key AND before-image` (0 rows ⇒ conflict).
+///
+/// A transaction touching a single bean commits in **one** autocommitted
+/// statement; larger footprints pay `BEGIN` + one statement per image +
+/// `COMMIT` — which is exactly why the combined configuration's commit cost
+/// grows with transaction size when the connection crosses the delay proxy.
+///
+/// Semantically equivalent to [`validate_and_apply`]: both compare every
+/// before-image by value (a property-based test in the suite pins this).
+///
+/// # Errors
+/// Datastore failures; validation failure returns `Ok(Conflict)`.
+pub fn validate_and_apply_per_image(
+    conn: &mut dyn SqlConnection,
+    registry: &MetaRegistry,
+    request: &CommitRequest,
+) -> EjbResult<CommitOutcome> {
+    let single = request.entries.len() == 1;
+    if !single {
+        conn.begin()?;
+    }
+    let result = run_per_image(conn, registry, request);
+    if single {
+        return result;
+    }
+    match result {
+        Ok(CommitOutcome::Committed) => {
+            conn.commit()?;
+            Ok(CommitOutcome::Committed)
+        }
+        Ok(conflict) => {
+            conn.rollback()?;
+            Ok(conflict)
+        }
+        Err(e) => {
+            let _ = conn.rollback();
+            Err(e)
+        }
+    }
+}
+
+fn run_per_image(
+    conn: &mut dyn SqlConnection,
+    registry: &MetaRegistry,
+    request: &CommitRequest,
+) -> EjbResult<CommitOutcome> {
+    for entry in &request.entries {
+        let meta = registry.meta(&entry.bean)?;
+        let conflict = || CommitOutcome::Conflict {
+            bean: entry.bean.clone(),
+            key: entry.key.to_string(),
+        };
+        match &entry.kind {
+            EntryKind::Read { before } => {
+                let current = fetch_current(conn, meta, &entry.key)?;
+                if current.as_ref() != Some(before) {
+                    return Ok(conflict());
+                }
+            }
+            EntryKind::Update { before, after } => {
+                let (sql, params) = meta.conditional_update_sql(before, after);
+                if conn.execute(&sql, &params)?.affected_rows() == 0 {
+                    return Ok(conflict());
+                }
+            }
+            EntryKind::Create { after } => {
+                match conn.execute(&meta.insert_sql(), &meta.insert_params(after)) {
+                    Ok(_) => {}
+                    Err(sli_datastore::DbError::DuplicateKey(_)) => return Ok(conflict()),
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            EntryKind::Remove { before } => {
+                let (sql, params) = meta.conditional_delete_sql(before);
+                if conn.execute(&sql, &params)?.affected_rows() == 0 {
+                    return Ok(conflict());
+                }
+            }
+        }
+    }
+    Ok(CommitOutcome::Committed)
+}
+
+/// Fetches the current persistent image of (`meta`, `key`), if any.
+pub(crate) fn fetch_current(
+    conn: &mut dyn SqlConnection,
+    meta: &EntityMeta,
+    key: &Value,
+) -> EjbResult<Option<Memento>> {
+    let rs = conn.execute(&meta.load_sql(), std::slice::from_ref(key))?;
+    Ok(rs.rows().first().map(|row| meta.memento_from_row(row)))
+}
+
+/// Where a cache-enabled application server sends its transaction state at
+/// commit time.
+pub trait Committer: Send + Sync {
+    /// Validates and applies `request`, returning the outcome.
+    ///
+    /// # Errors
+    /// Transport or datastore failures.
+    fn commit(&self, request: &CommitRequest) -> EjbResult<CommitOutcome>;
+}
+
+/// The *combined-servers* committer: validation and apply logic co-located
+/// with the edge server, driving the (remote) database connection directly.
+///
+/// Every validation fetch and every write is its own statement on the
+/// connection — "the combined-servers configuration requires multiple
+/// database server accesses, one per memento image" — so when that
+/// connection crosses the delay proxy, commit cost grows with the
+/// transaction's footprint. This is the ES/RDB-cached data point of
+/// Figures 6/7.
+pub struct CombinedCommitter {
+    conn: Mutex<Box<dyn SqlConnection + Send>>,
+    registry: MetaRegistry,
+}
+
+impl std::fmt::Debug for CombinedCommitter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CombinedCommitter")
+            .field("beans", &self.registry.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CombinedCommitter {
+    /// Creates a committer over `conn` with deployment metadata `registry`.
+    pub fn new(
+        conn: Box<dyn SqlConnection + Send>,
+        registry: MetaRegistry,
+    ) -> CombinedCommitter {
+        CombinedCommitter {
+            conn: Mutex::new(conn),
+            registry,
+        }
+    }
+}
+
+impl Committer for CombinedCommitter {
+    fn commit(&self, request: &CommitRequest) -> EjbResult<CommitOutcome> {
+        let mut conn = self.conn.lock();
+        validate_and_apply_per_image(conn.as_mut(), &self.registry, request)
+    }
+}
+
+/// Maps a conflict outcome to the error the application sees.
+pub(crate) fn conflict_error(outcome: &CommitOutcome) -> Option<EjbError> {
+    match outcome {
+        CommitOutcome::Committed => None,
+        CommitOutcome::Conflict { bean, key } => Some(EjbError::OptimisticConflict {
+            bean: bean.clone(),
+            key: key.clone(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commit::CommitEntry;
+    use sli_component::EntityMeta;
+    use sli_datastore::{ColumnType, Database, SqlConnection};
+    use std::sync::Arc;
+
+    fn registry() -> MetaRegistry {
+        MetaRegistry::new().with(
+            EntityMeta::new("Account", "account", "userid", ColumnType::Varchar)
+                .field("balance", ColumnType::Double),
+        )
+    }
+
+    fn setup() -> (Arc<Database>, MetaRegistry) {
+        let db = Database::new();
+        let reg = registry();
+        reg.create_schema(&db).unwrap();
+        let mut conn = db.connect();
+        conn.execute(
+            "INSERT INTO account (userid, balance) VALUES ('u1', 100.0)",
+            &[],
+        )
+        .unwrap();
+        (db, reg)
+    }
+
+    fn img(key: &str, balance: f64) -> Memento {
+        Memento::new("Account", Value::from(key)).with_field("balance", balance)
+    }
+
+    fn entry(key: &str, kind: EntryKind) -> CommitEntry {
+        CommitEntry {
+            bean: "Account".into(),
+            key: Value::from(key),
+            kind,
+        }
+    }
+
+    fn apply(db: &Arc<Database>, reg: &MetaRegistry, entries: Vec<CommitEntry>) -> CommitOutcome {
+        let mut conn = db.connect();
+        validate_and_apply(&mut conn, reg, &CommitRequest { origin: 0, entries }).unwrap()
+    }
+
+    #[test]
+    fn matching_update_commits() {
+        let (db, reg) = setup();
+        let outcome = apply(
+            &db,
+            &reg,
+            vec![entry(
+                "u1",
+                EntryKind::Update {
+                    before: img("u1", 100.0),
+                    after: img("u1", 150.0),
+                },
+            )],
+        );
+        assert_eq!(outcome, CommitOutcome::Committed);
+        let mut conn = db.connect();
+        let rs = conn
+            .execute("SELECT balance FROM account WHERE userid = 'u1'", &[])
+            .unwrap();
+        assert_eq!(rs.rows()[0][0], Value::from(150.0));
+    }
+
+    #[test]
+    fn stale_before_image_conflicts_and_applies_nothing() {
+        let (db, reg) = setup();
+        let outcome = apply(
+            &db,
+            &reg,
+            vec![
+                entry(
+                    "u1",
+                    EntryKind::Update {
+                        before: img("u1", 100.0),
+                        after: img("u1", 150.0),
+                    },
+                ),
+                // second entry is stale → whole txn must roll back
+                entry(
+                    "u2",
+                    EntryKind::Read {
+                        before: img("u2", 1.0),
+                    },
+                ),
+            ],
+        );
+        assert!(matches!(outcome, CommitOutcome::Conflict { .. }));
+        let mut conn = db.connect();
+        let rs = conn
+            .execute("SELECT balance FROM account WHERE userid = 'u1'", &[])
+            .unwrap();
+        assert_eq!(rs.rows()[0][0], Value::from(100.0), "partial apply leaked");
+    }
+
+    #[test]
+    fn read_validation_detects_change() {
+        let (db, reg) = setup();
+        // someone else changes the row
+        let mut conn = db.connect();
+        conn.execute("UPDATE account SET balance = 1.0 WHERE userid = 'u1'", &[])
+            .unwrap();
+        let outcome = apply(
+            &db,
+            &reg,
+            vec![entry(
+                "u1",
+                EntryKind::Read {
+                    before: img("u1", 100.0),
+                },
+            )],
+        );
+        assert_eq!(
+            outcome,
+            CommitOutcome::Conflict {
+                bean: "Account".into(),
+                key: "'u1'".into()
+            }
+        );
+    }
+
+    #[test]
+    fn create_requires_absence() {
+        let (db, reg) = setup();
+        let outcome = apply(
+            &db,
+            &reg,
+            vec![entry(
+                "u2",
+                EntryKind::Create {
+                    after: img("u2", 5.0),
+                },
+            )],
+        );
+        assert_eq!(outcome, CommitOutcome::Committed);
+        assert_eq!(db.row_count("account").unwrap(), 2);
+        // creating the same key again conflicts
+        let outcome = apply(
+            &db,
+            &reg,
+            vec![entry(
+                "u2",
+                EntryKind::Create {
+                    after: img("u2", 5.0),
+                },
+            )],
+        );
+        assert!(matches!(outcome, CommitOutcome::Conflict { .. }));
+    }
+
+    #[test]
+    fn remove_requires_unchanged_existence() {
+        let (db, reg) = setup();
+        // removing with a stale before-image conflicts
+        let outcome = apply(
+            &db,
+            &reg,
+            vec![entry(
+                "u1",
+                EntryKind::Remove {
+                    before: img("u1", 99.0),
+                },
+            )],
+        );
+        assert!(matches!(outcome, CommitOutcome::Conflict { .. }));
+        // correct before-image removes
+        let outcome = apply(
+            &db,
+            &reg,
+            vec![entry(
+                "u1",
+                EntryKind::Remove {
+                    before: img("u1", 100.0),
+                },
+            )],
+        );
+        assert_eq!(outcome, CommitOutcome::Committed);
+        assert_eq!(db.row_count("account").unwrap(), 0);
+        // removing a vanished bean conflicts
+        let outcome = apply(
+            &db,
+            &reg,
+            vec![entry(
+                "u1",
+                EntryKind::Remove {
+                    before: img("u1", 100.0),
+                },
+            )],
+        );
+        assert!(matches!(outcome, CommitOutcome::Conflict { .. }));
+    }
+
+    #[test]
+    fn combined_committer_drives_connection() {
+        let (db, reg) = setup();
+        let committer = CombinedCommitter::new(Box::new(db.connect()), reg);
+        let outcome = committer
+            .commit(&CommitRequest {
+                origin: 0,
+                entries: vec![entry(
+                    "u1",
+                    EntryKind::Update {
+                        before: img("u1", 100.0),
+                        after: img("u1", 200.0),
+                    },
+                )],
+            })
+            .unwrap();
+        assert_eq!(outcome, CommitOutcome::Committed);
+    }
+
+    #[test]
+    fn unknown_bean_is_error_not_conflict() {
+        let (db, reg) = setup();
+        let mut conn = db.connect();
+        let err = validate_and_apply(
+            &mut conn,
+            &reg,
+            &CommitRequest {
+                origin: 0,
+                entries: vec![CommitEntry {
+                    bean: "Ghost".into(),
+                    key: Value::from(1),
+                    kind: EntryKind::Read {
+                        before: Memento::new("Ghost", Value::from(1)),
+                    },
+                }],
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, EjbError::NotFound { .. }));
+        assert!(!conn.in_transaction(), "failed validation left txn open");
+    }
+
+    #[test]
+    fn conflict_error_mapping() {
+        assert!(conflict_error(&CommitOutcome::Committed).is_none());
+        let e = conflict_error(&CommitOutcome::Conflict {
+            bean: "A".into(),
+            key: "1".into(),
+        })
+        .unwrap();
+        assert!(matches!(e, EjbError::OptimisticConflict { .. }));
+    }
+}

@@ -1,0 +1,547 @@
+//! The common transient store: inter-transaction bean-image cache.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use sli_component::Memento;
+use sli_datastore::Value;
+use sli_simnet::wire::{Reader, Writer};
+use sli_simnet::Service;
+
+/// Hit/miss counters for a [`CommonStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that fell through to the persistent tier.
+    pub misses: u64,
+    /// Entries invalidated by peer-commit notifications.
+    pub invalidations: u64,
+    /// Entries evicted by the LRU policy (capacity-bounded stores only).
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; zero when no lookups happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The shared ("common") transient store of committed bean images.
+///
+/// One per cache-enhanced application server. Per §2.3 of the paper it is
+/// maintained *alongside* the per-transaction store: "when a direct-access
+/// operation results in a cache miss on the per-transaction store, the
+/// common store is checked for a copy of the EJB data before an attempt is
+/// made to access the persistent EJB". Because each edge keeps its own
+/// common store, the conflict window widens — which is exactly what the
+/// optimistic validator exists to catch.
+///
+/// ```
+/// use sli_core::CommonStore;
+/// use sli_component::Memento;
+/// use sli_datastore::Value;
+///
+/// let store = CommonStore::new();
+/// store.put(Memento::new("Quote", Value::from("s:1")).with_field("price", 11.0));
+/// assert!(store.get("Quote", &Value::from("s:1")).is_some()); // hit
+/// assert!(store.get("Quote", &Value::from("s:2")).is_none()); // miss
+/// assert_eq!(store.stats().hits, 1);
+/// assert_eq!(store.stats().misses, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct CommonStore {
+    inner: RwLock<StoreInner>,
+    capacity: Option<usize>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Image map plus LRU bookkeeping: every entry carries the tick of its last
+/// use, and `recency` orders entries by that tick for O(log n) eviction.
+#[derive(Debug, Default)]
+struct StoreInner {
+    images: HashMap<(String, Value), (Memento, u64)>,
+    recency: std::collections::BTreeMap<u64, (String, Value)>,
+    tick: u64,
+}
+
+impl StoreInner {
+    fn touch(&mut self, key: &(String, Value)) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((_, old_tick)) = self.images.get_mut(key) {
+            self.recency.remove(old_tick);
+            *old_tick = tick;
+            self.recency.insert(tick, key.clone());
+        }
+    }
+
+    fn remove(&mut self, key: &(String, Value)) -> Option<Memento> {
+        let (image, tick) = self.images.remove(key)?;
+        self.recency.remove(&tick);
+        Some(image)
+    }
+}
+
+impl CommonStore {
+    /// Creates an unbounded store (the paper's configuration).
+    pub fn new() -> Arc<CommonStore> {
+        Arc::new(CommonStore::default())
+    }
+
+    /// Creates a store that holds at most `capacity` images, evicting the
+    /// least-recently-used on overflow. The paper's prototype keeps the
+    /// common store unbounded; this bound is an ablation knob for studying
+    /// constrained edge servers (see the `ablation_cache` bench binary).
+    pub fn with_capacity(capacity: usize) -> Arc<CommonStore> {
+        Arc::new(CommonStore {
+            capacity: Some(capacity.max(1)),
+            ..CommonStore::default()
+        })
+    }
+
+    /// The configured capacity, if bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Looks up the cached image for (`bean`, `key`), counting hit or miss
+    /// and refreshing the entry's recency.
+    pub fn get(&self, bean: &str, key: &Value) -> Option<Memento> {
+        let entry_key = (bean.to_owned(), key.clone());
+        let mut inner = self.inner.write();
+        let found = inner.images.get(&entry_key).map(|(m, _)| m.clone());
+        if found.is_some() {
+            inner.touch(&entry_key);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Installs or refreshes a committed image, evicting the LRU entry if
+    /// the store is over capacity.
+    pub fn put(&self, image: Memento) {
+        let entry_key = (image.bean().to_owned(), image.primary_key().clone());
+        let mut inner = self.inner.write();
+        inner.remove(&entry_key);
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.images.insert(entry_key.clone(), (image, tick));
+        inner.recency.insert(tick, entry_key);
+        if let Some(capacity) = self.capacity {
+            while inner.images.len() > capacity {
+                let victim = inner
+                    .recency
+                    .iter()
+                    .next()
+                    .map(|(_, k)| k.clone())
+                    .expect("recency tracks every image");
+                inner.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drops the image for (`bean`, `key`), if present.
+    pub fn invalidate(&self, bean: &str, key: &Value) {
+        let entry_key = (bean.to_owned(), key.clone());
+        if self.inner.write().remove(&entry_key).is_some() {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops every cached image (e.g. between benchmark runs).
+    pub fn clear(&self) {
+        let mut inner = self.inner.write();
+        inner.images.clear();
+        inner.recency.clear();
+    }
+
+    /// Number of cached images.
+    pub fn len(&self) -> usize {
+        self.inner.read().images.len()
+    }
+
+    /// Whether the store holds no images.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().images.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the counters (the images stay).
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.invalidations.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Encodes an invalidation notification: the set of (bean, key) pairs a
+/// peer's commit made stale.
+pub(crate) fn encode_invalidations(entries: &[(String, Value)]) -> Bytes {
+    let mut w = Writer::new();
+    w.put_u32(entries.len() as u32);
+    for (bean, key) in entries {
+        w.put_str(bean);
+        key.encode(&mut w);
+    }
+    w.finish()
+}
+
+/// The edge-side endpoint for invalidation notifications.
+///
+/// The back-end sends one message per peer commit listing the updated
+/// beans; the sink drops them from the local common store so the next
+/// access re-faults fresh state.
+#[derive(Debug)]
+pub struct InvalidationSink {
+    store: Arc<CommonStore>,
+}
+
+impl InvalidationSink {
+    /// Creates a sink that invalidates `store`.
+    pub fn new(store: Arc<CommonStore>) -> InvalidationSink {
+        InvalidationSink { store }
+    }
+}
+
+impl Service for InvalidationSink {
+    fn handle(&self, request: Bytes) -> Bytes {
+        apply_invalidation_frame(&self.store, request);
+        Bytes::new()
+    }
+}
+
+/// An invalidation endpoint that models **propagation delay**: messages are
+/// queued with a delivery deadline (now + the channel's one-way latency)
+/// and only applied once simulated time passes it.
+///
+/// [`InvalidationSink`] applies notifications the instant the back-end
+/// sends them — an idealization under which an edge cache can never be
+/// observed stale. With this sink, a peer's commit leaves a real staleness
+/// window of one network crossing, during which transactions can read
+/// soon-to-be-invalid images and must be caught by commit-time validation.
+/// The `contention` bench binary measures exactly that window.
+pub struct DeferredInvalidationSink {
+    store: Arc<CommonStore>,
+    delay: DelaySource,
+    pending: parking_lot::Mutex<Vec<(sli_simnet::SimTime, Bytes)>>,
+}
+
+/// How the sink computes a message's delivery deadline.
+enum DelaySource {
+    /// Fixed latency over an explicit clock.
+    Fixed(Arc<sli_simnet::Clock>, sli_simnet::SimDuration),
+    /// The one-way cost of a real path (tracks its proxy-delay setting).
+    OverPath(Arc<sli_simnet::Path>),
+}
+
+impl DelaySource {
+    fn deadline(&self, message_len: usize) -> sli_simnet::SimTime {
+        match self {
+            DelaySource::Fixed(clock, latency) => clock.now() + *latency,
+            DelaySource::OverPath(path) => path.clock().now() + path.one_way_cost(message_len),
+        }
+    }
+
+    fn now(&self) -> sli_simnet::SimTime {
+        match self {
+            DelaySource::Fixed(clock, _) => clock.now(),
+            DelaySource::OverPath(path) => path.clock().now(),
+        }
+    }
+}
+
+impl std::fmt::Debug for DeferredInvalidationSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeferredInvalidationSink")
+            .field("pending", &self.pending.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DeferredInvalidationSink {
+    /// Creates a sink whose notifications arrive `latency` after being
+    /// sent (one-way crossing of the invalidation channel).
+    pub fn new(
+        store: Arc<CommonStore>,
+        clock: Arc<sli_simnet::Clock>,
+        latency: sli_simnet::SimDuration,
+    ) -> Arc<DeferredInvalidationSink> {
+        Arc::new(DeferredInvalidationSink {
+            store,
+            delay: DelaySource::Fixed(clock, latency),
+            pending: parking_lot::Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Creates a sink whose notifications take one crossing of `path` to
+    /// arrive — including whatever proxy delay the path currently injects,
+    /// so a delay sweep automatically stretches the staleness window too.
+    pub fn over_path(
+        store: Arc<CommonStore>,
+        path: Arc<sli_simnet::Path>,
+    ) -> Arc<DeferredInvalidationSink> {
+        Arc::new(DeferredInvalidationSink {
+            store,
+            delay: DelaySource::OverPath(path),
+            pending: parking_lot::Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Applies every queued notification whose delivery deadline has
+    /// passed. The edge server calls this when it starts processing a
+    /// request — the point at which an in-flight message would have been
+    /// picked off the wire.
+    pub fn deliver_due(&self) {
+        let now = self.delay.now();
+        let due: Vec<Bytes> = {
+            let mut pending = self.pending.lock();
+            let mut due = Vec::new();
+            pending.retain(|(deadline, frame)| {
+                if *deadline <= now {
+                    due.push(frame.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            due
+        };
+        for frame in due {
+            apply_invalidation_frame(&self.store, frame);
+        }
+    }
+
+    /// Notifications queued but not yet delivered.
+    pub fn in_flight(&self) -> usize {
+        self.pending.lock().len()
+    }
+}
+
+impl Service for DeferredInvalidationSink {
+    fn handle(&self, request: Bytes) -> Bytes {
+        let deadline = self.delay.deadline(request.len());
+        self.pending.lock().push((deadline, request));
+        Bytes::new()
+    }
+}
+
+fn apply_invalidation_frame(store: &CommonStore, request: Bytes) {
+    let Ok((_, payload)) = sli_simnet::wire::unframe(request) else {
+        return;
+    };
+    let mut r = Reader::new(payload);
+    if let Ok(n) = r.get_u32() {
+        for _ in 0..n {
+            match (r.get_str(), Value::decode(&mut r)) {
+                (Ok(bean), Ok(key)) => store.invalidate(&bean, &key),
+                _ => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(key: &str, balance: f64) -> Memento {
+        Memento::new("Account", Value::from(key)).with_field("balance", balance)
+    }
+
+    #[test]
+    fn put_get_invalidate() {
+        let store = CommonStore::new();
+        assert!(store.get("Account", &Value::from("a")).is_none());
+        store.put(image("a", 10.0));
+        assert_eq!(store.len(), 1);
+        assert_eq!(
+            store.get("Account", &Value::from("a")).unwrap(),
+            image("a", 10.0)
+        );
+        store.invalidate("Account", &Value::from("a"));
+        assert!(store.get("Account", &Value::from("a")).is_none());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn stats_count_hits_misses_invalidations() {
+        let store = CommonStore::new();
+        store.put(image("a", 1.0));
+        store.get("Account", &Value::from("a"));
+        store.get("Account", &Value::from("b"));
+        store.invalidate("Account", &Value::from("a"));
+        store.invalidate("Account", &Value::from("a")); // absent → not counted
+        let s = store.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.invalidations, 1);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-9);
+        store.reset_stats();
+        assert_eq!(store.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn hit_ratio_empty_is_zero() {
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn put_overwrites() {
+        let store = CommonStore::new();
+        store.put(image("a", 1.0));
+        store.put(image("a", 2.0));
+        assert_eq!(store.len(), 1);
+        assert_eq!(
+            store.get("Account", &Value::from("a")).unwrap(),
+            image("a", 2.0)
+        );
+    }
+
+    #[test]
+    fn invalidation_sink_applies_notifications() {
+        let store = CommonStore::new();
+        store.put(image("a", 1.0));
+        store.put(image("b", 2.0));
+        let sink = InvalidationSink::new(Arc::clone(&store));
+        let frame = sli_simnet::wire::frame(
+            sli_simnet::wire::protocol::BACKEND,
+            0,
+            &encode_invalidations(&[
+                ("Account".to_owned(), Value::from("a")),
+                ("Account".to_owned(), Value::from("missing")),
+            ]),
+        );
+        sink.handle(frame);
+        assert!(store.get("Account", &Value::from("a")).is_none());
+        assert!(store.get("Account", &Value::from("b")).is_some());
+    }
+
+    #[test]
+    fn clear_drops_images_but_not_counters() {
+        let store = CommonStore::new();
+        store.put(image("a", 1.0));
+        store.get("Account", &Value::from("a"));
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.stats().hits, 1);
+    }
+
+    #[test]
+    fn bounded_store_evicts_least_recently_used() {
+        let store = CommonStore::with_capacity(3);
+        assert_eq!(store.capacity(), Some(3));
+        store.put(image("a", 1.0));
+        store.put(image("b", 2.0));
+        store.put(image("c", 3.0));
+        // touch "a" so "b" becomes the LRU victim
+        store.get("Account", &Value::from("a"));
+        store.put(image("d", 4.0));
+        assert_eq!(store.len(), 3);
+        assert!(store.get("Account", &Value::from("b")).is_none(), "b evicted");
+        assert!(store.get("Account", &Value::from("a")).is_some());
+        assert!(store.get("Account", &Value::from("d")).is_some());
+        assert_eq!(store.stats().evictions, 1);
+    }
+
+    #[test]
+    fn refreshing_an_entry_does_not_evict() {
+        let store = CommonStore::with_capacity(2);
+        store.put(image("a", 1.0));
+        store.put(image("b", 2.0));
+        store.put(image("a", 3.0)); // refresh, not growth
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stats().evictions, 0);
+        assert_eq!(
+            store.get("Account", &Value::from("a")).unwrap(),
+            image("a", 3.0)
+        );
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_newest() {
+        let store = CommonStore::with_capacity(1);
+        for i in 0..5 {
+            store.put(image(&format!("k{i}"), i as f64));
+        }
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stats().evictions, 4);
+        assert!(store.get("Account", &Value::from("k4")).is_some());
+    }
+
+    #[test]
+    fn unbounded_store_never_evicts() {
+        let store = CommonStore::new();
+        assert_eq!(store.capacity(), None);
+        for i in 0..1_000 {
+            store.put(image(&format!("k{i}"), i as f64));
+        }
+        assert_eq!(store.len(), 1_000);
+        assert_eq!(store.stats().evictions, 0);
+    }
+
+    #[test]
+    fn deferred_sink_applies_only_after_latency() {
+        use sli_simnet::{Clock, SimDuration};
+        let store = CommonStore::new();
+        store.put(image("a", 1.0));
+        let clock = Arc::new(Clock::new());
+        let sink = DeferredInvalidationSink::new(
+            Arc::clone(&store),
+            Arc::clone(&clock),
+            SimDuration::from_millis(40),
+        );
+        let frame = sli_simnet::wire::frame(
+            sli_simnet::wire::protocol::BACKEND,
+            0,
+            &encode_invalidations(&[("Account".to_owned(), Value::from("a"))]),
+        );
+        sink.handle(frame);
+        assert_eq!(sink.in_flight(), 1);
+        // before the crossing completes, the stale image is still served
+        sink.deliver_due();
+        assert!(store.get("Account", &Value::from("a")).is_some());
+        // after 40 ms of simulated time, delivery happens
+        clock.advance(SimDuration::from_millis(40));
+        sink.deliver_due();
+        assert_eq!(sink.in_flight(), 0);
+        assert!(store.get("Account", &Value::from("a")).is_none());
+    }
+
+    #[test]
+    fn invalidation_keeps_lru_bookkeeping_consistent() {
+        let store = CommonStore::with_capacity(2);
+        store.put(image("a", 1.0));
+        store.put(image("b", 2.0));
+        store.invalidate("Account", &Value::from("a"));
+        store.put(image("c", 3.0));
+        // a was invalidated, so b and c fit without eviction
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stats().evictions, 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! In-process JDBC-style connection.
+
+use std::sync::Arc;
+
+use crate::engine::{Database, TxnState};
+use crate::error::DbError;
+use crate::result::ResultSet;
+use crate::value::Value;
+use crate::{DbResult, SqlConnection};
+
+/// A connection to an in-process [`Database`].
+///
+/// Statements executed outside an explicit transaction run in autocommit
+/// mode: each is wrapped in its own transaction that commits on success and
+/// rolls back on failure, so locks never leak.
+#[derive(Debug)]
+pub struct Connection {
+    db: Arc<Database>,
+    txn: Option<TxnState>,
+}
+
+impl Connection {
+    pub(crate) fn new(db: Arc<Database>) -> Connection {
+        Connection { db, txn: None }
+    }
+
+    /// The database this connection is attached to.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+}
+
+impl SqlConnection for Connection {
+    fn begin(&mut self) -> DbResult<()> {
+        if self.txn.is_some() {
+            return Err(DbError::AlreadyInTransaction);
+        }
+        self.txn = Some(self.db.begin_txn());
+        Ok(())
+    }
+
+    fn execute(&mut self, sql: &str, params: &[Value]) -> DbResult<ResultSet> {
+        match &mut self.txn {
+            Some(txn) => self.db.execute_in(txn, sql, params),
+            None => {
+                // Autocommit: private transaction per statement.
+                let mut txn = self.db.begin_txn();
+                match self.db.execute_in(&mut txn, sql, params) {
+                    Ok(rs) => {
+                        self.db.commit_txn(txn);
+                        Ok(rs)
+                    }
+                    Err(e) => {
+                        self.db.rollback_txn(txn);
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    fn commit(&mut self) -> DbResult<()> {
+        match self.txn.take() {
+            Some(txn) => {
+                self.db.commit_txn(txn);
+                Ok(())
+            }
+            None => Err(DbError::NoTransaction),
+        }
+    }
+
+    fn rollback(&mut self) -> DbResult<()> {
+        match self.txn.take() {
+            Some(txn) => {
+                self.db.rollback_txn(txn);
+                Ok(())
+            }
+            None => Err(DbError::NoTransaction),
+        }
+    }
+
+    fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+}
+
+impl Drop for Connection {
+    /// A dropped connection with an open transaction rolls it back, so a
+    /// crashed edge server cannot leave locks or partial state behind.
+    fn drop(&mut self) {
+        if let Some(txn) = self.txn.take() {
+            self.db.rollback_txn(txn);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> Arc<Database> {
+        let db = Database::new();
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY, b INT)")
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn begin_twice_fails() {
+        let db = setup();
+        let mut c = db.connect();
+        c.begin().unwrap();
+        assert_eq!(c.begin().unwrap_err(), DbError::AlreadyInTransaction);
+        c.rollback().unwrap();
+    }
+
+    #[test]
+    fn commit_without_begin_fails() {
+        let db = setup();
+        let mut c = db.connect();
+        assert_eq!(c.commit().unwrap_err(), DbError::NoTransaction);
+        assert_eq!(c.rollback().unwrap_err(), DbError::NoTransaction);
+    }
+
+    #[test]
+    fn explicit_transaction_commits_atomically() {
+        let db = setup();
+        let mut c = db.connect();
+        c.begin().unwrap();
+        assert!(c.in_transaction());
+        c.execute("INSERT INTO t (a, b) VALUES (1, 10)", &[]).unwrap();
+        c.execute("INSERT INTO t (a, b) VALUES (2, 20)", &[]).unwrap();
+        c.commit().unwrap();
+        assert!(!c.in_transaction());
+        assert_eq!(db.row_count("t").unwrap(), 2);
+    }
+
+    #[test]
+    fn dropping_open_transaction_rolls_back() {
+        let db = setup();
+        {
+            let mut c = db.connect();
+            c.begin().unwrap();
+            c.execute("INSERT INTO t (a, b) VALUES (1, 10)", &[]).unwrap();
+            // dropped without commit
+        }
+        assert_eq!(db.row_count("t").unwrap(), 0);
+        assert_eq!(db.lock_manager().lock_count(), 0);
+    }
+
+    #[test]
+    fn two_connections_isolated_by_locks() {
+        let db = setup();
+        let mut c1 = db.connect();
+        c1.execute("INSERT INTO t (a, b) VALUES (1, 10)", &[]).unwrap();
+        c1.begin().unwrap();
+        c1.execute("UPDATE t SET b = 11 WHERE a = 1", &[]).unwrap();
+        // c2 (on another thread) blocks until c1 commits.
+        let db2 = Arc::clone(&db);
+        let reader = std::thread::spawn(move || {
+            let mut c2 = db2.connect();
+            c2.execute("SELECT b FROM t WHERE a = 1", &[]).unwrap()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!reader.is_finished(), "reader should block on the X lock");
+        c1.commit().unwrap();
+        let rs = reader.join().unwrap();
+        assert_eq!(rs.rows()[0][0], Value::from(11));
+    }
+}

@@ -1,0 +1,1038 @@
+//! The storage engine: tables, indexes, statement execution, undo-log
+//! rollback.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::connection::Connection;
+use crate::error::DbError;
+use crate::lock::{LockManager, LockMode, Resource, TxnId};
+use crate::predicate::Predicate;
+use crate::result::ResultSet;
+use crate::schema::Schema;
+use crate::sql::{parse, Scalar, SelectList, Statement};
+use crate::trace::{OpKind, Trace, TraceSnapshot};
+use crate::value::Value;
+use crate::DbResult;
+
+/// One table: schema, primary-key-ordered rows, secondary indexes.
+#[derive(Debug)]
+struct Table {
+    schema: Schema,
+    rows: BTreeMap<Value, Vec<Value>>,
+    /// column name → value → set of primary keys.
+    indexes: HashMap<String, BTreeMap<Value, BTreeSet<Value>>>,
+}
+
+impl Table {
+    fn new(schema: Schema) -> Table {
+        Table {
+            schema,
+            rows: BTreeMap::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    fn pk_of(&self, row: &[Value]) -> Value {
+        row[self.schema.pk_index()].clone()
+    }
+
+    fn index_insert(&mut self, row: &[Value]) {
+        let pk = self.pk_of(row);
+        for (col, index) in &mut self.indexes {
+            let ci = self
+                .schema
+                .column_index(col)
+                .expect("index column exists by construction");
+            index
+                .entry(row[ci].clone())
+                .or_default()
+                .insert(pk.clone());
+        }
+    }
+
+    fn index_remove(&mut self, row: &[Value]) {
+        let pk = self.pk_of(row);
+        for (col, index) in &mut self.indexes {
+            let ci = self
+                .schema
+                .column_index(col)
+                .expect("index column exists by construction");
+            if let Some(pks) = index.get_mut(&row[ci]) {
+                pks.remove(&pk);
+                if pks.is_empty() {
+                    index.remove(&row[ci]);
+                }
+            }
+        }
+    }
+
+    fn insert_row(&mut self, row: Vec<Value>) {
+        self.index_insert(&row);
+        self.rows.insert(self.pk_of(&row), row);
+    }
+
+    fn remove_row(&mut self, pk: &Value) -> Option<Vec<Value>> {
+        let row = self.rows.remove(pk)?;
+        self.index_remove(&row);
+        Some(row)
+    }
+}
+
+/// Undo-log entry for rollback.
+#[derive(Debug)]
+enum UndoRecord {
+    RemoveInserted { table: String, pk: Value },
+    RestoreUpdated { table: String, pk: Value, old: Vec<Value> },
+    RestoreDeleted { table: String, old: Vec<Value> },
+}
+
+/// Server-side transaction state: id plus undo log. Owned by a
+/// [`Connection`] or by a remote session.
+#[derive(Debug)]
+pub(crate) struct TxnState {
+    pub(crate) id: TxnId,
+    undo: Vec<UndoRecord>,
+}
+
+/// The embedded relational database.
+///
+/// All methods take `&self`; interior locking makes the engine safe to
+/// share between threads (`Arc<Database>`), and the [`LockManager`]
+/// provides transaction-level isolation on top.
+#[derive(Debug)]
+pub struct Database {
+    tables: RwLock<HashMap<String, Arc<RwLock<Table>>>>,
+    locks: LockManager,
+    next_txn: AtomicU64,
+    stmt_cache: Mutex<HashMap<String, Arc<Statement>>>,
+    trace: Trace,
+}
+
+impl Default for Database {
+    fn default() -> Database {
+        Database {
+            tables: RwLock::new(HashMap::new()),
+            locks: LockManager::default(),
+            next_txn: AtomicU64::new(1),
+            stmt_cache: Mutex::new(HashMap::new()),
+            trace: Trace::default(),
+        }
+    }
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Arc<Database> {
+        Arc::new(Database::default())
+    }
+
+    /// Opens an in-process JDBC-style connection.
+    pub fn connect(self: &Arc<Self>) -> Connection {
+        Connection::new(Arc::clone(self))
+    }
+
+    /// Executes a DDL statement (`CREATE TABLE` / `CREATE INDEX`) outside
+    /// any transaction.
+    ///
+    /// # Errors
+    /// Fails on parse errors or if the object already exists.
+    pub fn execute_ddl(&self, sql: &str) -> DbResult<()> {
+        let stmt = parse(sql)?;
+        self.trace.record_statement();
+        match stmt {
+            Statement::CreateTable { name, columns, pk } => {
+                let schema = Schema::new(name.clone(), columns, &pk)?;
+                let mut tables = self.tables.write();
+                if tables.contains_key(&name) {
+                    return Err(DbError::AlreadyExists(format!("table {name}")));
+                }
+                tables.insert(name, Arc::new(RwLock::new(Table::new(schema))));
+                Ok(())
+            }
+            Statement::CreateIndex { table, column, .. } => {
+                let t = self.table(&table)?;
+                let mut t = t.write();
+                let ci = t.schema.column_index(&column)?;
+                if t.indexes.contains_key(&column) {
+                    return Err(DbError::AlreadyExists(format!("index on {table}.{column}")));
+                }
+                let mut index: BTreeMap<Value, BTreeSet<Value>> = BTreeMap::new();
+                for (pk, row) in &t.rows {
+                    index.entry(row[ci].clone()).or_default().insert(pk.clone());
+                }
+                t.indexes.insert(column, index);
+                Ok(())
+            }
+            _ => Err(DbError::Parse("execute_ddl expects DDL".to_owned())),
+        }
+    }
+
+    /// The schema of `table`, if it exists. The SLI cache layer uses this
+    /// to evaluate finder predicates against cached bean state.
+    pub fn schema_of(&self, table: &str) -> Option<Schema> {
+        self.tables
+            .read()
+            .get(table)
+            .map(|t| t.read().schema.clone())
+    }
+
+    /// Names of all tables (sorted), for diagnostics.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of rows currently in `table`.
+    ///
+    /// # Errors
+    /// Fails if the table does not exist.
+    pub fn row_count(&self, table: &str) -> DbResult<usize> {
+        Ok(self.table(table)?.read().rows.len())
+    }
+
+    /// Per-table statement counters since the last reset.
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.trace.snapshot()
+    }
+
+    /// Zeroes the statement counters.
+    pub fn reset_trace(&self) {
+        self.trace.reset();
+    }
+
+    /// The engine's lock manager (exposed for tests and diagnostics).
+    pub fn lock_manager(&self) -> &LockManager {
+        &self.locks
+    }
+
+    /// Columns with secondary indexes on `table` (sorted; empty for
+    /// unknown tables). Used by the checkpointer.
+    pub fn index_columns(&self, table: &str) -> Vec<String> {
+        match self.table(table) {
+            Ok(t) => {
+                let mut cols: Vec<String> = t.read().indexes.keys().cloned().collect();
+                cols.sort();
+                cols
+            }
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// All rows of `table` in primary-key order (empty for unknown
+    /// tables). A physical dump for the checkpointer — no locks are taken,
+    /// so call it between transactions.
+    pub fn dump_rows(&self, table: &str) -> Vec<Vec<Value>> {
+        match self.table(table) {
+            Ok(t) => t.read().rows.values().cloned().collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    fn table(&self, name: &str) -> DbResult<Arc<RwLock<Table>>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::NoSuchTable(name.to_owned()))
+    }
+
+    fn cached_stmt(&self, sql: &str) -> DbResult<Arc<Statement>> {
+        if let Some(stmt) = self.stmt_cache.lock().get(sql) {
+            return Ok(Arc::clone(stmt));
+        }
+        let stmt = Arc::new(parse(sql)?);
+        self.stmt_cache
+            .lock()
+            .insert(sql.to_owned(), Arc::clone(&stmt));
+        Ok(stmt)
+    }
+
+    pub(crate) fn begin_txn(&self) -> TxnState {
+        TxnState {
+            id: self.next_txn.fetch_add(1, Ordering::Relaxed),
+            undo: Vec::new(),
+        }
+    }
+
+    pub(crate) fn commit_txn(&self, txn: TxnState) {
+        self.locks.release_all(txn.id);
+    }
+
+    pub(crate) fn rollback_txn(&self, mut txn: TxnState) {
+        while let Some(rec) = txn.undo.pop() {
+            match rec {
+                UndoRecord::RemoveInserted { table, pk } => {
+                    if let Ok(t) = self.table(&table) {
+                        t.write().remove_row(&pk);
+                    }
+                }
+                UndoRecord::RestoreUpdated { table, pk, old } => {
+                    if let Ok(t) = self.table(&table) {
+                        let mut t = t.write();
+                        t.remove_row(&pk);
+                        t.insert_row(old);
+                    }
+                }
+                UndoRecord::RestoreDeleted { table, old } => {
+                    if let Ok(t) = self.table(&table) {
+                        t.write().insert_row(old);
+                    }
+                }
+            }
+        }
+        self.locks.release_all(txn.id);
+    }
+
+    /// Executes one (possibly parameterized) statement inside `txn`.
+    pub(crate) fn execute_in(
+        &self,
+        txn: &mut TxnState,
+        sql: &str,
+        params: &[Value],
+    ) -> DbResult<ResultSet> {
+        let stmt = self.cached_stmt(sql)?;
+        let expected = stmt.param_count();
+        if params.len() != expected {
+            return Err(DbError::ParamCount {
+                expected,
+                actual: params.len(),
+            });
+        }
+        match &*stmt {
+            Statement::CreateTable { .. } | Statement::CreateIndex { .. } => {
+                Err(DbError::Parse("DDL must go through execute_ddl".to_owned()))
+            }
+            Statement::Insert {
+                table,
+                columns,
+                values,
+            } => self.exec_insert(txn, table, columns, values, params),
+            Statement::Select {
+                list,
+                table,
+                predicate,
+                order_by,
+                limit,
+            } => self.exec_select(txn, list, table, predicate, order_by.as_ref(), *limit, params),
+            Statement::Update {
+                table,
+                sets,
+                predicate,
+            } => self.exec_update(txn, table, sets, predicate, params),
+            Statement::Delete { table, predicate } => {
+                self.exec_delete(txn, table, predicate, params)
+            }
+        }
+    }
+
+    fn exec_insert(
+        &self,
+        txn: &mut TxnState,
+        table: &str,
+        columns: &[String],
+        values: &[Scalar],
+        params: &[Value],
+    ) -> DbResult<ResultSet> {
+        let t = self.table(table)?;
+        let schema = t.read().schema.clone();
+        // Build the full row in schema order; unnamed columns become NULL.
+        let mut row = vec![Value::Null; schema.columns().len()];
+        for (col, scalar) in columns.iter().zip(values) {
+            let ci = schema.column_index(col)?;
+            row[ci] = schema.columns()[ci].ty.coerce(scalar.resolve(params)?);
+        }
+        schema.check_row(&row)?;
+        let pk = row[schema.pk_index()].clone();
+
+        self.locks.acquire(
+            txn.id,
+            Resource::Table(table.to_owned()),
+            LockMode::IntentExclusive,
+        )?;
+        self.locks.acquire(
+            txn.id,
+            Resource::Row(table.to_owned(), pk.clone()),
+            LockMode::Exclusive,
+        )?;
+
+        {
+            let mut t = t.write();
+            if t.rows.contains_key(&pk) {
+                return Err(DbError::DuplicateKey(format!("{table}[{pk}]")));
+            }
+            t.insert_row(row);
+        }
+        txn.undo.push(UndoRecord::RemoveInserted {
+            table: table.to_owned(),
+            pk,
+        });
+        self.trace.record(table, OpKind::Create);
+        Ok(ResultSet::affected(1))
+    }
+
+    /// Plans a bound predicate: point lookup by primary key, index probe,
+    /// or full scan. Returns matching primary keys, acquiring the
+    /// appropriate locks.
+    fn plan_matches(
+        &self,
+        txn: &mut TxnState,
+        table: &str,
+        predicate: &Predicate,
+        for_write: bool,
+    ) -> DbResult<Vec<Value>> {
+        let t = self.table(table)?;
+        let schema = t.read().schema.clone();
+        let row_mode = if for_write {
+            LockMode::Exclusive
+        } else {
+            LockMode::Shared
+        };
+        let intent_mode = if for_write {
+            LockMode::IntentExclusive
+        } else {
+            LockMode::IntentShared
+        };
+
+        // Point lookup by primary key.
+        if let Some(pk) = predicate.equality_on(schema.pk_name()) {
+            self.locks
+                .acquire(txn.id, Resource::Table(table.to_owned()), intent_mode)?;
+            self.locks.acquire(
+                txn.id,
+                Resource::Row(table.to_owned(), pk.clone()),
+                row_mode,
+            )?;
+            let t = t.read();
+            return Ok(match t.rows.get(pk) {
+                Some(row) if predicate.matches(&schema, row)? => vec![pk.clone()],
+                _ => Vec::new(),
+            });
+        }
+
+        // Secondary-index probe.
+        let indexed_col = {
+            let t = t.read();
+            t.indexes
+                .keys()
+                .find(|col| predicate.equality_on(col).is_some())
+                .cloned()
+        };
+        if let Some(col) = indexed_col {
+            self.locks
+                .acquire(txn.id, Resource::Table(table.to_owned()), intent_mode)?;
+            let candidates: Vec<Value> = {
+                let t = t.read();
+                let key = predicate
+                    .equality_on(&col)
+                    .expect("column chosen by equality_on");
+                t.indexes[&col]
+                    .get(key)
+                    .map(|pks| pks.iter().cloned().collect())
+                    .unwrap_or_default()
+            };
+            let mut out = Vec::new();
+            for pk in candidates {
+                self.locks.acquire(
+                    txn.id,
+                    Resource::Row(table.to_owned(), pk.clone()),
+                    row_mode,
+                )?;
+                let t = t.read();
+                if let Some(row) = t.rows.get(&pk) {
+                    if predicate.matches(&schema, row)? {
+                        out.push(pk);
+                    }
+                }
+            }
+            return Ok(out);
+        }
+
+        // Full scan: table-level S (readers) or S+IX→SIX (writers).
+        self.locks
+            .acquire(txn.id, Resource::Table(table.to_owned()), LockMode::Shared)?;
+        if for_write {
+            self.locks.acquire(
+                txn.id,
+                Resource::Table(table.to_owned()),
+                LockMode::IntentExclusive,
+            )?;
+        }
+        let t = t.read();
+        let mut out = Vec::new();
+        for (pk, row) in &t.rows {
+            if predicate.matches(&schema, row)? {
+                out.push(pk.clone());
+            }
+        }
+        if for_write {
+            drop(t);
+            for pk in &out {
+                self.locks.acquire(
+                    txn.id,
+                    Resource::Row(table.to_owned(), pk.clone()),
+                    LockMode::Exclusive,
+                )?;
+            }
+        }
+        Ok(out)
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the SELECT clause list
+    fn exec_select(
+        &self,
+        txn: &mut TxnState,
+        list: &SelectList,
+        table: &str,
+        predicate: &Predicate,
+        order_by: Option<&(String, bool)>,
+        limit: Option<usize>,
+        params: &[Value],
+    ) -> DbResult<ResultSet> {
+        let bound = predicate.bind(params)?;
+        let pks = self.plan_matches(txn, table, &bound, false)?;
+        let t = self.table(table)?;
+        let t = t.read();
+        let schema = &t.schema;
+        self.trace.record(table, OpKind::Read);
+
+        let mut rows: Vec<Vec<Value>> = pks
+            .iter()
+            .filter_map(|pk| t.rows.get(pk).cloned())
+            .collect();
+
+        if let Some((col, desc)) = order_by {
+            let ci = schema.column_index(col)?;
+            rows.sort_by(|a, b| {
+                let ord = a[ci].cmp(&b[ci]);
+                if *desc {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+        }
+        if let Some(n) = limit {
+            rows.truncate(n);
+        }
+
+        match list {
+            SelectList::CountStar => Ok(ResultSet::with_rows(
+                vec!["count".to_owned()],
+                vec![vec![Value::Int(rows.len() as i64)]],
+            )),
+            SelectList::Aggregate(func, column) => {
+                let ci = schema.column_index(column)?;
+                let values: Vec<&Value> =
+                    rows.iter().map(|r| &r[ci]).filter(|v| !v.is_null()).collect();
+                let result = match func {
+                    crate::sql::AggregateFn::Count => Value::Int(values.len() as i64),
+                    crate::sql::AggregateFn::Min => {
+                        values.iter().min().map(|v| (*v).clone()).unwrap_or(Value::Null)
+                    }
+                    crate::sql::AggregateFn::Max => {
+                        values.iter().max().map(|v| (*v).clone()).unwrap_or(Value::Null)
+                    }
+                    crate::sql::AggregateFn::Sum | crate::sql::AggregateFn::Avg => {
+                        if values.is_empty() {
+                            Value::Null
+                        } else {
+                            let mut sum = 0.0;
+                            let mut all_int = true;
+                            for v in &values {
+                                match v {
+                                    Value::Int(i) => sum += *i as f64,
+                                    Value::Double(d) => {
+                                        all_int = false;
+                                        sum += d;
+                                    }
+                                    other => {
+                                        return Err(DbError::TypeMismatch(format!(
+                                            "{}({column}) over non-numeric value {other}",
+                                            func.name()
+                                        )))
+                                    }
+                                }
+                            }
+                            if *func == crate::sql::AggregateFn::Avg {
+                                Value::Double(sum / values.len() as f64)
+                            } else if all_int {
+                                Value::Int(sum as i64)
+                            } else {
+                                Value::Double(sum)
+                            }
+                        }
+                    }
+                };
+                Ok(ResultSet::with_rows(
+                    vec![format!("{}({column})", func.name().to_lowercase())],
+                    vec![vec![result]],
+                ))
+            }
+            SelectList::Star => {
+                let cols = schema.columns().iter().map(|c| c.name.clone()).collect();
+                Ok(ResultSet::with_rows(cols, rows))
+            }
+            SelectList::Columns(cols) => {
+                let indices: Vec<usize> = cols
+                    .iter()
+                    .map(|c| schema.column_index(c))
+                    .collect::<DbResult<_>>()?;
+                let projected = rows
+                    .into_iter()
+                    .map(|row| indices.iter().map(|&i| row[i].clone()).collect())
+                    .collect();
+                Ok(ResultSet::with_rows(cols.clone(), projected))
+            }
+        }
+    }
+
+    fn exec_update(
+        &self,
+        txn: &mut TxnState,
+        table: &str,
+        sets: &[(String, Scalar)],
+        predicate: &Predicate,
+        params: &[Value],
+    ) -> DbResult<ResultSet> {
+        let bound = predicate.bind(params)?;
+        let pks = self.plan_matches(txn, table, &bound, true)?;
+        let t = self.table(table)?;
+        let schema = t.read().schema.clone();
+
+        // Pre-resolve assignments.
+        let mut assignments = Vec::with_capacity(sets.len());
+        for (col, scalar) in sets {
+            let ci = schema.column_index(col)?;
+            if ci == schema.pk_index() {
+                return Err(DbError::TypeMismatch(format!(
+                    "cannot update primary key {table}.{col}"
+                )));
+            }
+            let v = schema.columns()[ci].ty.coerce(scalar.resolve(params)?);
+            if !schema.columns()[ci].ty.admits(&v) {
+                return Err(DbError::TypeMismatch(format!(
+                    "column {table}.{col} is {}, got {v}",
+                    schema.columns()[ci].ty
+                )));
+            }
+            assignments.push((ci, v));
+        }
+
+        let mut affected = 0;
+        {
+            let mut t = t.write();
+            for pk in &pks {
+                let old = match t.rows.get(pk) {
+                    Some(row) => row.clone(),
+                    None => continue,
+                };
+                let mut new_row = old.clone();
+                for (ci, v) in &assignments {
+                    new_row[*ci] = v.clone();
+                }
+                t.remove_row(pk);
+                t.insert_row(new_row);
+                txn.undo.push(UndoRecord::RestoreUpdated {
+                    table: table.to_owned(),
+                    pk: pk.clone(),
+                    old,
+                });
+                affected += 1;
+            }
+        }
+        self.trace.record(table, OpKind::Update);
+        Ok(ResultSet::affected(affected))
+    }
+
+    fn exec_delete(
+        &self,
+        txn: &mut TxnState,
+        table: &str,
+        predicate: &Predicate,
+        params: &[Value],
+    ) -> DbResult<ResultSet> {
+        let bound = predicate.bind(params)?;
+        let pks = self.plan_matches(txn, table, &bound, true)?;
+        let t = self.table(table)?;
+        let mut affected = 0;
+        {
+            let mut t = t.write();
+            for pk in &pks {
+                if let Some(old) = t.remove_row(pk) {
+                    txn.undo.push(UndoRecord::RestoreDeleted {
+                        table: table.to_owned(),
+                        old,
+                    });
+                    affected += 1;
+                }
+            }
+        }
+        self.trace.record(table, OpKind::Delete);
+        Ok(ResultSet::affected(affected))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SqlConnection;
+
+    fn db_with_quotes() -> Arc<Database> {
+        let db = Database::new();
+        db.execute_ddl("CREATE TABLE quote (symbol VARCHAR PRIMARY KEY, price DOUBLE, volume INT)")
+            .unwrap();
+        let mut conn = db.connect();
+        for i in 0..5 {
+            conn.execute(
+                "INSERT INTO quote (symbol, price, volume) VALUES (?, ?, ?)",
+                &[
+                    Value::from(format!("s:{i}")),
+                    Value::from(10.0 + i as f64),
+                    Value::from(i * 100),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn create_table_twice_fails() {
+        let db = Database::new();
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+        assert!(matches!(
+            db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY)"),
+            Err(DbError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn insert_select_round_trip() {
+        let db = db_with_quotes();
+        let mut conn = db.connect();
+        let rs = conn
+            .execute(
+                "SELECT price FROM quote WHERE symbol = ?",
+                &[Value::from("s:3")],
+            )
+            .unwrap();
+        assert_eq!(rs.rows()[0][0], Value::from(13.0));
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let db = db_with_quotes();
+        let mut conn = db.connect();
+        let err = conn
+            .execute(
+                "INSERT INTO quote (symbol, price, volume) VALUES (?, 1.0, 1)",
+                &[Value::from("s:3")],
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::DuplicateKey(_)));
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let db = db_with_quotes();
+        let mut conn = db.connect();
+        let rs = conn
+            .execute(
+                "UPDATE quote SET price = ? WHERE symbol = ?",
+                &[Value::from(99.0), Value::from("s:1")],
+            )
+            .unwrap();
+        assert_eq!(rs.affected_rows(), 1);
+        let rs = conn
+            .execute("SELECT price FROM quote WHERE symbol = 's:1'", &[])
+            .unwrap();
+        assert_eq!(rs.rows()[0][0], Value::from(99.0));
+
+        let rs = conn
+            .execute("DELETE FROM quote WHERE symbol = 's:1'", &[])
+            .unwrap();
+        assert_eq!(rs.affected_rows(), 1);
+        assert_eq!(db.row_count("quote").unwrap(), 4);
+    }
+
+    #[test]
+    fn scan_with_order_and_limit() {
+        let db = db_with_quotes();
+        let mut conn = db.connect();
+        let rs = conn
+            .execute(
+                "SELECT symbol FROM quote WHERE price > 10.5 ORDER BY price DESC LIMIT 2",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.rows()[0][0], Value::from("s:4"));
+        assert_eq!(rs.rows()[1][0], Value::from("s:3"));
+    }
+
+    #[test]
+    fn count_star() {
+        let db = db_with_quotes();
+        let mut conn = db.connect();
+        let rs = conn.execute("SELECT COUNT(*) FROM quote", &[]).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::from(5)));
+    }
+
+    #[test]
+    fn aggregates_over_numeric_columns() {
+        let db = db_with_quotes(); // prices 10..14, volumes 0,100..400
+        let mut conn = db.connect();
+        let rs = conn.execute("SELECT SUM(price) FROM quote", &[]).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::from(60.0)));
+        let rs = conn.execute("SELECT MIN(price) FROM quote", &[]).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::from(10.0)));
+        let rs = conn.execute("SELECT MAX(volume) FROM quote", &[]).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::from(400)));
+        let rs = conn.execute("SELECT AVG(price) FROM quote", &[]).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::from(12.0)));
+        // integer SUM stays integral
+        let rs = conn.execute("SELECT SUM(volume) FROM quote", &[]).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::from(1_000)));
+    }
+
+    #[test]
+    fn aggregates_respect_predicates_and_nulls() {
+        let db = db_with_quotes();
+        let mut conn = db.connect();
+        let rs = conn
+            .execute("SELECT SUM(price) FROM quote WHERE price >= 12.0", &[])
+            .unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::from(39.0)));
+        // empty input: SUM/MIN/MAX/AVG are NULL, COUNT(col) is 0
+        let rs = conn
+            .execute("SELECT SUM(price) FROM quote WHERE price > 999.0", &[])
+            .unwrap();
+        assert!(rs.scalar().unwrap().is_null());
+        let rs = conn
+            .execute("SELECT COUNT(price) FROM quote WHERE price > 999.0", &[])
+            .unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::from(0)));
+        // NULLs are skipped by COUNT(col)
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY, b INT)").unwrap();
+        conn.execute("INSERT INTO t (a, b) VALUES (1, 5)", &[]).unwrap();
+        conn.execute("INSERT INTO t (a) VALUES (2)", &[]).unwrap();
+        let rs = conn.execute("SELECT COUNT(b) FROM t", &[]).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::from(1)));
+        let rs = conn.execute("SELECT SUM(b) FROM t", &[]).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::from(5)));
+    }
+
+    #[test]
+    fn aggregate_over_strings_sum_is_error_min_is_fine() {
+        let db = db_with_quotes();
+        let mut conn = db.connect();
+        assert!(matches!(
+            conn.execute("SELECT SUM(symbol) FROM quote", &[]),
+            Err(DbError::TypeMismatch(_))
+        ));
+        let rs = conn.execute("SELECT MIN(symbol) FROM quote", &[]).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::from("s:0")));
+        assert!(matches!(
+            conn.execute("SELECT SUM(ghost) FROM quote", &[]),
+            Err(DbError::NoSuchColumn(_))
+        ));
+        assert!(conn.execute("SELECT SUM(*) FROM quote", &[]).is_err());
+    }
+
+    #[test]
+    fn secondary_index_probe() {
+        let db = Database::new();
+        db.execute_ddl(
+            "CREATE TABLE holding (id INT PRIMARY KEY, owner VARCHAR, qty DOUBLE)",
+        )
+        .unwrap();
+        db.execute_ddl("CREATE INDEX h_owner ON holding (owner)").unwrap();
+        let mut conn = db.connect();
+        for i in 0..10 {
+            conn.execute(
+                "INSERT INTO holding (id, owner, qty) VALUES (?, ?, ?)",
+                &[
+                    Value::from(i),
+                    Value::from(format!("uid:{}", i % 3)),
+                    Value::from(10.0),
+                ],
+            )
+            .unwrap();
+        }
+        let rs = conn
+            .execute(
+                "SELECT id FROM holding WHERE owner = ?",
+                &[Value::from("uid:1")],
+            )
+            .unwrap();
+        let mut ids: Vec<i64> = rs.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+        ids.sort();
+        assert_eq!(ids, vec![1, 4, 7]);
+        // index stays correct after delete
+        conn.execute("DELETE FROM holding WHERE id = 4", &[]).unwrap();
+        let rs = conn
+            .execute(
+                "SELECT id FROM holding WHERE owner = ?",
+                &[Value::from("uid:1")],
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn rollback_undoes_everything() {
+        let db = db_with_quotes();
+        let mut conn = db.connect();
+        conn.begin().unwrap();
+        conn.execute(
+            "INSERT INTO quote (symbol, price, volume) VALUES ('s:new', 1.0, 1)",
+            &[],
+        )
+        .unwrap();
+        conn.execute("UPDATE quote SET price = 0.0 WHERE symbol = 's:2'", &[])
+            .unwrap();
+        conn.execute("DELETE FROM quote WHERE symbol = 's:0'", &[])
+            .unwrap();
+        conn.rollback().unwrap();
+
+        assert_eq!(db.row_count("quote").unwrap(), 5);
+        let mut conn = db.connect();
+        let rs = conn
+            .execute("SELECT price FROM quote WHERE symbol = 's:2'", &[])
+            .unwrap();
+        assert_eq!(rs.rows()[0][0], Value::from(12.0));
+        let rs = conn
+            .execute("SELECT symbol FROM quote WHERE symbol = 's:0'", &[])
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(db.lock_manager().lock_count(), 0);
+    }
+
+    #[test]
+    fn rollback_restores_indexes() {
+        let db = Database::new();
+        db.execute_ddl("CREATE TABLE h (id INT PRIMARY KEY, owner VARCHAR)")
+            .unwrap();
+        db.execute_ddl("CREATE INDEX h_owner ON h (owner)").unwrap();
+        let mut conn = db.connect();
+        conn.execute("INSERT INTO h (id, owner) VALUES (1, 'a')", &[])
+            .unwrap();
+        conn.begin().unwrap();
+        conn.execute("UPDATE h SET owner = 'b' WHERE id = 1", &[])
+            .unwrap();
+        conn.rollback().unwrap();
+        let rs = conn
+            .execute("SELECT id FROM h WHERE owner = 'a'", &[])
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        let rs = conn
+            .execute("SELECT id FROM h WHERE owner = 'b'", &[])
+            .unwrap();
+        assert_eq!(rs.len(), 0);
+    }
+
+    #[test]
+    fn update_pk_is_rejected() {
+        let db = db_with_quotes();
+        let mut conn = db.connect();
+        assert!(matches!(
+            conn.execute("UPDATE quote SET symbol = 'x' WHERE symbol = 's:0'", &[]),
+            Err(DbError::TypeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn param_count_is_checked() {
+        let db = db_with_quotes();
+        let mut conn = db.connect();
+        assert!(matches!(
+            conn.execute("SELECT * FROM quote WHERE symbol = ?", &[]),
+            Err(DbError::ParamCount { .. })
+        ));
+        assert!(matches!(
+            conn.execute(
+                "SELECT * FROM quote",
+                &[Value::from(1)]
+            ),
+            Err(DbError::ParamCount { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_insert_columns_default_to_null() {
+        let db = Database::new();
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR)")
+            .unwrap();
+        let mut conn = db.connect();
+        conn.execute("INSERT INTO t (a) VALUES (1)", &[]).unwrap();
+        let rs = conn.execute("SELECT b FROM t WHERE a = 1", &[]).unwrap();
+        assert!(rs.rows()[0][0].is_null());
+        // but the pk itself may not be omitted
+        assert!(conn.execute("INSERT INTO t (b) VALUES ('x')", &[]).is_err());
+    }
+
+    #[test]
+    fn ddl_through_dml_path_is_rejected() {
+        let db = Database::new();
+        let mut conn = db.connect();
+        assert!(conn
+            .execute("CREATE TABLE t (a INT PRIMARY KEY)", &[])
+            .is_err());
+    }
+
+    #[test]
+    fn trace_counts_statements() {
+        let db = db_with_quotes();
+        db.reset_trace();
+        let mut conn = db.connect();
+        conn.execute("SELECT * FROM quote WHERE symbol = 's:0'", &[])
+            .unwrap();
+        conn.execute("UPDATE quote SET price = 1.0 WHERE symbol = 's:0'", &[])
+            .unwrap();
+        let snap = db.trace_snapshot();
+        assert_eq!(snap.table("quote").reads, 1);
+        assert_eq!(snap.table("quote").updates, 1);
+        assert_eq!(snap.statements, 2);
+    }
+
+    #[test]
+    fn no_such_table_and_column() {
+        let db = Database::new();
+        let mut conn = db.connect();
+        assert!(matches!(
+            conn.execute("SELECT * FROM ghost", &[]),
+            Err(DbError::NoSuchTable(_))
+        ));
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+        assert!(matches!(
+            conn.execute("SELECT ghost FROM t", &[]),
+            Err(DbError::NoSuchColumn(_))
+        ));
+    }
+
+    #[test]
+    fn schema_of_and_table_names() {
+        let db = db_with_quotes();
+        assert_eq!(db.table_names(), vec!["quote".to_owned()]);
+        let schema = db.schema_of("quote").unwrap();
+        assert_eq!(schema.pk_name(), "symbol");
+        assert!(db.schema_of("ghost").is_none());
+    }
+
+    #[test]
+    fn autocommit_failure_releases_locks() {
+        let db = db_with_quotes();
+        let mut conn = db.connect();
+        let _ = conn.execute(
+            "INSERT INTO quote (symbol, price, volume) VALUES ('s:0', 0.0, 0)",
+            &[],
+        );
+        // Duplicate key error above must not leak its row lock.
+        assert_eq!(db.lock_manager().lock_count(), 0);
+    }
+}

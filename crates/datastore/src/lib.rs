@@ -1,0 +1,105 @@
+//! # sli-datastore — embedded relational engine
+//!
+//! The paper's persistent tier is DB2 7.2 reached over JDBC. This crate is
+//! the from-scratch substitute: an embedded relational engine exposing a
+//! JDBC-like [`Connection`] API over a SQL subset, with
+//!
+//! * typed [`Value`]s, [`Schema`]s, primary keys and secondary indexes,
+//! * a recursive-descent SQL parser (`SELECT` / `INSERT` / `UPDATE` /
+//!   `DELETE` / `CREATE TABLE` / `CREATE INDEX`, `?` placeholders),
+//! * strict two-phase locking with multi-granularity (table/row) locks,
+//!   blocking waits and waits-for-graph deadlock detection,
+//! * undo-log rollback, so aborted transactions leave no trace,
+//! * per-table create/read/update/delete tracing (Table 1 of the paper), and
+//! * a wire-level server ([`server::DbServer`]) + remote client
+//!   ([`server::RemoteConnection`]) so the engine can be placed across a
+//!   high-latency [`sli_simnet::Path`], exactly like the paper's remote
+//!   database machine.
+//!
+//! ## Example
+//!
+//! ```
+//! use sli_datastore::{Database, SqlConnection, Value};
+//!
+//! # fn main() -> Result<(), sli_datastore::DbError> {
+//! let db = Database::new();
+//! db.execute_ddl("CREATE TABLE quote (symbol VARCHAR PRIMARY KEY, price DOUBLE)")?;
+//! let mut conn = db.connect();
+//! conn.execute(
+//!     "INSERT INTO quote (symbol, price) VALUES (?, ?)",
+//!     &[Value::from("s:1"), Value::from(25.50)],
+//! )?;
+//! let rs = conn.execute("SELECT price FROM quote WHERE symbol = ?", &[Value::from("s:1")])?;
+//! assert_eq!(rs.rows()[0][0], Value::from(25.50));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod connection;
+mod engine;
+mod error;
+mod lock;
+mod predicate;
+mod result;
+mod schema;
+pub mod server;
+mod snapshot;
+pub mod sql;
+mod trace;
+mod value;
+
+pub use connection::Connection;
+pub use engine::Database;
+pub use error::DbError;
+pub use lock::{LockManager, LockMode};
+pub use predicate::{CmpOp, Predicate};
+pub use result::ResultSet;
+pub use schema::{Column, ColumnType, Schema};
+pub use trace::{OpCounts, TraceSnapshot};
+pub use value::Value;
+
+/// Convenient result alias for datastore operations.
+pub type DbResult<T> = std::result::Result<T, DbError>;
+
+/// The interface shared by local and remote JDBC-style connections.
+///
+/// [`Connection`] implements it against an in-process [`Database`];
+/// [`server::RemoteConnection`] implements it across a simulated network
+/// path. Application code (the Trade engines, the BMP homes) is written
+/// against this trait so a deployment can move the database tier without
+/// touching business logic — the same transparency property the paper
+/// relies on.
+pub trait SqlConnection {
+    /// Starts an explicit transaction.
+    ///
+    /// # Errors
+    /// Fails if a transaction is already open on this connection.
+    fn begin(&mut self) -> DbResult<()>;
+
+    /// Executes one statement with `?` placeholders bound to `params`.
+    ///
+    /// Outside an explicit transaction the statement runs in autocommit
+    /// mode.
+    ///
+    /// # Errors
+    /// Propagates parse, constraint, lock and deadlock errors.
+    fn execute(&mut self, sql: &str, params: &[Value]) -> DbResult<ResultSet>;
+
+    /// Commits the open transaction.
+    ///
+    /// # Errors
+    /// Fails if no transaction is open.
+    fn commit(&mut self) -> DbResult<()>;
+
+    /// Rolls back the open transaction, undoing all of its effects.
+    ///
+    /// # Errors
+    /// Fails if no transaction is open.
+    fn rollback(&mut self) -> DbResult<()>;
+
+    /// Whether an explicit transaction is currently open.
+    fn in_transaction(&self) -> bool;
+}

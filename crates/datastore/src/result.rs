@@ -1,0 +1,193 @@
+//! Query results and their wire encoding.
+
+use sli_simnet::wire::{DecodeError, Reader, Writer};
+
+use crate::value::Value;
+
+/// The outcome of one statement: a (possibly empty) result set and the
+/// number of rows a DML statement affected.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+    affected: usize,
+}
+
+impl ResultSet {
+    /// An empty result reporting `affected` modified rows (DML).
+    pub fn affected(affected: usize) -> ResultSet {
+        ResultSet {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            affected,
+        }
+    }
+
+    /// A query result with the given projection and rows.
+    pub fn with_rows(columns: Vec<String>, rows: Vec<Vec<Value>>) -> ResultSet {
+        ResultSet {
+            columns,
+            rows,
+            affected: 0,
+        }
+    }
+
+    /// Projected column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The result rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Consumes the result set, yielding its rows.
+    pub fn into_rows(self) -> Vec<Vec<Value>> {
+        self.rows
+    }
+
+    /// Rows affected by a DML statement.
+    pub fn affected_rows(&self) -> usize {
+        self.affected
+    }
+
+    /// Whether the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Index of a projected column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// The value at (`row`, `column-name`), if present.
+    pub fn value(&self, row: usize, column: &str) -> Option<&Value> {
+        let ci = self.column_index(column)?;
+        self.rows.get(row).and_then(|r| r.get(ci))
+    }
+
+    /// The single value of a one-row, one-column result (e.g. `COUNT(*)`).
+    pub fn scalar(&self) -> Option<&Value> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            Some(&self.rows[0][0])
+        } else {
+            None
+        }
+    }
+
+    /// Encodes the result set onto a wire frame.
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.affected as u32);
+        w.put_u32(self.columns.len() as u32);
+        for c in &self.columns {
+            w.put_str(c);
+        }
+        w.put_u32(self.rows.len() as u32);
+        for row in &self.rows {
+            for v in row {
+                v.encode(w);
+            }
+        }
+    }
+
+    /// Decodes a result set from a wire frame.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError`] on truncation.
+    pub fn decode(r: &mut Reader) -> Result<ResultSet, DecodeError> {
+        let affected = r.get_u32()? as usize;
+        let ncols = r.get_u32()? as usize;
+        let mut columns = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            columns.push(r.get_str()?);
+        }
+        let nrows = r.get_u32()? as usize;
+        let mut rows = Vec::with_capacity(nrows);
+        for _ in 0..nrows {
+            let mut row = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                row.push(Value::decode(r)?);
+            }
+            rows.push(row);
+        }
+        Ok(ResultSet {
+            columns,
+            rows,
+            affected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ResultSet {
+        ResultSet::with_rows(
+            vec!["symbol".into(), "price".into()],
+            vec![
+                vec![Value::from("s:0"), Value::from(10.0)],
+                vec![Value::from("s:1"), Value::from(12.5)],
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let rs = sample();
+        assert_eq!(rs.len(), 2);
+        assert!(!rs.is_empty());
+        assert_eq!(rs.column_index("price"), Some(1));
+        assert_eq!(rs.value(1, "price"), Some(&Value::from(12.5)));
+        assert_eq!(rs.value(5, "price"), None);
+        assert_eq!(rs.value(0, "nope"), None);
+        assert_eq!(rs.affected_rows(), 0);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let one = ResultSet::with_rows(vec!["count".into()], vec![vec![Value::from(7)]]);
+        assert_eq!(one.scalar(), Some(&Value::from(7)));
+        assert_eq!(sample().scalar(), None);
+        assert_eq!(ResultSet::affected(3).scalar(), None);
+    }
+
+    #[test]
+    fn dml_result() {
+        let rs = ResultSet::affected(4);
+        assert_eq!(rs.affected_rows(), 4);
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let rs = sample();
+        let mut w = Writer::new();
+        rs.encode(&mut w);
+        let mut r = Reader::new(w.finish());
+        assert_eq!(ResultSet::decode(&mut r).unwrap(), rs);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_decode_fails() {
+        let mut w = Writer::new();
+        sample().encode(&mut w);
+        let frame = w.finish();
+        let cut = frame.slice(0..frame.len() - 3);
+        assert!(ResultSet::decode(&mut Reader::new(cut)).is_err());
+    }
+
+    #[test]
+    fn into_rows_moves_data() {
+        let rows = sample().into_rows();
+        assert_eq!(rows.len(), 2);
+    }
+}

@@ -1,0 +1,269 @@
+//! SQL tokenizer.
+
+use crate::error::DbError;
+use crate::DbResult;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare word: keyword, table or column name. Stored lowercased; keyword
+    /// recognition is done by the parser.
+    Word(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `?` placeholder.
+    Question,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Splits `sql` into tokens.
+///
+/// # Errors
+/// Returns [`DbError::Parse`] on unterminated strings, malformed numbers or
+/// unexpected characters.
+pub fn tokenize(sql: &str) -> DbResult<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '?' => {
+                tokens.push(Token::Question);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(DbError::Parse("unexpected '!'".to_owned()));
+                }
+            }
+            '<' => match chars.get(i + 1) {
+                Some('=') => {
+                    tokens.push(Token::Le);
+                    i += 2;
+                }
+                Some('>') => {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(ch) => {
+                            s.push(*ch);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(DbError::Parse("unterminated string literal".to_owned()))
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                    if !matches!(chars.get(i), Some('0'..='9')) {
+                        return Err(DbError::Parse("unexpected '-'".to_owned()));
+                    }
+                }
+                let mut is_float = false;
+                while let Some(ch) = chars.get(i) {
+                    match ch {
+                        '0'..='9' => i += 1,
+                        '.' if !is_float => {
+                            is_float = true;
+                            i += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| DbError::Parse(format!("bad float literal '{text}'")))?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| DbError::Parse(format!("bad int literal '{text}'")))?;
+                    tokens.push(Token::Int(v));
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while let Some(ch) = chars.get(i) {
+                    if ch.is_ascii_alphanumeric() || *ch == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word: String = chars[start..i].iter().collect::<String>().to_lowercase();
+                tokens.push(Token::Word(word));
+            }
+            other => {
+                return Err(DbError::Parse(format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_select() {
+        let toks = tokenize("SELECT * FROM quote WHERE symbol = ? AND price >= 10.5").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("select".into()),
+                Token::Star,
+                Token::Word("from".into()),
+                Token::Word("quote".into()),
+                Token::Word("where".into()),
+                Token::Word("symbol".into()),
+                Token::Eq,
+                Token::Question,
+                Token::Word("and".into()),
+                Token::Word("price".into()),
+                Token::Ge,
+                Token::Float(10.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_and_escapes() {
+        let toks = tokenize("'it''s' 'plain'").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Str("it's".into()), Token::Str("plain".into())]
+        );
+    }
+
+    #[test]
+    fn negative_numbers() {
+        assert_eq!(tokenize("-42").unwrap(), vec![Token::Int(-42)]);
+        assert_eq!(tokenize("-4.5").unwrap(), vec![Token::Float(-4.5)]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize("a <> b != c <= d >= e < f > g").unwrap();
+        let ops: Vec<&Token> = toks
+            .iter()
+            .filter(|t| !matches!(t, Token::Word(_)))
+            .collect();
+        assert_eq!(
+            ops,
+            vec![
+                &Token::Ne,
+                &Token::Ne,
+                &Token::Le,
+                &Token::Ge,
+                &Token::Lt,
+                &Token::Gt
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn stray_bang_is_error() {
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn unexpected_char_is_error() {
+        assert!(tokenize("a ; b").is_err());
+    }
+
+    #[test]
+    fn words_are_lowercased() {
+        assert_eq!(
+            tokenize("SeLeCt FOO").unwrap(),
+            vec![Token::Word("select".into()), Token::Word("foo".into())]
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! SQL subset: lexer, AST and recursive-descent parser.
+//!
+//! Covers what Trade2's hand-written JDBC layer and the BMP persistence
+//! layer need: `CREATE TABLE`, `CREATE INDEX`, `INSERT`, point and predicate
+//! `SELECT` (with `ORDER BY` / `LIMIT`), `UPDATE` and `DELETE`, all with
+//! JDBC-style `?` placeholders.
+
+mod ast;
+mod lexer;
+mod parser;
+
+pub use ast::{AggregateFn, Scalar, SelectList, Statement};
+pub use lexer::{tokenize, Token};
+pub use parser::parse;

@@ -1,0 +1,157 @@
+//! Per-table operation tracing.
+//!
+//! Table 1 of the paper characterizes each Trade2 action by its database
+//! activity — which tables see Creates, Reads, Updates and Deletes. The
+//! engine counts statements per table and kind so the `table1` bench binary
+//! can regenerate that characterization from a live run.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+/// Statement counts for one table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// `INSERT` statements (C).
+    pub creates: u64,
+    /// `SELECT` statements (R).
+    pub reads: u64,
+    /// `UPDATE` statements (U).
+    pub updates: u64,
+    /// `DELETE` statements (D).
+    pub deletes: u64,
+}
+
+impl OpCounts {
+    /// Total statements against the table.
+    pub fn total(&self) -> u64 {
+        self.creates + self.reads + self.updates + self.deletes
+    }
+
+    /// Renders the counts in the paper's `C/R/U/D` shorthand, eliding
+    /// zero entries (e.g. `R, U`).
+    pub fn crud_label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.creates > 0 {
+            parts.push("C".to_owned());
+        }
+        if self.reads > 0 {
+            parts.push("R".to_owned());
+        }
+        if self.updates > 0 {
+            parts.push("U".to_owned());
+        }
+        if self.deletes > 0 {
+            parts.push("D".to_owned());
+        }
+        parts.join(", ")
+    }
+}
+
+/// A snapshot of all per-table counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceSnapshot {
+    /// Counts keyed by table name (sorted for stable output).
+    pub tables: BTreeMap<String, OpCounts>,
+    /// Total statements executed (including DDL).
+    pub statements: u64,
+}
+
+impl TraceSnapshot {
+    /// Counts for `table`, defaulting to zeros.
+    pub fn table(&self, table: &str) -> OpCounts {
+        self.tables.get(table).copied().unwrap_or_default()
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Trace {
+    inner: Mutex<TraceSnapshot>,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum OpKind {
+    Create,
+    Read,
+    Update,
+    Delete,
+}
+
+impl Trace {
+    pub(crate) fn record(&self, table: &str, kind: OpKind) {
+        let mut t = self.inner.lock();
+        t.statements += 1;
+        let counts = t.tables.entry(table.to_owned()).or_default();
+        match kind {
+            OpKind::Create => counts.creates += 1,
+            OpKind::Read => counts.reads += 1,
+            OpKind::Update => counts.updates += 1,
+            OpKind::Delete => counts.deletes += 1,
+        }
+    }
+
+    pub(crate) fn record_statement(&self) {
+        self.inner.lock().statements += 1;
+    }
+
+    pub(crate) fn snapshot(&self) -> TraceSnapshot {
+        self.inner.lock().clone()
+    }
+
+    pub(crate) fn reset(&self) {
+        *self.inner.lock() = TraceSnapshot::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots() {
+        let t = Trace::default();
+        t.record("account", OpKind::Read);
+        t.record("account", OpKind::Read);
+        t.record("account", OpKind::Update);
+        t.record("holding", OpKind::Create);
+        t.record("holding", OpKind::Delete);
+        let snap = t.snapshot();
+        assert_eq!(snap.statements, 5);
+        assert_eq!(
+            snap.table("account"),
+            OpCounts {
+                creates: 0,
+                reads: 2,
+                updates: 1,
+                deletes: 0
+            }
+        );
+        assert_eq!(snap.table("holding").total(), 2);
+        assert_eq!(snap.table("missing"), OpCounts::default());
+    }
+
+    #[test]
+    fn crud_labels() {
+        let t = Trace::default();
+        t.record("registry", OpKind::Read);
+        t.record("registry", OpKind::Update);
+        assert_eq!(t.snapshot().table("registry").crud_label(), "R, U");
+        assert_eq!(OpCounts::default().crud_label(), "");
+        let all = OpCounts {
+            creates: 1,
+            reads: 1,
+            updates: 1,
+            deletes: 1,
+        };
+        assert_eq!(all.crud_label(), "C, R, U, D");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let t = Trace::default();
+        t.record("x", OpKind::Read);
+        t.record_statement();
+        t.reset();
+        assert_eq!(t.snapshot(), TraceSnapshot::default());
+    }
+}

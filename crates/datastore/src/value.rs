@@ -1,0 +1,306 @@
+//! Typed SQL values with a total order and a wire encoding.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use sli_simnet::wire::{DecodeError, Reader, Writer};
+
+/// A dynamically typed SQL value.
+///
+/// `Value` implements a *total* order (`Eq`/`Ord`) so it can serve as a
+/// primary-key and index key type: values order first by type rank
+/// (`Null < Bool < Int < Double < Str`) and then by payload, with doubles
+/// compared via IEEE-754 total ordering.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer (also used for timestamps).
+    Int(i64),
+    /// A 64-bit float (DOUBLE).
+    Double(f64),
+    /// A variable-length string (VARCHAR).
+    Str(String),
+}
+
+impl Value {
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Double(_) => 3,
+            Value::Str(_) => 4,
+        }
+    }
+
+    /// Whether this value is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The float payload; `Int`s widen losslessly.
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Value::Double(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric comparison helper: compares `Int` and `Double` by numeric
+    /// value (so `Int(2) == Double(2.0)` *for predicate evaluation*, which
+    /// is looser than the total order used for keys).
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Double(b)) => (*a as f64).partial_cmp(b),
+            (Value::Double(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (a, b) if a.type_rank() == b.type_rank() => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Encodes this value onto a wire frame.
+    pub fn encode(&self, w: &mut Writer) {
+        match self {
+            Value::Null => {
+                w.put_u8(0);
+            }
+            Value::Bool(v) => {
+                w.put_u8(1).put_bool(*v);
+            }
+            Value::Int(v) => {
+                w.put_u8(2).put_i64(*v);
+            }
+            Value::Double(v) => {
+                w.put_u8(3).put_f64(*v);
+            }
+            Value::Str(v) => {
+                w.put_u8(4).put_str(v);
+            }
+        }
+    }
+
+    /// Decodes a value from a wire frame.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError`] on truncation or an unknown type tag.
+    pub fn decode(r: &mut Reader) -> Result<Value, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Bool(r.get_bool()?)),
+            2 => Ok(Value::Int(r.get_i64()?)),
+            3 => Ok(Value::Double(r.get_f64()?)),
+            4 => Ok(Value::Str(r.get_str()?)),
+            _ => Err(DecodeError::new("value tag")),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Value) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Double(a), Value::Double(b)) => a.total_cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.type_rank().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Bool(v) => v.hash(state),
+            Value::Int(v) => v.hash(state),
+            Value::Double(v) => v.to_bits().hash(state),
+            Value::Str(v) => v.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "'{v}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Double(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_ranks_types() {
+        let mut vs = vec![
+            Value::from("a"),
+            Value::from(1.5),
+            Value::from(3),
+            Value::from(true),
+            Value::Null,
+        ];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![
+                Value::Null,
+                Value::from(true),
+                Value::from(3),
+                Value::from(1.5),
+                Value::from("a"),
+            ]
+        );
+    }
+
+    #[test]
+    fn sql_cmp_mixes_numerics() {
+        assert_eq!(
+            Value::from(2).sql_cmp(&Value::from(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::from(1.5).sql_cmp(&Value::from(2)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Null.sql_cmp(&Value::from(1)), None);
+        assert_eq!(Value::from("a").sql_cmp(&Value::from(1)), None);
+    }
+
+    #[test]
+    fn doubles_use_total_order_for_keys() {
+        assert_eq!(Value::from(f64::NAN).cmp(&Value::from(f64::NAN)), Ordering::Equal);
+        assert!(Value::from(-0.0) < Value::from(0.0));
+    }
+
+    #[test]
+    fn wire_round_trip_all_variants() {
+        let vals = vec![
+            Value::Null,
+            Value::from(false),
+            Value::from(-42),
+            Value::from(2.75),
+            Value::from("hello"),
+        ];
+        let mut w = Writer::new();
+        for v in &vals {
+            v.encode(&mut w);
+        }
+        let mut r = Reader::new(w.finish());
+        for v in &vals {
+            assert_eq!(&Value::decode(&mut r).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn bad_tag_is_decode_error() {
+        let mut w = Writer::new();
+        w.put_u8(99);
+        let mut r = Reader::new(w.finish());
+        assert!(Value::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::from(7).as_int(), Some(7));
+        assert_eq!(Value::from(7).as_double(), Some(7.0));
+        assert_eq!(Value::from(1.5).as_double(), Some(1.5));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::from("x").as_int(), None);
+    }
+
+    #[test]
+    fn display_quotes_strings() {
+        assert_eq!(Value::from("abc").to_string(), "'abc'");
+        assert_eq!(Value::from(3).to_string(), "3");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+}

@@ -1,0 +1,210 @@
+//! Virtual time: a monotonically advancing microsecond counter.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A point in simulated time, measured in microseconds since the start of the
+/// simulation.
+///
+/// `SimTime` is produced by [`Clock::now`] and is totally ordered, so latency
+/// measurements are simple subtractions:
+///
+/// ```
+/// use sli_simnet::{Clock, SimDuration};
+/// let clock = Clock::new();
+/// let start = clock.now();
+/// clock.advance(SimDuration::from_millis(3));
+/// assert_eq!((clock.now() - start).as_millis_f64(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The beginning of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Microseconds since the start of the simulation.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+/// A span of simulated time, measured in microseconds.
+///
+/// All network and processing costs in the simulation are expressed as
+/// `SimDuration`s and charged to a [`Clock`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// A zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a duration from whole microseconds.
+    pub fn from_micros(us: u64) -> SimDuration {
+        SimDuration(us)
+    }
+
+    /// Builds a duration from whole milliseconds.
+    pub fn from_millis(ms: u64) -> SimDuration {
+        SimDuration(ms * 1_000)
+    }
+
+    /// The duration in whole microseconds.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Saturating multiplication by an integer factor.
+    pub fn saturating_mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+/// The simulation's virtual clock.
+///
+/// Every node in a topology shares one `Clock` (via `Arc`). Crossing a
+/// [`Path`](crate::Path) or performing simulated work advances it; nothing
+/// ever sleeps, so a full latency sweep that would take hours of wall-clock
+/// time on the paper's testbed completes in milliseconds here, with *exactly*
+/// reproducible timings.
+#[derive(Debug, Default)]
+pub struct Clock {
+    micros: AtomicU64,
+}
+
+impl Clock {
+    /// Creates a clock positioned at [`SimTime::ZERO`].
+    pub fn new() -> Clock {
+        Clock {
+            micros: AtomicU64::new(0),
+        }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.micros.load(Ordering::Relaxed))
+    }
+
+    /// Advances simulated time by `d`.
+    pub fn advance(&self, d: SimDuration) {
+        self.micros.fetch_add(d.0, Ordering::Relaxed);
+    }
+
+    /// Rewinds the clock to zero (used between measurement runs).
+    pub fn reset(&self) {
+        self.micros.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let c = Clock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let c = Clock::new();
+        c.advance(SimDuration::from_millis(5));
+        c.advance(SimDuration::from_micros(250));
+        assert_eq!(c.now().as_micros(), 5_250);
+    }
+
+    #[test]
+    fn reset_rewinds() {
+        let c = Clock::new();
+        c.advance(SimDuration::from_millis(1));
+        c.reset();
+        assert_eq!(c.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn time_subtraction_yields_duration() {
+        let c = Clock::new();
+        let t0 = c.now();
+        c.advance(SimDuration::from_micros(42));
+        assert_eq!((c.now() - t0).as_micros(), 42);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_millis(2);
+        let b = SimDuration::from_micros(500);
+        assert_eq!((a + b).as_micros(), 2_500);
+        assert_eq!(a.saturating_mul(3).as_millis_f64(), 6.0);
+    }
+
+    #[test]
+    fn display_formats_millis() {
+        assert_eq!(SimDuration::from_micros(1_500).to_string(), "1.500ms");
+        assert_eq!(
+            (SimTime::ZERO + SimDuration::from_millis(20)).to_string(),
+            "20.000ms"
+        );
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let early = SimTime::ZERO;
+        let late = SimTime::ZERO + SimDuration::from_millis(1);
+        assert_eq!((early - late), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,351 @@
+//! Communication paths with latency, bandwidth, proxy delay and traffic
+//! accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::clock::{Clock, SimDuration};
+
+/// Static characteristics of a communication path.
+///
+/// The paper's testbed has two kinds of path: the 100 Mbit LAN joining the
+/// four machines, and the same LAN with the *delay proxy* interposed on one
+/// hop. [`PathSpec::lan`] models the former; the injected delay is set
+/// separately with [`Path::set_proxy_delay`] because the evaluation sweeps it
+/// while everything else stays fixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathSpec {
+    /// One-way propagation latency of the raw link (before any proxy delay).
+    pub base_latency: SimDuration,
+    /// Usable link bandwidth in bytes per second; transferring `n` bytes
+    /// costs `n / bandwidth` seconds on top of the latency.
+    pub bandwidth_bytes_per_sec: u64,
+}
+
+impl PathSpec {
+    /// A 100 Mbit Ethernet LAN hop: ~0.2 ms one-way latency, 12.5 MB/s.
+    ///
+    /// These are the characteristics of the paper's testbed network.
+    pub fn lan() -> PathSpec {
+        PathSpec {
+            base_latency: SimDuration::from_micros(200),
+            bandwidth_bytes_per_sec: 12_500_000,
+        }
+    }
+
+    /// A same-host (loopback) hop used for the combined-servers
+    /// configuration where two tiers share a machine: negligible latency,
+    /// memory-speed bandwidth.
+    pub fn local() -> PathSpec {
+        PathSpec {
+            base_latency: SimDuration::from_micros(20),
+            bandwidth_bytes_per_sec: 1_000_000_000,
+        }
+    }
+}
+
+impl Default for PathSpec {
+    fn default() -> PathSpec {
+        PathSpec::lan()
+    }
+}
+
+/// A snapshot of a path's traffic counters.
+///
+/// `bytes_to_server` / `bytes_from_server` distinguish the request and
+/// response directions; Figure 8 reports their sum per client interaction on
+/// the shared (high-latency) path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PathStats {
+    /// Bytes sent in the request direction.
+    pub bytes_to_server: u64,
+    /// Bytes sent in the response direction.
+    pub bytes_from_server: u64,
+    /// Number of request messages sent.
+    pub requests: u64,
+    /// Number of response messages received.
+    pub responses: u64,
+}
+
+impl PathStats {
+    /// Total bytes crossing the path in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_to_server + self.bytes_from_server
+    }
+
+    /// Number of completed round trips (bounded by the request count).
+    pub fn round_trips(&self) -> u64 {
+        self.requests.min(self.responses)
+    }
+}
+
+/// A bidirectional communication path between two simulated nodes.
+///
+/// Crossing the path advances the shared [`Clock`] by
+/// `proxy_delay + base_latency + message_bytes / bandwidth` — precisely what
+/// the paper's delay proxy does to every intercepted message ("reads the
+/// incoming data, interposes a specified amount of delay, and only then
+/// writes the incoming data to the original destination").
+///
+/// Counters are atomic so a path may be shared freely between nodes.
+#[derive(Debug)]
+pub struct Path {
+    name: String,
+    clock: Arc<Clock>,
+    base_latency_us: AtomicU64,
+    bandwidth: AtomicU64,
+    proxy_delay_us: AtomicU64,
+    jitter_max_us: AtomicU64,
+    jitter_seed: AtomicU64,
+    jitter_counter: AtomicU64,
+    bytes_to_server: AtomicU64,
+    bytes_from_server: AtomicU64,
+    requests: AtomicU64,
+    responses: AtomicU64,
+}
+
+impl Path {
+    /// Creates a path named `name` over `clock` with the given spec and no
+    /// injected proxy delay.
+    pub fn new(name: impl Into<String>, clock: Arc<Clock>, spec: PathSpec) -> Arc<Path> {
+        Arc::new(Path {
+            name: name.into(),
+            clock,
+            base_latency_us: AtomicU64::new(spec.base_latency.as_micros()),
+            bandwidth: AtomicU64::new(spec.bandwidth_bytes_per_sec.max(1)),
+            proxy_delay_us: AtomicU64::new(0),
+            jitter_max_us: AtomicU64::new(0),
+            jitter_seed: AtomicU64::new(0),
+            jitter_counter: AtomicU64::new(0),
+            bytes_to_server: AtomicU64::new(0),
+            bytes_from_server: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            responses: AtomicU64::new(0),
+        })
+    }
+
+    /// The diagnostic name given at construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The clock this path charges crossings to.
+    pub fn clock(&self) -> &Arc<Clock> {
+        &self.clock
+    }
+
+    /// Sets the one-way delay injected by the delay proxy on this path.
+    ///
+    /// This is the sweep variable of Figures 6 and 7 ("one-way delay
+    /// introduced in path").
+    pub fn set_proxy_delay(&self, delay: SimDuration) {
+        self.proxy_delay_us
+            .store(delay.as_micros(), Ordering::Relaxed);
+    }
+
+    /// The currently injected one-way proxy delay.
+    pub fn proxy_delay(&self) -> SimDuration {
+        SimDuration::from_micros(self.proxy_delay_us.load(Ordering::Relaxed))
+    }
+
+    /// Enables deterministic per-message jitter: each crossing adds a
+    /// pseudo-random `0..=max` on top of the nominal cost, derived from
+    /// `seed` and a message counter (so runs remain exactly reproducible).
+    ///
+    /// The paper's physical testbed had residual noise — its linear fits
+    /// report R² ≈ 0.99, not 1.0; this knob reintroduces that texture when
+    /// wanted. Off (zero) by default.
+    pub fn set_jitter(&self, max: SimDuration, seed: u64) {
+        self.jitter_max_us.store(max.as_micros(), Ordering::Relaxed);
+        self.jitter_seed.store(seed, Ordering::Relaxed);
+    }
+
+    /// The next crossing's jitter (consumes one counter tick); zero when
+    /// jitter is disabled.
+    fn next_jitter(&self) -> SimDuration {
+        let max = self.jitter_max_us.load(Ordering::Relaxed);
+        if max == 0 {
+            return SimDuration::ZERO;
+        }
+        let n = self.jitter_counter.fetch_add(1, Ordering::Relaxed);
+        // splitmix64 over (seed, message index)
+        let mut z = self
+            .jitter_seed
+            .load(Ordering::Relaxed)
+            .wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimDuration::from_micros(z % (max + 1))
+    }
+
+    /// The nominal cost of moving an `n`-byte message one way across this
+    /// path (excluding any configured jitter).
+    pub fn one_way_cost(&self, n: usize) -> SimDuration {
+        let latency = self.base_latency_us.load(Ordering::Relaxed)
+            + self.proxy_delay_us.load(Ordering::Relaxed);
+        let bw = self.bandwidth.load(Ordering::Relaxed);
+        let transfer_us = (n as u64).saturating_mul(1_000_000) / bw;
+        SimDuration::from_micros(latency + transfer_us)
+    }
+
+    /// Sends an `n`-byte message in the request direction, advancing the
+    /// clock and recording the traffic.
+    pub fn request(&self, n: usize) {
+        self.clock.advance(self.one_way_cost(n) + self.next_jitter());
+        self.bytes_to_server.fetch_add(n as u64, Ordering::Relaxed);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sends an `n`-byte message in the response direction, advancing the
+    /// clock and recording the traffic.
+    pub fn respond(&self, n: usize) {
+        self.clock.advance(self.one_way_cost(n) + self.next_jitter());
+        self.bytes_from_server
+            .fetch_add(n as u64, Ordering::Relaxed);
+        self.responses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sends a fire-and-forget message in the request direction *without*
+    /// advancing the caller's clock (used for asynchronous invalidation
+    /// fan-out, which is off the measured request path).
+    pub fn request_async(&self, n: usize) {
+        self.bytes_to_server.fetch_add(n as u64, Ordering::Relaxed);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A snapshot of the traffic counters.
+    pub fn stats(&self) -> PathStats {
+        PathStats {
+            bytes_to_server: self.bytes_to_server.load(Ordering::Relaxed),
+            bytes_from_server: self.bytes_from_server.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the traffic counters (used between warm-up and measurement).
+    pub fn reset_stats(&self) {
+        self.bytes_to_server.store(0, Ordering::Relaxed);
+        self.bytes_from_server.store(0, Ordering::Relaxed);
+        self.requests.store(0, Ordering::Relaxed);
+        self.responses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_path(spec: PathSpec) -> (Arc<Clock>, Arc<Path>) {
+        let clock = Arc::new(Clock::new());
+        let path = Path::new("t", Arc::clone(&clock), spec);
+        (clock, path)
+    }
+
+    #[test]
+    fn crossing_charges_latency_and_transfer() {
+        let (clock, path) = test_path(PathSpec {
+            base_latency: SimDuration::from_millis(1),
+            bandwidth_bytes_per_sec: 1_000_000,
+        });
+        path.request(1_000); // 1ms latency + 1ms transfer
+        assert_eq!(clock.now().as_micros(), 2_000);
+    }
+
+    #[test]
+    fn proxy_delay_is_added_per_crossing() {
+        let (clock, path) = test_path(PathSpec {
+            base_latency: SimDuration::ZERO,
+            bandwidth_bytes_per_sec: 1_000_000_000,
+        });
+        path.set_proxy_delay(SimDuration::from_millis(40));
+        path.request(10);
+        path.respond(10);
+        assert_eq!(clock.now().as_micros(), 80_000);
+    }
+
+    #[test]
+    fn stats_track_directions_separately() {
+        let (_clock, path) = test_path(PathSpec::lan());
+        path.request(100);
+        path.respond(5_000);
+        path.request(50);
+        let s = path.stats();
+        assert_eq!(s.bytes_to_server, 150);
+        assert_eq!(s.bytes_from_server, 5_000);
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.responses, 1);
+        assert_eq!(s.round_trips(), 1);
+        assert_eq!(s.total_bytes(), 5_150);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters() {
+        let (_clock, path) = test_path(PathSpec::lan());
+        path.request(100);
+        path.reset_stats();
+        assert_eq!(path.stats(), PathStats::default());
+    }
+
+    #[test]
+    fn async_send_counts_bytes_but_not_time() {
+        let (clock, path) = test_path(PathSpec::lan());
+        let before = clock.now();
+        path.request_async(256);
+        assert_eq!(clock.now(), before);
+        assert_eq!(path.stats().bytes_to_server, 256);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let spec = PathSpec {
+            base_latency: SimDuration::from_millis(1),
+            bandwidth_bytes_per_sec: 1_000_000_000,
+        };
+        let run = |seed: u64| {
+            let (clock, path) = test_path(spec);
+            path.set_jitter(SimDuration::from_micros(500), seed);
+            let mut times = Vec::new();
+            for _ in 0..20 {
+                let t0 = clock.now();
+                path.request(100);
+                times.push((clock.now() - t0).as_micros());
+            }
+            times
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "same seed → same jitter sequence");
+        let c = run(43);
+        assert_ne!(a, c, "different seed → different sequence");
+        for t in &a {
+            assert!((1_000..=1_500).contains(t), "crossing {t}µs out of bounds");
+        }
+        // bytes accounting is unaffected by jitter
+        let (_clock, path) = test_path(spec);
+        path.set_jitter(SimDuration::from_micros(500), 1);
+        path.request(100);
+        assert_eq!(path.stats().bytes_to_server, 100);
+    }
+
+    #[test]
+    fn jitter_disabled_by_default() {
+        let (clock, path) = test_path(PathSpec {
+            base_latency: SimDuration::from_millis(1),
+            bandwidth_bytes_per_sec: 1_000_000_000,
+        });
+        path.request(0);
+        assert_eq!(clock.now().as_micros(), 1_000);
+    }
+
+    #[test]
+    fn one_way_cost_scales_with_size() {
+        let (_c, path) = test_path(PathSpec {
+            base_latency: SimDuration::from_micros(100),
+            bandwidth_bytes_per_sec: 1_000_000,
+        });
+        assert_eq!(path.one_way_cost(0).as_micros(), 100);
+        assert_eq!(path.one_way_cost(1_000).as_micros(), 1_100);
+    }
+}

@@ -1,0 +1,231 @@
+//! Trade actions and their result payloads.
+
+use std::fmt;
+
+/// One client interaction with the brokerage (Table 1 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TradeAction {
+    /// User sign-in; session creation.
+    Login {
+        /// User id (`uid:N`).
+        user: String,
+    },
+    /// User sign-off; session destroy.
+    Logout {
+        /// User id.
+        user: String,
+    },
+    /// Create a new user profile, account and registry entry.
+    Register {
+        /// New user id.
+        user: String,
+    },
+    /// Personalized home page with account overview.
+    Home {
+        /// User id.
+        user: String,
+    },
+    /// Review current profile information.
+    Account {
+        /// User id.
+        user: String,
+    },
+    /// `Account` followed by a profile update.
+    AccountUpdate {
+        /// User id.
+        user: String,
+        /// New e-mail address to store.
+        email: String,
+    },
+    /// View the user's current security holdings.
+    Portfolio {
+        /// User id.
+        user: String,
+    },
+    /// View a current security quote.
+    Quote {
+        /// Security symbol (`s:N`).
+        symbol: String,
+    },
+    /// `Quote` followed by a security purchase.
+    Buy {
+        /// User id.
+        user: String,
+        /// Security symbol.
+        symbol: String,
+        /// Number of shares.
+        quantity: f64,
+    },
+    /// `Portfolio` followed by the sale of one holding (the first, by
+    /// holding id).
+    Sell {
+        /// User id.
+        user: String,
+    },
+}
+
+impl TradeAction {
+    /// The action name as it appears in URLs and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TradeAction::Login { .. } => "login",
+            TradeAction::Logout { .. } => "logout",
+            TradeAction::Register { .. } => "register",
+            TradeAction::Home { .. } => "home",
+            TradeAction::Account { .. } => "account",
+            TradeAction::AccountUpdate { .. } => "update",
+            TradeAction::Portfolio { .. } => "portfolio",
+            TradeAction::Quote { .. } => "quote",
+            TradeAction::Buy { .. } => "buy",
+            TradeAction::Sell { .. } => "sell",
+        }
+    }
+
+    /// The user the action concerns, if any.
+    pub fn user(&self) -> Option<&str> {
+        match self {
+            TradeAction::Login { user }
+            | TradeAction::Logout { user }
+            | TradeAction::Register { user }
+            | TradeAction::Home { user }
+            | TradeAction::Account { user }
+            | TradeAction::AccountUpdate { user, .. }
+            | TradeAction::Portfolio { user }
+            | TradeAction::Buy { user, .. }
+            | TradeAction::Sell { user } => Some(user),
+            TradeAction::Quote { .. } => None,
+        }
+    }
+
+    /// URL query parameters for the HTTP layer.
+    pub fn query_params(&self) -> Vec<(String, String)> {
+        let mut params = vec![("action".to_owned(), self.name().to_owned())];
+        if let Some(user) = self.user() {
+            params.push(("uid".to_owned(), user.to_owned()));
+        }
+        match self {
+            TradeAction::Quote { symbol } => {
+                params.push(("symbol".to_owned(), symbol.clone()));
+            }
+            TradeAction::Buy {
+                symbol, quantity, ..
+            } => {
+                params.push(("symbol".to_owned(), symbol.clone()));
+                params.push(("quantity".to_owned(), format!("{quantity}")));
+            }
+            TradeAction::AccountUpdate { email, .. } => {
+                params.push(("email".to_owned(), email.clone()));
+            }
+            _ => {}
+        }
+        params
+    }
+}
+
+impl fmt::Display for TradeAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The data an action produces, rendered to HTML by the JSP layer
+/// ([`page::render`](crate::page::render)).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TradeResult {
+    /// Page title ("Trade Home", "Portfolio", ...).
+    pub title: String,
+    /// Scalar fields shown on the page, in order.
+    pub fields: Vec<(String, String)>,
+    /// Optional tabular data (holdings, market summary): header + rows.
+    pub table_header: Vec<String>,
+    /// Table rows.
+    pub table_rows: Vec<Vec<String>>,
+}
+
+impl TradeResult {
+    /// Starts a result page with the given title.
+    pub fn new(title: impl Into<String>) -> TradeResult {
+        TradeResult {
+            title: title.into(),
+            ..TradeResult::default()
+        }
+    }
+
+    /// Appends a scalar field (builder style).
+    pub fn field(mut self, name: impl Into<String>, value: impl fmt::Display) -> TradeResult {
+        self.fields.push((name.into(), value.to_string()));
+        self
+    }
+
+    /// Sets the table header (builder style).
+    pub fn header(mut self, cols: &[&str]) -> TradeResult {
+        self.table_header = cols.iter().map(|c| (*c).to_owned()).collect();
+        self
+    }
+
+    /// Appends a table row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.table_rows.push(cells);
+    }
+
+    /// Reads a scalar field back (tests and assertions).
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_users() {
+        let a = TradeAction::Buy {
+            user: "uid:1".into(),
+            symbol: "s:3".into(),
+            quantity: 100.0,
+        };
+        assert_eq!(a.name(), "buy");
+        assert_eq!(a.user(), Some("uid:1"));
+        assert_eq!(a.to_string(), "buy");
+        let q = TradeAction::Quote {
+            symbol: "s:1".into(),
+        };
+        assert_eq!(q.user(), None);
+    }
+
+    #[test]
+    fn query_params_include_action_specifics() {
+        let a = TradeAction::Buy {
+            user: "uid:1".into(),
+            symbol: "s:3".into(),
+            quantity: 100.0,
+        };
+        let params = a.query_params();
+        assert!(params.contains(&("action".to_owned(), "buy".to_owned())));
+        assert!(params.contains(&("symbol".to_owned(), "s:3".to_owned())));
+        assert!(params.contains(&("quantity".to_owned(), "100".to_owned())));
+        let u = TradeAction::AccountUpdate {
+            user: "uid:2".into(),
+            email: "a@b.c".into(),
+        };
+        assert!(u
+            .query_params()
+            .contains(&("email".to_owned(), "a@b.c".to_owned())));
+    }
+
+    #[test]
+    fn result_builder() {
+        let mut r = TradeResult::new("Portfolio")
+            .field("user", "uid:1")
+            .header(&["symbol", "qty"]);
+        r.row(vec!["s:1".into(), "100".into()]);
+        assert_eq!(r.title, "Portfolio");
+        assert_eq!(r.get("user"), Some("uid:1"));
+        assert_eq!(r.get("missing"), None);
+        assert_eq!(r.table_rows.len(), 1);
+    }
+}

@@ -1,0 +1,367 @@
+//! The hand-optimized pure-JDBC implementation of Trade2.
+//!
+//! Included "because JDBC implementations are commonly understood to
+//! provide better performance than higher-level implementations such as
+//! EJBs" (§4.3). Each action issues the minimum number of SQL statements:
+//! single-statement reads run in autocommit mode, multi-statement actions
+//! use one explicit transaction. No existence probes, no N+1 loads.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use sli_component::{EjbError, EjbResult};
+use sli_datastore::{SqlConnection, Value};
+
+use crate::action::{TradeAction, TradeResult};
+use crate::util::show;
+use crate::TradeEngine;
+
+/// Hand-written SQL engine over a (possibly remote) JDBC connection.
+pub struct JdbcTradeEngine {
+    conn: sli_component::SharedConnection,
+    next_holding: AtomicI64,
+    clock_seq: AtomicI64,
+}
+
+impl std::fmt::Debug for JdbcTradeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JdbcTradeEngine").finish_non_exhaustive()
+    }
+}
+
+impl JdbcTradeEngine {
+    /// Creates the engine. `holding_id_base` gives this server a disjoint
+    /// holding-id range, mirroring [`EjbTradeEngine`](crate::EjbTradeEngine).
+    pub fn new(conn: sli_component::SharedConnection, holding_id_base: i64) -> JdbcTradeEngine {
+        JdbcTradeEngine {
+            conn,
+            next_holding: AtomicI64::new(holding_id_base),
+            clock_seq: AtomicI64::new(1),
+        }
+    }
+
+    fn not_found(table: &str, key: &str) -> EjbError {
+        EjbError::not_found(table, key)
+    }
+
+    /// Runs `f` inside one explicit transaction, rolling back on error.
+    fn in_txn<T>(
+        &self,
+        f: impl FnOnce(&mut dyn SqlConnection) -> EjbResult<T>,
+    ) -> EjbResult<T> {
+        let mut conn = self.conn.lock();
+        conn.begin()?;
+        match f(&mut *conn) {
+            Ok(v) => {
+                conn.commit()?;
+                Ok(v)
+            }
+            Err(e) => {
+                let _ = conn.rollback();
+                Err(e)
+            }
+        }
+    }
+
+    fn login(&self, user: &str) -> EjbResult<TradeResult> {
+        let now = self.clock_seq.fetch_add(1, Ordering::Relaxed);
+        self.in_txn(|conn| {
+            let rs = conn.execute(
+                "SELECT logincount FROM registry WHERE userid = ?",
+                &[Value::from(user)],
+            )?;
+            let count = rs
+                .rows()
+                .first()
+                .ok_or_else(|| Self::not_found("Registry", user))?[0]
+                .as_int()
+                .unwrap_or(0)
+                + 1;
+            conn.execute(
+                "UPDATE registry SET loggedin = TRUE, logincount = ?, lastlogin = ? WHERE userid = ?",
+                &[Value::from(count), Value::from(now), Value::from(user)],
+            )?;
+            let rs = conn.execute(
+                "SELECT balance FROM account WHERE userid = ?",
+                &[Value::from(user)],
+            )?;
+            let balance = rs
+                .rows()
+                .first()
+                .ok_or_else(|| Self::not_found("Account", user))?[0]
+                .as_double()
+                .unwrap_or(0.0);
+            Ok(TradeResult::new("Trade Login")
+                .field("user", user)
+                .field("login count", count)
+                .field("balance", format!("{balance:.2}")))
+        })
+    }
+
+    fn logout(&self, user: &str) -> EjbResult<TradeResult> {
+        let mut conn = self.conn.lock();
+        let rs = conn.execute(
+            "UPDATE registry SET loggedin = FALSE WHERE userid = ?",
+            &[Value::from(user)],
+        )?;
+        if rs.affected_rows() == 0 {
+            return Err(Self::not_found("Registry", user));
+        }
+        Ok(TradeResult::new("Trade Logout").field("user", user))
+    }
+
+    fn register(&self, user: &str) -> EjbResult<TradeResult> {
+        let now = self.clock_seq.fetch_add(1, Ordering::Relaxed);
+        self.in_txn(|conn| {
+            conn.execute(
+                "INSERT INTO account (userid, balance, opentimestamp) VALUES (?, ?, ?)",
+                &[Value::from(user), Value::from(10_000.0), Value::from(now)],
+            )?;
+            let rs = conn.execute(
+                "SELECT balance FROM account WHERE userid = ?",
+                &[Value::from(user)],
+            )?;
+            let balance = rs.rows()[0][0].as_double().unwrap_or(0.0);
+            conn.execute(
+                "INSERT INTO profile (userid, fullname, address, email, creditcard, password) \
+                 VALUES (?, ?, ?, ?, ?, ?)",
+                &[
+                    Value::from(user),
+                    Value::from(format!("Trade User {user}")),
+                    Value::from("1 Wall St, New York"),
+                    Value::from(format!("{user}@trade.example.com")),
+                    Value::from("0000-1111-2222-3333"),
+                    Value::from("xxx"),
+                ],
+            )?;
+            conn.execute(
+                "INSERT INTO registry (userid, loggedin, logincount, lastlogin) VALUES (?, FALSE, 0, 0)",
+                &[Value::from(user)],
+            )?;
+            Ok(TradeResult::new("Trade Registration")
+                .field("user", user)
+                .field("opening balance", format!("{balance:.2}")))
+        })
+    }
+
+    fn home(&self, user: &str) -> EjbResult<TradeResult> {
+        let mut conn = self.conn.lock();
+        let rs = conn.execute(
+            "SELECT balance FROM account WHERE userid = ?",
+            &[Value::from(user)],
+        )?;
+        let balance = rs
+            .rows()
+            .first()
+            .ok_or_else(|| Self::not_found("Account", user))?[0]
+            .as_double()
+            .unwrap_or(0.0);
+        Ok(TradeResult::new("Trade Home")
+            .field("user", user)
+            .field("balance", format!("{balance:.2}"))
+            .field("market summary", "TSIA 100.32 (+0.4%) volume 40.1M"))
+    }
+
+    fn account(&self, user: &str) -> EjbResult<TradeResult> {
+        let mut conn = self.conn.lock();
+        let rs = conn.execute(
+            "SELECT fullname, address, email, creditcard FROM profile WHERE userid = ?",
+            &[Value::from(user)],
+        )?;
+        let row = rs
+            .rows()
+            .first()
+            .ok_or_else(|| Self::not_found("Profile", user))?;
+        Ok(TradeResult::new("Account Information")
+            .field("user", user)
+            .field("fullname", show(&row[0]))
+            .field("address", show(&row[1]))
+            .field("email", show(&row[2]))
+            .field("creditcard", show(&row[3])))
+    }
+
+    fn account_update(&self, user: &str, email: &str) -> EjbResult<TradeResult> {
+        // Hand-optimized: display-read and update as two autocommitted
+        // statements (no cross-statement atomicity needed).
+        let old = {
+            let mut conn = self.conn.lock();
+            let rs = conn.execute(
+                "SELECT email FROM profile WHERE userid = ?",
+                &[Value::from(user)],
+            )?;
+            rs.rows()
+                .first()
+                .ok_or_else(|| Self::not_found("Profile", user))?[0]
+                .clone()
+        };
+        self.conn.lock().execute(
+            "UPDATE profile SET email = ? WHERE userid = ?",
+            &[Value::from(email), Value::from(user)],
+        )?;
+        Ok(TradeResult::new("Account Update")
+            .field("user", user)
+            .field("old email", show(&old))
+            .field("new email", email))
+    }
+
+    fn portfolio(&self, user: &str) -> EjbResult<TradeResult> {
+        let mut conn = self.conn.lock();
+        // One statement fetches the whole portfolio — no N+1.
+        let rs = conn.execute(
+            "SELECT holdingid, symbol, quantity, purchaseprice FROM holding WHERE userid = ? \
+             ORDER BY holdingid",
+            &[Value::from(user)],
+        )?;
+        let mut result = TradeResult::new("Portfolio")
+            .field("user", user)
+            .field("holdings", rs.len())
+            .header(&["holding", "symbol", "quantity", "purchase price"]);
+        for row in rs.rows() {
+            result.row(vec![
+                row[0].to_string(),
+                show(&row[1]),
+                row[2].to_string(),
+                format!("{:.2}", row[3].as_double().unwrap_or(0.0)),
+            ]);
+        }
+        Ok(result)
+    }
+
+    fn quote(&self, symbol: &str) -> EjbResult<TradeResult> {
+        let mut conn = self.conn.lock();
+        let rs = conn.execute(
+            "SELECT companyname, price, open, low, high, volume FROM quote WHERE symbol = ?",
+            &[Value::from(symbol)],
+        )?;
+        let row = rs
+            .rows()
+            .first()
+            .ok_or_else(|| Self::not_found("Quote", symbol))?;
+        Ok(TradeResult::new("Quote")
+            .field("symbol", symbol)
+            .field("companyname", show(&row[0]))
+            .field("price", show(&row[1]))
+            .field("open", show(&row[2]))
+            .field("low", show(&row[3]))
+            .field("high", show(&row[4]))
+            .field("volume", show(&row[5])))
+    }
+
+    fn buy(&self, user: &str, symbol: &str, quantity: f64) -> EjbResult<TradeResult> {
+        let holding_id = self.next_holding.fetch_add(1, Ordering::Relaxed);
+        let now = self.clock_seq.fetch_add(1, Ordering::Relaxed);
+        self.in_txn(|conn| {
+            let rs = conn.execute(
+                "SELECT price FROM quote WHERE symbol = ?",
+                &[Value::from(symbol)],
+            )?;
+            let price = rs
+                .rows()
+                .first()
+                .ok_or_else(|| Self::not_found("Quote", symbol))?[0]
+                .as_double()
+                .unwrap_or(0.0);
+            let rs = conn.execute(
+                "SELECT balance FROM account WHERE userid = ?",
+                &[Value::from(user)],
+            )?;
+            let balance = rs
+                .rows()
+                .first()
+                .ok_or_else(|| Self::not_found("Account", user))?[0]
+                .as_double()
+                .unwrap_or(0.0);
+            let cost = price * quantity;
+            conn.execute(
+                "UPDATE account SET balance = ? WHERE userid = ?",
+                &[Value::from(balance - cost), Value::from(user)],
+            )?;
+            conn.execute(
+                "INSERT INTO holding (holdingid, userid, symbol, quantity, purchaseprice, purchasedate) \
+                 VALUES (?, ?, ?, ?, ?, ?)",
+                &[
+                    Value::from(holding_id),
+                    Value::from(user),
+                    Value::from(symbol),
+                    Value::from(quantity),
+                    Value::from(price),
+                    Value::from(now),
+                ],
+            )?;
+            Ok(TradeResult::new("Buy Confirmation")
+                .field("user", user)
+                .field("symbol", symbol)
+                .field("quantity", quantity)
+                .field("price", format!("{price:.2}"))
+                .field("total", format!("{cost:.2}"))
+                .field("new balance", format!("{:.2}", balance - cost)))
+        })
+    }
+
+    fn sell(&self, user: &str) -> EjbResult<TradeResult> {
+        self.in_txn(|conn| {
+            let rs = conn.execute(
+                "SELECT holdingid, symbol, quantity FROM holding WHERE userid = ? \
+                 ORDER BY holdingid LIMIT 1",
+                &[Value::from(user)],
+            )?;
+            let Some(row) = rs.rows().first() else {
+                return Ok(TradeResult::new("Sell")
+                    .field("user", user)
+                    .field("status", "no holdings to sell"));
+            };
+            let (hid, symbol, qty) = (row[0].clone(), row[1].clone(), row[2].clone());
+            let rs = conn.execute(
+                "SELECT price FROM quote WHERE symbol = ?",
+                std::slice::from_ref(&symbol),
+            )?;
+            let price = rs.rows()[0][0].as_double().unwrap_or(0.0);
+            let rs = conn.execute(
+                "SELECT balance FROM account WHERE userid = ?",
+                &[Value::from(user)],
+            )?;
+            let balance = rs.rows()[0][0].as_double().unwrap_or(0.0);
+            let proceeds = price * qty.as_double().unwrap_or(0.0);
+            conn.execute(
+                "UPDATE account SET balance = ? WHERE userid = ?",
+                &[Value::from(balance + proceeds), Value::from(user)],
+            )?;
+            conn.execute(
+                "DELETE FROM holding WHERE holdingid = ?",
+                std::slice::from_ref(&hid),
+            )?;
+            Ok(TradeResult::new("Sell Confirmation")
+                .field("user", user)
+                .field("holding", hid)
+                .field("symbol", show(&symbol))
+                .field("quantity", qty)
+                .field("price", format!("{price:.2}"))
+                .field("proceeds", format!("{proceeds:.2}"))
+                .field("new balance", format!("{:.2}", balance + proceeds)))
+        })
+    }
+}
+
+impl TradeEngine for JdbcTradeEngine {
+    fn perform(&self, action: &TradeAction) -> EjbResult<TradeResult> {
+        match action {
+            TradeAction::Login { user } => self.login(user),
+            TradeAction::Logout { user } => self.logout(user),
+            TradeAction::Register { user } => self.register(user),
+            TradeAction::Home { user } => self.home(user),
+            TradeAction::Account { user } => self.account(user),
+            TradeAction::AccountUpdate { user, email } => self.account_update(user, email),
+            TradeAction::Portfolio { user } => self.portfolio(user),
+            TradeAction::Quote { symbol } => self.quote(symbol),
+            TradeAction::Buy {
+                user,
+                symbol,
+                quantity,
+            } => self.buy(user, symbol, *quantity),
+            TradeAction::Sell { user } => self.sell(user),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "JDBC"
+    }
+}

@@ -1,0 +1,103 @@
+//! Trade2 entity model: deployment metadata for the five entity beans.
+
+use sli_component::EntityMeta;
+use sli_core::MetaRegistry;
+use sli_datastore::{CmpOp, ColumnType, Predicate};
+
+/// `Registry` — login-session registry (who is signed in, login counts).
+pub fn registry_meta() -> EntityMeta {
+    EntityMeta::new("Registry", "registry", "userid", ColumnType::Varchar)
+        .field("loggedin", ColumnType::Bool)
+        .field("logincount", ColumnType::Int)
+        .field("lastlogin", ColumnType::Int)
+}
+
+/// `Account` — the user's brokerage account (cash balance).
+pub fn account_meta() -> EntityMeta {
+    EntityMeta::new("Account", "account", "userid", ColumnType::Varchar)
+        .field("balance", ColumnType::Double)
+        .field("opentimestamp", ColumnType::Int)
+}
+
+/// `Profile` — user profile details.
+pub fn profile_meta() -> EntityMeta {
+    EntityMeta::new("Profile", "profile", "userid", ColumnType::Varchar)
+        .field("fullname", ColumnType::Varchar)
+        .field("address", ColumnType::Varchar)
+        .field("email", ColumnType::Varchar)
+        .field("creditcard", ColumnType::Varchar)
+        .field("password", ColumnType::Varchar)
+}
+
+/// `Holding` — one owned lot of a security, keyed by holding id; the
+/// portfolio is the `findByUser` custom finder over the owner column.
+pub fn holding_meta() -> EntityMeta {
+    EntityMeta::new("Holding", "holding", "holdingid", ColumnType::Int)
+        .field("userid", ColumnType::Varchar)
+        .field("symbol", ColumnType::Varchar)
+        .field("quantity", ColumnType::Double)
+        .field("purchaseprice", ColumnType::Double)
+        .field("purchasedate", ColumnType::Int)
+        .index("userid")
+        .finder(
+            "findByUser",
+            Predicate::CmpParam {
+                column: "userid".into(),
+                op: CmpOp::Eq,
+                index: 0,
+            },
+        )
+}
+
+/// `Quote` — one security's market data.
+pub fn quote_meta() -> EntityMeta {
+    EntityMeta::new("Quote", "quote", "symbol", ColumnType::Varchar)
+        .field("companyname", ColumnType::Varchar)
+        .field("price", ColumnType::Double)
+        .field("open", ColumnType::Double)
+        .field("low", ColumnType::Double)
+        .field("high", ColumnType::Double)
+        .field("volume", ColumnType::Double)
+}
+
+/// The full Trade2 deployment registry (all five entity types).
+pub fn trade_registry() -> MetaRegistry {
+    MetaRegistry::new()
+        .with(registry_meta())
+        .with(account_meta())
+        .with(profile_meta())
+        .with(holding_meta())
+        .with(quote_meta())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sli_datastore::Database;
+
+    #[test]
+    fn registry_covers_all_five_beans() {
+        let reg = trade_registry();
+        assert_eq!(reg.len(), 5);
+        for bean in ["Registry", "Account", "Profile", "Holding", "Quote"] {
+            assert!(reg.meta(bean).is_ok(), "missing {bean}");
+        }
+    }
+
+    #[test]
+    fn schema_creates_cleanly() {
+        let db = Database::new();
+        trade_registry().create_schema(&db).unwrap();
+        assert_eq!(
+            db.table_names(),
+            vec!["account", "holding", "profile", "quote", "registry"]
+        );
+    }
+
+    #[test]
+    fn holding_finder_is_declared() {
+        let meta = holding_meta();
+        assert!(meta.finder_def("findByUser").is_ok());
+        assert_eq!(meta.key_field(), "holdingid");
+    }
+}

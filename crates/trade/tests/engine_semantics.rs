@@ -1,0 +1,349 @@
+//! Action-level semantic tests for the Trade2 engines: each action's
+//! business effect on the persistent store, checked identically for all
+//! three data-access engines, plus the batched-transaction extension.
+
+use std::sync::Arc;
+
+use sli_component::{share_connection, EjbError};
+use sli_core::{CombinedCommitter, CommonStore, DirectSource};
+use sli_datastore::{Database, SqlConnection, Value};
+use sli_trade::deploy::{cached_container, vanilla_container};
+use sli_trade::model::trade_registry;
+use sli_trade::seed::{create_and_seed, Population};
+use sli_trade::{EjbTradeEngine, JdbcTradeEngine, TradeAction, TradeEngine};
+
+fn population() -> Population {
+    Population {
+        users: 6,
+        quotes: 12,
+        holdings_per_user: 2,
+    }
+}
+
+fn seeded_db() -> Arc<Database> {
+    let db = Database::new();
+    create_and_seed(&db, population()).unwrap();
+    db
+}
+
+/// Builds each engine flavor over its own fresh database.
+fn engines() -> Vec<(Arc<Database>, Box<dyn TradeEngine>)> {
+    let mut out: Vec<(Arc<Database>, Box<dyn TradeEngine>)> = Vec::new();
+
+    let db = seeded_db();
+    out.push((
+        Arc::clone(&db),
+        Box::new(JdbcTradeEngine::new(share_connection(db.connect()), 10_000)),
+    ));
+
+    let db = seeded_db();
+    out.push((
+        Arc::clone(&db),
+        Box::new(EjbTradeEngine::new(
+            vanilla_container(share_connection(db.connect())),
+            "Vanilla EJBs",
+            10_000,
+        )),
+    ));
+
+    let db = seeded_db();
+    let store = CommonStore::new();
+    let source = Arc::new(DirectSource::new(Box::new(db.connect()), trade_registry()));
+    let committer = Arc::new(CombinedCommitter::new(
+        Box::new(db.connect()),
+        trade_registry(),
+    ));
+    out.push((
+        Arc::clone(&db),
+        Box::new(EjbTradeEngine::new(
+            cached_container(1, store, source, committer),
+            "Cached EJBs",
+            10_000,
+        )),
+    ));
+    out
+}
+
+fn scalar_f64(db: &Arc<Database>, sql: &str) -> f64 {
+    let mut conn = db.connect();
+    conn.execute(sql, &[]).unwrap().scalar().unwrap().as_double().unwrap()
+}
+
+fn scalar_i64(db: &Arc<Database>, sql: &str) -> i64 {
+    let mut conn = db.connect();
+    conn.execute(sql, &[]).unwrap().scalar().unwrap().as_int().unwrap()
+}
+
+#[test]
+fn buy_debits_account_and_creates_holding() {
+    for (db, engine) in engines() {
+        let before = scalar_f64(&db, "SELECT balance FROM account WHERE userid = 'uid:1'");
+        let holdings_before = scalar_i64(&db, "SELECT COUNT(*) FROM holding");
+        let price = scalar_f64(&db, "SELECT price FROM quote WHERE symbol = 's:3'");
+        let result = engine
+            .perform(&TradeAction::Buy {
+                user: "uid:1".into(),
+                symbol: "s:3".into(),
+                quantity: 10.0,
+            })
+            .unwrap();
+        assert_eq!(result.title, "Buy Confirmation", "{}", engine.label());
+        let after = scalar_f64(&db, "SELECT balance FROM account WHERE userid = 'uid:1'");
+        assert!(
+            (before - after - price * 10.0).abs() < 1e-9,
+            "{}: balance delta wrong",
+            engine.label()
+        );
+        assert_eq!(
+            scalar_i64(&db, "SELECT COUNT(*) FROM holding"),
+            holdings_before + 1,
+            "{}",
+            engine.label()
+        );
+    }
+}
+
+#[test]
+fn sell_credits_account_and_removes_oldest_holding() {
+    for (db, engine) in engines() {
+        let before = scalar_f64(&db, "SELECT balance FROM account WHERE userid = 'uid:2'");
+        let oldest =
+            scalar_i64(&db, "SELECT MIN(holdingid) FROM holding WHERE userid = 'uid:2'");
+        let result = engine
+            .perform(&TradeAction::Sell {
+                user: "uid:2".into(),
+            })
+            .unwrap();
+        assert_eq!(result.title, "Sell Confirmation", "{}", engine.label());
+        let after = scalar_f64(&db, "SELECT balance FROM account WHERE userid = 'uid:2'");
+        assert!(after > before, "{}: proceeds not credited", engine.label());
+        // the lowest-id holding is gone
+        let mut conn = db.connect();
+        let rs = conn
+            .execute(
+                "SELECT holdingid FROM holding WHERE holdingid = ?",
+                &[Value::from(oldest)],
+            )
+            .unwrap();
+        assert!(rs.is_empty(), "{}: oldest holding survived", engine.label());
+    }
+}
+
+#[test]
+fn sell_with_empty_portfolio_is_graceful() {
+    for (db, engine) in engines() {
+        // drain the portfolio
+        for _ in 0..population().holdings_per_user {
+            engine
+                .perform(&TradeAction::Sell {
+                    user: "uid:3".into(),
+                })
+                .unwrap();
+        }
+        let result = engine
+            .perform(&TradeAction::Sell {
+                user: "uid:3".into(),
+            })
+            .unwrap();
+        assert_eq!(result.get("status"), Some("no holdings to sell"), "{}", engine.label());
+        // balance untouched by the no-op sell
+        let _ = db;
+    }
+}
+
+#[test]
+fn login_increments_count_and_flags_session() {
+    for (db, engine) in engines() {
+        engine
+            .perform(&TradeAction::Login {
+                user: "uid:4".into(),
+            })
+            .unwrap();
+        engine
+            .perform(&TradeAction::Logout {
+                user: "uid:4".into(),
+            })
+            .unwrap();
+        let r = engine
+            .perform(&TradeAction::Login {
+                user: "uid:4".into(),
+            })
+            .unwrap();
+        assert_eq!(r.get("login count"), Some("2"), "{}", engine.label());
+        let mut conn = db.connect();
+        let rs = conn
+            .execute(
+                "SELECT loggedin, logincount FROM registry WHERE userid = 'uid:4'",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.rows()[0][0], Value::from(true), "{}", engine.label());
+        assert_eq!(rs.rows()[0][1], Value::from(2), "{}", engine.label());
+    }
+}
+
+#[test]
+fn register_creates_all_three_beans_and_rejects_duplicates() {
+    for (db, engine) in engines() {
+        engine
+            .perform(&TradeAction::Register {
+                user: "uid:new".into(),
+            })
+            .unwrap();
+        for table in ["account", "profile", "registry"] {
+            let mut conn = db.connect();
+            let rs = conn
+                .execute(
+                    &format!("SELECT COUNT(*) FROM {table} WHERE userid = 'uid:new'"),
+                    &[],
+                )
+                .unwrap();
+            assert_eq!(rs.scalar(), Some(&Value::from(1)), "{}: {table}", engine.label());
+        }
+        let again = engine.perform(&TradeAction::Register {
+            user: "uid:new".into(),
+        });
+        assert!(again.is_err(), "{}: duplicate register must fail", engine.label());
+    }
+}
+
+#[test]
+fn account_update_changes_email_only() {
+    for (db, engine) in engines() {
+        let fullname_before = {
+            let mut conn = db.connect();
+            conn.execute("SELECT fullname FROM profile WHERE userid = 'uid:5'", &[])
+                .unwrap()
+                .rows()[0][0]
+                .clone()
+        };
+        engine
+            .perform(&TradeAction::AccountUpdate {
+                user: "uid:5".into(),
+                email: "fresh@example.com".into(),
+            })
+            .unwrap();
+        let mut conn = db.connect();
+        let rs = conn
+            .execute(
+                "SELECT email, fullname FROM profile WHERE userid = 'uid:5'",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.rows()[0][0], Value::from("fresh@example.com"), "{}", engine.label());
+        assert_eq!(rs.rows()[0][1], fullname_before, "{}", engine.label());
+    }
+}
+
+#[test]
+fn unknown_user_fails_identically_across_engines() {
+    for (_db, engine) in engines() {
+        for action in [
+            TradeAction::Login {
+                user: "uid:ghost".into(),
+            },
+            TradeAction::Home {
+                user: "uid:ghost".into(),
+            },
+            TradeAction::Portfolio {
+                user: "uid:ghost".into(),
+            },
+        ] {
+            let result = engine.perform(&action);
+            match action {
+                // an empty portfolio page is legal for an unknown user
+                TradeAction::Portfolio { .. } => assert!(result.is_ok(), "{}", engine.label()),
+                _ => assert!(
+                    matches!(result, Err(EjbError::NotFound { .. })),
+                    "{}: {action:?}",
+                    engine.label()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_executes_atomically_and_matches_sequential_state() {
+    // Sequential engine over one db, batched engine over another: the
+    // committed state must be identical.
+    let db_seq = seeded_db();
+    let seq = EjbTradeEngine::new(
+        vanilla_container(share_connection(db_seq.connect())),
+        "Vanilla EJBs",
+        10_000,
+    );
+    let db_batch = seeded_db();
+    let store = CommonStore::new();
+    let source = Arc::new(DirectSource::new(
+        Box::new(db_batch.connect()),
+        trade_registry(),
+    ));
+    let committer = Arc::new(CombinedCommitter::new(
+        Box::new(db_batch.connect()),
+        trade_registry(),
+    ));
+    let batch = EjbTradeEngine::new(
+        cached_container(1, store, source, committer),
+        "Cached EJBs",
+        10_000,
+    );
+
+    let actions = vec![
+        TradeAction::Login { user: "uid:1".into() },
+        TradeAction::Buy {
+            user: "uid:1".into(),
+            symbol: "s:2".into(),
+            quantity: 5.0,
+        },
+        TradeAction::Sell { user: "uid:1".into() },
+        TradeAction::Logout { user: "uid:1".into() },
+    ];
+    for a in &actions {
+        seq.perform(a).unwrap();
+    }
+    let results = batch.perform_batch(&actions).unwrap();
+    assert_eq!(results.len(), 4);
+
+    for table in ["account", "holding", "registry"] {
+        let mut a = db_seq.connect();
+        let mut b = db_batch.connect();
+        let ra = a.execute(&format!("SELECT * FROM {table}"), &[]).unwrap();
+        let rb = b.execute(&format!("SELECT * FROM {table}"), &[]).unwrap();
+        assert_eq!(ra, rb, "{table} diverged between sequential and batched");
+    }
+}
+
+#[test]
+fn failed_batch_applies_nothing() {
+    let db = seeded_db();
+    let store = CommonStore::new();
+    let source = Arc::new(DirectSource::new(Box::new(db.connect()), trade_registry()));
+    let committer = Arc::new(CombinedCommitter::new(
+        Box::new(db.connect()),
+        trade_registry(),
+    ));
+    let engine = EjbTradeEngine::new(
+        cached_container(1, store, source, committer),
+        "Cached EJBs",
+        10_000,
+    );
+    let before = scalar_f64(&db, "SELECT SUM(balance) FROM account");
+    let result = engine.perform_batch(&[
+        TradeAction::Buy {
+            user: "uid:1".into(),
+            symbol: "s:2".into(),
+            quantity: 5.0,
+        },
+        TradeAction::Home {
+            user: "uid:ghost".into(), // fails → whole batch aborts
+        },
+    ]);
+    assert!(result.is_err());
+    let after = scalar_f64(&db, "SELECT SUM(balance) FROM account");
+    assert_eq!(before, after, "aborted batch leaked a buy");
+    assert_eq!(
+        scalar_i64(&db, "SELECT COUNT(*) FROM holding"),
+        (population().users * population().holdings_per_user) as i64
+    );
+}

@@ -1,0 +1,19 @@
+//! # sli-workload — measurement methodology
+//!
+//! The paper's protocol (§4.3): a warm-up of 400 sessions, then a measured
+//! run of 300 sessions whose reported latency is "the batched (over 20
+//! batches) average", and a linear fit over the delay sweep whose slope is
+//! the *latency sensitivity* of Table 2 (the paper quotes fits with
+//! R² ≈ 99%). This crate provides exactly those tools: batched statistics,
+//! least-squares regression, and plain-text/CSV report tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod linreg;
+mod report;
+mod stats;
+
+pub use linreg::{fit, LinearFit};
+pub use report::{Csv, TextTable};
+pub use stats::{batch_means, percentile, BatchStats, RunStats};

@@ -1,0 +1,120 @@
+//! Ordinary least-squares linear regression.
+//!
+//! The paper fits each latency-vs-delay series with "a linear curve
+//! extrapolating the data with an R² (quality of fit) of 99%"; the slope of
+//! that line is the *latency sensitivity* reported in Table 2.
+
+/// A fitted line `y = slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope — the latency sensitivity when fitting latency vs delay.
+    pub slope: f64,
+    /// Intercept — the zero-delay latency.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r2: f64,
+}
+
+impl LinearFit {
+    /// The fitted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits `(x, y)` points by ordinary least squares.
+///
+/// Returns `None` with fewer than two points or when all `x` coincide
+/// (undefined slope).
+///
+/// ```
+/// // latency vs one-way delay: slope 2 = one round trip per interaction
+/// let points = [(0.0, 7.0), (20.0, 47.0), (40.0, 87.0)];
+/// let fit = sli_workload::fit(&points).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-9);
+/// assert!((fit.intercept - 7.0).abs() < 1e-9);
+/// assert!(fit.r2 > 0.999);
+/// ```
+pub fn fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < f64::EPSILON * n * n {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
+        .sum();
+    let r2 = if ss_tot.abs() < f64::EPSILON {
+        1.0 // all y equal and perfectly fit by a horizontal line
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line() {
+        let points: Vec<(f64, f64)> = (0..10).map(|x| (x as f64, 3.0 * x as f64 + 7.0)).collect();
+        let f = fit(&points).unwrap();
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!((f.intercept - 7.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+        assert!((f.predict(20.0) - 67.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_high_but_imperfect_r2() {
+        let points: Vec<(f64, f64)> = (0..20)
+            .map(|x| {
+                let x = x as f64;
+                (x, 2.0 * x + 5.0 + if x as i64 % 2 == 0 { 0.5 } else { -0.5 })
+            })
+            .collect();
+        let f = fit(&points).unwrap();
+        assert!((f.slope - 2.0).abs() < 0.02);
+        assert!(f.r2 > 0.99 && f.r2 < 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(fit(&[]).is_none());
+        assert!(fit(&[(1.0, 2.0)]).is_none());
+        // vertical: identical x values
+        assert!(fit(&[(1.0, 2.0), (1.0, 3.0), (1.0, 4.0)]).is_none());
+    }
+
+    #[test]
+    fn horizontal_line() {
+        let f = fit(&[(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 5.0);
+        assert_eq!(f.r2, 1.0);
+    }
+
+    #[test]
+    fn negative_slope() {
+        let f = fit(&[(0.0, 10.0), (5.0, 0.0)]).unwrap();
+        assert!((f.slope + 2.0).abs() < 1e-12);
+    }
+}

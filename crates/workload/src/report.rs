@@ -1,0 +1,160 @@
+//! Plain-text and CSV report emitters for the bench binaries.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable {
+            header: header.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (shorter rows are padded with empty cells).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut TextTable {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (w, h) in widths.iter_mut().zip(&self.header) {
+            *w = (*w).max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let emit_row = |out: &mut String, cells: &[String]| {
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(out, "{cell:<width$}");
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            // no trailing spaces
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        if !self.header.is_empty() {
+            emit_row(&mut out, &self.header);
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            emit_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// A CSV emitter (RFC-4180-ish quoting).
+#[derive(Debug, Clone, Default)]
+pub struct Csv {
+    lines: Vec<String>,
+}
+
+impl Csv {
+    /// Starts a CSV document with a header row.
+    pub fn new(header: &[&str]) -> Csv {
+        let mut csv = Csv { lines: Vec::new() };
+        csv.push_raw(header.iter().map(|s| (*s).to_owned()).collect());
+        csv
+    }
+
+    fn push_raw(&mut self, cells: Vec<String>) {
+        let line = cells
+            .into_iter()
+            .map(|c| {
+                if c.contains([',', '"', '\n']) {
+                    format!("\"{}\"", c.replace('"', "\"\""))
+                } else {
+                    c
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        self.lines.push(line);
+    }
+
+    /// Appends a data row.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Csv {
+        self.push_raw(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Renders the document.
+    pub fn render(&self) -> String {
+        let mut s = self.lines.join("\n");
+        s.push('\n');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(vec!["latency", "12.5"]);
+        t.row(vec!["x", "3"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "name     value");
+        assert!(lines[1].starts_with("-----"));
+        assert_eq!(lines[2], "latency  12.5");
+        assert_eq!(lines[3], "x        3");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn table_pads_short_rows() {
+        let mut t = TextTable::new(&["a", "b", "c"]);
+        t.row(vec!["1"]);
+        let out = t.render();
+        assert!(out.lines().count() == 3);
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let mut c = Csv::new(&["name", "note"]);
+        c.row(vec!["plain", "with, comma"]);
+        c.row(vec!["q\"uote", "multi\nline"]);
+        let out = c.render();
+        assert!(out.starts_with("name,note\n"));
+        assert!(out.contains("plain,\"with, comma\"\n"));
+        assert!(out.contains("\"q\"\"uote\",\"multi\nline\"\n"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Batched-mean statistics.
+
+/// Summary statistics over a set of observations.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunStats {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub stdev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl RunStats {
+    /// Computes summary statistics; returns the default (all zeros) for an
+    /// empty slice.
+    pub fn of(values: &[f64]) -> RunStats {
+        if values.is_empty() {
+            return RunStats::default();
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        RunStats {
+            count,
+            mean,
+            stdev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+}
+
+/// The `q`-quantile (`0.0 ..= 1.0`) of `values` by linear interpolation
+/// between order statistics; `None` on an empty slice.
+///
+/// ```
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(sli_workload::percentile(&xs, 0.5), Some(2.5));
+/// assert_eq!(sli_workload::percentile(&xs, 1.0), Some(4.0));
+/// ```
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let q = q.clamp(0.0, 1.0);
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Statistics over batch means — the paper's reporting unit ("the batched
+/// (over 20 batches) average of a run consisting of 300 sessions").
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchStats {
+    /// Mean of each batch, in order.
+    pub batch_means: Vec<f64>,
+    /// Statistics over the batch means.
+    pub overall: RunStats,
+}
+
+/// Splits `values` into `batches` contiguous batches and returns the
+/// per-batch means plus their summary.
+///
+/// Remainder observations go to the final batch. With fewer observations
+/// than batches, each observation is its own batch.
+pub fn batch_means(values: &[f64], batches: usize) -> BatchStats {
+    let batches = batches.max(1).min(values.len().max(1));
+    let per = (values.len() / batches).max(1);
+    let mut means = Vec::with_capacity(batches);
+    let mut idx = 0;
+    for b in 0..batches {
+        let end = if b == batches - 1 {
+            values.len()
+        } else {
+            (idx + per).min(values.len())
+        };
+        if idx < end {
+            means.push(RunStats::of(&values[idx..end]).mean);
+        }
+        idx = end;
+    }
+    let overall = RunStats::of(&means);
+    BatchStats {
+        batch_means: means,
+        overall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_values() {
+        let s = RunStats::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stdev - 2.138089935299395).abs() < 1e-9);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(RunStats::of(&[]), RunStats::default());
+        let s = RunStats::of(&[3.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.stdev, 0.0);
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 1.0), Some(100.0));
+        let p50 = percentile(&xs, 0.5).unwrap();
+        assert!((p50 - 50.5).abs() < 1e-9);
+        let p95 = percentile(&xs, 0.95).unwrap();
+        assert!((p95 - 95.05).abs() < 1e-9);
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&[7.0], 0.99), Some(7.0));
+        // out-of-range quantiles clamp
+        assert_eq!(percentile(&xs, 2.0), Some(100.0));
+    }
+
+    #[test]
+    fn batching_splits_evenly() {
+        let values: Vec<f64> = (0..100).map(|v| v as f64).collect();
+        let b = batch_means(&values, 20);
+        assert_eq!(b.batch_means.len(), 20);
+        assert!((b.overall.mean - 49.5).abs() < 1e-12);
+        // first batch is mean of 0..5
+        assert!((b.batch_means[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batching_remainder_goes_to_last() {
+        let values: Vec<f64> = (0..7).map(|v| v as f64).collect();
+        let b = batch_means(&values, 3);
+        assert_eq!(b.batch_means.len(), 3);
+        // batches: [0,1], [2,3], [4,5,6]
+        assert!((b.batch_means[2] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_batches_than_values() {
+        let b = batch_means(&[1.0, 2.0], 20);
+        assert_eq!(b.batch_means.len(), 2);
+    }
+
+    #[test]
+    fn batching_empty_is_empty() {
+        let b = batch_means(&[], 20);
+        assert!(b.batch_means.is_empty());
+        assert_eq!(b.overall.count, 0);
+    }
+}

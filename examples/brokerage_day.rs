@@ -1,0 +1,104 @@
+//! A trading day at the brokerage: two cache-enhanced edge servers
+//! (ES/RBES) serve interleaved customer sessions against one back-end.
+//! Shows multi-edge operation end to end: cache warm-up, invalidation
+//! cross-talk, optimistic aborts with transparent retry, and the bandwidth
+//! ledger for the shared site.
+//!
+//! ```sh
+//! cargo run --release --example brokerage_day
+//! ```
+
+use sli_edge::arch::{Architecture, Testbed, TestbedConfig, VirtualClient};
+use sli_edge::datastore::{SqlConnection, Value};
+use sli_edge::simnet::SimDuration;
+use sli_edge::trade::seed::Population;
+use sli_edge::trade::session::SessionGenerator;
+
+fn main() {
+    let population = Population {
+        users: 30,
+        quotes: 60,
+        holdings_per_user: 5,
+    };
+    let testbed = Testbed::build(
+        Architecture::EsRbes,
+        TestbedConfig {
+            population,
+            edges: 2,
+            ..TestbedConfig::default()
+        },
+    );
+    testbed.set_delay(SimDuration::from_millis(60)); // transatlantic edges
+
+    // Two clients, one per edge, with *overlapping* user populations so the
+    // edges genuinely share data.
+    let mut gen_east = SessionGenerator::new(11, population);
+    let mut gen_west = SessionGenerator::new(22, population);
+    let mut east = VirtualClient::new(&testbed, 0);
+    let mut west = VirtualClient::new(&testbed, 1);
+
+    let sessions_per_edge = 40;
+    let mut interactions = 0u64;
+    let mut failures = 0u64;
+    for _ in 0..sessions_per_edge {
+        for outcome in east.run_session(&gen_east.session()) {
+            interactions += 1;
+            if outcome.status != 200 {
+                failures += 1;
+            }
+        }
+        for outcome in west.run_session(&gen_west.session()) {
+            interactions += 1;
+            if outcome.status != 200 {
+                failures += 1;
+            }
+        }
+    }
+
+    println!("brokerage day complete: {interactions} interactions, {failures} failures\n");
+    for (i, name) in ["east", "west"].iter().enumerate() {
+        let edge = &testbed.edges[i];
+        let store = edge.store.as_ref().unwrap();
+        let rm = edge.rm.as_ref().unwrap();
+        let shared = edge.shared_path.stats();
+        println!("edge {name}:");
+        println!(
+            "  cache: {} images, {:.0}% hit ratio, {} invalidations from the peer edge",
+            store.len(),
+            store.stats().hit_ratio() * 100.0,
+            store.stats().invalidations
+        );
+        println!(
+            "  transactions: {} commits, {} optimistic conflicts (retried transparently)",
+            rm.stats().commits,
+            rm.stats().conflicts
+        );
+        println!(
+            "  shared path: {} round trips, {:.1} KiB ({:.0} bytes/interaction)",
+            shared.round_trips(),
+            shared.total_bytes() as f64 / 1024.0,
+            shared.total_bytes() as f64 / (interactions as f64 / 2.0)
+        );
+    }
+
+    // Integrity audit straight on the persistent store.
+    let mut conn = testbed.db.connect();
+    let accounts = conn.execute("SELECT COUNT(*) FROM account", &[]).unwrap();
+    let holdings = conn.execute("SELECT COUNT(*) FROM holding", &[]).unwrap();
+    let negative = conn
+        .execute("SELECT COUNT(*) FROM holding WHERE quantity <= 0.0", &[])
+        .unwrap();
+    println!("\npersistent store audit:");
+    println!("  accounts: {}", accounts.scalar().unwrap());
+    println!("  holdings: {}", holdings.scalar().unwrap());
+    assert_eq!(
+        negative.scalar(),
+        Some(&Value::from(0)),
+        "no holding may have non-positive quantity"
+    );
+    println!("  all holdings positive ✓");
+    println!(
+        "\nsimulated time elapsed: {:.1} s",
+        testbed.clock.now().as_micros() as f64 / 1e6
+    );
+}

@@ -1,0 +1,71 @@
+//! A condensed reproduction of the paper's headline experiment: sweep the
+//! injected one-way delay and watch how each architecture's client latency
+//! responds (Figure 6 / Table 2 in miniature).
+//!
+//! ```sh
+//! cargo run --release --example latency_sweep
+//! ```
+
+use sli_edge::arch::{Architecture, Flavor, Testbed, TestbedConfig, VirtualClient};
+use sli_edge::simnet::SimDuration;
+use sli_edge::trade::seed::Population;
+use sli_edge::trade::session::SessionGenerator;
+use sli_edge::workload::{fit, TextTable};
+
+fn mean_latency_ms(arch: Architecture, delay_ms: u64, sessions: usize) -> f64 {
+    let testbed = Testbed::build(arch, TestbedConfig::default());
+    testbed.set_delay(SimDuration::from_millis(delay_ms));
+    let mut generator = SessionGenerator::new(2026, Population::default());
+    let mut client = VirtualClient::new(&testbed, 0);
+    // short warm-up so caches fill
+    for _ in 0..sessions / 2 {
+        client.run_session(&generator.session());
+    }
+    let mut latencies = Vec::new();
+    for _ in 0..sessions {
+        for o in client.run_session(&generator.session()) {
+            assert_eq!(o.status, 200);
+            latencies.push(o.latency.as_millis_f64());
+        }
+    }
+    latencies.iter().sum::<f64>() / latencies.len() as f64
+}
+
+fn main() {
+    let delays = [0u64, 25, 50, 75, 100];
+    let series = [
+        ("ES/RDB vanilla EJBs", Architecture::EsRdb(Flavor::VanillaEjb)),
+        ("ES/RDB cached EJBs", Architecture::EsRdb(Flavor::CachedEjb)),
+        ("ES/RDB JDBC", Architecture::EsRdb(Flavor::Jdbc)),
+        ("ES/RBES cached EJBs", Architecture::EsRbes),
+        ("Clients/RAS JDBC", Architecture::ClientsRas(Flavor::Jdbc)),
+    ];
+
+    println!("latency (ms per client interaction) vs one-way delay (ms):\n");
+    let mut header: Vec<String> = vec!["series".into()];
+    header.extend(delays.iter().map(|d| format!("{d}ms")));
+    header.push("sensitivity".into());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(&header_refs);
+
+    for (name, arch) in series {
+        let mut points = Vec::new();
+        let mut cells = vec![name.to_owned()];
+        for &d in &delays {
+            let latency = mean_latency_ms(arch, d, 30);
+            points.push((d as f64, latency));
+            cells.push(format!("{latency:.0}"));
+        }
+        let f = fit(&points).expect("five delays");
+        cells.push(format!("{:.1}", f.slope));
+        table.row(cells);
+    }
+    println!("{}", table.render());
+    println!(
+        "Reading the table like the paper does: every unit of one-way delay costs a\n\
+         Clients/RAS interaction exactly 2 units of latency (one round trip); the\n\
+         split-servers cache (ES/RBES) stays close to that floor because a warm\n\
+         transaction needs only its single commit round trip; every ES/RDB flavor\n\
+         pays per-statement crossings, vanilla BMP beans worst of all."
+    );
+}

@@ -1,0 +1,71 @@
+//! Quickstart: assemble a cache-enabled edge-server testbed, run one
+//! client session, and inspect what the caching layer did.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use sli_edge::arch::{Architecture, Testbed, TestbedConfig, VirtualClient};
+use sli_edge::simnet::SimDuration;
+use sli_edge::trade::TradeAction;
+
+fn main() {
+    // Build the split-servers (ES/RBES) deployment: a cache-enhanced edge
+    // server whose cache misses and commits go to a remote back-end server
+    // clustered with the database.
+    let testbed = Testbed::build(Architecture::EsRbes, TestbedConfig::default());
+
+    // Emulate a wide-area link between the edge and the back-end: 40 ms
+    // one-way, exactly like the paper's delay proxy.
+    testbed.set_delay(SimDuration::from_millis(40));
+
+    let mut client = VirtualClient::new(&testbed, 0);
+    let user = "uid:7".to_owned();
+    let session = vec![
+        TradeAction::Login { user: user.clone() },
+        TradeAction::Home { user: user.clone() },
+        TradeAction::Quote { symbol: "s:3".into() },
+        TradeAction::Quote { symbol: "s:3".into() }, // cache hit
+        TradeAction::Buy {
+            user: user.clone(),
+            symbol: "s:3".into(),
+            quantity: 100.0,
+        },
+        TradeAction::Portfolio { user: user.clone() },
+        TradeAction::Logout { user },
+    ];
+
+    println!("action      status  latency");
+    println!("----------------------------");
+    for action in &session {
+        let outcome = client.perform(action);
+        println!(
+            "{:<10}  {:>6}  {:>8}",
+            action.name(),
+            outcome.status,
+            outcome.latency.to_string()
+        );
+    }
+
+    let edge = &testbed.edges[0];
+    let cache = edge.store.as_ref().expect("ES/RBES is cache-enabled");
+    let rm = edge.rm.as_ref().expect("ES/RBES uses the SLI RM");
+    println!("\ncommon transient store: {} images cached", cache.len());
+    println!(
+        "cache lookups: {} hits / {} misses (hit ratio {:.0}%)",
+        cache.stats().hits,
+        cache.stats().misses,
+        cache.stats().hit_ratio() * 100.0
+    );
+    println!(
+        "optimistic transactions: {} committed, {} conflicts",
+        rm.stats().commits,
+        rm.stats().conflicts
+    );
+    let shared = testbed.delayed_path(0).stats();
+    println!(
+        "edge ↔ back-end traffic: {} round trips, {} bytes total",
+        shared.round_trips(),
+        shared.total_bytes()
+    );
+}

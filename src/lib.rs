@@ -1,0 +1,41 @@
+//! # sli-edge — edge-server architectures for transactional EJB applications
+//!
+//! Façade crate for the `sli-edge` workspace: a from-scratch Rust
+//! reproduction of Leff & Rayfield, *"Alternative Edge-Server Architectures
+//! for Enterprise JavaBeans Applications"* (Middleware 2004).
+//!
+//! Each member crate is re-exported under a short module name:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`simnet`] | `sli-simnet` | virtual clock, latency paths, wire codec, HTTP framing |
+//! | [`datastore`] | `sli-datastore` | embedded relational engine (the DB2 stand-in) |
+//! | [`component`] | `sli-component` | entity-bean model, container, BMP homes |
+//! | [`core`] | `sli-core` | the SLI caching framework — the paper's contribution |
+//! | [`arch`] | `sli-arch` | the ES/RDB, ES/RBES and Clients/RAS testbeds |
+//! | [`trade`] | `sli-trade` | the Trade2 brokerage benchmark |
+//! | [`workload`] | `sli-workload` | measurement statistics and regression |
+//!
+//! ## Example
+//!
+//! ```
+//! use sli_edge::arch::{Architecture, Testbed, TestbedConfig, VirtualClient};
+//! use sli_edge::simnet::SimDuration;
+//! use sli_edge::trade::TradeAction;
+//!
+//! let testbed = Testbed::build(Architecture::EsRbes, TestbedConfig::default());
+//! testbed.set_delay(SimDuration::from_millis(40));
+//! let mut client = VirtualClient::new(&testbed, 0);
+//! let outcome = client.perform(&TradeAction::Quote { symbol: "s:1".into() });
+//! assert_eq!(outcome.status, 200);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use sli_arch as arch;
+pub use sli_component as component;
+pub use sli_core as core;
+pub use sli_datastore as datastore;
+pub use sli_simnet as simnet;
+pub use sli_trade as trade;
+pub use sli_workload as workload;

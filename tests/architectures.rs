@@ -1,0 +1,211 @@
+//! End-to-end integration tests across the three deployment architectures:
+//! every architecture serves the full Trade2 workload, latency scales with
+//! injected delay the way the paper reports, and the three data-access
+//! engines are observationally equivalent on committed state.
+
+use sli_edge::arch::{Architecture, Flavor, Testbed, TestbedConfig, VirtualClient};
+use sli_edge::datastore::{SqlConnection, Value};
+use sli_edge::simnet::SimDuration;
+use sli_edge::trade::seed::Population;
+use sli_edge::trade::session::SessionGenerator;
+use sli_edge::trade::TradeAction;
+
+fn all_architectures() -> Vec<Architecture> {
+    vec![
+        Architecture::EsRdb(Flavor::Jdbc),
+        Architecture::EsRdb(Flavor::VanillaEjb),
+        Architecture::EsRdb(Flavor::CachedEjb),
+        Architecture::EsRbes,
+        Architecture::ClientsRas(Flavor::Jdbc),
+        Architecture::ClientsRas(Flavor::VanillaEjb),
+        Architecture::ClientsRas(Flavor::CachedEjb),
+    ]
+}
+
+#[test]
+fn twenty_sessions_succeed_on_every_architecture() {
+    for arch in all_architectures() {
+        let tb = Testbed::build(arch, TestbedConfig::default());
+        tb.set_delay(SimDuration::from_millis(10));
+        let mut generator = SessionGenerator::new(99, Population::default());
+        let mut client = VirtualClient::new(&tb, 0);
+        let mut interactions = 0;
+        for _ in 0..20 {
+            for outcome in client.run_session(&generator.session()) {
+                assert_eq!(outcome.status, 200, "{arch:?}");
+                interactions += 1;
+            }
+        }
+        assert_eq!(interactions, 20 * 11);
+    }
+}
+
+#[test]
+fn latency_is_affine_in_delay_for_fixed_workload() {
+    // Replaying the *same* seeded workload at different delays must shift
+    // latency purely linearly: same round-trip counts, bigger crossings.
+    for arch in [Architecture::EsRdb(Flavor::Jdbc), Architecture::EsRbes] {
+        let mut totals = Vec::new();
+        for delay_ms in [0u64, 30, 60] {
+            let tb = Testbed::build(arch, TestbedConfig::default());
+            tb.set_delay(SimDuration::from_millis(delay_ms));
+            let mut generator = SessionGenerator::new(7, Population::default());
+            let mut client = VirtualClient::new(&tb, 0);
+            let mut total = 0.0;
+            for _ in 0..10 {
+                for o in client.run_session(&generator.session()) {
+                    total += o.latency.as_millis_f64();
+                }
+            }
+            totals.push(total);
+        }
+        let first_step = totals[1] - totals[0];
+        let second_step = totals[2] - totals[1];
+        assert!(
+            (first_step - second_step).abs() < 1e-6,
+            "{arch:?}: steps {first_step} vs {second_step}"
+        );
+        assert!(first_step > 0.0, "{arch:?}: latency must grow with delay");
+    }
+}
+
+#[test]
+fn clients_ras_pays_exactly_one_round_trip_of_delay() {
+    let tb = Testbed::build(Architecture::ClientsRas(Flavor::Jdbc), TestbedConfig::default());
+    let mut client = VirtualClient::new(&tb, 0);
+    let action = TradeAction::Quote {
+        symbol: "s:3".into(),
+    };
+    let base = client.perform(&action).latency;
+    tb.set_delay(SimDuration::from_millis(35));
+    let delayed = client.perform(&action).latency;
+    let extra = delayed.as_micros() as i64 - base.as_micros() as i64;
+    assert_eq!(extra, 70_000, "exactly two one-way crossings of 35ms");
+}
+
+#[test]
+fn edge_architectures_keep_pages_off_the_shared_path() {
+    // The rendered HTML must never cross the edge↔shared-site path in the
+    // edge architectures; in Clients/RAS it crosses the delayed path.
+    let pop = Population::default();
+    for arch in [Architecture::EsRdb(Flavor::Jdbc), Architecture::EsRbes] {
+        let tb = Testbed::build(arch, TestbedConfig { population: pop, edges: 1, ..TestbedConfig::default() });
+        let mut generator = SessionGenerator::new(3, pop);
+        let mut client = VirtualClient::new(&tb, 0);
+        tb.reset_path_stats();
+        let mut page_bytes = 0u64;
+        for o in client.run_session(&generator.session()) {
+            page_bytes += o.response_bytes as u64;
+        }
+        let shared = tb.shared_site_bytes();
+        assert!(
+            shared < page_bytes / 3,
+            "{arch:?}: shared path carried {shared} bytes vs {page_bytes} page bytes"
+        );
+    }
+    let tb = Testbed::build(Architecture::ClientsRas(Flavor::Jdbc), TestbedConfig::default());
+    let mut generator = SessionGenerator::new(3, pop);
+    let mut client = VirtualClient::new(&tb, 0);
+    tb.reset_path_stats();
+    let mut page_bytes = 0u64;
+    for o in client.run_session(&generator.session()) {
+        page_bytes += o.response_bytes as u64;
+    }
+    assert!(tb.shared_site_bytes() >= page_bytes);
+}
+
+/// Dumps all five Trade2 tables as sorted rows for state comparison.
+fn dump_state(tb: &Testbed) -> Vec<(String, Vec<Vec<Value>>)> {
+    let mut conn = tb.db.connect();
+    ["account", "holding", "profile", "quote", "registry"]
+        .iter()
+        .map(|t| {
+            let rs = conn
+                .execute(&format!("SELECT * FROM {t}"), &[])
+                .expect("dump");
+            (t.to_string(), rs.into_rows())
+        })
+        .collect()
+}
+
+#[test]
+fn all_three_engines_commit_identical_state() {
+    // The same deterministic action sequence must leave byte-identical
+    // persistent state regardless of the data-access engine — the paper's
+    // transparency requirement, checked end to end.
+    let pop = Population {
+        users: 8,
+        quotes: 20,
+        holdings_per_user: 3,
+    };
+    let script: Vec<TradeAction> = {
+        let mut generator = SessionGenerator::new(1234, pop);
+        (0..8).flat_map(|_| generator.session()).collect()
+    };
+
+    let mut states = Vec::new();
+    for arch in [
+        Architecture::EsRdb(Flavor::Jdbc),
+        Architecture::EsRdb(Flavor::VanillaEjb),
+        Architecture::EsRdb(Flavor::CachedEjb),
+        Architecture::EsRbes,
+    ] {
+        let tb = Testbed::build(arch, TestbedConfig { population: pop, edges: 1, ..TestbedConfig::default() });
+        let mut client = VirtualClient::new(&tb, 0);
+        for action in &script {
+            let outcome = client.perform(action);
+            assert_eq!(outcome.status, 200, "{arch:?}: {action:?}");
+        }
+        states.push((arch, dump_state(&tb)));
+    }
+    let (ref_arch, reference) = &states[0];
+    for (arch, state) in &states[1..] {
+        assert_eq!(
+            state, reference,
+            "{arch:?} diverged from {ref_arch:?} on identical input"
+        );
+    }
+}
+
+#[test]
+fn cached_edges_make_fewer_shared_round_trips_than_vanilla() {
+    let pop = Population::default();
+    let mut round_trips = Vec::new();
+    for flavor in [Flavor::VanillaEjb, Flavor::CachedEjb] {
+        let tb = Testbed::build(Architecture::EsRdb(flavor), TestbedConfig::default());
+        let mut generator = SessionGenerator::new(5, pop);
+        let mut client = VirtualClient::new(&tb, 0);
+        // warm up to fill the cache
+        for _ in 0..10 {
+            client.run_session(&generator.session());
+        }
+        tb.reset_path_stats();
+        for _ in 0..10 {
+            client.run_session(&generator.session());
+        }
+        round_trips.push(tb.delayed_path(0).stats().round_trips());
+    }
+    // Paper Table 2: caching cuts ES/RDB sensitivity from 23.6 to 13.0
+    // (≈ 0.55×); require a clear reduction here.
+    assert!(
+        (round_trips[1] as f64) < round_trips[0] as f64 * 0.8,
+        "cached {} vs vanilla {}",
+        round_trips[1],
+        round_trips[0]
+    );
+}
+
+#[test]
+fn session_cookie_lifecycle_matches_http_sessions() {
+    let tb = Testbed::build(Architecture::EsRdb(Flavor::CachedEjb), TestbedConfig::default());
+    let mut client = VirtualClient::new(&tb, 0);
+    assert_eq!(tb.edges[0].server.session_count(), 0);
+    client.perform(&TradeAction::Login {
+        user: "uid:2".into(),
+    });
+    assert_eq!(tb.edges[0].server.session_count(), 1);
+    client.perform(&TradeAction::Logout {
+        user: "uid:2".into(),
+    });
+    assert_eq!(tb.edges[0].server.session_count(), 0);
+}

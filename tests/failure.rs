@@ -1,0 +1,330 @@
+//! Failure-injection integration tests: crashes, aborts and malformed
+//! traffic must never corrupt the persistent store or leak locks.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use sli_edge::component::{
+    share_connection, Container, EjbError, EntityMeta, Memento, ResourceManager,
+};
+use sli_edge::core::{
+    CombinedCommitter, CommitRequest, CommonStore, DirectSource, MetaRegistry, SliHome,
+    SliResourceManager, SplitCommitter,
+};
+use sli_edge::core::BackendServer;
+use sli_edge::datastore::server::{DbCostModel, DbServer, RemoteConnection};
+use sli_edge::datastore::{ColumnType, Database, DbError, SqlConnection, Value};
+use sli_edge::simnet::{Clock, Path, PathSpec, Remote, Service};
+
+fn account_meta() -> EntityMeta {
+    EntityMeta::new("Account", "account", "userid", ColumnType::Varchar)
+        .field("balance", ColumnType::Double)
+}
+
+fn registry() -> MetaRegistry {
+    MetaRegistry::new().with(account_meta())
+}
+
+fn seeded_db() -> Arc<Database> {
+    let db = Database::new();
+    registry().create_schema(&db).unwrap();
+    let mut conn = db.connect();
+    conn.execute(
+        "INSERT INTO account (userid, balance) VALUES ('alice', 100.0)",
+        &[],
+    )
+    .unwrap();
+    db
+}
+
+fn cached_edge(db: &Arc<Database>) -> (Container, Arc<CommonStore>) {
+    let store = CommonStore::new();
+    let source = Arc::new(DirectSource::new(Box::new(db.connect()), registry()));
+    let committer = Arc::new(CombinedCommitter::new(Box::new(db.connect()), registry()));
+    let rm = Arc::new(SliResourceManager::new(1, committer, Arc::clone(&store)));
+    let mut container = Container::new(rm as Arc<dyn ResourceManager>);
+    container.register(Arc::new(SliHome::new(
+        account_meta(),
+        Arc::clone(&store),
+        source,
+    )));
+    (container, store)
+}
+
+fn balance(db: &Arc<Database>) -> f64 {
+    let mut conn = db.connect();
+    conn.execute("SELECT balance FROM account WHERE userid = 'alice'", &[])
+        .unwrap()
+        .rows()[0][0]
+        .as_double()
+        .unwrap()
+}
+
+#[test]
+fn edge_crash_mid_transaction_leaves_store_untouched() {
+    let db = seeded_db();
+    {
+        let (edge, _store) = cached_edge(&db);
+        // Simulate a crash: the transaction's closure panics; the workspace
+        // and the container die with the edge, nothing was shipped.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = edge.with_transaction(|ctx, c| {
+                let home = c.home("Account")?;
+                home.set_field(ctx, &Value::from("alice"), "balance", Value::from(0.0))?;
+                panic!("edge process crashed");
+                #[allow(unreachable_code)]
+                Ok(())
+            });
+        }));
+        assert!(result.is_err());
+        // edge dropped here
+    }
+    assert_eq!(balance(&db), 100.0);
+    assert_eq!(db.lock_manager().lock_count(), 0);
+}
+
+#[test]
+fn vanilla_connection_drop_mid_transaction_rolls_back() {
+    let db = seeded_db();
+    {
+        let conn = share_connection(db.connect());
+        let mut container = Container::new(Arc::new(
+            sli_edge::component::JdbcResourceManager::new(Arc::clone(&conn)),
+        ));
+        container.register(Arc::new(sli_edge::component::BmpHome::new(
+            account_meta(),
+            conn,
+        )));
+        let result: Result<(), EjbError> = container.with_transaction(|ctx, c| {
+            let home = c.home("Account")?;
+            home.set_field(ctx, &Value::from("alice"), "balance", Value::from(0.0))?;
+            Err(EjbError::TransactionRequired) // forced abort
+        });
+        assert!(result.is_err());
+        // container + connection dropped with no commit
+    }
+    assert_eq!(balance(&db), 100.0);
+    assert_eq!(db.lock_manager().lock_count(), 0);
+}
+
+#[test]
+fn malformed_wire_traffic_is_rejected_not_crashing() {
+    let db = seeded_db();
+    let clock = Arc::new(Clock::new());
+    let db_server = DbServer::new(Arc::clone(&db), Arc::clone(&clock), DbCostModel::default());
+    // Garbage straight to the server: must produce an error response, not
+    // a panic, and must not disturb data.
+    let resp = db_server.handle(Bytes::from_static(b"\xde\xad\xbe\xef garbage"));
+    assert!(!resp.is_empty());
+    let backend = BackendServer::new(Box::new(db.connect()), registry(), clock);
+    let resp = backend.handle(Bytes::from_static(b"not a frame"));
+    assert!(!resp.is_empty());
+    assert_eq!(balance(&db), 100.0);
+}
+
+#[test]
+fn conflicted_commit_applies_nothing_even_across_many_beans() {
+    let db = seeded_db();
+    let mut conn = db.connect();
+    for i in 0..5 {
+        conn.execute(
+            "INSERT INTO account (userid, balance) VALUES (?, 10.0)",
+            &[Value::from(format!("u{i}"))],
+        )
+        .unwrap();
+    }
+    let (edge, _store) = cached_edge(&db);
+    // Cache all six accounts.
+    edge.with_transaction(|ctx, c| {
+        let home = c.home("Account")?;
+        for i in 0..5 {
+            home.get_field(ctx, &Value::from(format!("u{i}")), "balance")?;
+        }
+        home.get_field(ctx, &Value::from("alice"), "balance")?;
+        Ok(())
+    })
+    .unwrap();
+    // External write invalidates one of them behind the cache's back.
+    conn.execute("UPDATE account SET balance = 1.0 WHERE userid = 'u4'", &[])
+        .unwrap();
+    // A sweeping update touching all six must abort atomically.
+    let result = edge.with_transaction(|ctx, c| {
+        let home = c.home("Account")?;
+        for i in 0..5 {
+            home.set_field(ctx, &Value::from(format!("u{i}")), "balance", Value::from(0.0))?;
+        }
+        home.set_field(ctx, &Value::from("alice"), "balance", Value::from(0.0))?;
+        Ok(())
+    });
+    assert!(matches!(result, Err(EjbError::OptimisticConflict { .. })));
+    let rs = conn
+        .execute("SELECT COUNT(*) FROM account WHERE balance = 0.0", &[])
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::from(0)), "partial apply leaked");
+}
+
+#[test]
+fn remote_connection_survives_server_side_errors() {
+    let db = seeded_db();
+    let clock = Arc::new(Clock::new());
+    let server = DbServer::new(Arc::clone(&db), Arc::clone(&clock), DbCostModel::default());
+    let path = Path::new("edge-db", clock, PathSpec::lan());
+    let mut conn = RemoteConnection::open(Remote::new(path, server)).unwrap();
+    // A stream of failing statements must leave the connection usable.
+    assert!(matches!(
+        conn.execute("SELECT * FROM ghost", &[]),
+        Err(DbError::NoSuchTable(_))
+    ));
+    assert!(matches!(
+        conn.execute("THIS IS NOT SQL", &[]),
+        Err(DbError::Parse(_))
+    ));
+    assert!(matches!(
+        conn.execute(
+            "INSERT INTO account (userid, balance) VALUES ('alice', 1.0)",
+            &[]
+        ),
+        Err(DbError::DuplicateKey(_))
+    ));
+    // and then work normally
+    let rs = conn
+        .execute("SELECT balance FROM account WHERE userid = 'alice'", &[])
+        .unwrap();
+    assert_eq!(rs.rows()[0][0], Value::from(100.0));
+    assert_eq!(db.lock_manager().lock_count(), 0);
+}
+
+#[test]
+fn empty_commit_request_is_a_no_op_everywhere() {
+    let db = seeded_db();
+    let clock = Arc::new(Clock::new());
+    let backend = BackendServer::new(Box::new(db.connect()), registry(), Arc::clone(&clock));
+    let path = Path::new("edge-backend", clock, PathSpec::lan());
+    let committer = SplitCommitter::new(Remote::new(path, backend));
+    use sli_edge::core::Committer as _;
+    let outcome = committer
+        .commit(&CommitRequest {
+            origin: 1,
+            entries: vec![],
+        })
+        .unwrap();
+    assert_eq!(outcome, sli_edge::core::CommitOutcome::Committed);
+    assert_eq!(balance(&db), 100.0);
+}
+
+#[test]
+fn conflict_storm_converges_under_retry() {
+    // Two edges fight over one row with immediate retries; both must make
+    // all their updates eventually (livelock-freedom in the low-load
+    // sequential model).
+    let db = seeded_db();
+    let (edge1, _s1) = cached_edge(&db);
+    let (edge2, _s2) = cached_edge(&db);
+    let mut total_applied = 0.0;
+    for round in 0..20 {
+        let edge = if round % 2 == 0 { &edge1 } else { &edge2 };
+        edge.with_retrying_transaction(5, |ctx, c| {
+            let home = c.home("Account")?;
+            let key = Value::from("alice");
+            let b = home.get_field(ctx, &key, "balance")?.as_double().unwrap();
+            home.set_field(ctx, &key, "balance", Value::from(b + 1.0))?;
+            Ok(())
+        })
+        .unwrap();
+        total_applied += 1.0;
+    }
+    assert_eq!(balance(&db), 100.0 + total_applied);
+}
+
+#[test]
+fn create_after_failed_create_retries_cleanly() {
+    let db = seeded_db();
+    let (edge, store) = cached_edge(&db);
+    // First create succeeds.
+    edge.with_transaction(|ctx, c| {
+        c.home("Account")?.create(
+            ctx,
+            Memento::new("Account", Value::from("bob")).with_field("balance", 1.0),
+        )?;
+        Ok(())
+    })
+    .unwrap();
+    // Second create of the same key conflicts at commit; afterwards the
+    // cache still serves the real bean.
+    let result = edge.with_transaction(|ctx, c| {
+        c.home("Account")?.create(
+            ctx,
+            Memento::new("Account", Value::from("bob")).with_field("balance", 99.0),
+        )?;
+        Ok(())
+    });
+    assert!(matches!(result, Err(EjbError::OptimisticConflict { .. })));
+    let read_back = edge
+        .with_transaction(|ctx, c| {
+            c.home("Account")?
+                .get_field(ctx, &Value::from("bob"), "balance")
+        })
+        .unwrap();
+    assert_eq!(read_back, Value::from(1.0));
+    assert!(store.get("Account", &Value::from("bob")).is_some());
+}
+
+#[test]
+fn database_crash_and_restore_preserves_committed_state_only() {
+    let db = seeded_db();
+    let (edge, store) = cached_edge(&db);
+    // Two committed transactions...
+    edge.with_transaction(|ctx, c| {
+        c.home("Account")?.set_field(
+            ctx,
+            &Value::from("alice"),
+            "balance",
+            Value::from(80.0),
+        )?;
+        Ok(())
+    })
+    .unwrap();
+    edge.with_transaction(|ctx, c| {
+        c.home("Account")?.create(
+            ctx,
+            Memento::new("Account", Value::from("bob")).with_field("balance", 5.0),
+        )?;
+        Ok(())
+    })
+    .unwrap();
+    // ...then the database machine checkpoints and "crashes".
+    let checkpoint = db.checkpoint();
+    drop(db);
+    let recovered = Database::restore(checkpoint).unwrap();
+    let mut conn = recovered.connect();
+    let rs = conn
+        .execute("SELECT balance FROM account WHERE userid = 'alice'", &[])
+        .unwrap();
+    assert_eq!(rs.rows()[0][0], Value::from(80.0));
+    let rs = conn
+        .execute("SELECT balance FROM account WHERE userid = 'bob'", &[])
+        .unwrap();
+    assert_eq!(rs.rows()[0][0], Value::from(5.0));
+
+    // A fresh edge over the recovered database serves the same data; the
+    // old edge's still-cached images validate cleanly because they match
+    // the recovered state.
+    let (edge2, _s2) = cached_edge(&recovered);
+    edge2
+        .with_transaction(|ctx, c| {
+            let b = c
+                .home("Account")?
+                .get_field(ctx, &Value::from("alice"), "balance")?;
+            assert_eq!(b, Value::from(80.0));
+            Ok(())
+        })
+        .unwrap();
+    // the survivor cache still holds alice@80 — consistent with recovery
+    assert_eq!(
+        store
+            .get("Account", &Value::from("alice"))
+            .unwrap()
+            .get("balance"),
+        Some(&Value::from(80.0))
+    );
+}

@@ -1,0 +1,408 @@
+//! Property-based tests over the core invariants:
+//!
+//! * every wire codec round-trips arbitrary data;
+//! * bound predicates survive `to_sql` → parser round trips;
+//! * the two optimistic validators (SELECT-then-write vs one-statement-per-
+//!   image) are observationally equivalent;
+//! * a cache-enabled container and a vanilla container compute identical
+//!   persistent state for arbitrary operation sequences;
+//! * the regression and batching math behaves on arbitrary affine data.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use sli_edge::component::{
+    share_connection, Container, EntityMeta, Memento, ResourceManager, TxContext,
+};
+use sli_edge::component::BmpHome;
+use sli_edge::component::JdbcResourceManager;
+use sli_edge::core::{
+    validate_and_apply, validate_and_apply_per_image, CombinedCommitter, CommitEntry,
+    CommitOutcome, CommitRequest, CommonStore, DirectSource, EntryKind, MetaRegistry,
+    SliHome, SliResourceManager,
+};
+use sli_edge::datastore::{CmpOp, ColumnType, Database, Predicate, SqlConnection, Value};
+use sli_edge::simnet::wire::{Reader, Writer};
+use sli_edge::workload::{batch_means, fit};
+
+// ---------- strategies ----------
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::from),
+        any::<i64>().prop_map(Value::from),
+        // finite doubles only: NULL/NaN round-trips are covered in unit
+        // tests; SQL semantics for NaN are not interesting here.
+        (-1.0e12f64..1.0e12).prop_map(Value::from),
+        "[a-zA-Z0-9 :'_-]{0,24}".prop_map(Value::from),
+    ]
+}
+
+fn key_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0i64..1000).prop_map(Value::from),
+        "[a-z0-9:]{1,12}".prop_map(Value::from),
+    ]
+}
+
+fn memento_strategy() -> impl Strategy<Value = Memento> {
+    (
+        "[A-Z][a-zA-Z]{0,10}",
+        key_strategy(),
+        prop::collection::btree_map("[a-z][a-z0-9_]{0,10}", value_strategy(), 0..6),
+    )
+        .prop_map(|(bean, key, fields)| {
+            let mut m = Memento::new(bean, key);
+            for (name, value) in fields {
+                m.set(name, value);
+            }
+            m
+        })
+}
+
+/// Bound predicates over the columns of the `holding` test schema, with
+/// ascending placeholder-free literals only (so `to_sql` round-trips).
+fn predicate_strategy() -> impl Strategy<Value = Predicate> {
+    let leaf = prop_oneof![
+        (
+            prop_oneof![Just("owner"), Just("qty"), Just("id")],
+            prop_oneof![
+                Just(CmpOp::Eq),
+                Just(CmpOp::Ne),
+                Just(CmpOp::Lt),
+                Just(CmpOp::Le),
+                Just(CmpOp::Gt),
+                Just(CmpOp::Ge)
+            ],
+            prop_oneof![
+                (0i64..100).prop_map(Value::from),
+                (-50.0f64..50.0).prop_map(Value::from),
+                "[a-z0-9:']{0,8}".prop_map(Value::from),
+            ],
+        )
+            .prop_map(|(c, op, v)| Predicate::cmp(c, op, v)),
+        "[a-z0-9%_]{0,8}".prop_map(|p| Predicate::Like {
+            column: "owner".into(),
+            pattern: p,
+        }),
+        Just(Predicate::IsNull {
+            column: "note".into()
+        }),
+        Just(Predicate::IsNotNull {
+            column: "owner".into()
+        }),
+        prop::collection::vec(
+            prop_oneof![
+                (0i64..50).prop_map(Value::from),
+                "[a-z0-9:]{0,6}".prop_map(Value::from)
+            ],
+            1..4,
+        )
+        .prop_map(|values| Predicate::In {
+            column: "owner".into(),
+            values,
+        }),
+        ((0i64..50), (50i64..100)).prop_map(|(low, high)| Predicate::Between {
+            column: "qty".into(),
+            low: Value::from(low),
+            high: Value::from(high),
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Predicate::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Predicate::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|p| Predicate::Not(Box::new(p))),
+        ]
+    })
+}
+
+// ---------- codec round trips ----------
+
+proptest! {
+    #[test]
+    fn value_codec_round_trips(v in value_strategy()) {
+        let mut w = Writer::new();
+        v.encode(&mut w);
+        let mut r = Reader::new(w.finish());
+        prop_assert_eq!(Value::decode(&mut r).unwrap(), v);
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn memento_codec_round_trips(m in memento_strategy()) {
+        let mut w = Writer::new();
+        m.encode(&mut w);
+        let mut r = Reader::new(w.finish());
+        prop_assert_eq!(Memento::decode(&mut r).unwrap(), m);
+    }
+
+    #[test]
+    fn predicate_codec_round_trips(p in predicate_strategy()) {
+        let mut w = Writer::new();
+        p.encode(&mut w);
+        let mut r = Reader::new(w.finish());
+        prop_assert_eq!(Predicate::decode(&mut r).unwrap(), p);
+    }
+
+    #[test]
+    fn predicate_to_sql_round_trips_through_parser(p in predicate_strategy()) {
+        let sql = format!("SELECT * FROM holding WHERE {}", p.to_sql());
+        let stmt = sli_edge::datastore::sql::parse(&sql).unwrap();
+        match stmt {
+            sli_edge::datastore::sql::Statement::Select { predicate, .. } => {
+                prop_assert_eq!(predicate, p)
+            }
+            other => prop_assert!(false, "unexpected statement {:?}", other),
+        }
+    }
+
+    #[test]
+    fn commit_request_codec_round_trips(
+        mementos in prop::collection::vec(memento_strategy(), 1..6),
+        origin in 0u32..8,
+    ) {
+        let entries: Vec<CommitEntry> = mementos
+            .iter()
+            .enumerate()
+            .map(|(i, m)| CommitEntry {
+                bean: m.bean().to_owned(),
+                key: m.primary_key().clone(),
+                kind: match i % 4 {
+                    0 => EntryKind::Read { before: m.clone() },
+                    1 => EntryKind::Update { before: m.clone(), after: m.clone() },
+                    2 => EntryKind::Create { after: m.clone() },
+                    _ => EntryKind::Remove { before: m.clone() },
+                },
+            })
+            .collect();
+        let req = CommitRequest { origin, entries };
+        let frame = req.encode();
+        let back = CommitRequest::decode(&mut Reader::new(frame)).unwrap();
+        prop_assert_eq!(back, req);
+    }
+}
+
+// ---------- validator equivalence ----------
+
+fn account_meta() -> EntityMeta {
+    EntityMeta::new("Account", "account", "userid", ColumnType::Varchar)
+        .field("balance", ColumnType::Double)
+        .field("note", ColumnType::Varchar)
+}
+
+fn registry() -> MetaRegistry {
+    MetaRegistry::new().with(account_meta())
+}
+
+fn db_with_rows(rows: &[(String, f64)]) -> Arc<Database> {
+    let db = Database::new();
+    registry().create_schema(&db).unwrap();
+    let mut conn = db.connect();
+    for (user, balance) in rows {
+        // ignore duplicates from the generator: first write wins
+        let _ = conn.execute(
+            "INSERT INTO account (userid, balance) VALUES (?, ?)",
+            &[Value::from(user.clone()), Value::from(*balance)],
+        );
+    }
+    db
+}
+
+fn dump(db: &Arc<Database>) -> Vec<Vec<Value>> {
+    let mut conn = db.connect();
+    conn.execute("SELECT * FROM account", &[])
+        .unwrap()
+        .into_rows()
+}
+
+fn account_image(user: &str, balance: f64) -> Memento {
+    Memento::new("Account", Value::from(user))
+        .with_field("balance", balance)
+        .with_field("note", Value::Null)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The combined (per-image conditional writes) and split (SELECT then
+    /// write) validators must agree on outcome AND final state for
+    /// arbitrary commit requests against arbitrary initial states.
+    #[test]
+    fn validators_are_observationally_equivalent(
+        initial in prop::collection::vec(("[a-d]", 0.0f64..100.0), 0..4)
+            .prop_map(|v| v.into_iter().collect::<Vec<(String, f64)>>()),
+        entries in prop::collection::vec(
+            ("[a-d]", 0.0f64..100.0, 0.0f64..100.0, 0usize..4),
+            1..5
+        ),
+    ) {
+        let request = CommitRequest {
+            origin: 0,
+            entries: entries
+                .iter()
+                .map(|(user, before, after, kind)| CommitEntry {
+                    bean: "Account".into(),
+                    key: Value::from(user.clone()),
+                    kind: match kind {
+                        0 => EntryKind::Read { before: account_image(user, *before) },
+                        1 => EntryKind::Update {
+                            before: account_image(user, *before),
+                            after: account_image(user, *after),
+                        },
+                        2 => EntryKind::Create { after: account_image(user, *after) },
+                        _ => EntryKind::Remove { before: account_image(user, *before) },
+                    },
+                })
+                .collect(),
+        };
+
+        let db_a = db_with_rows(&initial);
+        let db_b = db_with_rows(&initial);
+        prop_assert_eq!(dump(&db_a), dump(&db_b));
+
+        let mut conn_a = db_a.connect();
+        let mut conn_b = db_b.connect();
+        let reg = registry();
+        let out_a = validate_and_apply(&mut conn_a, &reg, &request).unwrap();
+        let out_b = validate_and_apply_per_image(&mut conn_b, &reg, &request).unwrap();
+        prop_assert_eq!(
+            matches!(out_a, CommitOutcome::Committed),
+            matches!(out_b, CommitOutcome::Committed),
+            "outcomes diverged: {:?} vs {:?}", out_a, out_b
+        );
+        prop_assert_eq!(dump(&db_a), dump(&db_b));
+        // neither leaves a transaction open
+        prop_assert!(!conn_a.in_transaction());
+        prop_assert!(!conn_b.in_transaction());
+    }
+}
+
+// ---------- cache transparency ----------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Set(u8, f64),
+    Remove(u8),
+    Create(u8, f64),
+    Read(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..6, 0.0f64..100.0).prop_map(|(k, v)| Op::Set(k, v)),
+        (0u8..6).prop_map(Op::Remove),
+        (0u8..6, 0.0f64..100.0).prop_map(|(k, v)| Op::Create(k, v)),
+        (0u8..6).prop_map(Op::Read),
+    ]
+}
+
+fn apply_ops(container: &Container, ops: &[Op]) {
+    for op in ops {
+        // Each op runs in its own transaction; business errors (not found,
+        // duplicates) are expected and ignored — both deployments must
+        // ignore the *same* ones.
+        let _ = container.with_transaction(|ctx: &mut TxContext, c: &Container| {
+            let home = c.home("Account")?;
+            match op {
+                Op::Set(k, v) => {
+                    home.set_field(ctx, &Value::from(*k as i64), "balance", Value::from(*v))?;
+                }
+                Op::Remove(k) => {
+                    home.remove(ctx, &Value::from(*k as i64))?;
+                }
+                Op::Create(k, v) => {
+                    home.create(
+                        ctx,
+                        Memento::new("Account", Value::from(*k as i64)).with_field("balance", *v),
+                    )?;
+                }
+                Op::Read(k) => {
+                    home.get_field(ctx, &Value::from(*k as i64), "balance")?;
+                }
+            }
+            Ok(())
+        });
+    }
+}
+
+fn int_account_meta() -> EntityMeta {
+    EntityMeta::new("Account", "account", "userid", ColumnType::Int)
+        .field("balance", ColumnType::Double)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The transparency property (§1.3): swapping BMP homes for SLI homes
+    /// must not change observable persistent state, for arbitrary operation
+    /// sequences.
+    #[test]
+    fn sli_cache_is_transparent_to_arbitrary_workloads(
+        ops in prop::collection::vec(op_strategy(), 1..30)
+    ) {
+        let reg = MetaRegistry::new().with(int_account_meta());
+
+        // vanilla deployment
+        let db_vanilla = Database::new();
+        reg.create_schema(&db_vanilla).unwrap();
+        let conn = share_connection(db_vanilla.connect());
+        let mut vanilla = Container::new(Arc::new(JdbcResourceManager::new(Arc::clone(&conn))));
+        vanilla.register(Arc::new(BmpHome::new(int_account_meta(), conn)));
+
+        // cached deployment
+        let db_cached = Database::new();
+        reg.create_schema(&db_cached).unwrap();
+        let store = CommonStore::new();
+        let source = Arc::new(DirectSource::new(Box::new(db_cached.connect()), reg.clone()));
+        let committer = Arc::new(CombinedCommitter::new(Box::new(db_cached.connect()), reg.clone()));
+        let rm = Arc::new(SliResourceManager::new(1, committer, Arc::clone(&store)));
+        let mut cached = Container::new(rm as Arc<dyn ResourceManager>);
+        cached.register(Arc::new(SliHome::new(int_account_meta(), store, source)));
+
+        apply_ops(&vanilla, &ops);
+        apply_ops(&cached, &ops);
+
+        prop_assert_eq!(dump(&db_vanilla), dump(&db_cached));
+        prop_assert_eq!(db_vanilla.lock_manager().lock_count(), 0);
+        prop_assert_eq!(db_cached.lock_manager().lock_count(), 0);
+    }
+}
+
+// ---------- measurement math ----------
+
+proptest! {
+    #[test]
+    fn fit_recovers_affine_relationships(
+        slope in -50.0f64..50.0,
+        intercept in -100.0f64..100.0,
+        xs in prop::collection::btree_set(0u32..1000, 2..20),
+    ) {
+        let points: Vec<(f64, f64)> = xs
+            .iter()
+            .map(|&x| (x as f64, slope * x as f64 + intercept))
+            .collect();
+        let f = fit(&points).unwrap();
+        prop_assert!((f.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((f.intercept - intercept).abs() < 1e-5 * (1.0 + intercept.abs()));
+        prop_assert!(f.r2 > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn batch_means_preserve_the_grand_mean_for_even_splits(
+        values in prop::collection::vec(0.0f64..1000.0, 20..100),
+        batches in 1usize..10,
+    ) {
+        // When batches divide the sample evenly, the mean of batch means
+        // equals the grand mean.
+        let len = values.len() - values.len() % batches;
+        let values = &values[..len];
+        let b = batch_means(values, batches);
+        let grand = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((b.overall.mean - grand).abs() < 1e-9 * (1.0 + grand.abs()));
+    }
+}
