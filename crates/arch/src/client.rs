@@ -64,8 +64,7 @@ impl<'t> VirtualClient<'t> {
         let raw_response = resp.encode();
         let response_bytes = raw_response.len();
         node.client_path.respond(response_bytes);
-        let resp =
-            HttpResponse::parse(&raw_response).expect("server emits well-formed HTTP");
+        let resp = HttpResponse::parse(&raw_response).expect("server emits well-formed HTTP");
         let latency = clock.now() - start;
 
         if let Some(cookie) = &resp.set_cookie {
@@ -157,12 +156,19 @@ mod tests {
 
     #[test]
     fn response_bytes_reflect_rendered_pages() {
-        let tb = Testbed::build(Architecture::ClientsRas(Flavor::Jdbc), TestbedConfig::default());
+        let tb = Testbed::build(
+            Architecture::ClientsRas(Flavor::Jdbc),
+            TestbedConfig::default(),
+        );
         let mut client = VirtualClient::new(&tb, 0);
         let o = client.perform(&TradeAction::Portfolio {
             user: "uid:1".into(),
         });
-        assert!(o.response_bytes > 3_000, "page was {} bytes", o.response_bytes);
+        assert!(
+            o.response_bytes > 3_000,
+            "page was {} bytes",
+            o.response_bytes
+        );
         assert!(o.request_bytes > 100);
         // all of it crossed the client path
         let stats = tb.edges[0].client_path.stats();

@@ -144,10 +144,17 @@ impl AppServer {
                 self.finish(resp)
             }
             Err(e) => {
-                let (status, title) = if e.is_retryable() {
-                    (409, "Transaction Conflict")
-                } else {
-                    (500, "Trade Error")
+                // The transport already spent its retry budget on an
+                // Unavailable error; re-driving the session bean would only
+                // stack timeouts, so degrade to a clean aborted-transaction
+                // page instead. Conflicts (409) remain worth a fresh attempt
+                // by the client; anything else is a server fault (500).
+                let (status, title) = match &e {
+                    sli_component::EjbError::Db(sli_datastore::DbError::Unavailable(_)) => {
+                        (503, "Service Temporarily Unavailable")
+                    }
+                    _ if e.is_retryable() => (409, "Transaction Conflict"),
+                    _ => (500, "Trade Error"),
                 };
                 let body = page::render_error(title, &e.to_string());
                 self.finish(HttpResponse::error(status, body))
@@ -192,8 +199,12 @@ mod tests {
     #[test]
     fn parse_action_round_trips_query_params() {
         let actions = vec![
-            TradeAction::Login { user: "uid:1".into() },
-            TradeAction::Quote { symbol: "s:2".into() },
+            TradeAction::Login {
+                user: "uid:1".into(),
+            },
+            TradeAction::Quote {
+                symbol: "s:2".into(),
+            },
             TradeAction::Buy {
                 user: "uid:1".into(),
                 symbol: "s:3".into(),
@@ -203,7 +214,9 @@ mod tests {
                 user: "uid:1".into(),
                 email: "x@y.z".into(),
             },
-            TradeAction::Sell { user: "uid:1".into() },
+            TradeAction::Sell {
+                user: "uid:1".into(),
+            },
         ];
         for a in actions {
             let req = HttpRequest::get("/trade/app", a.query_params());
@@ -312,5 +325,38 @@ mod tests {
         let resp = server2.handle(&get(&[("action", "home"), ("uid", "uid:1")]));
         assert_eq!(resp.status, 409);
         drop(server);
+    }
+
+    #[test]
+    fn transport_unavailability_degrades_to_503() {
+        /// An engine whose backing tier is unreachable: the transport
+        /// already retried, so the servlet must not drive it again.
+        struct Unreachable {
+            calls: std::sync::atomic::AtomicUsize,
+        }
+        impl TradeEngine for Unreachable {
+            fn perform(&self, _a: &TradeAction) -> EjbResult<TradeResult> {
+                self.calls
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Err(sli_component::EjbError::Db(
+                    sli_datastore::DbError::Unavailable(
+                        "remote call timed out after 4 attempt(s)".into(),
+                    ),
+                ))
+            }
+            fn label(&self) -> &'static str {
+                "unreachable"
+            }
+        }
+        let engine = Box::new(Unreachable {
+            calls: std::sync::atomic::AtomicUsize::new(0),
+        });
+        let server = AppServer::new(engine, Arc::new(Clock::new()));
+        let resp = server.handle(&get(&[("action", "home"), ("uid", "uid:1")]));
+        assert_eq!(resp.status, 503);
+        assert!(resp.body.contains("Service Temporarily Unavailable"));
+        // Not retried at the servlet level, and the server keeps serving.
+        let resp = server.handle(&get(&[("action", "explode")]));
+        assert_eq!(resp.status, 404);
     }
 }

@@ -10,7 +10,7 @@ use sli_core::{
 };
 use sli_datastore::server::{DbCostModel, DbServer, RemoteConnection};
 use sli_datastore::Database;
-use sli_simnet::{Clock, Path, PathSpec, Remote, SimDuration};
+use sli_simnet::{Clock, FaultPlan, Path, PathSpec, Remote, SimDuration};
 use sli_trade::deploy;
 use sli_trade::model::trade_registry;
 use sli_trade::seed::{create_and_seed, Population};
@@ -193,11 +193,9 @@ impl Testbed {
         // The ES/RBES back-end is shared by all edges and clustered with
         // the database over a LAN path of its own.
         let backend = if arch == Architecture::EsRbes {
-            let backend_db_path =
-                Path::new("backend-db", Arc::clone(&clock), PathSpec::lan());
-            let conn =
-                RemoteConnection::open(Remote::new(backend_db_path, Arc::clone(&db_server)))
-                    .expect("backend connects to fresh db");
+            let backend_db_path = Path::new("backend-db", Arc::clone(&clock), PathSpec::lan());
+            let conn = RemoteConnection::open(Remote::new(backend_db_path, Arc::clone(&db_server)))
+                .expect("backend connects to fresh db");
             Some(BackendServer::new(
                 Box::new(conn),
                 trade_registry(),
@@ -215,11 +213,7 @@ impl Testbed {
                 Architecture::EsRdb(_) => (PathSpec::lan(), "edge-db"),
                 Architecture::EsRbes => (PathSpec::lan(), "edge-backend"),
             };
-            let client_path = Path::new(
-                format!("client-{id}"),
-                Arc::clone(&clock),
-                client_spec,
-            );
+            let client_path = Path::new(format!("client-{id}"), Arc::clone(&clock), client_spec);
             let shared_path = Path::new(
                 format!("{shared_name}-{id}"),
                 Arc::clone(&clock),
@@ -266,8 +260,7 @@ impl Testbed {
                         // Split-servers: fault and commit through the
                         // back-end across the shared path.
                         Some(backend) => {
-                            let remote =
-                                Remote::new(Arc::clone(&shared_path), Arc::clone(backend));
+                            let remote = Remote::new(Arc::clone(&shared_path), Arc::clone(backend));
                             // Invalidations flow over a dedicated channel so
                             // they never block the request path — but they
                             // still take one (possibly delayed) crossing to
@@ -306,10 +299,7 @@ impl Testbed {
                             ))
                             .expect("edge connects to fresh db");
                             (
-                                Arc::new(DirectSource::new(
-                                    Box::new(fetch_conn),
-                                    trade_registry(),
-                                )),
+                                Arc::new(DirectSource::new(Box::new(fetch_conn), trade_registry())),
                                 Arc::new(CombinedCommitter::new(
                                     Box::new(commit_conn),
                                     trade_registry(),
@@ -317,12 +307,8 @@ impl Testbed {
                             )
                         }
                     };
-                    let (container, rm) = deploy::cached_container_with_rm(
-                        id,
-                        Arc::clone(&store),
-                        source,
-                        committer,
-                    );
+                    let (container, rm) =
+                        deploy::cached_container_with_rm(id, Arc::clone(&store), source, committer);
                     (
                         Box::new(EjbTradeEngine::new(container, "Cached EJBs", holding_base)),
                         Some(store),
@@ -382,7 +368,23 @@ impl Testbed {
     /// Each edge's path gets a distinct derived seed.
     pub fn set_jitter(&self, max: SimDuration, seed: u64) {
         for i in 0..self.edges.len() {
-            self.delayed_path(i).set_jitter(max, seed.wrapping_add(i as u64));
+            self.delayed_path(i)
+                .set_jitter(max, seed.wrapping_add(i as u64));
+        }
+    }
+
+    /// Dials a deterministic fault plan into every delayed path, turning
+    /// the wide-area link lossy for resilience experiments. Each edge's
+    /// path draws from a distinct derived seed (mirroring [`set_jitter`]
+    /// — see [`Testbed::set_jitter`]), so schedules differ across edges
+    /// but replay identically run to run.
+    pub fn set_faults(&self, plan: FaultPlan) {
+        for i in 0..self.edges.len() {
+            let derived = FaultPlan {
+                seed: plan.seed.wrapping_add(i as u64),
+                ..plan
+            };
+            self.delayed_path(i).set_fault_plan(derived);
         }
     }
 
@@ -449,7 +451,10 @@ mod tests {
     #[test]
     fn delay_applies_to_the_architectures_own_path() {
         // Clients/RAS delays the client path.
-        let tb = Testbed::build(Architecture::ClientsRas(Flavor::Jdbc), TestbedConfig::default());
+        let tb = Testbed::build(
+            Architecture::ClientsRas(Flavor::Jdbc),
+            TestbedConfig::default(),
+        );
         tb.set_delay(SimDuration::from_millis(25));
         assert_eq!(
             tb.edges[0].client_path.proxy_delay(),
@@ -464,6 +469,22 @@ mod tests {
             tb.edges[0].shared_path.proxy_delay(),
             SimDuration::from_millis(25)
         );
+    }
+
+    #[test]
+    fn fault_plans_land_on_the_delayed_path_with_derived_seeds() {
+        let tb = Testbed::build(
+            Architecture::EsRbes,
+            TestbedConfig {
+                edges: 2,
+                ..TestbedConfig::default()
+            },
+        );
+        tb.set_faults(FaultPlan::lossy(7, 100));
+        assert_eq!(tb.delayed_path(0).fault_plan().seed, 7);
+        assert_eq!(tb.delayed_path(1).fault_plan().seed, 8);
+        // The client-side LAN path stays clean.
+        assert_eq!(tb.edges[0].client_path.fault_plan(), FaultPlan::NONE);
     }
 
     #[test]

@@ -49,9 +49,7 @@ fn bench_cache(c: &mut Criterion) {
 
     group.bench_function("common_store_hit", |b| {
         let store = CommonStore::new();
-        store.put(
-            Memento::new("Holding", Value::from(1)).with_field("qty", 1.0),
-        );
+        store.put(Memento::new("Holding", Value::from(1)).with_field("qty", 1.0));
         b.iter(|| store.get("Holding", std::hint::black_box(&Value::from(1))))
     });
 
@@ -70,7 +68,8 @@ fn bench_cache(c: &mut Criterion) {
         let (_db, home) = setup();
         // warm the common store
         let mut warm = TxContext::new();
-        home.find_by_primary_key(&mut warm, &Value::from(5)).unwrap();
+        home.find_by_primary_key(&mut warm, &Value::from(5))
+            .unwrap();
         b.iter_batched(
             TxContext::new,
             |mut ctx| home.find_by_primary_key(&mut ctx, &Value::from(5)).unwrap(),

@@ -46,6 +46,8 @@ fn image(user: &str, balance: f64) -> Memento {
 fn request(n: usize, from: f64, to: f64) -> CommitRequest {
     CommitRequest {
         origin: 1,
+        // Unstamped: repeated bench iterations must not hit the dedup table.
+        txn_id: 0,
         entries: (0..n)
             .map(|i| {
                 let user = format!("u{i}");
@@ -93,9 +95,8 @@ fn bench_commit(c: &mut Criterion) {
                 b.iter(|| {
                     let (from, to) = if flip { (50.0, 100.0) } else { (100.0, 50.0) };
                     flip = !flip;
-                    let out =
-                        validate_and_apply_per_image(&mut conn, &reg, &request(n, from, to))
-                            .unwrap();
+                    let out = validate_and_apply_per_image(&mut conn, &reg, &request(n, from, to))
+                        .unwrap();
                     assert_eq!(out, CommitOutcome::Committed);
                 })
             },

@@ -28,7 +28,9 @@ fn bench_end_to_end(c: &mut Criterion) {
             tb.set_delay(SimDuration::from_millis(40));
             let mut client = VirtualClient::new(&tb, 0);
             // warm caches and sessions
-            client.perform(&TradeAction::Login { user: "uid:1".into() });
+            client.perform(&TradeAction::Login {
+                user: "uid:1".into(),
+            });
             let action = TradeAction::Buy {
                 user: "uid:1".into(),
                 symbol: "s:2".into(),

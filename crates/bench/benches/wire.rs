@@ -34,6 +34,7 @@ fn sample_result_set(rows: usize) -> ResultSet {
 fn sample_commit_request(entries: usize) -> CommitRequest {
     CommitRequest {
         origin: 1,
+        txn_id: 0,
         entries: (0..entries as i64)
             .map(|i| CommitEntry {
                 bean: "Holding".into(),

@@ -16,7 +16,10 @@ use sli_workload::{Csv, TextTable};
 fn main() {
     let cfg = RunConfig::default();
     let series = [
-        ("ES/RDB (JDBC, best algorithm)", Architecture::EsRdb(Flavor::Jdbc)),
+        (
+            "ES/RDB (JDBC, best algorithm)",
+            Architecture::EsRdb(Flavor::Jdbc),
+        ),
         ("ES/RBES (Cached EJBs)", Architecture::EsRbes),
         ("Clients/RAS (JDBC)", Architecture::ClientsRas(Flavor::Jdbc)),
     ];
@@ -28,13 +31,13 @@ fn main() {
         cfg.warmup_sessions, cfg.measured_sessions, cfg.batches
     );
 
-    let mut table = TextTable::new(&[
-        "one-way delay (ms)",
-        series[0].0,
-        series[1].0,
-        series[2].0,
+    let mut table = TextTable::new(&["one-way delay (ms)", series[0].0, series[1].0, series[2].0]);
+    let mut csv = Csv::new(&[
+        "delay_ms",
+        "es_rdb_jdbc_ms",
+        "es_rbes_cached_ms",
+        "clients_ras_ms",
     ]);
-    let mut csv = Csv::new(&["delay_ms", "es_rdb_jdbc_ms", "es_rbes_cached_ms", "clients_ras_ms"]);
 
     let results: Vec<_> = series
         .iter()
@@ -68,13 +71,19 @@ fn main() {
     );
     println!("\nCSV:\n{}", csv.render());
     if std::fs::create_dir_all("results").is_ok() {
-        let _ = std::fs::write(concat!("results/", env!("CARGO_BIN_NAME"), ".csv"), csv.render());
+        let _ = std::fs::write(
+            concat!("results/", env!("CARGO_BIN_NAME"), ".csv"),
+            csv.render(),
+        );
         println!("(also written to results/{}.csv)", env!("CARGO_BIN_NAME"));
     }
 
     for (point, delay) in results[0].iter().zip(PAPER_DELAYS_MS) {
         if point.failed > 0 {
-            eprintln!("warning: {} failed interactions at delay {delay}", point.failed);
+            eprintln!(
+                "warning: {} failed interactions at delay {delay}",
+                point.failed
+            );
         }
     }
 }

@@ -56,7 +56,10 @@ fn main() {
     );
     println!("\nCSV:\n{}", csv.render());
     if std::fs::create_dir_all("results").is_ok() {
-        let _ = std::fs::write(concat!("results/", env!("CARGO_BIN_NAME"), ".csv"), csv.render());
+        let _ = std::fs::write(
+            concat!("results/", env!("CARGO_BIN_NAME"), ".csv"),
+            csv.render(),
+        );
         println!("(also written to results/{}.csv)", env!("CARGO_BIN_NAME"));
     }
 }

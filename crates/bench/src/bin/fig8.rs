@@ -43,7 +43,11 @@ fn main() {
         "round trips/interaction",
         "paper's reported scale",
     ]);
-    let mut csv = Csv::new(&["architecture", "bytes_per_interaction", "round_trips_per_interaction"]);
+    let mut csv = Csv::new(&[
+        "architecture",
+        "bytes_per_interaction",
+        "round_trips_per_interaction",
+    ]);
     for (name, arch, paper) in series {
         let p = run_point(arch, delay, cfg);
         table.row(vec![
@@ -67,7 +71,10 @@ fn main() {
     );
     println!("\nCSV:\n{}", csv.render());
     if std::fs::create_dir_all("results").is_ok() {
-        let _ = std::fs::write(concat!("results/", env!("CARGO_BIN_NAME"), ".csv"), csv.render());
+        let _ = std::fs::write(
+            concat!("results/", env!("CARGO_BIN_NAME"), ".csv"),
+            csv.render(),
+        );
         println!("(also written to results/{}.csv)", env!("CARGO_BIN_NAME"));
     }
 }

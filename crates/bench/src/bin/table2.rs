@@ -91,7 +91,10 @@ fn main() {
             "ES/RBES cached far below every ES/RDB flavor",
             cached_rbes < jdbc_rdb,
         ),
-        ("ES/RBES still above the Clients/RAS floor", cached_rbes > 2.0),
+        (
+            "ES/RBES still above the Clients/RAS floor",
+            cached_rbes > 2.0,
+        ),
     ];
     println!("Shape checks vs the paper:");
     for (name, ok) in checks {

@@ -230,18 +230,21 @@ mod tests {
         let f = sensitivity(&points).unwrap();
         assert!(f.r2 < 1.0, "jitter must leave residuals");
         assert!(f.r2 > 0.98, "but the fit stays excellent: r2 = {}", f.r2);
-        assert!((f.slope - 3.9).abs() < 0.5, "slope survives jitter: {}", f.slope);
+        assert!(
+            (f.slope - 3.9).abs() < 0.5,
+            "slope survives jitter: {}",
+            f.slope
+        );
     }
 
     #[test]
     fn bandwidth_ordering_matches_figure8() {
         let cfg = RunConfig::quick();
         let d = SimDuration::from_millis(20);
-        let ras = run_point(Architecture::ClientsRas(Flavor::Jdbc), d, cfg)
-            .shared_bytes_per_interaction;
+        let ras =
+            run_point(Architecture::ClientsRas(Flavor::Jdbc), d, cfg).shared_bytes_per_interaction;
         let rbes = run_point(Architecture::EsRbes, d, cfg).shared_bytes_per_interaction;
-        let rdb = run_point(Architecture::EsRdb(Flavor::Jdbc), d, cfg)
-            .shared_bytes_per_interaction;
+        let rdb = run_point(Architecture::EsRdb(Flavor::Jdbc), d, cfg).shared_bytes_per_interaction;
         assert!(
             ras > rbes && rbes > rdb,
             "expected RAS ({ras:.0}) > RBES ({rbes:.0}) > RDB ({rdb:.0})"

@@ -244,9 +244,7 @@ impl Home for BmpHome {
                 .collect();
             params.push(key.clone());
             self.conn.lock().execute(&self.update_sql, &params)?;
-            ctx.instance_mut(&bean, &key)
-                .expect("still enlisted")
-                .dirty = false;
+            ctx.instance_mut(&bean, &key).expect("still enlisted").dirty = false;
         }
         Ok(())
     }
@@ -369,8 +367,11 @@ mod tests {
         let (db, home) = setup();
         let mut ctx = TxContext::new();
         for i in 0..4 {
-            home.create(&mut ctx, holding(i, if i < 3 { "uid:1" } else { "uid:2" }, 1.0))
-                .unwrap();
+            home.create(
+                &mut ctx,
+                holding(i, if i < 3 { "uid:1" } else { "uid:2" }, 1.0),
+            )
+            .unwrap();
         }
         db.reset_trace();
         let mut ctx = TxContext::new();

@@ -66,7 +66,8 @@ pub struct JdbcResourceManager {
 
 impl std::fmt::Debug for JdbcResourceManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("JdbcResourceManager").finish_non_exhaustive()
+        f.debug_struct("JdbcResourceManager")
+            .finish_non_exhaustive()
     }
 }
 

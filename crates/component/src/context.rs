@@ -87,18 +87,17 @@ impl TxContext {
         let entry_key = (bean.to_owned(), key.clone());
         if !self.instances.contains_key(&entry_key) {
             self.order.push(entry_key.clone());
-            self.instances.insert(entry_key.clone(), InstanceState::default());
+            self.instances
+                .insert(entry_key.clone(), InstanceState::default());
         }
         self.instances.get_mut(&entry_key).expect("just inserted")
     }
 
     /// Iterates enlisted instances in first-touch order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Value, &InstanceState)> {
-        self.order.iter().filter_map(|k| {
-            self.instances
-                .get(k)
-                .map(|st| (k.0.as_str(), &k.1, st))
-        })
+        self.order
+            .iter()
+            .filter_map(|k| self.instances.get(k).map(|st| (k.0.as_str(), &k.1, st)))
     }
 
     /// Number of enlisted instances.

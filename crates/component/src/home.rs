@@ -100,8 +100,13 @@ pub trait Home: Send + Sync {
     ///
     /// # Errors
     /// As for [`Home::get_field`].
-    fn set_field(&self, ctx: &mut TxContext, key: &Value, field: &str, value: Value)
-        -> EjbResult<()>;
+    fn set_field(
+        &self,
+        ctx: &mut TxContext,
+        key: &Value,
+        field: &str,
+        value: Value,
+    ) -> EjbResult<()>;
 
     /// Writes back dirty instances (the `ejbStore` sweep the container runs
     /// at commit). No-op for homes whose resource manager ships state at

@@ -77,13 +77,8 @@ impl EntityMeta {
     /// Declares a named custom finder.
     pub fn finder(mut self, name: impl Into<String>, predicate: Predicate) -> EntityMeta {
         let name = name.into();
-        self.finders.insert(
-            name.clone(),
-            FinderDef {
-                name,
-                predicate,
-            },
-        );
+        self.finders
+            .insert(name.clone(), FinderDef { name, predicate });
         self
     }
 
@@ -123,10 +118,12 @@ impl EntityMeta {
     /// # Errors
     /// Returns [`EjbError::NoSuchFinder`] for undeclared names.
     pub fn finder_def(&self, name: &str) -> EjbResult<&FinderDef> {
-        self.finders.get(name).ok_or_else(|| EjbError::NoSuchFinder {
-            bean: self.bean.clone(),
-            finder: name.to_owned(),
-        })
+        self.finders
+            .get(name)
+            .ok_or_else(|| EjbError::NoSuchFinder {
+                bean: self.bean.clone(),
+                finder: name.to_owned(),
+            })
     }
 
     /// All declared finders.
@@ -138,7 +135,10 @@ impl EntityMeta {
     /// used to evaluate finder predicates against cached bean state without
     /// touching the persistent store.
     pub fn schema(&self) -> sli_datastore::Schema {
-        let mut cols = vec![sli_datastore::Column::new(self.key_field.clone(), self.key_type)];
+        let mut cols = vec![sli_datastore::Column::new(
+            self.key_field.clone(),
+            self.key_type,
+        )];
         cols.extend(
             self.fields
                 .iter()
@@ -255,10 +255,7 @@ impl EntityMeta {
     /// one-access-per-image optimistic remove.
     pub fn conditional_delete_sql(&self, before: &crate::Memento) -> (String, Vec<Value>) {
         let (clause, params) = self.before_image_where(before);
-        (
-            format!("DELETE FROM {} WHERE {clause}", self.table),
-            params,
-        )
+        (format!("DELETE FROM {} WHERE {clause}", self.table), params)
     }
 
     /// Builds a memento from a row laid out as [`EntityMeta::select_columns`]
@@ -311,7 +308,12 @@ impl EntityMeta {
     pub fn create_index_ddl(&self) -> Vec<String> {
         self.indexes
             .iter()
-            .map(|col| format!("CREATE INDEX {}_{} ON {} ({})", self.table, col, self.table, col))
+            .map(|col| {
+                format!(
+                    "CREATE INDEX {}_{} ON {} ({})",
+                    self.table, col, self.table, col
+                )
+            })
             .collect()
     }
 
@@ -408,7 +410,9 @@ mod tests {
     #[test]
     fn finder_binding() {
         let m = holding_meta();
-        let p = m.bind_finder("findByOwner", &[Value::from("uid:3")]).unwrap();
+        let p = m
+            .bind_finder("findByOwner", &[Value::from("uid:3")])
+            .unwrap();
         assert_eq!(p, Predicate::eq("owner", "uid:3"));
         assert!(matches!(
             m.bind_finder("findByGhost", &[]),
@@ -425,7 +429,10 @@ mod tests {
             .with_field("owner", "uid:1")
             .with_field("qty", 5.0); // symbol missing → NULL
         let (clause, params) = m.before_image_where(&before);
-        assert_eq!(clause, "id = ? AND owner = ? AND symbol IS NULL AND qty = ?");
+        assert_eq!(
+            clause,
+            "id = ? AND owner = ? AND symbol IS NULL AND qty = ?"
+        );
         assert_eq!(
             params,
             vec![Value::from(7), Value::from("uid:1"), Value::from(5.0)]

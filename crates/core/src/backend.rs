@@ -14,10 +14,12 @@ use parking_lot::Mutex;
 use sli_component::{EjbError, EjbResult, Memento};
 use sli_datastore::{Predicate, SqlConnection, Value};
 use sli_simnet::wire::{frame, protocol, unframe, DecodeError, Reader, Writer};
-use sli_simnet::{Clock, Remote, Service, SimDuration};
+use sli_simnet::{CallError, Clock, Remote, Service, SimDuration};
 
 use crate::commit::{CommitOutcome, CommitRequest};
-use crate::committer::{fetch_current, validate_and_apply, Committer};
+use crate::committer::{
+    fetch_current, validate_and_apply, Committer, CompletedTxns, COMPLETED_TXN_CAPACITY,
+};
 use crate::registry::MetaRegistry;
 use crate::source::StateSource;
 use crate::store::encode_invalidations;
@@ -59,6 +61,9 @@ pub struct BackendServer {
     cost: BackendCostModel,
     /// (edge id, invalidation send function) pairs for fan-out.
     peers: Mutex<Vec<(u32, InvalidationSender)>>,
+    /// Replay memory: commit requests resent after a lost response are
+    /// answered from here instead of being applied (and fanned out) twice.
+    completed: Mutex<CompletedTxns>,
 }
 
 impl std::fmt::Debug for BackendServer {
@@ -83,6 +88,7 @@ impl BackendServer {
             clock,
             cost: BackendCostModel::default(),
             peers: Mutex::new(Vec::new()),
+            completed: Mutex::new(CompletedTxns::new(COMPLETED_TXN_CAPACITY)),
         })
     }
 
@@ -91,11 +97,7 @@ impl BackendServer {
     /// notified of the written keys. Any [`Service`] endpoint works — the
     /// immediate [`InvalidationSink`] or the propagation-delay-accurate
     /// [`DeferredInvalidationSink`](crate::DeferredInvalidationSink).
-    pub fn register_edge<S: Service + Send + Sync + 'static>(
-        &self,
-        edge_id: u32,
-        sink: Remote<S>,
-    ) {
+    pub fn register_edge<S: Service + Send + Sync + 'static>(&self, edge_id: u32, sink: Remote<S>) {
         self.peers
             .lock()
             .push((edge_id, Box::new(move |frame| sink.notify(frame))));
@@ -104,9 +106,19 @@ impl BackendServer {
     /// In-process commit entry point (used by the wire handler and by
     /// tests).
     ///
+    /// A request whose `(origin, txn_id)` already finished here is a retry
+    /// of a commit whose response was lost: the recorded outcome is
+    /// returned without re-validating, re-applying, or re-fanning-out
+    /// invalidations, so a debit is applied exactly once no matter how many
+    /// times the message is resent.
+    ///
     /// # Errors
     /// Datastore failures; conflicts are an `Ok` outcome.
     pub fn commit(&self, request: &CommitRequest) -> EjbResult<CommitOutcome> {
+        if let Some(outcome) = self.completed.lock().lookup(request) {
+            self.clock.advance(self.cost.per_request);
+            return Ok(outcome);
+        }
         self.clock.advance(
             self.cost
                 .per_image
@@ -116,6 +128,7 @@ impl BackendServer {
             let mut conn = self.conn.lock();
             validate_and_apply(conn.as_mut(), &self.registry, request)?
         };
+        self.completed.lock().record(request, &outcome);
         if outcome == CommitOutcome::Committed && request.has_writes() {
             let written = request.written_keys();
             let message = frame(protocol::BACKEND, 0, &encode_invalidations(&written));
@@ -189,6 +202,11 @@ fn wire_err(e: DecodeError) -> EjbError {
     EjbError::Db(sli_datastore::DbError::Remote(e.to_string()))
 }
 
+/// The transport exhausted its retry budget; the caller must abort.
+fn transport_err(e: CallError) -> EjbError {
+    EjbError::Db(sli_datastore::DbError::Unavailable(e.to_string()))
+}
+
 fn encode_ejb_error(e: &EjbError) -> Bytes {
     let mut w = Writer::new();
     w.put_u8(STATUS_ERR).put_str(&e.to_string());
@@ -260,7 +278,8 @@ impl StateSource for BackendSource {
         w.put_u8(OP_FETCH).put_str(bean);
         key.encode(&mut w);
         let framed = frame(protocol::BACKEND, 0, &w.finish());
-        let mut r = decode_response(self.remote.call(framed))?;
+        let resp = self.remote.call(framed).map_err(transport_err)?;
+        let mut r = decode_response(resp)?;
         if r.get_bool().map_err(wire_err)? {
             Ok(Some(Memento::decode(&mut r).map_err(wire_err)?))
         } else {
@@ -273,7 +292,8 @@ impl StateSource for BackendSource {
         w.put_u8(OP_QUERY).put_str(bean);
         predicate.encode(&mut w);
         let framed = frame(protocol::BACKEND, 0, &w.finish());
-        let mut r = decode_response(self.remote.call(framed))?;
+        let resp = self.remote.call(framed).map_err(transport_err)?;
+        let mut r = decode_response(resp)?;
         let n = r.get_u32().map_err(wire_err)? as usize;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
@@ -308,7 +328,9 @@ impl Committer for SplitCommitter {
         w.put_u8(OP_COMMIT);
         w.put_frame(&request.encode());
         let framed = frame(protocol::BACKEND, 0, &w.finish());
-        let resp = self.remote.call(framed);
+        // Retries resend identical bytes — same (origin, txn_id) — so the
+        // backend's replay table keeps the commit idempotent.
+        let resp = self.remote.call(framed).map_err(transport_err)?;
         let mut r = decode_response(resp)?;
         CommitOutcome::decode(&mut r).map_err(wire_err)
     }
@@ -369,9 +391,15 @@ mod tests {
     fn backend_fetch_round_trip() {
         let (_db, _clock, _backend, remote) = setup();
         let source = BackendSource::new(remote);
-        let image = source.fetch("Account", &Value::from("u1")).unwrap().unwrap();
+        let image = source
+            .fetch("Account", &Value::from("u1"))
+            .unwrap()
+            .unwrap();
         assert_eq!(image.get("balance"), Some(&Value::from(100.0)));
-        assert!(source.fetch("Account", &Value::from("nope")).unwrap().is_none());
+        assert!(source
+            .fetch("Account", &Value::from("nope"))
+            .unwrap()
+            .is_none());
         assert!(source.fetch("Ghost", &Value::from("u1")).is_err());
     }
 
@@ -395,6 +423,7 @@ mod tests {
         let outcome = committer
             .commit(&CommitRequest {
                 origin: 1,
+                txn_id: 1,
                 entries: vec![CommitEntry {
                     bean: "Account".into(),
                     key: Value::from("u1"),
@@ -421,6 +450,7 @@ mod tests {
         let outcome = committer
             .commit(&CommitRequest {
                 origin: 1,
+                txn_id: 2,
                 entries: vec![CommitEntry {
                     bean: "Account".into(),
                     key: Value::from("u1"),
@@ -443,13 +473,20 @@ mod tests {
         store2.put(img("u1", 100.0));
         let p1 = Path::new("inv-1", Arc::clone(&clock), PathSpec::lan());
         let p2 = Path::new("inv-2", Arc::clone(&clock), PathSpec::lan());
-        backend.register_edge(1, Remote::new(p1, InvalidationSink::new(Arc::clone(&store1))));
-        backend.register_edge(2, Remote::new(p2, InvalidationSink::new(Arc::clone(&store2))));
+        backend.register_edge(
+            1,
+            Remote::new(p1, InvalidationSink::new(Arc::clone(&store1))),
+        );
+        backend.register_edge(
+            2,
+            Remote::new(p2, InvalidationSink::new(Arc::clone(&store2))),
+        );
 
         let committer = SplitCommitter::new(remote);
         committer
             .commit(&CommitRequest {
                 origin: 1,
+                txn_id: 3,
                 entries: vec![CommitEntry {
                     bean: "Account".into(),
                     key: Value::from("u1"),
@@ -471,11 +508,15 @@ mod tests {
         let store2 = CommonStore::new();
         store2.put(img("u1", 100.0));
         let p2 = Path::new("inv-2", Arc::clone(&clock), PathSpec::lan());
-        backend.register_edge(2, Remote::new(p2, InvalidationSink::new(Arc::clone(&store2))));
+        backend.register_edge(
+            2,
+            Remote::new(p2, InvalidationSink::new(Arc::clone(&store2))),
+        );
         let committer = SplitCommitter::new(remote);
         committer
             .commit(&CommitRequest {
                 origin: 1,
+                txn_id: 4,
                 entries: vec![CommitEntry {
                     bean: "Account".into(),
                     key: Value::from("u1"),
@@ -486,5 +527,48 @@ mod tests {
             })
             .unwrap();
         assert!(store2.get("Account", &Value::from("u1")).is_some());
+    }
+
+    #[test]
+    fn replayed_commit_does_not_reapply_or_refan_invalidations() {
+        let (db, clock, backend, _remote) = setup();
+        let store2 = CommonStore::new();
+        store2.put(img("u1", 100.0));
+        let p2 = Path::new("inv-2", Arc::clone(&clock), PathSpec::lan());
+        backend.register_edge(
+            2,
+            Remote::new(p2, InvalidationSink::new(Arc::clone(&store2))),
+        );
+        let request = CommitRequest {
+            origin: 1,
+            txn_id: 9,
+            entries: vec![CommitEntry {
+                bean: "Account".into(),
+                key: Value::from("u1"),
+                kind: EntryKind::Update {
+                    before: img("u1", 100.0),
+                    after: img("u1", 60.0),
+                },
+            }],
+        };
+        assert_eq!(backend.commit(&request).unwrap(), CommitOutcome::Committed);
+        assert!(store2.get("Account", &Value::from("u1")).is_none());
+        // Edge 2 refreshes its cache; a replay of the same commit must not
+        // invalidate it again (or re-apply the debit).
+        store2.put(img("u1", 60.0));
+        assert_eq!(
+            backend.commit(&request).unwrap(),
+            CommitOutcome::Committed,
+            "replay returns the recorded outcome"
+        );
+        assert!(
+            store2.get("Account", &Value::from("u1")).is_some(),
+            "replay re-sent invalidations"
+        );
+        let mut conn = db.connect();
+        let rs = conn
+            .execute("SELECT balance FROM account WHERE userid = 'u1'", &[])
+            .unwrap();
+        assert_eq!(rs.rows()[0][0], Value::from(60.0), "debit applied twice");
     }
 }

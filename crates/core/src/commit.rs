@@ -74,6 +74,11 @@ pub struct CommitRequest {
     /// Identifier of the submitting edge server (drives invalidation
     /// fan-out to the *other* edges).
     pub origin: u32,
+    /// Transaction identifier, unique per origin. Together `(origin,
+    /// txn_id)` identify the transaction across retries, letting committers
+    /// recognise a resent request and replay the recorded outcome instead of
+    /// applying it twice. `0` marks an unstamped request (dedup disabled).
+    pub txn_id: u64,
     /// Per-bean entries in first-touch order.
     pub entries: Vec<CommitEntry>,
 }
@@ -90,7 +95,7 @@ impl CommitRequest {
     /// * touched but never loaded (e.g. enlisted by a finder and never
     ///   accessed) → dropped; with no before-image there is nothing to
     ///   validate.
-    pub fn from_context(origin: u32, ctx: &TxContext) -> CommitRequest {
+    pub fn from_context(origin: u32, txn_id: u64, ctx: &TxContext) -> CommitRequest {
         let mut entries = Vec::new();
         for (bean, key, st) in ctx.iter() {
             if let Some(kind) = Self::classify(bean, key, st) {
@@ -101,7 +106,11 @@ impl CommitRequest {
                 });
             }
         }
-        CommitRequest { origin, entries }
+        CommitRequest {
+            origin,
+            txn_id,
+            entries,
+        }
     }
 
     fn classify(bean: &str, key: &Value, st: &InstanceState) -> Option<EntryKind> {
@@ -146,6 +155,7 @@ impl CommitRequest {
     pub fn encode(&self) -> Bytes {
         let mut w = Writer::new();
         w.put_u32(self.origin);
+        w.put_u64(self.txn_id);
         w.put_u32(self.entries.len() as u32);
         for e in &self.entries {
             w.put_str(&e.bean);
@@ -169,6 +179,7 @@ impl CommitRequest {
     /// Returns [`DecodeError`] on truncation or unknown tags.
     pub fn decode(r: &mut Reader) -> Result<CommitRequest, DecodeError> {
         let origin = r.get_u32()?;
+        let txn_id = r.get_u64()?;
         let n = r.get_u32()? as usize;
         let mut entries = Vec::with_capacity(n);
         for _ in 0..n {
@@ -192,7 +203,11 @@ impl CommitRequest {
             };
             entries.push(CommitEntry { bean, key, kind });
         }
-        Ok(CommitRequest { origin, entries })
+        Ok(CommitRequest {
+            origin,
+            txn_id,
+            entries,
+        })
     }
 }
 
@@ -252,7 +267,8 @@ mod tests {
     fn context_with_all_kinds() -> TxContext {
         let mut ctx = TxContext::new();
         // read-only bean
-        ctx.enlist("A", &Value::from(1)).load_from(&img("A", 1, 10.0));
+        ctx.enlist("A", &Value::from(1))
+            .load_from(&img("A", 1, 10.0));
         // updated bean
         {
             let st = ctx.enlist("A", &Value::from(2));
@@ -287,8 +303,9 @@ mod tests {
 
     #[test]
     fn classification_covers_lifecycle() {
-        let req = CommitRequest::from_context(7, &context_with_all_kinds());
+        let req = CommitRequest::from_context(7, 99, &context_with_all_kinds());
         assert_eq!(req.origin, 7);
+        assert_eq!(req.txn_id, 99);
         assert_eq!(req.entries.len(), 4);
         assert!(matches!(req.entries[0].kind, EntryKind::Read { .. }));
         assert!(matches!(req.entries[1].kind, EntryKind::Update { .. }));
@@ -303,15 +320,16 @@ mod tests {
     #[test]
     fn read_only_request_has_no_writes() {
         let mut ctx = TxContext::new();
-        ctx.enlist("A", &Value::from(1)).load_from(&img("A", 1, 1.0));
-        let req = CommitRequest::from_context(0, &ctx);
+        ctx.enlist("A", &Value::from(1))
+            .load_from(&img("A", 1, 1.0));
+        let req = CommitRequest::from_context(0, 1, &ctx);
         assert!(!req.has_writes());
         assert!(req.written_keys().is_empty());
     }
 
     #[test]
     fn wire_round_trip() {
-        let req = CommitRequest::from_context(3, &context_with_all_kinds());
+        let req = CommitRequest::from_context(3, u64::MAX, &context_with_all_kinds());
         let frame = req.encode();
         let back = CommitRequest::decode(&mut Reader::new(frame)).unwrap();
         assert_eq!(back, req);
@@ -335,7 +353,7 @@ mod tests {
 
     #[test]
     fn update_after_image_reflects_current_fields() {
-        let req = CommitRequest::from_context(0, &context_with_all_kinds());
+        let req = CommitRequest::from_context(0, 1, &context_with_all_kinds());
         match &req.entries[1].kind {
             EntryKind::Update { before, after } => {
                 assert_eq!(before.get("balance"), Some(&Value::from(20.0)));
@@ -347,7 +365,7 @@ mod tests {
 
     #[test]
     fn truncated_decode_is_error() {
-        let frame = CommitRequest::from_context(0, &context_with_all_kinds()).encode();
+        let frame = CommitRequest::from_context(0, 1, &context_with_all_kinds()).encode();
         let cut = frame.slice(0..frame.len() / 2);
         assert!(CommitRequest::decode(&mut Reader::new(cut)).is_err());
     }

@@ -1,11 +1,75 @@
 //! Optimistic validation and the combined-servers committer.
 
+use std::collections::{HashMap, VecDeque};
+
 use parking_lot::Mutex;
 use sli_component::{EjbError, EjbResult, EntityMeta, Memento};
 use sli_datastore::{SqlConnection, Value};
 
 use crate::commit::{CommitOutcome, CommitRequest, EntryKind};
 use crate::registry::MetaRegistry;
+
+/// How many finished transactions a committer remembers for replay
+/// deduplication. Old entries fall out FIFO; the window only has to outlive
+/// a retry burst (a handful of resends within one call's retry budget), so
+/// a small bound is plenty.
+pub(crate) const COMPLETED_TXN_CAPACITY: usize = 1024;
+
+/// Bounded FIFO memory of finished transactions, keyed by `(origin,
+/// txn_id)`.
+///
+/// Commit requests are retried over lossy paths with *identical* bytes, so
+/// a committer that already applied `(origin, txn_id)` must recognise the
+/// replay and answer with the recorded [`CommitOutcome`] instead of
+/// validating (and applying!) the images a second time. Requests with
+/// `txn_id == 0` are unstamped and bypass the table.
+#[derive(Debug)]
+pub(crate) struct CompletedTxns {
+    outcomes: HashMap<(u32, u64), CommitOutcome>,
+    order: VecDeque<(u32, u64)>,
+    capacity: usize,
+}
+
+impl CompletedTxns {
+    pub(crate) fn new(capacity: usize) -> CompletedTxns {
+        CompletedTxns {
+            outcomes: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The recorded outcome for `request`, if it already ran here.
+    pub(crate) fn lookup(&self, request: &CommitRequest) -> Option<CommitOutcome> {
+        if request.txn_id == 0 {
+            return None;
+        }
+        self.outcomes
+            .get(&(request.origin, request.txn_id))
+            .cloned()
+    }
+
+    /// Records the outcome of a freshly processed request.
+    pub(crate) fn record(&mut self, request: &CommitRequest, outcome: &CommitOutcome) {
+        if request.txn_id == 0 {
+            return;
+        }
+        let id = (request.origin, request.txn_id);
+        if self.outcomes.insert(id, outcome.clone()).is_none() {
+            self.order.push_back(id);
+            if self.order.len() > self.capacity {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.outcomes.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+}
 
 /// Runs the paper's optimistic validation + apply against `conn`, inside a
 /// single datastore transaction:
@@ -215,6 +279,7 @@ pub trait Committer: Send + Sync {
 pub struct CombinedCommitter {
     conn: Mutex<Box<dyn SqlConnection + Send>>,
     registry: MetaRegistry,
+    completed: Mutex<CompletedTxns>,
 }
 
 impl std::fmt::Debug for CombinedCommitter {
@@ -227,21 +292,25 @@ impl std::fmt::Debug for CombinedCommitter {
 
 impl CombinedCommitter {
     /// Creates a committer over `conn` with deployment metadata `registry`.
-    pub fn new(
-        conn: Box<dyn SqlConnection + Send>,
-        registry: MetaRegistry,
-    ) -> CombinedCommitter {
+    pub fn new(conn: Box<dyn SqlConnection + Send>, registry: MetaRegistry) -> CombinedCommitter {
         CombinedCommitter {
             conn: Mutex::new(conn),
             registry,
+            completed: Mutex::new(CompletedTxns::new(COMPLETED_TXN_CAPACITY)),
         }
     }
 }
 
 impl Committer for CombinedCommitter {
     fn commit(&self, request: &CommitRequest) -> EjbResult<CommitOutcome> {
+        if let Some(outcome) = self.completed.lock().lookup(request) {
+            return Ok(outcome);
+        }
         let mut conn = self.conn.lock();
-        validate_and_apply_per_image(conn.as_mut(), &self.registry, request)
+        let outcome = validate_and_apply_per_image(conn.as_mut(), &self.registry, request)?;
+        drop(conn);
+        self.completed.lock().record(request, &outcome);
+        Ok(outcome)
     }
 }
 
@@ -298,7 +367,12 @@ mod tests {
 
     fn apply(db: &Arc<Database>, reg: &MetaRegistry, entries: Vec<CommitEntry>) -> CommitOutcome {
         let mut conn = db.connect();
-        validate_and_apply(&mut conn, reg, &CommitRequest { origin: 0, entries }).unwrap()
+        let request = CommitRequest {
+            origin: 0,
+            txn_id: 0,
+            entries,
+        };
+        validate_and_apply(&mut conn, reg, &request).unwrap()
     }
 
     #[test]
@@ -458,6 +532,7 @@ mod tests {
         let outcome = committer
             .commit(&CommitRequest {
                 origin: 0,
+                txn_id: 0,
                 entries: vec![entry(
                     "u1",
                     EntryKind::Update {
@@ -479,6 +554,7 @@ mod tests {
             &reg,
             &CommitRequest {
                 origin: 0,
+                txn_id: 0,
                 entries: vec![CommitEntry {
                     bean: "Ghost".into(),
                     key: Value::from(1),
@@ -491,6 +567,109 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, EjbError::NotFound { .. }));
         assert!(!conn.in_transaction(), "failed validation left txn open");
+    }
+
+    #[test]
+    fn stamped_replay_returns_recorded_outcome_without_reapplying() {
+        let (db, reg) = setup();
+        let committer = CombinedCommitter::new(Box::new(db.connect()), reg);
+        let request = CommitRequest {
+            origin: 2,
+            txn_id: 41,
+            entries: vec![entry(
+                "u1",
+                EntryKind::Update {
+                    before: img("u1", 100.0),
+                    after: img("u1", 150.0),
+                },
+            )],
+        };
+        assert_eq!(
+            committer.commit(&request).unwrap(),
+            CommitOutcome::Committed
+        );
+        // Replaying the identical request must not re-validate: the stored
+        // image is now 150.0, so a second validation would conflict.
+        assert_eq!(
+            committer.commit(&request).unwrap(),
+            CommitOutcome::Committed,
+            "replay must return the recorded outcome"
+        );
+        let mut conn = db.connect();
+        let rs = conn
+            .execute("SELECT balance FROM account WHERE userid = 'u1'", &[])
+            .unwrap();
+        assert_eq!(rs.rows()[0][0], Value::from(150.0), "applied exactly once");
+    }
+
+    #[test]
+    fn unstamped_requests_bypass_the_dedup_table() {
+        let (db, reg) = setup();
+        let committer = CombinedCommitter::new(Box::new(db.connect()), reg);
+        let request = CommitRequest {
+            origin: 2,
+            txn_id: 0,
+            entries: vec![entry(
+                "u1",
+                EntryKind::Update {
+                    before: img("u1", 100.0),
+                    after: img("u1", 150.0),
+                },
+            )],
+        };
+        assert_eq!(
+            committer.commit(&request).unwrap(),
+            CommitOutcome::Committed
+        );
+        // With no txn identity the replay is a fresh request and the stale
+        // before-image legitimately conflicts.
+        assert!(matches!(
+            committer.commit(&request).unwrap(),
+            CommitOutcome::Conflict { .. }
+        ));
+    }
+
+    #[test]
+    fn conflicts_replay_as_conflicts() {
+        let (db, reg) = setup();
+        let committer = CombinedCommitter::new(Box::new(db.connect()), reg.clone());
+        let request = CommitRequest {
+            origin: 1,
+            txn_id: 7,
+            entries: vec![entry(
+                "u1",
+                EntryKind::Update {
+                    before: img("u1", 1.0), // stale
+                    after: img("u1", 2.0),
+                },
+            )],
+        };
+        let first = committer.commit(&request).unwrap();
+        assert!(matches!(first, CommitOutcome::Conflict { .. }));
+        assert_eq!(committer.commit(&request).unwrap(), first);
+    }
+
+    #[test]
+    fn completed_table_is_bounded_fifo() {
+        let mut table = CompletedTxns::new(2);
+        let req = |txn_id| CommitRequest {
+            origin: 1,
+            txn_id,
+            entries: vec![],
+        };
+        for id in 1..=3 {
+            table.record(&req(id), &CommitOutcome::Committed);
+        }
+        assert_eq!(table.len(), 2);
+        assert!(table.lookup(&req(1)).is_none(), "oldest entry evicted");
+        assert!(table.lookup(&req(2)).is_some());
+        assert!(table.lookup(&req(3)).is_some());
+        // re-recording an id does not grow the FIFO
+        table.record(&req(3), &CommitOutcome::Committed);
+        assert_eq!(table.len(), 2);
+        // unstamped requests are never stored
+        table.record(&req(0), &CommitOutcome::Committed);
+        assert!(table.lookup(&req(0)).is_none());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use sli_component::{EjbError, EjbResult, EjbRef, EntityMeta, Home, Memento, TxContext};
+use sli_component::{EjbError, EjbRef, EjbResult, EntityMeta, Home, Memento, TxContext};
 use sli_datastore::{Schema, Value};
 
 use crate::source::StateSource;
@@ -272,7 +272,8 @@ mod tests {
         assert_eq!(db.trace_snapshot().table("holding").reads, 1);
         // a NEW transaction hits the common store, still no I/O
         let mut ctx2 = TxContext::new();
-        home.find_by_primary_key(&mut ctx2, &Value::from(1)).unwrap();
+        home.find_by_primary_key(&mut ctx2, &Value::from(1))
+            .unwrap();
         assert_eq!(db.trace_snapshot().table("holding").reads, 1);
         assert_eq!(home.common_store().stats().hits, 1);
     }
@@ -296,7 +297,11 @@ mod tests {
             .with_field("owner", "u9")
             .with_field("qty", 1.0);
         home.create(&mut ctx, m).unwrap();
-        assert_eq!(db.trace_snapshot().statements, 0, "create must not hit the db");
+        assert_eq!(
+            db.trace_snapshot().statements,
+            0,
+            "create must not hit the db"
+        );
         assert_eq!(
             home.get_field(&mut ctx, &Value::from(50), "owner").unwrap(),
             Value::from("u9")
@@ -355,7 +360,10 @@ mod tests {
         let refs = home
             .find(&mut ctx, "findByOwner", &[Value::from("u1")])
             .unwrap();
-        let keys: Vec<i64> = refs.iter().map(|r| r.primary_key().as_int().unwrap()).collect();
+        let keys: Vec<i64> = refs
+            .iter()
+            .map(|r| r.primary_key().as_int().unwrap())
+            .collect();
         // persistent u1 = {0,1,2}; minus removed 0, plus created 70
         assert_eq!(keys, vec![1, 2, 70]);
     }

@@ -49,7 +49,9 @@ mod store;
 
 pub use backend::{BackendServer, BackendSource, SplitCommitter};
 pub use commit::{CommitEntry, CommitOutcome, CommitRequest, EntryKind};
-pub use committer::{validate_and_apply, validate_and_apply_per_image, CombinedCommitter, Committer};
+pub use committer::{
+    validate_and_apply, validate_and_apply_per_image, CombinedCommitter, Committer,
+};
 pub use home::SliHome;
 pub use registry::MetaRegistry;
 pub use rm::SliResourceManager;

@@ -29,6 +29,10 @@ pub struct SliResourceManager {
     origin: u32,
     committer: Arc<dyn Committer>,
     store: Arc<CommonStore>,
+    /// Stamps each commit request with a per-origin transaction id (starting
+    /// at 1; 0 means "unstamped"), so a committer reached over a lossy path
+    /// can deduplicate retried requests.
+    next_txn: AtomicU64,
     commits: AtomicU64,
     conflicts: AtomicU64,
     empty: AtomicU64,
@@ -55,6 +59,7 @@ impl SliResourceManager {
             origin,
             committer,
             store,
+            next_txn: AtomicU64::new(1),
             commits: AtomicU64::new(0),
             conflicts: AtomicU64::new(0),
             empty: AtomicU64::new(0),
@@ -78,7 +83,8 @@ impl ResourceManager for SliResourceManager {
     }
 
     fn commit(&self, ctx: &mut TxContext, _homes: &[Arc<dyn Home>]) -> EjbResult<()> {
-        let request = CommitRequest::from_context(self.origin, ctx);
+        let txn_id = self.next_txn.fetch_add(1, Ordering::Relaxed);
+        let request = CommitRequest::from_context(self.origin, txn_id, ctx);
         if request.entries.is_empty() {
             self.empty.fetch_add(1, Ordering::Relaxed);
             return Ok(());
@@ -137,18 +143,21 @@ mod tests {
 
     /// A full cache-enabled container over a shared database, as one edge
     /// server would host it.
-    fn edge(db: &Arc<Database>, origin: u32) -> (Container, Arc<CommonStore>, Arc<SliResourceManager>) {
+    fn edge(
+        db: &Arc<Database>,
+        origin: u32,
+    ) -> (Container, Arc<CommonStore>, Arc<SliResourceManager>) {
         let registry = MetaRegistry::new().with(meta());
         let store = CommonStore::new();
         let source = Arc::new(DirectSource::new(Box::new(db.connect()), registry.clone()));
         let committer = Arc::new(CombinedCommitter::new(Box::new(db.connect()), registry));
-        let rm = Arc::new(SliResourceManager::new(origin, committer, Arc::clone(&store)));
-        let mut container = Container::new(Arc::clone(&rm) as Arc<dyn ResourceManager>);
-        container.register(Arc::new(SliHome::new(
-            meta(),
+        let rm = Arc::new(SliResourceManager::new(
+            origin,
+            committer,
             Arc::clone(&store),
-            source,
-        )));
+        ));
+        let mut container = Container::new(Arc::clone(&rm) as Arc<dyn ResourceManager>);
+        container.register(Arc::new(SliHome::new(meta(), Arc::clone(&store), source)));
         (container, store, rm)
     }
 

@@ -121,9 +121,7 @@ mod tests {
     #[test]
     fn query_returns_full_state() {
         let src = setup();
-        let results = src
-            .query("Holding", &Predicate::eq("owner", "u1"))
-            .unwrap();
+        let results = src.query("Holding", &Predicate::eq("owner", "u1")).unwrap();
         assert_eq!(results.len(), 3);
         assert!(results.iter().all(|m| m.get("qty").is_some()));
     }

@@ -463,7 +463,10 @@ mod tests {
         store.get("Account", &Value::from("a"));
         store.put(image("d", 4.0));
         assert_eq!(store.len(), 3);
-        assert!(store.get("Account", &Value::from("b")).is_none(), "b evicted");
+        assert!(
+            store.get("Account", &Value::from("b")).is_none(),
+            "b evicted"
+        );
         assert!(store.get("Account", &Value::from("a")).is_some());
         assert!(store.get("Account", &Value::from("d")).is_some());
         assert_eq!(store.stats().evictions, 1);

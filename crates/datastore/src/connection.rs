@@ -128,8 +128,10 @@ mod tests {
         let mut c = db.connect();
         c.begin().unwrap();
         assert!(c.in_transaction());
-        c.execute("INSERT INTO t (a, b) VALUES (1, 10)", &[]).unwrap();
-        c.execute("INSERT INTO t (a, b) VALUES (2, 20)", &[]).unwrap();
+        c.execute("INSERT INTO t (a, b) VALUES (1, 10)", &[])
+            .unwrap();
+        c.execute("INSERT INTO t (a, b) VALUES (2, 20)", &[])
+            .unwrap();
         c.commit().unwrap();
         assert!(!c.in_transaction());
         assert_eq!(db.row_count("t").unwrap(), 2);
@@ -141,7 +143,8 @@ mod tests {
         {
             let mut c = db.connect();
             c.begin().unwrap();
-            c.execute("INSERT INTO t (a, b) VALUES (1, 10)", &[]).unwrap();
+            c.execute("INSERT INTO t (a, b) VALUES (1, 10)", &[])
+                .unwrap();
             // dropped without commit
         }
         assert_eq!(db.row_count("t").unwrap(), 0);
@@ -152,7 +155,8 @@ mod tests {
     fn two_connections_isolated_by_locks() {
         let db = setup();
         let mut c1 = db.connect();
-        c1.execute("INSERT INTO t (a, b) VALUES (1, 10)", &[]).unwrap();
+        c1.execute("INSERT INTO t (a, b) VALUES (1, 10)", &[])
+            .unwrap();
         c1.begin().unwrap();
         c1.execute("UPDATE t SET b = 11 WHERE a = 1", &[]).unwrap();
         // c2 (on another thread) blocks until c1 commits.

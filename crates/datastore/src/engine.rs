@@ -47,10 +47,7 @@ impl Table {
                 .schema
                 .column_index(col)
                 .expect("index column exists by construction");
-            index
-                .entry(row[ci].clone())
-                .or_default()
-                .insert(pk.clone());
+            index.entry(row[ci].clone()).or_default().insert(pk.clone());
         }
     }
 
@@ -85,9 +82,19 @@ impl Table {
 /// Undo-log entry for rollback.
 #[derive(Debug)]
 enum UndoRecord {
-    RemoveInserted { table: String, pk: Value },
-    RestoreUpdated { table: String, pk: Value, old: Vec<Value> },
-    RestoreDeleted { table: String, old: Vec<Value> },
+    RemoveInserted {
+        table: String,
+        pk: Value,
+    },
+    RestoreUpdated {
+        table: String,
+        pk: Value,
+        old: Vec<Value>,
+    },
+    RestoreDeleted {
+        table: String,
+        old: Vec<Value>,
+    },
 }
 
 /// Server-side transaction state: id plus undo log. Owned by a
@@ -318,7 +325,15 @@ impl Database {
                 predicate,
                 order_by,
                 limit,
-            } => self.exec_select(txn, list, table, predicate, order_by.as_ref(), *limit, params),
+            } => self.exec_select(
+                txn,
+                list,
+                table,
+                predicate,
+                order_by.as_ref(),
+                *limit,
+                params,
+            ),
             Statement::Update {
                 table,
                 sets,
@@ -527,16 +542,23 @@ impl Database {
             )),
             SelectList::Aggregate(func, column) => {
                 let ci = schema.column_index(column)?;
-                let values: Vec<&Value> =
-                    rows.iter().map(|r| &r[ci]).filter(|v| !v.is_null()).collect();
+                let values: Vec<&Value> = rows
+                    .iter()
+                    .map(|r| &r[ci])
+                    .filter(|v| !v.is_null())
+                    .collect();
                 let result = match func {
                     crate::sql::AggregateFn::Count => Value::Int(values.len() as i64),
-                    crate::sql::AggregateFn::Min => {
-                        values.iter().min().map(|v| (*v).clone()).unwrap_or(Value::Null)
-                    }
-                    crate::sql::AggregateFn::Max => {
-                        values.iter().max().map(|v| (*v).clone()).unwrap_or(Value::Null)
-                    }
+                    crate::sql::AggregateFn::Min => values
+                        .iter()
+                        .min()
+                        .map(|v| (*v).clone())
+                        .unwrap_or(Value::Null),
+                    crate::sql::AggregateFn::Max => values
+                        .iter()
+                        .max()
+                        .map(|v| (*v).clone())
+                        .unwrap_or(Value::Null),
                     crate::sql::AggregateFn::Sum | crate::sql::AggregateFn::Avg => {
                         if values.is_empty() {
                             Value::Null
@@ -704,7 +726,8 @@ mod tests {
     #[test]
     fn create_table_twice_fails() {
         let db = Database::new();
-        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY)")
+            .unwrap();
         assert!(matches!(
             db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY)"),
             Err(DbError::AlreadyExists(_))
@@ -818,8 +841,10 @@ mod tests {
             .unwrap();
         assert_eq!(rs.scalar(), Some(&Value::from(0)));
         // NULLs are skipped by COUNT(col)
-        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY, b INT)").unwrap();
-        conn.execute("INSERT INTO t (a, b) VALUES (1, 5)", &[]).unwrap();
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY, b INT)")
+            .unwrap();
+        conn.execute("INSERT INTO t (a, b) VALUES (1, 5)", &[])
+            .unwrap();
         conn.execute("INSERT INTO t (a) VALUES (2)", &[]).unwrap();
         let rs = conn.execute("SELECT COUNT(b) FROM t", &[]).unwrap();
         assert_eq!(rs.scalar(), Some(&Value::from(1)));
@@ -847,11 +872,10 @@ mod tests {
     #[test]
     fn secondary_index_probe() {
         let db = Database::new();
-        db.execute_ddl(
-            "CREATE TABLE holding (id INT PRIMARY KEY, owner VARCHAR, qty DOUBLE)",
-        )
-        .unwrap();
-        db.execute_ddl("CREATE INDEX h_owner ON holding (owner)").unwrap();
+        db.execute_ddl("CREATE TABLE holding (id INT PRIMARY KEY, owner VARCHAR, qty DOUBLE)")
+            .unwrap();
+        db.execute_ddl("CREATE INDEX h_owner ON holding (owner)")
+            .unwrap();
         let mut conn = db.connect();
         for i in 0..10 {
             conn.execute(
@@ -874,7 +898,8 @@ mod tests {
         ids.sort();
         assert_eq!(ids, vec![1, 4, 7]);
         // index stays correct after delete
-        conn.execute("DELETE FROM holding WHERE id = 4", &[]).unwrap();
+        conn.execute("DELETE FROM holding WHERE id = 4", &[])
+            .unwrap();
         let rs = conn
             .execute(
                 "SELECT id FROM holding WHERE owner = ?",
@@ -955,10 +980,7 @@ mod tests {
             Err(DbError::ParamCount { .. })
         ));
         assert!(matches!(
-            conn.execute(
-                "SELECT * FROM quote",
-                &[Value::from(1)]
-            ),
+            conn.execute("SELECT * FROM quote", &[Value::from(1)]),
             Err(DbError::ParamCount { .. })
         ));
     }
@@ -1008,7 +1030,8 @@ mod tests {
             conn.execute("SELECT * FROM ghost", &[]),
             Err(DbError::NoSuchTable(_))
         ));
-        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY)")
+            .unwrap();
         assert!(matches!(
             conn.execute("SELECT ghost FROM t", &[]),
             Err(DbError::NoSuchColumn(_))

@@ -35,6 +35,9 @@ pub enum DbError {
     Remote(String),
     /// DDL attempted to create something that already exists.
     AlreadyExists(String),
+    /// The remote tier could not be reached (timeout or refusal) even after
+    /// the transport's retry budget; the enclosing transaction was aborted.
+    Unavailable(String),
 }
 
 impl fmt::Display for DbError {
@@ -55,6 +58,7 @@ impl fmt::Display for DbError {
             DbError::NoTransaction => write!(f, "no transaction is open"),
             DbError::Remote(msg) => write!(f, "remote connection failure: {msg}"),
             DbError::AlreadyExists(what) => write!(f, "already exists: {what}"),
+            DbError::Unavailable(msg) => write!(f, "remote service unavailable: {msg}"),
         }
     }
 }
@@ -79,7 +83,10 @@ mod tests {
             .to_string(),
             "parameter count mismatch: statement has 2 placeholders, 1 values bound"
         );
-        assert_eq!(DbError::Deadlock.to_string(), "transaction rolled back: deadlock victim");
+        assert_eq!(
+            DbError::Deadlock.to_string(),
+            "transaction rolled back: deadlock victim"
+        );
     }
 
     #[test]

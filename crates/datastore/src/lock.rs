@@ -234,19 +234,15 @@ mod tests {
         ];
         let expected = [
             // IS     IX     S      SIX    X
-            [true, true, true, true, false],   // IS
-            [true, true, false, false, false], // IX
-            [true, false, true, false, false], // S
-            [true, false, false, false, false], // SIX
+            [true, true, true, true, false],     // IS
+            [true, true, false, false, false],   // IX
+            [true, false, true, false, false],   // S
+            [true, false, false, false, false],  // SIX
             [false, false, false, false, false], // X
         ];
         for (i, a) in modes.iter().enumerate() {
             for (j, b) in modes.iter().enumerate() {
-                assert_eq!(
-                    a.compatible(*b),
-                    expected[i][j],
-                    "compat({a:?},{b:?})"
-                );
+                assert_eq!(a.compatible(*b), expected[i][j], "compat({a:?},{b:?})");
                 // symmetry
                 assert_eq!(a.compatible(*b), b.compatible(*a));
             }
@@ -261,7 +257,10 @@ mod tests {
         assert_eq!(IntentShared.combine(Shared), Shared);
         assert_eq!(Shared.combine(Exclusive), Exclusive);
         assert_eq!(Shared.combine(Shared), Shared);
-        assert_eq!(SharedIntentExclusive.combine(IntentShared), SharedIntentExclusive);
+        assert_eq!(
+            SharedIntentExclusive.combine(IntentShared),
+            SharedIntentExclusive
+        );
     }
 
     #[test]
@@ -352,10 +351,7 @@ mod tests {
         let lm = LockManager::default();
         lm.acquire(1, table(), LockMode::Shared).unwrap();
         lm.acquire(1, table(), LockMode::IntentExclusive).unwrap();
-        assert_eq!(
-            lm.held(1, &table()),
-            Some(LockMode::SharedIntentExclusive)
-        );
+        assert_eq!(lm.held(1, &table()), Some(LockMode::SharedIntentExclusive));
     }
 
     #[test]

@@ -337,17 +337,22 @@ impl Predicate {
             }
             Predicate::IsNull { column } => format!("{column} IS NULL"),
             Predicate::IsNotNull { column } => format!("{column} IS NOT NULL"),
-            // An empty IN list matches nothing; SQL has no literal for it,
-            // so render a parseable contradiction instead.
-            Predicate::In { column, values } if values.is_empty() => {
-                format!("({column} IS NULL AND {column} IS NOT NULL)")
-            }
+            // An empty IN list matches nothing. Standard SQL has no literal
+            // for it, but this dialect's parser accepts `IN ()` — rendering
+            // anything else (e.g. a `col IS NULL AND col IS NOT NULL`
+            // contradiction) would not parse back to `In { values: [] }`,
+            // breaking the to_sql → parse round trip that the split
+            // configuration relies on when it ships predicates by SQL text.
             Predicate::In { column, values } => format!(
                 "{column} IN ({})",
                 values.iter().map(value_sql).collect::<Vec<_>>().join(", ")
             ),
             Predicate::Between { column, low, high } => {
-                format!("{column} BETWEEN {} AND {}", value_sql(low), value_sql(high))
+                format!(
+                    "{column} BETWEEN {} AND {}",
+                    value_sql(low),
+                    value_sql(high)
+                )
             }
             Predicate::And(a, b) => format!("({} AND {})", a.to_sql(), b.to_sql()),
             Predicate::Or(a, b) => format!("({} OR {})", a.to_sql(), b.to_sql()),
@@ -436,8 +441,14 @@ impl Predicate {
             5 => Predicate::IsNotNull {
                 column: r.get_str()?,
             },
-            6 => Predicate::And(Box::new(Predicate::decode(r)?), Box::new(Predicate::decode(r)?)),
-            7 => Predicate::Or(Box::new(Predicate::decode(r)?), Box::new(Predicate::decode(r)?)),
+            6 => Predicate::And(
+                Box::new(Predicate::decode(r)?),
+                Box::new(Predicate::decode(r)?),
+            ),
+            7 => Predicate::Or(
+                Box::new(Predicate::decode(r)?),
+                Box::new(Predicate::decode(r)?),
+            ),
             8 => Predicate::Not(Box::new(Predicate::decode(r)?)),
             9 => {
                 let column = r.get_str()?;
@@ -541,9 +552,15 @@ mod tests {
         let r = row();
         assert!(Predicate::eq("owner", "uid:7").matches(&s, &r).unwrap());
         assert!(!Predicate::eq("owner", "uid:8").matches(&s, &r).unwrap());
-        assert!(Predicate::cmp("qty", CmpOp::Gt, 10).matches(&s, &r).unwrap());
-        assert!(Predicate::cmp("qty", CmpOp::Le, 50).matches(&s, &r).unwrap());
-        assert!(!Predicate::cmp("qty", CmpOp::Lt, 50).matches(&s, &r).unwrap());
+        assert!(Predicate::cmp("qty", CmpOp::Gt, 10)
+            .matches(&s, &r)
+            .unwrap());
+        assert!(Predicate::cmp("qty", CmpOp::Le, 50)
+            .matches(&s, &r)
+            .unwrap());
+        assert!(!Predicate::cmp("qty", CmpOp::Lt, 50)
+            .matches(&s, &r)
+            .unwrap());
         assert!(Predicate::cmp("id", CmpOp::Ne, 2).matches(&s, &r).unwrap());
     }
 
@@ -675,6 +692,64 @@ mod tests {
             crate::sql::Statement::Select { predicate, .. } => assert_eq!(predicate, p),
             other => panic!("wrong statement {other:?}"),
         }
+    }
+
+    /// Parses `p.to_sql()` back and asserts structural equality.
+    fn assert_sql_round_trip(p: &Predicate) {
+        let sql = format!("SELECT * FROM t WHERE {}", p.to_sql());
+        match crate::sql::parse(&sql).unwrap() {
+            crate::sql::Statement::Select { predicate, .. } => {
+                assert_eq!(&predicate, p, "via {sql:?}")
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_in_under_connectives_evaluates_and_round_trips() {
+        let s = schema();
+        let r = row(); // id=1, owner="uid:7", qty=50.0
+        let empty = || Predicate::In {
+            column: "owner".into(),
+            values: vec![],
+        };
+        // `x IN ()` is FALSE, so it must be absorbing under AND, neutral
+        // under OR, and flip under NOT — both in the evaluator and after a
+        // to_sql → parse round trip.
+        let under_or = empty().or(Predicate::eq("owner", "uid:7"));
+        assert!(under_or.matches(&s, &r).unwrap());
+        assert_sql_round_trip(&under_or);
+
+        let under_and = empty().and(Predicate::eq("owner", "uid:7"));
+        assert!(!under_and.matches(&s, &r).unwrap());
+        assert_sql_round_trip(&under_and);
+
+        let under_not = Predicate::Not(Box::new(empty()));
+        assert!(under_not.matches(&s, &r).unwrap());
+        assert_sql_round_trip(&under_not);
+
+        assert_sql_round_trip(&empty());
+    }
+
+    #[test]
+    fn empty_in_regression_case() {
+        // Checked-in regression: this exact tree used to render the empty
+        // IN as a `owner IS NULL AND owner IS NOT NULL` contradiction,
+        // which parsed back to a different tree than it evaluated as.
+        let p = Predicate::Or(
+            Box::new(Predicate::Or(
+                Box::new(Predicate::cmp("owner", CmpOp::Eq, 0)),
+                Box::new(Predicate::In {
+                    column: "owner".into(),
+                    values: vec![],
+                }),
+            )),
+            Box::new(Predicate::cmp("owner", CmpOp::Eq, 0)),
+        );
+        assert_sql_round_trip(&p);
+        // Type-mismatched comparison is simply false; the empty IN never
+        // matches; the whole disjunction is false.
+        assert!(!p.matches(&schema(), &row()).unwrap());
     }
 
     #[test]

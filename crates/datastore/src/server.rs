@@ -59,7 +59,9 @@ pub(crate) fn encode_db_error(w: &mut Writer, e: &DbError) {
             w.put_u8(5).put_str(m);
         }
         DbError::ParamCount { expected, actual } => {
-            w.put_u8(6).put_u32(*expected as u32).put_u32(*actual as u32);
+            w.put_u8(6)
+                .put_u32(*expected as u32)
+                .put_u32(*actual as u32);
         }
         DbError::Deadlock => {
             w.put_u8(7);
@@ -78,6 +80,9 @@ pub(crate) fn encode_db_error(w: &mut Writer, e: &DbError) {
         }
         DbError::Remote(m) => {
             w.put_u8(12).put_str(m);
+        }
+        DbError::Unavailable(m) => {
+            w.put_u8(13).put_str(m);
         }
     }
 }
@@ -100,6 +105,7 @@ pub(crate) fn decode_db_error(r: &mut Reader) -> Result<DbError, DecodeError> {
         10 => DbError::NoTransaction,
         11 => DbError::AlreadyExists(r.get_str()?),
         12 => DbError::Remote(r.get_str()?),
+        13 => DbError::Unavailable(r.get_str()?),
         _ => return Err(DecodeError::new("db error tag")),
     })
 }
@@ -272,7 +278,11 @@ impl RemoteConnection {
     pub fn open(remote: Remote<Arc<DbServer>>) -> DbResult<RemoteConnection> {
         let mut w = Writer::new();
         w.put_u8(OP_OPEN);
-        let resp = remote.call(frame(protocol::JDBC, 0, &w.finish()));
+        // OP_OPEN allocates a server-side session, so blind resends would
+        // leak sessions: one attempt only, like every other JDBC exchange.
+        let resp = remote
+            .call_once(frame(protocol::JDBC, 0, &w.finish()))
+            .map_err(|e| DbError::Unavailable(e.to_string()))?;
         let mut r = Self::open_response(resp)?;
         match r.get_u8().map_err(|e| DbError::Remote(e.to_string()))? {
             STATUS_OK => {
@@ -285,8 +295,7 @@ impl RemoteConnection {
                     correlation: std::sync::atomic::AtomicU64::new(1),
                 })
             }
-            _ => Err(decode_db_error(&mut r)
-                .unwrap_or_else(|e| DbError::Remote(e.to_string()))),
+            _ => Err(decode_db_error(&mut r).unwrap_or_else(|e| DbError::Remote(e.to_string()))),
         }
     }
 
@@ -302,7 +311,14 @@ impl RemoteConnection {
 
     fn exchange(&self, w: Writer) -> DbResult<Reader> {
         let framed = frame(protocol::JDBC, self.next_correlation(), &w.finish());
-        let resp = self.remote.call(framed);
+        // A JDBC statement is not idempotent (an INSERT resent after a lost
+        // response would run twice), so the transport must not retry: a
+        // delivery failure surfaces as Unavailable and aborts the enclosing
+        // transaction.
+        let resp = self
+            .remote
+            .call_once(framed)
+            .map_err(|e| DbError::Unavailable(e.to_string()))?;
         let (_, payload) = unframe(resp).map_err(|e| DbError::Remote(e.to_string()))?;
         let mut r = Reader::new(payload);
         match r.get_u8().map_err(|e| DbError::Remote(e.to_string()))? {
@@ -310,8 +326,7 @@ impl RemoteConnection {
                 r.get_bytes().map_err(|e| DbError::Remote(e.to_string()))?; // SQLCA
                 Ok(r)
             }
-            _ => Err(decode_db_error(&mut r)
-                .unwrap_or_else(|e| DbError::Remote(e.to_string()))),
+            _ => Err(decode_db_error(&mut r).unwrap_or_else(|e| DbError::Remote(e.to_string()))),
         }
     }
 
@@ -375,7 +390,12 @@ mod tests {
     use super::*;
     use sli_simnet::{Path, PathSpec};
 
-    fn setup() -> (Arc<Clock>, Arc<sli_simnet::Path>, RemoteConnection, Arc<DbServer>) {
+    fn setup() -> (
+        Arc<Clock>,
+        Arc<sli_simnet::Path>,
+        RemoteConnection,
+        Arc<DbServer>,
+    ) {
         let db = Database::new();
         db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR)")
             .unwrap();
@@ -451,8 +471,7 @@ mod tests {
     fn sessions_are_independent() {
         let (clock, _path, mut c1, server) = setup();
         let path2 = Path::new("edge2-db", clock, PathSpec::lan());
-        let mut c2 =
-            RemoteConnection::open(Remote::new(path2, Arc::clone(&server))).unwrap();
+        let mut c2 = RemoteConnection::open(Remote::new(path2, Arc::clone(&server))).unwrap();
         assert_eq!(server.session_count(), 2);
         c1.begin().unwrap();
         c1.execute("INSERT INTO t (a, b) VALUES (1, 'x')", &[])
@@ -483,6 +502,7 @@ mod tests {
             DbError::NoTransaction,
             DbError::AlreadyExists("x".into()),
             DbError::Remote("r".into()),
+            DbError::Unavailable("u".into()),
         ];
         for e in variants {
             let mut w = Writer::new();
@@ -500,7 +520,7 @@ mod tests {
         w.put_str("SELECT 1");
         w.put_u32(0);
         let remote = Remote::new(path, server);
-        let resp = remote.call(frame(protocol::JDBC, 7, &w.finish()));
+        let resp = remote.call(frame(protocol::JDBC, 7, &w.finish())).unwrap();
         let (header, payload) = unframe(resp).unwrap();
         assert_eq!(header.correlation, 7);
         let mut r = Reader::new(payload);
@@ -517,7 +537,7 @@ mod tests {
         let mut w = Writer::new();
         w.put_u8(OP_CLOSE).put_u64(conn.session);
         let remote = Remote::new(path, Arc::clone(&server));
-        remote.call(frame(protocol::JDBC, 1, &w.finish()));
+        remote.call(frame(protocol::JDBC, 1, &w.finish())).unwrap();
         assert_eq!(server.session_count(), 0);
     }
 }

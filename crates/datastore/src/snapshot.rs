@@ -133,7 +133,10 @@ impl Database {
             if nrows > 0 {
                 let insert = format!(
                     "INSERT INTO {name} ({}) VALUES ({})",
-                    cols.iter().map(|(c, _)| c.as_str()).collect::<Vec<_>>().join(", "),
+                    cols.iter()
+                        .map(|(c, _)| c.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", "),
                     vec!["?"; ncols].join(", ")
                 );
                 let mut conn = db.connect();
@@ -179,7 +182,8 @@ mod tests {
             )
             .unwrap();
         }
-        conn.execute("INSERT INTO note (id) VALUES (1)", &[]).unwrap(); // NULL text
+        conn.execute("INSERT INTO note (id) VALUES (1)", &[])
+            .unwrap(); // NULL text
         db
     }
 
@@ -206,7 +210,7 @@ mod tests {
             .execute("SELECT id FROM holding WHERE owner = 'uid:1'", &[])
             .unwrap();
         assert_eq!(rs.len(), 6); // ids 1, 5, 9, 13, 17, 21
-        // and the restored engine is writable
+                                 // and the restored engine is writable
         b.execute("DELETE FROM holding WHERE id = 1", &[]).unwrap();
         let rs = b
             .execute("SELECT id FROM holding WHERE owner = 'uid:1'", &[])
@@ -238,7 +242,8 @@ mod tests {
         let db = sample_db();
         let mut conn = db.connect();
         conn.begin().unwrap();
-        conn.execute("DELETE FROM holding WHERE id = 0", &[]).unwrap();
+        conn.execute("DELETE FROM holding WHERE id = 0", &[])
+            .unwrap();
         conn.rollback().unwrap();
         let restored = Database::restore(db.checkpoint()).unwrap();
         assert_eq!(restored.row_count("holding").unwrap(), 25);

@@ -145,9 +145,7 @@ impl Statement {
         }
         match self {
             Statement::CreateTable { .. } | Statement::CreateIndex { .. } => 0,
-            Statement::Insert { values, .. } => {
-                values.iter().map(scalar_max).max().unwrap_or(0)
-            }
+            Statement::Insert { values, .. } => values.iter().map(scalar_max).max().unwrap_or(0),
             Statement::Select { predicate, .. } => predicate.param_count(),
             Statement::Update {
                 sets, predicate, ..

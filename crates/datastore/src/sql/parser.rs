@@ -383,6 +383,12 @@ impl Parser {
         if self.eat_word("in") {
             self.expect(Token::LParen)?;
             let mut values = Vec::new();
+            // `IN ()` is the canonical spelling of the empty list (matches
+            // no row), mirroring what `Predicate::to_sql` emits.
+            if self.peek() == Some(&Token::RParen) {
+                self.next();
+                return Ok(Predicate::In { column, values });
+            }
             loop {
                 match self.scalar()? {
                     Scalar::Literal(v) => values.push(v),
@@ -526,7 +532,10 @@ mod tests {
                 limit,
                 ..
             } => {
-                assert_eq!(list, SelectList::Columns(vec!["symbol".into(), "price".into()]));
+                assert_eq!(
+                    list,
+                    SelectList::Columns(vec!["symbol".into(), "price".into()])
+                );
                 assert_eq!(order_by, Some(("price".into(), true)));
                 assert_eq!(limit, Some(5));
             }
@@ -612,8 +621,8 @@ mod tests {
 
     #[test]
     fn parses_in_and_between() {
-        let st = parse("SELECT * FROM t WHERE sym IN ('a', 'b', 'c') AND qty BETWEEN 1 AND 10")
-            .unwrap();
+        let st =
+            parse("SELECT * FROM t WHERE sym IN ('a', 'b', 'c') AND qty BETWEEN 1 AND 10").unwrap();
         match st {
             Statement::Select { predicate, .. } => match predicate {
                 Predicate::And(l, r) => {
@@ -626,7 +635,20 @@ mod tests {
         }
         assert!(parse("SELECT * FROM t WHERE a IN (?)").is_err());
         assert!(parse("SELECT * FROM t WHERE a BETWEEN ? AND 3").is_err());
-        assert!(parse("SELECT * FROM t WHERE a IN ()").is_err());
+        // The empty list is legal in this dialect: it matches no row and is
+        // what `Predicate::to_sql` emits for `In { values: [] }`.
+        match parse("SELECT * FROM t WHERE a IN ()").unwrap() {
+            crate::sql::Statement::Select { predicate, .. } => {
+                assert_eq!(
+                    predicate,
+                    Predicate::In {
+                        column: "a".into(),
+                        values: vec![],
+                    }
+                );
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
     }
 
     #[test]

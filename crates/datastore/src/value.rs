@@ -255,7 +255,10 @@ mod tests {
 
     #[test]
     fn doubles_use_total_order_for_keys() {
-        assert_eq!(Value::from(f64::NAN).cmp(&Value::from(f64::NAN)), Ordering::Equal);
+        assert_eq!(
+            Value::from(f64::NAN).cmp(&Value::from(f64::NAN)),
+            Ordering::Equal
+        );
         assert!(Value::from(-0.0) < Value::from(0.0));
     }
 

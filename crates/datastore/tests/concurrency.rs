@@ -4,8 +4,8 @@
 
 use std::sync::Arc;
 
-use crossbeam::thread;
 use sli_datastore::{Database, DbError, SqlConnection, Value};
+use std::thread;
 
 fn bank(accounts: i64, opening: f64) -> Arc<Database> {
     let db = Database::new();
@@ -73,7 +73,7 @@ fn concurrent_transfers_conserve_money() {
     thread::scope(|scope| {
         for t in 0..threads {
             let db = Arc::clone(&db);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut rng_state = 0x9E37_79B9u64.wrapping_mul(t as u64 + 1);
                 let mut done = 0;
                 while done < transfers_per_thread {
@@ -90,8 +90,7 @@ fn concurrent_transfers_conserve_money() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
 
     assert_eq!(total(&db), opening_total, "2PL must serialize transfers");
     assert_eq!(db.lock_manager().lock_count(), 0, "locks leaked");
@@ -106,7 +105,7 @@ fn readers_see_only_committed_states() {
         {
             let db = Arc::clone(&db);
             let done = Arc::clone(&writers_done);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for _ in 0..100 {
                     loop {
                         match transfer(&db, 0, 1, 10.0) {
@@ -122,7 +121,7 @@ fn readers_see_only_committed_states() {
         {
             let db = Arc::clone(&db);
             let done = Arc::clone(&writers_done);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 // Every read transaction must observe a conserved total:
                 // intermediate (one-leg-applied) states are never visible.
                 while !done.load(std::sync::atomic::Ordering::Acquire) {
@@ -152,8 +151,7 @@ fn readers_see_only_committed_states() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
     assert_eq!(db.lock_manager().lock_count(), 0);
 }
 
@@ -167,7 +165,7 @@ fn hotspot_deadlocks_are_detected_not_hung() {
         for t in 0..2 {
             let db = Arc::clone(&db);
             let deadlocks = Arc::clone(&deadlocks);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let (from, to) = if t == 0 { (0, 1) } else { (1, 0) };
                 let mut done = 0;
                 while done < 30 {
@@ -182,8 +180,7 @@ fn hotspot_deadlocks_are_detected_not_hung() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
     assert_eq!(total(&db), 200.0);
     assert_eq!(db.lock_manager().lock_count(), 0);
 }
@@ -194,7 +191,7 @@ fn autocommit_storm_from_many_threads() {
     thread::scope(|scope| {
         for t in 0..8 {
             let db = Arc::clone(&db);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut conn = db.connect();
                 for i in 0..50 {
                     // unique keys per thread: pure insert workload
@@ -206,8 +203,7 @@ fn autocommit_storm_from_many_threads() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
     assert_eq!(db.row_count("account").unwrap(), 1 + 8 * 50);
     assert_eq!(db.lock_manager().lock_count(), 0);
 }

@@ -114,6 +114,14 @@ impl AddAssign for SimDuration {
     }
 }
 
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
 /// The simulation's virtual clock.
 ///
 /// Every node in a topology shares one `Clock` (via `Arc`). Crossing a
@@ -189,6 +197,8 @@ mod tests {
         let a = SimDuration::from_millis(2);
         let b = SimDuration::from_micros(500);
         assert_eq!((a + b).as_micros(), 2_500);
+        assert_eq!((a - b).as_micros(), 1_500);
+        assert_eq!(b - a, SimDuration::ZERO, "duration subtraction saturates");
         assert_eq!(a.saturating_mul(3).as_millis_f64(), 6.0);
     }
 

@@ -1,0 +1,306 @@
+//! Deterministic fault injection for communication paths.
+//!
+//! The paper's wide-area path is not just slow — it loses, delays and
+//! duplicates messages, and remote tiers go away transiently. This module
+//! models those failures *reproducibly*: a [`FaultPlan`] draws faults from a
+//! seeded counter-based stream (same seed → same fault schedule on every
+//! run), and a scripted queue lets tests dictate the exact fault for each
+//! upcoming delivery.
+//!
+//! Faults are decided per *delivery attempt* by [`Path::next_fault`]
+//! (crate::Path) and acted on by [`Remote`](crate::Remote), which turns them
+//! into timeouts, duplicate service invocations, or fast unavailability
+//! errors.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One injected transport/service failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// The request message is lost in transit: the service never runs and
+    /// the caller waits out its timeout.
+    DropRequest,
+    /// The request is delivered and the service runs (side effects happen!)
+    /// but the response is lost: the caller waits out its timeout. This is
+    /// the classic idempotence hazard.
+    DropResponse,
+    /// The request is delivered twice; the service runs twice on identical
+    /// bytes and one response returns.
+    Duplicate,
+    /// The remote end refuses service quickly (transient unavailability):
+    /// the caller gets an immediate failure rather than a timeout.
+    Unavailable,
+}
+
+/// A seeded, per-path probability plan for injected faults.
+///
+/// Rates are in per-mille (0–1000) of delivery attempts, drawn from a
+/// splitmix64 stream over `(seed, attempt counter)` so a given seed always
+/// produces the same fault schedule. The zero plan (default) injects
+/// nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed of the fault stream.
+    pub seed: u64,
+    /// Per-mille of attempts whose request is dropped.
+    pub drop_request_per_mille: u16,
+    /// Per-mille of attempts whose response is dropped.
+    pub drop_response_per_mille: u16,
+    /// Per-mille of attempts delivered twice.
+    pub duplicate_per_mille: u16,
+    /// Per-mille of attempts refused as transiently unavailable.
+    pub unavailable_per_mille: u16,
+}
+
+impl FaultPlan {
+    /// The fault-free plan.
+    pub const NONE: FaultPlan = FaultPlan {
+        seed: 0,
+        drop_request_per_mille: 0,
+        drop_response_per_mille: 0,
+        duplicate_per_mille: 0,
+        unavailable_per_mille: 0,
+    };
+
+    /// A "hostile WAN" preset: `per_mille` of attempts fail, spread evenly
+    /// across the four fault kinds.
+    pub fn lossy(seed: u64, per_mille: u16) -> FaultPlan {
+        let share = per_mille / 4;
+        FaultPlan {
+            seed,
+            drop_request_per_mille: share,
+            drop_response_per_mille: share,
+            duplicate_per_mille: share,
+            unavailable_per_mille: per_mille - 3 * share,
+        }
+    }
+
+    /// Whether this plan can ever inject a fault.
+    pub fn is_clean(&self) -> bool {
+        self.drop_request_per_mille == 0
+            && self.drop_response_per_mille == 0
+            && self.duplicate_per_mille == 0
+            && self.unavailable_per_mille == 0
+    }
+
+    /// The fault (if any) for delivery attempt number `n`.
+    pub fn draw(&self, n: u64) -> Option<Fault> {
+        if self.is_clean() {
+            return None;
+        }
+        // splitmix64 over (seed, attempt index) — the same generator the
+        // path jitter uses, so schedules are reproducible byte-for-byte.
+        let mut z = self
+            .seed
+            .wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let roll = (z % 1000) as u16;
+        let mut threshold = self.drop_request_per_mille;
+        if roll < threshold {
+            return Some(Fault::DropRequest);
+        }
+        threshold += self.drop_response_per_mille;
+        if roll < threshold {
+            return Some(Fault::DropResponse);
+        }
+        threshold += self.duplicate_per_mille;
+        if roll < threshold {
+            return Some(Fault::Duplicate);
+        }
+        threshold += self.unavailable_per_mille;
+        if roll < threshold {
+            return Some(Fault::Unavailable);
+        }
+        None
+    }
+}
+
+/// Counters of faults actually injected on a path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Requests dropped in transit.
+    pub dropped_requests: u64,
+    /// Responses dropped in transit.
+    pub dropped_responses: u64,
+    /// Requests delivered twice.
+    pub duplicates: u64,
+    /// Attempts refused as unavailable.
+    pub unavailable: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected.
+    pub fn total(&self) -> u64 {
+        self.dropped_requests + self.dropped_responses + self.duplicates + self.unavailable
+    }
+}
+
+/// Per-path fault state: the dialled plan, a scripted override queue, the
+/// attempt counter feeding the seeded stream, and injection counters.
+#[derive(Debug, Default)]
+pub(crate) struct FaultState {
+    plan: Mutex<FaultPlan>,
+    script: Mutex<VecDeque<Option<Fault>>>,
+    attempts: AtomicU64,
+    dropped_requests: AtomicU64,
+    dropped_responses: AtomicU64,
+    duplicates: AtomicU64,
+    unavailable: AtomicU64,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> FaultState {
+        FaultState {
+            plan: Mutex::new(plan),
+            ..FaultState::default()
+        }
+    }
+
+    pub(crate) fn set_plan(&self, plan: FaultPlan) {
+        *self.plan.lock().unwrap_or_else(|e| e.into_inner()) = plan;
+    }
+
+    pub(crate) fn plan(&self) -> FaultPlan {
+        *self.plan.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Queues explicit outcomes for the next delivery attempts; `None`
+    /// entries mean "no fault". Scripted entries are consumed before the
+    /// probabilistic plan is consulted.
+    pub(crate) fn push_script(&self, faults: impl IntoIterator<Item = Option<Fault>>) {
+        self.script
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend(faults);
+    }
+
+    /// Decides the fault for the next delivery attempt.
+    pub(crate) fn next(&self) -> Option<Fault> {
+        let scripted = self
+            .script
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front();
+        let fault = match scripted {
+            Some(f) => f,
+            None => {
+                let n = self.attempts.fetch_add(1, Ordering::Relaxed);
+                self.plan().draw(n)
+            }
+        };
+        match fault {
+            Some(Fault::DropRequest) => {
+                self.dropped_requests.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(Fault::DropResponse) => {
+                self.dropped_responses.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(Fault::Duplicate) => {
+                self.duplicates.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(Fault::Unavailable) => {
+                self.unavailable.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {}
+        }
+        fault
+    }
+
+    pub(crate) fn stats(&self) -> FaultStats {
+        FaultStats {
+            dropped_requests: self.dropped_requests.load(Ordering::Relaxed),
+            dropped_responses: self.dropped_responses.load(Ordering::Relaxed),
+            duplicates: self.duplicates.load(Ordering::Relaxed),
+            unavailable: self.unavailable.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.script
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        self.attempts.store(0, Ordering::Relaxed);
+        self.dropped_requests.store(0, Ordering::Relaxed);
+        self.dropped_responses.store(0, Ordering::Relaxed);
+        self.duplicates.store(0, Ordering::Relaxed);
+        self.unavailable.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_plan_never_faults() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_clean());
+        assert!((0..10_000).all(|n| plan.draw(n).is_none()));
+    }
+
+    #[test]
+    fn draw_is_deterministic_per_seed() {
+        let plan = FaultPlan::lossy(42, 200);
+        let a: Vec<_> = (0..256).map(|n| plan.draw(n)).collect();
+        let b: Vec<_> = (0..256).map(|n| plan.draw(n)).collect();
+        assert_eq!(a, b);
+        let other = FaultPlan::lossy(43, 200);
+        let c: Vec<_> = (0..256).map(|n| other.draw(n)).collect();
+        assert_ne!(a, c, "different seed → different schedule");
+        assert!(a.iter().any(|f| f.is_some()), "20% plan injects something");
+        assert!(a.iter().any(|f| f.is_none()), "20% plan is not all faults");
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let plan = FaultPlan {
+            seed: 7,
+            drop_response_per_mille: 500,
+            ..FaultPlan::default()
+        };
+        let hits = (0..2_000)
+            .filter(|&n| plan.draw(n) == Some(Fault::DropResponse))
+            .count();
+        assert!((800..1_200).contains(&hits), "got {hits}/2000");
+    }
+
+    #[test]
+    fn script_takes_priority_then_plan_resumes() {
+        let state = FaultState::new(FaultPlan::default());
+        state.push_script([Some(Fault::DropResponse), None, Some(Fault::Unavailable)]);
+        assert_eq!(state.next(), Some(Fault::DropResponse));
+        assert_eq!(state.next(), None);
+        assert_eq!(state.next(), Some(Fault::Unavailable));
+        assert_eq!(state.next(), None, "empty script falls back to the plan");
+        let stats = state.stats();
+        assert_eq!(stats.dropped_responses, 1);
+        assert_eq!(stats.unavailable, 1);
+        assert_eq!(stats.total(), 2);
+    }
+
+    #[test]
+    fn reset_clears_script_and_counters() {
+        let state = FaultState::new(FaultPlan::default());
+        state.push_script([Some(Fault::Duplicate)]);
+        assert_eq!(state.next(), Some(Fault::Duplicate));
+        state.push_script([Some(Fault::Duplicate)]);
+        state.reset();
+        assert_eq!(state.next(), None);
+        assert_eq!(state.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn lossy_preset_sums_to_rate() {
+        let plan = FaultPlan::lossy(1, 102);
+        let sum = plan.drop_request_per_mille
+            + plan.drop_response_per_mille
+            + plan.duplicate_per_mille
+            + plan.unavailable_per_mille;
+        assert_eq!(sum, 102);
+    }
+}

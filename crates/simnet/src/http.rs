@@ -172,6 +172,7 @@ impl HttpResponse {
             404 => "Not Found",
             409 => "Conflict",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Unknown",
         };
         out.push_str(&format!("HTTP/1.0 {} {}\r\n", self.status, reason));
@@ -225,8 +226,11 @@ impl HttpResponse {
                         .to_owned(),
                 );
             } else if let Some(value) = line.strip_prefix("Content-Length: ") {
-                content_length =
-                    Some(value.parse::<usize>().map_err(|e| format!("bad length: {e}"))?);
+                content_length = Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad length: {e}"))?,
+                );
             }
         }
         if let Some(len) = content_length {
@@ -253,7 +257,10 @@ mod tests {
     fn get_request_encodes_query_string() {
         let req = HttpRequest::get(
             "/trade/app",
-            vec![("action".into(), "quote".into()), ("symbol".into(), "s:5".into())],
+            vec![
+                ("action".into(), "quote".into()),
+                ("symbol".into(), "s:5".into()),
+            ],
         );
         let text = String::from_utf8(req.encode()).unwrap();
         assert!(text.starts_with("GET /trade/app?action=quote&symbol=s:5 HTTP/1.0\r\n"));
@@ -323,7 +330,10 @@ mod tests {
         // corrupted content-length
         let resp = HttpResponse::ok("body");
         let mut raw = resp.encode();
-        let idx = raw.windows(17).position(|w| w == b"Content-Length: 4").unwrap();
+        let idx = raw
+            .windows(17)
+            .position(|w| w == b"Content-Length: 4")
+            .unwrap();
         raw[idx + 16] = b'9';
         assert!(HttpResponse::parse(&raw).is_err());
     }

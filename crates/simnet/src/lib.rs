@@ -17,6 +17,12 @@
 //!   measurements are taken in a deliberately *low-load* setting (one virtual
 //!   client, no queueing), cost-accounting RPC reproduces the measured
 //!   latency behaviour exactly while remaining deterministic.
+//! * [`FaultPlan`]/[`Fault`] — seeded, reproducible fault injection per
+//!   path: dropped requests, dropped responses, duplicate deliveries and
+//!   transient unavailability. [`Remote::call`] retries them under a
+//!   clock-driven [`RetryPolicy`], surfacing [`CallError`] once the budget
+//!   is exhausted; [`Remote::call_once`] is the no-retry escape hatch for
+//!   non-idempotent payloads.
 //! * [`wire`] — a small self-describing binary codec. All simulated traffic
 //!   is really encoded and decoded so that byte counts are honest.
 //! * [`HttpRequest`]/[`HttpResponse`] — minimal HTTP/1.0-style framing for
@@ -41,12 +47,14 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod fault;
 mod http;
 mod path;
 mod remote;
 pub mod wire;
 
 pub use clock::{Clock, SimDuration, SimTime};
+pub use fault::{Fault, FaultPlan, FaultStats};
 pub use http::{HttpRequest, HttpResponse};
 pub use path::{Path, PathSpec, PathStats};
-pub use remote::{Remote, Service};
+pub use remote::{CallError, Remote, RetryPolicy, Service};

@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::clock::{Clock, SimDuration};
+use crate::fault::{Fault, FaultPlan, FaultState, FaultStats};
 
 /// Static characteristics of a communication path.
 ///
@@ -20,6 +21,9 @@ pub struct PathSpec {
     /// Usable link bandwidth in bytes per second; transferring `n` bytes
     /// costs `n / bandwidth` seconds on top of the latency.
     pub bandwidth_bytes_per_sec: u64,
+    /// Seeded fault plan applied to delivery attempts on this path
+    /// (fault-free by default; see [`FaultPlan`]).
+    pub faults: FaultPlan,
 }
 
 impl PathSpec {
@@ -30,6 +34,7 @@ impl PathSpec {
         PathSpec {
             base_latency: SimDuration::from_micros(200),
             bandwidth_bytes_per_sec: 12_500_000,
+            faults: FaultPlan::NONE,
         }
     }
 
@@ -40,7 +45,14 @@ impl PathSpec {
         PathSpec {
             base_latency: SimDuration::from_micros(20),
             bandwidth_bytes_per_sec: 1_000_000_000,
+            faults: FaultPlan::NONE,
         }
+    }
+
+    /// Returns this spec with the given fault plan dialled in.
+    pub fn with_faults(mut self, faults: FaultPlan) -> PathSpec {
+        self.faults = faults;
+        self
     }
 }
 
@@ -102,6 +114,7 @@ pub struct Path {
     bytes_from_server: AtomicU64,
     requests: AtomicU64,
     responses: AtomicU64,
+    faults: FaultState,
 }
 
 impl Path {
@@ -121,6 +134,7 @@ impl Path {
             bytes_from_server: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             responses: AtomicU64::new(0),
+            faults: FaultState::new(spec.faults),
         })
     }
 
@@ -192,7 +206,8 @@ impl Path {
     /// Sends an `n`-byte message in the request direction, advancing the
     /// clock and recording the traffic.
     pub fn request(&self, n: usize) {
-        self.clock.advance(self.one_way_cost(n) + self.next_jitter());
+        self.clock
+            .advance(self.one_way_cost(n) + self.next_jitter());
         self.bytes_to_server.fetch_add(n as u64, Ordering::Relaxed);
         self.requests.fetch_add(1, Ordering::Relaxed);
     }
@@ -200,7 +215,8 @@ impl Path {
     /// Sends an `n`-byte message in the response direction, advancing the
     /// clock and recording the traffic.
     pub fn respond(&self, n: usize) {
-        self.clock.advance(self.one_way_cost(n) + self.next_jitter());
+        self.clock
+            .advance(self.one_way_cost(n) + self.next_jitter());
         self.bytes_from_server
             .fetch_add(n as u64, Ordering::Relaxed);
         self.responses.fetch_add(1, Ordering::Relaxed);
@@ -231,6 +247,43 @@ impl Path {
         self.requests.store(0, Ordering::Relaxed);
         self.responses.store(0, Ordering::Relaxed);
     }
+
+    /// Dials the seeded probabilistic fault plan for this path.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.faults.set_plan(plan);
+    }
+
+    /// The currently dialled fault plan.
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.faults.plan()
+    }
+
+    /// Queues explicit fault outcomes for the next delivery attempts
+    /// (`None` = deliver cleanly). Scripted entries are consumed before the
+    /// probabilistic plan, so tests can dictate exact schedules.
+    pub fn script_faults(&self, faults: impl IntoIterator<Item = Option<Fault>>) {
+        self.faults.push_script(faults);
+    }
+
+    /// Decides (and consumes) the fault for the next delivery attempt.
+    ///
+    /// Transports such as [`Remote`](crate::Remote) call this once per
+    /// attempt and act on the result; it is public so alternative transports
+    /// can share the same fault schedule.
+    pub fn next_fault(&self) -> Option<Fault> {
+        self.faults.next()
+    }
+
+    /// Counters of faults injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.stats()
+    }
+
+    /// Clears the scripted queue, the fault-stream position and the fault
+    /// counters (the dialled plan itself is kept).
+    pub fn reset_faults(&self) {
+        self.faults.reset();
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +301,7 @@ mod tests {
         let (clock, path) = test_path(PathSpec {
             base_latency: SimDuration::from_millis(1),
             bandwidth_bytes_per_sec: 1_000_000,
+            faults: FaultPlan::NONE,
         });
         path.request(1_000); // 1ms latency + 1ms transfer
         assert_eq!(clock.now().as_micros(), 2_000);
@@ -258,6 +312,7 @@ mod tests {
         let (clock, path) = test_path(PathSpec {
             base_latency: SimDuration::ZERO,
             bandwidth_bytes_per_sec: 1_000_000_000,
+            faults: FaultPlan::NONE,
         });
         path.set_proxy_delay(SimDuration::from_millis(40));
         path.request(10);
@@ -302,6 +357,7 @@ mod tests {
         let spec = PathSpec {
             base_latency: SimDuration::from_millis(1),
             bandwidth_bytes_per_sec: 1_000_000_000,
+            faults: FaultPlan::NONE,
         };
         let run = |seed: u64| {
             let (clock, path) = test_path(spec);
@@ -334,6 +390,7 @@ mod tests {
         let (clock, path) = test_path(PathSpec {
             base_latency: SimDuration::from_millis(1),
             bandwidth_bytes_per_sec: 1_000_000_000,
+            faults: FaultPlan::NONE,
         });
         path.request(0);
         assert_eq!(clock.now().as_micros(), 1_000);
@@ -344,8 +401,28 @@ mod tests {
         let (_c, path) = test_path(PathSpec {
             base_latency: SimDuration::from_micros(100),
             bandwidth_bytes_per_sec: 1_000_000,
+            faults: FaultPlan::NONE,
         });
         assert_eq!(path.one_way_cost(0).as_micros(), 100);
         assert_eq!(path.one_way_cost(1_000).as_micros(), 1_100);
+    }
+
+    #[test]
+    fn fault_schedule_is_reproducible_and_scriptable() {
+        let spec = PathSpec::lan().with_faults(FaultPlan::lossy(9, 300));
+        let draw = |spec| {
+            let (_c, path) = test_path(spec);
+            (0..64).map(|_| path.next_fault()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(spec), draw(spec), "same spec → same fault schedule");
+
+        let (_c, path) = test_path(PathSpec::lan());
+        assert!(path.fault_plan().is_clean());
+        path.script_faults([Some(Fault::Duplicate), None]);
+        assert_eq!(path.next_fault(), Some(Fault::Duplicate));
+        assert_eq!(path.next_fault(), None);
+        assert_eq!(path.fault_stats().duplicates, 1);
+        path.reset_faults();
+        assert_eq!(path.fault_stats().total(), 0);
     }
 }

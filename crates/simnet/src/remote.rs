@@ -1,10 +1,13 @@
 //! RPC shim: invoking a service across a [`Path`] with honest byte
-//! accounting.
+//! accounting, deterministic timeouts, and retry under injected faults.
 
+use std::fmt;
 use std::sync::Arc;
 
 use bytes::Bytes;
 
+use crate::clock::SimDuration;
+use crate::fault::Fault;
 use crate::path::Path;
 
 /// A node that can handle an encoded request and produce an encoded
@@ -25,6 +28,84 @@ impl<S: Service + ?Sized> Service for Arc<S> {
     }
 }
 
+/// Timeout/retry policy for [`Remote::call`].
+///
+/// All waiting is charged to the simulated [`Clock`](crate::Clock), so a
+/// given fault schedule produces byte-for-byte identical timings on every
+/// run. The backoff doubles after each failed attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total delivery attempts (first try included). Must be at least 1.
+    pub max_attempts: u32,
+    /// How long the caller waits for a response before declaring the
+    /// attempt lost.
+    pub timeout: SimDuration,
+    /// Pause before the second attempt; doubles after every further
+    /// failure.
+    pub backoff: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            timeout: SimDuration::from_millis(1_000),
+            backoff: SimDuration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A single-attempt policy: fail fast, never retry.
+    pub fn no_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// Why a [`Remote::call`] gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallError {
+    /// Every attempt waited out its timeout without a response (request or
+    /// response lost in transit).
+    TimedOut {
+        /// Delivery attempts made before giving up.
+        attempts: u32,
+    },
+    /// The remote end refused service on the final attempt (transient
+    /// unavailability that outlasted the retry budget).
+    Unavailable {
+        /// Delivery attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl CallError {
+    /// Delivery attempts made before giving up.
+    pub fn attempts(&self) -> u32 {
+        match *self {
+            CallError::TimedOut { attempts } | CallError::Unavailable { attempts } => attempts,
+        }
+    }
+}
+
+impl fmt::Display for CallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallError::TimedOut { attempts } => {
+                write!(f, "remote call timed out after {attempts} attempt(s)")
+            }
+            CallError::Unavailable { attempts } => {
+                write!(f, "remote service unavailable after {attempts} attempt(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
 /// A remote handle: a [`Service`] reached across a [`Path`].
 ///
 /// A `Remote::call` charges the request crossing, runs the service inline
@@ -32,16 +113,42 @@ impl<S: Service + ?Sized> Service for Arc<S> {
 /// charges the response crossing. In the paper's low-load configuration —
 /// one virtual client, no queueing — this synchronous cost model reproduces
 /// measured latency exactly.
+///
+/// When the path's fault plan injects a failure, `call` waits out the
+/// policy's timeout on the simulated clock, backs off, and resends the
+/// *identical* request bytes. Callers whose requests are not idempotent must
+/// use [`call_once`](Remote::call_once) and handle the failure themselves.
 #[derive(Debug, Clone)]
 pub struct Remote<S> {
     path: Arc<Path>,
     service: S,
+    policy: RetryPolicy,
 }
 
 impl<S: Service> Remote<S> {
-    /// Creates a handle to `service` reached via `path`.
+    /// Creates a handle to `service` reached via `path`, with the default
+    /// retry policy.
     pub fn new(path: Arc<Path>, service: S) -> Remote<S> {
-        Remote { path, service }
+        Remote {
+            path,
+            service,
+            policy: RetryPolicy::default(),
+        }
+    }
+
+    /// Replaces the timeout/retry policy.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Remote<S> {
+        assert!(
+            policy.max_attempts >= 1,
+            "policy needs at least one attempt"
+        );
+        self.policy = policy;
+        self
+    }
+
+    /// The active timeout/retry policy.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
     }
 
     /// The path this handle sends traffic over.
@@ -54,21 +161,129 @@ impl<S: Service> Remote<S> {
         &self.service
     }
 
-    /// Performs one synchronous round trip: request over the path, inline
+    /// Performs a synchronous round trip: request over the path, inline
     /// service execution, response back over the path.
-    pub fn call(&self, request: Bytes) -> Bytes {
-        self.path.request(request.len());
-        let response = self.service.handle(request);
-        self.path.respond(response.len());
-        response
+    ///
+    /// Injected faults are retried up to the policy's attempt budget with
+    /// doubling backoff; every resend carries the identical request bytes,
+    /// so services deduplicate replays by request identity (see the commit
+    /// protocol in `sli-core`). Fails only once the budget is exhausted.
+    pub fn call(&self, request: Bytes) -> Result<Bytes, CallError> {
+        let mut backoff = self.policy.backoff;
+        let mut last = CallError::TimedOut { attempts: 0 };
+        for attempt in 1..=self.policy.max_attempts {
+            match self.attempt(&request) {
+                Ok(response) => return Ok(response),
+                Err(error) => last = error.with_attempts(attempt),
+            }
+            if attempt < self.policy.max_attempts {
+                self.path.clock().advance(backoff);
+                backoff = backoff + backoff;
+            }
+        }
+        Err(last)
+    }
+
+    /// Performs exactly one delivery attempt — no retry, no backoff.
+    ///
+    /// This is the escape hatch for non-idempotent payloads (e.g. individual
+    /// JDBC statements inside an open transaction): on failure the caller
+    /// must decide how to recover, typically by aborting the enclosing
+    /// transaction.
+    pub fn call_once(&self, request: Bytes) -> Result<Bytes, CallError> {
+        self.attempt(&request).map_err(|e| e.with_attempts(1))
+    }
+
+    /// One delivery attempt under the path's fault schedule.
+    fn attempt(&self, request: &Bytes) -> Result<Bytes, AttemptError> {
+        let clock = self.path.clock();
+        match self.path.next_fault() {
+            None => {
+                self.path.request(request.len());
+                let response = self.service.handle(request.clone());
+                self.path.respond(response.len());
+                Ok(response)
+            }
+            Some(Fault::Duplicate) => {
+                // Both copies cross the path; the service runs twice on
+                // identical bytes and one response makes it back.
+                self.path.request(request.len());
+                let _ = self.service.handle(request.clone());
+                self.path.request_async(request.len());
+                let response = self.service.handle(request.clone());
+                self.path.respond(response.len());
+                Ok(response)
+            }
+            Some(Fault::DropRequest) => {
+                // The bytes leave the caller but never arrive; the service
+                // does not run and the caller waits out its timeout.
+                self.path.request_async(request.len());
+                clock.advance(self.policy.timeout);
+                Err(AttemptError::TimedOut)
+            }
+            Some(Fault::DropResponse) => {
+                // The request arrives and the service runs — side effects
+                // happen — but the response is lost, so the caller still
+                // waits out its timeout (measured from the send).
+                let start = clock.now();
+                self.path.request(request.len());
+                let _ = self.service.handle(request.clone());
+                let elapsed = clock.now() - start;
+                if elapsed < self.policy.timeout {
+                    clock.advance(self.policy.timeout - elapsed);
+                }
+                Err(AttemptError::TimedOut)
+            }
+            Some(Fault::Unavailable) => {
+                // Fast refusal: the remote end answers immediately with
+                // "go away" instead of doing the work.
+                self.path.request(request.len());
+                self.path.respond(1);
+                Err(AttemptError::Unavailable)
+            }
+        }
     }
 
     /// Sends a one-way notification that is *not* charged to the caller's
     /// clock (asynchronous fan-out such as cache invalidation). The service
     /// still runs and the bytes are still metered.
+    ///
+    /// Notifications are fire-and-forget, so injected faults make them
+    /// genuinely lossy: a dropped or refused delivery means the service
+    /// never runs and nobody notices. (A dropped *response* is irrelevant —
+    /// there is no response — and a duplicate runs the service twice.)
     pub fn notify(&self, request: Bytes) {
-        self.path.request_async(request.len());
-        let _ = self.service.handle(request);
+        match self.path.next_fault() {
+            None | Some(Fault::DropResponse) => {
+                self.path.request_async(request.len());
+                let _ = self.service.handle(request);
+            }
+            Some(Fault::Duplicate) => {
+                self.path.request_async(request.len());
+                let _ = self.service.handle(request.clone());
+                self.path.request_async(request.len());
+                let _ = self.service.handle(request);
+            }
+            Some(Fault::DropRequest) | Some(Fault::Unavailable) => {
+                self.path.request_async(request.len());
+            }
+        }
+    }
+}
+
+/// Per-attempt failure, before the attempt count is known.
+#[derive(Debug, Clone, Copy)]
+enum AttemptError {
+    TimedOut,
+    Unavailable,
+}
+
+impl AttemptError {
+    fn with_attempts(self, attempts: u32) -> CallError {
+        match self {
+            AttemptError::TimedOut => CallError::TimedOut { attempts },
+            AttemptError::Unavailable => CallError::Unavailable { attempts },
+        }
     }
 }
 
@@ -76,8 +291,10 @@ impl<S: Service> Remote<S> {
 mod tests {
     use super::*;
     use crate::clock::{Clock, SimDuration};
+    use crate::fault::FaultPlan;
     use crate::path::PathSpec;
     use bytes::Bytes;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     struct Echo;
 
@@ -97,13 +314,24 @@ mod tests {
         }
     }
 
+    /// Counts invocations, for duplicate/retry accounting.
+    #[derive(Default)]
+    struct Counter(AtomicU64);
+
+    impl Service for &Counter {
+        fn handle(&self, request: Bytes) -> Bytes {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            request
+        }
+    }
+
     #[test]
     fn call_charges_both_directions() {
         let clock = Arc::new(Clock::new());
         let path = Path::new("p", Arc::clone(&clock), PathSpec::local());
         path.set_proxy_delay(SimDuration::from_millis(10));
         let remote = Remote::new(Arc::clone(&path), Echo);
-        let resp = remote.call(Bytes::from_static(b"hello"));
+        let resp = remote.call(Bytes::from_static(b"hello")).unwrap();
         assert_eq!(&resp[..], b"hello");
         assert!(clock.now().as_micros() >= 20_000);
         assert_eq!(path.stats().round_trips(), 1);
@@ -115,7 +343,7 @@ mod tests {
         let path = Path::new("p", Arc::clone(&clock), PathSpec::local());
         let remote = Remote::new(path, Worker(Arc::clone(&clock)));
         let t0 = clock.now();
-        remote.call(Bytes::new());
+        remote.call(Bytes::new()).unwrap();
         assert!((clock.now() - t0).as_micros() >= 2_000);
     }
 
@@ -135,6 +363,117 @@ mod tests {
         let path = Path::new("p", clock, PathSpec::local());
         let svc: Arc<dyn Service> = Arc::new(Echo);
         let remote = Remote::new(path, svc);
-        assert_eq!(&remote.call(Bytes::from_static(b"x"))[..], b"x");
+        assert_eq!(&remote.call(Bytes::from_static(b"x")).unwrap()[..], b"x");
+    }
+
+    #[test]
+    fn dropped_response_is_retried_and_resends_identical_bytes() {
+        let clock = Arc::new(Clock::new());
+        let path = Path::new("p", Arc::clone(&clock), PathSpec::local());
+        path.script_faults([Some(Fault::DropResponse), None]);
+        let counter = Counter::default();
+        let remote = Remote::new(Arc::clone(&path), &counter);
+        let resp = remote.call(Bytes::from_static(b"debit")).unwrap();
+        assert_eq!(&resp[..], b"debit");
+        // The service ran on the failed attempt too — side effects happened.
+        assert_eq!(counter.0.load(Ordering::Relaxed), 2);
+        // The caller waited out the timeout plus one backoff pause.
+        let policy = remote.policy();
+        let floor = policy.timeout + policy.backoff;
+        assert!(clock.now().as_micros() >= floor.as_micros());
+        assert_eq!(path.fault_stats().dropped_responses, 1);
+    }
+
+    #[test]
+    fn dropped_request_never_reaches_the_service() {
+        let clock = Arc::new(Clock::new());
+        let path = Path::new("p", Arc::clone(&clock), PathSpec::local());
+        path.script_faults([Some(Fault::DropRequest), None]);
+        let counter = Counter::default();
+        let remote = Remote::new(Arc::clone(&path), &counter);
+        remote.call(Bytes::from_static(b"q")).unwrap();
+        assert_eq!(counter.0.load(Ordering::Relaxed), 1, "only the retry ran");
+    }
+
+    #[test]
+    fn duplicate_delivery_runs_the_service_twice() {
+        let clock = Arc::new(Clock::new());
+        let path = Path::new("p", clock, PathSpec::local());
+        path.script_faults([Some(Fault::Duplicate)]);
+        let counter = Counter::default();
+        let remote = Remote::new(path, &counter);
+        let resp = remote.call(Bytes::from_static(b"x")).unwrap();
+        assert_eq!(&resp[..], b"x");
+        assert_eq!(counter.0.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_last_error() {
+        let clock = Arc::new(Clock::new());
+        let path = Path::new("p", Arc::clone(&clock), PathSpec::local());
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            timeout: SimDuration::from_millis(10),
+            backoff: SimDuration::from_millis(1),
+        };
+        path.script_faults([
+            Some(Fault::DropRequest),
+            Some(Fault::DropRequest),
+            Some(Fault::Unavailable),
+        ]);
+        let remote = Remote::new(Arc::clone(&path), Echo).with_policy(policy);
+        let err = remote.call(Bytes::from_static(b"x")).unwrap_err();
+        assert_eq!(err, CallError::Unavailable { attempts: 3 });
+        assert_eq!(err.attempts(), 3);
+        // Two timeouts + fast refusal + backoff of 1ms then 2ms.
+        assert!(clock.now().as_micros() >= 23_000);
+    }
+
+    #[test]
+    fn call_once_does_not_retry() {
+        let clock = Arc::new(Clock::new());
+        let path = Path::new("p", clock, PathSpec::local());
+        path.script_faults([Some(Fault::DropResponse)]);
+        let counter = Counter::default();
+        let remote = Remote::new(Arc::clone(&path), &counter);
+        let err = remote.call_once(Bytes::from_static(b"x")).unwrap_err();
+        assert_eq!(err, CallError::TimedOut { attempts: 1 });
+        assert_eq!(counter.0.load(Ordering::Relaxed), 1);
+        assert!(remote.call_once(Bytes::from_static(b"x")).is_ok());
+    }
+
+    #[test]
+    fn faulty_schedule_is_deterministic_end_to_end() {
+        let run = || {
+            let clock = Arc::new(Clock::new());
+            let spec = PathSpec::local().with_faults(FaultPlan::lossy(77, 400));
+            let path = Path::new("p", Arc::clone(&clock), spec);
+            let remote = Remote::new(path, Echo).with_policy(RetryPolicy {
+                max_attempts: 2,
+                timeout: SimDuration::from_millis(5),
+                backoff: SimDuration::from_millis(1),
+            });
+            let outcomes: Vec<bool> = (0..32)
+                .map(|_| remote.call(Bytes::from_static(b"req")).is_ok())
+                .collect();
+            (outcomes, clock.now())
+        };
+        assert_eq!(run(), run(), "same seed → same outcomes and same clock");
+        let (outcomes, _) = run();
+        assert!(outcomes.iter().any(|ok| *ok));
+        assert!(outcomes.iter().any(|ok| !*ok));
+    }
+
+    #[test]
+    fn lossy_notify_can_lose_messages() {
+        let clock = Arc::new(Clock::new());
+        let path = Path::new("p", clock, PathSpec::local());
+        path.script_faults([Some(Fault::DropRequest), None, Some(Fault::Duplicate)]);
+        let counter = Counter::default();
+        let remote = Remote::new(path, &counter);
+        remote.notify(Bytes::from_static(b"a")); // lost
+        remote.notify(Bytes::from_static(b"b")); // delivered
+        remote.notify(Bytes::from_static(b"c")); // delivered twice
+        assert_eq!(counter.0.load(Ordering::Relaxed), 3);
     }
 }

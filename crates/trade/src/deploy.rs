@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use sli_component::{BmpHome, Container, JdbcResourceManager, SharedConnection};
-use sli_core::{CommonStore, Committer, SliHome, SliResourceManager, StateSource};
+use sli_core::{Committer, CommonStore, SliHome, SliResourceManager, StateSource};
 
 use crate::model::trade_registry;
 
@@ -36,7 +36,11 @@ pub fn cached_container(
     source: Arc<dyn StateSource>,
     committer: Arc<dyn Committer>,
 ) -> Container {
-    let rm = Arc::new(SliResourceManager::new(origin, committer, Arc::clone(&store)));
+    let rm = Arc::new(SliResourceManager::new(
+        origin,
+        committer,
+        Arc::clone(&store),
+    ));
     let mut container = Container::new(rm);
     for meta in trade_registry().iter() {
         container.register(Arc::new(SliHome::new(
@@ -56,7 +60,11 @@ pub fn cached_container_with_rm(
     source: Arc<dyn StateSource>,
     committer: Arc<dyn Committer>,
 ) -> (Container, Arc<SliResourceManager>) {
-    let rm = Arc::new(SliResourceManager::new(origin, committer, Arc::clone(&store)));
+    let rm = Arc::new(SliResourceManager::new(
+        origin,
+        committer,
+        Arc::clone(&store),
+    ));
     let mut container = Container::new(Arc::clone(&rm) as Arc<dyn sli_component::ResourceManager>);
     for meta in trade_registry().iter() {
         container.register(Arc::new(SliHome::new(

@@ -59,24 +59,11 @@ impl EjbTradeEngine {
         self.clock_seq.fetch_add(1, Ordering::Relaxed)
     }
 
-    fn get_f64(
-        home: &dyn Home,
-        ctx: &mut TxContext,
-        key: &Value,
-        field: &str,
-    ) -> EjbResult<f64> {
-        Ok(home
-            .get_field(ctx, key, field)?
-            .as_double()
-            .unwrap_or(0.0))
+    fn get_f64(home: &dyn Home, ctx: &mut TxContext, key: &Value, field: &str) -> EjbResult<f64> {
+        Ok(home.get_field(ctx, key, field)?.as_double().unwrap_or(0.0))
     }
 
-    fn get_i64(
-        home: &dyn Home,
-        ctx: &mut TxContext,
-        key: &Value,
-        field: &str,
-    ) -> EjbResult<i64> {
+    fn get_i64(home: &dyn Home, ctx: &mut TxContext, key: &Value, field: &str) -> EjbResult<i64> {
         Ok(home.get_field(ctx, key, field)?.as_int().unwrap_or(0))
     }
 
@@ -202,8 +189,7 @@ impl EjbTradeEngine {
                 let symbol = holding.get_field(ctx, r.primary_key(), "symbol")?;
                 let symbol = crate::util::show(&symbol);
                 let qty = Self::get_f64(holding.as_ref(), ctx, r.primary_key(), "quantity")?;
-                let price =
-                    Self::get_f64(holding.as_ref(), ctx, r.primary_key(), "purchaseprice")?;
+                let price = Self::get_f64(holding.as_ref(), ctx, r.primary_key(), "purchaseprice")?;
                 result.row(vec![
                     r.primary_key().to_string(),
                     symbol,
@@ -316,9 +302,7 @@ impl EjbTradeEngine {
             TradeAction::Register { user } => self.register(ctx, c, user),
             TradeAction::Home { user } => self.home(ctx, c, user),
             TradeAction::Account { user } => self.account(ctx, c, user),
-            TradeAction::AccountUpdate { user, email } => {
-                self.account_update(ctx, c, user, email)
-            }
+            TradeAction::AccountUpdate { user, email } => self.account_update(ctx, c, user, email),
             TradeAction::Portfolio { user } => self.portfolio(ctx, c, user),
             TradeAction::Quote { symbol } => self.quote(ctx, c, symbol),
             TradeAction::Buy {

@@ -44,10 +44,7 @@ impl JdbcTradeEngine {
     }
 
     /// Runs `f` inside one explicit transaction, rolling back on error.
-    fn in_txn<T>(
-        &self,
-        f: impl FnOnce(&mut dyn SqlConnection) -> EjbResult<T>,
-    ) -> EjbResult<T> {
+    fn in_txn<T>(&self, f: impl FnOnce(&mut dyn SqlConnection) -> EjbResult<T>) -> EjbResult<T> {
         let mut conn = self.conn.lock();
         conn.begin()?;
         match f(&mut *conn) {

@@ -80,11 +80,36 @@ fn market_summary_fragment() -> String {
     s.push_str("<tr><th colspan=\"4\">Trade Stock Index Average (TSIA) &mdash; session snapshot</th></tr>\n");
     s.push_str("<tr><th>gainer</th><th>price</th><th>loser</th><th>price</th></tr>\n");
     for (g, gp, l, lp) in [
-        ("s:12 Company #12 Incorporated", "44.10 (+2.3%)", "s:31 Company #31 Incorporated", "18.75 (-3.1%)"),
-        ("s:57 Company #57 Incorporated", "67.25 (+1.9%)", "s:88 Company #88 Incorporated", "12.40 (-2.6%)"),
-        ("s:03 Company #03 Incorporated", "13.05 (+1.4%)", "s:64 Company #64 Incorporated", "74.90 (-1.8%)"),
-        ("s:45 Company #45 Incorporated", "55.60 (+1.1%)", "s:09 Company #09 Incorporated", "19.10 (-1.2%)"),
-        ("s:71 Company #71 Incorporated", "81.35 (+0.8%)", "s:26 Company #26 Incorporated", "36.55 (-0.9%)"),
+        (
+            "s:12 Company #12 Incorporated",
+            "44.10 (+2.3%)",
+            "s:31 Company #31 Incorporated",
+            "18.75 (-3.1%)",
+        ),
+        (
+            "s:57 Company #57 Incorporated",
+            "67.25 (+1.9%)",
+            "s:88 Company #88 Incorporated",
+            "12.40 (-2.6%)",
+        ),
+        (
+            "s:03 Company #03 Incorporated",
+            "13.05 (+1.4%)",
+            "s:64 Company #64 Incorporated",
+            "74.90 (-1.8%)",
+        ),
+        (
+            "s:45 Company #45 Incorporated",
+            "55.60 (+1.1%)",
+            "s:09 Company #09 Incorporated",
+            "19.10 (-1.2%)",
+        ),
+        (
+            "s:71 Company #71 Incorporated",
+            "81.35 (+0.8%)",
+            "s:26 Company #26 Incorporated",
+            "36.55 (-0.9%)",
+        ),
     ] {
         s.push_str(&format!(
             "<tr><td>{g}</td><td align=\"right\">{gp}</td><td>{l}</td><td align=\"right\">{lp}</td></tr>\n"

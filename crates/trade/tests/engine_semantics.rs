@@ -66,12 +66,22 @@ fn engines() -> Vec<(Arc<Database>, Box<dyn TradeEngine>)> {
 
 fn scalar_f64(db: &Arc<Database>, sql: &str) -> f64 {
     let mut conn = db.connect();
-    conn.execute(sql, &[]).unwrap().scalar().unwrap().as_double().unwrap()
+    conn.execute(sql, &[])
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_double()
+        .unwrap()
 }
 
 fn scalar_i64(db: &Arc<Database>, sql: &str) -> i64 {
     let mut conn = db.connect();
-    conn.execute(sql, &[]).unwrap().scalar().unwrap().as_int().unwrap()
+    conn.execute(sql, &[])
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_int()
+        .unwrap()
 }
 
 #[test]
@@ -107,8 +117,10 @@ fn buy_debits_account_and_creates_holding() {
 fn sell_credits_account_and_removes_oldest_holding() {
     for (db, engine) in engines() {
         let before = scalar_f64(&db, "SELECT balance FROM account WHERE userid = 'uid:2'");
-        let oldest =
-            scalar_i64(&db, "SELECT MIN(holdingid) FROM holding WHERE userid = 'uid:2'");
+        let oldest = scalar_i64(
+            &db,
+            "SELECT MIN(holdingid) FROM holding WHERE userid = 'uid:2'",
+        );
         let result = engine
             .perform(&TradeAction::Sell {
                 user: "uid:2".into(),
@@ -145,7 +157,12 @@ fn sell_with_empty_portfolio_is_graceful() {
                 user: "uid:3".into(),
             })
             .unwrap();
-        assert_eq!(result.get("status"), Some("no holdings to sell"), "{}", engine.label());
+        assert_eq!(
+            result.get("status"),
+            Some("no holdings to sell"),
+            "{}",
+            engine.label()
+        );
         // balance untouched by the no-op sell
         let _ = db;
     }
@@ -198,12 +215,21 @@ fn register_creates_all_three_beans_and_rejects_duplicates() {
                     &[],
                 )
                 .unwrap();
-            assert_eq!(rs.scalar(), Some(&Value::from(1)), "{}: {table}", engine.label());
+            assert_eq!(
+                rs.scalar(),
+                Some(&Value::from(1)),
+                "{}: {table}",
+                engine.label()
+            );
         }
         let again = engine.perform(&TradeAction::Register {
             user: "uid:new".into(),
         });
-        assert!(again.is_err(), "{}: duplicate register must fail", engine.label());
+        assert!(
+            again.is_err(),
+            "{}: duplicate register must fail",
+            engine.label()
+        );
     }
 }
 
@@ -230,7 +256,12 @@ fn account_update_changes_email_only() {
                 &[],
             )
             .unwrap();
-        assert_eq!(rs.rows()[0][0], Value::from("fresh@example.com"), "{}", engine.label());
+        assert_eq!(
+            rs.rows()[0][0],
+            Value::from("fresh@example.com"),
+            "{}",
+            engine.label()
+        );
         assert_eq!(rs.rows()[0][1], fullname_before, "{}", engine.label());
     }
 }
@@ -290,14 +321,20 @@ fn batch_executes_atomically_and_matches_sequential_state() {
     );
 
     let actions = vec![
-        TradeAction::Login { user: "uid:1".into() },
+        TradeAction::Login {
+            user: "uid:1".into(),
+        },
         TradeAction::Buy {
             user: "uid:1".into(),
             symbol: "s:2".into(),
             quantity: 5.0,
         },
-        TradeAction::Sell { user: "uid:1".into() },
-        TradeAction::Logout { user: "uid:1".into() },
+        TradeAction::Sell {
+            user: "uid:1".into(),
+        },
+        TradeAction::Logout {
+            user: "uid:1".into(),
+        },
     ];
     for a in &actions {
         seq.perform(a).unwrap();

@@ -88,7 +88,10 @@ mod tests {
         let points: Vec<(f64, f64)> = (0..20)
             .map(|x| {
                 let x = x as f64;
-                (x, 2.0 * x + 5.0 + if x as i64 % 2 == 0 { 0.5 } else { -0.5 })
+                (
+                    x,
+                    2.0 * x + 5.0 + if x as i64 % 2 == 0 { 0.5 } else { -0.5 },
+                )
             })
             .collect();
         let f = fit(&points).unwrap();

@@ -44,7 +44,12 @@ fn transfer(edge: &Container, from: &str, to: &str, amount: f64) -> Result<(), E
             .get_field(ctx, &to_key, "balance")?
             .as_double()
             .unwrap_or(0.0);
-        home.set_field(ctx, &from_key, "balance", Value::from(from_balance - amount))?;
+        home.set_field(
+            ctx,
+            &from_key,
+            "balance",
+            Value::from(from_balance - amount),
+        )?;
         home.set_field(ctx, &to_key, "balance", Value::from(to_balance + amount))?;
         Ok(())
     })
@@ -75,7 +80,11 @@ fn main() {
     let mut edges = Vec::new();
     for (id, city) in [(1u32, "Frankfurt"), (2u32, "Singapore")] {
         let store = CommonStore::new();
-        let path = Path::new(format!("{city}-backend"), Arc::clone(&clock), PathSpec::lan());
+        let path = Path::new(
+            format!("{city}-backend"),
+            Arc::clone(&clock),
+            PathSpec::lan(),
+        );
         path.set_proxy_delay(SimDuration::from_millis(45));
         let remote = Remote::new(path, Arc::clone(&backend));
         let inv = Path::new(
@@ -83,7 +92,10 @@ fn main() {
             Arc::clone(&clock),
             PathSpec::lan(),
         );
-        backend.register_edge(id, Remote::new(inv, InvalidationSink::new(Arc::clone(&store))));
+        backend.register_edge(
+            id,
+            Remote::new(inv, InvalidationSink::new(Arc::clone(&store))),
+        );
         let rm = Arc::new(SliResourceManager::new(
             id,
             Arc::new(SplitCommitter::new(remote.clone())),
@@ -119,7 +131,9 @@ fn main() {
 
     // --- audit from a fresh connection: global balance must be conserved ---
     let mut conn = db.connect();
-    let rs = conn.execute("SELECT iban, balance FROM account", &[]).unwrap();
+    let rs = conn
+        .execute("SELECT iban, balance FROM account", &[])
+        .unwrap();
     println!("\nfinal balances (persistent store):");
     let mut total = 0.0;
     for row in rs.rows() {
@@ -128,7 +142,10 @@ fn main() {
         total += b;
     }
     println!("  total {total:>8.2}  (must equal the seeded 1250.00)");
-    assert!((total - 1_250.0).abs() < 1e-9, "money was created or destroyed!");
+    assert!(
+        (total - 1_250.0).abs() < 1e-9,
+        "money was created or destroyed!"
+    );
 
     for (city, _, store, rm) in &edges {
         println!(

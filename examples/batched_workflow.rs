@@ -46,18 +46,24 @@ fn build_edge(delay: SimDuration) -> (EjbTradeEngine, Arc<Clock>, Arc<Path>) {
 
 fn workflow(user: &str) -> Vec<TradeAction> {
     vec![
-        TradeAction::Quote { symbol: "s:8".into() },
+        TradeAction::Quote {
+            symbol: "s:8".into(),
+        },
         TradeAction::Buy {
             user: user.to_owned(),
             symbol: "s:8".into(),
             quantity: 50.0,
         },
-        TradeAction::Portfolio { user: user.to_owned() },
+        TradeAction::Portfolio {
+            user: user.to_owned(),
+        },
         TradeAction::AccountUpdate {
             user: user.to_owned(),
             email: format!("{user}@batched.example.com"),
         },
-        TradeAction::Account { user: user.to_owned() },
+        TradeAction::Account {
+            user: user.to_owned(),
+        },
     ]
 }
 

@@ -34,7 +34,10 @@ fn mean_latency_ms(arch: Architecture, delay_ms: u64, sessions: usize) -> f64 {
 fn main() {
     let delays = [0u64, 25, 50, 75, 100];
     let series = [
-        ("ES/RDB vanilla EJBs", Architecture::EsRdb(Flavor::VanillaEjb)),
+        (
+            "ES/RDB vanilla EJBs",
+            Architecture::EsRdb(Flavor::VanillaEjb),
+        ),
         ("ES/RDB cached EJBs", Architecture::EsRdb(Flavor::CachedEjb)),
         ("ES/RDB JDBC", Architecture::EsRdb(Flavor::Jdbc)),
         ("ES/RBES cached EJBs", Architecture::EsRbes),

@@ -24,8 +24,12 @@ fn main() {
     let session = vec![
         TradeAction::Login { user: user.clone() },
         TradeAction::Home { user: user.clone() },
-        TradeAction::Quote { symbol: "s:3".into() },
-        TradeAction::Quote { symbol: "s:3".into() }, // cache hit
+        TradeAction::Quote {
+            symbol: "s:3".into(),
+        },
+        TradeAction::Quote {
+            symbol: "s:3".into(),
+        }, // cache hit
         TradeAction::Buy {
             user: user.clone(),
             symbol: "s:3".into(),

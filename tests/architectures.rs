@@ -71,7 +71,10 @@ fn latency_is_affine_in_delay_for_fixed_workload() {
 
 #[test]
 fn clients_ras_pays_exactly_one_round_trip_of_delay() {
-    let tb = Testbed::build(Architecture::ClientsRas(Flavor::Jdbc), TestbedConfig::default());
+    let tb = Testbed::build(
+        Architecture::ClientsRas(Flavor::Jdbc),
+        TestbedConfig::default(),
+    );
     let mut client = VirtualClient::new(&tb, 0);
     let action = TradeAction::Quote {
         symbol: "s:3".into(),
@@ -89,7 +92,14 @@ fn edge_architectures_keep_pages_off_the_shared_path() {
     // edge architectures; in Clients/RAS it crosses the delayed path.
     let pop = Population::default();
     for arch in [Architecture::EsRdb(Flavor::Jdbc), Architecture::EsRbes] {
-        let tb = Testbed::build(arch, TestbedConfig { population: pop, edges: 1, ..TestbedConfig::default() });
+        let tb = Testbed::build(
+            arch,
+            TestbedConfig {
+                population: pop,
+                edges: 1,
+                ..TestbedConfig::default()
+            },
+        );
         let mut generator = SessionGenerator::new(3, pop);
         let mut client = VirtualClient::new(&tb, 0);
         tb.reset_path_stats();
@@ -103,7 +113,10 @@ fn edge_architectures_keep_pages_off_the_shared_path() {
             "{arch:?}: shared path carried {shared} bytes vs {page_bytes} page bytes"
         );
     }
-    let tb = Testbed::build(Architecture::ClientsRas(Flavor::Jdbc), TestbedConfig::default());
+    let tb = Testbed::build(
+        Architecture::ClientsRas(Flavor::Jdbc),
+        TestbedConfig::default(),
+    );
     let mut generator = SessionGenerator::new(3, pop);
     let mut client = VirtualClient::new(&tb, 0);
     tb.reset_path_stats();
@@ -150,7 +163,14 @@ fn all_three_engines_commit_identical_state() {
         Architecture::EsRdb(Flavor::CachedEjb),
         Architecture::EsRbes,
     ] {
-        let tb = Testbed::build(arch, TestbedConfig { population: pop, edges: 1, ..TestbedConfig::default() });
+        let tb = Testbed::build(
+            arch,
+            TestbedConfig {
+                population: pop,
+                edges: 1,
+                ..TestbedConfig::default()
+            },
+        );
         let mut client = VirtualClient::new(&tb, 0);
         for action in &script {
             let outcome = client.perform(action);
@@ -197,7 +217,10 @@ fn cached_edges_make_fewer_shared_round_trips_than_vanilla() {
 
 #[test]
 fn session_cookie_lifecycle_matches_http_sessions() {
-    let tb = Testbed::build(Architecture::EsRdb(Flavor::CachedEjb), TestbedConfig::default());
+    let tb = Testbed::build(
+        Architecture::EsRdb(Flavor::CachedEjb),
+        TestbedConfig::default(),
+    );
     let mut client = VirtualClient::new(&tb, 0);
     assert_eq!(tb.edges[0].server.session_count(), 0);
     client.perform(&TradeAction::Login {

@@ -44,7 +44,11 @@ fn combined_edge(db: &Arc<Database>, origin: u32) -> (Container, Arc<CommonStore
     let store = CommonStore::new();
     let source = Arc::new(DirectSource::new(Box::new(db.connect()), registry()));
     let committer = Arc::new(CombinedCommitter::new(Box::new(db.connect()), registry()));
-    let rm = Arc::new(SliResourceManager::new(origin, committer, Arc::clone(&store)));
+    let rm = Arc::new(SliResourceManager::new(
+        origin,
+        committer,
+        Arc::clone(&store),
+    ));
     let mut container = Container::new(rm as Arc<dyn ResourceManager>);
     container.register(Arc::new(SliHome::new(
         account_meta(),
@@ -54,7 +58,11 @@ fn combined_edge(db: &Arc<Database>, origin: u32) -> (Container, Arc<CommonStore
     (container, store)
 }
 
-type SplitCluster = (Arc<Clock>, Arc<BackendServer>, Vec<(Container, Arc<CommonStore>)>);
+type SplitCluster = (
+    Arc<Clock>,
+    Arc<BackendServer>,
+    Vec<(Container, Arc<CommonStore>)>,
+);
 
 /// A split-servers (ES/RBES-style) cluster: one backend, `n` edges with
 /// invalidation channels.
@@ -65,7 +73,11 @@ fn split_cluster(db: &Arc<Database>, n: usize) -> SplitCluster {
     for i in 0..n {
         let id = i as u32 + 1;
         let store = CommonStore::new();
-        let path = Path::new(format!("edge{id}-backend"), Arc::clone(&clock), PathSpec::lan());
+        let path = Path::new(
+            format!("edge{id}-backend"),
+            Arc::clone(&clock),
+            PathSpec::lan(),
+        );
         let remote = Remote::new(path, Arc::clone(&backend));
         let inv_path = Path::new(
             format!("backend-inv-{id}"),
@@ -276,12 +288,8 @@ fn create_remove_lifecycle_across_edges() {
     // Edge 1 still holds a stale cached image; a write through it aborts,
     // and a subsequent read discovers the removal.
     let result = edge1.with_transaction(|ctx, c| {
-        c.home("Account")?.set_field(
-            ctx,
-            &Value::from("carol"),
-            "balance",
-            Value::from(99.0),
-        )?;
+        c.home("Account")?
+            .set_field(ctx, &Value::from("carol"), "balance", Value::from(99.0))?;
         Ok(())
     });
     assert!(matches!(result, Err(EjbError::OptimisticConflict { .. })));
@@ -359,7 +367,11 @@ fn deferred_invalidation_leaves_a_staleness_window_that_validation_catches() {
     // Edge 1: plain immediate sink (reference behaviour).
     let build_edge = |id: u32, deferred: Option<SimDuration>| {
         let store = CommonStore::new();
-        let path = Path::new(format!("edge{id}-backend"), Arc::clone(&clock), PathSpec::lan());
+        let path = Path::new(
+            format!("edge{id}-backend"),
+            Arc::clone(&clock),
+            PathSpec::lan(),
+        );
         let remote = Remote::new(path, Arc::clone(&backend));
         let sink = deferred.map(|latency| {
             DeferredInvalidationSink::new(Arc::clone(&store), Arc::clone(&clock), latency)
@@ -371,7 +383,10 @@ fn deferred_invalidation_leaves_a_staleness_window_that_validation_catches() {
             }
             None => {
                 let inv = Path::new(format!("inv-{id}"), Arc::clone(&clock), PathSpec::lan());
-                backend.register_edge(id, Remote::new(inv, InvalidationSink::new(Arc::clone(&store))));
+                backend.register_edge(
+                    id,
+                    Remote::new(inv, InvalidationSink::new(Arc::clone(&store))),
+                );
             }
         }
         let source = Arc::new(BackendSource::new(remote.clone()));

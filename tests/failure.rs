@@ -7,14 +7,16 @@ use bytes::Bytes;
 use sli_edge::component::{
     share_connection, Container, EjbError, EntityMeta, Memento, ResourceManager,
 };
+use sli_edge::core::{BackendServer, BackendSource};
 use sli_edge::core::{
     CombinedCommitter, CommitRequest, CommonStore, DirectSource, MetaRegistry, SliHome,
     SliResourceManager, SplitCommitter,
 };
-use sli_edge::core::BackendServer;
 use sli_edge::datastore::server::{DbCostModel, DbServer, RemoteConnection};
 use sli_edge::datastore::{ColumnType, Database, DbError, SqlConnection, Value};
-use sli_edge::simnet::{Clock, Path, PathSpec, Remote, Service};
+use sli_edge::simnet::{
+    Clock, Fault, FaultPlan, Path, PathSpec, Remote, RetryPolicy, Service, SimDuration,
+};
 
 fn account_meta() -> EntityMeta {
     EntityMeta::new("Account", "account", "userid", ColumnType::Varchar)
@@ -58,6 +60,160 @@ fn balance(db: &Arc<Database>) -> f64 {
         .rows()[0][0]
         .as_double()
         .unwrap()
+}
+
+/// A split-configuration edge: its state source and committer share one
+/// (fault-injectable) path to the back-end server.
+fn split_edge(
+    backend: &Arc<BackendServer>,
+    path: &Arc<Path>,
+    policy: RetryPolicy,
+) -> (Container, Arc<CommonStore>) {
+    let store = CommonStore::new();
+    let remote = Remote::new(Arc::clone(path), Arc::clone(backend)).with_policy(policy);
+    let source = Arc::new(BackendSource::new(remote.clone()));
+    let committer = Arc::new(SplitCommitter::new(remote));
+    let rm = Arc::new(SliResourceManager::new(1, committer, Arc::clone(&store)));
+    let mut container = Container::new(rm as Arc<dyn ResourceManager>);
+    container.register(Arc::new(SliHome::new(
+        account_meta(),
+        Arc::clone(&store),
+        source,
+    )));
+    (container, store)
+}
+
+fn debit_alice(edge: &Container, amount: f64) -> Result<(), EjbError> {
+    edge.with_transaction(|ctx, c| {
+        let home = c.home("Account")?;
+        let key = Value::from("alice");
+        let b = home.get_field(ctx, &key, "balance")?.as_double().unwrap();
+        home.set_field(ctx, &key, "balance", Value::from(b - amount))?;
+        Ok(())
+    })
+}
+
+/// THE idempotence scenario: the back-end applies the debit but its response
+/// is lost; the edge times out and resends the identical commit request; the
+/// back-end recognises `(origin, txn_id)` and replays the recorded outcome.
+/// The account is debited exactly once and the edge observes success.
+#[test]
+fn dropped_commit_response_debits_exactly_once() {
+    let db = seeded_db();
+    let clock = Arc::new(Clock::new());
+    let backend = BackendServer::new(Box::new(db.connect()), registry(), Arc::clone(&clock));
+    let path = Path::new("edge-backend", Arc::clone(&clock), PathSpec::lan());
+    let (edge, _store) = split_edge(&backend, &path, RetryPolicy::default());
+    // Prime the cache so the debit transaction's only round trip is the
+    // commit itself.
+    debit_alice(&edge, 0.0).unwrap();
+    assert_eq!(balance(&db), 100.0);
+
+    path.script_faults([Some(Fault::DropResponse)]);
+    debit_alice(&edge, 40.0).unwrap();
+
+    assert_eq!(balance(&db), 60.0, "debit must be applied exactly once");
+    assert_eq!(path.fault_stats().dropped_responses, 1);
+    assert_eq!(db.lock_manager().lock_count(), 0);
+}
+
+#[test]
+fn dropped_commit_request_is_retried_transparently() {
+    let db = seeded_db();
+    let clock = Arc::new(Clock::new());
+    let backend = BackendServer::new(Box::new(db.connect()), registry(), Arc::clone(&clock));
+    let path = Path::new("edge-backend", Arc::clone(&clock), PathSpec::lan());
+    let (edge, _store) = split_edge(&backend, &path, RetryPolicy::default());
+    debit_alice(&edge, 0.0).unwrap();
+
+    path.script_faults([Some(Fault::DropRequest)]);
+    debit_alice(&edge, 25.0).unwrap();
+
+    assert_eq!(balance(&db), 75.0);
+    assert_eq!(path.fault_stats().dropped_requests, 1);
+    assert_eq!(db.lock_manager().lock_count(), 0);
+}
+
+#[test]
+fn duplicated_commit_delivery_debits_exactly_once() {
+    let db = seeded_db();
+    let clock = Arc::new(Clock::new());
+    let backend = BackendServer::new(Box::new(db.connect()), registry(), Arc::clone(&clock));
+    let path = Path::new("edge-backend", Arc::clone(&clock), PathSpec::lan());
+    let (edge, _store) = split_edge(&backend, &path, RetryPolicy::default());
+    debit_alice(&edge, 0.0).unwrap();
+
+    // The network delivers the commit twice: the second copy is a replay of
+    // an already-finished (origin, txn_id) and must not re-apply.
+    path.script_faults([Some(Fault::Duplicate)]);
+    debit_alice(&edge, 10.0).unwrap();
+
+    assert_eq!(balance(&db), 90.0, "duplicate delivery double-debited");
+    assert_eq!(path.fault_stats().duplicates, 1);
+    assert_eq!(db.lock_manager().lock_count(), 0);
+}
+
+#[test]
+fn unavailability_outlasting_retries_aborts_cleanly() {
+    let db = seeded_db();
+    let clock = Arc::new(Clock::new());
+    let backend = BackendServer::new(Box::new(db.connect()), registry(), Arc::clone(&clock));
+    let path = Path::new("edge-backend", Arc::clone(&clock), PathSpec::lan());
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        timeout: SimDuration::from_millis(50),
+        backoff: SimDuration::from_millis(5),
+    };
+    let (edge, store) = split_edge(&backend, &path, policy);
+    debit_alice(&edge, 0.0).unwrap();
+
+    // The back-end refuses service for longer than the retry budget.
+    path.script_faults([Some(Fault::Unavailable), Some(Fault::Unavailable)]);
+    let result = debit_alice(&edge, 40.0);
+    assert!(
+        matches!(result, Err(EjbError::Db(DbError::Unavailable(_)))),
+        "got {result:?}"
+    );
+    assert_eq!(balance(&db), 100.0, "failed commit must apply nothing");
+    assert_eq!(db.lock_manager().lock_count(), 0);
+    // The container survives: the cache was not poisoned and the next
+    // transaction goes through.
+    assert!(store.get("Account", &Value::from("alice")).is_some());
+    debit_alice(&edge, 15.0).unwrap();
+    assert_eq!(balance(&db), 85.0);
+}
+
+#[test]
+fn seeded_fault_plan_gives_identical_schedules() {
+    let run = |seed: u64| {
+        let db = seeded_db();
+        let clock = Arc::new(Clock::new());
+        let backend = BackendServer::new(Box::new(db.connect()), registry(), Arc::clone(&clock));
+        let spec = PathSpec::lan().with_faults(FaultPlan::lossy(seed, 250));
+        let path = Path::new("edge-backend", Arc::clone(&clock), spec);
+        let (edge, _store) = split_edge(&backend, &path, RetryPolicy::default());
+        let mut failures = 0u32;
+        for _ in 0..10 {
+            if debit_alice(&edge, 1.0).is_err() {
+                failures += 1;
+            }
+        }
+        assert_eq!(db.lock_manager().lock_count(), 0);
+        (balance(&db), clock.now(), path.fault_stats(), failures)
+    };
+    let a = run(1234);
+    let b = run(1234);
+    assert_eq!(a, b, "same seed must replay the exact schedule");
+    assert!(a.2.total() > 0, "25% plan injected nothing in 10 txns");
+    // Every successful debit moved exactly 1.0; a transaction that timed
+    // out on its final attempt may have committed without the edge learning
+    // it (inherent at-least-once ambiguity), so failures bound the rest.
+    let (final_balance, _, _, failures) = a;
+    let successes = f64::from(10 - failures);
+    assert!(final_balance <= 100.0 - successes, "{final_balance}");
+    assert!(final_balance >= 90.0, "{final_balance}");
+    let c = run(99);
+    assert_ne!(a.1, c.1, "different seed should change the schedule");
 }
 
 #[test]
@@ -151,7 +307,12 @@ fn conflicted_commit_applies_nothing_even_across_many_beans() {
     let result = edge.with_transaction(|ctx, c| {
         let home = c.home("Account")?;
         for i in 0..5 {
-            home.set_field(ctx, &Value::from(format!("u{i}")), "balance", Value::from(0.0))?;
+            home.set_field(
+                ctx,
+                &Value::from(format!("u{i}")),
+                "balance",
+                Value::from(0.0),
+            )?;
         }
         home.set_field(ctx, &Value::from("alice"), "balance", Value::from(0.0))?;
         Ok(())
@@ -205,6 +366,7 @@ fn empty_commit_request_is_a_no_op_everywhere() {
     let outcome = committer
         .commit(&CommitRequest {
             origin: 1,
+            txn_id: 1,
             entries: vec![],
         })
         .unwrap();
@@ -275,12 +437,8 @@ fn database_crash_and_restore_preserves_committed_state_only() {
     let (edge, store) = cached_edge(&db);
     // Two committed transactions...
     edge.with_transaction(|ctx, c| {
-        c.home("Account")?.set_field(
-            ctx,
-            &Value::from("alice"),
-            "balance",
-            Value::from(80.0),
-        )?;
+        c.home("Account")?
+            .set_field(ctx, &Value::from("alice"), "balance", Value::from(80.0))?;
         Ok(())
     })
     .unwrap();
