@@ -22,9 +22,11 @@
 #![warn(missing_docs)]
 
 mod client;
+mod report;
 mod servlet;
 mod topology;
 
 pub use client::{Interaction, VirtualClient};
-pub use servlet::{parse_action, AppServer, AppServerCost};
+pub use report::collect_report;
+pub use servlet::{parse_action, AppServer, AppServerCost, ServletMetrics};
 pub use topology::{Architecture, EdgeNode, Flavor, Testbed, TestbedConfig};

@@ -7,10 +7,11 @@
 //! the trade action is constructed in a JSP and returned to the client
 //! browser" (§4.2).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use parking_lot::Mutex;
 use sli_simnet::{Clock, HttpRequest, HttpResponse, SimDuration};
+use sli_telemetry::{Counter, Histogram, HistogramSnapshot, Registry};
 use sli_trade::{page, TradeAction, TradeEngine, TradeResult};
 use std::sync::Arc;
 
@@ -65,6 +66,112 @@ pub fn parse_action(req: &HttpRequest) -> Option<TradeAction> {
     })
 }
 
+/// HTTP status-code counters and per-action simulated-latency histograms
+/// for one [`AppServer`] — the servlet tier's contribution to the run
+/// report (request mix, error mix, response-time distribution).
+#[derive(Debug, Clone)]
+pub struct ServletMetrics {
+    /// Counters for the statuses the servlet can produce.
+    statuses: Vec<(u16, Counter)>,
+    /// Anything outside [`ServletMetrics::STATUSES`].
+    other: Counter,
+    /// End-to-end handling latency (µs of simulated time) per action.
+    actions: Vec<(&'static str, Histogram)>,
+}
+
+impl Default for ServletMetrics {
+    fn default() -> ServletMetrics {
+        ServletMetrics::new()
+    }
+}
+
+impl ServletMetrics {
+    /// Status codes the servlet produces (anything else counts as `other`).
+    const STATUSES: [u16; 5] = [200, 404, 409, 500, 503];
+
+    /// Creates the full fixed metric set (all statuses, all actions).
+    pub fn new() -> ServletMetrics {
+        ServletMetrics {
+            statuses: Self::STATUSES
+                .iter()
+                .map(|&code| (code, Counter::new()))
+                .collect(),
+            other: Counter::new(),
+            actions: TradeAction::NAMES
+                .iter()
+                .map(|&name| (name, Histogram::new()))
+                .collect(),
+        }
+    }
+
+    fn record(&self, status: u16, action: Option<&str>, micros: u64) {
+        match self.statuses.iter().find(|(code, _)| *code == status) {
+            Some((_, counter)) => counter.inc(),
+            None => self.other.inc(),
+        }
+        if let Some(name) = action {
+            if let Some((_, hist)) = self.actions.iter().find(|(n, _)| *n == name) {
+                hist.record(micros);
+            }
+        }
+    }
+
+    /// Requests answered with exactly `status` (0 for untracked codes).
+    pub fn status(&self, status: u16) -> u64 {
+        self.statuses
+            .iter()
+            .find(|(code, _)| *code == status)
+            .map_or(0, |(_, counter)| counter.get())
+    }
+
+    /// Non-zero status counts keyed by decimal code (`"200"`, `"503"`, ...).
+    pub fn status_counts(&self) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for (code, counter) in &self.statuses {
+            let n = counter.get();
+            if n > 0 {
+                out.insert(code.to_string(), n);
+            }
+        }
+        let n = self.other.get();
+        if n > 0 {
+            out.insert("other".to_owned(), n);
+        }
+        out
+    }
+
+    /// Latency distribution (simulated µs) for one action name.
+    pub fn action_latency_us(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.actions
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, hist)| hist.snapshot())
+    }
+
+    /// Attaches every metric to `registry` as `{prefix}.status.{code}` and
+    /// `{prefix}.action.{name}_us`.
+    pub fn register_with(&self, registry: &Registry, prefix: &str) {
+        for (code, counter) in &self.statuses {
+            registry.attach_counter(format!("{prefix}.status.{code}"), counter);
+        }
+        registry.attach_counter(format!("{prefix}.status.other"), &self.other);
+        for (name, hist) in &self.actions {
+            registry.attach_histogram(format!("{prefix}.action.{name}_us"), hist);
+        }
+    }
+
+    /// Zeroes every counter and histogram.
+    pub fn reset(&self) {
+        for (_, counter) in &self.statuses {
+            counter.reset();
+        }
+        self.other.reset();
+        for (_, hist) in &self.actions {
+            hist.reset();
+        }
+    }
+}
+
 /// One application-server machine: HTTP front end over a [`TradeEngine`].
 pub struct AppServer {
     engine: Box<dyn TradeEngine>,
@@ -75,6 +182,8 @@ pub struct AppServer {
     sessions: Mutex<HashMap<String, String>>,
     /// Transparent application-level retries on optimistic aborts.
     retries: usize,
+    /// Status counters and per-action latency histograms.
+    metrics: ServletMetrics,
 }
 
 impl std::fmt::Debug for AppServer {
@@ -94,7 +203,13 @@ impl AppServer {
             cost: AppServerCost::default(),
             sessions: Mutex::new(HashMap::new()),
             retries: 3,
+            metrics: ServletMetrics::new(),
         }
+    }
+
+    /// The server's HTTP metrics (status counts, per-action latency).
+    pub fn metrics(&self) -> &ServletMetrics {
+        &self.metrics
     }
 
     /// The engine's label ("JDBC" / "Vanilla EJB" / "Cached EJB").
@@ -120,17 +235,34 @@ impl AppServer {
     }
 
     /// Handles one HTTP request end to end: parse, session bean, JSP.
+    ///
+    /// The whole exchange — dispatch overhead, engine work (including any
+    /// transparent retries) and JSP rendering — is timed on the simulated
+    /// clock and recorded into [`ServletMetrics`] under the parsed action.
     pub fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        let start = self.clock.now();
+        let action = parse_action(req);
+        let resp = self.respond(action.as_ref());
+        let elapsed_us = (self.clock.now() - start).as_micros();
+        self.metrics.record(
+            resp.status,
+            action.as_ref().map(TradeAction::name),
+            elapsed_us,
+        );
+        resp
+    }
+
+    fn respond(&self, action: Option<&TradeAction>) -> HttpResponse {
         self.clock.advance(self.cost.per_request);
-        let Some(action) = parse_action(req) else {
+        let Some(action) = action else {
             let body = page::render_error("Invalid Request", "unknown action or missing parameter");
             return self.finish(HttpResponse::error(404, body));
         };
-        match self.perform_with_retry(&action) {
+        match self.perform_with_retry(action) {
             Ok(result) => {
                 let body = page::render(&result);
                 let mut resp = HttpResponse::ok(body);
-                match &action {
+                match action {
                     TradeAction::Login { user } => {
                         let cookie = format!("sess-{user}");
                         self.sessions.lock().insert(cookie.clone(), user.clone());
@@ -325,6 +457,45 @@ mod tests {
         let resp = server2.handle(&get(&[("action", "home"), ("uid", "uid:1")]));
         assert_eq!(resp.status, 409);
         drop(server);
+    }
+
+    #[test]
+    fn metrics_count_statuses_and_time_actions() {
+        let (_clock, server) = server();
+        server.handle(&get(&[("action", "quote"), ("symbol", "s:1")]));
+        server.handle(&get(&[("action", "quote"), ("symbol", "s:2")]));
+        server.handle(&get(&[("action", "explode")]));
+        server.handle(&get(&[("action", "home"), ("uid", "uid:9999")]));
+
+        let m = server.metrics();
+        assert_eq!(m.status(200), 2);
+        assert_eq!(m.status(404), 1);
+        assert_eq!(m.status(500), 1);
+        assert_eq!(m.status(503), 0);
+        let counts = m.status_counts();
+        assert_eq!(counts.get("200"), Some(&2));
+        assert_eq!(counts.get("404"), Some(&1));
+        assert!(!counts.contains_key("503"));
+
+        let quote = m.action_latency_us("quote").unwrap();
+        assert_eq!(quote.count, 2);
+        assert!(quote.p50 > 2_000, "dispatch cost alone is 2.5 ms");
+        // The 404 carried no parsable action, so no histogram grew for it.
+        let home = m.action_latency_us("home").unwrap();
+        assert_eq!(home.count, 1);
+
+        let registry = Registry::new();
+        m.register_with(&registry, "servlet.edge-1");
+        let snap = registry.snapshot();
+        assert!(matches!(
+            snap.get("servlet.edge-1.status.200"),
+            Some(sli_telemetry::MetricValue::Counter(2))
+        ));
+        assert!(snap.contains_key("servlet.edge-1.action.quote_us"));
+
+        m.reset();
+        assert_eq!(m.status(200), 0);
+        assert_eq!(m.action_latency_us("quote").unwrap().count, 0);
     }
 
     #[test]

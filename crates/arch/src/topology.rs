@@ -11,6 +11,7 @@ use sli_core::{
 use sli_datastore::server::{DbCostModel, DbServer, RemoteConnection};
 use sli_datastore::Database;
 use sli_simnet::{Clock, FaultPlan, Path, PathSpec, Remote, SimDuration};
+use sli_telemetry::{Registry, TraceLog};
 use sli_trade::deploy;
 use sli_trade::model::trade_registry;
 use sli_trade::seed::{create_and_seed, Population};
@@ -152,6 +153,12 @@ pub struct Testbed {
     /// Clients/RAS).
     pub edges: Vec<EdgeNode>,
     arch: Architecture,
+    /// Every machine's metrics, attached under stable hierarchical names.
+    telemetry: Arc<Registry>,
+    /// Commit-protocol span log (validate/apply, replays, fan-out).
+    commit_trace: Arc<TraceLog>,
+    /// The shared back-end server (ES/RBES only).
+    backend: Option<Arc<BackendServer>>,
 }
 
 impl std::fmt::Debug for Testbed {
@@ -187,6 +194,9 @@ impl Testbed {
         let db = Database::new();
         create_and_seed(&db, config.population).expect("fresh database seeds cleanly");
         let db_server = DbServer::new(Arc::clone(&db), Arc::clone(&clock), DbCostModel::default());
+        let telemetry = Arc::new(Registry::new());
+        let commit_trace = Arc::new(TraceLog::new());
+        db_server.metrics().register_with(&telemetry, "db.stmt");
 
         let mut edges = Vec::with_capacity(config.edges);
 
@@ -194,13 +204,16 @@ impl Testbed {
         // the database over a LAN path of its own.
         let backend = if arch == Architecture::EsRbes {
             let backend_db_path = Path::new("backend-db", Arc::clone(&clock), PathSpec::lan());
+            backend_db_path.metrics().register_with(
+                &telemetry,
+                &format!("simnet.path.{}", backend_db_path.name()),
+            );
             let conn = RemoteConnection::open(Remote::new(backend_db_path, Arc::clone(&db_server)))
                 .expect("backend connects to fresh db");
-            Some(BackendServer::new(
-                Box::new(conn),
-                trade_registry(),
-                Arc::clone(&clock),
-            ))
+            let backend = BackendServer::new(Box::new(conn), trade_registry(), Arc::clone(&clock));
+            backend.set_trace(Arc::clone(&commit_trace));
+            backend.register_with(&telemetry, "backend.commit");
+            Some(backend)
         } else {
             None
         };
@@ -298,12 +311,13 @@ impl Testbed {
                                 Arc::clone(&db_server),
                             ))
                             .expect("edge connects to fresh db");
+                            let committer =
+                                CombinedCommitter::new(Box::new(commit_conn), trade_registry())
+                                    .with_trace(Arc::clone(&commit_trace), Arc::clone(&clock));
+                            committer.register_with(&telemetry, &format!("committer.edge-{id}"));
                             (
                                 Arc::new(DirectSource::new(Box::new(fetch_conn), trade_registry())),
-                                Arc::new(CombinedCommitter::new(
-                                    Box::new(commit_conn),
-                                    trade_registry(),
-                                )),
+                                Arc::new(committer),
                             )
                         }
                     };
@@ -318,6 +332,22 @@ impl Testbed {
             };
 
             let server = Arc::new(AppServer::new(engine, Arc::clone(&clock)));
+            server
+                .metrics()
+                .register_with(&telemetry, &format!("servlet.edge-{id}"));
+            for path in [&client_path, &shared_path]
+                .into_iter()
+                .chain(invalidation_path.as_ref())
+            {
+                path.metrics()
+                    .register_with(&telemetry, &format!("simnet.path.{}", path.name()));
+            }
+            if let Some(store) = &store {
+                store.register_with(&telemetry, &format!("store.edge-{id}"));
+            }
+            if let Some(rm) = &rm {
+                rm.register_with(&telemetry, &format!("rm.edge-{id}"));
+            }
             edges.push(EdgeNode {
                 server,
                 client_path,
@@ -334,12 +364,42 @@ impl Testbed {
             db,
             edges,
             arch,
+            telemetry,
+            commit_trace,
+            backend,
         }
     }
 
     /// The architecture this testbed implements.
     pub fn architecture(&self) -> Architecture {
         self.arch
+    }
+
+    /// The metric registry every machine registered into at build time.
+    ///
+    /// Names are hierarchical and stable: `db.stmt.*`, `backend.commit.*`,
+    /// `committer.edge-{id}.*`, `store.edge-{id}.*`, `rm.edge-{id}.*`,
+    /// `servlet.edge-{id}.*` and `simnet.path.{name}.*`.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.telemetry
+    }
+
+    /// The commit-protocol span log (`commit.validate_apply`,
+    /// `commit.replay`, `commit.invalidate` events with outcomes).
+    pub fn commit_trace(&self) -> &Arc<TraceLog> {
+        &self.commit_trace
+    }
+
+    /// The shared ES/RBES back-end server, if this architecture has one.
+    pub fn backend(&self) -> Option<&Arc<BackendServer>> {
+        self.backend.as_ref()
+    }
+
+    /// Zeroes every registered metric and clears the commit span log
+    /// (between warm-up and measurement).
+    pub fn reset_telemetry(&self) {
+        self.telemetry.reset_all();
+        self.commit_trace.clear();
     }
 
     /// The path the delay proxy intercepts for this architecture (per
@@ -485,6 +545,68 @@ mod tests {
         assert_eq!(tb.delayed_path(1).fault_plan().seed, 8);
         // The client-side LAN path stays clean.
         assert_eq!(tb.edges[0].client_path.fault_plan(), FaultPlan::NONE);
+    }
+
+    #[test]
+    fn telemetry_registry_sees_every_machine() {
+        let tb = Testbed::build(Architecture::EsRbes, TestbedConfig::default());
+        let names = tb.telemetry().names();
+        for expected in [
+            "db.stmt.statements",
+            "backend.commit.committed",
+            "backend.commit.dedup_replays",
+            "store.edge-1.hits",
+            "rm.edge-1.commits",
+            "servlet.edge-1.status.200",
+            "servlet.edge-1.action.buy_us",
+            "simnet.path.client-1.requests",
+            "simnet.path.edge-backend-1.rpc_retries",
+            "simnet.path.backend-invalidate-1.requests",
+            "simnet.path.backend-db.requests",
+        ] {
+            assert!(
+                names.iter().any(|n| n == expected),
+                "missing metric {expected}; have {names:?}"
+            );
+        }
+        assert!(tb.backend().is_some());
+
+        let mut client = VirtualClient::new(&tb, 0);
+        let o = client.perform(&TradeAction::Buy {
+            user: "uid:0".into(),
+            symbol: "s:1".into(),
+            quantity: 5.0,
+        });
+        assert_eq!(o.status, 200);
+        assert!(
+            tb.commit_trace().count(Some("commit.validate_apply"), None) > 0,
+            "a buy drives the commit protocol"
+        );
+        tb.reset_telemetry();
+        assert!(tb.commit_trace().is_empty());
+        assert_eq!(tb.edges[0].server.metrics().status(200), 0);
+    }
+
+    #[test]
+    fn combined_committer_traces_too() {
+        let tb = Testbed::build(
+            Architecture::EsRdb(Flavor::CachedEjb),
+            TestbedConfig::default(),
+        );
+        assert!(tb.backend().is_none());
+        assert!(tb
+            .telemetry()
+            .names()
+            .iter()
+            .any(|n| n == "committer.edge-1.committed"));
+        let mut client = VirtualClient::new(&tb, 0);
+        let o = client.perform(&TradeAction::Buy {
+            user: "uid:0".into(),
+            symbol: "s:1".into(),
+            quantity: 5.0,
+        });
+        assert_eq!(o.status, 200);
+        assert!(!tb.commit_trace().is_empty());
     }
 
     #[test]

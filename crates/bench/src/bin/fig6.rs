@@ -7,14 +7,29 @@
 //!
 //! plus the linear fit the paper overlays (R² ≈ 99%).
 //!
-//! Run with `cargo run --release -p sli-bench --bin fig6`.
+//! Run with `cargo run --release -p sli-bench --bin fig6`. Pass `--smoke`
+//! for a scaled-down single-iteration run (CI uses it to validate the
+//! emitted run report against the schema).
+//!
+//! Besides the CSV, the binary emits a structured run report
+//! (`results/fig6.report.json`, schema `sli-edge.run-report/v1`) with one
+//! row per series × delay: cache hit ratio, commit abort rate, RPC
+//! retry/timeout counts and latency percentiles. The process exits
+//! non-zero if the report fails schema validation.
 
 use sli_arch::{Architecture, Flavor};
-use sli_bench::{sensitivity, sweep, RunConfig, PAPER_DELAYS_MS};
+use sli_bench::{sensitivity, sweep_detailed, RunConfig, PAPER_DELAYS_MS};
+use sli_telemetry::{validate_run_report, RunReport};
 use sli_workload::{Csv, TextTable};
 
 fn main() {
-    let cfg = RunConfig::default();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        RunConfig::quick()
+    } else {
+        RunConfig::default()
+    };
+    let delays: &[u64] = if smoke { &[0, 40] } else { PAPER_DELAYS_MS };
     let series = [
         (
             "ES/RDB (JDBC, best algorithm)",
@@ -39,12 +54,17 @@ fn main() {
         "clients_ras_ms",
     ]);
 
+    let mut report = RunReport::new("Figure 6: Comparison of High-Latency Architectures");
     let results: Vec<_> = series
         .iter()
-        .map(|(_, arch)| sweep(*arch, PAPER_DELAYS_MS, cfg))
+        .map(|(_, arch)| {
+            let (points, rows) = sweep_detailed(*arch, delays, cfg);
+            report.entries.extend(rows);
+            points
+        })
         .collect();
 
-    for (i, delay) in PAPER_DELAYS_MS.iter().enumerate() {
+    for (i, delay) in delays.iter().enumerate() {
         let cells: Vec<String> = std::iter::once(delay.to_string())
             .chain(results.iter().map(|r| format!("{:.1}", r[i].latency_ms)))
             .collect();
@@ -78,12 +98,24 @@ fn main() {
         println!("(also written to results/{}.csv)", env!("CARGO_BIN_NAME"));
     }
 
-    for (point, delay) in results[0].iter().zip(PAPER_DELAYS_MS) {
+    for (point, delay) in results[0].iter().zip(delays) {
         if point.failed > 0 {
             eprintln!(
                 "warning: {} failed interactions at delay {delay}",
                 point.failed
             );
         }
+    }
+
+    println!("\n{}", report.render_text());
+    let json = report.to_json();
+    if let Err(e) = validate_run_report(&json) {
+        eprintln!("error: run report failed schema validation: {e}");
+        std::process::exit(1);
+    }
+    if std::fs::create_dir_all("results").is_ok()
+        && std::fs::write("results/fig6.report.json", json.render()).is_ok()
+    {
+        println!("(run report written to results/fig6.report.json)");
     }
 }

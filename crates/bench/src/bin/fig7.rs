@@ -3,10 +3,12 @@
 //! one-way delay for the three data-access algorithms (JDBC, vanilla EJBs,
 //! cached EJBs).
 //!
-//! Run with `cargo run --release -p sli-bench --bin fig7`.
+//! Run with `cargo run --release -p sli-bench --bin fig7`. Also emits a
+//! structured run report (`results/fig7.report.json`).
 
 use sli_arch::{Architecture, Flavor};
-use sli_bench::{sensitivity, sweep, RunConfig, PAPER_DELAYS_MS};
+use sli_bench::{sensitivity, sweep_detailed, RunConfig, PAPER_DELAYS_MS};
+use sli_telemetry::{validate_run_report, RunReport};
 use sli_workload::{Csv, TextTable};
 
 fn main() {
@@ -20,9 +22,14 @@ fn main() {
     println!("Figure 7: Edge-Servers Accessing Remote Database (ES/RDB)");
     println!("(latency vs one-way delay for the three data-access algorithms)\n");
 
+    let mut report = RunReport::new("Figure 7: Edge-Servers Accessing Remote Database");
     let results: Vec<_> = series
         .iter()
-        .map(|(_, arch)| sweep(*arch, PAPER_DELAYS_MS, cfg))
+        .map(|(_, arch)| {
+            let (points, rows) = sweep_detailed(*arch, PAPER_DELAYS_MS, cfg);
+            report.entries.extend(rows);
+            points
+        })
         .collect();
 
     let mut table = TextTable::new(&["one-way delay (ms)", "JDBC", "Vanilla EJBs", "Cached EJBs"]);
@@ -61,5 +68,17 @@ fn main() {
             csv.render(),
         );
         println!("(also written to results/{}.csv)", env!("CARGO_BIN_NAME"));
+    }
+
+    println!("\n{}", report.render_text());
+    let json = report.to_json();
+    if let Err(e) = validate_run_report(&json) {
+        eprintln!("error: run report failed schema validation: {e}");
+        std::process::exit(1);
+    }
+    if std::fs::create_dir_all("results").is_ok()
+        && std::fs::write("results/fig7.report.json", json.render()).is_ok()
+    {
+        println!("(run report written to results/fig7.report.json)");
     }
 }

@@ -5,11 +5,13 @@
 //! Paper's measured values: Clients/RAS > 7000 bytes, ES/RBES ≈ 3000,
 //! ES/RDB ≈ 2000.
 //!
-//! Run with `cargo run --release -p sli-bench --bin fig8`.
+//! Run with `cargo run --release -p sli-bench --bin fig8`. Also emits a
+//! structured run report (`results/fig8.report.json`).
 
 use sli_arch::{Architecture, Flavor};
-use sli_bench::{run_point, RunConfig};
+use sli_bench::{run_point_detailed, RunConfig};
 use sli_simnet::SimDuration;
+use sli_telemetry::{validate_run_report, RunReport};
 use sli_workload::{Csv, TextTable};
 
 fn main() {
@@ -48,8 +50,10 @@ fn main() {
         "bytes_per_interaction",
         "round_trips_per_interaction",
     ]);
+    let mut report = RunReport::new("Figure 8: Bandwidth to the shared site");
     for (name, arch, paper) in series {
-        let p = run_point(arch, delay, cfg);
+        let (p, row) = run_point_detailed(arch, delay, cfg);
+        report.entries.push(row);
         table.row(vec![
             name.to_owned(),
             format!("{:.0}", p.shared_bytes_per_interaction),
@@ -76,5 +80,17 @@ fn main() {
             csv.render(),
         );
         println!("(also written to results/{}.csv)", env!("CARGO_BIN_NAME"));
+    }
+
+    println!("\n{}", report.render_text());
+    let json = report.to_json();
+    if let Err(e) = validate_run_report(&json) {
+        eprintln!("error: run report failed schema validation: {e}");
+        std::process::exit(1);
+    }
+    if std::fs::create_dir_all("results").is_ok()
+        && std::fs::write("results/fig8.report.json", json.render()).is_ok()
+    {
+        println!("(run report written to results/fig8.report.json)");
     }
 }

@@ -3,10 +3,17 @@
 //! activity (C/R/U/D), measured by running the action against a live,
 //! seeded datastore and reading the engine's statement trace.
 //!
-//! Run with `cargo run -p sli-bench --bin table1`.
+//! Run with `cargo run -p sli-bench --bin table1`. Also emits a companion
+//! structured run report (`results/table1.report.json`) from a quick
+//! vanilla-EJB measurement run, so the table ships the same telemetry the
+//! figure binaries do.
 
+use sli_arch::{Architecture, Flavor};
+use sli_bench::{run_point_detailed, RunConfig};
 use sli_component::share_connection;
 use sli_datastore::Database;
+use sli_simnet::SimDuration;
+use sli_telemetry::{validate_run_report, RunReport};
 use sli_trade::deploy::vanilla_container;
 use sli_trade::seed::{create_and_seed, Population};
 use sli_trade::{EjbTradeEngine, TradeAction, TradeEngine};
@@ -168,4 +175,25 @@ fn main() {
          column is a superset in kind-counts; the comparison target is which tables \
          see which operation kinds."
     );
+
+    // Companion telemetry: one quick vanilla-EJB measurement over the wire
+    // topology, reported in the same structured format as the figures.
+    let (_, row) = run_point_detailed(
+        Architecture::EsRdb(Flavor::VanillaEjb),
+        SimDuration::ZERO,
+        RunConfig::quick(),
+    );
+    let mut report = RunReport::new("Table 1 companion: ES/RDB (Vanilla EJBs), quick run");
+    report.entries.push(row);
+    println!("\n{}", report.render_text());
+    let json = report.to_json();
+    if let Err(e) = validate_run_report(&json) {
+        eprintln!("error: run report failed schema validation: {e}");
+        std::process::exit(1);
+    }
+    if std::fs::create_dir_all("results").is_ok()
+        && std::fs::write("results/table1.report.json", json.render()).is_ok()
+    {
+        println!("(run report written to results/table1.report.json)");
+    }
 }

@@ -4,16 +4,19 @@
 //! (the split-servers configuration), so its JDBC/vanilla cells are N/A, as
 //! in the paper.
 //!
-//! Run with `cargo run --release -p sli-bench --bin table2`.
+//! Run with `cargo run --release -p sli-bench --bin table2`. Also emits a
+//! structured run report (`results/table2.report.json`) with one row per
+//! architecture × algorithm × delay.
 
 use sli_arch::{Architecture, Flavor};
-use sli_bench::{sensitivity, sweep, RunConfig, PAPER_DELAYS_MS};
+use sli_bench::{sensitivity, sweep_detailed, RunConfig, PAPER_DELAYS_MS};
+use sli_telemetry::{validate_run_report, RunReport};
 use sli_workload::{Csv, TextTable};
 
-fn slope(arch: Architecture, cfg: RunConfig) -> f64 {
-    sensitivity(&sweep(arch, PAPER_DELAYS_MS, cfg))
-        .expect("multi-delay sweep")
-        .slope
+fn slope(arch: Architecture, cfg: RunConfig, report: &mut RunReport) -> f64 {
+    let (points, rows) = sweep_detailed(arch, PAPER_DELAYS_MS, cfg);
+    report.entries.extend(rows);
+    sensitivity(&points).expect("multi-delay sweep").slope
 }
 
 fn main() {
@@ -21,13 +24,22 @@ fn main() {
     println!("Table 2: Algorithm Sensitivity to Communication Latency");
     println!("(slope of the linear latency-vs-delay fit; paper values in parentheses)\n");
 
-    let cached_rdb = slope(Architecture::EsRdb(Flavor::CachedEjb), cfg);
-    let jdbc_rdb = slope(Architecture::EsRdb(Flavor::Jdbc), cfg);
-    let vanilla_rdb = slope(Architecture::EsRdb(Flavor::VanillaEjb), cfg);
-    let cached_rbes = slope(Architecture::EsRbes, cfg);
-    let cached_ras = slope(Architecture::ClientsRas(Flavor::CachedEjb), cfg);
-    let jdbc_ras = slope(Architecture::ClientsRas(Flavor::Jdbc), cfg);
-    let vanilla_ras = slope(Architecture::ClientsRas(Flavor::VanillaEjb), cfg);
+    let mut report = RunReport::new("Table 2: Algorithm Sensitivity to Communication Latency");
+    let cached_rdb = slope(Architecture::EsRdb(Flavor::CachedEjb), cfg, &mut report);
+    let jdbc_rdb = slope(Architecture::EsRdb(Flavor::Jdbc), cfg, &mut report);
+    let vanilla_rdb = slope(Architecture::EsRdb(Flavor::VanillaEjb), cfg, &mut report);
+    let cached_rbes = slope(Architecture::EsRbes, cfg, &mut report);
+    let cached_ras = slope(
+        Architecture::ClientsRas(Flavor::CachedEjb),
+        cfg,
+        &mut report,
+    );
+    let jdbc_ras = slope(Architecture::ClientsRas(Flavor::Jdbc), cfg, &mut report);
+    let vanilla_ras = slope(
+        Architecture::ClientsRas(Flavor::VanillaEjb),
+        cfg,
+        &mut report,
+    );
 
     let mut table = TextTable::new(&["Algorithm", "ES/RDB", "ES/RBES", "Clients/RAS"]);
     table.row(vec![
@@ -99,5 +111,16 @@ fn main() {
     println!("Shape checks vs the paper:");
     for (name, ok) in checks {
         println!("  [{}] {name}", if ok { "PASS" } else { "FAIL" });
+    }
+
+    let json = report.to_json();
+    if let Err(e) = validate_run_report(&json) {
+        eprintln!("error: run report failed schema validation: {e}");
+        std::process::exit(1);
+    }
+    if std::fs::create_dir_all("results").is_ok()
+        && std::fs::write("results/table2.report.json", json.render()).is_ok()
+    {
+        println!("(run report written to results/table2.report.json)");
     }
 }

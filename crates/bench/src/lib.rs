@@ -18,8 +18,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use sli_arch::{Architecture, Testbed, TestbedConfig, VirtualClient};
+use sli_arch::{collect_report, Architecture, Testbed, TestbedConfig, VirtualClient};
 use sli_simnet::SimDuration;
+use sli_telemetry::ArchReport;
 use sli_trade::seed::Population;
 use sli_trade::session::SessionGenerator;
 use sli_workload::{batch_means, fit, percentile, LinearFit};
@@ -92,6 +93,20 @@ pub struct SweepPoint {
 
 /// Runs the full measurement protocol for one architecture at one delay.
 pub fn run_point(arch: Architecture, delay: SimDuration, cfg: RunConfig) -> SweepPoint {
+    run_point_detailed(arch, delay, cfg).0
+}
+
+/// Like [`run_point`], but also returns the structured [`ArchReport`] row
+/// assembled from the testbed's telemetry (cache hit ratio, commit abort
+/// rate, RPC retry/timeout counts, latency percentiles, HTTP status mix).
+///
+/// Telemetry is reset after warm-up, so the report covers exactly the
+/// measured interactions.
+pub fn run_point_detailed(
+    arch: Architecture,
+    delay: SimDuration,
+    cfg: RunConfig,
+) -> (SweepPoint, ArchReport) {
     let testbed = Testbed::build(
         arch,
         TestbedConfig {
@@ -119,6 +134,7 @@ pub fn run_point(arch: Architecture, delay: SimDuration, cfg: RunConfig) -> Swee
     }
 
     testbed.reset_path_stats();
+    testbed.reset_telemetry();
     let mut latencies = Vec::new();
     let mut ok = 0;
     let mut failed = 0;
@@ -134,10 +150,11 @@ pub fn run_point(arch: Architecture, delay: SimDuration, cfg: RunConfig) -> Swee
         }
     }
 
+    let report = collect_report(&testbed, delay, &latencies, failed as u64);
     let batched = batch_means(&latencies, cfg.batches);
     let interactions = latencies.len().max(1) as f64;
     let shared = testbed.delayed_path(0).stats();
-    SweepPoint {
+    let point = SweepPoint {
         delay_ms: delay.as_millis_f64(),
         latency_ms: batched.overall.mean,
         latency_stdev_ms: batched.overall.stdev,
@@ -146,7 +163,8 @@ pub fn run_point(arch: Architecture, delay: SimDuration, cfg: RunConfig) -> Swee
         shared_round_trips_per_interaction: shared.round_trips() as f64 / interactions,
         ok,
         failed,
-    }
+    };
+    (point, report)
 }
 
 /// Sweeps the proxy delay (in milliseconds) for one architecture.
@@ -155,6 +173,19 @@ pub fn sweep(arch: Architecture, delays_ms: &[u64], cfg: RunConfig) -> Vec<Sweep
         .iter()
         .map(|&d| run_point(arch, SimDuration::from_millis(d), cfg))
         .collect()
+}
+
+/// Sweeps the proxy delay, returning the sweep points alongside one
+/// [`ArchReport`] row per delay.
+pub fn sweep_detailed(
+    arch: Architecture,
+    delays_ms: &[u64],
+    cfg: RunConfig,
+) -> (Vec<SweepPoint>, Vec<ArchReport>) {
+    delays_ms
+        .iter()
+        .map(|&d| run_point_detailed(arch, SimDuration::from_millis(d), cfg))
+        .unzip()
 }
 
 /// The delay sweep of Figures 6 and 7: 0–100 ms one-way in 20 ms steps.
@@ -220,6 +251,26 @@ mod tests {
         assert!(cached > jdbc, "cached {cached} vs jdbc {jdbc}");
         assert!(jdbc > rbes, "jdbc {jdbc} vs rbes {rbes}");
         assert!(rbes > 2.0, "rbes {rbes}");
+    }
+
+    #[test]
+    fn detailed_run_emits_a_valid_report_row() {
+        let (point, report) = run_point_detailed(
+            Architecture::EsRbes,
+            SimDuration::from_millis(20),
+            RunConfig::quick(),
+        );
+        assert_eq!(report.arch, "ES/RBES (Cached EJBs)");
+        assert_eq!(report.delay_ms, 20.0);
+        assert_eq!(report.interactions, (point.ok + point.failed) as u64);
+        assert!(report.hit_ratio > 0.0, "warm cache serves hits");
+        assert!(report.p50_ms > 0.0);
+        assert!(report.p99_ms >= report.p95_ms && report.p95_ms >= report.p50_ms);
+        assert!(report.status.contains_key("200"));
+
+        let mut run = sli_telemetry::RunReport::new("bench smoke");
+        run.entries.push(report);
+        sli_telemetry::validate_run_report(&run.to_json()).expect("valid run report");
     }
 
     #[test]

@@ -16,9 +16,12 @@ use sli_datastore::{Predicate, SqlConnection, Value};
 use sli_simnet::wire::{frame, protocol, unframe, DecodeError, Reader, Writer};
 use sli_simnet::{CallError, Clock, Remote, Service, SimDuration};
 
+use sli_telemetry::{Registry, SpanOutcome, TraceLog};
+
 use crate::commit::{CommitOutcome, CommitRequest};
 use crate::committer::{
-    fetch_current, validate_and_apply, Committer, CompletedTxns, COMPLETED_TXN_CAPACITY,
+    fetch_current, span_outcome, validate_and_apply, CommitMetrics, CommitTracer, Committer,
+    CommitterStats, CompletedTxns, COMPLETED_TXN_CAPACITY,
 };
 use crate::registry::MetaRegistry;
 use crate::source::StateSource;
@@ -64,6 +67,10 @@ pub struct BackendServer {
     /// Replay memory: commit requests resent after a lost response are
     /// answered from here instead of being applied (and fanned out) twice.
     completed: Mutex<CompletedTxns>,
+    metrics: CommitMetrics,
+    /// Optional commit-protocol span recorder ([`BackendServer::new`]
+    /// returns an [`Arc`], so tracing is enabled post-construction).
+    tracer: Mutex<Option<CommitTracer>>,
 }
 
 impl std::fmt::Debug for BackendServer {
@@ -89,7 +96,27 @@ impl BackendServer {
             cost: BackendCostModel::default(),
             peers: Mutex::new(Vec::new()),
             completed: Mutex::new(CompletedTxns::new(COMPLETED_TXN_CAPACITY)),
+            metrics: CommitMetrics::default(),
+            tracer: Mutex::new(None),
         })
+    }
+
+    /// Records one span per commit step into `trace`, timestamped from this
+    /// server's clock: `commit.validate_apply` / `commit.replay` for the
+    /// commit itself, plus `commit.invalidate` around the fan-out to peers.
+    pub fn set_trace(&self, trace: Arc<TraceLog>) {
+        *self.tracer.lock() = Some(CommitTracer::new(trace, Arc::clone(&self.clock)));
+    }
+
+    /// Attaches the commit counters to `registry` under `{prefix}.committed`,
+    /// `.conflicts`, `.errors` and `.dedup_replays`.
+    pub fn register_with(&self, registry: &Registry, prefix: &str) {
+        self.metrics.register_with(registry, prefix);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CommitterStats {
+        self.metrics.snapshot()
     }
 
     /// Registers an edge's invalidation channel. After a successful commit
@@ -115,8 +142,14 @@ impl BackendServer {
     /// # Errors
     /// Datastore failures; conflicts are an `Ok` outcome.
     pub fn commit(&self, request: &CommitRequest) -> EjbResult<CommitOutcome> {
+        let tracer = self.tracer.lock().clone();
+        let start_us = tracer.as_ref().map(CommitTracer::now_us);
         if let Some(outcome) = self.completed.lock().lookup(request) {
             self.clock.advance(self.cost.per_request);
+            self.metrics.dedup_replays.inc();
+            if let (Some(t), Some(s)) = (&tracer, start_us) {
+                t.finish("commit.replay", request, s, SpanOutcome::Replayed);
+            }
             return Ok(outcome);
         }
         self.clock.advance(
@@ -124,21 +157,35 @@ impl BackendServer {
                 .per_image
                 .saturating_mul(request.entries.len() as u64),
         );
-        let outcome = {
+        let result = {
             let mut conn = self.conn.lock();
-            validate_and_apply(conn.as_mut(), &self.registry, request)?
+            validate_and_apply(conn.as_mut(), &self.registry, request)
         };
-        self.completed.lock().record(request, &outcome);
-        if outcome == CommitOutcome::Committed && request.has_writes() {
+        if let Ok(outcome) = &result {
+            self.completed.lock().record(request, outcome);
+        }
+        self.metrics.observe(&result);
+        if let (Some(t), Some(s)) = (&tracer, start_us) {
+            t.finish("commit.validate_apply", request, s, span_outcome(&result));
+        }
+        if matches!(result, Ok(CommitOutcome::Committed)) && request.has_writes() {
+            let fan_out_start = tracer.as_ref().map(CommitTracer::now_us);
             let written = request.written_keys();
             let message = frame(protocol::BACKEND, 0, &encode_invalidations(&written));
+            let mut notified = 0usize;
             for (edge_id, send) in self.peers.lock().iter() {
                 if *edge_id != request.origin {
                     send(message.clone());
+                    notified += 1;
+                }
+            }
+            if notified > 0 {
+                if let (Some(t), Some(s)) = (&tracer, fan_out_start) {
+                    t.finish("commit.invalidate", request, s, SpanOutcome::Committed);
                 }
             }
         }
-        Ok(outcome)
+        result
     }
 
     fn dispatch(&self, r: &mut Reader) -> EjbResult<Writer> {
@@ -527,6 +574,56 @@ mod tests {
             })
             .unwrap();
         assert!(store2.get("Account", &Value::from("u1")).is_some());
+    }
+
+    #[test]
+    fn backend_counts_commits_and_traces_invalidation_fan_out() {
+        let (_db, clock, backend, _remote) = setup();
+        let trace = Arc::new(TraceLog::new());
+        backend.set_trace(Arc::clone(&trace));
+        let telemetry = Registry::new();
+        backend.register_with(&telemetry, "backend.commit");
+        let store2 = CommonStore::new();
+        store2.put(img("u1", 100.0));
+        let p2 = Path::new("inv-2", Arc::clone(&clock), PathSpec::lan());
+        backend.register_edge(
+            2,
+            Remote::new(p2, InvalidationSink::new(Arc::clone(&store2))),
+        );
+        let request = CommitRequest {
+            origin: 1,
+            txn_id: 11,
+            entries: vec![CommitEntry {
+                bean: "Account".into(),
+                key: Value::from("u1"),
+                kind: EntryKind::Update {
+                    before: img("u1", 100.0),
+                    after: img("u1", 70.0),
+                },
+            }],
+        };
+        backend.commit(&request).unwrap();
+        backend.commit(&request).unwrap(); // dedup replay
+        let stats = backend.stats();
+        assert_eq!(stats.committed, 1);
+        assert_eq!(stats.dedup_replays, 1);
+        assert_eq!(
+            telemetry.snapshot()["backend.commit.dedup_replays"],
+            sli_telemetry::MetricValue::Counter(1)
+        );
+        assert_eq!(
+            trace.count(Some("commit.validate_apply"), Some(SpanOutcome::Committed)),
+            1
+        );
+        assert_eq!(
+            trace.count(Some("commit.invalidate"), None),
+            1,
+            "fan-out traced exactly once despite the replay"
+        );
+        assert_eq!(
+            trace.count(Some("commit.replay"), Some(SpanOutcome::Replayed)),
+            1
+        );
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Optimistic validation and the combined-servers committer.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use sli_component::{EjbError, EjbResult, EntityMeta, Memento};
 use sli_datastore::{SqlConnection, Value};
+use sli_simnet::Clock;
+use sli_telemetry::{Counter, Registry, SpanEvent, SpanOutcome, TraceLog};
 
 use crate::commit::{CommitOutcome, CommitRequest, EntryKind};
 use crate::registry::MetaRegistry;
@@ -68,6 +71,111 @@ impl CompletedTxns {
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
         self.outcomes.len()
+    }
+}
+
+/// Counter snapshot of one committer's lifetime activity — the same shape
+/// for the combined committer and the back-end server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CommitterStats {
+    /// Requests that validated and applied.
+    pub committed: u64,
+    /// Requests rejected by optimistic validation.
+    pub conflicts: u64,
+    /// Requests that failed with a datastore/transport error.
+    pub errors: u64,
+    /// Retried requests answered from the replay table without
+    /// re-validating.
+    pub dedup_replays: u64,
+}
+
+/// Registry-backed counters behind [`CommitterStats`], shared by both
+/// commit points.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CommitMetrics {
+    pub(crate) committed: Counter,
+    pub(crate) conflicts: Counter,
+    pub(crate) errors: Counter,
+    pub(crate) dedup_replays: Counter,
+}
+
+impl CommitMetrics {
+    pub(crate) fn register_with(&self, registry: &Registry, prefix: &str) {
+        registry.attach_counter(format!("{prefix}.committed"), &self.committed);
+        registry.attach_counter(format!("{prefix}.conflicts"), &self.conflicts);
+        registry.attach_counter(format!("{prefix}.errors"), &self.errors);
+        registry.attach_counter(format!("{prefix}.dedup_replays"), &self.dedup_replays);
+    }
+
+    pub(crate) fn snapshot(&self) -> CommitterStats {
+        CommitterStats {
+            committed: self.committed.get(),
+            conflicts: self.conflicts.get(),
+            errors: self.errors.get(),
+            dedup_replays: self.dedup_replays.get(),
+        }
+    }
+
+    /// Buckets a fresh (non-replayed) commit result into a counter.
+    pub(crate) fn observe(&self, result: &EjbResult<CommitOutcome>) {
+        match result {
+            Ok(CommitOutcome::Committed) => self.committed.inc(),
+            Ok(CommitOutcome::Conflict { .. }) => self.conflicts.inc(),
+            Err(_) => self.errors.inc(),
+        }
+    }
+}
+
+/// Maps a commit result onto the span outcome vocabulary.
+pub(crate) fn span_outcome(result: &EjbResult<CommitOutcome>) -> SpanOutcome {
+    match result {
+        Ok(CommitOutcome::Committed) => SpanOutcome::Committed,
+        Ok(CommitOutcome::Conflict { .. }) => SpanOutcome::Conflict,
+        Err(_) => SpanOutcome::Error,
+    }
+}
+
+/// A clock + trace-log pair for recording commit-protocol spans.
+#[derive(Clone)]
+pub(crate) struct CommitTracer {
+    trace: Arc<TraceLog>,
+    clock: Arc<Clock>,
+}
+
+impl std::fmt::Debug for CommitTracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommitTracer")
+            .field("events", &self.trace.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CommitTracer {
+    pub(crate) fn new(trace: Arc<TraceLog>, clock: Arc<Clock>) -> CommitTracer {
+        CommitTracer { trace, clock }
+    }
+
+    /// Current simulated time, for span starts.
+    pub(crate) fn now_us(&self) -> u64 {
+        self.clock.now().as_micros()
+    }
+
+    /// Closes a span started at `start_us` and records it.
+    pub(crate) fn finish(
+        &self,
+        op: &'static str,
+        request: &CommitRequest,
+        start_us: u64,
+        outcome: SpanOutcome,
+    ) {
+        self.trace.record(SpanEvent {
+            op,
+            origin: request.origin,
+            txn_id: request.txn_id,
+            start_us,
+            end_us: self.now_us(),
+            outcome,
+        });
     }
 }
 
@@ -280,6 +388,8 @@ pub struct CombinedCommitter {
     conn: Mutex<Box<dyn SqlConnection + Send>>,
     registry: MetaRegistry,
     completed: Mutex<CompletedTxns>,
+    metrics: CommitMetrics,
+    tracer: Option<CommitTracer>,
 }
 
 impl std::fmt::Debug for CombinedCommitter {
@@ -297,20 +407,53 @@ impl CombinedCommitter {
             conn: Mutex::new(conn),
             registry,
             completed: Mutex::new(CompletedTxns::new(COMPLETED_TXN_CAPACITY)),
+            metrics: CommitMetrics::default(),
+            tracer: None,
         }
+    }
+
+    /// Records one span per commit into `trace`, timestamped from `clock`
+    /// (`commit.validate_apply` for fresh requests, `commit.replay` for
+    /// deduplicated retries).
+    pub fn with_trace(mut self, trace: Arc<TraceLog>, clock: Arc<Clock>) -> CombinedCommitter {
+        self.tracer = Some(CommitTracer::new(trace, clock));
+        self
+    }
+
+    /// Attaches the commit counters to `registry` under `{prefix}.committed`,
+    /// `.conflicts`, `.errors` and `.dedup_replays`.
+    pub fn register_with(&self, registry: &Registry, prefix: &str) {
+        self.metrics.register_with(registry, prefix);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CommitterStats {
+        self.metrics.snapshot()
     }
 }
 
 impl Committer for CombinedCommitter {
     fn commit(&self, request: &CommitRequest) -> EjbResult<CommitOutcome> {
+        let start_us = self.tracer.as_ref().map(CommitTracer::now_us);
         if let Some(outcome) = self.completed.lock().lookup(request) {
+            self.metrics.dedup_replays.inc();
+            if let (Some(t), Some(s)) = (&self.tracer, start_us) {
+                t.finish("commit.replay", request, s, SpanOutcome::Replayed);
+            }
             return Ok(outcome);
         }
-        let mut conn = self.conn.lock();
-        let outcome = validate_and_apply_per_image(conn.as_mut(), &self.registry, request)?;
-        drop(conn);
-        self.completed.lock().record(request, &outcome);
-        Ok(outcome)
+        let result = {
+            let mut conn = self.conn.lock();
+            validate_and_apply_per_image(conn.as_mut(), &self.registry, request)
+        };
+        if let Ok(outcome) = &result {
+            self.completed.lock().record(request, outcome);
+        }
+        self.metrics.observe(&result);
+        if let (Some(t), Some(s)) = (&self.tracer, start_us) {
+            t.finish("commit.validate_apply", request, s, span_outcome(&result));
+        }
+        result
     }
 }
 
@@ -670,6 +813,92 @@ mod tests {
         // unstamped requests are never stored
         table.record(&req(0), &CommitOutcome::Committed);
         assert!(table.lookup(&req(0)).is_none());
+    }
+
+    #[test]
+    fn commit_counters_and_spans_track_outcomes() {
+        use sli_telemetry::MetricValue;
+        let (db, reg) = setup();
+        let trace = Arc::new(TraceLog::new());
+        let clock = Arc::new(Clock::new());
+        let committer = CombinedCommitter::new(Box::new(db.connect()), reg)
+            .with_trace(Arc::clone(&trace), clock);
+        let telemetry = Registry::new();
+        committer.register_with(&telemetry, "committer.edge-1");
+
+        let fresh = CommitRequest {
+            origin: 1,
+            txn_id: 1,
+            entries: vec![entry(
+                "u1",
+                EntryKind::Update {
+                    before: img("u1", 100.0),
+                    after: img("u1", 80.0),
+                },
+            )],
+        };
+        committer.commit(&fresh).unwrap();
+        committer.commit(&fresh).unwrap(); // dedup replay
+        let stale = CommitRequest {
+            origin: 1,
+            txn_id: 2,
+            entries: vec![entry(
+                "u1",
+                EntryKind::Read {
+                    before: img("u1", 1.0),
+                },
+            )],
+        };
+        assert!(matches!(
+            committer.commit(&stale).unwrap(),
+            CommitOutcome::Conflict { .. }
+        ));
+        let broken = CommitRequest {
+            origin: 1,
+            txn_id: 3,
+            entries: vec![CommitEntry {
+                bean: "Ghost".into(),
+                key: Value::from(1),
+                kind: EntryKind::Read {
+                    before: Memento::new("Ghost", Value::from(1)),
+                },
+            }],
+        };
+        assert!(committer.commit(&broken).is_err());
+
+        assert_eq!(
+            committer.stats(),
+            CommitterStats {
+                committed: 1,
+                conflicts: 1,
+                errors: 1,
+                dedup_replays: 1,
+            }
+        );
+        assert_eq!(
+            telemetry.snapshot()["committer.edge-1.committed"],
+            MetricValue::Counter(1)
+        );
+        assert_eq!(
+            telemetry.snapshot()["committer.edge-1.dedup_replays"],
+            MetricValue::Counter(1)
+        );
+        assert_eq!(
+            trace.count(Some("commit.validate_apply"), Some(SpanOutcome::Committed)),
+            1
+        );
+        assert_eq!(
+            trace.count(Some("commit.validate_apply"), Some(SpanOutcome::Conflict)),
+            1
+        );
+        assert_eq!(
+            trace.count(Some("commit.validate_apply"), Some(SpanOutcome::Error)),
+            1
+        );
+        assert_eq!(
+            trace.count(Some("commit.replay"), Some(SpanOutcome::Replayed)),
+            1
+        );
     }
 
     #[test]

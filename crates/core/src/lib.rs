@@ -50,10 +50,10 @@ mod store;
 pub use backend::{BackendServer, BackendSource, SplitCommitter};
 pub use commit::{CommitEntry, CommitOutcome, CommitRequest, EntryKind};
 pub use committer::{
-    validate_and_apply, validate_and_apply_per_image, CombinedCommitter, Committer,
+    validate_and_apply, validate_and_apply_per_image, CombinedCommitter, Committer, CommitterStats,
 };
 pub use home::SliHome;
 pub use registry::MetaRegistry;
-pub use rm::SliResourceManager;
+pub use rm::{RmStats, SliResourceManager};
 pub use source::{DirectSource, StateSource};
 pub use store::{CacheStats, CommonStore, DeferredInvalidationSink, InvalidationSink};

@@ -4,6 +4,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use sli_component::{EjbResult, Home, ResourceManager, TxContext};
+use sli_telemetry::{Counter, Registry};
 
 use crate::commit::{CommitOutcome, CommitRequest, EntryKind};
 use crate::committer::{conflict_error, Committer};
@@ -33,9 +34,9 @@ pub struct SliResourceManager {
     /// at 1; 0 means "unstamped"), so a committer reached over a lossy path
     /// can deduplicate retried requests.
     next_txn: AtomicU64,
-    commits: AtomicU64,
-    conflicts: AtomicU64,
-    empty: AtomicU64,
+    commits: Counter,
+    conflicts: Counter,
+    empty: Counter,
 }
 
 impl std::fmt::Debug for SliResourceManager {
@@ -60,19 +61,27 @@ impl SliResourceManager {
             committer,
             store,
             next_txn: AtomicU64::new(1),
-            commits: AtomicU64::new(0),
-            conflicts: AtomicU64::new(0),
-            empty: AtomicU64::new(0),
+            commits: Counter::new(),
+            conflicts: Counter::new(),
+            empty: Counter::new(),
         }
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> RmStats {
         RmStats {
-            commits: self.commits.load(Ordering::Relaxed),
-            conflicts: self.conflicts.load(Ordering::Relaxed),
-            empty: self.empty.load(Ordering::Relaxed),
+            commits: self.commits.get(),
+            conflicts: self.conflicts.get(),
+            empty: self.empty.get(),
         }
+    }
+
+    /// Attaches the transaction counters to `registry` under
+    /// `{prefix}.commits`, `.conflicts` and `.empty`.
+    pub fn register_with(&self, registry: &Registry, prefix: &str) {
+        registry.attach_counter(format!("{prefix}.commits"), &self.commits);
+        registry.attach_counter(format!("{prefix}.conflicts"), &self.conflicts);
+        registry.attach_counter(format!("{prefix}.empty"), &self.empty);
     }
 }
 
@@ -86,7 +95,7 @@ impl ResourceManager for SliResourceManager {
         let txn_id = self.next_txn.fetch_add(1, Ordering::Relaxed);
         let request = CommitRequest::from_context(self.origin, txn_id, ctx);
         if request.entries.is_empty() {
-            self.empty.fetch_add(1, Ordering::Relaxed);
+            self.empty.inc();
             return Ok(());
         }
         let outcome = self.committer.commit(&request)?;
@@ -105,7 +114,7 @@ impl ResourceManager for SliResourceManager {
                         EntryKind::Read { .. } => {}
                     }
                 }
-                self.commits.fetch_add(1, Ordering::Relaxed);
+                self.commits.inc();
                 Ok(())
             }
             CommitOutcome::Conflict { .. } => {
@@ -114,7 +123,7 @@ impl ResourceManager for SliResourceManager {
                 for entry in &request.entries {
                     self.store.invalidate(&entry.bean, &entry.key);
                 }
-                self.conflicts.fetch_add(1, Ordering::Relaxed);
+                self.conflicts.inc();
                 Err(conflict_error(&outcome).expect("conflict variant"))
             }
         }

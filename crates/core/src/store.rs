@@ -1,7 +1,6 @@
 //! The common transient store: inter-transaction bean-image cache.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -10,6 +9,7 @@ use sli_component::Memento;
 use sli_datastore::Value;
 use sli_simnet::wire::{Reader, Writer};
 use sli_simnet::Service;
+use sli_telemetry::{Counter, Registry};
 
 /// Hit/miss counters for a [`CommonStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -62,10 +62,10 @@ impl CacheStats {
 pub struct CommonStore {
     inner: RwLock<StoreInner>,
     capacity: Option<usize>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    invalidations: AtomicU64,
-    evictions: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    invalidations: Counter,
+    evictions: Counter,
 }
 
 /// Image map plus LRU bookkeeping: every entry carries the tick of its last
@@ -125,9 +125,9 @@ impl CommonStore {
         let found = inner.images.get(&entry_key).map(|(m, _)| m.clone());
         if found.is_some() {
             inner.touch(&entry_key);
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
         } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
         }
         found
     }
@@ -151,7 +151,7 @@ impl CommonStore {
                     .map(|(_, k)| k.clone())
                     .expect("recency tracks every image");
                 inner.remove(&victim);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evictions.inc();
             }
         }
     }
@@ -160,7 +160,7 @@ impl CommonStore {
     pub fn invalidate(&self, bean: &str, key: &Value) {
         let entry_key = (bean.to_owned(), key.clone());
         if self.inner.write().remove(&entry_key).is_some() {
-            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            self.invalidations.inc();
         }
     }
 
@@ -184,19 +184,30 @@ impl CommonStore {
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            invalidations: self.invalidations.get(),
+            evictions: self.evictions.get(),
         }
     }
 
     /// Zeroes the counters (the images stay).
     pub fn reset_stats(&self) {
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.invalidations.store(0, Ordering::Relaxed);
-        self.evictions.store(0, Ordering::Relaxed);
+        self.hits.reset();
+        self.misses.reset();
+        self.invalidations.reset();
+        self.evictions.reset();
+    }
+
+    /// Attaches this store's counters to `registry` under
+    /// `{prefix}.hits`, `.misses`, `.invalidations` and `.evictions`
+    /// (e.g. `store.edge-0.hits`). The store keeps using the same shared
+    /// handles, so registration costs nothing on the hot path.
+    pub fn register_with(&self, registry: &Registry, prefix: &str) {
+        registry.attach_counter(format!("{prefix}.hits"), &self.hits);
+        registry.attach_counter(format!("{prefix}.misses"), &self.misses);
+        registry.attach_counter(format!("{prefix}.invalidations"), &self.invalidations);
+        registry.attach_counter(format!("{prefix}.evictions"), &self.evictions);
     }
 }
 

@@ -16,6 +16,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use sli_simnet::wire::{frame, protocol, unframe, DecodeError, Reader, Writer};
 use sli_simnet::{Clock, Remote, Service, SimDuration};
+use sli_telemetry::{Counter, Histogram, Registry};
 
 use crate::connection::Connection;
 use crate::engine::Database;
@@ -132,6 +133,32 @@ impl Default for DbCostModel {
     }
 }
 
+/// Wire-level statement metrics for one [`DbServer`]. Handles are shared:
+/// the same counters can be attached to a
+/// [`Registry`](sli_telemetry::Registry) under dotted names.
+#[derive(Debug, Clone, Default)]
+pub struct DbServerMetrics {
+    /// `OP_EXEC` statements dispatched over the wire.
+    pub statements: Counter,
+    /// Simulated CPU cost charged per statement, microseconds.
+    pub statement_us: Histogram,
+}
+
+impl DbServerMetrics {
+    /// Attaches the handles to `registry` under `{prefix}.statements` and
+    /// `{prefix}.statement_us`.
+    pub fn register_with(&self, registry: &Registry, prefix: &str) {
+        registry.attach_counter(format!("{prefix}.statements"), &self.statements);
+        registry.attach_histogram(format!("{prefix}.statement_us"), &self.statement_us);
+    }
+
+    /// Zeroes both metrics (between measurement phases).
+    pub fn reset(&self) {
+        self.statements.reset();
+        self.statement_us.reset();
+    }
+}
+
 /// The database server: sessions, statement dispatch, cost accounting.
 #[derive(Debug)]
 pub struct DbServer {
@@ -140,6 +167,7 @@ pub struct DbServer {
     next_session: AtomicU64,
     cost: DbCostModel,
     clock: Arc<Clock>,
+    metrics: DbServerMetrics,
 }
 
 impl DbServer {
@@ -151,7 +179,13 @@ impl DbServer {
             next_session: AtomicU64::new(1),
             cost,
             clock,
+            metrics: DbServerMetrics::default(),
         })
+    }
+
+    /// The server's wire-level statement metrics.
+    pub fn metrics(&self) -> &DbServerMetrics {
+        &self.metrics
     }
 
     /// The wrapped database (for seeding and assertions in tests).
@@ -219,8 +253,12 @@ impl DbServer {
                             );
                         }
                         let rs = conn.execute(&sql, &params)?;
-                        self.clock
-                            .advance(self.cost.per_row.saturating_mul(rs.len() as u64));
+                        let row_cost = self.cost.per_row.saturating_mul(rs.len() as u64);
+                        self.clock.advance(row_cost);
+                        let total_us = self.cost.per_request.as_micros() + row_cost.as_micros();
+                        self.db.record_statement_latency(&sql, total_us);
+                        self.metrics.statements.inc();
+                        self.metrics.statement_us.record(total_us);
                         rs.encode(&mut w);
                     }
                     _ => unreachable!(),
@@ -433,6 +471,36 @@ mod tests {
         let elapsed = clock.now() - t0;
         // at least two 40ms crossings
         assert!(elapsed.as_micros() >= 80_000, "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn wire_statements_feed_latency_trace_and_metrics() {
+        let (_clock, _path, mut conn, server) = setup();
+        server.database().reset_trace();
+        conn.execute("INSERT INTO t (a, b) VALUES (1, 'x')", &[])
+            .unwrap();
+        conn.execute("SELECT b FROM t WHERE a = 1", &[]).unwrap();
+        let snap = server.database().trace_snapshot();
+        let create = snap.statement_latency("t", "create");
+        assert_eq!(create.count, 1);
+        // no rows returned: per_request only
+        assert_eq!(create.total_us, 400);
+        let read = snap.statement_latency("t", "read");
+        assert_eq!(read.count, 1);
+        // one row returned: per_request + per_row
+        assert_eq!(read.total_us, 425);
+        let m = server.metrics();
+        assert_eq!(m.statements.get(), 2);
+        assert_eq!(m.statement_us.count(), 2);
+        assert_eq!(m.statement_us.sum(), 825);
+        let telemetry = Registry::new();
+        m.register_with(&telemetry, "db.stmt");
+        assert_eq!(
+            telemetry.snapshot()["db.stmt.statements"],
+            sli_telemetry::MetricValue::Counter(2)
+        );
+        m.reset();
+        assert_eq!(m.statement_us.count(), 0);
     }
 
     #[test]

@@ -4,6 +4,10 @@
 //! activity — which tables see Creates, Reads, Updates and Deletes. The
 //! engine counts statements per table and kind so the `table1` bench binary
 //! can regenerate that characterization from a live run.
+//!
+//! The wire server additionally feeds per-statement *simulated latency*
+//! into the trace (it is the component that knows the CPU cost it charged
+//! per statement), aggregated by `{table}.{kind}`.
 
 use std::collections::BTreeMap;
 
@@ -48,6 +52,28 @@ impl OpCounts {
     }
 }
 
+/// Simulated-latency aggregates for one `{table}.{kind}` statement class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatementLatency {
+    /// Statements observed.
+    pub count: u64,
+    /// Total simulated cost, microseconds.
+    pub total_us: u64,
+    /// Largest single-statement cost, microseconds.
+    pub max_us: u64,
+}
+
+impl StatementLatency {
+    /// Mean cost per statement in microseconds (0.0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64
+        }
+    }
+}
+
 /// A snapshot of all per-table counters.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TraceSnapshot {
@@ -55,12 +81,26 @@ pub struct TraceSnapshot {
     pub tables: BTreeMap<String, OpCounts>,
     /// Total statements executed (including DDL).
     pub statements: u64,
+    /// Wire-level statement cost aggregates keyed `"{table}.{kind}"`
+    /// (kind is `create` / `read` / `update` / `delete`). Only populated
+    /// when statements run through the wire server, which charges and
+    /// reports the simulated CPU cost.
+    pub latency: BTreeMap<String, StatementLatency>,
 }
 
 impl TraceSnapshot {
     /// Counts for `table`, defaulting to zeros.
     pub fn table(&self, table: &str) -> OpCounts {
         self.tables.get(table).copied().unwrap_or_default()
+    }
+
+    /// Latency aggregates for (`table`, `kind`), defaulting to zeros.
+    /// `kind` is one of `create` / `read` / `update` / `delete`.
+    pub fn statement_latency(&self, table: &str, kind: &str) -> StatementLatency {
+        self.latency
+            .get(&format!("{table}.{kind}"))
+            .copied()
+            .unwrap_or_default()
     }
 }
 
@@ -75,6 +115,66 @@ pub(crate) enum OpKind {
     Read,
     Update,
     Delete,
+}
+
+impl OpKind {
+    pub(crate) fn label(self) -> &'static str {
+        match self {
+            OpKind::Create => "create",
+            OpKind::Read => "read",
+            OpKind::Update => "update",
+            OpKind::Delete => "delete",
+        }
+    }
+}
+
+/// Classifies a statement from its SQL text: the first keyword gives the
+/// kind, and the token after `FROM` / `INTO` / `UPDATE` gives the table.
+/// DDL and unrecognised statements classify as `None`.
+pub(crate) fn classify(sql: &str) -> Option<(OpKind, String)> {
+    let mut tokens = sql.split_whitespace();
+    let first = tokens.next()?;
+    let kind = if first.eq_ignore_ascii_case("select") {
+        OpKind::Read
+    } else if first.eq_ignore_ascii_case("insert") {
+        OpKind::Create
+    } else if first.eq_ignore_ascii_case("update") {
+        OpKind::Update
+    } else if first.eq_ignore_ascii_case("delete") {
+        OpKind::Delete
+    } else {
+        return None;
+    };
+    let marker = match kind {
+        OpKind::Update => None, // the table is the next token
+        OpKind::Create => Some("into"),
+        OpKind::Read | OpKind::Delete => Some("from"),
+    };
+    let raw = match marker {
+        None => tokens.next()?,
+        Some(marker) => {
+            let mut prev = first;
+            loop {
+                let t = tokens.next()?;
+                if prev.eq_ignore_ascii_case(marker) {
+                    break t;
+                }
+                prev = t;
+            }
+        }
+    };
+    // Strip a trailing column list ("account(userid, ...)") and punctuation.
+    let table = raw
+        .split('(')
+        .next()
+        .unwrap_or("")
+        .trim_matches(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .to_ascii_lowercase();
+    if table.is_empty() {
+        None
+    } else {
+        Some((kind, table))
+    }
 }
 
 impl Trace {
@@ -92,6 +192,22 @@ impl Trace {
 
     pub(crate) fn record_statement(&self) {
         self.inner.lock().statements += 1;
+    }
+
+    /// Aggregates the simulated cost of one statement, classified from its
+    /// SQL text; unclassifiable statements (DDL, malformed) are skipped.
+    pub(crate) fn record_latency_sql(&self, sql: &str, micros: u64) {
+        let Some((kind, table)) = classify(sql) else {
+            return;
+        };
+        let mut t = self.inner.lock();
+        let lat = t
+            .latency
+            .entry(format!("{table}.{}", kind.label()))
+            .or_default();
+        lat.count += 1;
+        lat.total_us += micros;
+        lat.max_us = lat.max_us.max(micros);
     }
 
     pub(crate) fn snapshot(&self) -> TraceSnapshot {
@@ -151,7 +267,48 @@ mod tests {
         let t = Trace::default();
         t.record("x", OpKind::Read);
         t.record_statement();
+        t.record_latency_sql("SELECT a FROM x", 7);
         t.reset();
         assert_eq!(t.snapshot(), TraceSnapshot::default());
+    }
+
+    #[test]
+    fn classify_extracts_kind_and_table() {
+        let cases = [
+            ("SELECT a, b FROM account WHERE x = 1", "account.read"),
+            ("select count(*) from holding", "holding.read"),
+            ("INSERT INTO profile (a, b) VALUES (1, 2)", "profile.create"),
+            ("insert into profile(a, b) values (1, 2)", "profile.create"),
+            ("UPDATE quote SET price = 1 WHERE s = 'x'", "quote.update"),
+            ("DELETE FROM holding WHERE id = 3", "holding.delete"),
+        ];
+        for (sql, expected) in cases {
+            let (kind, table) = classify(sql).unwrap_or_else(|| panic!("unclassified: {sql}"));
+            assert_eq!(format!("{table}.{}", kind.label()), expected, "{sql}");
+        }
+        assert!(classify("CREATE TABLE t (a INT PRIMARY KEY)").is_none());
+        assert!(classify("").is_none());
+        assert!(classify("SELECT 1").is_none(), "no FROM clause");
+    }
+
+    #[test]
+    fn latency_aggregates_by_table_and_kind() {
+        let t = Trace::default();
+        t.record_latency_sql("SELECT a FROM account WHERE x = 1", 400);
+        t.record_latency_sql("SELECT a FROM account WHERE x = 2", 600);
+        t.record_latency_sql("UPDATE account SET a = 1 WHERE x = 1", 425);
+        t.record_latency_sql("CREATE TABLE skipped (a INT PRIMARY KEY)", 999);
+        let snap = t.snapshot();
+        let reads = snap.statement_latency("account", "read");
+        assert_eq!(reads.count, 2);
+        assert_eq!(reads.total_us, 1000);
+        assert_eq!(reads.max_us, 600);
+        assert!((reads.mean_us() - 500.0).abs() < 1e-9);
+        assert_eq!(snap.statement_latency("account", "update").count, 1);
+        assert_eq!(
+            snap.statement_latency("account", "delete"),
+            StatementLatency::default()
+        );
+        assert_eq!(snap.latency.len(), 2, "DDL must not be aggregated");
     }
 }

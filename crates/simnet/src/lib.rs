@@ -56,5 +56,5 @@ pub mod wire;
 pub use clock::{Clock, SimDuration, SimTime};
 pub use fault::{Fault, FaultPlan, FaultStats};
 pub use http::{HttpRequest, HttpResponse};
-pub use path::{Path, PathSpec, PathStats};
+pub use path::{Path, PathMetrics, PathSpec, PathStats};
 pub use remote::{CallError, Remote, RetryPolicy, Service};

@@ -4,6 +4,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use sli_telemetry::{Counter, Histogram, Registry};
+
 use crate::clock::{Clock, SimDuration};
 use crate::fault::{Fault, FaultPlan, FaultState, FaultStats};
 
@@ -91,6 +93,73 @@ impl PathStats {
     }
 }
 
+/// Telemetry handles for one [`Path`]: traffic counters, a crossing-cost
+/// histogram, and the RPC outcome counters that [`Remote`](crate::Remote)
+/// records when it retries over this path.
+///
+/// The path keeps these handles in its hot fields; a coordinator (the
+/// testbed) attaches the *same* handles to its
+/// [`Registry`](sli_telemetry::Registry) via [`PathMetrics::register_with`],
+/// so the fast path never takes a registry lock.
+#[derive(Debug, Clone, Default)]
+pub struct PathMetrics {
+    /// Bytes sent in the request direction.
+    pub bytes_to_server: Counter,
+    /// Bytes sent in the response direction.
+    pub bytes_from_server: Counter,
+    /// Request messages sent (including async/fire-and-forget sends).
+    pub requests: Counter,
+    /// Response messages received.
+    pub responses: Counter,
+    /// Per-crossing cost in simulated microseconds (latency + transfer +
+    /// jitter), for timed and async crossings alike.
+    pub crossing_us: Histogram,
+    /// RPC round trips started over this path.
+    pub rpc_calls: Counter,
+    /// RPC delivery attempts beyond each call's first (resends).
+    pub rpc_retries: Counter,
+    /// RPC attempts that waited out their timeout.
+    pub rpc_timeouts: Counter,
+    /// RPC attempts refused by an unavailable remote end.
+    pub rpc_unavailable: Counter,
+    /// Total simulated time spent in retry backoff, microseconds.
+    pub rpc_backoff_us: Counter,
+}
+
+impl PathMetrics {
+    /// Attaches every handle to `registry` under `prefix` (dotted names,
+    /// e.g. `simnet.path.client-0.requests`).
+    pub fn register_with(&self, registry: &Registry, prefix: &str) {
+        registry.attach_counter(format!("{prefix}.bytes_to_server"), &self.bytes_to_server);
+        registry.attach_counter(
+            format!("{prefix}.bytes_from_server"),
+            &self.bytes_from_server,
+        );
+        registry.attach_counter(format!("{prefix}.requests"), &self.requests);
+        registry.attach_counter(format!("{prefix}.responses"), &self.responses);
+        registry.attach_histogram(format!("{prefix}.crossing_us"), &self.crossing_us);
+        registry.attach_counter(format!("{prefix}.rpc_calls"), &self.rpc_calls);
+        registry.attach_counter(format!("{prefix}.rpc_retries"), &self.rpc_retries);
+        registry.attach_counter(format!("{prefix}.rpc_timeouts"), &self.rpc_timeouts);
+        registry.attach_counter(format!("{prefix}.rpc_unavailable"), &self.rpc_unavailable);
+        registry.attach_counter(format!("{prefix}.rpc_backoff_us"), &self.rpc_backoff_us);
+    }
+
+    /// Resets every handle to empty.
+    pub fn reset(&self) {
+        self.bytes_to_server.reset();
+        self.bytes_from_server.reset();
+        self.requests.reset();
+        self.responses.reset();
+        self.crossing_us.reset();
+        self.rpc_calls.reset();
+        self.rpc_retries.reset();
+        self.rpc_timeouts.reset();
+        self.rpc_unavailable.reset();
+        self.rpc_backoff_us.reset();
+    }
+}
+
 /// A bidirectional communication path between two simulated nodes.
 ///
 /// Crossing the path advances the shared [`Clock`] by
@@ -110,10 +179,8 @@ pub struct Path {
     jitter_max_us: AtomicU64,
     jitter_seed: AtomicU64,
     jitter_counter: AtomicU64,
-    bytes_to_server: AtomicU64,
-    bytes_from_server: AtomicU64,
-    requests: AtomicU64,
-    responses: AtomicU64,
+    jitter_async_counter: AtomicU64,
+    metrics: PathMetrics,
     faults: FaultState,
 }
 
@@ -130,10 +197,8 @@ impl Path {
             jitter_max_us: AtomicU64::new(0),
             jitter_seed: AtomicU64::new(0),
             jitter_counter: AtomicU64::new(0),
-            bytes_to_server: AtomicU64::new(0),
-            bytes_from_server: AtomicU64::new(0),
-            requests: AtomicU64::new(0),
-            responses: AtomicU64::new(0),
+            jitter_async_counter: AtomicU64::new(0),
+            metrics: PathMetrics::default(),
             faults: FaultState::new(spec.faults),
         })
     }
@@ -174,23 +239,39 @@ impl Path {
         self.jitter_seed.store(seed, Ordering::Relaxed);
     }
 
-    /// The next crossing's jitter (consumes one counter tick); zero when
-    /// jitter is disabled.
+    /// The jitter for message index `n` of one stream: splitmix64 over
+    /// `(seed, n)`, reduced to `0..=max`.
+    fn jitter_at(seed: u64, n: u64, max: u64) -> SimDuration {
+        let mut z = seed.wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimDuration::from_micros(z % (max + 1))
+    }
+
+    /// The next *measured* crossing's jitter (consumes one tick of the
+    /// measured stream); zero when jitter is disabled.
     fn next_jitter(&self) -> SimDuration {
         let max = self.jitter_max_us.load(Ordering::Relaxed);
         if max == 0 {
             return SimDuration::ZERO;
         }
         let n = self.jitter_counter.fetch_add(1, Ordering::Relaxed);
-        // splitmix64 over (seed, message index)
-        let mut z = self
-            .jitter_seed
-            .load(Ordering::Relaxed)
-            .wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        SimDuration::from_micros(z % (max + 1))
+        Path::jitter_at(self.jitter_seed.load(Ordering::Relaxed), n, max)
+    }
+
+    /// The next *asynchronous* crossing's jitter. Async sends consume ticks
+    /// of their own stream (same seed, distinct domain), so the jitter
+    /// sequence observed by measured messages is independent of how many
+    /// invalidation fan-outs interleaved.
+    fn next_async_jitter(&self) -> SimDuration {
+        let max = self.jitter_max_us.load(Ordering::Relaxed);
+        if max == 0 {
+            return SimDuration::ZERO;
+        }
+        let n = self.jitter_async_counter.fetch_add(1, Ordering::Relaxed);
+        let seed = self.jitter_seed.load(Ordering::Relaxed) ^ 0x517C_C1B7_2722_0A95;
+        Path::jitter_at(seed, n, max)
     }
 
     /// The nominal cost of moving an `n`-byte message one way across this
@@ -198,54 +279,80 @@ impl Path {
     pub fn one_way_cost(&self, n: usize) -> SimDuration {
         let latency = self.base_latency_us.load(Ordering::Relaxed)
             + self.proxy_delay_us.load(Ordering::Relaxed);
-        let bw = self.bandwidth.load(Ordering::Relaxed);
+        // `bandwidth` is clamped to ≥ 1 at every write site, but guard the
+        // division anyway: a zero here must saturate, not panic mid-run.
+        let bw = self.bandwidth.load(Ordering::Relaxed).max(1);
         let transfer_us = (n as u64).saturating_mul(1_000_000) / bw;
         SimDuration::from_micros(latency + transfer_us)
+    }
+
+    /// Changes the usable link bandwidth (Figure 8 sweeps it); zero is
+    /// clamped to 1 byte/s rather than rejected, matching construction.
+    pub fn set_bandwidth(&self, bytes_per_sec: u64) {
+        self.bandwidth
+            .store(bytes_per_sec.max(1), Ordering::Relaxed);
+    }
+
+    /// The current usable link bandwidth in bytes per second.
+    pub fn bandwidth(&self) -> u64 {
+        self.bandwidth.load(Ordering::Relaxed)
     }
 
     /// Sends an `n`-byte message in the request direction, advancing the
     /// clock and recording the traffic.
     pub fn request(&self, n: usize) {
-        self.clock
-            .advance(self.one_way_cost(n) + self.next_jitter());
-        self.bytes_to_server.fetch_add(n as u64, Ordering::Relaxed);
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        let cost = self.one_way_cost(n) + self.next_jitter();
+        self.clock.advance(cost);
+        self.metrics.crossing_us.record(cost.as_micros());
+        self.metrics.bytes_to_server.add(n as u64);
+        self.metrics.requests.inc();
     }
 
     /// Sends an `n`-byte message in the response direction, advancing the
     /// clock and recording the traffic.
     pub fn respond(&self, n: usize) {
-        self.clock
-            .advance(self.one_way_cost(n) + self.next_jitter());
-        self.bytes_from_server
-            .fetch_add(n as u64, Ordering::Relaxed);
-        self.responses.fetch_add(1, Ordering::Relaxed);
+        let cost = self.one_way_cost(n) + self.next_jitter();
+        self.clock.advance(cost);
+        self.metrics.crossing_us.record(cost.as_micros());
+        self.metrics.bytes_from_server.add(n as u64);
+        self.metrics.responses.inc();
     }
 
     /// Sends a fire-and-forget message in the request direction *without*
     /// advancing the caller's clock (used for asynchronous invalidation
     /// fan-out, which is off the measured request path).
+    ///
+    /// The crossing still experiences the link: its delivery cost (with a
+    /// jitter tick drawn from the dedicated async stream) is recorded in the
+    /// crossing histogram, but never charged to the sender's clock.
     pub fn request_async(&self, n: usize) {
-        self.bytes_to_server.fetch_add(n as u64, Ordering::Relaxed);
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        let cost = self.one_way_cost(n) + self.next_async_jitter();
+        self.metrics.crossing_us.record(cost.as_micros());
+        self.metrics.bytes_to_server.add(n as u64);
+        self.metrics.requests.inc();
+    }
+
+    /// The telemetry handles for this path (traffic, crossing cost, RPC
+    /// outcomes). Attach them to a registry with
+    /// [`PathMetrics::register_with`].
+    pub fn metrics(&self) -> &PathMetrics {
+        &self.metrics
     }
 
     /// A snapshot of the traffic counters.
     pub fn stats(&self) -> PathStats {
         PathStats {
-            bytes_to_server: self.bytes_to_server.load(Ordering::Relaxed),
-            bytes_from_server: self.bytes_from_server.load(Ordering::Relaxed),
-            requests: self.requests.load(Ordering::Relaxed),
-            responses: self.responses.load(Ordering::Relaxed),
+            bytes_to_server: self.metrics.bytes_to_server.get(),
+            bytes_from_server: self.metrics.bytes_from_server.get(),
+            requests: self.metrics.requests.get(),
+            responses: self.metrics.responses.get(),
         }
     }
 
-    /// Zeroes the traffic counters (used between warm-up and measurement).
+    /// Zeroes all telemetry (traffic counters, crossing histogram, RPC
+    /// outcome counters) — used between warm-up and measurement.
     pub fn reset_stats(&self) {
-        self.bytes_to_server.store(0, Ordering::Relaxed);
-        self.bytes_from_server.store(0, Ordering::Relaxed);
-        self.requests.store(0, Ordering::Relaxed);
-        self.responses.store(0, Ordering::Relaxed);
+        self.metrics.reset();
     }
 
     /// Dials the seeded probabilistic fault plan for this path.
@@ -405,6 +512,83 @@ mod tests {
         });
         assert_eq!(path.one_way_cost(0).as_micros(), 100);
         assert_eq!(path.one_way_cost(1_000).as_micros(), 1_100);
+    }
+
+    #[test]
+    fn zero_bandwidth_saturates_instead_of_panicking() {
+        // Regression: `one_way_cost` divides by the bandwidth atomic; a
+        // zero-bandwidth spec (or setter call) must clamp, not divide by 0.
+        let (clock, path) = test_path(PathSpec {
+            base_latency: SimDuration::from_micros(100),
+            bandwidth_bytes_per_sec: 0,
+            faults: FaultPlan::NONE,
+        });
+        assert_eq!(path.bandwidth(), 1);
+        // 1 byte/s: the transfer term dominates but stays finite.
+        assert_eq!(path.one_way_cost(3).as_micros(), 100 + 3_000_000);
+        path.set_bandwidth(0);
+        assert_eq!(path.bandwidth(), 1);
+        path.request(2); // must not panic
+        assert!(clock.now().as_micros() >= 2_000_000);
+        path.set_bandwidth(1_000_000);
+        assert_eq!(path.one_way_cost(1_000).as_micros(), 100 + 1_000);
+    }
+
+    #[test]
+    fn async_sends_do_not_perturb_measured_jitter() {
+        // Regression: async fan-out draws jitter from its own stream, so the
+        // jitter sequence observed by measured messages is identical no
+        // matter how many async sends interleave.
+        let spec = PathSpec {
+            base_latency: SimDuration::from_millis(1),
+            bandwidth_bytes_per_sec: 1_000_000_000,
+            faults: FaultPlan::NONE,
+        };
+        let run = |async_between: bool| {
+            let (clock, path) = test_path(spec);
+            path.set_jitter(SimDuration::from_micros(500), 7);
+            let mut times = Vec::new();
+            for _ in 0..16 {
+                if async_between {
+                    path.request_async(64);
+                    path.request_async(64);
+                }
+                let t0 = clock.now();
+                path.request(100);
+                path.respond(100);
+                times.push((clock.now() - t0).as_micros());
+            }
+            times
+        };
+        assert_eq!(
+            run(false),
+            run(true),
+            "interleaved async sends must not shift measured jitter"
+        );
+    }
+
+    #[test]
+    fn metrics_expose_crossing_histogram_and_reset() {
+        let (_clock, path) = test_path(PathSpec {
+            base_latency: SimDuration::from_millis(1),
+            bandwidth_bytes_per_sec: 1_000_000_000,
+            faults: FaultPlan::NONE,
+        });
+        path.request(10);
+        path.respond(10);
+        path.request_async(10);
+        let m = path.metrics();
+        assert_eq!(m.crossing_us.count(), 3, "async crossings are observed");
+        assert_eq!(m.requests.get(), 2);
+        assert_eq!(m.responses.get(), 1);
+        let registry = sli_telemetry::Registry::new();
+        m.register_with(&registry, "simnet.path.t");
+        assert!(registry
+            .names()
+            .contains(&"simnet.path.t.crossing_us".to_owned()));
+        path.reset_stats();
+        assert_eq!(m.crossing_us.count(), 0);
+        assert_eq!(path.stats(), PathStats::default());
     }
 
     #[test]

@@ -169,15 +169,24 @@ impl<S: Service> Remote<S> {
     /// so services deduplicate replays by request identity (see the commit
     /// protocol in `sli-core`). Fails only once the budget is exhausted.
     pub fn call(&self, request: Bytes) -> Result<Bytes, CallError> {
+        let metrics = self.path.metrics();
+        metrics.rpc_calls.inc();
         let mut backoff = self.policy.backoff;
         let mut last = CallError::TimedOut { attempts: 0 };
         for attempt in 1..=self.policy.max_attempts {
+            if attempt > 1 {
+                metrics.rpc_retries.inc();
+            }
             match self.attempt(&request) {
                 Ok(response) => return Ok(response),
-                Err(error) => last = error.with_attempts(attempt),
+                Err(error) => {
+                    error.count(metrics);
+                    last = error.with_attempts(attempt);
+                }
             }
             if attempt < self.policy.max_attempts {
                 self.path.clock().advance(backoff);
+                metrics.rpc_backoff_us.add(backoff.as_micros());
                 backoff = backoff + backoff;
             }
         }
@@ -191,7 +200,12 @@ impl<S: Service> Remote<S> {
     /// must decide how to recover, typically by aborting the enclosing
     /// transaction.
     pub fn call_once(&self, request: Bytes) -> Result<Bytes, CallError> {
-        self.attempt(&request).map_err(|e| e.with_attempts(1))
+        let metrics = self.path.metrics();
+        metrics.rpc_calls.inc();
+        self.attempt(&request).map_err(|e| {
+            e.count(metrics);
+            e.with_attempts(1)
+        })
     }
 
     /// One delivery attempt under the path's fault schedule.
@@ -283,6 +297,14 @@ impl AttemptError {
         match self {
             AttemptError::TimedOut => CallError::TimedOut { attempts },
             AttemptError::Unavailable => CallError::Unavailable { attempts },
+        }
+    }
+
+    /// Records this failed attempt in the path's RPC outcome counters.
+    fn count(self, metrics: &crate::path::PathMetrics) {
+        match self {
+            AttemptError::TimedOut => metrics.rpc_timeouts.inc(),
+            AttemptError::Unavailable => metrics.rpc_unavailable.inc(),
         }
     }
 }
@@ -462,6 +484,41 @@ mod tests {
         let (outcomes, _) = run();
         assert!(outcomes.iter().any(|ok| *ok));
         assert!(outcomes.iter().any(|ok| !*ok));
+    }
+
+    #[test]
+    fn rpc_outcomes_are_counted_on_the_path() {
+        let clock = Arc::new(Clock::new());
+        let path = Path::new("p", Arc::clone(&clock), PathSpec::local());
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            timeout: SimDuration::from_millis(10),
+            backoff: SimDuration::from_millis(1),
+        };
+        let remote = Remote::new(Arc::clone(&path), Echo).with_policy(policy);
+
+        // Clean call: one rpc, no failures.
+        remote.call(Bytes::from_static(b"a")).unwrap();
+        // Two timeouts then success: two retries, two timeouts, 1+2 ms backoff.
+        path.script_faults([Some(Fault::DropRequest), Some(Fault::DropResponse), None]);
+        remote.call(Bytes::from_static(b"b")).unwrap();
+        // Unavailability outlasting the budget: two more retries.
+        path.script_faults([
+            Some(Fault::Unavailable),
+            Some(Fault::Unavailable),
+            Some(Fault::Unavailable),
+        ]);
+        remote.call(Bytes::from_static(b"c")).unwrap_err();
+        // call_once failure is counted but never retried.
+        path.script_faults([Some(Fault::DropResponse)]);
+        remote.call_once(Bytes::from_static(b"d")).unwrap_err();
+
+        let m = path.metrics();
+        assert_eq!(m.rpc_calls.get(), 4);
+        assert_eq!(m.rpc_retries.get(), 4);
+        assert_eq!(m.rpc_timeouts.get(), 3);
+        assert_eq!(m.rpc_unavailable.get(), 3);
+        assert_eq!(m.rpc_backoff_us.get(), (1 + 2 + 1 + 2) * 1_000);
     }
 
     #[test]

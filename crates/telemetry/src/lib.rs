@@ -1,0 +1,38 @@
+//! # sli-telemetry — measurement substrate for the edge-server testbed
+//!
+//! The paper's argument is quantitative: Figures 6–8 and Table 2 compare
+//! architectures by latency sensitivity, and the SLI cache's value rests on
+//! hit rates and abort rates. This crate is the measurement layer those
+//! numbers flow through:
+//!
+//! * [`Counter`], [`Gauge`] and [`Histogram`] — lock-free handles that
+//!   components own directly. Cloning a handle shares the underlying cell,
+//!   so a component keeps its counter in a hot field while the same handle
+//!   sits in a [`Registry`] under a stable name.
+//! * [`Registry`] — a named catalogue of metric handles. There is no global
+//!   registry: every `Testbed` owns its own, so tests can build many
+//!   same-named paths without collisions.
+//! * [`TraceLog`] / [`SpanEvent`] — a bounded log of commit-protocol spans
+//!   (validate → apply → invalidate fan-out) with conflict/replay outcomes.
+//!   Timestamps come from the caller's simulated clock; this crate has no
+//!   clock of its own.
+//! * [`Json`] — a tiny self-contained JSON value (deterministic key order),
+//!   with a parser for validating emitted reports.
+//! * [`RunReport`] / [`ArchReport`] — the structured per-architecture
+//!   summary (hit ratio, abort rate, retries, tail latency) that the bench
+//!   bins emit and CI validates against [`validate_run_report`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod metrics;
+mod registry;
+mod report;
+mod span;
+
+pub use json::Json;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{Metric, MetricValue, Registry};
+pub use report::{validate_run_report, ArchReport, RunReport, RUN_REPORT_SCHEMA};
+pub use span::{SpanEvent, SpanOutcome, TraceLog};

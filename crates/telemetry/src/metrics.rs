@@ -1,0 +1,324 @@
+//! Lock-free metric handles: counters, gauges and log-linear histograms.
+//!
+//! Handles are `Clone` and cheap: cloning shares the underlying atomic
+//! cell(s), so a component can keep a handle in a hot field while the same
+//! handle is registered under a name in a [`Registry`](crate::Registry).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing event count.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (between measurement phases).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A value that can move both ways (queue depths, in-flight counts).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the current value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.set(0);
+    }
+}
+
+/// Number of linear sub-buckets per power of two (2^SUB_BITS).
+const SUB_BITS: u32 = 3;
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// Bucket count for the full u64 range under the log-linear scheme.
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB_BUCKETS as usize;
+
+/// Maps a value to its log-linear bucket: exact below [`SUB_BUCKETS`], then
+/// [`SUB_BUCKETS`] linear sub-buckets per power of two (≤ 12.5% relative
+/// error), like HdrHistogram's bucketing but fixed-shape and allocation-free.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = (v >> shift) - SUB_BUCKETS;
+    ((shift as usize + 1) * SUB_BUCKETS as usize) + sub as usize
+}
+
+/// Midpoint of the bucket holding `index`, used as its representative value.
+fn bucket_midpoint(index: usize) -> u64 {
+    if index < SUB_BUCKETS as usize {
+        return index as u64;
+    }
+    let shift = (index / SUB_BUCKETS as usize - 1) as u32;
+    let sub = (index % SUB_BUCKETS as usize) as u64;
+    let low = (SUB_BUCKETS + sub) << shift;
+    let width = 1u64 << shift;
+    low + (width - 1) / 2
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-shape log-linear histogram of `u64` samples (simulated
+/// microseconds, byte counts, ...). Recording is a handful of relaxed
+/// atomic operations; quantiles are approximate (≤ 12.5% relative error)
+/// and computed on demand by a cumulative walk.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram(Arc::new(HistogramInner {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let inner = &self.0;
+        inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.min.fetch_min(v, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of recorded samples, approximate to
+    /// the bucket width. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil(q * count), at least 1: the rank of the wanted sample.
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= target {
+                let mid = bucket_midpoint(i);
+                // Never report outside the observed range.
+                let min = self.0.min.load(Ordering::Relaxed);
+                let max = self.0.max.load(Ordering::Relaxed);
+                return mid.clamp(min, max);
+            }
+        }
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time summary of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        let sum = self.sum();
+        HistogramSnapshot {
+            count,
+            sum,
+            min: if count == 0 {
+                0
+            } else {
+                self.0.min.load(Ordering::Relaxed)
+            },
+            max: self.0.max.load(Ordering::Relaxed),
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+
+    /// Clears all samples (between measurement phases).
+    pub fn reset(&self) {
+        for b in &self.0.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.0.count.store(0, Ordering::Relaxed);
+        self.0.sum.store(0, Ordering::Relaxed);
+        self.0.min.store(u64::MAX, Ordering::Relaxed);
+        self.0.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Summary statistics read out of a [`Histogram`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Arithmetic mean (0.0 when empty).
+    pub mean: f64,
+    /// Median, approximate to the bucket width.
+    pub p50: u64,
+    /// 95th percentile, approximate to the bucket width.
+    pub p95: u64,
+    /// 99th percentile, approximate to the bucket width.
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_shares_state_across_clones() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c2.get(), 0);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(42);
+        assert_eq!(g.get(), 42);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+        g.reset();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        let mut last = 0;
+        for v in 0..=4096u64 {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index must not decrease at {v}");
+            assert!(idx - last <= 1, "index must not skip at {v}");
+            last = idx;
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn midpoint_lands_in_its_own_bucket() {
+        for v in [0u64, 1, 7, 8, 100, 1000, 65_535, 1 << 40] {
+            let idx = bucket_index(v);
+            assert_eq!(bucket_index(bucket_midpoint(idx)), idx, "value {v}");
+        }
+    }
+
+    #[test]
+    fn exact_below_eight() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 5, 6, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.snapshot().min, 0);
+        assert_eq!(h.snapshot().max, 7);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_error() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10_000);
+        for (q, exact) in [(s.p50, 5_000.0), (s.p95, 9_500.0), (s.p99, 9_900.0)] {
+            let rel = (q as f64 - exact).abs() / exact;
+            assert!(rel <= 0.125, "quantile {q} vs exact {exact}");
+        }
+        assert!((s.mean - 5_000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(
+            (s.count, s.sum, s.min, s.max, s.p50, s.p95, s.p99),
+            (0, 0, 0, 0, 0, 0, 0)
+        );
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn reset_clears_samples() {
+        let h = Histogram::new();
+        h.record(123);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+}

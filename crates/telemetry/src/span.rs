@@ -1,0 +1,193 @@
+//! Lightweight span tracing of the commit protocol.
+//!
+//! Components that hold a simulated clock record [`SpanEvent`]s — one per
+//! protocol step (validate/apply, invalidation fan-out, dedup replay) —
+//! into a bounded [`TraceLog`]. The log is a diagnosis tool, not a metric:
+//! it keeps the most recent events only, and all aggregate numbers live in
+//! counters and histograms instead.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// How a traced protocol step ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// The step completed and its effects are durable.
+    Committed,
+    /// Optimistic validation failed; nothing was applied.
+    Conflict,
+    /// The request was a duplicate of an already-finished transaction and
+    /// the recorded outcome was replayed without re-applying.
+    Replayed,
+    /// The step failed with an error (transport, SQL, ...).
+    Error,
+}
+
+impl SpanOutcome {
+    /// Stable lower-case label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanOutcome::Committed => "committed",
+            SpanOutcome::Conflict => "conflict",
+            SpanOutcome::Replayed => "replayed",
+            SpanOutcome::Error => "error",
+        }
+    }
+}
+
+/// One traced step of the commit protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Step name, e.g. `"commit.validate_apply"` or `"commit.invalidate"`.
+    pub op: &'static str,
+    /// Originating edge id of the transaction.
+    pub origin: u32,
+    /// Transaction id at the origin (0 = unidentified/auto-commit).
+    pub txn_id: u64,
+    /// Simulated start time, microseconds.
+    pub start_us: u64,
+    /// Simulated end time, microseconds.
+    pub end_us: u64,
+    /// How the step ended.
+    pub outcome: SpanOutcome,
+}
+
+impl SpanEvent {
+    /// Span duration in simulated microseconds.
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+/// A bounded in-memory log of [`SpanEvent`]s; oldest events are dropped
+/// once the capacity is reached.
+#[derive(Debug)]
+pub struct TraceLog {
+    events: Mutex<VecDeque<SpanEvent>>,
+    capacity: usize,
+}
+
+impl Default for TraceLog {
+    fn default() -> TraceLog {
+        TraceLog::with_capacity(4096)
+    }
+}
+
+impl TraceLog {
+    /// Creates a log with the default capacity (4096 events).
+    pub fn new() -> TraceLog {
+        TraceLog::default()
+    }
+
+    /// Creates a log keeping at most `capacity` recent events.
+    pub fn with_capacity(capacity: usize) -> TraceLog {
+        TraceLog {
+            events: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends an event, evicting the oldest if full.
+    pub fn record(&self, event: SpanEvent) {
+        let mut events = self.events.lock().expect("trace lock");
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(event);
+    }
+
+    /// A copy of the retained events, oldest first.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.events
+            .lock()
+            .expect("trace lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace lock").len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counts retained events matching `op` (any op if `None`) and
+    /// `outcome` (any outcome if `None`).
+    pub fn count(&self, op: Option<&str>, outcome: Option<SpanOutcome>) -> usize {
+        self.events
+            .lock()
+            .expect("trace lock")
+            .iter()
+            .filter(|e| op.is_none_or(|o| e.op == o))
+            .filter(|e| outcome.is_none_or(|o| e.outcome == o))
+            .count()
+    }
+
+    /// Discards all retained events.
+    pub fn clear(&self) {
+        self.events.lock().expect("trace lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(op: &'static str, txn_id: u64, outcome: SpanOutcome) -> SpanEvent {
+        SpanEvent {
+            op,
+            origin: 1,
+            txn_id,
+            start_us: 10 * txn_id,
+            end_us: 10 * txn_id + 5,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn records_and_counts_by_op_and_outcome() {
+        let log = TraceLog::new();
+        log.record(event("commit.validate_apply", 1, SpanOutcome::Committed));
+        log.record(event("commit.validate_apply", 2, SpanOutcome::Conflict));
+        log.record(event("commit.invalidate", 2, SpanOutcome::Committed));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.count(Some("commit.validate_apply"), None), 2);
+        assert_eq!(log.count(None, Some(SpanOutcome::Committed)), 2);
+        assert_eq!(
+            log.count(Some("commit.validate_apply"), Some(SpanOutcome::Conflict)),
+            1
+        );
+        assert_eq!(log.events()[0].duration_us(), 5);
+    }
+
+    #[test]
+    fn capacity_drops_oldest() {
+        let log = TraceLog::with_capacity(2);
+        for txn in 1..=3 {
+            log.record(event("op", txn, SpanOutcome::Committed));
+        }
+        let kept: Vec<u64> = log.events().iter().map(|e| e.txn_id).collect();
+        assert_eq!(kept, vec![2, 3]);
+    }
+
+    #[test]
+    fn clear_empties_the_log() {
+        let log = TraceLog::new();
+        log.record(event("op", 1, SpanOutcome::Error));
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        assert_eq!(SpanOutcome::Committed.label(), "committed");
+        assert_eq!(SpanOutcome::Conflict.label(), "conflict");
+        assert_eq!(SpanOutcome::Replayed.label(), "replayed");
+        assert_eq!(SpanOutcome::Error.label(), "error");
+    }
+}

@@ -65,6 +65,21 @@ pub enum TradeAction {
 }
 
 impl TradeAction {
+    /// Every action name in presentation order — the label space of
+    /// [`TradeAction::name`], for per-action metric registration.
+    pub const NAMES: [&'static str; 10] = [
+        "login",
+        "logout",
+        "register",
+        "home",
+        "account",
+        "update",
+        "portfolio",
+        "quote",
+        "buy",
+        "sell",
+    ];
+
     /// The action name as it appears in URLs and reports.
     pub fn name(&self) -> &'static str {
         match self {
@@ -195,6 +210,33 @@ mod tests {
             symbol: "s:1".into(),
         };
         assert_eq!(q.user(), None);
+    }
+
+    #[test]
+    fn names_const_covers_every_variant() {
+        let variants = [
+            TradeAction::Login { user: "u".into() },
+            TradeAction::Logout { user: "u".into() },
+            TradeAction::Register { user: "u".into() },
+            TradeAction::Home { user: "u".into() },
+            TradeAction::Account { user: "u".into() },
+            TradeAction::AccountUpdate {
+                user: "u".into(),
+                email: "e".into(),
+            },
+            TradeAction::Portfolio { user: "u".into() },
+            TradeAction::Quote { symbol: "s".into() },
+            TradeAction::Buy {
+                user: "u".into(),
+                symbol: "s".into(),
+                quantity: 1.0,
+            },
+            TradeAction::Sell { user: "u".into() },
+        ];
+        assert_eq!(variants.len(), TradeAction::NAMES.len());
+        for action in &variants {
+            assert!(TradeAction::NAMES.contains(&action.name()));
+        }
     }
 
     #[test]

@@ -76,25 +76,32 @@ pub struct BatchStats {
 /// Splits `values` into `batches` contiguous batches and returns the
 /// per-batch means plus their summary.
 ///
-/// Remainder observations go to the final batch. With fewer observations
-/// than batches, each observation is its own batch.
+/// When the length does not divide evenly, the remainder is spread one
+/// observation per batch (the first `len % batches` batches are one
+/// longer), so batch sizes differ by at most one — no batch silently
+/// absorbs the whole remainder and skews its mean's weight. `overall.mean`
+/// is the size-weighted mean of the batch means, i.e. exactly the grand
+/// mean of `values`; the other `overall` fields summarize the batch means
+/// themselves. With fewer observations than batches, each observation is
+/// its own batch.
 pub fn batch_means(values: &[f64], batches: usize) -> BatchStats {
     let batches = batches.max(1).min(values.len().max(1));
-    let per = (values.len() / batches).max(1);
+    let per = values.len() / batches;
+    let rem = values.len() % batches;
     let mut means = Vec::with_capacity(batches);
     let mut idx = 0;
     for b in 0..batches {
-        let end = if b == batches - 1 {
-            values.len()
-        } else {
-            (idx + per).min(values.len())
-        };
+        let end = idx + per + usize::from(b < rem);
         if idx < end {
             means.push(RunStats::of(&values[idx..end]).mean);
         }
         idx = end;
     }
-    let overall = RunStats::of(&means);
+    let mut overall = RunStats::of(&means);
+    if !values.is_empty() {
+        // Size-weighted mean of the batch means == the grand mean.
+        overall.mean = values.iter().sum::<f64>() / values.len() as f64;
+    }
     BatchStats {
         batch_means: means,
         overall,
@@ -150,12 +157,28 @@ mod tests {
     }
 
     #[test]
-    fn batching_remainder_goes_to_last() {
+    fn batching_remainder_spreads_one_per_batch() {
         let values: Vec<f64> = (0..7).map(|v| v as f64).collect();
         let b = batch_means(&values, 3);
         assert_eq!(b.batch_means.len(), 3);
-        // batches: [0,1], [2,3], [4,5,6]
-        assert!((b.batch_means[2] - 5.0).abs() < 1e-12);
+        // batches: [0,1,2], [3,4], [5,6] — sizes differ by at most one.
+        assert!((b.batch_means[0] - 1.0).abs() < 1e-12);
+        assert!((b.batch_means[1] - 3.5).abs() < 1e-12);
+        assert!((b.batch_means[2] - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overall_mean_is_the_grand_mean_for_non_divisible_lengths() {
+        // 103 observations over 20 batches: 3 batches of 6, 17 of 5.
+        let values: Vec<f64> = (0..103).map(|v| (v * v) as f64).collect();
+        let grand = values.iter().sum::<f64>() / values.len() as f64;
+        let b = batch_means(&values, 20);
+        assert_eq!(b.batch_means.len(), 20);
+        assert!(
+            (b.overall.mean - grand).abs() < 1e-9,
+            "batched mean {} != grand mean {grand}",
+            b.overall.mean
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | [`arch`] | `sli-arch` | the ES/RDB, ES/RBES and Clients/RAS testbeds |
 //! | [`trade`] | `sli-trade` | the Trade2 brokerage benchmark |
 //! | [`workload`] | `sli-workload` | measurement statistics and regression |
+//! | [`telemetry`] | `sli-telemetry` | metrics registry, commit-span tracing, run reports |
 //!
 //! ## Example
 //!
@@ -37,5 +38,6 @@ pub use sli_component as component;
 pub use sli_core as core;
 pub use sli_datastore as datastore;
 pub use sli_simnet as simnet;
+pub use sli_telemetry as telemetry;
 pub use sli_trade as trade;
 pub use sli_workload as workload;

@@ -232,3 +232,59 @@ fn session_cookie_lifecycle_matches_http_sessions() {
     });
     assert_eq!(tb.edges[0].server.session_count(), 0);
 }
+
+/// Every architecture yields a schema-valid [`ArchReport`] row after a
+/// short measured run, and the per-architecture telemetry tells the
+/// paper's story: only the cached flavors have a cache to hit, and the
+/// report's percentiles rise with the injected delay.
+#[test]
+fn every_architecture_emits_a_valid_run_report() {
+    use sli_edge::arch::collect_report;
+    use sli_edge::telemetry::{validate_run_report, RunReport};
+
+    let mut run = RunReport::new("architectures integration smoke");
+    for arch in all_architectures() {
+        let tb = Testbed::build(arch, TestbedConfig::default());
+        tb.set_delay(SimDuration::from_millis(15));
+        let mut generator = SessionGenerator::new(41, Population::default());
+        let mut client = VirtualClient::new(&tb, 0);
+        // Warm up, then measure a clean telemetry window.
+        for _ in 0..3 {
+            client.run_session(&generator.session());
+        }
+        tb.reset_telemetry();
+        let mut latencies = Vec::new();
+        let mut failed = 0u64;
+        for _ in 0..5 {
+            for outcome in client.run_session(&generator.session()) {
+                latencies.push(outcome.latency.as_millis_f64());
+                if outcome.status != 200 {
+                    failed += 1;
+                }
+            }
+        }
+        let report = collect_report(&tb, SimDuration::from_millis(15), &latencies, failed);
+        assert_eq!(report.interactions, 5 * 11, "{arch:?}");
+        assert_eq!(report.failed, 0, "{arch:?}");
+        assert!(report.p50_ms > 0.0, "{arch:?}");
+        assert!(report.p99_ms >= report.p50_ms, "{arch:?}");
+        assert_eq!(report.status.get("200"), Some(&55), "{arch:?}");
+        match arch.flavor() {
+            Flavor::CachedEjb => assert!(report.hit_ratio > 0.0, "{arch:?} should hit its cache"),
+            _ => assert_eq!(report.hit_ratio, 0.0, "{arch:?} has no cache"),
+        }
+        run.entries.push(report);
+    }
+    assert_eq!(run.entries.len(), 7);
+    let json = run.to_json();
+    validate_run_report(&json).expect("all seven rows validate");
+    // The rendered table carries one line per architecture row.
+    let text = run.render_text();
+    for arch in all_architectures() {
+        assert!(
+            text.contains(arch.label()),
+            "{} missing from\n{text}",
+            arch.label()
+        );
+    }
+}

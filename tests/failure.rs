@@ -114,6 +114,17 @@ fn dropped_commit_response_debits_exactly_once() {
 
     assert_eq!(balance(&db), 60.0, "debit must be applied exactly once");
     assert_eq!(path.fault_stats().dropped_responses, 1);
+    // Telemetry agrees with the story: the lost response cost one timeout
+    // and one resend, and the back-end answered the resend from its
+    // completed-transaction table instead of re-applying.
+    let m = path.metrics();
+    assert!(m.rpc_timeouts.get() >= 1, "first attempt waited out");
+    assert!(m.rpc_retries.get() >= 1, "the commit was resent");
+    assert_eq!(
+        backend.stats().dedup_replays,
+        1,
+        "resend replayed, not re-applied"
+    );
     assert_eq!(db.lock_manager().lock_count(), 0);
 }
 
@@ -131,6 +142,11 @@ fn dropped_commit_request_is_retried_transparently() {
 
     assert_eq!(balance(&db), 75.0);
     assert_eq!(path.fault_stats().dropped_requests, 1);
+    // The first delivery never reached the back-end, so the retry is a
+    // first application, not a dedup replay.
+    assert!(path.metrics().rpc_retries.get() >= 1);
+    assert!(path.metrics().rpc_timeouts.get() >= 1);
+    assert_eq!(backend.stats().dedup_replays, 0);
     assert_eq!(db.lock_manager().lock_count(), 0);
 }
 
@@ -150,6 +166,10 @@ fn duplicated_commit_delivery_debits_exactly_once() {
 
     assert_eq!(balance(&db), 90.0, "duplicate delivery double-debited");
     assert_eq!(path.fault_stats().duplicates, 1);
+    // The duplicate copy hit the dedup table: exactly one replay, and no
+    // timeout/retry since the first response came back fine.
+    assert_eq!(backend.stats().dedup_replays, 1);
+    assert_eq!(path.metrics().rpc_retries.get(), 0);
     assert_eq!(db.lock_manager().lock_count(), 0);
 }
 
@@ -175,6 +195,10 @@ fn unavailability_outlasting_retries_aborts_cleanly() {
         "got {result:?}"
     );
     assert_eq!(balance(&db), 100.0, "failed commit must apply nothing");
+    assert!(
+        path.metrics().rpc_unavailable.get() >= 2,
+        "both attempts were refused"
+    );
     assert_eq!(db.lock_manager().lock_count(), 0);
     // The container survives: the cache was not poisoned and the next
     // transaction goes through.
@@ -214,6 +238,72 @@ fn seeded_fault_plan_gives_identical_schedules() {
     assert!(final_balance >= 90.0, "{final_balance}");
     let c = run(99);
     assert_ne!(a.1, c.1, "different seed should change the schedule");
+}
+
+/// A drop-response fault plan on the delayed path must surface in the
+/// testbed's registry as non-zero retry, timeout and dedup-replay counters:
+/// dropped commit responses force resends, and the back-end answers resends
+/// from its completed-transaction table.
+#[test]
+fn drop_response_plan_shows_up_in_retry_and_replay_counters() {
+    use sli_edge::arch::{Architecture, Testbed, TestbedConfig, VirtualClient};
+    use sli_edge::telemetry::MetricValue;
+    use sli_edge::trade::seed::Population;
+    use sli_edge::trade::session::SessionGenerator;
+
+    let tb = Testbed::build(Architecture::EsRbes, TestbedConfig::default());
+    tb.set_faults(FaultPlan {
+        seed: 7,
+        drop_response_per_mille: 300,
+        ..FaultPlan::NONE
+    });
+    let mut generator = SessionGenerator::new(7, Population::default());
+    let mut client = VirtualClient::new(&tb, 0);
+    for _ in 0..30 {
+        let session = generator.session();
+        client.run_session(&session);
+    }
+
+    let snapshot = tb.telemetry().snapshot();
+    let counter = |name: &str| match snapshot.get(name) {
+        Some(MetricValue::Counter(n)) => *n,
+        other => panic!("expected counter {name}, got {other:?}"),
+    };
+    assert!(counter("simnet.path.edge-backend-1.rpc_retries") > 0);
+    assert!(counter("simnet.path.edge-backend-1.rpc_timeouts") > 0);
+    assert!(
+        counter("backend.commit.dedup_replays") > 0,
+        "a dropped commit response must be answered from the dedup table on resend"
+    );
+    assert!(
+        tb.commit_trace().count(Some("commit.replay"), None) > 0,
+        "replays leave spans in the commit trace"
+    );
+}
+
+/// When the shared site refuses service for longer than the transport's
+/// retry budget, the servlet degrades to 503 — and both the RPC layer and
+/// the servlet metrics record it.
+#[test]
+fn unavailable_shared_site_counts_503s_at_the_servlet() {
+    use sli_edge::arch::{Architecture, Testbed, TestbedConfig, VirtualClient};
+    use sli_edge::telemetry::MetricValue;
+    use sli_edge::trade::TradeAction;
+
+    let tb = Testbed::build(Architecture::EsRbes, TestbedConfig::default());
+    tb.delayed_path(0)
+        .script_faults(std::iter::repeat_n(Some(Fault::Unavailable), 64));
+    let mut client = VirtualClient::new(&tb, 0);
+    let outcome = client.perform(&TradeAction::Home {
+        user: "uid:0".into(),
+    });
+    assert_eq!(outcome.status, 503);
+    assert_eq!(tb.edges[0].server.metrics().status(503), 1);
+    assert!(tb.delayed_path(0).metrics().rpc_unavailable.get() >= 1);
+    assert!(matches!(
+        tb.telemetry().snapshot().get("servlet.edge-1.status.503"),
+        Some(MetricValue::Counter(1))
+    ));
 }
 
 #[test]
