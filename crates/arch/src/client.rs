@@ -1,6 +1,7 @@
 //! The virtual client: the paper's load-generator machine.
 
 use sli_simnet::{HttpRequest, HttpResponse, SimDuration};
+use sli_telemetry::SpanOutcome;
 use sli_trade::TradeAction;
 
 use crate::topology::Testbed;
@@ -54,8 +55,23 @@ impl<'t> VirtualClient<'t> {
         let request_bytes = raw_request.len();
 
         let clock = &self.testbed.clock;
+        let tracer = self.testbed.tracer();
         let start = clock.now();
+        // Root span of the causal trace: its [start, end) window is exactly
+        // the latency the client measures, so a trace's bucket decomposition
+        // sums back to the per-request virtual latency.
+        let root = tracer.begin("request");
+        let crossing = tracer.begin("net.client.request");
+        let crossing_start = clock.now().as_micros();
         node.client_path.request(request_bytes);
+        tracer.finish(
+            crossing,
+            self.edge as u32 + 1,
+            0,
+            crossing_start,
+            clock.now().as_micros(),
+            SpanOutcome::Committed,
+        );
         // Any peer-invalidation messages whose crossing completed while this
         // request was in flight are picked off the wire first.
         node.deliver_due_invalidations();
@@ -63,9 +79,32 @@ impl<'t> VirtualClient<'t> {
         let resp = node.server.handle(&parsed);
         let raw_response = resp.encode();
         let response_bytes = raw_response.len();
+        let crossing = tracer.begin("net.client.respond");
+        let crossing_start = clock.now().as_micros();
         node.client_path.respond(response_bytes);
+        tracer.finish(
+            crossing,
+            self.edge as u32 + 1,
+            0,
+            crossing_start,
+            clock.now().as_micros(),
+            SpanOutcome::Committed,
+        );
         let resp = HttpResponse::parse(&raw_response).expect("server emits well-formed HTTP");
         let latency = clock.now() - start;
+        let root_outcome = match resp.status {
+            200 => SpanOutcome::Committed,
+            409 => SpanOutcome::Conflict,
+            _ => SpanOutcome::Error,
+        };
+        tracer.finish(
+            root,
+            self.edge as u32 + 1,
+            0,
+            start.as_micros(),
+            clock.now().as_micros(),
+            root_outcome,
+        );
 
         if let Some(cookie) = &resp.set_cookie {
             self.cookie = Some(cookie.clone());

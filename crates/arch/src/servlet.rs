@@ -11,7 +11,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use parking_lot::Mutex;
 use sli_simnet::{Clock, HttpRequest, HttpResponse, SimDuration};
-use sli_telemetry::{Counter, Histogram, HistogramSnapshot, Registry};
+use sli_telemetry::{Counter, Histogram, HistogramSnapshot, Registry, SpanOutcome, Tracer};
 use sli_trade::{page, TradeAction, TradeEngine, TradeResult};
 use std::sync::Arc;
 
@@ -32,6 +32,25 @@ impl Default for AppServerCost {
             per_request: SimDuration::from_micros(2_500),
             render_per_kib: SimDuration::from_micros(400),
         }
+    }
+}
+
+/// The `servlet.{action}` span op for a parsed (or unparsable) request.
+/// Span ops are `&'static str`, so the names are enumerated rather than
+/// formatted.
+fn servlet_op(action: Option<&TradeAction>) -> &'static str {
+    match action.map(TradeAction::name) {
+        Some("login") => "servlet.login",
+        Some("logout") => "servlet.logout",
+        Some("register") => "servlet.register",
+        Some("home") => "servlet.home",
+        Some("account") => "servlet.account",
+        Some("update") => "servlet.update",
+        Some("portfolio") => "servlet.portfolio",
+        Some("quote") => "servlet.quote",
+        Some("buy") => "servlet.buy",
+        Some("sell") => "servlet.sell",
+        _ => "servlet.invalid",
     }
 }
 
@@ -184,6 +203,9 @@ pub struct AppServer {
     retries: usize,
     /// Status counters and per-action latency histograms.
     metrics: ServletMetrics,
+    /// Optional causal tracer: each handled request gets a
+    /// `servlet.{action}` span under the caller's current context.
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl std::fmt::Debug for AppServer {
@@ -204,7 +226,16 @@ impl AppServer {
             sessions: Mutex::new(HashMap::new()),
             retries: 3,
             metrics: ServletMetrics::new(),
+            tracer: None,
         }
+    }
+
+    /// Enables causal tracing: every handled request records a
+    /// `servlet.{action}` span whose children are the engine's downstream
+    /// RPC, database and commit spans (shared `tracer` required).
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> AppServer {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// The server's HTTP metrics (status counts, per-action latency).
@@ -242,8 +273,21 @@ impl AppServer {
     pub fn handle(&self, req: &HttpRequest) -> HttpResponse {
         let start = self.clock.now();
         let action = parse_action(req);
+        let span = self
+            .tracer
+            .as_ref()
+            .map(|t| t.begin(servlet_op(action.as_ref())));
         let resp = self.respond(action.as_ref());
-        let elapsed_us = (self.clock.now() - start).as_micros();
+        let end_us = self.clock.now().as_micros();
+        if let (Some(t), Some(span)) = (&self.tracer, span) {
+            let outcome = match resp.status {
+                200 => SpanOutcome::Committed,
+                409 => SpanOutcome::Conflict,
+                _ => SpanOutcome::Error,
+            };
+            t.finish(span, 0, 0, start.as_micros(), end_us, outcome);
+        }
+        let elapsed_us = end_us - start.as_micros();
         self.metrics.record(
             resp.status,
             action.as_ref().map(TradeAction::name),

@@ -11,7 +11,7 @@ use sli_core::{
 use sli_datastore::server::{DbCostModel, DbServer, RemoteConnection};
 use sli_datastore::Database;
 use sli_simnet::{Clock, FaultPlan, Path, PathSpec, Remote, SimDuration};
-use sli_telemetry::{Registry, TraceLog};
+use sli_telemetry::{Registry, TraceLog, Tracer};
 use sli_trade::deploy;
 use sli_trade::model::trade_registry;
 use sli_trade::seed::{create_and_seed, Population};
@@ -155,8 +155,12 @@ pub struct Testbed {
     arch: Architecture,
     /// Every machine's metrics, attached under stable hierarchical names.
     telemetry: Arc<Registry>,
-    /// Commit-protocol span log (validate/apply, replays, fan-out).
+    /// Span log every machine records into (requests, RPCs, statements,
+    /// commits), shared through [`Testbed::tracer`].
     commit_trace: Arc<TraceLog>,
+    /// The causal tracer all machines share: one trace per client request,
+    /// spans nested through RPC, database and commit layers.
+    tracer: Arc<Tracer>,
     /// The shared back-end server (ES/RBES only).
     backend: Option<Arc<BackendServer>>,
 }
@@ -195,8 +199,12 @@ impl Testbed {
         create_and_seed(&db, config.population).expect("fresh database seeds cleanly");
         let db_server = DbServer::new(Arc::clone(&db), Arc::clone(&clock), DbCostModel::default());
         let telemetry = Arc::new(Registry::new());
-        let commit_trace = Arc::new(TraceLog::new());
+        // A measurement point at quick config already produces tens of
+        // thousands of spans; size the log so nothing is evicted mid-run.
+        let commit_trace = Arc::new(TraceLog::with_capacity(1 << 18));
+        let tracer = Arc::new(Tracer::new(Arc::clone(&commit_trace)));
         db_server.metrics().register_with(&telemetry, "db.stmt");
+        db_server.set_tracer(Arc::clone(&tracer));
 
         let mut edges = Vec::with_capacity(config.edges);
 
@@ -208,10 +216,13 @@ impl Testbed {
                 &telemetry,
                 &format!("simnet.path.{}", backend_db_path.name()),
             );
-            let conn = RemoteConnection::open(Remote::new(backend_db_path, Arc::clone(&db_server)))
-                .expect("backend connects to fresh db");
+            let conn = RemoteConnection::open(
+                Remote::new(backend_db_path, Arc::clone(&db_server))
+                    .with_tracer(Arc::clone(&tracer)),
+            )
+            .expect("backend connects to fresh db");
             let backend = BackendServer::new(Box::new(conn), trade_registry(), Arc::clone(&clock));
-            backend.set_trace(Arc::clone(&commit_trace));
+            backend.set_tracer(Arc::clone(&tracer));
             backend.register_with(&telemetry, "backend.commit");
             Some(backend)
         } else {
@@ -237,10 +248,10 @@ impl Testbed {
             let mut invalidation_path = None;
             let (engine, store, rm): WiredEngine = match arch.flavor() {
                 Flavor::Jdbc => {
-                    let conn = RemoteConnection::open(Remote::new(
-                        Arc::clone(&shared_path),
-                        Arc::clone(&db_server),
-                    ))
+                    let conn = RemoteConnection::open(
+                        Remote::new(Arc::clone(&shared_path), Arc::clone(&db_server))
+                            .with_tracer(Arc::clone(&tracer)),
+                    )
                     .expect("edge connects to fresh db");
                     (
                         Box::new(JdbcTradeEngine::new(share_connection(conn), holding_base)),
@@ -249,10 +260,10 @@ impl Testbed {
                     )
                 }
                 Flavor::VanillaEjb => {
-                    let conn = RemoteConnection::open(Remote::new(
-                        Arc::clone(&shared_path),
-                        Arc::clone(&db_server),
-                    ))
+                    let conn = RemoteConnection::open(
+                        Remote::new(Arc::clone(&shared_path), Arc::clone(&db_server))
+                            .with_tracer(Arc::clone(&tracer)),
+                    )
                     .expect("edge connects to fresh db");
                     let container = deploy::vanilla_container(share_connection(conn));
                     (
@@ -273,7 +284,8 @@ impl Testbed {
                         // Split-servers: fault and commit through the
                         // back-end across the shared path.
                         Some(backend) => {
-                            let remote = Remote::new(Arc::clone(&shared_path), Arc::clone(backend));
+                            let remote = Remote::new(Arc::clone(&shared_path), Arc::clone(backend))
+                                .with_tracer(Arc::clone(&tracer));
                             // Invalidations flow over a dedicated channel so
                             // they never block the request path — but they
                             // still take one (possibly delayed) crossing to
@@ -301,19 +313,19 @@ impl Testbed {
                         // Combined-servers: fault and commit straight
                         // against the (remote) database.
                         None => {
-                            let fetch_conn = RemoteConnection::open(Remote::new(
-                                Arc::clone(&shared_path),
-                                Arc::clone(&db_server),
-                            ))
+                            let fetch_conn = RemoteConnection::open(
+                                Remote::new(Arc::clone(&shared_path), Arc::clone(&db_server))
+                                    .with_tracer(Arc::clone(&tracer)),
+                            )
                             .expect("edge connects to fresh db");
-                            let commit_conn = RemoteConnection::open(Remote::new(
-                                Arc::clone(&shared_path),
-                                Arc::clone(&db_server),
-                            ))
+                            let commit_conn = RemoteConnection::open(
+                                Remote::new(Arc::clone(&shared_path), Arc::clone(&db_server))
+                                    .with_tracer(Arc::clone(&tracer)),
+                            )
                             .expect("edge connects to fresh db");
                             let committer =
                                 CombinedCommitter::new(Box::new(commit_conn), trade_registry())
-                                    .with_trace(Arc::clone(&commit_trace), Arc::clone(&clock));
+                                    .with_tracer(Arc::clone(&tracer), Arc::clone(&clock));
                             committer.register_with(&telemetry, &format!("committer.edge-{id}"));
                             (
                                 Arc::new(DirectSource::new(Box::new(fetch_conn), trade_registry())),
@@ -331,7 +343,9 @@ impl Testbed {
                 }
             };
 
-            let server = Arc::new(AppServer::new(engine, Arc::clone(&clock)));
+            let server = Arc::new(
+                AppServer::new(engine, Arc::clone(&clock)).with_tracer(Arc::clone(&tracer)),
+            );
             server
                 .metrics()
                 .register_with(&telemetry, &format!("servlet.edge-{id}"));
@@ -366,6 +380,7 @@ impl Testbed {
             arch,
             telemetry,
             commit_trace,
+            tracer,
             backend,
         }
     }
@@ -384,10 +399,16 @@ impl Testbed {
         &self.telemetry
     }
 
-    /// The commit-protocol span log (`commit.validate_apply`,
-    /// `commit.replay`, `commit.invalidate` events with outcomes).
+    /// The shared span log: request roots, `servlet.*`, `rpc.*`/`net.*`,
+    /// `db.*`, `commit.*` and `occ.conflict` events, all carrying trace /
+    /// parent-span ids for tree reconstruction.
     pub fn commit_trace(&self) -> &Arc<TraceLog> {
         &self.commit_trace
+    }
+
+    /// The causal tracer every machine of this testbed records through.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// The shared ES/RBES back-end server, if this architecture has one.
@@ -607,6 +628,91 @@ mod tests {
         });
         assert_eq!(o.status, 200);
         assert!(!tb.commit_trace().is_empty());
+    }
+
+    #[test]
+    fn trace_bucket_sums_equal_measured_latency_everywhere() {
+        use sli_telemetry::{critical_path, Bucket};
+        for arch in all_architectures() {
+            let tb = Testbed::build(arch, TestbedConfig::default());
+            tb.set_delay(SimDuration::from_millis(10));
+            // Drop build-time connection-handshake traces; measure fresh.
+            tb.reset_telemetry();
+            let mut client = VirtualClient::new(&tb, 0);
+            let mut measured_us = 0u64;
+            let actions = [
+                TradeAction::Home {
+                    user: "uid:0".into(),
+                },
+                TradeAction::Quote {
+                    symbol: "s:1".into(),
+                },
+                TradeAction::Buy {
+                    user: "uid:0".into(),
+                    symbol: "s:1".into(),
+                    quantity: 2.0,
+                },
+            ];
+            for action in &actions {
+                let o = client.perform(action);
+                assert_eq!(o.status, 200, "{arch:?}");
+                measured_us += o.latency.as_micros();
+            }
+            let breakdown = critical_path(&tb.commit_trace().events());
+            assert_eq!(breakdown.traces, actions.len() as u64, "{arch:?}");
+            assert_eq!(
+                breakdown.total_us, measured_us,
+                "{arch:?}: root spans must cover the measured latency"
+            );
+            assert_eq!(
+                breakdown.sum_us(),
+                breakdown.total_us,
+                "{arch:?}: buckets must decompose the total exactly"
+            );
+            assert!(
+                breakdown.bucket_us(Bucket::Network) > 0,
+                "{arch:?}: a 10ms proxy delay must surface as network time"
+            );
+            assert!(
+                breakdown.bucket_us(Bucket::Statement) > 0,
+                "{arch:?}: statements execute somewhere in every request"
+            );
+        }
+    }
+
+    #[test]
+    fn occ_aborts_attribute_a_concrete_entity() {
+        use sli_telemetry::conflict_leaderboard;
+        // Two combined-servers edges with independent caches and no
+        // invalidation channel: edge 2's image of uid:0 goes stale the
+        // moment edge 1 commits a buy, so edge 2's next buy must abort
+        // (and be transparently retried by its servlet).
+        let tb = Testbed::build(
+            Architecture::EsRdb(Flavor::CachedEjb),
+            TestbedConfig {
+                edges: 2,
+                ..TestbedConfig::default()
+            },
+        );
+        let mut c1 = VirtualClient::new(&tb, 0);
+        let mut c2 = VirtualClient::new(&tb, 1);
+        let home = |user: &str| TradeAction::Home { user: user.into() };
+        let buy = |user: &str| TradeAction::Buy {
+            user: user.into(),
+            symbol: "s:1".into(),
+            quantity: 1.0,
+        };
+        assert_eq!(c1.perform(&home("uid:0")).status, 200);
+        assert_eq!(c2.perform(&home("uid:0")).status, 200);
+        assert_eq!(c1.perform(&buy("uid:0")).status, 200);
+        assert_eq!(c2.perform(&buy("uid:0")).status, 200);
+        let events = tb.commit_trace().events();
+        let board = conflict_leaderboard(&events);
+        assert!(!board.is_empty(), "stale cache must produce an OCC abort");
+        assert!(
+            board.iter().any(|e| e.entity.starts_with("Account[")),
+            "the contended account must appear on the leaderboard: {board:?}"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use sli_arch::{Architecture, Flavor, Testbed, TestbedConfig, VirtualClient};
 use sli_simnet::SimDuration;
+use sli_telemetry::{conflict_leaderboard, SpanEvent};
 use sli_trade::seed::Population;
 use sli_trade::session::SessionGenerator;
 use sli_workload::TextTable;
@@ -22,6 +23,7 @@ struct ContentionPoint {
     conflicts: u64,
     invalidations: u64,
     failed_interactions: u64,
+    conflict_events: Vec<SpanEvent>,
 }
 
 fn run(
@@ -53,6 +55,7 @@ fn run(
         .collect();
 
     let mut failed = 0u64;
+    let mut conflict_events = Vec::new();
     // Interleave at the interaction level so edges genuinely race on the
     // same beans between each other's commits.
     for _ in 0..sessions_per_edge {
@@ -68,6 +71,11 @@ fn run(
                 }
             }
         }
+        // Drain the bounded trace log each round, keeping only the OCC
+        // abort forensics the leaderboard is built from.
+        let events = testbed.commit_trace().events();
+        conflict_events.extend(events.into_iter().filter(|e| e.conflict().is_some()));
+        testbed.commit_trace().clear();
     }
 
     let mut commits = 0;
@@ -85,6 +93,7 @@ fn run(
         conflicts,
         invalidations,
         failed_interactions: failed,
+        conflict_events,
     }
 }
 
@@ -116,6 +125,7 @@ fn main() {
             "invalidations",
             "failed interactions",
         ]);
+        let mut conflict_events = Vec::new();
         for edges in [1usize, 2, 4, 8] {
             let p = run(arch, edges, 5, 40);
             let rate = p.conflicts as f64 / (p.commits + p.conflicts).max(1) as f64;
@@ -127,8 +137,30 @@ fn main() {
                 p.invalidations.to_string(),
                 p.failed_interactions.to_string(),
             ]);
+            conflict_events.extend(p.conflict_events);
         }
         println!("{}{note}\n", table.render());
+
+        // OCC abort forensics: which concrete entities the aborts blamed.
+        let leaderboard = conflict_leaderboard(&conflict_events);
+        if leaderboard.is_empty() {
+            println!("No OCC aborts to attribute for this architecture.\n");
+        } else {
+            println!("Conflict leaderboard (hottest entities across all edge counts):");
+            let mut hot = TextTable::new(&["entity", "aborts", "diverging fields"]);
+            for row in leaderboard.iter().take(8) {
+                hot.row(vec![
+                    row.entity.clone(),
+                    row.conflicts.to_string(),
+                    if row.fields.is_empty() {
+                        "(blind write)".to_owned()
+                    } else {
+                        row.fields.join(", ")
+                    },
+                ]);
+            }
+            println!("{}\n", hot.render());
+        }
     }
     println!(
         "Note: the invalidations column also counts self-invalidations from removes\n\

@@ -18,7 +18,10 @@
 //! non-zero if the report fails schema validation.
 
 use sli_arch::{Architecture, Flavor};
-use sli_bench::{sensitivity, sweep_detailed, RunConfig, PAPER_DELAYS_MS};
+use sli_bench::{
+    breakdown_table, combined_sample, sensitivity, sweep_traced, write_trace_json, RunConfig,
+    PAPER_DELAYS_MS,
+};
 use sli_telemetry::{validate_run_report, RunReport};
 use sli_workload::{Csv, TextTable};
 
@@ -55,11 +58,13 @@ fn main() {
     ]);
 
     let mut report = RunReport::new("Figure 6: Comparison of High-Latency Architectures");
+    let mut harvests = Vec::new();
     let results: Vec<_> = series
         .iter()
-        .map(|(_, arch)| {
-            let (points, rows) = sweep_detailed(*arch, delays, cfg);
+        .map(|(name, arch)| {
+            let (points, rows, harvest) = sweep_traced(*arch, delays, cfg);
             report.entries.extend(rows);
+            harvests.push(((*name).to_owned(), harvest));
             points
         })
         .collect();
@@ -89,6 +94,22 @@ fn main() {
         "Paper's qualitative result: Clients/RAS lowest latency (slope 2.0); ES/RBES \
          close behind (3.1); ES/RDB far more sensitive (9.4 for its best algorithm)."
     );
+
+    println!("\nCritical-path latency breakdown (mean per request, across the sweep):");
+    let rows: Vec<_> = harvests
+        .iter()
+        .map(|(name, h)| (name.clone(), h.breakdown.clone()))
+        .collect();
+    println!("{}", breakdown_table(&rows));
+    let sample = combined_sample(&harvests);
+    match write_trace_json(env!("CARGO_BIN_NAME"), &sample) {
+        Ok(path) => println!("(span sample written to {path}; open it at ui.perfetto.dev)"),
+        Err(e) => {
+            eprintln!("error: trace export failed validation: {e}");
+            std::process::exit(1);
+        }
+    }
+
     println!("\nCSV:\n{}", csv.render());
     if std::fs::create_dir_all("results").is_ok() {
         let _ = std::fs::write(

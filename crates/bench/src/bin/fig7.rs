@@ -3,16 +3,26 @@
 //! one-way delay for the three data-access algorithms (JDBC, vanilla EJBs,
 //! cached EJBs).
 //!
-//! Run with `cargo run --release -p sli-bench --bin fig7`. Also emits a
-//! structured run report (`results/fig7.report.json`).
+//! Run with `cargo run --release -p sli-bench --bin fig7`. Pass `--smoke`
+//! for a scaled-down run (CI uses it). Also emits a structured run report
+//! (`results/fig7.report.json`).
 
 use sli_arch::{Architecture, Flavor};
-use sli_bench::{sensitivity, sweep_detailed, RunConfig, PAPER_DELAYS_MS};
+use sli_bench::{
+    breakdown_table, combined_sample, sensitivity, sweep_traced, write_trace_json, RunConfig,
+    PAPER_DELAYS_MS,
+};
 use sli_telemetry::{validate_run_report, RunReport};
 use sli_workload::{Csv, TextTable};
 
 fn main() {
-    let cfg = RunConfig::default();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        RunConfig::quick()
+    } else {
+        RunConfig::default()
+    };
+    let delays: &[u64] = if smoke { &[0, 40] } else { PAPER_DELAYS_MS };
     let series = [
         ("JDBC", Architecture::EsRdb(Flavor::Jdbc)),
         ("Vanilla EJBs", Architecture::EsRdb(Flavor::VanillaEjb)),
@@ -23,18 +33,20 @@ fn main() {
     println!("(latency vs one-way delay for the three data-access algorithms)\n");
 
     let mut report = RunReport::new("Figure 7: Edge-Servers Accessing Remote Database");
+    let mut harvests = Vec::new();
     let results: Vec<_> = series
         .iter()
-        .map(|(_, arch)| {
-            let (points, rows) = sweep_detailed(*arch, PAPER_DELAYS_MS, cfg);
+        .map(|(name, arch)| {
+            let (points, rows, harvest) = sweep_traced(*arch, delays, cfg);
             report.entries.extend(rows);
+            harvests.push(((*name).to_owned(), harvest));
             points
         })
         .collect();
 
     let mut table = TextTable::new(&["one-way delay (ms)", "JDBC", "Vanilla EJBs", "Cached EJBs"]);
     let mut csv = Csv::new(&["delay_ms", "jdbc_ms", "vanilla_ejb_ms", "cached_ejb_ms"]);
-    for (i, delay) in PAPER_DELAYS_MS.iter().enumerate() {
+    for (i, delay) in delays.iter().enumerate() {
         let cells: Vec<String> = std::iter::once(delay.to_string())
             .chain(results.iter().map(|r| format!("{:.1}", r[i].latency_ms)))
             .collect();
@@ -61,6 +73,22 @@ fn main() {
          hand-crafted JDBC implementation is the least sensitive (9.4) because the tooled \
          EJB implementations pay finder/commit round trips JDBC avoids."
     );
+
+    println!("\nCritical-path latency breakdown (mean per request, across the sweep):");
+    let rows: Vec<_> = harvests
+        .iter()
+        .map(|(name, h)| (name.clone(), h.breakdown.clone()))
+        .collect();
+    println!("{}", breakdown_table(&rows));
+    let sample = combined_sample(&harvests);
+    match write_trace_json(env!("CARGO_BIN_NAME"), &sample) {
+        Ok(path) => println!("(span sample written to {path}; open it at ui.perfetto.dev)"),
+        Err(e) => {
+            eprintln!("error: trace export failed validation: {e}");
+            std::process::exit(1);
+        }
+    }
+
     println!("\nCSV:\n{}", csv.render());
     if std::fs::create_dir_all("results").is_ok() {
         let _ = std::fs::write(

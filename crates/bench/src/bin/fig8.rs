@@ -5,17 +5,23 @@
 //! Paper's measured values: Clients/RAS > 7000 bytes, ES/RBES ≈ 3000,
 //! ES/RDB ≈ 2000.
 //!
-//! Run with `cargo run --release -p sli-bench --bin fig8`. Also emits a
-//! structured run report (`results/fig8.report.json`).
+//! Run with `cargo run --release -p sli-bench --bin fig8`. Pass `--smoke`
+//! for a scaled-down run (CI uses it). Also emits a structured run report
+//! (`results/fig8.report.json`).
 
 use sli_arch::{Architecture, Flavor};
-use sli_bench::{run_point_detailed, RunConfig};
+use sli_bench::{breakdown_table, combined_sample, run_point_traced, write_trace_json, RunConfig};
 use sli_simnet::SimDuration;
 use sli_telemetry::{validate_run_report, RunReport};
 use sli_workload::{Csv, TextTable};
 
 fn main() {
-    let cfg = RunConfig::default();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        RunConfig::quick()
+    } else {
+        RunConfig::default()
+    };
     // Bandwidth per interaction is delay-independent; measure at the
     // middle of the sweep.
     let delay = SimDuration::from_millis(40);
@@ -51,9 +57,11 @@ fn main() {
         "round_trips_per_interaction",
     ]);
     let mut report = RunReport::new("Figure 8: Bandwidth to the shared site");
+    let mut harvests = Vec::new();
     for (name, arch, paper) in series {
-        let (p, row) = run_point_detailed(arch, delay, cfg);
+        let (p, row, harvest) = run_point_traced(arch, delay, cfg);
         report.entries.push(row);
+        harvests.push((name.to_owned(), harvest));
         table.row(vec![
             name.to_owned(),
             format!("{:.0}", p.shared_bytes_per_interaction),
@@ -73,6 +81,22 @@ fn main() {
          between clients and edge servers; Clients/RAS must ship every rendered page over \
          the provisioned back-end connection."
     );
+
+    println!("\nCritical-path latency breakdown (mean per request at 40 ms one-way):");
+    let rows: Vec<_> = harvests
+        .iter()
+        .map(|(name, h)| (name.clone(), h.breakdown.clone()))
+        .collect();
+    println!("{}", breakdown_table(&rows));
+    let sample = combined_sample(&harvests);
+    match write_trace_json(env!("CARGO_BIN_NAME"), &sample) {
+        Ok(path) => println!("(span sample written to {path}; open it at ui.perfetto.dev)"),
+        Err(e) => {
+            eprintln!("error: trace export failed validation: {e}");
+            std::process::exit(1);
+        }
+    }
+
     println!("\nCSV:\n{}", csv.render());
     if std::fs::create_dir_all("results").is_ok() {
         let _ = std::fs::write(

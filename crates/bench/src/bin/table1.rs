@@ -3,13 +3,15 @@
 //! activity (C/R/U/D), measured by running the action against a live,
 //! seeded datastore and reading the engine's statement trace.
 //!
-//! Run with `cargo run -p sli-bench --bin table1`. Also emits a companion
-//! structured run report (`results/table1.report.json`) from a quick
-//! vanilla-EJB measurement run, so the table ships the same telemetry the
-//! figure binaries do.
+//! Run with `cargo run -p sli-bench --bin table1`. The `--smoke` flag is
+//! accepted for CI symmetry with the figure binaries (the companion run is
+//! already quick). Also emits a companion structured run report
+//! (`results/table1.report.json`) and span sample
+//! (`results/table1.trace.json`) from a quick vanilla-EJB measurement run,
+//! so the table ships the same telemetry the figure binaries do.
 
 use sli_arch::{Architecture, Flavor};
-use sli_bench::{run_point_detailed, RunConfig};
+use sli_bench::{run_point_traced, write_trace_json, RunConfig};
 use sli_component::share_connection;
 use sli_datastore::Database;
 use sli_simnet::SimDuration;
@@ -178,7 +180,7 @@ fn main() {
 
     // Companion telemetry: one quick vanilla-EJB measurement over the wire
     // topology, reported in the same structured format as the figures.
-    let (_, row) = run_point_detailed(
+    let (_, row, harvest) = run_point_traced(
         Architecture::EsRdb(Flavor::VanillaEjb),
         SimDuration::ZERO,
         RunConfig::quick(),
@@ -186,6 +188,13 @@ fn main() {
     let mut report = RunReport::new("Table 1 companion: ES/RDB (Vanilla EJBs), quick run");
     report.entries.push(row);
     println!("\n{}", report.render_text());
+    match write_trace_json(env!("CARGO_BIN_NAME"), &harvest.sample_events) {
+        Ok(path) => println!("(span sample written to {path}; open it at ui.perfetto.dev)"),
+        Err(e) => {
+            eprintln!("error: trace export failed validation: {e}");
+            std::process::exit(1);
+        }
+    }
     let json = report.to_json();
     if let Err(e) = validate_run_report(&json) {
         eprintln!("error: run report failed schema validation: {e}");

@@ -4,41 +4,90 @@
 //! (the split-servers configuration), so its JDBC/vanilla cells are N/A, as
 //! in the paper.
 //!
-//! Run with `cargo run --release -p sli-bench --bin table2`. Also emits a
-//! structured run report (`results/table2.report.json`) with one row per
-//! architecture × algorithm × delay.
+//! Run with `cargo run --release -p sli-bench --bin table2`. Pass `--smoke`
+//! for a scaled-down run (CI uses it). Also emits a structured run report
+//! (`results/table2.report.json`) with one row per architecture ×
+//! algorithm × delay.
 
 use sli_arch::{Architecture, Flavor};
-use sli_bench::{sensitivity, sweep_detailed, RunConfig, PAPER_DELAYS_MS};
+use sli_bench::{
+    breakdown_table, combined_sample, sensitivity, sweep_traced, write_trace_json, RunConfig,
+    TraceHarvest, PAPER_DELAYS_MS,
+};
 use sli_telemetry::{validate_run_report, RunReport};
 use sli_workload::{Csv, TextTable};
 
-fn slope(arch: Architecture, cfg: RunConfig, report: &mut RunReport) -> f64 {
-    let (points, rows) = sweep_detailed(arch, PAPER_DELAYS_MS, cfg);
+fn slope(
+    arch: Architecture,
+    name: &str,
+    delays: &[u64],
+    cfg: RunConfig,
+    report: &mut RunReport,
+    harvests: &mut Vec<(String, TraceHarvest)>,
+) -> f64 {
+    let (points, rows, harvest) = sweep_traced(arch, delays, cfg);
     report.entries.extend(rows);
+    harvests.push((name.to_owned(), harvest));
     sensitivity(&points).expect("multi-delay sweep").slope
 }
 
 fn main() {
-    let cfg = RunConfig::default();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        RunConfig::quick()
+    } else {
+        RunConfig::default()
+    };
+    let delays: &[u64] = if smoke { &[0, 40, 80] } else { PAPER_DELAYS_MS };
     println!("Table 2: Algorithm Sensitivity to Communication Latency");
     println!("(slope of the linear latency-vs-delay fit; paper values in parentheses)\n");
 
     let mut report = RunReport::new("Table 2: Algorithm Sensitivity to Communication Latency");
-    let cached_rdb = slope(Architecture::EsRdb(Flavor::CachedEjb), cfg, &mut report);
-    let jdbc_rdb = slope(Architecture::EsRdb(Flavor::Jdbc), cfg, &mut report);
-    let vanilla_rdb = slope(Architecture::EsRdb(Flavor::VanillaEjb), cfg, &mut report);
-    let cached_rbes = slope(Architecture::EsRbes, cfg, &mut report);
-    let cached_ras = slope(
-        Architecture::ClientsRas(Flavor::CachedEjb),
-        cfg,
+    let mut harvests = Vec::new();
+    let run = |arch, name: &str, report: &mut RunReport, harvests: &mut Vec<_>| {
+        slope(arch, name, delays, cfg, report, harvests)
+    };
+    let cached_rdb = run(
+        Architecture::EsRdb(Flavor::CachedEjb),
+        "ES/RDB (Cached EJBs)",
         &mut report,
+        &mut harvests,
     );
-    let jdbc_ras = slope(Architecture::ClientsRas(Flavor::Jdbc), cfg, &mut report);
-    let vanilla_ras = slope(
-        Architecture::ClientsRas(Flavor::VanillaEjb),
-        cfg,
+    let jdbc_rdb = run(
+        Architecture::EsRdb(Flavor::Jdbc),
+        "ES/RDB (JDBC)",
         &mut report,
+        &mut harvests,
+    );
+    let vanilla_rdb = run(
+        Architecture::EsRdb(Flavor::VanillaEjb),
+        "ES/RDB (Vanilla EJBs)",
+        &mut report,
+        &mut harvests,
+    );
+    let cached_rbes = run(
+        Architecture::EsRbes,
+        "ES/RBES (Cached EJBs)",
+        &mut report,
+        &mut harvests,
+    );
+    let cached_ras = run(
+        Architecture::ClientsRas(Flavor::CachedEjb),
+        "Clients/RAS (Cached EJBs)",
+        &mut report,
+        &mut harvests,
+    );
+    let jdbc_ras = run(
+        Architecture::ClientsRas(Flavor::Jdbc),
+        "Clients/RAS (JDBC)",
+        &mut report,
+        &mut harvests,
+    );
+    let vanilla_ras = run(
+        Architecture::ClientsRas(Flavor::VanillaEjb),
+        "Clients/RAS (Vanilla EJBs)",
+        &mut report,
+        &mut harvests,
     );
 
     let mut table = TextTable::new(&["Algorithm", "ES/RDB", "ES/RBES", "Clients/RAS"]);
@@ -111,6 +160,21 @@ fn main() {
     println!("Shape checks vs the paper:");
     for (name, ok) in checks {
         println!("  [{}] {name}", if ok { "PASS" } else { "FAIL" });
+    }
+
+    println!("\nCritical-path latency breakdown (mean per request, across each sweep):");
+    let rows: Vec<_> = harvests
+        .iter()
+        .map(|(name, h)| (name.clone(), h.breakdown.clone()))
+        .collect();
+    println!("{}", breakdown_table(&rows));
+    let sample = combined_sample(&harvests);
+    match write_trace_json(env!("CARGO_BIN_NAME"), &sample) {
+        Ok(path) => println!("(span sample written to {path}; open it at ui.perfetto.dev)"),
+        Err(e) => {
+            eprintln!("error: trace export failed validation: {e}");
+            std::process::exit(1);
+        }
     }
 
     let json = report.to_json();

@@ -1,0 +1,58 @@
+//! CI gate for trace exports: re-parses every `results/*.trace.json` from
+//! its on-disk bytes and validates Chrome trace-event well-formedness —
+//! required fields present and every span's `ts + dur` contained within
+//! its parent's interval.
+//!
+//! Run with `cargo run -p sli-bench --bin tracecheck` after the figure and
+//! table binaries. Exits non-zero if no trace files exist or any fails.
+
+use sli_telemetry::{validate_chrome_trace, Json};
+
+fn main() {
+    let entries = match std::fs::read_dir("results") {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("error: cannot read results/: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".trace.json"))
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("error: no results/*.trace.json files to validate");
+        std::process::exit(1);
+    }
+
+    let mut failed = 0usize;
+    for path in &paths {
+        let outcome = std::fs::read_to_string(path)
+            .map_err(|e| format!("read: {e}"))
+            .and_then(|text| Json::parse(&text).map_err(|e| format!("parse: {e}")))
+            .and_then(|doc| {
+                validate_chrome_trace(&doc)?;
+                let spans = doc
+                    .get("traceEvents")
+                    .and_then(Json::as_arr)
+                    .map_or(0, <[Json]>::len);
+                Ok(spans)
+            });
+        match outcome {
+            Ok(spans) => println!("ok   {} ({spans} spans)", path.display()),
+            Err(e) => {
+                eprintln!("FAIL {}: {e}", path.display());
+                failed += 1;
+            }
+        }
+    }
+    println!("{} trace file(s) checked, {failed} failed", paths.len());
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

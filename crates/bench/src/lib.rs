@@ -20,10 +20,13 @@
 
 use sli_arch::{collect_report, Architecture, Testbed, TestbedConfig, VirtualClient};
 use sli_simnet::SimDuration;
-use sli_telemetry::ArchReport;
+use sli_telemetry::{
+    chrome_trace, conflict_leaderboard, critical_path, validate_chrome_trace, ArchReport,
+    Breakdown, Bucket, ConflictEntry, SpanEvent,
+};
 use sli_trade::seed::Population;
 use sli_trade::session::SessionGenerator;
-use sli_workload::{batch_means, fit, percentile, LinearFit};
+use sli_workload::{batch_means, fit, percentile, LinearFit, TextTable};
 
 /// Measurement-protocol parameters (§4.3 of the paper).
 #[derive(Debug, Clone, Copy)]
@@ -96,6 +99,50 @@ pub fn run_point(arch: Architecture, delay: SimDuration, cfg: RunConfig) -> Swee
     run_point_detailed(arch, delay, cfg).0
 }
 
+/// Trace data harvested from the measured phase of a run: the aggregated
+/// critical-path breakdown, every OCC-conflict forensics event, and a
+/// sampled window of raw span events suitable for Chrome-trace export.
+///
+/// The measurement loop drains the testbed's bounded [`TraceLog`] after
+/// every session, so no mid-measurement span is ever evicted and the
+/// breakdown covers *every* measured interaction even at the paper's full
+/// 300-session protocol.
+///
+/// [`TraceLog`]: sli_telemetry::TraceLog
+#[derive(Clone, Debug, Default)]
+pub struct TraceHarvest {
+    /// Critical-path decomposition aggregated over every measured request.
+    pub breakdown: Breakdown,
+    /// All conflict-forensics (`occ.conflict`) events observed while
+    /// measuring, across the whole run.
+    pub conflict_events: Vec<SpanEvent>,
+    /// Complete raw span events from the first few measured sessions —
+    /// a bounded, representative sample for the Chrome-trace export.
+    pub sample_events: Vec<SpanEvent>,
+}
+
+impl TraceHarvest {
+    /// Folds another harvest into this one. Breakdowns and conflicts
+    /// accumulate; the span sample keeps the first non-empty window so a
+    /// sweep's exported trace stays one readable file.
+    pub fn merge(&mut self, other: TraceHarvest) {
+        self.breakdown.merge(&other.breakdown);
+        self.conflict_events.extend(other.conflict_events);
+        if self.sample_events.is_empty() {
+            self.sample_events = other.sample_events;
+        }
+    }
+
+    /// Per-entity OCC abort leaderboard over the harvested conflicts,
+    /// hottest entity first.
+    pub fn leaderboard(&self) -> Vec<ConflictEntry> {
+        conflict_leaderboard(&self.conflict_events)
+    }
+}
+
+/// Measured sessions whose raw spans are kept as the Chrome-trace sample.
+const SAMPLE_SESSIONS: usize = 2;
+
 /// Like [`run_point`], but also returns the structured [`ArchReport`] row
 /// assembled from the testbed's telemetry (cache hit ratio, commit abort
 /// rate, RPC retry/timeout counts, latency percentiles, HTTP status mix).
@@ -107,6 +154,18 @@ pub fn run_point_detailed(
     delay: SimDuration,
     cfg: RunConfig,
 ) -> (SweepPoint, ArchReport) {
+    let (point, report, _) = run_point_traced(arch, delay, cfg);
+    (point, report)
+}
+
+/// Like [`run_point_detailed`], but additionally harvests the causal
+/// trace: the per-bucket critical-path [`Breakdown`] of every measured
+/// interaction, OCC abort forensics, and a Chrome-trace span sample.
+pub fn run_point_traced(
+    arch: Architecture,
+    delay: SimDuration,
+    cfg: RunConfig,
+) -> (SweepPoint, ArchReport, TraceHarvest) {
     let testbed = Testbed::build(
         arch,
         TestbedConfig {
@@ -138,7 +197,8 @@ pub fn run_point_detailed(
     let mut latencies = Vec::new();
     let mut ok = 0;
     let mut failed = 0;
-    for _ in 0..cfg.measured_sessions {
+    let mut harvest = TraceHarvest::default();
+    for s in 0..cfg.measured_sessions {
         let session = generator.session();
         for outcome in client.run_session(&session) {
             latencies.push(outcome.latency.as_millis_f64());
@@ -148,6 +208,19 @@ pub fn run_point_detailed(
                 failed += 1;
             }
         }
+        // Drain the bounded trace log every session: the breakdown and
+        // conflict forensics accumulate across the whole measured phase
+        // while the log itself never grows deep enough to evict a span
+        // from a trace still being decomposed.
+        let events = testbed.commit_trace().events();
+        harvest.breakdown.merge(&critical_path(&events));
+        harvest
+            .conflict_events
+            .extend(events.iter().filter(|e| e.conflict().is_some()).cloned());
+        if s < SAMPLE_SESSIONS {
+            harvest.sample_events.extend(events);
+        }
+        testbed.commit_trace().clear();
     }
 
     let report = collect_report(&testbed, delay, &latencies, failed as u64);
@@ -164,7 +237,7 @@ pub fn run_point_detailed(
         ok,
         failed,
     };
-    (point, report)
+    (point, report, harvest)
 }
 
 /// Sweeps the proxy delay (in milliseconds) for one architecture.
@@ -186,6 +259,83 @@ pub fn sweep_detailed(
         .iter()
         .map(|&d| run_point_detailed(arch, SimDuration::from_millis(d), cfg))
         .unzip()
+}
+
+/// Sweeps the proxy delay, returning the sweep points, one [`ArchReport`]
+/// row per delay, and the merged [`TraceHarvest`] of the whole sweep.
+pub fn sweep_traced(
+    arch: Architecture,
+    delays_ms: &[u64],
+    cfg: RunConfig,
+) -> (Vec<SweepPoint>, Vec<ArchReport>, TraceHarvest) {
+    let mut points = Vec::new();
+    let mut reports = Vec::new();
+    let mut harvest = TraceHarvest::default();
+    for &d in delays_ms {
+        let (p, r, h) = run_point_traced(arch, SimDuration::from_millis(d), cfg);
+        points.push(p);
+        reports.push(r);
+        harvest.merge(h);
+    }
+    (points, reports, harvest)
+}
+
+/// Renders the latency-breakdown table the figure/table binaries print:
+/// one row per series, with the mean per-request milliseconds and share
+/// attributed to each critical-path [`Bucket`].
+pub fn breakdown_table(rows: &[(String, Breakdown)]) -> String {
+    let mut header: Vec<&str> = vec!["series", "traces", "mean ms"];
+    header.extend(Bucket::ALL.iter().map(|b| b.label()));
+    let mut table = TextTable::new(&header);
+    for (name, b) in rows {
+        let mut cells = vec![
+            name.clone(),
+            b.traces.to_string(),
+            format!("{:.2}", b.mean_ms()),
+        ];
+        for bucket in Bucket::ALL {
+            let per_trace_ms = b.bucket_us(bucket) as f64 / b.traces.max(1) as f64 / 1000.0;
+            cells.push(format!(
+                "{per_trace_ms:.2} ms ({:.0}%)",
+                b.share(bucket) * 100.0
+            ));
+        }
+        table.row(cells);
+    }
+    table.render()
+}
+
+/// Combines per-series span samples into one exportable event list.
+///
+/// Every testbed's deterministic id counter starts from the same point, so
+/// samples from independently-built testbeds would collide on
+/// `(trace_id, span_id)`; each series' trace ids are shifted into their own
+/// namespace before concatenation.
+pub fn combined_sample(harvests: &[(String, TraceHarvest)]) -> Vec<SpanEvent> {
+    let mut out = Vec::new();
+    for (i, (_, h)) in harvests.iter().enumerate() {
+        let offset = (i as u64) << 32;
+        out.extend(h.sample_events.iter().cloned().map(|mut e| {
+            e.trace_id += offset;
+            e
+        }));
+    }
+    out
+}
+
+/// Exports `events` to `results/{name}.trace.json` as a Chrome trace-event
+/// document, validating its well-formedness (every span contained within
+/// its parent) before writing. Returns the path written.
+///
+/// # Errors
+/// Returns a description of the validation or I/O failure.
+pub fn write_trace_json(name: &str, events: &[SpanEvent]) -> Result<String, String> {
+    let doc = chrome_trace(events);
+    validate_chrome_trace(&doc)?;
+    let path = format!("results/{name}.trace.json");
+    std::fs::create_dir_all("results").map_err(|e| format!("create results/: {e}"))?;
+    std::fs::write(&path, doc.render()).map_err(|e| format!("write {path}: {e}"))?;
+    Ok(path)
 }
 
 /// The delay sweep of Figures 6 and 7: 0–100 ms one-way in 20 ms steps.
@@ -286,6 +436,39 @@ mod tests {
             "slope survives jitter: {}",
             f.slope
         );
+    }
+
+    #[test]
+    fn traced_run_decomposes_every_measured_interaction() {
+        let (point, report, harvest) = run_point_traced(
+            Architecture::EsRdb(Flavor::CachedEjb),
+            SimDuration::from_millis(20),
+            RunConfig::quick(),
+        );
+        // Per-session draining must not lose a single request trace: the
+        // breakdown covers exactly the measured interactions, and its
+        // bucket sums decompose the total without remainder.
+        assert_eq!(harvest.breakdown.traces, report.interactions);
+        assert_eq!(harvest.breakdown.traces as usize, point.ok + point.failed);
+        assert_eq!(harvest.breakdown.sum_us(), harvest.breakdown.total_us);
+        assert!(harvest.breakdown.bucket_us(Bucket::Network) > 0);
+        assert!(harvest.breakdown.bucket_us(Bucket::Statement) > 0);
+        // The sampled window round-trips through the Chrome-trace export.
+        assert!(!harvest.sample_events.is_empty());
+        let doc = chrome_trace(&harvest.sample_events);
+        validate_chrome_trace(&doc).expect("sampled spans export cleanly");
+
+        // Merging harvests accumulates breakdowns but keeps one sample.
+        let mut merged = TraceHarvest::default();
+        let sample_len = harvest.sample_events.len();
+        merged.merge(harvest.clone());
+        merged.merge(harvest.clone());
+        assert_eq!(merged.breakdown.traces, 2 * harvest.breakdown.traces);
+        assert_eq!(merged.sample_events.len(), sample_len);
+
+        let table = breakdown_table(&[("ES/RDB cached".to_owned(), harvest.breakdown)]);
+        assert!(table.contains("network-crossing"));
+        assert!(table.contains("statement-execution"));
     }
 
     #[test]

@@ -13,15 +13,15 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use sli_component::{EjbError, EjbResult, Memento};
 use sli_datastore::{Predicate, SqlConnection, Value};
-use sli_simnet::wire::{frame, protocol, unframe, DecodeError, Reader, Writer};
+use sli_simnet::wire::{frame, frame_traced, protocol, unframe, DecodeError, Reader, Writer};
 use sli_simnet::{CallError, Clock, Remote, Service, SimDuration};
 
-use sli_telemetry::{Registry, SpanOutcome, TraceLog};
+use sli_telemetry::{Registry, SpanOutcome, Tracer};
 
 use crate::commit::{CommitOutcome, CommitRequest};
 use crate::committer::{
-    fetch_current, span_outcome, validate_and_apply, CommitMetrics, CommitTracer, Committer,
-    CommitterStats, CompletedTxns, COMPLETED_TXN_CAPACITY,
+    fetch_current, span_outcome, validate_and_apply_forensic, CommitMetrics, CommitTracer,
+    Committer, CommitterStats, CompletedTxns, COMPLETED_TXN_CAPACITY,
 };
 use crate::registry::MetaRegistry;
 use crate::source::StateSource;
@@ -101,11 +101,14 @@ impl BackendServer {
         })
     }
 
-    /// Records one span per commit step into `trace`, timestamped from this
-    /// server's clock: `commit.validate_apply` / `commit.replay` for the
-    /// commit itself, plus `commit.invalidate` around the fan-out to peers.
-    pub fn set_trace(&self, trace: Arc<TraceLog>) {
-        *self.tracer.lock() = Some(CommitTracer::new(trace, Arc::clone(&self.clock)));
+    /// Records one span per commit step through `tracer`, timestamped from
+    /// this server's clock: `commit.validate_apply` / `commit.replay` for
+    /// the commit itself, `commit.invalidate` around the fan-out to peers,
+    /// and an `occ.conflict` forensics span when validation rejects a
+    /// request. Wire-dispatched work joins the caller's trace via the
+    /// frame-carried trace id.
+    pub fn set_tracer(&self, tracer: Arc<Tracer>) {
+        *self.tracer.lock() = Some(CommitTracer::new(tracer, Arc::clone(&self.clock)));
     }
 
     /// Attaches the commit counters to `registry` under `{prefix}.committed`,
@@ -143,35 +146,59 @@ impl BackendServer {
     /// Datastore failures; conflicts are an `Ok` outcome.
     pub fn commit(&self, request: &CommitRequest) -> EjbResult<CommitOutcome> {
         let tracer = self.tracer.lock().clone();
-        let start_us = tracer.as_ref().map(CommitTracer::now_us);
         if let Some(outcome) = self.completed.lock().lookup(request) {
+            let span = tracer
+                .as_ref()
+                .map(|t| (t.begin("commit.replay"), t.now_us()));
             self.clock.advance(self.cost.per_request);
             self.metrics.dedup_replays.inc();
-            if let (Some(t), Some(s)) = (&tracer, start_us) {
-                t.finish("commit.replay", request, s, SpanOutcome::Replayed);
+            if let (Some(t), Some((span, start_us))) = (&tracer, span) {
+                t.finish(span, request, start_us, SpanOutcome::Replayed);
             }
             return Ok(outcome);
         }
+        let span = tracer
+            .as_ref()
+            .map(|t| (t.begin("commit.validate_apply"), t.now_us()));
         self.clock.advance(
             self.cost
                 .per_image
                 .saturating_mul(request.entries.len() as u64),
         );
+        let mut forensics = None;
         let result = {
             let mut conn = self.conn.lock();
-            validate_and_apply(conn.as_mut(), &self.registry, request)
+            validate_and_apply_forensic(conn.as_mut(), &self.registry, request, &mut forensics)
         };
         if let Ok(outcome) = &result {
             self.completed.lock().record(request, outcome);
         }
         self.metrics.observe(&result);
-        if let (Some(t), Some(s)) = (&tracer, start_us) {
-            t.finish("commit.validate_apply", request, s, span_outcome(&result));
+        if let Some(t) = &tracer {
+            if let Some(info) = forensics {
+                t.record_conflict(request, info);
+            }
+            if let Some((span, start_us)) = span {
+                t.finish(span, request, start_us, span_outcome(&result));
+            }
         }
         if matches!(result, Ok(CommitOutcome::Committed)) && request.has_writes() {
-            let fan_out_start = tracer.as_ref().map(CommitTracer::now_us);
+            let span = tracer
+                .as_ref()
+                .map(|t| (t.begin("commit.invalidate"), t.now_us()));
+            // Stamp the fan-out frames with the commit's trace id so the
+            // (possibly deferred) delivery at each edge can re-join it.
+            let trace_id = tracer
+                .as_ref()
+                .map(CommitTracer::current_trace_id)
+                .unwrap_or(0);
             let written = request.written_keys();
-            let message = frame(protocol::BACKEND, 0, &encode_invalidations(&written));
+            let message = frame_traced(
+                protocol::BACKEND,
+                0,
+                trace_id,
+                &encode_invalidations(&written),
+            );
             let mut notified = 0usize;
             for (edge_id, send) in self.peers.lock().iter() {
                 if *edge_id != request.origin {
@@ -179,17 +206,42 @@ impl BackendServer {
                     notified += 1;
                 }
             }
-            if notified > 0 {
-                if let (Some(t), Some(s)) = (&tracer, fan_out_start) {
-                    t.finish("commit.invalidate", request, s, SpanOutcome::Committed);
+            if let (Some(t), Some((span, start_us))) = (&tracer, span) {
+                if notified > 0 {
+                    t.finish(span, request, start_us, SpanOutcome::Committed);
+                } else {
+                    t.cancel(span);
                 }
             }
         }
         result
     }
 
-    fn dispatch(&self, r: &mut Reader) -> EjbResult<Writer> {
+    fn dispatch(&self, r: &mut Reader, wire_trace_id: u64) -> EjbResult<Writer> {
         let op = r.get_u8().map_err(wire_err)?;
+        let tracer = self.tracer.lock().clone();
+        let span_op = match op {
+            OP_FETCH => "backend.fetch",
+            OP_QUERY => "backend.query",
+            OP_COMMIT => "backend.commit",
+            _ => "backend.op",
+        };
+        let span = tracer
+            .as_ref()
+            .map(|t| (t.begin_rpc_server(span_op, wire_trace_id), t.now_us()));
+        let result = self.run_op(op, r);
+        if let (Some(t), Some((span, start_us))) = (&tracer, span) {
+            let outcome = if result.is_ok() {
+                SpanOutcome::Committed
+            } else {
+                SpanOutcome::Error
+            };
+            t.finish_raw(span, start_us, outcome);
+        }
+        result
+    }
+
+    fn run_op(&self, op: u8, r: &mut Reader) -> EjbResult<Writer> {
         self.clock.advance(self.cost.per_request);
         let mut w = Writer::new();
         w.put_u8(STATUS_OK);
@@ -297,11 +349,16 @@ impl Service for BackendServer {
             Err(e) => return frame(protocol::BACKEND, 0, &encode_ejb_error(&wire_err(e))),
         };
         let mut r = Reader::new(payload);
-        let body = match self.dispatch(&mut r) {
+        let body = match self.dispatch(&mut r, header.trace_id) {
             Ok(w) => w.finish(),
             Err(e) => encode_ejb_error(&e),
         };
-        frame(protocol::BACKEND, header.correlation, &body)
+        frame_traced(
+            protocol::BACKEND,
+            header.correlation,
+            header.trace_id,
+            &body,
+        )
     }
 }
 
@@ -324,7 +381,12 @@ impl StateSource for BackendSource {
         let mut w = Writer::new();
         w.put_u8(OP_FETCH).put_str(bean);
         key.encode(&mut w);
-        let framed = frame(protocol::BACKEND, 0, &w.finish());
+        let framed = frame_traced(
+            protocol::BACKEND,
+            0,
+            self.remote.current_trace_id(),
+            &w.finish(),
+        );
         let resp = self.remote.call(framed).map_err(transport_err)?;
         let mut r = decode_response(resp)?;
         if r.get_bool().map_err(wire_err)? {
@@ -338,7 +400,12 @@ impl StateSource for BackendSource {
         let mut w = Writer::new();
         w.put_u8(OP_QUERY).put_str(bean);
         predicate.encode(&mut w);
-        let framed = frame(protocol::BACKEND, 0, &w.finish());
+        let framed = frame_traced(
+            protocol::BACKEND,
+            0,
+            self.remote.current_trace_id(),
+            &w.finish(),
+        );
         let resp = self.remote.call(framed).map_err(transport_err)?;
         let mut r = decode_response(resp)?;
         let n = r.get_u32().map_err(wire_err)? as usize;
@@ -374,7 +441,12 @@ impl Committer for SplitCommitter {
         let mut w = Writer::new();
         w.put_u8(OP_COMMIT);
         w.put_frame(&request.encode());
-        let framed = frame(protocol::BACKEND, 0, &w.finish());
+        let framed = frame_traced(
+            protocol::BACKEND,
+            0,
+            self.remote.current_trace_id(),
+            &w.finish(),
+        );
         // Retries resend identical bytes — same (origin, txn_id) — so the
         // backend's replay table keeps the commit idempotent.
         let resp = self.remote.call(framed).map_err(transport_err)?;
@@ -579,8 +651,8 @@ mod tests {
     #[test]
     fn backend_counts_commits_and_traces_invalidation_fan_out() {
         let (_db, clock, backend, _remote) = setup();
-        let trace = Arc::new(TraceLog::new());
-        backend.set_trace(Arc::clone(&trace));
+        let trace = Arc::new(sli_telemetry::TraceLog::new());
+        backend.set_tracer(Arc::new(Tracer::new(Arc::clone(&trace))));
         let telemetry = Registry::new();
         backend.register_with(&telemetry, "backend.commit");
         let store2 = CommonStore::new();

@@ -7,7 +7,7 @@ use parking_lot::Mutex;
 use sli_component::{EjbError, EjbResult, EntityMeta, Memento};
 use sli_datastore::{SqlConnection, Value};
 use sli_simnet::Clock;
-use sli_telemetry::{Counter, Registry, SpanEvent, SpanOutcome, TraceLog};
+use sli_telemetry::{ConflictInfo, Counter, OpenSpan, Registry, SpanDetail, SpanOutcome, Tracer};
 
 use crate::commit::{CommitOutcome, CommitRequest, EntryKind};
 use crate::registry::MetaRegistry;
@@ -135,24 +135,25 @@ pub(crate) fn span_outcome(result: &EjbResult<CommitOutcome>) -> SpanOutcome {
     }
 }
 
-/// A clock + trace-log pair for recording commit-protocol spans.
+/// A clock + [`Tracer`] pair for recording commit-protocol spans with
+/// causal trace context.
 #[derive(Clone)]
 pub(crate) struct CommitTracer {
-    trace: Arc<TraceLog>,
+    tracer: Arc<Tracer>,
     clock: Arc<Clock>,
 }
 
 impl std::fmt::Debug for CommitTracer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CommitTracer")
-            .field("events", &self.trace.len())
+            .field("events", &self.tracer.log().len())
             .finish_non_exhaustive()
     }
 }
 
 impl CommitTracer {
-    pub(crate) fn new(trace: Arc<TraceLog>, clock: Arc<Clock>) -> CommitTracer {
-        CommitTracer { trace, clock }
+    pub(crate) fn new(tracer: Arc<Tracer>, clock: Arc<Clock>) -> CommitTracer {
+        CommitTracer { tracer, clock }
     }
 
     /// Current simulated time, for span starts.
@@ -160,22 +161,117 @@ impl CommitTracer {
         self.clock.now().as_micros()
     }
 
-    /// Closes a span started at `start_us` and records it.
+    /// Opens a commit-protocol span as a child of the caller's current
+    /// trace context (the servlet/RPC span in a wired deployment).
+    pub(crate) fn begin(&self, op: &'static str) -> OpenSpan {
+        self.tracer.begin(op)
+    }
+
+    /// Opens a server-side span, preferring the in-process context and
+    /// falling back to the wire-carried `trace_id` for detached work.
+    pub(crate) fn begin_rpc_server(&self, op: &'static str, wire_trace_id: u64) -> OpenSpan {
+        self.tracer.begin_rpc_server(op, wire_trace_id)
+    }
+
+    /// The trace id of the currently open span, or 0 outside any trace.
+    pub(crate) fn current_trace_id(&self) -> u64 {
+        self.tracer.current().map(|c| c.trace_id).unwrap_or(0)
+    }
+
+    /// Abandons `span` without recording it (e.g. a fan-out that notified
+    /// nobody).
+    pub(crate) fn cancel(&self, span: OpenSpan) {
+        self.tracer.cancel(span);
+    }
+
+    /// Closes `span` without a commit request in hand (server dispatch
+    /// spans for fetch/query traffic).
+    pub(crate) fn finish_raw(&self, span: OpenSpan, start_us: u64, outcome: SpanOutcome) {
+        self.tracer
+            .finish(span, 0, 0, start_us, self.now_us(), outcome);
+    }
+
+    /// Closes `span`, stamping the request's origin and txn identity.
     pub(crate) fn finish(
         &self,
-        op: &'static str,
+        span: OpenSpan,
         request: &CommitRequest,
         start_us: u64,
         outcome: SpanOutcome,
     ) {
-        self.trace.record(SpanEvent {
-            op,
-            origin: request.origin,
-            txn_id: request.txn_id,
+        self.tracer.finish(
+            span,
+            request.origin,
+            request.txn_id,
             start_us,
-            end_us: self.now_us(),
+            self.now_us(),
             outcome,
-        });
+        );
+    }
+
+    /// Records a zero-duration `occ.conflict` forensics span under the
+    /// currently open commit span.
+    pub(crate) fn record_conflict(&self, request: &CommitRequest, info: ConflictInfo) {
+        let span = self.tracer.begin("occ.conflict");
+        let now = self.now_us();
+        self.tracer.finish_with(
+            span,
+            request.origin,
+            request.txn_id,
+            now,
+            now,
+            SpanOutcome::Conflict,
+            Some(SpanDetail::Conflict(info)),
+        );
+    }
+}
+
+/// FNV-1a digest over a memento's key and fields — a compact identity so
+/// abort forensics can say *which version* of a bean was expected vs found
+/// without shipping whole images around.
+pub(crate) fn memento_digest(m: &Memento) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut eat = |s: &str| {
+        for b in s.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+        hash ^= 0xff;
+        hash = hash.wrapping_mul(PRIME);
+    };
+    eat(m.bean());
+    eat(&m.primary_key().to_string());
+    for (name, value) in m.fields() {
+        eat(name);
+        eat(&value.to_string());
+    }
+    hash
+}
+
+/// Builds the forensic record for a validation failure: what before-image
+/// the transaction expected, what the store actually held, and (when both
+/// images are in hand) the first field whose value diverged.
+pub(crate) fn conflict_info(
+    entry: &crate::commit::CommitEntry,
+    expected: Option<&Memento>,
+    found: Option<&Memento>,
+) -> ConflictInfo {
+    let field = match (expected, found) {
+        (Some(before), Some(current)) => before
+            .fields()
+            .iter()
+            .find(|(name, value)| current.get(name) != Some(value))
+            .map(|(name, _)| name.clone()),
+        _ => None,
+    };
+    ConflictInfo {
+        bean: entry.bean.clone(),
+        key: entry.key.to_string(),
+        field,
+        expected_digest: expected.map(memento_digest).unwrap_or(0),
+        found_digest: found.map(memento_digest),
     }
 }
 
@@ -205,8 +301,19 @@ pub fn validate_and_apply(
     registry: &MetaRegistry,
     request: &CommitRequest,
 ) -> EjbResult<CommitOutcome> {
+    validate_and_apply_forensic(conn, registry, request, &mut None)
+}
+
+/// [`validate_and_apply`] with an out-parameter that receives the
+/// [`ConflictInfo`] forensics record when validation fails.
+pub(crate) fn validate_and_apply_forensic(
+    conn: &mut dyn SqlConnection,
+    registry: &MetaRegistry,
+    request: &CommitRequest,
+    forensics: &mut Option<ConflictInfo>,
+) -> EjbResult<CommitOutcome> {
     conn.begin()?;
-    let result = run_validation(conn, registry, request);
+    let result = run_validation(conn, registry, request, forensics);
     match result {
         Ok(CommitOutcome::Committed) => {
             conn.commit()?;
@@ -227,6 +334,7 @@ fn run_validation(
     conn: &mut dyn SqlConnection,
     registry: &MetaRegistry,
     request: &CommitRequest,
+    forensics: &mut Option<ConflictInfo>,
 ) -> EjbResult<CommitOutcome> {
     for entry in &request.entries {
         let meta = registry.meta(&entry.bean)?;
@@ -238,23 +346,27 @@ fn run_validation(
         match &entry.kind {
             EntryKind::Read { before } => {
                 if current.as_ref() != Some(before) {
+                    *forensics = Some(conflict_info(entry, Some(before), current.as_ref()));
                     return Ok(conflict());
                 }
             }
             EntryKind::Update { before, after } => {
                 if current.as_ref() != Some(before) {
+                    *forensics = Some(conflict_info(entry, Some(before), current.as_ref()));
                     return Ok(conflict());
                 }
                 conn.execute(&meta.update_sql(), &meta.update_params(after))?;
             }
             EntryKind::Create { after } => {
                 if current.is_some() {
+                    *forensics = Some(conflict_info(entry, None, current.as_ref()));
                     return Ok(conflict());
                 }
                 conn.execute(&meta.insert_sql(), &meta.insert_params(after))?;
             }
             EntryKind::Remove { before } => {
                 if current.as_ref() != Some(before) {
+                    *forensics = Some(conflict_info(entry, Some(before), current.as_ref()));
                     return Ok(conflict());
                 }
                 conn.execute(&meta.delete_sql(), std::slice::from_ref(&entry.key))?;
@@ -289,11 +401,24 @@ pub fn validate_and_apply_per_image(
     registry: &MetaRegistry,
     request: &CommitRequest,
 ) -> EjbResult<CommitOutcome> {
+    validate_and_apply_per_image_forensic(conn, registry, request, &mut None)
+}
+
+/// [`validate_and_apply_per_image`] with an out-parameter that receives the
+/// [`ConflictInfo`] forensics record when validation fails. Conditional
+/// writes detect a conflict from "0 rows affected" without ever seeing the
+/// winning image, so their records carry `found_digest: None`.
+pub(crate) fn validate_and_apply_per_image_forensic(
+    conn: &mut dyn SqlConnection,
+    registry: &MetaRegistry,
+    request: &CommitRequest,
+    forensics: &mut Option<ConflictInfo>,
+) -> EjbResult<CommitOutcome> {
     let single = request.entries.len() == 1;
     if !single {
         conn.begin()?;
     }
-    let result = run_per_image(conn, registry, request);
+    let result = run_per_image(conn, registry, request, forensics);
     if single {
         return result;
     }
@@ -317,6 +442,7 @@ fn run_per_image(
     conn: &mut dyn SqlConnection,
     registry: &MetaRegistry,
     request: &CommitRequest,
+    forensics: &mut Option<ConflictInfo>,
 ) -> EjbResult<CommitOutcome> {
     for entry in &request.entries {
         let meta = registry.meta(&entry.bean)?;
@@ -328,25 +454,31 @@ fn run_per_image(
             EntryKind::Read { before } => {
                 let current = fetch_current(conn, meta, &entry.key)?;
                 if current.as_ref() != Some(before) {
+                    *forensics = Some(conflict_info(entry, Some(before), current.as_ref()));
                     return Ok(conflict());
                 }
             }
             EntryKind::Update { before, after } => {
                 let (sql, params) = meta.conditional_update_sql(before, after);
                 if conn.execute(&sql, &params)?.affected_rows() == 0 {
+                    *forensics = Some(conflict_info(entry, Some(before), None));
                     return Ok(conflict());
                 }
             }
             EntryKind::Create { after } => {
                 match conn.execute(&meta.insert_sql(), &meta.insert_params(after)) {
                     Ok(_) => {}
-                    Err(sli_datastore::DbError::DuplicateKey(_)) => return Ok(conflict()),
+                    Err(sli_datastore::DbError::DuplicateKey(_)) => {
+                        *forensics = Some(conflict_info(entry, None, None));
+                        return Ok(conflict());
+                    }
                     Err(e) => return Err(e.into()),
                 }
             }
             EntryKind::Remove { before } => {
                 let (sql, params) = meta.conditional_delete_sql(before);
                 if conn.execute(&sql, &params)?.affected_rows() == 0 {
+                    *forensics = Some(conflict_info(entry, Some(before), None));
                     return Ok(conflict());
                 }
             }
@@ -412,11 +544,14 @@ impl CombinedCommitter {
         }
     }
 
-    /// Records one span per commit into `trace`, timestamped from `clock`
-    /// (`commit.validate_apply` for fresh requests, `commit.replay` for
-    /// deduplicated retries).
-    pub fn with_trace(mut self, trace: Arc<TraceLog>, clock: Arc<Clock>) -> CombinedCommitter {
-        self.tracer = Some(CommitTracer::new(trace, clock));
+    /// Records one span per commit through `tracer`, timestamped from
+    /// `clock` (`commit.validate_apply` for fresh requests, `commit.replay`
+    /// for deduplicated retries), plus an `occ.conflict` forensics span
+    /// when validation rejects a request. Spans join the caller's current
+    /// trace context, so commits nest under the servlet span that drove
+    /// them.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>, clock: Arc<Clock>) -> CombinedCommitter {
+        self.tracer = Some(CommitTracer::new(tracer, clock));
         self
     }
 
@@ -434,24 +569,40 @@ impl CombinedCommitter {
 
 impl Committer for CombinedCommitter {
     fn commit(&self, request: &CommitRequest) -> EjbResult<CommitOutcome> {
-        let start_us = self.tracer.as_ref().map(CommitTracer::now_us);
         if let Some(outcome) = self.completed.lock().lookup(request) {
             self.metrics.dedup_replays.inc();
-            if let (Some(t), Some(s)) = (&self.tracer, start_us) {
-                t.finish("commit.replay", request, s, SpanOutcome::Replayed);
+            if let Some(t) = &self.tracer {
+                let span = t.begin("commit.replay");
+                let now = t.now_us();
+                t.finish(span, request, now, SpanOutcome::Replayed);
             }
             return Ok(outcome);
         }
+        let span = self
+            .tracer
+            .as_ref()
+            .map(|t| (t.begin("commit.validate_apply"), t.now_us()));
+        let mut forensics = None;
         let result = {
             let mut conn = self.conn.lock();
-            validate_and_apply_per_image(conn.as_mut(), &self.registry, request)
+            validate_and_apply_per_image_forensic(
+                conn.as_mut(),
+                &self.registry,
+                request,
+                &mut forensics,
+            )
         };
         if let Ok(outcome) = &result {
             self.completed.lock().record(request, outcome);
         }
         self.metrics.observe(&result);
-        if let (Some(t), Some(s)) = (&self.tracer, start_us) {
-            t.finish("commit.validate_apply", request, s, span_outcome(&result));
+        if let Some(t) = &self.tracer {
+            if let Some(info) = forensics {
+                t.record_conflict(request, info);
+            }
+            if let Some((span, start_us)) = span {
+                t.finish(span, request, start_us, span_outcome(&result));
+            }
         }
         result
     }
@@ -817,12 +968,13 @@ mod tests {
 
     #[test]
     fn commit_counters_and_spans_track_outcomes() {
-        use sli_telemetry::MetricValue;
+        use sli_telemetry::{MetricValue, TraceLog};
         let (db, reg) = setup();
         let trace = Arc::new(TraceLog::new());
+        let tracer = Arc::new(Tracer::new(Arc::clone(&trace)));
         let clock = Arc::new(Clock::new());
         let committer = CombinedCommitter::new(Box::new(db.connect()), reg)
-            .with_trace(Arc::clone(&trace), clock);
+            .with_tracer(Arc::clone(&tracer), clock);
         let telemetry = Registry::new();
         committer.register_with(&telemetry, "committer.edge-1");
 
@@ -898,6 +1050,77 @@ mod tests {
         assert_eq!(
             trace.count(Some("commit.replay"), Some(SpanOutcome::Replayed)),
             1
+        );
+        // The stale read produced an occ.conflict forensics span nested
+        // under its commit.validate_apply span, naming the entity.
+        let events = trace.events();
+        let conflict = events
+            .iter()
+            .find(|e| e.op == "occ.conflict")
+            .expect("forensics span");
+        let info = conflict.conflict().expect("conflict detail");
+        assert_eq!(info.entity(), "Account['u1']");
+        assert_eq!(info.field.as_deref(), Some("balance"));
+        assert_ne!(info.expected_digest, 0);
+        assert!(info.found_digest.is_some(), "read conflicts see the winner");
+        let parent = events
+            .iter()
+            .find(|e| e.span_id == conflict.parent_span_id)
+            .expect("parent span");
+        assert_eq!(parent.op, "commit.validate_apply");
+        assert_eq!(parent.trace_id, conflict.trace_id);
+    }
+
+    #[test]
+    fn conditional_write_conflicts_record_blind_forensics() {
+        use sli_telemetry::TraceLog;
+        let (db, reg) = setup();
+        let trace = Arc::new(TraceLog::new());
+        let tracer = Arc::new(Tracer::new(Arc::clone(&trace)));
+        let committer = CombinedCommitter::new(Box::new(db.connect()), reg)
+            .with_tracer(tracer, Arc::new(Clock::new()));
+        let stale_write = CommitRequest {
+            origin: 1,
+            txn_id: 9,
+            entries: vec![entry(
+                "u1",
+                EntryKind::Update {
+                    before: img("u1", 1.0), // stale
+                    after: img("u1", 2.0),
+                },
+            )],
+        };
+        assert!(matches!(
+            committer.commit(&stale_write).unwrap(),
+            CommitOutcome::Conflict { .. }
+        ));
+        let events = trace.events();
+        let info = events
+            .iter()
+            .find_map(|e| e.conflict())
+            .expect("forensics span")
+            .clone();
+        assert_eq!(info.entity(), "Account['u1']");
+        // A conditional UPDATE learns of the conflict from "0 rows
+        // affected" — it never sees the winning image.
+        assert_eq!(info.field, None);
+        assert_eq!(info.found_digest, None);
+        assert_eq!(info.expected_digest, memento_digest(&img("u1", 1.0)));
+    }
+
+    #[test]
+    fn memento_digest_is_field_sensitive() {
+        assert_eq!(
+            memento_digest(&img("u1", 1.0)),
+            memento_digest(&img("u1", 1.0))
+        );
+        assert_ne!(
+            memento_digest(&img("u1", 1.0)),
+            memento_digest(&img("u1", 2.0))
+        );
+        assert_ne!(
+            memento_digest(&img("u1", 1.0)),
+            memento_digest(&img("u2", 1.0))
         );
     }
 

@@ -212,13 +212,6 @@ impl Database {
         self.trace.reset();
     }
 
-    /// Aggregates the simulated cost of one statement into the trace's
-    /// per-`{table}.{kind}` latency map. Called by the wire server — the
-    /// component that knows the CPU cost it charged for the statement.
-    pub fn record_statement_latency(&self, sql: &str, micros: u64) {
-        self.trace.record_latency_sql(sql, micros);
-    }
-
     /// The engine's lock manager (exposed for tests and diagnostics).
     pub fn lock_manager(&self) -> &LockManager {
         &self.locks

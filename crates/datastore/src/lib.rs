@@ -58,7 +58,7 @@ pub use lock::{LockManager, LockMode};
 pub use predicate::{CmpOp, Predicate};
 pub use result::ResultSet;
 pub use schema::{Column, ColumnType, Schema};
-pub use trace::{OpCounts, StatementLatency, TraceSnapshot};
+pub use trace::{OpCounts, TraceSnapshot};
 pub use value::Value;
 
 /// Convenient result alias for datastore operations.

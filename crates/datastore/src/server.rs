@@ -14,14 +14,15 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
-use sli_simnet::wire::{frame, protocol, unframe, DecodeError, Reader, Writer};
+use sli_simnet::wire::{frame, frame_traced, protocol, unframe, DecodeError, Reader, Writer};
 use sli_simnet::{Clock, Remote, Service, SimDuration};
-use sli_telemetry::{Counter, Histogram, Registry};
+use sli_telemetry::{Counter, Histogram, Registry, SpanDetail, SpanOutcome, Tracer};
 
 use crate::connection::Connection;
 use crate::engine::Database;
 use crate::error::DbError;
 use crate::result::ResultSet;
+use crate::trace::statement_class;
 use crate::value::Value;
 use crate::{DbResult, SqlConnection};
 
@@ -168,6 +169,7 @@ pub struct DbServer {
     cost: DbCostModel,
     clock: Arc<Clock>,
     metrics: DbServerMetrics,
+    tracer: Mutex<Option<Arc<Tracer>>>,
 }
 
 impl DbServer {
@@ -180,7 +182,16 @@ impl DbServer {
             cost,
             clock,
             metrics: DbServerMetrics::default(),
+            tracer: Mutex::new(None),
         })
+    }
+
+    /// Attaches a tracer: every dispatched operation then records a server
+    /// span (`db.stmt` leaves for statements, `db.txn.*` for transaction
+    /// bracketing, `db.open`/`db.close` for sessions) in the trace carried
+    /// by the request frame.
+    pub fn set_tracer(&self, tracer: Arc<Tracer>) {
+        *self.tracer.lock() = Some(tracer);
     }
 
     /// The server's wire-level statement metrics.
@@ -198,10 +209,41 @@ impl DbServer {
         self.sessions.lock().len()
     }
 
-    fn dispatch(&self, request: &mut Reader) -> DbResult<Writer> {
+    fn dispatch(&self, request: &mut Reader, wire_trace_id: u64) -> DbResult<Writer> {
         let op = request
             .get_u8()
             .map_err(|e| DbError::Remote(e.to_string()))?;
+        let span_op = match op {
+            OP_OPEN => "db.open",
+            OP_CLOSE => "db.close",
+            OP_BEGIN => "db.txn.begin",
+            OP_COMMIT => "db.txn.commit",
+            OP_ROLLBACK => "db.txn.rollback",
+            _ => "db.stmt",
+        };
+        let tracer = self.tracer.lock().clone();
+        let span = tracer
+            .as_ref()
+            .map(|t| (t.begin_rpc_server(span_op, wire_trace_id), self.now_us()));
+        let mut class = String::new();
+        let result = self.run_op(op, request, &mut class);
+        if let (Some(tracer), Some((span, start_us))) = (&tracer, span) {
+            let outcome = if result.is_ok() {
+                SpanOutcome::Committed
+            } else {
+                SpanOutcome::Error
+            };
+            let detail = (op == OP_EXEC).then_some(SpanDetail::Statement { class });
+            tracer.finish_with(span, 0, 0, start_us, self.now_us(), outcome, detail);
+        }
+        result
+    }
+
+    fn now_us(&self) -> u64 {
+        self.clock.now().as_micros()
+    }
+
+    fn run_op(&self, op: u8, request: &mut Reader, class: &mut String) -> DbResult<Writer> {
         self.clock.advance(self.cost.per_request);
         let mut w = Writer::new();
         w.put_u8(STATUS_OK);
@@ -252,11 +294,11 @@ impl DbServer {
                                     .map_err(|e| DbError::Remote(e.to_string()))?,
                             );
                         }
+                        *class = statement_class(&sql);
                         let rs = conn.execute(&sql, &params)?;
                         let row_cost = self.cost.per_row.saturating_mul(rs.len() as u64);
                         self.clock.advance(row_cost);
                         let total_us = self.cost.per_request.as_micros() + row_cost.as_micros();
-                        self.db.record_statement_latency(&sql, total_us);
                         self.metrics.statements.inc();
                         self.metrics.statement_us.record(total_us);
                         rs.encode(&mut w);
@@ -282,7 +324,7 @@ impl Service for DbServer {
             }
         };
         let mut reader = Reader::new(payload);
-        let body = match self.dispatch(&mut reader) {
+        let body = match self.dispatch(&mut reader, header.trace_id) {
             Ok(w) => w.finish(),
             Err(e) => {
                 let mut w = Writer::new();
@@ -291,7 +333,7 @@ impl Service for DbServer {
                 w.finish()
             }
         };
-        frame(protocol::JDBC, header.correlation, &body)
+        frame_traced(protocol::JDBC, header.correlation, header.trace_id, &body)
     }
 }
 
@@ -318,8 +360,9 @@ impl RemoteConnection {
         w.put_u8(OP_OPEN);
         // OP_OPEN allocates a server-side session, so blind resends would
         // leak sessions: one attempt only, like every other JDBC exchange.
+        let framed = frame_traced(protocol::JDBC, 0, remote.current_trace_id(), &w.finish());
         let resp = remote
-            .call_once(frame(protocol::JDBC, 0, &w.finish()))
+            .call_once(framed)
             .map_err(|e| DbError::Unavailable(e.to_string()))?;
         let mut r = Self::open_response(resp)?;
         match r.get_u8().map_err(|e| DbError::Remote(e.to_string()))? {
@@ -348,7 +391,12 @@ impl RemoteConnection {
     }
 
     fn exchange(&self, w: Writer) -> DbResult<Reader> {
-        let framed = frame(protocol::JDBC, self.next_correlation(), &w.finish());
+        let framed = frame_traced(
+            protocol::JDBC,
+            self.next_correlation(),
+            self.remote.current_trace_id(),
+            &w.finish(),
+        );
         // A JDBC statement is not idempotent (an INSERT resent after a lost
         // response would run twice), so the transport must not retry: a
         // delivery failure surfaces as Unavailable and aborts the enclosing
@@ -474,21 +522,46 @@ mod tests {
     }
 
     #[test]
-    fn wire_statements_feed_latency_trace_and_metrics() {
-        let (_clock, _path, mut conn, server) = setup();
-        server.database().reset_trace();
+    fn wire_statements_record_db_stmt_spans_and_metrics() {
+        let db = Database::new();
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR)")
+            .unwrap();
+        let clock = Arc::new(Clock::new());
+        let server = DbServer::new(db, Arc::clone(&clock), DbCostModel::default());
+        let log = Arc::new(sli_telemetry::TraceLog::with_capacity(64));
+        let tracer = Arc::new(Tracer::new(Arc::clone(&log)));
+        server.set_tracer(Arc::clone(&tracer));
+        let path = Path::new("edge-db", Arc::clone(&clock), PathSpec::lan());
+        let remote =
+            Remote::new(Arc::clone(&path), Arc::clone(&server)).with_tracer(Arc::clone(&tracer));
+        let mut conn = RemoteConnection::open(remote).unwrap();
         conn.execute("INSERT INTO t (a, b) VALUES (1, 'x')", &[])
             .unwrap();
         conn.execute("SELECT b FROM t WHERE a = 1", &[]).unwrap();
-        let snap = server.database().trace_snapshot();
-        let create = snap.statement_latency("t", "create");
-        assert_eq!(create.count, 1);
+        let stmts: Vec<_> = log
+            .events()
+            .into_iter()
+            .filter(|e| e.op == "db.stmt")
+            .collect();
+        assert_eq!(stmts.len(), 2);
         // no rows returned: per_request only
-        assert_eq!(create.total_us, 400);
-        let read = snap.statement_latency("t", "read");
-        assert_eq!(read.count, 1);
+        assert_eq!(stmts[0].duration_us(), 400);
         // one row returned: per_request + per_row
-        assert_eq!(read.total_us, 425);
+        assert_eq!(stmts[1].duration_us(), 425);
+        let classes: Vec<_> = stmts
+            .iter()
+            .map(|e| match &e.detail {
+                Some(SpanDetail::Statement { class }) => class.as_str(),
+                other => panic!("expected statement detail, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(classes, ["t.create", "t.read"]);
+        // Each statement span joins the client call's trace as a child of
+        // the in-process RPC span, never as a detached root.
+        for e in &stmts {
+            assert_ne!(e.trace_id, 0);
+            assert_ne!(e.parent_span_id, 0);
+        }
         let m = server.metrics();
         assert_eq!(m.statements.get(), 2);
         assert_eq!(m.statement_us.count(), 2);

@@ -5,9 +5,11 @@
 //! engine counts statements per table and kind so the `table1` bench binary
 //! can regenerate that characterization from a live run.
 //!
-//! The wire server additionally feeds per-statement *simulated latency*
-//! into the trace (it is the component that knows the CPU cost it charged
-//! per statement), aggregated by `{table}.{kind}`.
+//! Per-statement *simulated latency* is not aggregated here: the wire
+//! server (the component that knows the CPU cost it charged) records each
+//! statement as a `db.stmt` leaf span in the shared
+//! [`TraceLog`](sli_telemetry::TraceLog), labelled with the same
+//! `{table}.{kind}` class that [`classify`] derives for the counters.
 
 use std::collections::BTreeMap;
 
@@ -52,28 +54,6 @@ impl OpCounts {
     }
 }
 
-/// Simulated-latency aggregates for one `{table}.{kind}` statement class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct StatementLatency {
-    /// Statements observed.
-    pub count: u64,
-    /// Total simulated cost, microseconds.
-    pub total_us: u64,
-    /// Largest single-statement cost, microseconds.
-    pub max_us: u64,
-}
-
-impl StatementLatency {
-    /// Mean cost per statement in microseconds (0.0 when empty).
-    pub fn mean_us(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.total_us as f64 / self.count as f64
-        }
-    }
-}
-
 /// A snapshot of all per-table counters.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TraceSnapshot {
@@ -81,26 +61,12 @@ pub struct TraceSnapshot {
     pub tables: BTreeMap<String, OpCounts>,
     /// Total statements executed (including DDL).
     pub statements: u64,
-    /// Wire-level statement cost aggregates keyed `"{table}.{kind}"`
-    /// (kind is `create` / `read` / `update` / `delete`). Only populated
-    /// when statements run through the wire server, which charges and
-    /// reports the simulated CPU cost.
-    pub latency: BTreeMap<String, StatementLatency>,
 }
 
 impl TraceSnapshot {
     /// Counts for `table`, defaulting to zeros.
     pub fn table(&self, table: &str) -> OpCounts {
         self.tables.get(table).copied().unwrap_or_default()
-    }
-
-    /// Latency aggregates for (`table`, `kind`), defaulting to zeros.
-    /// `kind` is one of `create` / `read` / `update` / `delete`.
-    pub fn statement_latency(&self, table: &str, kind: &str) -> StatementLatency {
-        self.latency
-            .get(&format!("{table}.{kind}"))
-            .copied()
-            .unwrap_or_default()
     }
 }
 
@@ -177,6 +143,15 @@ pub(crate) fn classify(sql: &str) -> Option<(OpKind, String)> {
     }
 }
 
+/// `"{table}.{kind}"` statement class for span labelling, or `""` for
+/// DDL/unclassifiable statements.
+pub(crate) fn statement_class(sql: &str) -> String {
+    match classify(sql) {
+        Some((kind, table)) => format!("{table}.{}", kind.label()),
+        None => String::new(),
+    }
+}
+
 impl Trace {
     pub(crate) fn record(&self, table: &str, kind: OpKind) {
         let mut t = self.inner.lock();
@@ -192,22 +167,6 @@ impl Trace {
 
     pub(crate) fn record_statement(&self) {
         self.inner.lock().statements += 1;
-    }
-
-    /// Aggregates the simulated cost of one statement, classified from its
-    /// SQL text; unclassifiable statements (DDL, malformed) are skipped.
-    pub(crate) fn record_latency_sql(&self, sql: &str, micros: u64) {
-        let Some((kind, table)) = classify(sql) else {
-            return;
-        };
-        let mut t = self.inner.lock();
-        let lat = t
-            .latency
-            .entry(format!("{table}.{}", kind.label()))
-            .or_default();
-        lat.count += 1;
-        lat.total_us += micros;
-        lat.max_us = lat.max_us.max(micros);
     }
 
     pub(crate) fn snapshot(&self) -> TraceSnapshot {
@@ -267,7 +226,6 @@ mod tests {
         let t = Trace::default();
         t.record("x", OpKind::Read);
         t.record_statement();
-        t.record_latency_sql("SELECT a FROM x", 7);
         t.reset();
         assert_eq!(t.snapshot(), TraceSnapshot::default());
     }
@@ -292,23 +250,15 @@ mod tests {
     }
 
     #[test]
-    fn latency_aggregates_by_table_and_kind() {
-        let t = Trace::default();
-        t.record_latency_sql("SELECT a FROM account WHERE x = 1", 400);
-        t.record_latency_sql("SELECT a FROM account WHERE x = 2", 600);
-        t.record_latency_sql("UPDATE account SET a = 1 WHERE x = 1", 425);
-        t.record_latency_sql("CREATE TABLE skipped (a INT PRIMARY KEY)", 999);
-        let snap = t.snapshot();
-        let reads = snap.statement_latency("account", "read");
-        assert_eq!(reads.count, 2);
-        assert_eq!(reads.total_us, 1000);
-        assert_eq!(reads.max_us, 600);
-        assert!((reads.mean_us() - 500.0).abs() < 1e-9);
-        assert_eq!(snap.statement_latency("account", "update").count, 1);
+    fn statement_class_labels_spans() {
         assert_eq!(
-            snap.statement_latency("account", "delete"),
-            StatementLatency::default()
+            statement_class("SELECT a FROM account WHERE x = 1"),
+            "account.read"
         );
-        assert_eq!(snap.latency.len(), 2, "DDL must not be aggregated");
+        assert_eq!(
+            statement_class("UPDATE quote SET price = 1 WHERE s = 'x'"),
+            "quote.update"
+        );
+        assert_eq!(statement_class("CREATE TABLE t (a INT PRIMARY KEY)"), "");
     }
 }

@@ -5,6 +5,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use bytes::Bytes;
+use sli_telemetry::{SpanDetail, SpanOutcome, Tracer};
 
 use crate::clock::SimDuration;
 use crate::fault::Fault;
@@ -123,6 +124,7 @@ pub struct Remote<S> {
     path: Arc<Path>,
     service: S,
     policy: RetryPolicy,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl<S: Service> Remote<S> {
@@ -133,7 +135,17 @@ impl<S: Service> Remote<S> {
             path,
             service,
             policy: RetryPolicy::default(),
+            tracer: None,
         }
+    }
+
+    /// Attaches a tracer: every call then records an `rpc.call` span, one
+    /// `rpc.attempt` span per delivery attempt (all attempts of one call
+    /// share its trace id), and `net.request`/`net.respond` spans carrying
+    /// the path-crossing cost.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Remote<S> {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// Replaces the timeout/retry policy.
@@ -156,6 +168,21 @@ impl<S: Service> Remote<S> {
         &self.path
     }
 
+    /// The attached tracer, if any — callers use it to stamp outgoing
+    /// frames with the current trace id.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// The trace id outgoing frames should carry right now (0 when
+    /// untraced).
+    pub fn current_trace_id(&self) -> u64 {
+        self.tracer
+            .as_ref()
+            .and_then(|t| t.current())
+            .map_or(0, |ctx| ctx.trace_id)
+    }
+
     /// A reference to the underlying (simulated-remote) service.
     pub fn service(&self) -> &S {
         &self.service
@@ -171,14 +198,22 @@ impl<S: Service> Remote<S> {
     pub fn call(&self, request: Bytes) -> Result<Bytes, CallError> {
         let metrics = self.path.metrics();
         metrics.rpc_calls.inc();
+        let call_span = self
+            .tracer
+            .as_ref()
+            .map(|t| (t.begin("rpc.call"), self.now_us()));
         let mut backoff = self.policy.backoff;
         let mut last = CallError::TimedOut { attempts: 0 };
+        let mut response = None;
         for attempt in 1..=self.policy.max_attempts {
             if attempt > 1 {
                 metrics.rpc_retries.inc();
             }
-            match self.attempt(&request) {
-                Ok(response) => return Ok(response),
+            match self.traced_attempt(&request, attempt) {
+                Ok(bytes) => {
+                    response = Some(bytes);
+                    break;
+                }
                 Err(error) => {
                     error.count(metrics);
                     last = error.with_attempts(attempt);
@@ -190,7 +225,15 @@ impl<S: Service> Remote<S> {
                 backoff = backoff + backoff;
             }
         }
-        Err(last)
+        if let (Some(tracer), Some((span, start_us))) = (&self.tracer, call_span) {
+            let outcome = if response.is_some() {
+                SpanOutcome::Committed
+            } else {
+                SpanOutcome::Error
+            };
+            tracer.finish(span, 0, 0, start_us, self.now_us(), outcome);
+        }
+        response.ok_or(last)
     }
 
     /// Performs exactly one delivery attempt — no retry, no backoff.
@@ -202,10 +245,70 @@ impl<S: Service> Remote<S> {
     pub fn call_once(&self, request: Bytes) -> Result<Bytes, CallError> {
         let metrics = self.path.metrics();
         metrics.rpc_calls.inc();
-        self.attempt(&request).map_err(|e| {
+        let call_span = self
+            .tracer
+            .as_ref()
+            .map(|t| (t.begin("rpc.call"), self.now_us()));
+        let result = self.traced_attempt(&request, 1);
+        if let (Some(tracer), Some((span, start_us))) = (&self.tracer, call_span) {
+            let outcome = if result.is_ok() {
+                SpanOutcome::Committed
+            } else {
+                SpanOutcome::Error
+            };
+            tracer.finish(span, 0, 0, start_us, self.now_us(), outcome);
+        }
+        result.map_err(|e| {
             e.count(metrics);
             e.with_attempts(1)
         })
+    }
+
+    fn now_us(&self) -> u64 {
+        self.path.clock().now().as_micros()
+    }
+
+    /// Runs `work` under a span when a tracer is attached.
+    fn spanned<T>(&self, op: &'static str, work: impl FnOnce() -> T) -> T {
+        match &self.tracer {
+            None => work(),
+            Some(tracer) => {
+                let span = tracer.begin(op);
+                let start_us = self.now_us();
+                let out = work();
+                tracer.finish(span, 0, 0, start_us, self.now_us(), SpanOutcome::Committed);
+                out
+            }
+        }
+    }
+
+    /// One delivery attempt wrapped in an `rpc.attempt` span. Every
+    /// attempt of a retried call shares the call's trace id; each gets its
+    /// own span, numbered in its [`SpanDetail::Attempt`].
+    fn traced_attempt(&self, request: &Bytes, number: u32) -> Result<Bytes, AttemptError> {
+        match &self.tracer {
+            None => self.attempt(request),
+            Some(tracer) => {
+                let span = tracer.begin("rpc.attempt");
+                let start_us = self.now_us();
+                let result = self.attempt(request);
+                let outcome = if result.is_ok() {
+                    SpanOutcome::Committed
+                } else {
+                    SpanOutcome::Error
+                };
+                tracer.finish_with(
+                    span,
+                    0,
+                    0,
+                    start_us,
+                    self.now_us(),
+                    outcome,
+                    Some(SpanDetail::Attempt { number }),
+                );
+                result
+            }
+        }
     }
 
     /// One delivery attempt under the path's fault schedule.
@@ -213,19 +316,19 @@ impl<S: Service> Remote<S> {
         let clock = self.path.clock();
         match self.path.next_fault() {
             None => {
-                self.path.request(request.len());
+                self.spanned("net.request", || self.path.request(request.len()));
                 let response = self.service.handle(request.clone());
-                self.path.respond(response.len());
+                self.spanned("net.respond", || self.path.respond(response.len()));
                 Ok(response)
             }
             Some(Fault::Duplicate) => {
                 // Both copies cross the path; the service runs twice on
                 // identical bytes and one response makes it back.
-                self.path.request(request.len());
+                self.spanned("net.request", || self.path.request(request.len()));
                 let _ = self.service.handle(request.clone());
                 self.path.request_async(request.len());
                 let response = self.service.handle(request.clone());
-                self.path.respond(response.len());
+                self.spanned("net.respond", || self.path.respond(response.len()));
                 Ok(response)
             }
             Some(Fault::DropRequest) => {
@@ -240,7 +343,7 @@ impl<S: Service> Remote<S> {
                 // happen — but the response is lost, so the caller still
                 // waits out its timeout (measured from the send).
                 let start = clock.now();
-                self.path.request(request.len());
+                self.spanned("net.request", || self.path.request(request.len()));
                 let _ = self.service.handle(request.clone());
                 let elapsed = clock.now() - start;
                 if elapsed < self.policy.timeout {
@@ -251,8 +354,8 @@ impl<S: Service> Remote<S> {
             Some(Fault::Unavailable) => {
                 // Fast refusal: the remote end answers immediately with
                 // "go away" instead of doing the work.
-                self.path.request(request.len());
-                self.path.respond(1);
+                self.spanned("net.request", || self.path.request(request.len()));
+                self.spanned("net.respond", || self.path.respond(1));
                 Err(AttemptError::Unavailable)
             }
         }
@@ -519,6 +622,61 @@ mod tests {
         assert_eq!(m.rpc_timeouts.get(), 3);
         assert_eq!(m.rpc_unavailable.get(), 3);
         assert_eq!(m.rpc_backoff_us.get(), (1 + 2 + 1 + 2) * 1_000);
+    }
+
+    #[test]
+    fn faulted_rpc_keeps_trace_id_with_a_new_span_per_attempt() {
+        use sli_telemetry::TraceLog;
+
+        let clock = Arc::new(Clock::new());
+        let path = Path::new("p", Arc::clone(&clock), PathSpec::local());
+        path.script_faults([Some(Fault::DropResponse), Some(Fault::DropRequest), None]);
+        let tracer = Arc::new(Tracer::new(Arc::new(TraceLog::new())));
+        let counter = Counter::default();
+        let remote = Remote::new(Arc::clone(&path), &counter)
+            .with_policy(RetryPolicy {
+                max_attempts: 4,
+                timeout: SimDuration::from_millis(10),
+                backoff: SimDuration::from_millis(1),
+            })
+            .with_tracer(Arc::clone(&tracer));
+
+        remote.call(Bytes::from_static(b"debit")).unwrap();
+        assert_eq!(tracer.current(), None, "all spans closed");
+
+        let events = tracer.log().events();
+        let call = events
+            .iter()
+            .find(|e| e.op == "rpc.call")
+            .expect("call span");
+        let attempts: Vec<_> = events.iter().filter(|e| e.op == "rpc.attempt").collect();
+        assert_eq!(attempts.len(), 3, "one span per delivery attempt");
+        for (i, a) in attempts.iter().enumerate() {
+            assert_eq!(a.trace_id, call.trace_id, "retries stay in one trace");
+            assert_eq!(a.parent_span_id, call.span_id);
+            assert_eq!(
+                a.detail,
+                Some(SpanDetail::Attempt {
+                    number: i as u32 + 1
+                })
+            );
+        }
+        let ids: std::collections::BTreeSet<u64> = attempts.iter().map(|a| a.span_id).collect();
+        assert_eq!(ids.len(), 3, "every attempt gets a fresh span id");
+        assert_eq!(attempts[0].outcome, SpanOutcome::Error);
+        assert_eq!(attempts[1].outcome, SpanOutcome::Error);
+        assert_eq!(attempts[2].outcome, SpanOutcome::Committed);
+        assert_eq!(call.outcome, SpanOutcome::Committed);
+
+        // The attempt spans plus retry backoff tile the whole call span.
+        let attempt_us: u64 = attempts.iter().map(|a| a.duration_us()).sum();
+        let backoff_us = (1 + 2) * 1_000;
+        assert_eq!(call.duration_us(), attempt_us + backoff_us);
+
+        // Successful crossings got net spans nested under their attempt.
+        let nets: Vec<_> = events.iter().filter(|e| e.op.starts_with("net.")).collect();
+        assert!(!nets.is_empty());
+        assert!(nets.iter().all(|n| n.trace_id == call.trace_id));
     }
 
     #[test]

@@ -77,16 +77,29 @@ pub struct FrameHeader {
     pub protocol: u16,
     /// Request/response correlation id.
     pub correlation: u64,
+    /// Causal trace id propagated across the wire (0 = untraced). Real
+    /// stacks carry a trace/session token in exactly this kind of header
+    /// slot; servers handling a message detached from the originating
+    /// call stack (deferred invalidations, replays) re-join the trace
+    /// through it.
+    pub trace_id: u64,
 }
 
-/// Wraps `payload` in a 32-byte protocol header.
+/// Wraps `payload` in a 32-byte protocol header with no trace context.
 pub fn frame(proto: u16, correlation: u64, payload: &Bytes) -> Bytes {
+    frame_traced(proto, correlation, 0, payload)
+}
+
+/// Wraps `payload` in a 32-byte protocol header carrying `trace_id` in the
+/// header's token slot, so the receiver can attach its spans to the
+/// sender's causal trace.
+pub fn frame_traced(proto: u16, correlation: u64, trace_id: u64, payload: &Bytes) -> Bytes {
     let mut w = Writer::new();
     w.put_u32(FRAME_MAGIC)
         .put_u16(FRAME_VERSION)
         .put_u16(proto)
         .put_u64(correlation)
-        .put_u64(0) // reserved: security/session tokens in real stacks
+        .put_u64(trace_id)
         .put_u32(payload.len() as u32)
         .put_u32(checksum(payload));
     let mut buf = BytesMut::with_capacity(32 + payload.len());
@@ -110,7 +123,7 @@ pub fn unframe(message: Bytes) -> Result<(FrameHeader, Bytes), DecodeError> {
     }
     let proto = r.get_u16()?;
     let correlation = r.get_u64()?;
-    let _reserved = r.get_u64()?;
+    let trace_id = r.get_u64()?;
     let len = r.get_u32()? as usize;
     let expected_sum = r.get_u32()?;
     let payload = r.get_bytes_raw(len)?;
@@ -121,6 +134,7 @@ pub fn unframe(message: Bytes) -> Result<(FrameHeader, Bytes), DecodeError> {
         FrameHeader {
             protocol: proto,
             correlation,
+            trace_id,
         },
         payload,
     ))
@@ -445,6 +459,18 @@ mod tests {
         let (header, body) = unframe(framed).unwrap();
         assert_eq!(header.protocol, protocol::JDBC);
         assert_eq!(header.correlation, 42);
+        assert_eq!(header.trace_id, 0, "plain frame carries no trace");
+        assert_eq!(body, payload);
+    }
+
+    #[test]
+    fn traced_frame_carries_trace_id_without_growing() {
+        let payload = Bytes::from_static(b"commit");
+        let framed = frame_traced(protocol::BACKEND, 9, 0xDEAD_BEEF, &payload);
+        assert_eq!(framed.len(), 32 + payload.len(), "token slot is in-band");
+        let (header, body) = unframe(framed).unwrap();
+        assert_eq!(header.trace_id, 0xDEAD_BEEF);
+        assert_eq!(header.correlation, 9);
         assert_eq!(body, payload);
     }
 

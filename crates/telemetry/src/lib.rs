@@ -12,10 +12,18 @@
 //! * [`Registry`] — a named catalogue of metric handles. There is no global
 //!   registry: every `Testbed` owns its own, so tests can build many
 //!   same-named paths without collisions.
-//! * [`TraceLog`] / [`SpanEvent`] — a bounded log of commit-protocol spans
-//!   (validate → apply → invalidate fan-out) with conflict/replay outcomes.
-//!   Timestamps come from the caller's simulated clock; this crate has no
-//!   clock of its own.
+//! * [`TraceLog`] / [`SpanEvent`] — a bounded log of causally-linked spans
+//!   (servlet roots, RPC crossings, commit-protocol steps, SQL statement
+//!   leaves). Timestamps come from the caller's simulated clock; this
+//!   crate has no clock of its own.
+//! * [`TraceCtx`] / [`Tracer`] — trace-context propagation: deterministic
+//!   trace/span ids and the "current span" cell the layers thread a
+//!   request's identity through (in place of the thread-locals a real
+//!   stack would use).
+//! * [`critical_path`] / [`conflict_leaderboard`] — span-tree analysis:
+//!   per-[`Bucket`] latency attribution and OCC abort forensics.
+//! * [`chrome_trace`] / [`validate_chrome_trace`] — Chrome trace-event
+//!   JSON export (Perfetto-loadable) and the CI well-formedness check.
 //! * [`Json`] — a tiny self-contained JSON value (deterministic key order),
 //!   with a parser for validating emitted reports.
 //! * [`RunReport`] / [`ArchReport`] — the structured per-architecture
@@ -25,14 +33,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod export;
 mod json;
 mod metrics;
 mod registry;
 mod report;
 mod span;
+mod trace_ctx;
+mod tree;
 
+pub use export::{chrome_trace, validate_chrome_trace};
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{Metric, MetricValue, Registry};
 pub use report::{validate_run_report, ArchReport, RunReport, RUN_REPORT_SCHEMA};
-pub use span::{SpanEvent, SpanOutcome, TraceLog};
+pub use span::{ConflictInfo, SpanDetail, SpanEvent, SpanOutcome, TraceLog};
+pub use trace_ctx::{OpenSpan, TraceCtx, Tracer};
+pub use tree::{bucket_for, conflict_leaderboard, critical_path, Breakdown, Bucket, ConflictEntry};

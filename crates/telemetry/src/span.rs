@@ -1,10 +1,13 @@
-//! Lightweight span tracing of the commit protocol.
+//! Lightweight span tracing across the whole simulated stack.
 //!
-//! Components that hold a simulated clock record [`SpanEvent`]s — one per
-//! protocol step (validate/apply, invalidation fan-out, dedup replay) —
-//! into a bounded [`TraceLog`]. The log is a diagnosis tool, not a metric:
-//! it keeps the most recent events only, and all aggregate numbers live in
-//! counters and histograms instead.
+//! Components that hold a simulated clock record [`SpanEvent`]s — servlet
+//! root spans, RPC client/server spans, commit-protocol steps, per-SQL
+//! statement leaves — into a bounded [`TraceLog`]. Each event carries its
+//! causal coordinates (`trace_id` / `span_id` / `parent_span_id`, see
+//! [`crate::TraceCtx`]) so the flat log reassembles into per-request trees.
+//! The log is a diagnosis tool, not a metric: it keeps the most recent
+//! events only, and all aggregate numbers live in counters and histograms
+//! instead.
 
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -35,12 +38,58 @@ impl SpanOutcome {
     }
 }
 
-/// One traced step of the commit protocol.
+/// Forensic payload attached to a span where the flat identity fields are
+/// not enough to diagnose the event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpanDetail {
+    /// A datastore statement leaf: `{table}.{kind}` class, e.g.
+    /// `"account.read"` (empty for DDL/unclassified statements).
+    Statement {
+        /// Statement class, `"{table}.{kind}"`.
+        class: String,
+    },
+    /// OCC validation-failure forensics.
+    Conflict(ConflictInfo),
+    /// An RPC attempt number (1-based) under a retried call.
+    Attempt {
+        /// Which attempt of the enclosing call this was.
+        number: u32,
+    },
+}
+
+/// What an OCC validation failure saw: which entity, which field diverged,
+/// and digests of the expected (transaction before-image) vs. found
+/// (current persistent image) state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConflictInfo {
+    /// Conflicting bean type.
+    pub bean: String,
+    /// Conflicting key, stringified.
+    pub key: String,
+    /// First field whose value diverged, when a current image was
+    /// available to compare (`None` for existence conflicts or conditional
+    /// writes that only observe 0 rows affected).
+    pub field: Option<String>,
+    /// Digest of the before-image the transaction expected to find.
+    pub expected_digest: u64,
+    /// Digest of the image actually found (`None` when the bean vanished
+    /// or the committer had no current image to inspect).
+    pub found_digest: Option<u64>,
+}
+
+impl ConflictInfo {
+    /// `bean[key]` — the leaderboard key for this conflict.
+    pub fn entity(&self) -> String {
+        format!("{}[{}]", self.bean, self.key)
+    }
+}
+
+/// One traced step: a node in a request's causal span tree.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SpanEvent {
-    /// Step name, e.g. `"commit.validate_apply"` or `"commit.invalidate"`.
+    /// Step name, e.g. `"commit.validate_apply"` or `"db.stmt"`.
     pub op: &'static str,
-    /// Originating edge id of the transaction.
+    /// Originating edge id of the transaction (0 when not transactional).
     pub origin: u32,
     /// Transaction id at the origin (0 = unidentified/auto-commit).
     pub txn_id: u64,
@@ -50,12 +99,53 @@ pub struct SpanEvent {
     pub end_us: u64,
     /// How the step ended.
     pub outcome: SpanOutcome,
+    /// Trace this span belongs to (0 = recorded outside any trace).
+    pub trace_id: u64,
+    /// This span's id, unique within the tracer that allocated it
+    /// (0 = unassigned).
+    pub span_id: u64,
+    /// Id of the enclosing span (0 = root of its trace).
+    pub parent_span_id: u64,
+    /// Optional forensic payload.
+    pub detail: Option<SpanDetail>,
 }
 
 impl SpanEvent {
+    /// A flat, untraced event — no tree coordinates, no detail. Kept for
+    /// call sites (and tests) that predate causal tracing.
+    pub fn flat(
+        op: &'static str,
+        origin: u32,
+        txn_id: u64,
+        start_us: u64,
+        end_us: u64,
+        outcome: SpanOutcome,
+    ) -> SpanEvent {
+        SpanEvent {
+            op,
+            origin,
+            txn_id,
+            start_us,
+            end_us,
+            outcome,
+            trace_id: 0,
+            span_id: 0,
+            parent_span_id: 0,
+            detail: None,
+        }
+    }
+
     /// Span duration in simulated microseconds.
     pub fn duration_us(&self) -> u64 {
         self.end_us.saturating_sub(self.start_us)
+    }
+
+    /// The conflict forensics, when this span recorded an OCC failure.
+    pub fn conflict(&self) -> Option<&ConflictInfo> {
+        match &self.detail {
+            Some(SpanDetail::Conflict(info)) => Some(info),
+            _ => None,
+        }
     }
 }
 
@@ -139,14 +229,7 @@ mod tests {
     use super::*;
 
     fn event(op: &'static str, txn_id: u64, outcome: SpanOutcome) -> SpanEvent {
-        SpanEvent {
-            op,
-            origin: 1,
-            txn_id,
-            start_us: 10 * txn_id,
-            end_us: 10 * txn_id + 5,
-            outcome,
-        }
+        SpanEvent::flat(op, 1, txn_id, 10 * txn_id, 10 * txn_id + 5, outcome)
     }
 
     #[test]
@@ -173,6 +256,46 @@ mod tests {
         }
         let kept: Vec<u64> = log.events().iter().map(|e| e.txn_id).collect();
         assert_eq!(kept, vec![2, 3]);
+    }
+
+    #[test]
+    fn bounded_eviction_keeps_len_and_count_consistent() {
+        let log = TraceLog::with_capacity(4);
+        for txn in 1..=10 {
+            let outcome = if txn % 2 == 0 {
+                SpanOutcome::Conflict
+            } else {
+                SpanOutcome::Committed
+            };
+            let op = if txn <= 8 { "old" } else { "new" };
+            log.record(event(op, txn, outcome));
+        }
+        // Only the 4 newest survive: txns 7..=10.
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.events().len(), log.len());
+        let kept: Vec<u64> = log.events().iter().map(|e| e.txn_id).collect();
+        assert_eq!(kept, vec![7, 8, 9, 10]);
+        // count() agrees with the retained window, not with what was fed.
+        assert_eq!(log.count(None, None), 4);
+        assert_eq!(log.count(Some("old"), None), 2);
+        assert_eq!(log.count(Some("new"), None), 2);
+        assert_eq!(log.count(None, Some(SpanOutcome::Conflict)), 2);
+        assert_eq!(log.count(Some("new"), Some(SpanOutcome::Committed)), 1);
+        // Overflowing further still never exceeds capacity.
+        for txn in 11..=100 {
+            log.record(event("new", txn, SpanOutcome::Committed));
+        }
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.count(None, None), 4);
+    }
+
+    #[test]
+    fn capacity_floor_is_one_event() {
+        let log = TraceLog::with_capacity(0);
+        log.record(event("a", 1, SpanOutcome::Committed));
+        log.record(event("b", 2, SpanOutcome::Committed));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.events()[0].op, "b");
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! Span-tree assembly, critical-path attribution and conflict forensics.
+//!
+//! The flat [`TraceLog`](crate::TraceLog) reassembles into one tree per
+//! `trace_id`. Because the testbed runs in virtual time on one logical
+//! call stack, every microsecond of a request's latency is covered by
+//! exactly one span's *self time* (its duration minus its children's), so
+//! attributing each span's self time to a bucket decomposes the measured
+//! per-request latency exactly — the bucket sums equal the root span's
+//! duration, which is the latency the client measured.
+
+use std::collections::BTreeMap;
+
+use crate::span::SpanEvent;
+
+/// Where a span's self time is spent, from the paper's point of view:
+/// the architecture comparison is really a fight over how much of each
+/// request crosses the high-latency path versus runs next to the data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Bucket {
+    /// Wire crossings: path latency, bandwidth serialisation, proxy delay,
+    /// RPC retry backoff and fault-induced timeouts.
+    Network,
+    /// Transaction bracketing at the datastore: BEGIN/COMMIT/ROLLBACK and
+    /// session open/close round-trip work — the simulated stand-in for
+    /// lock acquisition and release.
+    DbLockWait,
+    /// SQL statement execution charged by the datastore server.
+    Statement,
+    /// Optimistic-concurrency work: before-image validation, replay
+    /// lookup, invalidation fan-out.
+    OccValidation,
+    /// Everything else: servlet per-request cost, page rendering, engine
+    /// compute at the edge.
+    LocalCompute,
+}
+
+impl Bucket {
+    /// All buckets in stable report order.
+    pub const ALL: [Bucket; 5] = [
+        Bucket::Network,
+        Bucket::DbLockWait,
+        Bucket::Statement,
+        Bucket::OccValidation,
+        Bucket::LocalCompute,
+    ];
+
+    /// Stable label for tables and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Bucket::Network => "network-crossing",
+            Bucket::DbLockWait => "db-lock-wait",
+            Bucket::Statement => "statement-execution",
+            Bucket::OccValidation => "occ-validation",
+            Bucket::LocalCompute => "local-compute",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Bucket::Network => 0,
+            Bucket::DbLockWait => 1,
+            Bucket::Statement => 2,
+            Bucket::OccValidation => 3,
+            Bucket::LocalCompute => 4,
+        }
+    }
+}
+
+/// Classifies a span op into the bucket its *self time* belongs to.
+pub fn bucket_for(op: &str) -> Bucket {
+    if op.starts_with("net.") || op.starts_with("rpc.") {
+        Bucket::Network
+    } else if op.starts_with("db.txn") || op == "db.open" || op == "db.close" {
+        Bucket::DbLockWait
+    } else if op.starts_with("db.stmt") {
+        Bucket::Statement
+    } else if op.starts_with("commit.") || op.starts_with("occ.") || op.starts_with("invalidate.") {
+        Bucket::OccValidation
+    } else {
+        Bucket::LocalCompute
+    }
+}
+
+/// Aggregated critical-path decomposition over a set of traces.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    bucket_us: [u64; 5],
+    /// Total root-span time decomposed, microseconds.
+    pub total_us: u64,
+    /// Number of complete traces aggregated.
+    pub traces: u64,
+}
+
+impl Breakdown {
+    /// Microseconds attributed to `bucket`.
+    pub fn bucket_us(&self, bucket: Bucket) -> u64 {
+        self.bucket_us[bucket.index()]
+    }
+
+    /// Sum over all buckets — equals `total_us` for well-nested trees.
+    pub fn sum_us(&self) -> u64 {
+        self.bucket_us.iter().sum()
+    }
+
+    /// Fraction of the total spent in `bucket` (0.0 when empty).
+    pub fn share(&self, bucket: Bucket) -> f64 {
+        if self.total_us == 0 {
+            0.0
+        } else {
+            self.bucket_us(bucket) as f64 / self.total_us as f64
+        }
+    }
+
+    /// Mean decomposed latency per trace in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.traces == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.traces as f64 / 1000.0
+        }
+    }
+
+    /// Folds another breakdown into this one.
+    pub fn merge(&mut self, other: &Breakdown) {
+        for (mine, theirs) in self.bucket_us.iter_mut().zip(other.bucket_us) {
+            *mine += theirs;
+        }
+        self.total_us += other.total_us;
+        self.traces += other.traces;
+    }
+}
+
+/// Decomposes every *complete* trace in `events` (one whose parent links
+/// all resolve — eviction can behead old traces) into per-bucket self
+/// times. Untraced events (`trace_id == 0`) are ignored.
+pub fn critical_path(events: &[SpanEvent]) -> Breakdown {
+    let mut traces: BTreeMap<u64, Vec<&SpanEvent>> = BTreeMap::new();
+    for e in events {
+        if e.trace_id != 0 {
+            traces.entry(e.trace_id).or_default().push(e);
+        }
+    }
+    let mut out = Breakdown::default();
+    for spans in traces.values() {
+        let ids: BTreeMap<u64, u64> = spans.iter().map(|s| (s.span_id, s.duration_us())).collect();
+        let complete = spans
+            .iter()
+            .all(|s| s.parent_span_id == 0 || ids.contains_key(&s.parent_span_id));
+        if !complete {
+            continue;
+        }
+        let mut child_us: BTreeMap<u64, u64> = BTreeMap::new();
+        for s in spans.iter() {
+            if s.parent_span_id != 0 {
+                *child_us.entry(s.parent_span_id).or_default() += s.duration_us();
+            }
+        }
+        for s in spans.iter() {
+            let nested = child_us.get(&s.span_id).copied().unwrap_or(0);
+            let self_us = s.duration_us().saturating_sub(nested);
+            out.bucket_us[bucket_for(s.op).index()] += self_us;
+            if s.parent_span_id == 0 {
+                out.total_us += s.duration_us();
+            }
+        }
+        out.traces += 1;
+    }
+    out
+}
+
+/// One row of the per-entity conflict leaderboard.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConflictEntry {
+    /// `bean[key]` identity of the contended entity.
+    pub entity: String,
+    /// OCC aborts attributed to it.
+    pub conflicts: u64,
+    /// Fields observed diverging, de-duplicated, sorted.
+    pub fields: Vec<String>,
+}
+
+/// Ranks entities by how many OCC aborts their divergence caused —
+/// hottest first, ties broken by entity name for determinism.
+pub fn conflict_leaderboard(events: &[SpanEvent]) -> Vec<ConflictEntry> {
+    let mut by_entity: BTreeMap<String, (u64, Vec<String>)> = BTreeMap::new();
+    for e in events {
+        if let Some(info) = e.conflict() {
+            let slot = by_entity.entry(info.entity()).or_default();
+            slot.0 += 1;
+            if let Some(field) = &info.field {
+                if !slot.1.contains(field) {
+                    slot.1.push(field.clone());
+                }
+            }
+        }
+    }
+    let mut rows: Vec<ConflictEntry> = by_entity
+        .into_iter()
+        .map(|(entity, (conflicts, mut fields))| {
+            fields.sort();
+            ConflictEntry {
+                entity,
+                conflicts,
+                fields,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| b.conflicts.cmp(&a.conflicts).then(a.entity.cmp(&b.entity)));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{ConflictInfo, SpanDetail, SpanOutcome};
+
+    fn span(op: &'static str, trace: u64, id: u64, parent: u64, start: u64, end: u64) -> SpanEvent {
+        SpanEvent {
+            op,
+            origin: 1,
+            txn_id: 0,
+            start_us: start,
+            end_us: end,
+            outcome: SpanOutcome::Committed,
+            trace_id: trace,
+            span_id: id,
+            parent_span_id: parent,
+            detail: None,
+        }
+    }
+
+    #[test]
+    fn buckets_classify_by_op_prefix() {
+        assert_eq!(bucket_for("net.request"), Bucket::Network);
+        assert_eq!(bucket_for("rpc.attempt"), Bucket::Network);
+        assert_eq!(bucket_for("db.txn.begin"), Bucket::DbLockWait);
+        assert_eq!(bucket_for("db.open"), Bucket::DbLockWait);
+        assert_eq!(bucket_for("db.stmt"), Bucket::Statement);
+        assert_eq!(bucket_for("commit.validate_apply"), Bucket::OccValidation);
+        assert_eq!(bucket_for("occ.conflict"), Bucket::OccValidation);
+        assert_eq!(bucket_for("servlet.buy"), Bucket::LocalCompute);
+        assert_eq!(bucket_for("request"), Bucket::LocalCompute);
+    }
+
+    #[test]
+    fn self_times_decompose_root_duration_exactly() {
+        // request [0,100): servlet [10,90) with net [20,40) + db.stmt [40,70).
+        let events = vec![
+            span("net.request", 7, 3, 2, 20, 40),
+            span("db.stmt", 7, 4, 2, 40, 70),
+            span("servlet.buy", 7, 2, 1, 10, 90),
+            span("request", 7, 1, 0, 0, 100),
+        ];
+        let b = critical_path(&events);
+        assert_eq!(b.traces, 1);
+        assert_eq!(b.total_us, 100);
+        assert_eq!(b.bucket_us(Bucket::Network), 20);
+        assert_eq!(b.bucket_us(Bucket::Statement), 30);
+        // servlet self 30 + request self 20.
+        assert_eq!(b.bucket_us(Bucket::LocalCompute), 50);
+        assert_eq!(b.sum_us(), b.total_us);
+        assert!((b.mean_ms() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incomplete_and_untraced_events_are_skipped() {
+        let events = vec![
+            // Orphan: parent 99 was evicted.
+            span("db.stmt", 5, 2, 99, 0, 10),
+            span("request", 5, 1, 0, 0, 20),
+            // Untraced flat event.
+            SpanEvent::flat("commit.validate_apply", 1, 1, 0, 5, SpanOutcome::Committed),
+        ];
+        let b = critical_path(&events);
+        assert_eq!(b.traces, 0);
+        assert_eq!(b.total_us, 0);
+        assert_eq!(b.sum_us(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = critical_path(&[span("request", 1, 1, 0, 0, 10)]);
+        let mut total = Breakdown::default();
+        total.merge(&a);
+        total.merge(&a);
+        assert_eq!(total.traces, 2);
+        assert_eq!(total.total_us, 20);
+        assert_eq!(total.bucket_us(Bucket::LocalCompute), 20);
+    }
+
+    #[test]
+    fn leaderboard_ranks_hottest_entities_first() {
+        let conflict = |bean: &str, key: &str, field: Option<&str>| {
+            let mut e = SpanEvent::flat("occ.conflict", 1, 1, 0, 0, SpanOutcome::Conflict);
+            e.detail = Some(SpanDetail::Conflict(ConflictInfo {
+                bean: bean.to_owned(),
+                key: key.to_owned(),
+                field: field.map(str::to_owned),
+                expected_digest: 1,
+                found_digest: Some(2),
+            }));
+            e
+        };
+        let events = vec![
+            conflict("quote", "7", Some("price")),
+            conflict("quote", "7", Some("volume")),
+            conflict("quote", "7", Some("price")),
+            conflict("account", "3", None),
+        ];
+        let rows = conflict_leaderboard(&events);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].entity, "quote[7]");
+        assert_eq!(rows[0].conflicts, 3);
+        assert_eq!(
+            rows[0].fields,
+            vec!["price".to_owned(), "volume".to_owned()]
+        );
+        assert_eq!(rows[1].entity, "account[3]");
+        assert!(rows[1].fields.is_empty());
+    }
+}
