@@ -4,6 +4,7 @@
 
 use std::collections::BTreeMap;
 
+use sli_core::CacheStats;
 use sli_simnet::SimDuration;
 use sli_telemetry::{ArchReport, MetricValue};
 use sli_workload::percentile;
@@ -26,14 +27,14 @@ pub fn collect_report(
 ) -> ArchReport {
     let arch = testbed.architecture();
 
-    let (mut hits, mut misses) = (0u64, 0u64);
+    let mut cache = CacheStats::default();
     let (mut commits, mut conflicts) = (0u64, 0u64);
     let mut status: BTreeMap<String, u64> = BTreeMap::new();
     for edge in &testbed.edges {
         if let Some(store) = &edge.store {
             let s = store.stats();
-            hits += s.hits;
-            misses += s.misses;
+            cache.hits += s.hits;
+            cache.misses += s.misses;
         }
         if let Some(rm) = &edge.rm {
             let s = rm.stats();
@@ -84,7 +85,9 @@ pub fn collect_report(
         delay_ms: delay.as_micros() as f64 / 1_000.0,
         interactions: latencies_ms.len() as u64,
         failed,
-        hit_ratio: ratio(hits, hits + misses),
+        // One canonical definition of the ratio (zero-total → 0.0) instead
+        // of re-deriving the division here.
+        hit_ratio: cache.hit_ratio(),
         abort_rate: ratio(conflicts, commits + conflicts),
         retries,
         timeouts,

@@ -90,6 +90,9 @@ pub fn parse_action(req: &HttpRequest) -> Option<TradeAction> {
 /// report (request mix, error mix, response-time distribution).
 #[derive(Debug, Clone)]
 pub struct ServletMetrics {
+    /// Every request handled, regardless of status — the servlet's
+    /// throughput counter (timelines turn it into interactions/window).
+    requests: Counter,
     /// Counters for the statuses the servlet can produce.
     statuses: Vec<(u16, Counter)>,
     /// Anything outside [`ServletMetrics::STATUSES`].
@@ -111,6 +114,7 @@ impl ServletMetrics {
     /// Creates the full fixed metric set (all statuses, all actions).
     pub fn new() -> ServletMetrics {
         ServletMetrics {
+            requests: Counter::new(),
             statuses: Self::STATUSES
                 .iter()
                 .map(|&code| (code, Counter::new()))
@@ -124,6 +128,7 @@ impl ServletMetrics {
     }
 
     fn record(&self, status: u16, action: Option<&str>, micros: u64) {
+        self.requests.inc();
         match self.statuses.iter().find(|(code, _)| *code == status) {
             Some((_, counter)) => counter.inc(),
             None => self.other.inc(),
@@ -167,9 +172,15 @@ impl ServletMetrics {
             .map(|(_, hist)| hist.snapshot())
     }
 
-    /// Attaches every metric to `registry` as `{prefix}.status.{code}` and
-    /// `{prefix}.action.{name}_us`.
+    /// Total requests handled (any status).
+    pub fn requests(&self) -> u64 {
+        self.requests.get()
+    }
+
+    /// Attaches every metric to `registry` as `{prefix}.requests`,
+    /// `{prefix}.status.{code}` and `{prefix}.action.{name}_us`.
     pub fn register_with(&self, registry: &Registry, prefix: &str) {
+        registry.attach_counter(format!("{prefix}.requests"), &self.requests);
         for (code, counter) in &self.statuses {
             registry.attach_counter(format!("{prefix}.status.{code}"), counter);
         }
@@ -179,8 +190,22 @@ impl ServletMetrics {
         }
     }
 
+    /// Tracks the servlet's throughput and abort rate in `timeline` under
+    /// the [`ServletMetrics::register_with`] names: the total request rate
+    /// plus the `409` series (optimistic aborts surfacing as HTTP
+    /// conflicts) and the `503` series (unavailable back end).
+    pub fn timeline_into(&self, timeline: &sli_telemetry::Timeline, prefix: &str) {
+        timeline.track_counter(format!("{prefix}.requests"), &self.requests);
+        for (code, counter) in &self.statuses {
+            if matches!(code, 409 | 503) {
+                timeline.track_counter(format!("{prefix}.status.{code}"), counter);
+            }
+        }
+    }
+
     /// Zeroes every counter and histogram.
     pub fn reset(&self) {
+        self.requests.reset();
         for (_, counter) in &self.statuses {
             counter.reset();
         }

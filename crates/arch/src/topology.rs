@@ -11,7 +11,7 @@ use sli_core::{
 use sli_datastore::server::{DbCostModel, DbServer, RemoteConnection};
 use sli_datastore::Database;
 use sli_simnet::{Clock, FaultPlan, Path, PathSpec, Remote, SimDuration};
-use sli_telemetry::{Registry, TraceLog, Tracer};
+use sli_telemetry::{Registry, Timeline, TraceLog, Tracer};
 use sli_trade::deploy;
 use sli_trade::model::trade_registry;
 use sli_trade::seed::{create_and_seed, Population};
@@ -303,6 +303,7 @@ impl Testbed {
                                 id,
                                 Remote::new(Arc::clone(&inv_path), Arc::clone(&sink)),
                             );
+                            sink.register_with(&telemetry, &format!("invalidations.edge-{id}"));
                             invalidations = Some(sink);
                             invalidation_path = Some(inv_path);
                             (
@@ -420,7 +421,49 @@ impl Testbed {
     /// (between warm-up and measurement).
     pub fn reset_telemetry(&self) {
         self.telemetry.reset_all();
+        // The blanket reset zeroes the working-set gauges while the cached
+        // images survive into the measured phase; re-derive them so level
+        // series start from the truth.
+        for edge in &self.edges {
+            if let Some(store) = &edge.store {
+                store.refresh_size();
+            }
+        }
         self.commit_trace.clear();
+    }
+
+    /// Builds the standard observability timeline for this testbed: every
+    /// edge's servlet throughput/abort series, cache rates and working-set
+    /// size, commit/conflict rates, invalidation-queue depth, and the
+    /// delayed path's traffic — all under the same dotted names the
+    /// [`Testbed::telemetry`] registry uses, so per-window rate totals can
+    /// be checked against run-end counter reads.
+    ///
+    /// The caller drives it: [`Timeline::rebase`] at the warm-up/measure
+    /// boundary (after [`Testbed::reset_telemetry`]), then
+    /// [`Timeline::sample`] with `clock.now().as_micros()` after each
+    /// interaction.
+    pub fn standard_timeline(&self, window_us: u64) -> Timeline {
+        let timeline = Timeline::new(window_us);
+        for (i, edge) in self.edges.iter().enumerate() {
+            let id = i + 1;
+            edge.server
+                .metrics()
+                .timeline_into(&timeline, &format!("servlet.edge-{id}"));
+            if let Some(store) = &edge.store {
+                store.timeline_into(&timeline, &format!("store.edge-{id}"));
+            }
+            if let Some(rm) = &edge.rm {
+                rm.timeline_into(&timeline, &format!("rm.edge-{id}"));
+            }
+            if let Some(sink) = &edge.invalidations {
+                sink.timeline_into(&timeline, &format!("invalidations.edge-{id}"));
+            }
+            let path = self.delayed_path(i);
+            path.metrics()
+                .timeline_into(&timeline, &format!("simnet.path.{}", path.name()));
+        }
+        timeline
     }
 
     /// The path the delay proxy intercepts for this architecture (per
@@ -712,6 +755,73 @@ mod tests {
         assert!(
             board.iter().any(|e| e.entity.starts_with("Account[")),
             "the contended account must appear on the leaderboard: {board:?}"
+        );
+    }
+
+    #[test]
+    fn standard_timeline_totals_match_registry_counters() {
+        use sli_telemetry::Metric;
+        let tb = Testbed::build(Architecture::EsRbes, TestbedConfig::default());
+        let timeline = tb.standard_timeline(1_000);
+        // Warm up, then rebase at the measurement boundary exactly as the
+        // bench harness does.
+        let mut client = VirtualClient::new(&tb, 0);
+        client.perform(&TradeAction::Home {
+            user: "uid:0".into(),
+        });
+        tb.reset_telemetry();
+        timeline.rebase(tb.clock.now().as_micros());
+        let actions = [
+            TradeAction::Quote {
+                symbol: "s:1".into(),
+            },
+            TradeAction::Buy {
+                user: "uid:0".into(),
+                symbol: "s:1".into(),
+                quantity: 1.0,
+            },
+            TradeAction::Home {
+                user: "uid:0".into(),
+            },
+        ];
+        for action in &actions {
+            assert_eq!(client.perform(action).status, 200);
+            timeline.sample(tb.clock.now().as_micros());
+        }
+        let report = timeline.report("EsRbes check");
+        assert!(report.windows() > 0);
+        for series in &report.series {
+            if series.kind != sli_telemetry::SeriesKind::Rate {
+                continue;
+            }
+            let Some(Metric::Counter(c)) = tb.telemetry().get(&series.name) else {
+                panic!("timeline series {} not in the registry", series.name);
+            };
+            assert_eq!(
+                series.total,
+                c.get(),
+                "series {} must conserve the counter total",
+                series.name
+            );
+            assert_eq!(series.values.iter().sum::<u64>(), series.total);
+        }
+        let requests = report
+            .series
+            .iter()
+            .find(|s| s.name == "servlet.edge-1.requests")
+            .expect("servlet throughput tracked");
+        assert_eq!(requests.total, actions.len() as u64);
+        // The warm-up request must not leak into the measured series, and
+        // the working-set level must start from the surviving cache size
+        // (reset_telemetry refreshes the gauge after the blanket reset).
+        let size = report
+            .series
+            .iter()
+            .find(|s| s.name == "store.edge-1.size")
+            .expect("working-set size tracked");
+        assert!(
+            size.values[0] > 0,
+            "cache warmed before rebase must show a non-zero starting level"
         );
     }
 

@@ -21,6 +21,15 @@ use sli_trade::EjbTradeEngine;
 use sli_workload::{fit, TextTable};
 
 fn main() {
+    sli_bench::Cli::new(
+        "ablation_batching",
+        "Ablation: batching k client requests per transaction (paper section 4.4)",
+    )
+    .flag(
+        "smoke",
+        "accepted for CI symmetry (the sweep is already scaled down)",
+    )
+    .parse();
     let pop = Population::default();
     let sessions = 150;
     println!("Ablation: batching k client requests per transaction (ES/RBES)");

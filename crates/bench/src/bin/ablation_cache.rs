@@ -9,7 +9,7 @@
 //! Run with `cargo run --release -p sli-bench --bin ablation_cache`.
 
 use sli_arch::{Architecture, Testbed, TestbedConfig, VirtualClient};
-use sli_bench::RunConfig;
+use sli_bench::{Cli, RunConfig};
 use sli_simnet::SimDuration;
 use sli_trade::session::SessionGenerator;
 use sli_workload::{fit, TextTable};
@@ -64,6 +64,15 @@ fn run_capacity(capacity: Option<usize>, cfg: RunConfig) -> CapacityPoint {
 }
 
 fn main() {
+    Cli::new(
+        "ablation_cache",
+        "Ablation: ES/RBES latency sensitivity vs bounded common-store capacity",
+    )
+    .flag(
+        "smoke",
+        "accepted for CI symmetry (the sweep is already scaled down)",
+    )
+    .parse();
     let cfg = RunConfig {
         warmup_sessions: 100,
         measured_sessions: 100,

@@ -11,6 +11,7 @@
 //! Run with `cargo run --release -p sli-bench --bin contention`.
 
 use sli_arch::{Architecture, Flavor, Testbed, TestbedConfig, VirtualClient};
+use sli_bench::Cli;
 use sli_simnet::SimDuration;
 use sli_telemetry::{conflict_leaderboard, SpanEvent};
 use sli_trade::seed::Population;
@@ -98,6 +99,15 @@ fn run(
 }
 
 fn main() {
+    Cli::new(
+        "contention",
+        "Contention study: optimistic conflicts vs number of edges sharing hot users",
+    )
+    .flag(
+        "smoke",
+        "accepted for CI symmetry (the study is already quick)",
+    )
+    .parse();
     println!("Contention: optimistic conflicts vs number of edges");
     println!("(5 hot users shared by all edges, 40 ms one-way delay, interleaved sessions)\n");
     for (label, arch, note) in [

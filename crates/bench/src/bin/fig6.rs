@@ -13,20 +13,27 @@
 //!
 //! Besides the CSV, the binary emits a structured run report
 //! (`results/fig6.report.json`, schema `sli-edge.run-report/v1`) with one
-//! row per series × delay: cache hit ratio, commit abort rate, RPC
-//! retry/timeout counts and latency percentiles. The process exits
-//! non-zero if the report fails schema validation.
+//! row per series × delay, and the windowed virtual-time timelines of
+//! every measured run (`results/fig6.timeline.json`, schema
+//! `sli-edge.timeline/v1`). The process exits non-zero if either fails
+//! schema validation.
 
 use sli_arch::{Architecture, Flavor};
 use sli_bench::{
-    breakdown_table, combined_sample, sensitivity, sweep_traced, write_trace_json, RunConfig,
-    PAPER_DELAYS_MS,
+    breakdown_table, combined_sample, sensitivity, sweep_full, timeline_table, write_timeline_json,
+    write_trace_json, Cli, RunConfig, TraceHarvest, PAPER_DELAYS_MS,
 };
-use sli_telemetry::{validate_run_report, RunReport};
+use sli_telemetry::{validate_run_report, RunReport, TimelineDoc};
 use sli_workload::{Csv, TextTable};
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args = Cli::new(
+        "fig6",
+        "Regenerates Figure 6: client latency vs one-way delay, three architectures",
+    )
+    .flag("smoke", "scaled-down run for CI schema checks")
+    .parse();
+    let smoke = args.has("smoke");
     let cfg = if smoke {
         RunConfig::quick()
     } else {
@@ -58,12 +65,19 @@ fn main() {
     ]);
 
     let mut report = RunReport::new("Figure 6: Comparison of High-Latency Architectures");
+    let mut timelines = TimelineDoc::new("fig6");
     let mut harvests = Vec::new();
     let results: Vec<_> = series
         .iter()
         .map(|(name, arch)| {
-            let (points, rows, harvest) = sweep_traced(*arch, delays, cfg);
-            report.entries.extend(rows);
+            let mut points = Vec::new();
+            let mut harvest = TraceHarvest::default();
+            for run in sweep_full(*arch, delays, cfg) {
+                report.entries.push(run.report);
+                harvest.merge(run.harvest);
+                timelines.runs.push(run.timeline);
+                points.push(run.point);
+            }
             harvests.push(((*name).to_owned(), harvest));
             points
         })
@@ -106,6 +120,23 @@ fn main() {
         Ok(path) => println!("(span sample written to {path}; open it at ui.perfetto.dev)"),
         Err(e) => {
             eprintln!("error: trace export failed validation: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // One sparkline table per series (at the sweep's highest delay, where
+    // the timeline is most interesting); the full per-delay set lands in
+    // the timeline JSON.
+    println!("\nVirtual-time timelines (highest-delay run of each series):");
+    for run in timelines.runs.chunks(delays.len()) {
+        if let Some(last) = run.last() {
+            println!("{}", timeline_table(last));
+        }
+    }
+    match write_timeline_json(env!("CARGO_BIN_NAME"), &timelines) {
+        Ok(path) => println!("(timelines written to {path})"),
+        Err(e) => {
+            eprintln!("error: timeline export failed validation: {e}");
             std::process::exit(1);
         }
     }

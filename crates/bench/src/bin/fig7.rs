@@ -5,18 +5,25 @@
 //!
 //! Run with `cargo run --release -p sli-bench --bin fig7`. Pass `--smoke`
 //! for a scaled-down run (CI uses it). Also emits a structured run report
-//! (`results/fig7.report.json`).
+//! (`results/fig7.report.json`) and the per-run virtual-time timelines
+//! (`results/fig7.timeline.json`).
 
 use sli_arch::{Architecture, Flavor};
 use sli_bench::{
-    breakdown_table, combined_sample, sensitivity, sweep_traced, write_trace_json, RunConfig,
-    PAPER_DELAYS_MS,
+    breakdown_table, combined_sample, sensitivity, sweep_full, timeline_table, write_timeline_json,
+    write_trace_json, Cli, RunConfig, TraceHarvest, PAPER_DELAYS_MS,
 };
-use sli_telemetry::{validate_run_report, RunReport};
+use sli_telemetry::{validate_run_report, RunReport, TimelineDoc};
 use sli_workload::{Csv, TextTable};
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args = Cli::new(
+        "fig7",
+        "Regenerates Figure 7: latency vs one-way delay for the three ES/RDB algorithms",
+    )
+    .flag("smoke", "scaled-down run for CI schema checks")
+    .parse();
+    let smoke = args.has("smoke");
     let cfg = if smoke {
         RunConfig::quick()
     } else {
@@ -33,12 +40,19 @@ fn main() {
     println!("(latency vs one-way delay for the three data-access algorithms)\n");
 
     let mut report = RunReport::new("Figure 7: Edge-Servers Accessing Remote Database");
+    let mut timelines = TimelineDoc::new("fig7");
     let mut harvests = Vec::new();
     let results: Vec<_> = series
         .iter()
         .map(|(name, arch)| {
-            let (points, rows, harvest) = sweep_traced(*arch, delays, cfg);
-            report.entries.extend(rows);
+            let mut points = Vec::new();
+            let mut harvest = TraceHarvest::default();
+            for run in sweep_full(*arch, delays, cfg) {
+                report.entries.push(run.report);
+                harvest.merge(run.harvest);
+                timelines.runs.push(run.timeline);
+                points.push(run.point);
+            }
             harvests.push(((*name).to_owned(), harvest));
             points
         })
@@ -85,6 +99,20 @@ fn main() {
         Ok(path) => println!("(span sample written to {path}; open it at ui.perfetto.dev)"),
         Err(e) => {
             eprintln!("error: trace export failed validation: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    println!("\nVirtual-time timelines (highest-delay run of each algorithm):");
+    for run in timelines.runs.chunks(delays.len()) {
+        if let Some(last) = run.last() {
+            println!("{}", timeline_table(last));
+        }
+    }
+    match write_timeline_json(env!("CARGO_BIN_NAME"), &timelines) {
+        Ok(path) => println!("(timelines written to {path})"),
+        Err(e) => {
+            eprintln!("error: timeline export failed validation: {e}");
             std::process::exit(1);
         }
     }

@@ -7,16 +7,26 @@
 //!
 //! Run with `cargo run --release -p sli-bench --bin fig8`. Pass `--smoke`
 //! for a scaled-down run (CI uses it). Also emits a structured run report
-//! (`results/fig8.report.json`).
+//! (`results/fig8.report.json`) and the per-run virtual-time timelines
+//! (`results/fig8.timeline.json`).
 
 use sli_arch::{Architecture, Flavor};
-use sli_bench::{breakdown_table, combined_sample, run_point_traced, write_trace_json, RunConfig};
+use sli_bench::{
+    breakdown_table, combined_sample, run_point_full, timeline_table, write_timeline_json,
+    write_trace_json, Cli, RunConfig,
+};
 use sli_simnet::SimDuration;
-use sli_telemetry::{validate_run_report, RunReport};
+use sli_telemetry::{validate_run_report, RunReport, TimelineDoc};
 use sli_workload::{Csv, TextTable};
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args = Cli::new(
+        "fig8",
+        "Regenerates Figure 8: bytes to the shared site per client interaction",
+    )
+    .flag("smoke", "scaled-down run for CI schema checks")
+    .parse();
+    let smoke = args.has("smoke");
     let cfg = if smoke {
         RunConfig::quick()
     } else {
@@ -57,11 +67,14 @@ fn main() {
         "round_trips_per_interaction",
     ]);
     let mut report = RunReport::new("Figure 8: Bandwidth to the shared site");
+    let mut timelines = TimelineDoc::new("fig8");
     let mut harvests = Vec::new();
     for (name, arch, paper) in series {
-        let (p, row, harvest) = run_point_traced(arch, delay, cfg);
-        report.entries.push(row);
-        harvests.push((name.to_owned(), harvest));
+        let run = run_point_full(arch, delay, cfg);
+        let p = run.point;
+        report.entries.push(run.report);
+        timelines.runs.push(run.timeline);
+        harvests.push((name.to_owned(), run.harvest));
         table.row(vec![
             name.to_owned(),
             format!("{:.0}", p.shared_bytes_per_interaction),
@@ -93,6 +106,18 @@ fn main() {
         Ok(path) => println!("(span sample written to {path}; open it at ui.perfetto.dev)"),
         Err(e) => {
             eprintln!("error: trace export failed validation: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    println!("\nVirtual-time timelines (one run per architecture at 40 ms one-way):");
+    for run in &timelines.runs {
+        println!("{}", timeline_table(run));
+    }
+    match write_timeline_json(env!("CARGO_BIN_NAME"), &timelines) {
+        Ok(path) => println!("(timelines written to {path})"),
+        Err(e) => {
+            eprintln!("error: timeline export failed validation: {e}");
             std::process::exit(1);
         }
     }

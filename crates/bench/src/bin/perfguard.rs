@@ -1,0 +1,272 @@
+//! Performance baseline recorder and regression gate.
+//!
+//! Because the testbed runs on virtual time, every metric is a pure
+//! function of the code and the seeds: a baseline recorded on one machine
+//! is bit-identical on any other. `--record` measures the guarded
+//! architecture×delay points and writes them to
+//! `results/baselines/{profile}.json` (checked in); `--check` re-measures
+//! and fails — with a per-metric explanation of the confidence bounds —
+//! when any metric worsened beyond the tolerance plus both runs' 95% CI
+//! half-widths (§4.3 batch-means protocol).
+//!
+//! CI runs `perfguard --check --smoke` after the figure/table smoke runs,
+//! so a change that silently adds a round trip to a delayed path or stops
+//! a cache from hitting fails the build. To see the gate fire without
+//! editing code, dial seeded request loss into the measured run:
+//! `cargo run -p sli-bench --bin perfguard -- --check --smoke --faults 30`.
+//!
+//! Every invocation appends a verdict entry to `BENCH_perfguard.json`, a
+//! growing trajectory of gate outcomes over the repo's history.
+
+use sli_bench::{
+    compare_guard, guard_suite, parse_baseline, render_baseline, Cli, GuardEntry, GuardProfile,
+    Regression,
+};
+use sli_simnet::FaultPlan;
+use sli_telemetry::Json;
+use sli_workload::TextTable;
+
+/// Where the verdict trajectory accumulates.
+const TRAJECTORY: &str = "BENCH_perfguard.json";
+
+fn main() {
+    let cli = Cli::new(
+        "perfguard",
+        "Records performance baselines and gates changes against them",
+    )
+    .flag(
+        "record",
+        "measure the guarded points and write the baseline",
+    )
+    .flag("check", "measure and compare against the recorded baseline")
+    .flag(
+        "smoke",
+        "CI-sized profile (4 points, quick protocol) instead of the full suite",
+    )
+    .option(
+        "tolerance",
+        "FRACTION",
+        "relative worsening allowed per metric (default 0.05)",
+    )
+    .option(
+        "baseline",
+        "PATH",
+        "baseline file (default results/baselines/{profile}.json)",
+    )
+    .option(
+        "faults",
+        "PER_MILLE",
+        "dial seeded request loss into the measured run (stages a regression on purpose)",
+    );
+    let args = cli.parse();
+
+    let record = args.has("record");
+    if record == args.has("check") {
+        eprintln!(
+            "error: pass exactly one of --record / --check\n\n{}",
+            cli.usage()
+        );
+        std::process::exit(2);
+    }
+    let profile = if args.has("smoke") {
+        GuardProfile::Smoke
+    } else {
+        GuardProfile::Full
+    };
+    let tolerance = match args.get("tolerance") {
+        None => 0.05,
+        Some(t) => match t.parse::<f64>() {
+            Ok(v) if v >= 0.0 => v,
+            _ => {
+                eprintln!("error: --tolerance needs a non-negative number, got {t:?}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let mut cfg = profile.config();
+    if let Some(f) = args.get("faults") {
+        let per_mille = match f.parse::<u16>() {
+            Ok(v) if v <= 1000 => v,
+            _ => {
+                eprintln!("error: --faults needs a per-mille rate in 0..=1000, got {f:?}");
+                std::process::exit(2);
+            }
+        };
+        cfg.faults = FaultPlan::lossy(cfg.seed, per_mille);
+        println!("(faults: dropping ~{per_mille}/1000 requests on the delayed paths)\n");
+    }
+    let baseline_path = args.get("baseline").map_or_else(
+        || format!("results/baselines/{}.json", profile.label()),
+        str::to_owned,
+    );
+
+    println!(
+        "perfguard: measuring the {} profile ({} points)...\n",
+        profile.label(),
+        profile.points().len()
+    );
+    let current = guard_suite(profile, cfg);
+    print_suite(&current);
+
+    if record {
+        let doc = render_baseline(profile, &current);
+        if let Some(dir) = std::path::Path::new(&baseline_path).parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: create {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+        if let Err(e) = std::fs::write(&baseline_path, doc.render()) {
+            eprintln!("error: write {baseline_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("baseline written to {baseline_path}");
+        append_trajectory(profile, "record", "recorded", &current, tolerance, &[]);
+        return;
+    }
+
+    let baseline = match load_baseline(&baseline_path, profile) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("(record one first: cargo run --release -p sli-bench --bin perfguard -- --record{})",
+                if profile == GuardProfile::Smoke { " --smoke" } else { "" });
+            append_trajectory(profile, "check", "stale", &current, tolerance, &[]);
+            std::process::exit(1);
+        }
+    };
+    match compare_guard(&baseline, &current, tolerance) {
+        Err(e) => {
+            eprintln!("error: {e}");
+            append_trajectory(profile, "check", "stale", &current, tolerance, &[]);
+            std::process::exit(1);
+        }
+        Ok(regressions) if regressions.is_empty() => {
+            let checked: usize = baseline.iter().map(|e| e.metrics.len()).sum();
+            println!(
+                "PASS: {checked} metrics across {} points within tolerance {tolerance} of {baseline_path}",
+                baseline.len()
+            );
+            append_trajectory(profile, "check", "pass", &current, tolerance, &[]);
+        }
+        Ok(regressions) => {
+            eprintln!(
+                "FAIL: {} metric(s) regressed beyond CI bounds:",
+                regressions.len()
+            );
+            for r in &regressions {
+                eprintln!("  REGRESSION {}", r.explain());
+            }
+            eprintln!(
+                "(if the change is intentional, refresh with: cargo run --release -p sli-bench \
+                 --bin perfguard -- --record{})",
+                if profile == GuardProfile::Smoke {
+                    " --smoke"
+                } else {
+                    ""
+                }
+            );
+            append_trajectory(profile, "check", "fail", &current, tolerance, &regressions);
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Prints the measured suite as a table, one row per guarded point.
+fn print_suite(entries: &[GuardEntry]) {
+    let mut table = TextTable::new(&[
+        "point",
+        "latency (ms)",
+        "hit ratio",
+        "abort rate",
+        "failure rate",
+        "shared bytes/interaction",
+    ]);
+    for e in entries {
+        let get = |name: &str| {
+            e.metrics
+                .iter()
+                .find(|m| m.name == name)
+                .map_or(0.0, |m| m.value)
+        };
+        table.row(vec![
+            e.key.clone(),
+            format!("{:.2}", get("latency_ms")),
+            format!("{:.3}", get("hit_ratio")),
+            format!("{:.3}", get("abort_rate")),
+            format!("{:.3}", get("failure_rate")),
+            format!("{:.0}", get("shared_bytes_per_interaction")),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+/// Reads and validates the baseline file, rejecting a profile mismatch
+/// (a smoke baseline must not gate a full run or vice versa).
+fn load_baseline(path: &str, profile: GuardProfile) -> Result<Vec<GuardEntry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let (label, entries) = parse_baseline(&json).map_err(|e| format!("{path}: {e}"))?;
+    if label != profile.label() {
+        return Err(format!(
+            "{path} records the {label:?} profile but this is a {:?} run; re-record it",
+            profile.label()
+        ));
+    }
+    Ok(entries)
+}
+
+/// Appends one verdict entry to the [`TRAJECTORY`] file (a JSON array; a
+/// missing or unreadable file starts a fresh one).
+fn append_trajectory(
+    profile: GuardProfile,
+    mode: &str,
+    verdict: &str,
+    current: &[GuardEntry],
+    tolerance: f64,
+    regressions: &[Regression],
+) {
+    let timestamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let entry = Json::obj([
+        ("timestamp", Json::from(timestamp)),
+        ("profile", Json::from(profile.label())),
+        ("mode", Json::from(mode)),
+        ("verdict", Json::from(verdict)),
+        (
+            "checked",
+            Json::from(current.iter().map(|e| e.metrics.len() as u64).sum::<u64>()),
+        ),
+        ("tolerance", Json::from(tolerance)),
+        (
+            "regressions",
+            Json::Arr(
+                regressions
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("key", Json::from(r.key.clone())),
+                            ("metric", Json::from(r.metric.clone())),
+                            ("baseline", Json::from(r.baseline)),
+                            ("current", Json::from(r.current)),
+                            ("worsened_by", Json::from(r.worsened_by)),
+                            ("allowance", Json::from(r.allowance())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let mut history = std::fs::read_to_string(TRAJECTORY)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .and_then(|json| json.as_arr().map(<[Json]>::to_vec))
+        .unwrap_or_default();
+    history.push(entry);
+    if let Err(e) = std::fs::write(TRAJECTORY, Json::Arr(history).render()) {
+        eprintln!("warning: could not append to {TRAJECTORY}: {e}");
+    } else {
+        println!("(verdict appended to {TRAJECTORY})");
+    }
+}

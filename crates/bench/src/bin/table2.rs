@@ -7,14 +7,15 @@
 //! Run with `cargo run --release -p sli-bench --bin table2`. Pass `--smoke`
 //! for a scaled-down run (CI uses it). Also emits a structured run report
 //! (`results/table2.report.json`) with one row per architecture ×
-//! algorithm × delay.
+//! algorithm × delay, and the per-run virtual-time timelines
+//! (`results/table2.timeline.json`).
 
 use sli_arch::{Architecture, Flavor};
 use sli_bench::{
-    breakdown_table, combined_sample, sensitivity, sweep_traced, write_trace_json, RunConfig,
-    TraceHarvest, PAPER_DELAYS_MS,
+    breakdown_table, combined_sample, sensitivity, sweep_full, timeline_table, write_timeline_json,
+    write_trace_json, Cli, RunConfig, TraceHarvest, PAPER_DELAYS_MS,
 };
-use sli_telemetry::{validate_run_report, RunReport};
+use sli_telemetry::{validate_run_report, RunReport, TimelineDoc};
 use sli_workload::{Csv, TextTable};
 
 fn slope(
@@ -24,15 +25,28 @@ fn slope(
     cfg: RunConfig,
     report: &mut RunReport,
     harvests: &mut Vec<(String, TraceHarvest)>,
+    timelines: &mut TimelineDoc,
 ) -> f64 {
-    let (points, rows, harvest) = sweep_traced(arch, delays, cfg);
-    report.entries.extend(rows);
+    let mut points = Vec::new();
+    let mut harvest = TraceHarvest::default();
+    for run in sweep_full(arch, delays, cfg) {
+        report.entries.push(run.report);
+        harvest.merge(run.harvest);
+        timelines.runs.push(run.timeline);
+        points.push(run.point);
+    }
     harvests.push((name.to_owned(), harvest));
     sensitivity(&points).expect("multi-delay sweep").slope
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args = Cli::new(
+        "table2",
+        "Regenerates Table 2: latency-sensitivity slopes for every architecture x algorithm",
+    )
+    .flag("smoke", "scaled-down run for CI schema checks")
+    .parse();
+    let smoke = args.has("smoke");
     let cfg = if smoke {
         RunConfig::quick()
     } else {
@@ -44,8 +58,9 @@ fn main() {
 
     let mut report = RunReport::new("Table 2: Algorithm Sensitivity to Communication Latency");
     let mut harvests = Vec::new();
-    let run = |arch, name: &str, report: &mut RunReport, harvests: &mut Vec<_>| {
-        slope(arch, name, delays, cfg, report, harvests)
+    let mut timelines = TimelineDoc::new("table2");
+    let mut run = |arch, name: &str, report: &mut RunReport, harvests: &mut Vec<_>| {
+        slope(arch, name, delays, cfg, report, harvests, &mut timelines)
     };
     let cached_rdb = run(
         Architecture::EsRdb(Flavor::CachedEjb),
@@ -173,6 +188,20 @@ fn main() {
         Ok(path) => println!("(span sample written to {path}; open it at ui.perfetto.dev)"),
         Err(e) => {
             eprintln!("error: trace export failed validation: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    println!("\nVirtual-time timelines (highest-delay run of each sweep):");
+    for sweep_runs in timelines.runs.chunks(delays.len()) {
+        if let Some(last) = sweep_runs.last() {
+            println!("{}", timeline_table(last));
+        }
+    }
+    match write_timeline_json(env!("CARGO_BIN_NAME"), &timelines) {
+        Ok(path) => println!("(timelines written to {path})"),
+        Err(e) => {
+            eprintln!("error: timeline export failed validation: {e}");
             std::process::exit(1);
         }
     }

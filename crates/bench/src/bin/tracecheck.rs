@@ -1,14 +1,46 @@
-//! CI gate for trace exports: re-parses every `results/*.trace.json` from
-//! its on-disk bytes and validates Chrome trace-event well-formedness —
+//! CI gate for exported telemetry: re-parses every `results/*.trace.json`
+//! and `results/*.timeline.json` from its on-disk bytes and validates it.
+//!
+//! Trace files are checked for Chrome trace-event well-formedness —
 //! required fields present and every span's `ts + dur` contained within
-//! its parent's interval.
+//! its parent's interval. Timeline files are checked against the
+//! `sli-edge.timeline/v1` schema, including the rate-conservation law
+//! (each rate series' windows must sum to its run-end total).
 //!
 //! Run with `cargo run -p sli-bench --bin tracecheck` after the figure and
-//! table binaries. Exits non-zero if no trace files exist or any fails.
+//! table binaries. Exits non-zero if no exports exist or any fails.
 
-use sli_telemetry::{validate_chrome_trace, Json};
+use sli_bench::Cli;
+use sli_telemetry::{validate_chrome_trace, validate_timeline, Json};
+
+/// Validates one file, returning a short success label.
+fn check(path: &std::path::Path) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parse: {e}"))?;
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    if name.ends_with(".timeline.json") {
+        validate_timeline(&doc)?;
+        let runs = doc
+            .get("runs")
+            .and_then(Json::as_arr)
+            .map_or(0, <[Json]>::len);
+        Ok(format!("{runs} timeline run(s)"))
+    } else {
+        validate_chrome_trace(&doc)?;
+        let spans = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .map_or(0, <[Json]>::len);
+        Ok(format!("{spans} spans"))
+    }
+}
 
 fn main() {
+    Cli::new(
+        "tracecheck",
+        "Validates every results/*.trace.json and results/*.timeline.json export",
+    )
+    .parse();
     let entries = match std::fs::read_dir("results") {
         Ok(entries) => entries,
         Err(e) => {
@@ -21,37 +53,26 @@ fn main() {
         .filter(|p| {
             p.file_name()
                 .and_then(|n| n.to_str())
-                .is_some_and(|n| n.ends_with(".trace.json"))
+                .is_some_and(|n| n.ends_with(".trace.json") || n.ends_with(".timeline.json"))
         })
         .collect();
     paths.sort();
     if paths.is_empty() {
-        eprintln!("error: no results/*.trace.json files to validate");
+        eprintln!("error: no results/*.trace.json or results/*.timeline.json files to validate");
         std::process::exit(1);
     }
 
     let mut failed = 0usize;
     for path in &paths {
-        let outcome = std::fs::read_to_string(path)
-            .map_err(|e| format!("read: {e}"))
-            .and_then(|text| Json::parse(&text).map_err(|e| format!("parse: {e}")))
-            .and_then(|doc| {
-                validate_chrome_trace(&doc)?;
-                let spans = doc
-                    .get("traceEvents")
-                    .and_then(Json::as_arr)
-                    .map_or(0, <[Json]>::len);
-                Ok(spans)
-            });
-        match outcome {
-            Ok(spans) => println!("ok   {} ({spans} spans)", path.display()),
+        match check(path) {
+            Ok(label) => println!("ok   {} ({label})", path.display()),
             Err(e) => {
                 eprintln!("FAIL {}: {e}", path.display());
                 failed += 1;
             }
         }
     }
-    println!("{} trace file(s) checked, {failed} failed", paths.len());
+    println!("{} export(s) checked, {failed} failed", paths.len());
     if failed > 0 {
         std::process::exit(1);
     }

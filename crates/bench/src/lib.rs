@@ -19,14 +19,24 @@
 #![warn(missing_docs)]
 
 use sli_arch::{collect_report, Architecture, Testbed, TestbedConfig, VirtualClient};
-use sli_simnet::SimDuration;
+use sli_simnet::{FaultPlan, SimDuration};
 use sli_telemetry::{
-    chrome_trace, conflict_leaderboard, critical_path, validate_chrome_trace, ArchReport,
-    Breakdown, Bucket, ConflictEntry, SpanEvent,
+    chrome_trace, conflict_leaderboard, critical_path, sparkline, validate_chrome_trace,
+    validate_timeline, ArchReport, Breakdown, Bucket, ConflictEntry, SpanEvent, TimelineDoc,
+    TimelineReport,
 };
 use sli_trade::seed::Population;
 use sli_trade::session::SessionGenerator;
 use sli_workload::{batch_means, fit, percentile, LinearFit, TextTable};
+
+mod cli;
+mod guard;
+
+pub use cli::{Cli, CliArgs, CliError};
+pub use guard::{
+    compare_guard, guard_run, guard_suite, parse_baseline, render_baseline, GuardEntry,
+    GuardMetric, GuardProfile, Regression, PERFGUARD_SCHEMA,
+};
 
 /// Measurement-protocol parameters (§4.3 of the paper).
 #[derive(Debug, Clone, Copy)]
@@ -45,6 +55,13 @@ pub struct RunConfig {
     /// microseconds). Zero reproduces the deterministic runs; a small value
     /// reproduces the paper's R² ≈ 0.99 texture.
     pub jitter_us: u64,
+    /// Initial timeline window width in virtual microseconds (the window
+    /// doubles automatically when a run outlives the window budget).
+    pub timeline_window_us: u64,
+    /// Fault plan dialled into the delayed paths for the measured run
+    /// (clean by default; `perfguard --faults` uses it to stage an
+    /// artificial regression).
+    pub faults: FaultPlan,
 }
 
 impl Default for RunConfig {
@@ -56,6 +73,8 @@ impl Default for RunConfig {
             seed: 20040101, // Middleware 2004
             population: Population::default(),
             jitter_us: 0,
+            timeline_window_us: 100_000, // 100 ms of virtual time
+            faults: FaultPlan::NONE,
         }
     }
 }
@@ -166,6 +185,32 @@ pub fn run_point_traced(
     delay: SimDuration,
     cfg: RunConfig,
 ) -> (SweepPoint, ArchReport, TraceHarvest) {
+    let run = run_point_full(arch, delay, cfg);
+    (run.point, run.report, run.harvest)
+}
+
+/// Everything one measured point yields: the sweep point, the structured
+/// report row, the causal-trace harvest, and the windowed virtual-time
+/// timeline of the measured phase.
+#[derive(Clone, Debug)]
+pub struct PointRun {
+    /// The latency/traffic summary of the point.
+    pub point: SweepPoint,
+    /// The structured per-architecture report row.
+    pub report: ArchReport,
+    /// Critical-path breakdown, conflict forensics and span sample.
+    pub harvest: TraceHarvest,
+    /// Per-window rate/level series of the measured phase.
+    pub timeline: TimelineReport,
+}
+
+/// The full measurement protocol for one architecture at one delay,
+/// returning every artifact the harness can produce (see [`PointRun`]).
+///
+/// The timeline is rebased at the warm-up/measure boundary (so rate totals
+/// cover exactly the measured interactions, matching the registry counter
+/// reads) and sampled after every interaction on the simulated clock.
+pub fn run_point_full(arch: Architecture, delay: SimDuration, cfg: RunConfig) -> PointRun {
     let testbed = Testbed::build(
         arch,
         TestbedConfig {
@@ -184,6 +229,10 @@ pub fn run_point_traced(
             cfg.seed ^ delay.as_micros().wrapping_mul(0x9E37_79B9),
         );
     }
+    if !cfg.faults.is_clean() {
+        testbed.set_faults(cfg.faults);
+    }
+    let timeline = testbed.standard_timeline(cfg.timeline_window_us.max(1));
     let mut generator = SessionGenerator::new(cfg.seed, cfg.population);
     let mut client = VirtualClient::new(&testbed, 0);
 
@@ -194,13 +243,16 @@ pub fn run_point_traced(
 
     testbed.reset_path_stats();
     testbed.reset_telemetry();
+    timeline.rebase(testbed.clock.now().as_micros());
     let mut latencies = Vec::new();
     let mut ok = 0;
     let mut failed = 0;
     let mut harvest = TraceHarvest::default();
     for s in 0..cfg.measured_sessions {
         let session = generator.session();
-        for outcome in client.run_session(&session) {
+        for action in &session {
+            let outcome = client.perform(action);
+            timeline.sample(testbed.clock.now().as_micros());
             latencies.push(outcome.latency.as_millis_f64());
             if outcome.status == 200 {
                 ok += 1;
@@ -237,7 +289,13 @@ pub fn run_point_traced(
         ok,
         failed,
     };
-    (point, report, harvest)
+    let timeline = timeline.report(format!("{} @ {:.0}ms", report.arch, point.delay_ms));
+    PointRun {
+        point,
+        report,
+        harvest,
+        timeline,
+    }
 }
 
 /// Sweeps the proxy delay (in milliseconds) for one architecture.
@@ -271,13 +329,21 @@ pub fn sweep_traced(
     let mut points = Vec::new();
     let mut reports = Vec::new();
     let mut harvest = TraceHarvest::default();
-    for &d in delays_ms {
-        let (p, r, h) = run_point_traced(arch, SimDuration::from_millis(d), cfg);
-        points.push(p);
-        reports.push(r);
-        harvest.merge(h);
+    for run in sweep_full(arch, delays_ms, cfg) {
+        points.push(run.point);
+        reports.push(run.report);
+        harvest.merge(run.harvest);
     }
     (points, reports, harvest)
+}
+
+/// Sweeps the proxy delay, returning every artifact per point (sweep
+/// point, report row, trace harvest, timeline).
+pub fn sweep_full(arch: Architecture, delays_ms: &[u64], cfg: RunConfig) -> Vec<PointRun> {
+    delays_ms
+        .iter()
+        .map(|&d| run_point_full(arch, SimDuration::from_millis(d), cfg))
+        .collect()
 }
 
 /// Renders the latency-breakdown table the figure/table binaries print:
@@ -336,6 +402,52 @@ pub fn write_trace_json(name: &str, events: &[SpanEvent]) -> Result<String, Stri
     std::fs::create_dir_all("results").map_err(|e| format!("create results/: {e}"))?;
     std::fs::write(&path, doc.render()).map_err(|e| format!("write {path}: {e}"))?;
     Ok(path)
+}
+
+/// Exports `doc` to `results/{name}.timeline.json`, validating it against
+/// the `sli-edge.timeline/v1` schema (including the rate-conservation law)
+/// before writing. Returns the path written.
+///
+/// # Errors
+/// Returns a description of the validation or I/O failure.
+pub fn write_timeline_json(name: &str, doc: &TimelineDoc) -> Result<String, String> {
+    let json = doc.to_json();
+    validate_timeline(&json)?;
+    let path = format!("results/{name}.timeline.json");
+    std::fs::create_dir_all("results").map_err(|e| format!("create results/: {e}"))?;
+    std::fs::write(&path, json.render()).map_err(|e| format!("write {path}: {e}"))?;
+    Ok(path)
+}
+
+/// Renders one timeline run as an ASCII sparkline table: one row per
+/// series that saw any activity (quiet series are summarised in a trailing
+/// note), darkest glyph = the series' busiest window.
+pub fn timeline_table(report: &TimelineReport) -> String {
+    let window_ms = report.window_us as f64 / 1_000.0;
+    let activity = format!(
+        "activity ({} windows x {:.0} ms virtual)",
+        report.windows(),
+        window_ms
+    );
+    let mut table = TextTable::new(&["series", "kind", "total", activity.as_str()]);
+    let mut quiet = 0usize;
+    for s in &report.series {
+        if s.values.iter().all(|&v| v == 0) {
+            quiet += 1;
+            continue;
+        }
+        table.row(vec![
+            s.name.clone(),
+            s.kind.label().to_owned(),
+            s.total.to_string(),
+            format!("|{}|", sparkline(&s.values)),
+        ]);
+    }
+    let mut out = format!("{}\n{}", report.label, table.render());
+    if quiet > 0 {
+        out.push_str(&format!("({quiet} series with no activity omitted)\n"));
+    }
+    out
 }
 
 /// The delay sweep of Figures 6 and 7: 0–100 ms one-way in 20 ms steps.

@@ -1,0 +1,79 @@
+//! Cross-architecture timeline correctness: for every architecture ×
+//! flavor combination the harness can build, the windowed rate series must
+//! conserve the run-end counter totals — per-window deltas summing exactly
+//! to what the registry's counters read at the end of the measured phase —
+//! and the assembled document must round-trip through the schema
+//! validator from its rendered bytes.
+
+use sli_arch::{Architecture, Flavor};
+use sli_bench::{run_point_full, RunConfig};
+use sli_simnet::SimDuration;
+use sli_telemetry::{validate_timeline, Json, SeriesKind, TimelineDoc};
+
+/// Every architecture × flavor combination the testbed supports.
+fn all_combos() -> Vec<Architecture> {
+    let flavors = [Flavor::Jdbc, Flavor::VanillaEjb, Flavor::CachedEjb];
+    let mut combos: Vec<Architecture> = flavors.iter().map(|&f| Architecture::EsRdb(f)).collect();
+    combos.push(Architecture::EsRbes);
+    combos.extend(flavors.iter().map(|&f| Architecture::ClientsRas(f)));
+    combos
+}
+
+#[test]
+fn rate_series_conserve_counter_totals_across_all_architectures() {
+    let combos = all_combos();
+    assert_eq!(combos.len(), 7);
+    let mut doc = TimelineDoc::new("timeline conservation test");
+    for arch in combos {
+        let run = run_point_full(arch, SimDuration::from_millis(20), RunConfig::quick());
+        assert!(
+            run.timeline.series.len() > 3,
+            "{}: timeline tracks the stack",
+            run.report.arch
+        );
+        assert!(run.timeline.windows() > 0, "{}", run.report.arch);
+        let mut rate_series = 0usize;
+        let mut active = 0usize;
+        for series in &run.timeline.series {
+            assert_eq!(series.values.len(), run.timeline.windows());
+            if series.kind == SeriesKind::Rate {
+                rate_series += 1;
+                let sum: u64 = series.values.iter().sum();
+                assert_eq!(
+                    sum, series.total,
+                    "{} / {}: windows must sum to the run-end total",
+                    run.report.arch, series.name
+                );
+                if series.total > 0 {
+                    active += 1;
+                }
+            }
+        }
+        assert!(rate_series > 0, "{}", run.report.arch);
+        assert!(
+            active > 0,
+            "{}: a measured run must move at least one counter",
+            run.report.arch
+        );
+
+        // The servlet's request counter ties the timeline to the measured
+        // interaction count reported alongside it.
+        let requests = run
+            .timeline
+            .series
+            .iter()
+            .find(|s| s.name == "servlet.edge-1.requests")
+            .expect("servlet requests series");
+        // `interactions` already counts every measured request, failed
+        // ones included.
+        assert_eq!(requests.total, run.report.interactions);
+        assert_eq!(run.report.failed, run.point.failed as u64);
+
+        doc.runs.push(run.timeline);
+    }
+
+    // The whole seven-run document survives a disk round trip: render,
+    // re-parse the exact bytes, validate (including the conservation law).
+    let reparsed = Json::parse(&doc.to_json().render()).expect("rendered JSON parses");
+    validate_timeline(&reparsed).expect("document validates from its bytes");
+}

@@ -9,7 +9,7 @@ use sli_component::Memento;
 use sli_datastore::Value;
 use sli_simnet::wire::{Reader, Writer};
 use sli_simnet::Service;
-use sli_telemetry::{Counter, Registry};
+use sli_telemetry::{Counter, Gauge, Registry, Timeline};
 
 /// Hit/miss counters for a [`CommonStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -66,6 +66,9 @@ pub struct CommonStore {
     misses: Counter,
     invalidations: Counter,
     evictions: Counter,
+    /// Working-set size: number of cached images, kept in sync with
+    /// `inner.images.len()` so timelines can watch the cache fill.
+    size: Gauge,
 }
 
 /// Image map plus LRU bookkeeping: every entry carries the tick of its last
@@ -154,14 +157,17 @@ impl CommonStore {
                 self.evictions.inc();
             }
         }
+        self.size.set(inner.images.len() as u64);
     }
 
     /// Drops the image for (`bean`, `key`), if present.
     pub fn invalidate(&self, bean: &str, key: &Value) {
         let entry_key = (bean.to_owned(), key.clone());
-        if self.inner.write().remove(&entry_key).is_some() {
+        let mut inner = self.inner.write();
+        if inner.remove(&entry_key).is_some() {
             self.invalidations.inc();
         }
+        self.size.set(inner.images.len() as u64);
     }
 
     /// Drops every cached image (e.g. between benchmark runs).
@@ -169,6 +175,7 @@ impl CommonStore {
         let mut inner = self.inner.write();
         inner.images.clear();
         inner.recency.clear();
+        self.size.set(0);
     }
 
     /// Number of cached images.
@@ -199,15 +206,36 @@ impl CommonStore {
         self.evictions.reset();
     }
 
+    /// Re-derives the working-set gauge from the image map. A blanket
+    /// registry reset zeroes every gauge while the cached images survive
+    /// the warm-up/measure boundary; call this afterwards so the level
+    /// series starts from the true cache size.
+    pub fn refresh_size(&self) {
+        self.size.set(self.inner.read().images.len() as u64);
+    }
+
     /// Attaches this store's counters to `registry` under
-    /// `{prefix}.hits`, `.misses`, `.invalidations` and `.evictions`
-    /// (e.g. `store.edge-0.hits`). The store keeps using the same shared
-    /// handles, so registration costs nothing on the hot path.
+    /// `{prefix}.hits`, `.misses`, `.invalidations`, `.evictions` and the
+    /// `.size` working-set gauge (e.g. `store.edge-0.hits`). The store
+    /// keeps using the same shared handles, so registration costs nothing
+    /// on the hot path.
     pub fn register_with(&self, registry: &Registry, prefix: &str) {
         registry.attach_counter(format!("{prefix}.hits"), &self.hits);
         registry.attach_counter(format!("{prefix}.misses"), &self.misses);
         registry.attach_counter(format!("{prefix}.invalidations"), &self.invalidations);
         registry.attach_counter(format!("{prefix}.evictions"), &self.evictions);
+        registry.attach_gauge(format!("{prefix}.size"), &self.size);
+    }
+
+    /// Tracks this store's activity in `timeline`: hit/miss/invalidation/
+    /// eviction rates plus the working-set size level, under the same
+    /// names [`CommonStore::register_with`] uses.
+    pub fn timeline_into(&self, timeline: &Timeline, prefix: &str) {
+        timeline.track_counter(format!("{prefix}.hits"), &self.hits);
+        timeline.track_counter(format!("{prefix}.misses"), &self.misses);
+        timeline.track_counter(format!("{prefix}.invalidations"), &self.invalidations);
+        timeline.track_counter(format!("{prefix}.evictions"), &self.evictions);
+        timeline.track_gauge(format!("{prefix}.size"), &self.size);
     }
 }
 
@@ -261,6 +289,9 @@ pub struct DeferredInvalidationSink {
     store: Arc<CommonStore>,
     delay: DelaySource,
     pending: parking_lot::Mutex<Vec<(sli_simnet::SimTime, Bytes)>>,
+    queued: Counter,
+    delivered: Counter,
+    queue_depth: Gauge,
 }
 
 /// How the sink computes a message's delivery deadline.
@@ -307,6 +338,9 @@ impl DeferredInvalidationSink {
             store,
             delay: DelaySource::Fixed(clock, latency),
             pending: parking_lot::Mutex::new(Vec::new()),
+            queued: Counter::new(),
+            delivered: Counter::new(),
+            queue_depth: Gauge::new(),
         })
     }
 
@@ -321,6 +355,9 @@ impl DeferredInvalidationSink {
             store,
             delay: DelaySource::OverPath(path),
             pending: parking_lot::Mutex::new(Vec::new()),
+            queued: Counter::new(),
+            delivered: Counter::new(),
+            queue_depth: Gauge::new(),
         })
     }
 
@@ -341,8 +378,10 @@ impl DeferredInvalidationSink {
                     true
                 }
             });
+            self.queue_depth.set(pending.len() as u64);
             due
         };
+        self.delivered.add(due.len() as u64);
         for frame in due {
             apply_invalidation_frame(&self.store, frame);
         }
@@ -352,12 +391,35 @@ impl DeferredInvalidationSink {
     pub fn in_flight(&self) -> usize {
         self.pending.lock().len()
     }
+
+    /// Attaches the sink's queue metrics to `registry` under
+    /// `{prefix}.queued`, `.delivered` and `.queue_depth` (e.g.
+    /// `invalidations.edge-0.queue_depth`).
+    pub fn register_with(&self, registry: &Registry, prefix: &str) {
+        registry.attach_counter(format!("{prefix}.queued"), &self.queued);
+        registry.attach_counter(format!("{prefix}.delivered"), &self.delivered);
+        registry.attach_gauge(format!("{prefix}.queue_depth"), &self.queue_depth);
+    }
+
+    /// Tracks the queue in `timeline`: enqueue/delivery rates plus the
+    /// in-flight depth level, under the [`register_with`] names.
+    ///
+    /// [`register_with`]: DeferredInvalidationSink::register_with
+    pub fn timeline_into(&self, timeline: &Timeline, prefix: &str) {
+        timeline.track_counter(format!("{prefix}.queued"), &self.queued);
+        timeline.track_counter(format!("{prefix}.delivered"), &self.delivered);
+        timeline.track_gauge(format!("{prefix}.queue_depth"), &self.queue_depth);
+    }
 }
 
 impl Service for DeferredInvalidationSink {
     fn handle(&self, request: Bytes) -> Bytes {
         let deadline = self.delay.deadline(request.len());
-        self.pending.lock().push((deadline, request));
+        let mut pending = self.pending.lock();
+        pending.push((deadline, request));
+        self.queue_depth.set(pending.len() as u64);
+        drop(pending);
+        self.queued.inc();
         Bytes::new()
     }
 }
@@ -420,6 +482,64 @@ mod tests {
     #[test]
     fn hit_ratio_empty_is_zero() {
         assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn hit_ratio_property_over_seeded_counts() {
+        // Property: for any (hits, misses), the ratio is hits/(hits+misses)
+        // in [0, 1] and exactly 0.0 at zero total (no NaN from 0/0).
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..1_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let hits = x % 1_000;
+            let misses = (x >> 32) % 1_000;
+            let stats = CacheStats {
+                hits,
+                misses,
+                ..CacheStats::default()
+            };
+            let r = stats.hit_ratio();
+            assert!((0.0..=1.0).contains(&r), "ratio {r} out of range");
+            if hits + misses == 0 {
+                assert_eq!(r, 0.0);
+            } else {
+                assert!((r - hits as f64 / (hits + misses) as f64).abs() < 1e-12);
+            }
+        }
+        let zero = CacheStats {
+            hits: 0,
+            misses: 0,
+            invalidations: 7,
+            evictions: 3,
+        };
+        assert_eq!(zero.hit_ratio(), 0.0, "only lookups drive the ratio");
+    }
+
+    #[test]
+    fn size_gauge_tracks_working_set() {
+        use sli_telemetry::Registry;
+        let store = CommonStore::with_capacity(2);
+        let registry = Registry::new();
+        store.register_with(&registry, "store.t");
+        let read = |reg: &Registry| match reg.get("store.t.size").expect("registered") {
+            sli_telemetry::Metric::Gauge(g) => g.get(),
+            other => panic!("expected gauge, got {other:?}"),
+        };
+        store.put(image("a", 1.0));
+        store.put(image("b", 2.0));
+        assert_eq!(read(&registry), 2);
+        store.put(image("c", 3.0)); // evicts the LRU entry
+        assert_eq!(read(&registry), 2);
+        store.invalidate("Account", &Value::from("c"));
+        assert_eq!(read(&registry), 1);
+        registry.reset_all();
+        assert_eq!(read(&registry), 0, "blanket reset zeroes the gauge");
+        store.refresh_size();
+        assert_eq!(read(&registry), 1, "refresh re-derives it from the map");
+        store.clear();
+        assert_eq!(read(&registry), 0);
     }
 
     #[test]

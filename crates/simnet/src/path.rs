@@ -4,7 +4,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use sli_telemetry::{Counter, Histogram, Registry};
+use sli_telemetry::{Counter, Gauge, Histogram, Registry, Timeline};
 
 use crate::clock::{Clock, SimDuration};
 use crate::fault::{Fault, FaultPlan, FaultState, FaultStats};
@@ -124,6 +124,11 @@ pub struct PathMetrics {
     pub rpc_unavailable: Counter,
     /// Total simulated time spent in retry backoff, microseconds.
     pub rpc_backoff_us: Counter,
+    /// Synchronous round trips currently crossing the path (raised by
+    /// [`Path::request`], lowered by [`Path::respond`]). Async sends are
+    /// excluded: invalidation fan-out never gets a response, so counting it
+    /// would make the gauge climb without bound.
+    pub in_flight: Gauge,
 }
 
 impl PathMetrics {
@@ -143,6 +148,22 @@ impl PathMetrics {
         registry.attach_counter(format!("{prefix}.rpc_timeouts"), &self.rpc_timeouts);
         registry.attach_counter(format!("{prefix}.rpc_unavailable"), &self.rpc_unavailable);
         registry.attach_counter(format!("{prefix}.rpc_backoff_us"), &self.rpc_backoff_us);
+        registry.attach_gauge(format!("{prefix}.in_flight"), &self.in_flight);
+    }
+
+    /// Tracks this path's traffic in `timeline` under the
+    /// [`PathMetrics::register_with`] names: request/response/retry rates
+    /// plus the in-flight depth level.
+    pub fn timeline_into(&self, timeline: &Timeline, prefix: &str) {
+        timeline.track_counter(format!("{prefix}.requests"), &self.requests);
+        timeline.track_counter(format!("{prefix}.responses"), &self.responses);
+        timeline.track_counter(format!("{prefix}.bytes_to_server"), &self.bytes_to_server);
+        timeline.track_counter(
+            format!("{prefix}.bytes_from_server"),
+            &self.bytes_from_server,
+        );
+        timeline.track_counter(format!("{prefix}.rpc_retries"), &self.rpc_retries);
+        timeline.track_gauge(format!("{prefix}.in_flight"), &self.in_flight);
     }
 
     /// Resets every handle to empty.
@@ -157,6 +178,7 @@ impl PathMetrics {
         self.rpc_timeouts.reset();
         self.rpc_unavailable.reset();
         self.rpc_backoff_us.reset();
+        self.in_flight.reset();
     }
 }
 
@@ -306,6 +328,7 @@ impl Path {
         self.metrics.crossing_us.record(cost.as_micros());
         self.metrics.bytes_to_server.add(n as u64);
         self.metrics.requests.inc();
+        self.metrics.in_flight.add(1);
     }
 
     /// Sends an `n`-byte message in the response direction, advancing the
@@ -316,6 +339,7 @@ impl Path {
         self.metrics.crossing_us.record(cost.as_micros());
         self.metrics.bytes_from_server.add(n as u64);
         self.metrics.responses.inc();
+        self.metrics.in_flight.sub(1);
     }
 
     /// Sends a fire-and-forget message in the request direction *without*
@@ -565,6 +589,20 @@ mod tests {
             run(true),
             "interleaved async sends must not shift measured jitter"
         );
+    }
+
+    #[test]
+    fn in_flight_tracks_open_round_trips_sync_only() {
+        let (_clock, path) = test_path(PathSpec::lan());
+        let g = &path.metrics().in_flight;
+        path.request(10);
+        assert_eq!(g.get(), 1);
+        path.request_async(10); // fire-and-forget: never in flight
+        assert_eq!(g.get(), 1);
+        path.respond(10);
+        assert_eq!(g.get(), 0);
+        path.respond(10); // unmatched response must saturate, not wrap
+        assert_eq!(g.get(), 0);
     }
 
     #[test]

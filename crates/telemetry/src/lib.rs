@@ -29,6 +29,10 @@
 //! * [`RunReport`] / [`ArchReport`] — the structured per-architecture
 //!   summary (hit ratio, abort rate, retries, tail latency) that the bench
 //!   bins emit and CI validates against [`validate_run_report`].
+//! * [`Timeline`] / [`TimelineDoc`] — windowed virtual-time series:
+//!   counters and gauges sampled into fixed-width windows, exported under
+//!   [`TIMELINE_SCHEMA`] and checked by [`validate_timeline`], with
+//!   [`sparkline`] for terminal rendering.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +43,7 @@ mod metrics;
 mod registry;
 mod report;
 mod span;
+mod timeline;
 mod trace_ctx;
 mod tree;
 
@@ -48,5 +53,9 @@ pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{Metric, MetricValue, Registry};
 pub use report::{validate_run_report, ArchReport, RunReport, RUN_REPORT_SCHEMA};
 pub use span::{ConflictInfo, SpanDetail, SpanEvent, SpanOutcome, TraceLog};
+pub use timeline::{
+    sparkline, validate_timeline, SeriesKind, SeriesReport, Timeline, TimelineDoc, TimelineReport,
+    TIMELINE_SCHEMA,
+};
 pub use trace_ctx::{OpenSpan, TraceCtx, Tracer};
 pub use tree::{bucket_for, conflict_leaderboard, critical_path, Breakdown, Bucket, ConflictEntry};

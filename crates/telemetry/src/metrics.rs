@@ -53,6 +53,21 @@ impl Gauge {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Adds `n` (e.g. a request entering a queue).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero (a reset can race a decrement;
+    /// never wrap to 2^64).
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -254,6 +269,16 @@ mod tests {
         assert_eq!(g.get(), 7);
         g.reset();
         assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn gauge_add_sub_saturates_at_zero() {
+        let g = Gauge::new();
+        g.add(3);
+        g.sub(1);
+        assert_eq!(g.get(), 2);
+        g.sub(10);
+        assert_eq!(g.get(), 0, "sub must saturate, not wrap");
     }
 
     #[test]
