@@ -17,16 +17,29 @@
 //! [`Testbed::build`] assembles the four simulated machines (application
 //! server, delay proxy, back-end, database — §4.1) for any architecture ×
 //! flavor combination; [`VirtualClient`] plays the load-generator machine.
+//!
+//! The crate also hosts `slicheck`, the schedule-exploring consistency
+//! checker: [`run_slicheck`] drives N logical clients against a freshly
+//! built world under a deterministic [`Scheduler`](sli_simnet::Scheduler),
+//! records an operation history, and [`analyze`] checks it for
+//! serializability and the SLI invariants post-hoc.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checker;
 mod client;
 mod report;
 mod servlet;
+mod slicheck;
 mod topology;
 
+pub use checker::{analyze, ChainVersion, HistoryAnalysis, TxnRef, Violation};
 pub use client::{Interaction, VirtualClient};
 pub use report::collect_report;
 pub use servlet::{parse_action, AppServer, AppServerCost, ServletMetrics};
+pub use slicheck::{
+    arch_by_key, arch_key, counterexample_json, run_slicheck, shrink_schedule, ScheduleSource,
+    SliCheckConfig, SliCheckOutcome, ARCH_KEYS,
+};
 pub use topology::{Architecture, EdgeNode, Flavor, Testbed, TestbedConfig};

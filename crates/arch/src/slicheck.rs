@@ -1,0 +1,1063 @@
+//! `slicheck` — the schedule-exploring consistency checker.
+//!
+//! A run builds a fresh world for one architecture × flavor combination
+//! (a seeded bank of accounts plus N logical clients running a
+//! deterministic program of transfers and audits), then executes it one
+//! *atomic step* at a time. The only nondeterminism in the single-threaded
+//! simulation is which ready participant fires next, and a
+//! [`Scheduler`] makes that choice — seeded random walks for exploration,
+//! verbatim replay for reproduction and shrinking.
+//!
+//! For the cached (optimistic) flavors a client transaction is split into
+//! its natural atomic phases — read, read, buffer writes, commit — so
+//! schedules genuinely interleave the OCC protocol. For the pessimistic
+//! JDBC and vanilla-EJB flavors a transaction is one atomic step (the
+//! lock-coupled connection admits no finer interleaving), which still
+//! exercises the checker's no-false-positive property on serial histories.
+//! In the split-servers architecture, pending cache invalidations are
+//! themselves schedulable steps, so the checker explores the staleness
+//! window between a commit and its invalidation fan-out.
+//!
+//! Every run records a complete operation history, checked post-hoc by
+//! [`analyze`](crate::analyze) plus harness-side invariants (money
+//! conservation across all transfers, no aborted write leaking into a
+//! [`CommonStore`], invalidation completeness after a full drain). On
+//! violation, [`shrink_schedule`] bisects the recorded schedule down to a
+//! minimal failing prefix and [`counterexample_json`] exports the whole
+//! story as a validated document.
+
+use std::sync::Arc;
+
+use sli_component::{
+    share_connection, BmpHome, Container, EjbError, EntityMeta, Home, JdbcResourceManager, Memento,
+    ResourceManager, TxContext,
+};
+use sli_core::{
+    memento_digest, BackendServer, BackendSource, CombinedCommitter, CommonStore,
+    DeferredInvalidationSink, DirectSource, MetaRegistry, SliHome, SliResourceManager,
+    SplitCommitter,
+};
+use sli_datastore::{ColumnType, Database, SqlConnection, Value};
+use sli_simnet::{Clock, FaultPlan, Path, PathSpec, Remote, ScheduleStep, Scheduler, SimDuration};
+use sli_telemetry::{
+    history_json, HistoryEvent, HistoryImage, HistoryLog, Json, COUNTEREXAMPLE_SCHEMA,
+};
+
+use crate::checker::{analyze, HistoryAnalysis, Violation};
+use crate::topology::{Architecture, Flavor};
+
+/// Stable CLI keys for the seven architecture × flavor combinations.
+pub const ARCH_KEYS: [&str; 7] = [
+    "es-rdb-jdbc",
+    "es-rdb-vanilla",
+    "es-rdb-cached",
+    "es-rbes",
+    "clients-ras-jdbc",
+    "clients-ras-vanilla",
+    "clients-ras-cached",
+];
+
+/// The CLI key for `arch`.
+pub fn arch_key(arch: Architecture) -> &'static str {
+    match arch {
+        Architecture::EsRdb(Flavor::Jdbc) => "es-rdb-jdbc",
+        Architecture::EsRdb(Flavor::VanillaEjb) => "es-rdb-vanilla",
+        Architecture::EsRdb(Flavor::CachedEjb) => "es-rdb-cached",
+        Architecture::EsRbes => "es-rbes",
+        Architecture::ClientsRas(Flavor::Jdbc) => "clients-ras-jdbc",
+        Architecture::ClientsRas(Flavor::VanillaEjb) => "clients-ras-vanilla",
+        Architecture::ClientsRas(Flavor::CachedEjb) => "clients-ras-cached",
+    }
+}
+
+/// Resolves a CLI key back to its architecture.
+pub fn arch_by_key(key: &str) -> Option<Architecture> {
+    match key {
+        "es-rdb-jdbc" => Some(Architecture::EsRdb(Flavor::Jdbc)),
+        "es-rdb-vanilla" => Some(Architecture::EsRdb(Flavor::VanillaEjb)),
+        "es-rdb-cached" => Some(Architecture::EsRdb(Flavor::CachedEjb)),
+        "es-rbes" => Some(Architecture::EsRbes),
+        "clients-ras-jdbc" => Some(Architecture::ClientsRas(Flavor::Jdbc)),
+        "clients-ras-vanilla" => Some(Architecture::ClientsRas(Flavor::VanillaEjb)),
+        "clients-ras-cached" => Some(Architecture::ClientsRas(Flavor::CachedEjb)),
+        _ => None,
+    }
+}
+
+/// Starting balance of every seeded account.
+const INITIAL_BALANCE: f64 = 128.0;
+
+/// One `slicheck` run's parameters. The seed determines both the client
+/// programs and (for [`ScheduleSource::Random`]) the schedule walk.
+#[derive(Debug, Clone)]
+pub struct SliCheckConfig {
+    /// Architecture × flavor combination under test.
+    pub arch: Architecture,
+    /// Seed for program generation and the default random walk.
+    pub seed: u64,
+    /// Number of concurrent logical clients.
+    pub clients: u32,
+    /// Number of bank accounts (min 2).
+    pub accounts: u32,
+    /// Transactions each client attempts.
+    pub txns_per_client: u32,
+    /// Retries after an optimistic conflict or transport error.
+    pub max_retries: u32,
+    /// Fault plan applied to the edge↔back-end request path (ES/RBES
+    /// only; the other architectures have no faultable wire here).
+    pub faults: FaultPlan,
+    /// Seed the deliberate lost-update bug in the committer (cached
+    /// flavors only) — the checker must then find a violation.
+    pub inject_bug: bool,
+}
+
+impl SliCheckConfig {
+    /// Defaults sized for exploration: 3 clients × 3 transactions over 2
+    /// accounts, fault-free, bug-free.
+    pub fn new(arch: Architecture, seed: u64) -> SliCheckConfig {
+        SliCheckConfig {
+            arch,
+            seed,
+            clients: 3,
+            accounts: 2,
+            txns_per_client: 3,
+            max_retries: 4,
+            faults: FaultPlan::NONE,
+            inject_bug: false,
+        }
+    }
+}
+
+/// Where the schedule comes from.
+#[derive(Debug, Clone)]
+pub enum ScheduleSource {
+    /// A seeded random walk.
+    Random(u64),
+    /// Verbatim replay of a recorded choice script; past its end the
+    /// scheduler completes sequentially (always picks 0).
+    Replay(Vec<u32>),
+}
+
+/// Everything one run produced.
+#[derive(Debug, Clone)]
+pub struct SliCheckOutcome {
+    /// The full schedule taken, with per-step branching factors.
+    pub schedule: Vec<ScheduleStep>,
+    /// The recorded operation history.
+    pub history: Vec<HistoryEvent>,
+    /// All invariant violations (empty = the run checks out).
+    pub violations: Vec<Violation>,
+    /// Atomic steps executed.
+    pub steps: u64,
+    /// Committed transactions.
+    pub committed: usize,
+    /// Aborted (conflicted / errored) transactions.
+    pub aborted: usize,
+}
+
+/// The deterministic client program: every writer is a transfer, so the
+/// total balance is invariant even when a faulted commit's outcome is
+/// unknown to the client (the Jepsen bank-workload trick).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Transfer { from: u32, to: u32, amount: f64 },
+    Audit { a: u32, b: u32 },
+}
+
+fn splitmix(seed: u64, n: u64) -> u64 {
+    let mut z = seed.wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn program_for(cfg: &SliCheckConfig, client: u32) -> Vec<Op> {
+    let n = u64::from(cfg.accounts.max(2));
+    (0..cfg.txns_per_client)
+        .map(|t| {
+            let r = splitmix(cfg.seed, (u64::from(client) << 32) | u64::from(t));
+            if r.is_multiple_of(4) {
+                Op::Audit {
+                    a: ((r >> 8) % n) as u32,
+                    b: ((r >> 16) % n) as u32,
+                }
+            } else {
+                let from = ((r >> 8) % n) as u32;
+                let mut to = ((r >> 16) % n) as u32;
+                if to == from {
+                    to = (to + 1) % n as u32;
+                }
+                Op::Transfer {
+                    from,
+                    to,
+                    amount: 1.0 + ((r >> 24) % 16) as f64,
+                }
+            }
+        })
+        .collect()
+}
+
+fn account_meta() -> EntityMeta {
+    EntityMeta::new("Account", "account", "userid", ColumnType::Varchar)
+        .field("balance", ColumnType::Double)
+}
+
+fn registry() -> MetaRegistry {
+    MetaRegistry::new().with(account_meta())
+}
+
+fn acct(i: u32) -> Value {
+    Value::from(format!("acct{i}"))
+}
+
+fn balance_digest(key: &Value, balance: f64) -> u64 {
+    memento_digest(&Memento::new("Account", key.clone()).with_field("balance", balance))
+}
+
+fn seeded_db(accounts: u32) -> Arc<Database> {
+    let db = Database::new();
+    registry().create_schema(&db).unwrap();
+    let mut conn = db.connect();
+    for i in 0..accounts {
+        conn.execute(
+            "INSERT INTO account (userid, balance) VALUES (?, ?)",
+            &[acct(i), Value::from(INITIAL_BALANCE)],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// How a client talks to the system.
+enum Access {
+    /// Optimistic SLI edge: phased transactions through a cached home.
+    Fine {
+        home: Arc<dyn Home>,
+        rm: Arc<SliResourceManager>,
+    },
+    /// Hand-written SQL on a pessimistic connection: one step per txn.
+    Jdbc { conn: Box<dyn SqlConnection + Send> },
+    /// Vanilla BMP beans behind the pessimistic JDBC RM: one step per txn.
+    Vanilla { container: Container },
+}
+
+/// One logical client: a program cursor plus per-attempt state.
+struct ClientState {
+    id: u32,
+    access: Access,
+    program: Vec<Op>,
+    txn: usize,
+    attempts: u32,
+    phase: u8,
+    ctx: Option<TxContext>,
+    staged: Vec<f64>,
+    op_seq: u64,
+    coarse_txn_seq: u64,
+    log: Arc<HistoryLog>,
+    clock: Arc<Clock>,
+    db: Arc<Database>,
+    max_retries: u32,
+}
+
+impl ClientState {
+    fn done(&self) -> bool {
+        self.txn >= self.program.len()
+    }
+
+    fn now(&self) -> u64 {
+        self.clock.now().as_micros()
+    }
+
+    fn invoke(&mut self, op: &str, key: &str) -> u64 {
+        self.op_seq += 1;
+        let op_id = self.op_seq;
+        self.log.record(HistoryEvent::Invoke {
+            client: self.id,
+            op_id,
+            op: op.to_owned(),
+            bean: "Account".to_owned(),
+            key: key.to_owned(),
+            t_us: self.now(),
+        });
+        op_id
+    }
+
+    fn ret(&mut self, op_id: u64, outcome: &str, value: Option<String>) {
+        self.log.record(HistoryEvent::Return {
+            client: self.id,
+            op_id,
+            outcome: outcome.to_owned(),
+            value,
+            t_us: self.now(),
+        });
+    }
+
+    fn next_txn(&mut self) {
+        self.txn += 1;
+        self.attempts = 0;
+        self.phase = 0;
+        self.staged.clear();
+        self.ctx = None;
+    }
+
+    fn retry_or_next(&mut self) {
+        self.attempts += 1;
+        self.phase = 0;
+        self.staged.clear();
+        self.ctx = None;
+        if self.attempts > self.max_retries {
+            self.next_txn();
+        }
+    }
+
+    /// Aborts the in-flight attempt after a failed read/write phase.
+    fn fail_attempt(&mut self) {
+        if let Some(mut ctx) = self.ctx.take() {
+            if let Access::Fine { rm, .. } = &self.access {
+                let _ = rm.rollback(&mut ctx);
+            }
+        }
+        self.retry_or_next();
+    }
+
+    /// Executes this client's next atomic step.
+    fn step(&mut self) {
+        if self.done() {
+            return;
+        }
+        let op = self.program[self.txn];
+        match &self.access {
+            Access::Fine { .. } => self.step_fine(op),
+            Access::Jdbc { .. } => self.step_jdbc(op),
+            Access::Vanilla { .. } => self.step_vanilla(op),
+        }
+    }
+
+    fn fine_parts(&mut self) -> (Arc<dyn Home>, Arc<SliResourceManager>) {
+        match &self.access {
+            Access::Fine { home, rm } => (Arc::clone(home), Arc::clone(rm)),
+            _ => unreachable!("fine step on a coarse client"),
+        }
+    }
+
+    /// One phase of an optimistic transaction: read / read / buffer
+    /// writes / commit.
+    fn step_fine(&mut self, op: Op) {
+        let (home, rm) = self.fine_parts();
+        if self.ctx.is_none() {
+            let mut ctx = TxContext::new();
+            if rm.begin(&mut ctx).is_err() {
+                self.retry_or_next();
+                return;
+            }
+            self.ctx = Some(ctx);
+        }
+        let (read_keys, writes): (Vec<u32>, bool) = match op {
+            Op::Transfer { from, to, .. } => (vec![from, to], true),
+            Op::Audit { a, b } => (vec![a, b], false),
+        };
+        let phase = self.phase as usize;
+        if phase < read_keys.len() {
+            // Read phase: fault the account in (cache or persistent store)
+            // and stage its balance.
+            let key = acct(read_keys[phase]);
+            let op_id = self.invoke("read", &key.to_string());
+            let mut ctx = self.ctx.take().expect("ctx in read phase");
+            let result = home.get_field(&mut ctx, &key, "balance");
+            self.ctx = Some(ctx);
+            match result {
+                Ok(v) => {
+                    self.ret(op_id, "ok", Some(v.to_string()));
+                    self.staged.push(v.as_double().unwrap_or(0.0));
+                    self.phase += 1;
+                }
+                Err(e) => {
+                    self.ret(op_id, error_outcome(&e), None);
+                    self.fail_attempt();
+                }
+            }
+            return;
+        }
+        if writes && phase == read_keys.len() {
+            // Write phase: buffer both legs of the transfer in the
+            // transaction workspace (no I/O until commit).
+            let Op::Transfer { from, to, amount } = op else {
+                unreachable!("write phase only for transfers");
+            };
+            let mut ctx = self.ctx.take().expect("ctx in write phase");
+            let legs = [
+                ("debit", from, self.staged[0] - amount),
+                ("credit", to, self.staged[1] + amount),
+            ];
+            for (label, account, new_balance) in legs {
+                let key = acct(account);
+                let op_id = self.invoke(label, &key.to_string());
+                match home.set_field(&mut ctx, &key, "balance", Value::from(new_balance)) {
+                    Ok(()) => self.ret(op_id, "ok", None),
+                    Err(e) => {
+                        self.ret(op_id, error_outcome(&e), None);
+                        self.ctx = Some(ctx);
+                        self.fail_attempt();
+                        return;
+                    }
+                }
+            }
+            self.ctx = Some(ctx);
+            self.phase += 1;
+            return;
+        }
+        // Commit phase. On error the RM leaves no transaction open, so the
+        // context is simply dropped.
+        let op_id = self.invoke("commit", "");
+        let mut ctx = self.ctx.take().expect("ctx in commit phase");
+        match rm.commit(&mut ctx, &[]) {
+            Ok(()) => {
+                self.ret(op_id, "ok", None);
+                self.next_txn();
+            }
+            Err(e) => {
+                self.ret(op_id, error_outcome(&e), None);
+                self.retry_or_next();
+            }
+        }
+    }
+
+    /// Synthesizes the Commit/Apply pair for a coarse (pessimistic)
+    /// transaction, whose interleaving-free execution we just witnessed.
+    fn record_coarse_commit(&mut self, entries: Vec<HistoryImage>, outcome: &str) {
+        self.coarse_txn_seq += 1;
+        let origin = self.id + 1;
+        let txn_id = self.coarse_txn_seq;
+        let t_us = self.now();
+        self.log.record(HistoryEvent::Commit {
+            origin,
+            txn_id,
+            outcome: outcome.to_owned(),
+            entries,
+            t_us,
+        });
+        if outcome == "committed" {
+            self.log.record(HistoryEvent::Apply {
+                origin,
+                txn_id,
+                csn: self.db.commit_seq(),
+                outcome: outcome.to_owned(),
+                t_us,
+            });
+        }
+    }
+
+    /// One whole pessimistic SQL transaction as a single atomic step.
+    fn step_jdbc(&mut self, op: Op) {
+        let db = Arc::clone(&self.db);
+        let Access::Jdbc { conn } = &mut self.access else {
+            unreachable!("jdbc step on a non-jdbc client");
+        };
+        let result = jdbc_txn(conn.as_mut(), op);
+        drop(db);
+        self.finish_coarse(op, result);
+    }
+
+    /// One whole vanilla-EJB transaction as a single atomic step.
+    fn step_vanilla(&mut self, op: Op) {
+        let Access::Vanilla { container } = &self.access else {
+            unreachable!("vanilla step on a non-vanilla client");
+        };
+        let result = container.with_transaction(|ctx, c| {
+            let home = c.home("Account")?;
+            match op {
+                Op::Transfer { from, to, amount } => {
+                    let kf = acct(from);
+                    let kt = acct(to);
+                    let bf = home
+                        .get_field(ctx, &kf, "balance")?
+                        .as_double()
+                        .unwrap_or(0.0);
+                    let bt = home
+                        .get_field(ctx, &kt, "balance")?
+                        .as_double()
+                        .unwrap_or(0.0);
+                    home.set_field(ctx, &kf, "balance", Value::from(bf - amount))?;
+                    home.set_field(ctx, &kt, "balance", Value::from(bt + amount))?;
+                    Ok((bf, bt))
+                }
+                Op::Audit { a, b } => {
+                    let ba = home
+                        .get_field(ctx, &acct(a), "balance")?
+                        .as_double()
+                        .unwrap_or(0.0);
+                    let bb = home
+                        .get_field(ctx, &acct(b), "balance")?
+                        .as_double()
+                        .unwrap_or(0.0);
+                    Ok((ba, bb))
+                }
+            }
+        });
+        self.finish_coarse(op, result.map_err(|e| error_outcome(&e).to_owned()));
+    }
+
+    /// Records the client-visible events and the synthesized commit for a
+    /// coarse transaction that read balances `(x, y)`.
+    fn finish_coarse(&mut self, op: Op, result: Result<(f64, f64), String>) {
+        match result {
+            Ok((x, y)) => {
+                let entries = match op {
+                    Op::Transfer { from, to, amount } => {
+                        for (label, account) in [("debit", from), ("credit", to)] {
+                            let op_id = self.invoke(label, &acct(account).to_string());
+                            self.ret(op_id, "ok", None);
+                        }
+                        vec![
+                            update_image(from, x, x - amount),
+                            update_image(to, y, y + amount),
+                        ]
+                    }
+                    Op::Audit { a, b } => {
+                        for (account, value) in [(a, x), (b, y)] {
+                            let op_id = self.invoke("read", &acct(account).to_string());
+                            self.ret(op_id, "ok", Some(value.to_string()));
+                        }
+                        vec![read_image(a, x), read_image(b, y)]
+                    }
+                };
+                self.record_coarse_commit(entries, "committed");
+                self.next_txn();
+            }
+            Err(outcome) => {
+                let op_id = self.invoke("txn", "");
+                self.ret(op_id, &outcome, None);
+                self.record_coarse_commit(Vec::new(), &outcome);
+                self.retry_or_next();
+            }
+        }
+    }
+}
+
+fn update_image(account: u32, before: f64, after: f64) -> HistoryImage {
+    let key = acct(account);
+    HistoryImage {
+        bean: "Account".to_owned(),
+        key: key.to_string(),
+        kind: "update".to_owned(),
+        before: Some(balance_digest(&key, before)),
+        after: Some(balance_digest(&key, after)),
+    }
+}
+
+fn read_image(account: u32, balance: f64) -> HistoryImage {
+    let key = acct(account);
+    HistoryImage {
+        bean: "Account".to_owned(),
+        key: key.to_string(),
+        kind: "read".to_owned(),
+        before: Some(balance_digest(&key, balance)),
+        after: None,
+    }
+}
+
+fn error_outcome(e: &EjbError) -> &'static str {
+    match e {
+        EjbError::OptimisticConflict { .. } => "conflict",
+        _ => "error",
+    }
+}
+
+fn jdbc_select(conn: &mut dyn SqlConnection, account: u32) -> Result<f64, String> {
+    let rs = conn
+        .execute(
+            "SELECT balance FROM account WHERE userid = ?",
+            &[acct(account)],
+        )
+        .map_err(|e| e.to_string())?;
+    rs.rows()
+        .first()
+        .and_then(|row| row.first())
+        .and_then(Value::as_double)
+        .ok_or_else(|| format!("account acct{account} missing"))
+}
+
+fn jdbc_update(conn: &mut dyn SqlConnection, account: u32, balance: f64) -> Result<(), String> {
+    conn.execute(
+        "UPDATE account SET balance = ? WHERE userid = ?",
+        &[Value::from(balance), acct(account)],
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn jdbc_txn(conn: &mut dyn SqlConnection, op: Op) -> Result<(f64, f64), String> {
+    conn.begin().map_err(|e| e.to_string())?;
+    let body: Result<(f64, f64), String> = (|| match op {
+        Op::Transfer { from, to, amount } => {
+            let bf = jdbc_select(conn, from)?;
+            let bt = jdbc_select(conn, to)?;
+            jdbc_update(conn, from, bf - amount)?;
+            jdbc_update(conn, to, bt + amount)?;
+            Ok((bf, bt))
+        }
+        Op::Audit { a, b } => Ok((jdbc_select(conn, a)?, jdbc_select(conn, b)?)),
+    })();
+    match body {
+        Ok(v) => {
+            conn.commit().map_err(|e| e.to_string())?;
+            Ok(v)
+        }
+        Err(e) => {
+            let _ = conn.rollback();
+            Err(format!("error: {e}"))
+        }
+    }
+}
+
+/// The assembled world: clients, shared infrastructure, and the handles
+/// the post-run invariant checks need.
+struct World {
+    db: Arc<Database>,
+    log: Arc<HistoryLog>,
+    clients: Vec<ClientState>,
+    sinks: Vec<Arc<DeferredInvalidationSink>>,
+    stores: Vec<(String, Arc<CommonStore>)>,
+}
+
+fn build_world(cfg: &SliCheckConfig) -> World {
+    let accounts = cfg.accounts.max(2);
+    let db = seeded_db(accounts);
+    let clock = Arc::new(Clock::new());
+    let log = Arc::new(HistoryLog::new());
+    let mut sinks = Vec::new();
+    let mut stores = Vec::new();
+
+    let client_shell = |id: u32, access: Access| ClientState {
+        id,
+        access,
+        program: program_for(cfg, id),
+        txn: 0,
+        attempts: 0,
+        phase: 0,
+        ctx: None,
+        staged: Vec::new(),
+        op_seq: 0,
+        coarse_txn_seq: 0,
+        log: Arc::clone(&log),
+        clock: Arc::clone(&clock),
+        db: Arc::clone(&db),
+        max_retries: cfg.max_retries,
+    };
+
+    let combined_edge = |origin: u32| {
+        let store = CommonStore::new();
+        let source = Arc::new(DirectSource::new(Box::new(db.connect()), registry()));
+        let mut committer = CombinedCommitter::new(Box::new(db.connect()), registry())
+            .with_history(Arc::clone(&log), Arc::clone(&clock));
+        if cfg.inject_bug {
+            committer = committer.with_injected_bug();
+        }
+        let rm = Arc::new(
+            SliResourceManager::new(origin, Arc::new(committer), Arc::clone(&store))
+                .with_history(Arc::clone(&log), Arc::clone(&clock)),
+        );
+        let home: Arc<dyn Home> =
+            Arc::new(SliHome::new(account_meta(), Arc::clone(&store), source));
+        (home, rm, store)
+    };
+
+    let clients: Vec<ClientState> = match cfg.arch {
+        Architecture::EsRdb(Flavor::CachedEjb) => (0..cfg.clients)
+            .map(|id| {
+                // One combined-servers edge per client over the shared
+                // database — the ES/RDB cached configuration.
+                let (home, rm, store) = combined_edge(id + 1);
+                stores.push((format!("edge{}", id + 1), store));
+                client_shell(id, Access::Fine { home, rm })
+            })
+            .collect(),
+        Architecture::ClientsRas(Flavor::CachedEjb) => {
+            // One shared application server: every client runs against the
+            // same store and resource manager, with its own context.
+            let (home, rm, store) = combined_edge(1);
+            stores.push(("ras".to_owned(), store));
+            (0..cfg.clients)
+                .map(|id| {
+                    client_shell(
+                        id,
+                        Access::Fine {
+                            home: Arc::clone(&home),
+                            rm: Arc::clone(&rm),
+                        },
+                    )
+                })
+                .collect()
+        }
+        Architecture::EsRbes => {
+            // Split-servers: per-client edges commit through one back-end;
+            // faults (if any) hit the request path, and invalidations are
+            // deferred so their delivery becomes a schedulable step.
+            let backend =
+                BackendServer::new(Box::new(db.connect()), registry(), Arc::clone(&clock));
+            backend.set_history(Arc::clone(&log));
+            if cfg.inject_bug {
+                backend.set_inject_bug(true);
+            }
+            (0..cfg.clients)
+                .map(|id| {
+                    let origin = id + 1;
+                    let store = CommonStore::new();
+                    let path = Path::new(
+                        format!("slicheck-edge{origin}"),
+                        Arc::clone(&clock),
+                        PathSpec::lan(),
+                    );
+                    path.set_fault_plan(FaultPlan {
+                        seed: cfg.faults.seed.wrapping_add(u64::from(origin)),
+                        ..cfg.faults
+                    });
+                    let remote = Remote::new(path, Arc::clone(&backend));
+                    let sink = DeferredInvalidationSink::new(
+                        Arc::clone(&store),
+                        Arc::clone(&clock),
+                        SimDuration::ZERO,
+                    );
+                    let inv_path = Path::new(
+                        format!("slicheck-inv{origin}"),
+                        Arc::clone(&clock),
+                        PathSpec::lan(),
+                    );
+                    backend.register_edge(origin, Remote::new(inv_path, Arc::clone(&sink)));
+                    sinks.push(sink);
+                    let source = Arc::new(BackendSource::new(remote.clone()));
+                    let committer = Arc::new(SplitCommitter::new(remote));
+                    let rm = Arc::new(
+                        SliResourceManager::new(origin, committer, Arc::clone(&store))
+                            .with_history(Arc::clone(&log), Arc::clone(&clock)),
+                    );
+                    let home: Arc<dyn Home> =
+                        Arc::new(SliHome::new(account_meta(), Arc::clone(&store), source));
+                    stores.push((format!("edge{origin}"), store));
+                    client_shell(id, Access::Fine { home, rm })
+                })
+                .collect()
+        }
+        Architecture::EsRdb(Flavor::Jdbc) | Architecture::ClientsRas(Flavor::Jdbc) => (0..cfg
+            .clients)
+            .map(|id| {
+                client_shell(
+                    id,
+                    Access::Jdbc {
+                        conn: Box::new(db.connect()),
+                    },
+                )
+            })
+            .collect(),
+        Architecture::EsRdb(Flavor::VanillaEjb) | Architecture::ClientsRas(Flavor::VanillaEjb) => {
+            (0..cfg.clients)
+                .map(|id| {
+                    let conn = share_connection(db.connect());
+                    let mut container =
+                        Container::new(Arc::new(JdbcResourceManager::new(Arc::clone(&conn))));
+                    container.register(Arc::new(BmpHome::new(account_meta(), conn)));
+                    client_shell(id, Access::Vanilla { container })
+                })
+                .collect()
+        }
+    };
+
+    World {
+        db,
+        log,
+        clients,
+        sinks,
+        stores,
+    }
+}
+
+/// Runs one schedule to completion and checks the recorded history.
+pub fn run_slicheck(cfg: &SliCheckConfig, source: ScheduleSource) -> SliCheckOutcome {
+    let mut scheduler = match source {
+        ScheduleSource::Random(seed) => Scheduler::random(seed),
+        ScheduleSource::Replay(script) => Scheduler::replay(script),
+    };
+    let mut world = build_world(cfg);
+
+    // Generous upper bound: phases per attempt × attempts per txn × txns,
+    // plus invalidation deliveries. Purely a runaway guard.
+    let max_steps = u64::from(cfg.clients)
+        * u64::from(cfg.txns_per_client)
+        * u64::from(cfg.max_retries + 1)
+        * 8
+        + 64;
+
+    enum Ready {
+        Client(usize),
+        Sink(usize),
+    }
+
+    let mut steps = 0u64;
+    loop {
+        let mut ready: Vec<Ready> = Vec::new();
+        for (i, client) in world.clients.iter().enumerate() {
+            if !client.done() {
+                ready.push(Ready::Client(i));
+            }
+        }
+        for (j, sink) in world.sinks.iter().enumerate() {
+            if sink.in_flight() > 0 {
+                ready.push(Ready::Sink(j));
+            }
+        }
+        if ready.is_empty() || steps >= max_steps {
+            break;
+        }
+        let pick = scheduler.pick(ready.len() as u32) as usize;
+        match ready[pick] {
+            Ready::Client(i) => world.clients[i].step(),
+            Ready::Sink(j) => {
+                world.sinks[j].deliver_due();
+            }
+        }
+        steps += 1;
+    }
+    // Drain every pending invalidation so the completeness check below
+    // sees the steady state.
+    for sink in &world.sinks {
+        sink.deliver_due();
+    }
+
+    let history = world.log.events();
+    let accounts = cfg.accounts.max(2);
+    let initial: Vec<(String, String, u64)> = (0..accounts)
+        .map(|i| {
+            let key = acct(i);
+            (
+                "Account".to_owned(),
+                key.to_string(),
+                balance_digest(&key, INITIAL_BALANCE),
+            )
+        })
+        .collect();
+    let mut analysis = analyze(&history, &initial);
+    check_world(cfg, &world, &mut analysis, accounts);
+
+    SliCheckOutcome {
+        schedule: scheduler.taken().to_vec(),
+        history,
+        violations: analysis.violations.clone(),
+        steps,
+        committed: analysis.committed,
+        aborted: analysis.aborted,
+    }
+}
+
+/// Harness-side invariants that need the live world, not just the history.
+fn check_world(cfg: &SliCheckConfig, world: &World, analysis: &mut HistoryAnalysis, accounts: u32) {
+    // Money conservation: every writer is a transfer, so the bank total is
+    // invariant even across unknown-outcome commits.
+    let total: f64 = world
+        .db
+        .dump_rows("account")
+        .iter()
+        .flat_map(|row| row.iter().filter_map(Value::as_double))
+        .sum();
+    let expected = f64::from(accounts) * INITIAL_BALANCE;
+    if (total - expected).abs() > 1e-6 {
+        analysis.violations.push(Violation::new(
+            "money-conservation",
+            format!("bank total {total} != seeded total {expected}"),
+        ));
+    }
+
+    // Abort leak: every cached image must be a state some committed
+    // transaction (or the seed) installed — an aborted transaction's
+    // writes must never reach a CommonStore.
+    for (label, store) in &world.stores {
+        for i in 0..accounts {
+            let key = acct(i);
+            if let Some(image) = store.get("Account", &key) {
+                let digest = memento_digest(&image);
+                let known = analysis.committed_digests("Account", &key.to_string());
+                if !known.contains(&digest) {
+                    analysis.violations.push(Violation::new(
+                        "abort-leak",
+                        format!(
+                            "store {label} caches Account[{key}] digest {digest:#x} that no \
+                             committed transaction installed"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Invalidation completeness (split-servers, fault-free runs): after a
+    // full drain, a cached image is either the latest committed state or
+    // absent. Under faults an edge may believe its own commit failed and
+    // keep a stale image, so the check only applies to clean runs.
+    if cfg.arch == Architecture::EsRbes && cfg.faults.is_clean() {
+        for (label, store) in &world.stores {
+            for i in 0..accounts {
+                let key = acct(i);
+                if let Some(image) = store.get("Account", &key) {
+                    let digest = memento_digest(&image);
+                    let latest = analysis.latest_digest("Account", &key.to_string());
+                    if latest != Some(Some(digest)) {
+                        analysis.violations.push(Violation::new(
+                            "stale-invalidation",
+                            format!(
+                                "store {label} still caches Account[{key}] digest {digest:#x} \
+                                 after all invalidations drained (latest is {latest:?})"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Shrinks a failing choice script to a minimal failing prefix by binary
+/// search (past the prefix the scheduler completes sequentially). Returns
+/// the shrunk script and its run outcome.
+///
+/// If the full script unexpectedly no longer fails (a non-reproducible
+/// report), the original script and its outcome are returned unchanged.
+pub fn shrink_schedule(cfg: &SliCheckConfig, choices: &[u32]) -> (Vec<u32>, SliCheckOutcome) {
+    let full = run_slicheck(cfg, ScheduleSource::Replay(choices.to_vec()));
+    if full.violations.is_empty() {
+        return (choices.to_vec(), full);
+    }
+    let mut lo = 0usize;
+    let mut hi = choices.len();
+    let mut best = full;
+    let mut best_len = choices.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let out = run_slicheck(cfg, ScheduleSource::Replay(choices[..mid].to_vec()));
+        if out.violations.is_empty() {
+            lo = mid + 1;
+        } else {
+            best = out;
+            best_len = mid;
+            hi = mid;
+        }
+    }
+    (choices[..best_len].to_vec(), best)
+}
+
+/// Renders a violating run as the validated counterexample document
+/// ([`COUNTEREXAMPLE_SCHEMA`]).
+pub fn counterexample_json(cfg: &SliCheckConfig, outcome: &SliCheckOutcome) -> Json {
+    Json::obj([
+        ("version", Json::from(COUNTEREXAMPLE_SCHEMA)),
+        ("arch", Json::from(arch_key(cfg.arch))),
+        ("seed", Json::from(cfg.seed)),
+        (
+            "config",
+            Json::obj([
+                ("clients", Json::from(u64::from(cfg.clients))),
+                ("accounts", Json::from(u64::from(cfg.accounts.max(2)))),
+                (
+                    "txns_per_client",
+                    Json::from(u64::from(cfg.txns_per_client)),
+                ),
+                ("max_retries", Json::from(u64::from(cfg.max_retries))),
+                (
+                    "fault_per_mille",
+                    Json::from(u64::from(
+                        cfg.faults.drop_request_per_mille
+                            + cfg.faults.drop_response_per_mille
+                            + cfg.faults.duplicate_per_mille
+                            + cfg.faults.unavailable_per_mille,
+                    )),
+                ),
+                ("inject_bug", Json::Bool(cfg.inject_bug)),
+            ]),
+        ),
+        (
+            "schedule",
+            Json::Arr(
+                outcome
+                    .schedule
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("choice", Json::from(u64::from(s.choice))),
+                            ("arity", Json::from(u64::from(s.arity))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("history", history_json(&outcome.history)),
+        (
+            "violations",
+            Json::Arr(outcome.violations.iter().map(Violation::to_json).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_are_deterministic_and_transfer_heavy() {
+        let cfg = SliCheckConfig::new(Architecture::EsRdb(Flavor::CachedEjb), 42);
+        let a = program_for(&cfg, 0);
+        let b = program_for(&cfg, 0);
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "same seed, same program"
+        );
+        let transfers = a
+            .iter()
+            .filter(|op| matches!(op, Op::Transfer { .. }))
+            .count();
+        assert!(
+            transfers > 0 || a.len() < 2,
+            "programs must include writers"
+        );
+        for op in &a {
+            if let Op::Transfer { from, to, .. } = op {
+                assert_ne!(from, to, "transfers move money between accounts");
+            }
+        }
+    }
+
+    #[test]
+    fn clean_run_is_serializable_on_every_architecture() {
+        for key in ARCH_KEYS {
+            let cfg = SliCheckConfig::new(arch_by_key(key).unwrap(), 7);
+            let outcome = run_slicheck(&cfg, ScheduleSource::Random(7));
+            assert!(
+                outcome.violations.is_empty(),
+                "{key}: unexpected violations {:?}",
+                outcome.violations
+            );
+            assert!(outcome.committed > 0, "{key}: nothing committed");
+        }
+    }
+
+    #[test]
+    fn injected_bug_is_caught_and_shrinks() {
+        let mut cfg = SliCheckConfig::new(Architecture::EsRdb(Flavor::CachedEjb), 1);
+        cfg.inject_bug = true;
+        let mut found = None;
+        for seed in 1..=64 {
+            cfg.seed = seed;
+            let outcome = run_slicheck(&cfg, ScheduleSource::Random(seed));
+            if !outcome.violations.is_empty() {
+                found = Some((seed, outcome));
+                break;
+            }
+        }
+        let (seed, outcome) = found.expect("the seeded lost-update bug must be found");
+        cfg.seed = seed;
+        let choices: Vec<u32> = outcome.schedule.iter().map(|s| s.choice).collect();
+        let (shrunk, shrunk_outcome) = shrink_schedule(&cfg, &choices);
+        assert!(!shrunk_outcome.violations.is_empty());
+        assert!(shrunk.len() <= choices.len());
+        let doc = counterexample_json(&cfg, &shrunk_outcome);
+        sli_telemetry::validate_counterexample(&doc).expect("counterexample must validate");
+    }
+}

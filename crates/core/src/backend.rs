@@ -16,12 +16,12 @@ use sli_datastore::{Predicate, SqlConnection, Value};
 use sli_simnet::wire::{frame, frame_traced, protocol, unframe, DecodeError, Reader, Writer};
 use sli_simnet::{CallError, Clock, Remote, Service, SimDuration};
 
-use sli_telemetry::{Registry, SpanOutcome, Tracer};
+use sli_telemetry::{HistoryLog, Registry, SpanOutcome, Tracer};
 
 use crate::commit::{CommitOutcome, CommitRequest};
 use crate::committer::{
-    fetch_current, span_outcome, validate_and_apply_forensic, CommitMetrics, CommitTracer,
-    Committer, CommitterStats, CompletedTxns, COMPLETED_TXN_CAPACITY,
+    fetch_current, span_outcome, validate_and_apply_forensic, CommitHistory, CommitMetrics,
+    CommitTracer, Committer, CommitterStats, CompletedTxns, COMPLETED_TXN_CAPACITY,
 };
 use crate::registry::MetaRegistry;
 use crate::source::StateSource;
@@ -71,6 +71,10 @@ pub struct BackendServer {
     /// Optional commit-protocol span recorder ([`BackendServer::new`]
     /// returns an [`Arc`], so tracing is enabled post-construction).
     tracer: Mutex<Option<CommitTracer>>,
+    /// Optional apply-side history recorder for the consistency checker.
+    history: Mutex<Option<CommitHistory>>,
+    /// The checker's seeded lost-update bug (`slicheck --inject-bug`).
+    inject_bug: std::sync::atomic::AtomicBool,
 }
 
 impl std::fmt::Debug for BackendServer {
@@ -98,6 +102,8 @@ impl BackendServer {
             completed: Mutex::new(CompletedTxns::new(COMPLETED_TXN_CAPACITY)),
             metrics: CommitMetrics::default(),
             tracer: Mutex::new(None),
+            history: Mutex::new(None),
+            inject_bug: std::sync::atomic::AtomicBool::new(false),
         })
     }
 
@@ -109,6 +115,22 @@ impl BackendServer {
     /// frame-carried trace id.
     pub fn set_tracer(&self, tracer: Arc<Tracer>) {
         *self.tracer.lock() = Some(CommitTracer::new(tracer, Arc::clone(&self.clock)));
+    }
+
+    /// Records an apply-outcome history event per fresh commit into `log`
+    /// (timestamped from this server's clock and tagged with the
+    /// co-located datastore's commit-order witness), for the
+    /// schedule-exploring consistency checker.
+    pub fn set_history(&self, log: Arc<HistoryLog>) {
+        *self.history.lock() = Some(CommitHistory::new(log, Arc::clone(&self.clock)));
+    }
+
+    /// Seeds the deliberate lost-update bug (`slicheck --inject-bug`):
+    /// updates apply without validating their before-image. Test harness
+    /// only.
+    pub fn set_inject_bug(&self, on: bool) {
+        self.inject_bug
+            .store(on, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Attaches the commit counters to `registry` under `{prefix}.committed`,
@@ -166,10 +188,21 @@ impl BackendServer {
                 .saturating_mul(request.entries.len() as u64),
         );
         let mut forensics = None;
-        let result = {
+        let (result, csn) = {
             let mut conn = self.conn.lock();
-            validate_and_apply_forensic(conn.as_mut(), &self.registry, request, &mut forensics)
+            let result = validate_and_apply_forensic(
+                conn.as_mut(),
+                &self.registry,
+                request,
+                &mut forensics,
+                self.inject_bug.load(std::sync::atomic::Ordering::Relaxed),
+            );
+            let csn = conn.commit_seq().unwrap_or(0);
+            (result, csn)
         };
+        if let Some(h) = self.history.lock().as_ref() {
+            h.record_apply(request, &result, csn);
+        }
         if let Ok(outcome) = &result {
             self.completed.lock().record(request, outcome);
         }

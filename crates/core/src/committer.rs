@@ -7,7 +7,10 @@ use parking_lot::Mutex;
 use sli_component::{EjbError, EjbResult, EntityMeta, Memento};
 use sli_datastore::{SqlConnection, Value};
 use sli_simnet::Clock;
-use sli_telemetry::{ConflictInfo, Counter, OpenSpan, Registry, SpanDetail, SpanOutcome, Tracer};
+use sli_telemetry::{
+    ConflictInfo, Counter, HistoryEvent, HistoryLog, OpenSpan, Registry, SpanDetail, SpanOutcome,
+    Tracer,
+};
 
 use crate::commit::{CommitOutcome, CommitRequest, EntryKind};
 use crate::registry::MetaRegistry;
@@ -226,10 +229,61 @@ impl CommitTracer {
     }
 }
 
+/// Labels a commit result with the history-outcome vocabulary.
+pub(crate) fn outcome_label(result: &EjbResult<CommitOutcome>) -> &'static str {
+    match result {
+        Ok(CommitOutcome::Committed) => "committed",
+        Ok(CommitOutcome::Conflict { .. }) => "conflict",
+        Err(_) => "error",
+    }
+}
+
+/// A [`HistoryLog`] + clock pair both commit points use to record their
+/// apply-side [`HistoryEvent`]s for the schedule-exploring checker.
+#[derive(Clone)]
+pub(crate) struct CommitHistory {
+    log: Arc<HistoryLog>,
+    clock: Arc<Clock>,
+}
+
+impl std::fmt::Debug for CommitHistory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommitHistory")
+            .field("events", &self.log.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CommitHistory {
+    pub(crate) fn new(log: Arc<HistoryLog>, clock: Arc<Clock>) -> CommitHistory {
+        CommitHistory { log, clock }
+    }
+
+    /// Records the committer-side outcome of a *fresh* request (dedup
+    /// replays answer from memory and are not re-applied, so they do not
+    /// appear in the history). `csn` is the datastore's commit-order
+    /// witness after the apply, or 0 when it is unobservable.
+    pub(crate) fn record_apply(
+        &self,
+        request: &CommitRequest,
+        result: &EjbResult<CommitOutcome>,
+        csn: u64,
+    ) {
+        self.log.record(HistoryEvent::Apply {
+            origin: request.origin,
+            txn_id: request.txn_id,
+            csn,
+            outcome: outcome_label(result).to_owned(),
+            t_us: self.clock.now().as_micros(),
+        });
+    }
+}
+
 /// FNV-1a digest over a memento's key and fields — a compact identity so
-/// abort forensics can say *which version* of a bean was expected vs found
-/// without shipping whole images around.
-pub(crate) fn memento_digest(m: &Memento) -> u64 {
+/// abort forensics (and the serializability checker's version chains) can
+/// say *which version* of a bean was expected vs found without shipping
+/// whole images around.
+pub fn memento_digest(m: &Memento) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x100_0000_01b3;
     let mut hash = OFFSET;
@@ -301,19 +355,25 @@ pub fn validate_and_apply(
     registry: &MetaRegistry,
     request: &CommitRequest,
 ) -> EjbResult<CommitOutcome> {
-    validate_and_apply_forensic(conn, registry, request, &mut None)
+    validate_and_apply_forensic(conn, registry, request, &mut None, false)
 }
 
 /// [`validate_and_apply`] with an out-parameter that receives the
 /// [`ConflictInfo`] forensics record when validation fails.
+///
+/// `unchecked_writes` is the checker's seeded bug (`slicheck
+/// --inject-bug`): when set, `Update` entries skip before-image validation
+/// and apply blindly — the classic lost-update anomaly optimistic
+/// validation exists to prevent. Never set in production paths.
 pub(crate) fn validate_and_apply_forensic(
     conn: &mut dyn SqlConnection,
     registry: &MetaRegistry,
     request: &CommitRequest,
     forensics: &mut Option<ConflictInfo>,
+    unchecked_writes: bool,
 ) -> EjbResult<CommitOutcome> {
     conn.begin()?;
-    let result = run_validation(conn, registry, request, forensics);
+    let result = run_validation(conn, registry, request, forensics, unchecked_writes);
     match result {
         Ok(CommitOutcome::Committed) => {
             conn.commit()?;
@@ -335,6 +395,7 @@ fn run_validation(
     registry: &MetaRegistry,
     request: &CommitRequest,
     forensics: &mut Option<ConflictInfo>,
+    unchecked_writes: bool,
 ) -> EjbResult<CommitOutcome> {
     for entry in &request.entries {
         let meta = registry.meta(&entry.bean)?;
@@ -351,7 +412,7 @@ fn run_validation(
                 }
             }
             EntryKind::Update { before, after } => {
-                if current.as_ref() != Some(before) {
+                if !unchecked_writes && current.as_ref() != Some(before) {
                     *forensics = Some(conflict_info(entry, Some(before), current.as_ref()));
                     return Ok(conflict());
                 }
@@ -401,24 +462,29 @@ pub fn validate_and_apply_per_image(
     registry: &MetaRegistry,
     request: &CommitRequest,
 ) -> EjbResult<CommitOutcome> {
-    validate_and_apply_per_image_forensic(conn, registry, request, &mut None)
+    validate_and_apply_per_image_forensic(conn, registry, request, &mut None, false)
 }
 
 /// [`validate_and_apply_per_image`] with an out-parameter that receives the
 /// [`ConflictInfo`] forensics record when validation fails. Conditional
 /// writes detect a conflict from "0 rows affected" without ever seeing the
 /// winning image, so their records carry `found_digest: None`.
+///
+/// `unchecked_writes` is the checker's seeded bug: `Update` entries lose
+/// their before-image `WHERE` clause and apply unconditionally. Never set
+/// in production paths.
 pub(crate) fn validate_and_apply_per_image_forensic(
     conn: &mut dyn SqlConnection,
     registry: &MetaRegistry,
     request: &CommitRequest,
     forensics: &mut Option<ConflictInfo>,
+    unchecked_writes: bool,
 ) -> EjbResult<CommitOutcome> {
     let single = request.entries.len() == 1;
     if !single {
         conn.begin()?;
     }
-    let result = run_per_image(conn, registry, request, forensics);
+    let result = run_per_image(conn, registry, request, forensics, unchecked_writes);
     if single {
         return result;
     }
@@ -443,6 +509,7 @@ fn run_per_image(
     registry: &MetaRegistry,
     request: &CommitRequest,
     forensics: &mut Option<ConflictInfo>,
+    unchecked_writes: bool,
 ) -> EjbResult<CommitOutcome> {
     for entry in &request.entries {
         let meta = registry.meta(&entry.bean)?;
@@ -459,6 +526,10 @@ fn run_per_image(
                 }
             }
             EntryKind::Update { before, after } => {
+                if unchecked_writes {
+                    conn.execute(&meta.update_sql(), &meta.update_params(after))?;
+                    continue;
+                }
                 let (sql, params) = meta.conditional_update_sql(before, after);
                 if conn.execute(&sql, &params)?.affected_rows() == 0 {
                     *forensics = Some(conflict_info(entry, Some(before), None));
@@ -522,6 +593,8 @@ pub struct CombinedCommitter {
     completed: Mutex<CompletedTxns>,
     metrics: CommitMetrics,
     tracer: Option<CommitTracer>,
+    history: Option<CommitHistory>,
+    inject_bug: bool,
 }
 
 impl std::fmt::Debug for CombinedCommitter {
@@ -541,6 +614,8 @@ impl CombinedCommitter {
             completed: Mutex::new(CompletedTxns::new(COMPLETED_TXN_CAPACITY)),
             metrics: CommitMetrics::default(),
             tracer: None,
+            history: None,
+            inject_bug: false,
         }
     }
 
@@ -552,6 +627,23 @@ impl CombinedCommitter {
     /// them.
     pub fn with_tracer(mut self, tracer: Arc<Tracer>, clock: Arc<Clock>) -> CombinedCommitter {
         self.tracer = Some(CommitTracer::new(tracer, clock));
+        self
+    }
+
+    /// Records an apply-outcome [`HistoryEvent`] per fresh commit into
+    /// `log`, timestamped from `clock` and tagged with the datastore's
+    /// commit-order witness (when the connection can observe it). This is
+    /// the committer-side half of the histories `slicheck` checks.
+    pub fn with_history(mut self, log: Arc<HistoryLog>, clock: Arc<Clock>) -> CombinedCommitter {
+        self.history = Some(CommitHistory::new(log, clock));
+        self
+    }
+
+    /// Seeds the deliberate lost-update bug (`slicheck --inject-bug`):
+    /// updates apply without their before-image `WHERE` clause. Test
+    /// harness only.
+    pub fn with_injected_bug(mut self) -> CombinedCommitter {
+        self.inject_bug = true;
         self
     }
 
@@ -583,15 +675,21 @@ impl Committer for CombinedCommitter {
             .as_ref()
             .map(|t| (t.begin("commit.validate_apply"), t.now_us()));
         let mut forensics = None;
-        let result = {
+        let (result, csn) = {
             let mut conn = self.conn.lock();
-            validate_and_apply_per_image_forensic(
+            let result = validate_and_apply_per_image_forensic(
                 conn.as_mut(),
                 &self.registry,
                 request,
                 &mut forensics,
-            )
+                self.inject_bug,
+            );
+            let csn = conn.commit_seq().unwrap_or(0);
+            (result, csn)
         };
+        if let Some(h) = &self.history {
+            h.record_apply(request, &result, csn);
+        }
         if let Ok(outcome) = &result {
             self.completed.lock().record(request, outcome);
         }

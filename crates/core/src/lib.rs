@@ -50,7 +50,8 @@ mod store;
 pub use backend::{BackendServer, BackendSource, SplitCommitter};
 pub use commit::{CommitEntry, CommitOutcome, CommitRequest, EntryKind};
 pub use committer::{
-    validate_and_apply, validate_and_apply_per_image, CombinedCommitter, Committer, CommitterStats,
+    memento_digest, validate_and_apply, validate_and_apply_per_image, CombinedCommitter, Committer,
+    CommitterStats,
 };
 pub use home::SliHome;
 pub use registry::MetaRegistry;

@@ -4,10 +4,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use sli_component::{EjbResult, Home, ResourceManager, TxContext};
-use sli_telemetry::{Counter, Registry, Timeline};
+use sli_simnet::Clock;
+use sli_telemetry::{Counter, HistoryEvent, HistoryImage, HistoryLog, Registry, Timeline};
 
 use crate::commit::{CommitOutcome, CommitRequest, EntryKind};
-use crate::committer::{conflict_error, Committer};
+use crate::committer::{conflict_error, memento_digest, Committer};
 use crate::store::CommonStore;
 
 /// Commit/abort counters for one cache-enabled application server.
@@ -37,6 +38,8 @@ pub struct SliResourceManager {
     commits: Counter,
     conflicts: Counter,
     empty: Counter,
+    /// Optional edge-side history recorder for the consistency checker.
+    history: Option<(Arc<HistoryLog>, Arc<Clock>)>,
 }
 
 impl std::fmt::Debug for SliResourceManager {
@@ -64,7 +67,51 @@ impl SliResourceManager {
             commits: Counter::new(),
             conflicts: Counter::new(),
             empty: Counter::new(),
+            history: None,
         }
+    }
+
+    /// Records one [`HistoryEvent::Commit`] per application transaction
+    /// into `log` (timestamped from `clock`): the full before/after
+    /// footprint the edge submitted, with memento digests, plus the
+    /// outcome seen at the edge. This is the edge-side half of the
+    /// histories `slicheck` checks.
+    pub fn with_history(mut self, log: Arc<HistoryLog>, clock: Arc<Clock>) -> SliResourceManager {
+        self.history = Some((log, clock));
+        self
+    }
+
+    /// Records the RM-side view of `request`'s outcome, if recording is on.
+    fn record_commit(&self, request: &CommitRequest, outcome: &str) {
+        let Some((log, clock)) = &self.history else {
+            return;
+        };
+        let entries = request
+            .entries
+            .iter()
+            .map(|entry| {
+                let (kind, before, after) = match &entry.kind {
+                    EntryKind::Read { before } => ("read", Some(before), None),
+                    EntryKind::Update { before, after } => ("update", Some(before), Some(after)),
+                    EntryKind::Create { after } => ("create", None, Some(after)),
+                    EntryKind::Remove { before } => ("remove", Some(before), None),
+                };
+                HistoryImage {
+                    bean: entry.bean.clone(),
+                    key: entry.key.to_string(),
+                    kind: kind.to_owned(),
+                    before: before.map(memento_digest),
+                    after: after.map(memento_digest),
+                }
+            })
+            .collect();
+        log.record(HistoryEvent::Commit {
+            origin: request.origin,
+            txn_id: request.txn_id,
+            outcome: outcome.to_owned(),
+            entries,
+            t_us: clock.now().as_micros(),
+        });
     }
 
     /// Counter snapshot.
@@ -107,9 +154,16 @@ impl ResourceManager for SliResourceManager {
         let request = CommitRequest::from_context(self.origin, txn_id, ctx);
         if request.entries.is_empty() {
             self.empty.inc();
+            self.record_commit(&request, "empty");
             return Ok(());
         }
-        let outcome = self.committer.commit(&request)?;
+        let outcome = match self.committer.commit(&request) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                self.record_commit(&request, "error");
+                return Err(e);
+            }
+        };
         match &outcome {
             CommitOutcome::Committed => {
                 // Inter-transaction caching: refresh the common store with
@@ -126,6 +180,7 @@ impl ResourceManager for SliResourceManager {
                     }
                 }
                 self.commits.inc();
+                self.record_commit(&request, "committed");
                 Ok(())
             }
             CommitOutcome::Conflict { .. } => {
@@ -135,6 +190,7 @@ impl ResourceManager for SliResourceManager {
                     self.store.invalidate(&entry.bean, &entry.key);
                 }
                 self.conflicts.inc();
+                self.record_commit(&request, "conflict");
                 Err(conflict_error(&outcome).expect("conflict variant"))
             }
         }

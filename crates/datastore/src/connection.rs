@@ -82,6 +82,10 @@ impl SqlConnection for Connection {
     fn in_transaction(&self) -> bool {
         self.txn.is_some()
     }
+
+    fn commit_seq(&self) -> Option<u64> {
+        Some(self.db.commit_seq())
+    }
 }
 
 impl Drop for Connection {
@@ -149,6 +153,34 @@ mod tests {
         }
         assert_eq!(db.row_count("t").unwrap(), 0);
         assert_eq!(db.lock_manager().lock_count(), 0);
+    }
+
+    #[test]
+    fn commit_seq_counts_only_writing_transactions() {
+        let db = setup();
+        let mut c = db.connect();
+        assert_eq!(c.commit_seq(), Some(0));
+        // Autocommit write bumps the witness.
+        c.execute("INSERT INTO t (a, b) VALUES (1, 10)", &[])
+            .unwrap();
+        assert_eq!(c.commit_seq(), Some(1));
+        // Read-only statements (autocommit or explicit) do not.
+        c.execute("SELECT b FROM t WHERE a = 1", &[]).unwrap();
+        c.begin().unwrap();
+        c.execute("SELECT b FROM t WHERE a = 1", &[]).unwrap();
+        c.commit().unwrap();
+        assert_eq!(c.commit_seq(), Some(1));
+        // A rolled-back writer does not.
+        c.begin().unwrap();
+        c.execute("UPDATE t SET b = 99 WHERE a = 1", &[]).unwrap();
+        c.rollback().unwrap();
+        assert_eq!(c.commit_seq(), Some(1));
+        // An explicit writing transaction bumps it exactly once.
+        c.begin().unwrap();
+        c.execute("UPDATE t SET b = 11 WHERE a = 1", &[]).unwrap();
+        c.execute("UPDATE t SET b = 12 WHERE a = 1", &[]).unwrap();
+        c.commit().unwrap();
+        assert_eq!(c.commit_seq(), Some(2));
     }
 
     #[test]

@@ -115,6 +115,9 @@ pub struct Database {
     tables: RwLock<HashMap<String, Arc<RwLock<Table>>>>,
     locks: LockManager,
     next_txn: AtomicU64,
+    /// Commit-order witness: bumped once per committed *writing*
+    /// transaction (see [`Database::commit_seq`]).
+    commit_seq: AtomicU64,
     stmt_cache: Mutex<HashMap<String, Arc<Statement>>>,
     trace: Trace,
 }
@@ -125,6 +128,7 @@ impl Default for Database {
             tables: RwLock::new(HashMap::new()),
             locks: LockManager::default(),
             next_txn: AtomicU64::new(1),
+            commit_seq: AtomicU64::new(0),
             stmt_cache: Mutex::new(HashMap::new()),
             trace: Trace::default(),
         }
@@ -202,6 +206,18 @@ impl Database {
         Ok(self.table(table)?.read().rows.len())
     }
 
+    /// The commit-order witness: how many *writing* transactions have
+    /// committed so far (explicit transactions and autocommitted
+    /// statements alike; read-only transactions do not count).
+    ///
+    /// Because the engine serializes commits, the value observed right
+    /// after a transaction commits is a faithful position in the global
+    /// commit order — which is what a history checker needs to order
+    /// transactions independently of any application-level log.
+    pub fn commit_seq(&self) -> u64 {
+        self.commit_seq.load(Ordering::Relaxed)
+    }
+
     /// Per-table statement counters since the last reset.
     pub fn trace_snapshot(&self) -> TraceSnapshot {
         self.trace.snapshot()
@@ -267,6 +283,11 @@ impl Database {
     }
 
     pub(crate) fn commit_txn(&self, txn: TxnState) {
+        // Committed writers advance the commit-order witness; read-only
+        // transactions (an empty undo log) leave it untouched.
+        if !txn.undo.is_empty() {
+            self.commit_seq.fetch_add(1, Ordering::Relaxed);
+        }
         self.locks.release_all(txn.id);
     }
 

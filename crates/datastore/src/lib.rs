@@ -102,4 +102,12 @@ pub trait SqlConnection {
 
     /// Whether an explicit transaction is currently open.
     fn in_transaction(&self) -> bool;
+
+    /// The database's commit-order witness ([`Database::commit_seq`]), when
+    /// this connection can observe it. In-process connections return
+    /// `Some`; connections that cross a wire return `None`, and callers
+    /// needing the witness there must obtain it out of band.
+    fn commit_seq(&self) -> Option<u64> {
+        None
+    }
 }

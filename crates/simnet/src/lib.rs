@@ -23,6 +23,10 @@
 //!   clock-driven [`RetryPolicy`], surfacing [`CallError`] once the budget
 //!   is exhausted; [`Remote::call_once`] is the no-retry escape hatch for
 //!   non-idempotent payloads.
+//! * [`Scheduler`]/[`ExhaustiveExplorer`] — deterministic schedule
+//!   exploration for multi-client checking harnesses: seeded random walks
+//!   with per-seed replay, scripted replay with sequential completion (the
+//!   shrinking primitive), and depth-bounded exhaustive enumeration.
 //! * [`wire`] — a small self-describing binary codec. All simulated traffic
 //!   is really encoded and decoded so that byte counts are honest.
 //! * [`HttpRequest`]/[`HttpResponse`] — minimal HTTP/1.0-style framing for
@@ -51,6 +55,7 @@ mod fault;
 mod http;
 mod path;
 mod remote;
+mod sched;
 pub mod wire;
 
 pub use clock::{Clock, SimDuration, SimTime};
@@ -58,3 +63,4 @@ pub use fault::{Fault, FaultPlan, FaultStats};
 pub use http::{HttpRequest, HttpResponse};
 pub use path::{Path, PathMetrics, PathSpec, PathStats};
 pub use remote::{CallError, Remote, RetryPolicy, Service};
+pub use sched::{ExhaustiveExplorer, ScheduleStep, Scheduler};

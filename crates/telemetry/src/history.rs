@@ -1,0 +1,565 @@
+//! Operation histories for the schedule-exploring checker (`slicheck`).
+//!
+//! A *history* is the complete record of what logical clients asked for and
+//! what the system answered — the object Jepsen-style checkers consume. The
+//! harness appends [`HistoryEvent`]s to a shared [`HistoryLog`] as it runs:
+//! client-side invocations/returns, the resource-manager view of each commit
+//! attempt (with before-/after-image digests), and the committer-side apply
+//! outcome tagged with the datastore's commit-order witness. Post-hoc, the
+//! checker reconstructs a transaction dependency graph from these events.
+//!
+//! The module also defines the counterexample export: on a violation,
+//! `slicheck` shrinks the failing schedule and writes a
+//! [`COUNTEREXAMPLE_SCHEMA`] document which
+//! [`validate_counterexample`] checks for well-formedness — the same
+//! validated-export loop the trace and timeline schemas use.
+
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// One before- or after-image footprint of a transaction, with memento
+/// contents compressed to 64-bit digests (the checker compares identities,
+/// not field values).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryImage {
+    /// Bean (entity) name.
+    pub bean: String,
+    /// Primary key, rendered as a string.
+    pub key: String,
+    /// Entry kind: `"read"`, `"update"`, `"create"` or `"remove"`.
+    pub kind: String,
+    /// Digest of the before-image, if the entry carries one.
+    pub before: Option<u64>,
+    /// Digest of the after-image, if the entry carries one.
+    pub after: Option<u64>,
+}
+
+/// One event in an operation history.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HistoryEvent {
+    /// A logical client started an operation (a read or a transfer leg).
+    Invoke {
+        /// Logical client index.
+        client: u32,
+        /// Client-unique operation id, paired with the matching `Return`.
+        op_id: u64,
+        /// Operation name, e.g. `"read"`, `"debit"`, `"credit"`.
+        op: String,
+        /// Bean name the operation targets.
+        bean: String,
+        /// Primary key the operation targets.
+        key: String,
+        /// Virtual time of the invocation, microseconds.
+        t_us: u64,
+    },
+    /// The operation returned to the client.
+    Return {
+        /// Logical client index.
+        client: u32,
+        /// Matches the `Invoke` with the same id.
+        op_id: u64,
+        /// `"ok"`, `"conflict"` or `"error"`.
+        outcome: String,
+        /// Returned value (for reads), rendered as a string.
+        value: Option<String>,
+        /// Virtual time of the return, microseconds.
+        t_us: u64,
+    },
+    /// The resource-manager view of a commit attempt: the full footprint
+    /// the edge submitted, with image digests.
+    Commit {
+        /// Edge server the transaction originated on.
+        origin: u32,
+        /// Transaction id, unique per origin.
+        txn_id: u64,
+        /// `"committed"`, `"conflict"`, `"error"` or `"empty"`.
+        outcome: String,
+        /// The before/after footprint of every touched instance.
+        entries: Vec<HistoryImage>,
+        /// Virtual time the outcome was known at the edge, microseconds.
+        t_us: u64,
+    },
+    /// The committer-side apply outcome, tagged with the datastore's
+    /// commit-order witness. Recorded only for fresh requests (duplicate
+    /// deliveries replay the memoised outcome and are not re-applied).
+    Apply {
+        /// Edge server the transaction originated on.
+        origin: u32,
+        /// Transaction id, unique per origin.
+        txn_id: u64,
+        /// Commit-order witness after the apply
+        /// ([`Database::commit_seq`](../sli_datastore/struct.Database.html));
+        /// 0 when the committer cannot observe it (remote connection).
+        csn: u64,
+        /// `"committed"`, `"conflict"` or `"error"`.
+        outcome: String,
+        /// Virtual time of the apply at the committer, microseconds.
+        t_us: u64,
+    },
+}
+
+/// A shared, append-only log of [`HistoryEvent`]s.
+///
+/// Handles are cloned into the resource manager and the committers; the
+/// harness drains the log once the run completes.
+#[derive(Debug, Default)]
+pub struct HistoryLog {
+    events: Mutex<Vec<HistoryEvent>>,
+}
+
+impl HistoryLog {
+    /// An empty log.
+    pub fn new() -> HistoryLog {
+        HistoryLog::default()
+    }
+
+    /// Appends one event.
+    pub fn record(&self, event: HistoryEvent) {
+        self.events.lock().unwrap().push(event);
+    }
+
+    /// A snapshot of all events recorded so far, in append order.
+    pub fn events(&self) -> Vec<HistoryEvent> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes all events.
+    pub fn clear(&self) {
+        self.events.lock().unwrap().clear();
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> Json {
+    match v {
+        Some(n) => Json::from(n),
+        None => Json::Null,
+    }
+}
+
+fn image_json(img: &HistoryImage) -> Json {
+    Json::obj([
+        ("bean", Json::from(img.bean.clone())),
+        ("key", Json::from(img.key.clone())),
+        ("kind", Json::from(img.kind.clone())),
+        ("before", opt_u64(img.before)),
+        ("after", opt_u64(img.after)),
+    ])
+}
+
+/// Renders a history as a JSON array of tagged event objects.
+pub fn history_json(events: &[HistoryEvent]) -> Json {
+    Json::Arr(events.iter().map(event_json).collect())
+}
+
+fn event_json(event: &HistoryEvent) -> Json {
+    match event {
+        HistoryEvent::Invoke {
+            client,
+            op_id,
+            op,
+            bean,
+            key,
+            t_us,
+        } => Json::obj([
+            ("type", Json::from("invoke")),
+            ("client", Json::from(u64::from(*client))),
+            ("op_id", Json::from(*op_id)),
+            ("op", Json::from(op.clone())),
+            ("bean", Json::from(bean.clone())),
+            ("key", Json::from(key.clone())),
+            ("t_us", Json::from(*t_us)),
+        ]),
+        HistoryEvent::Return {
+            client,
+            op_id,
+            outcome,
+            value,
+            t_us,
+        } => Json::obj([
+            ("type", Json::from("return")),
+            ("client", Json::from(u64::from(*client))),
+            ("op_id", Json::from(*op_id)),
+            ("outcome", Json::from(outcome.clone())),
+            (
+                "value",
+                match value {
+                    Some(v) => Json::from(v.clone()),
+                    None => Json::Null,
+                },
+            ),
+            ("t_us", Json::from(*t_us)),
+        ]),
+        HistoryEvent::Commit {
+            origin,
+            txn_id,
+            outcome,
+            entries,
+            t_us,
+        } => Json::obj([
+            ("type", Json::from("commit")),
+            ("origin", Json::from(u64::from(*origin))),
+            ("txn_id", Json::from(*txn_id)),
+            ("outcome", Json::from(outcome.clone())),
+            (
+                "entries",
+                Json::Arr(entries.iter().map(image_json).collect()),
+            ),
+            ("t_us", Json::from(*t_us)),
+        ]),
+        HistoryEvent::Apply {
+            origin,
+            txn_id,
+            csn,
+            outcome,
+            t_us,
+        } => Json::obj([
+            ("type", Json::from("apply")),
+            ("origin", Json::from(u64::from(*origin))),
+            ("txn_id", Json::from(*txn_id)),
+            ("csn", Json::from(*csn)),
+            ("outcome", Json::from(outcome.clone())),
+            ("t_us", Json::from(*t_us)),
+        ]),
+    }
+}
+
+fn need_u64(obj: &Json, key: &str, what: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .map(|v| v as u64)
+        .ok_or_else(|| format!("{what}: missing numeric {key:?}"))
+}
+
+fn need_str(obj: &Json, key: &str, what: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("{what}: missing string {key:?}"))
+}
+
+fn opt_digest(obj: &Json, key: &str, what: &str) -> Result<Option<u64>, String> {
+    match obj.get(key) {
+        Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(|n| Some(n as u64))
+            .ok_or_else(|| format!("{what}: {key:?} is neither null nor a number")),
+        None => Err(format!("{what}: missing {key:?}")),
+    }
+}
+
+/// Parses a history previously rendered by [`history_json`].
+///
+/// # Errors
+/// Describes the first malformed event encountered.
+pub fn parse_history(json: &Json) -> Result<Vec<HistoryEvent>, String> {
+    let items = json.as_arr().ok_or("history is not an array")?;
+    let mut events = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let what = format!("history[{i}]");
+        let kind = need_str(item, "type", &what)?;
+        let event = match kind.as_str() {
+            "invoke" => HistoryEvent::Invoke {
+                client: need_u64(item, "client", &what)? as u32,
+                op_id: need_u64(item, "op_id", &what)?,
+                op: need_str(item, "op", &what)?,
+                bean: need_str(item, "bean", &what)?,
+                key: need_str(item, "key", &what)?,
+                t_us: need_u64(item, "t_us", &what)?,
+            },
+            "return" => HistoryEvent::Return {
+                client: need_u64(item, "client", &what)? as u32,
+                op_id: need_u64(item, "op_id", &what)?,
+                outcome: need_str(item, "outcome", &what)?,
+                value: match item.get("value") {
+                    Some(Json::Null) | None => None,
+                    Some(v) => Some(
+                        v.as_str()
+                            .ok_or_else(|| format!("{what}: non-string value"))?
+                            .to_owned(),
+                    ),
+                },
+                t_us: need_u64(item, "t_us", &what)?,
+            },
+            "commit" => {
+                let entries = item
+                    .get("entries")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("{what}: missing entries array"))?;
+                let mut images = Vec::with_capacity(entries.len());
+                for (j, e) in entries.iter().enumerate() {
+                    let ew = format!("{what}.entries[{j}]");
+                    images.push(HistoryImage {
+                        bean: need_str(e, "bean", &ew)?,
+                        key: need_str(e, "key", &ew)?,
+                        kind: need_str(e, "kind", &ew)?,
+                        before: opt_digest(e, "before", &ew)?,
+                        after: opt_digest(e, "after", &ew)?,
+                    });
+                }
+                HistoryEvent::Commit {
+                    origin: need_u64(item, "origin", &what)? as u32,
+                    txn_id: need_u64(item, "txn_id", &what)?,
+                    outcome: need_str(item, "outcome", &what)?,
+                    entries: images,
+                    t_us: need_u64(item, "t_us", &what)?,
+                }
+            }
+            "apply" => HistoryEvent::Apply {
+                origin: need_u64(item, "origin", &what)? as u32,
+                txn_id: need_u64(item, "txn_id", &what)?,
+                csn: need_u64(item, "csn", &what)?,
+                outcome: need_str(item, "outcome", &what)?,
+                t_us: need_u64(item, "t_us", &what)?,
+            },
+            other => return Err(format!("{what}: unknown event type {other:?}")),
+        };
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// Schema identifier of the counterexample export.
+pub const COUNTEREXAMPLE_SCHEMA: &str = "sli-edge.slicheck-counterexample/v1";
+
+/// Validates a counterexample document before (and after) it is written.
+///
+/// Checks the schema tag, the schedule (objects with in-range
+/// `choice`/`arity`), that the embedded history parses, and that every
+/// violation names its kind and details and — when it carries a dependency
+/// cycle — that each cycle node references a transaction present in the
+/// history's commit/apply events.
+///
+/// # Errors
+/// Describes the first problem found.
+pub fn validate_counterexample(doc: &Json) -> Result<(), String> {
+    let version = doc
+        .get("version")
+        .and_then(Json::as_str)
+        .ok_or("missing version")?;
+    if version != COUNTEREXAMPLE_SCHEMA {
+        return Err(format!("unexpected version {version:?}"));
+    }
+    doc.get("arch")
+        .and_then(Json::as_str)
+        .ok_or("missing arch")?;
+    need_u64(doc, "seed", "doc")?;
+    let schedule = doc
+        .get("schedule")
+        .and_then(Json::as_arr)
+        .ok_or("missing schedule array")?;
+    for (i, step) in schedule.iter().enumerate() {
+        let what = format!("schedule[{i}]");
+        let choice = need_u64(step, "choice", &what)?;
+        let arity = need_u64(step, "arity", &what)?;
+        if arity == 0 || choice >= arity {
+            return Err(format!(
+                "{what}: choice {choice} out of range for arity {arity}"
+            ));
+        }
+    }
+    let history_json = doc.get("history").ok_or("missing history")?;
+    let history = parse_history(history_json)?;
+    let mut txns = std::collections::BTreeSet::new();
+    for event in &history {
+        match event {
+            HistoryEvent::Commit { origin, txn_id, .. }
+            | HistoryEvent::Apply { origin, txn_id, .. } => {
+                txns.insert((*origin, *txn_id));
+            }
+            _ => {}
+        }
+    }
+    let violations = doc
+        .get("violations")
+        .and_then(Json::as_arr)
+        .ok_or("missing violations array")?;
+    if violations.is_empty() {
+        return Err("counterexample with no violations".to_owned());
+    }
+    for (i, v) in violations.iter().enumerate() {
+        let what = format!("violations[{i}]");
+        need_str(v, "kind", &what)?;
+        need_str(v, "details", &what)?;
+        if let Some(cycle) = v.get("cycle").and_then(Json::as_arr) {
+            for (j, node) in cycle.iter().enumerate() {
+                let nw = format!("{what}.cycle[{j}]");
+                let origin = need_u64(node, "origin", &nw)? as u32;
+                let txn_id = need_u64(node, "txn_id", &nw)?;
+                if (origin, txn_id) != (0, 0) && !txns.contains(&(origin, txn_id)) {
+                    return Err(format!(
+                        "{nw}: txn {origin}/{txn_id} not present in history"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_history() -> Vec<HistoryEvent> {
+        vec![
+            HistoryEvent::Invoke {
+                client: 0,
+                op_id: 1,
+                op: "debit".to_owned(),
+                bean: "Account".to_owned(),
+                key: "alice".to_owned(),
+                t_us: 10,
+            },
+            HistoryEvent::Return {
+                client: 0,
+                op_id: 1,
+                outcome: "ok".to_owned(),
+                value: Some("70".to_owned()),
+                t_us: 20,
+            },
+            HistoryEvent::Commit {
+                origin: 1,
+                txn_id: 1,
+                outcome: "committed".to_owned(),
+                entries: vec![HistoryImage {
+                    bean: "Account".to_owned(),
+                    key: "alice".to_owned(),
+                    kind: "update".to_owned(),
+                    before: Some(11),
+                    after: Some(22),
+                }],
+                t_us: 30,
+            },
+            HistoryEvent::Apply {
+                origin: 1,
+                txn_id: 1,
+                csn: 1,
+                outcome: "committed".to_owned(),
+                t_us: 30,
+            },
+        ]
+    }
+
+    #[test]
+    fn history_round_trips_through_json() {
+        let events = sample_history();
+        let json = history_json(&events);
+        let reparsed = Json::parse(&json.render()).unwrap();
+        assert_eq!(parse_history(&reparsed).unwrap(), events);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_events() {
+        let bad = Json::Arr(vec![Json::obj([("type", Json::from("warp"))])]);
+        assert!(parse_history(&bad).unwrap_err().contains("unknown event"));
+        let missing = Json::Arr(vec![Json::obj([("type", Json::from("apply"))])]);
+        assert!(parse_history(&missing).is_err());
+        assert!(parse_history(&Json::Null).is_err());
+    }
+
+    fn sample_counterexample() -> Json {
+        Json::obj([
+            ("version", Json::from(COUNTEREXAMPLE_SCHEMA)),
+            ("arch", Json::from("es-rdb-cached")),
+            ("seed", Json::from(7u64)),
+            (
+                "schedule",
+                Json::Arr(vec![Json::obj([
+                    ("choice", Json::from(1u64)),
+                    ("arity", Json::from(2u64)),
+                ])]),
+            ),
+            ("history", history_json(&sample_history())),
+            (
+                "violations",
+                Json::Arr(vec![Json::obj([
+                    ("kind", Json::from("non-serializable")),
+                    ("details", Json::from("cycle of length 1")),
+                    (
+                        "cycle",
+                        Json::Arr(vec![Json::obj([
+                            ("origin", Json::from(1u64)),
+                            ("txn_id", Json::from(1u64)),
+                        ])]),
+                    ),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn validator_accepts_well_formed_counterexample() {
+        validate_counterexample(&sample_counterexample()).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        let mut doc = sample_counterexample();
+        if let Json::Obj(map) = &mut doc {
+            map.insert("violations".to_owned(), Json::Arr(vec![]));
+        }
+        assert!(validate_counterexample(&doc)
+            .unwrap_err()
+            .contains("no violations"));
+
+        let mut doc = sample_counterexample();
+        if let Json::Obj(map) = &mut doc {
+            map.insert(
+                "schedule".to_owned(),
+                Json::Arr(vec![Json::obj([
+                    ("choice", Json::from(2u64)),
+                    ("arity", Json::from(2u64)),
+                ])]),
+            );
+        }
+        assert!(validate_counterexample(&doc)
+            .unwrap_err()
+            .contains("out of range"));
+
+        let mut doc = sample_counterexample();
+        if let Json::Obj(map) = &mut doc {
+            map.insert(
+                "violations".to_owned(),
+                Json::Arr(vec![Json::obj([
+                    ("kind", Json::from("non-serializable")),
+                    ("details", Json::from("x")),
+                    (
+                        "cycle",
+                        Json::Arr(vec![Json::obj([
+                            ("origin", Json::from(9u64)),
+                            ("txn_id", Json::from(9u64)),
+                        ])]),
+                    ),
+                ])]),
+            );
+        }
+        assert!(validate_counterexample(&doc)
+            .unwrap_err()
+            .contains("not present in history"));
+    }
+
+    #[test]
+    fn log_records_and_drains() {
+        let log = HistoryLog::new();
+        assert!(log.is_empty());
+        for e in sample_history() {
+            log.record(e);
+        }
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.events().len(), 4);
+        log.clear();
+        assert!(log.is_empty());
+    }
+}

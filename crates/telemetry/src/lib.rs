@@ -29,6 +29,9 @@
 //! * [`RunReport`] / [`ArchReport`] — the structured per-architecture
 //!   summary (hit ratio, abort rate, retries, tail latency) that the bench
 //!   bins emit and CI validates against [`validate_run_report`].
+//! * [`HistoryLog`] / [`HistoryEvent`] — operation histories for the
+//!   schedule-exploring consistency checker, with a validated
+//!   counterexample export ([`COUNTEREXAMPLE_SCHEMA`]).
 //! * [`Timeline`] / [`TimelineDoc`] — windowed virtual-time series:
 //!   counters and gauges sampled into fixed-width windows, exported under
 //!   [`TIMELINE_SCHEMA`] and checked by [`validate_timeline`], with
@@ -38,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod export;
+mod history;
 mod json;
 mod metrics;
 mod registry;
@@ -48,6 +52,10 @@ mod trace_ctx;
 mod tree;
 
 pub use export::{chrome_trace, validate_chrome_trace};
+pub use history::{
+    history_json, parse_history, validate_counterexample, HistoryEvent, HistoryImage, HistoryLog,
+    COUNTEREXAMPLE_SCHEMA,
+};
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{Metric, MetricValue, Registry};

@@ -4,124 +4,18 @@
 //! ACID fashion"), exercised across multiple cache-enhanced edges sharing
 //! one persistent store.
 
+mod common;
+
 use std::sync::Arc;
 
+use common::{account_meta, balance_of, combined_edge, debit, registry, seeded_db, split_cluster};
 use sli_edge::component::{Container, EjbError, Memento, ResourceManager};
 use sli_edge::core::{
-    BackendServer, BackendSource, CombinedCommitter, CommonStore, DirectSource, InvalidationSink,
-    MetaRegistry, SliHome, SliResourceManager, SplitCommitter,
+    BackendServer, BackendSource, CommonStore, InvalidationSink, SliHome, SliResourceManager,
+    SplitCommitter,
 };
-use sli_edge::datastore::{ColumnType, Database, SqlConnection, Value};
+use sli_edge::datastore::Value;
 use sli_edge::simnet::{Clock, Path, PathSpec, Remote};
-
-use sli_edge::component::EntityMeta;
-
-fn account_meta() -> EntityMeta {
-    EntityMeta::new("Account", "account", "userid", ColumnType::Varchar)
-        .field("balance", ColumnType::Double)
-}
-
-fn registry() -> MetaRegistry {
-    MetaRegistry::new().with(account_meta())
-}
-
-fn seeded_db() -> Arc<Database> {
-    let db = Database::new();
-    registry().create_schema(&db).unwrap();
-    let mut conn = db.connect();
-    for (user, balance) in [("alice", 100.0), ("bob", 200.0)] {
-        conn.execute(
-            "INSERT INTO account (userid, balance) VALUES (?, ?)",
-            &[Value::from(user), Value::from(balance)],
-        )
-        .unwrap();
-    }
-    db
-}
-
-/// A combined-servers (ES/RDB-style) edge over a shared database.
-fn combined_edge(db: &Arc<Database>, origin: u32) -> (Container, Arc<CommonStore>) {
-    let store = CommonStore::new();
-    let source = Arc::new(DirectSource::new(Box::new(db.connect()), registry()));
-    let committer = Arc::new(CombinedCommitter::new(Box::new(db.connect()), registry()));
-    let rm = Arc::new(SliResourceManager::new(
-        origin,
-        committer,
-        Arc::clone(&store),
-    ));
-    let mut container = Container::new(rm as Arc<dyn ResourceManager>);
-    container.register(Arc::new(SliHome::new(
-        account_meta(),
-        Arc::clone(&store),
-        source,
-    )));
-    (container, store)
-}
-
-type SplitCluster = (
-    Arc<Clock>,
-    Arc<BackendServer>,
-    Vec<(Container, Arc<CommonStore>)>,
-);
-
-/// A split-servers (ES/RBES-style) cluster: one backend, `n` edges with
-/// invalidation channels.
-fn split_cluster(db: &Arc<Database>, n: usize) -> SplitCluster {
-    let clock = Arc::new(Clock::new());
-    let backend = BackendServer::new(Box::new(db.connect()), registry(), Arc::clone(&clock));
-    let mut edges = Vec::new();
-    for i in 0..n {
-        let id = i as u32 + 1;
-        let store = CommonStore::new();
-        let path = Path::new(
-            format!("edge{id}-backend"),
-            Arc::clone(&clock),
-            PathSpec::lan(),
-        );
-        let remote = Remote::new(path, Arc::clone(&backend));
-        let inv_path = Path::new(
-            format!("backend-inv-{id}"),
-            Arc::clone(&clock),
-            PathSpec::lan(),
-        );
-        backend.register_edge(
-            id,
-            Remote::new(inv_path, InvalidationSink::new(Arc::clone(&store))),
-        );
-        let source = Arc::new(BackendSource::new(remote.clone()));
-        let committer = Arc::new(SplitCommitter::new(remote));
-        let rm = Arc::new(SliResourceManager::new(id, committer, Arc::clone(&store)));
-        let mut container = Container::new(rm as Arc<dyn ResourceManager>);
-        container.register(Arc::new(SliHome::new(
-            account_meta(),
-            Arc::clone(&store),
-            source,
-        )));
-        edges.push((container, store));
-    }
-    (clock, backend, edges)
-}
-
-fn balance_of(db: &Arc<Database>, user: &str) -> f64 {
-    let mut conn = db.connect();
-    let rs = conn
-        .execute(
-            "SELECT balance FROM account WHERE userid = ?",
-            &[Value::from(user)],
-        )
-        .unwrap();
-    rs.rows()[0][0].as_double().unwrap()
-}
-
-fn debit(container: &Container, user: &str, amount: f64) -> Result<(), EjbError> {
-    container.with_transaction(|ctx, c| {
-        let home = c.home("Account")?;
-        let key = Value::from(user);
-        let balance = home.get_field(ctx, &key, "balance")?.as_double().unwrap();
-        home.set_field(ctx, &key, "balance", Value::from(balance - amount))?;
-        Ok(())
-    })
-}
 
 #[test]
 fn no_lost_updates_between_combined_edges() {
