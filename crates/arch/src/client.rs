@@ -24,6 +24,11 @@ pub struct Interaction {
 /// "Client requests are driven by a load generator program on a dedicated
 /// machine" (§4.3); this is that program. It keeps the HTTP session cookie
 /// between requests like a browser would.
+///
+/// Under the open-loop [`LoadEngine`](crate::LoadEngine) one `VirtualClient`
+/// exists per *logical session*: a `perform` call is the atomic step between
+/// two scheduler decisions, so sessions interleave at exactly the
+/// client-RPC boundary and every interleaving remains replayable.
 #[derive(Debug)]
 pub struct VirtualClient<'t> {
     testbed: &'t Testbed,
@@ -91,7 +96,10 @@ impl<'t> VirtualClient<'t> {
             SpanOutcome::Committed,
         );
         let resp = HttpResponse::parse(&raw_response).expect("server emits well-formed HTTP");
-        let latency = clock.now() - start;
+        let latency = clock
+            .now()
+            .checked_since(start)
+            .expect("virtual time is monotone across a round trip");
         let root_outcome = match resp.status {
             200 => SpanOutcome::Committed,
             409 => SpanOutcome::Conflict,

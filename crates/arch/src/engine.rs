@@ -1,0 +1,424 @@
+//! The open-loop load engine: many logical sessions multiplexed on virtual
+//! time.
+//!
+//! The paper's protocol is closed-loop — one virtual client issues a
+//! request, waits, thinks, repeats — so offered load can never exceed the
+//! service rate and the saturation knee is structurally invisible. This
+//! engine inverts that: sessions *arrive* on an open-loop
+//! [`ArrivalPlan`] schedule whether or not earlier sessions have finished,
+//! wait in a ready queue, and interleave at client-RPC boundaries.
+//!
+//! The execution model is the slicheck [`Scheduler`] promoted from
+//! checker-only tool to the main loop. One atomic step = one HTTP round
+//! trip ([`VirtualClient::perform`]); whenever more than one session has a
+//! ready step, the scheduler decides which fires next, so every loaded run
+//! is a recorded, replayable interleaving — the same property the
+//! serializability checker exploits, now carried by every measurement.
+//!
+//! Latency accounting is the standard open-loop decomposition: a request
+//! becomes *ready* (session arrival, or think-time expiry), possibly waits
+//! while the single virtual CPU serves other sessions, then is dispatched.
+//! Its reported latency is `queue_wait + service`, so as the offered rate
+//! approaches the service rate the queue grows and the latency curve bends
+//! up — the knee the `knee` bin plots.
+
+use std::sync::Arc;
+
+use sli_simnet::{Scheduler, SimDuration, SimTime};
+use sli_telemetry::{Counter, Gauge, Histogram, Registry, Timeline};
+use sli_trade::seed::Population;
+use sli_trade::session::SessionGenerator;
+use sli_trade::TradeAction;
+use sli_workload::ArrivalPlan;
+
+use crate::client::VirtualClient;
+use crate::topology::Testbed;
+
+/// Everything that defines one open-loop loaded run.
+#[derive(Debug, Clone)]
+pub struct LoadPlan {
+    /// The session arrival schedule (rate, shape, seed).
+    pub arrivals: ArrivalPlan,
+    /// How many logical sessions arrive in total.
+    pub sessions: usize,
+    /// Per-session think time between consecutive interactions.
+    pub think: SimDuration,
+    /// Seed of the per-session action scripts (the trade mix).
+    pub session_seed: u64,
+    /// Seed of the dispatch scheduler's random walk.
+    pub scheduler_seed: u64,
+    /// Database population the scripts draw users/symbols from.
+    pub population: Population,
+}
+
+impl LoadPlan {
+    /// A plan with Poisson arrivals at `rps` sessions/second and the
+    /// engine's default seeds and think time (500 ms — browsers pause
+    /// between clicks even when servers are melting).
+    pub fn poisson(rps: f64, sessions: usize, seed: u64) -> LoadPlan {
+        LoadPlan {
+            arrivals: ArrivalPlan::poisson(seed, rps),
+            sessions,
+            think: SimDuration::from_millis(500),
+            session_seed: seed ^ 0x5e55_1011,
+            scheduler_seed: seed ^ 0x5c4e_d01e,
+            population: Population::default(),
+        }
+    }
+}
+
+/// One dispatched interaction under load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadedInteraction {
+    /// Which logical session issued it (arrival order, from 0).
+    pub session: u32,
+    /// Time spent ready-but-undispatched while other sessions were served.
+    pub queue_wait: SimDuration,
+    /// Service time of the HTTP round trip itself.
+    pub service: SimDuration,
+    /// HTTP status of the response.
+    pub status: u16,
+}
+
+impl LoadedInteraction {
+    /// What the user experienced: queue wait plus service.
+    pub fn total(&self) -> SimDuration {
+        self.queue_wait + self.service
+    }
+}
+
+/// Telemetry handles for the engine itself, registered under `engine.*`:
+/// session arrival/completion rates, the in-flight session level and the
+/// ready-queue depth — the load-side counterparts of the per-path
+/// `in_flight` gauges.
+#[derive(Debug, Clone, Default)]
+pub struct LoadMetrics {
+    /// Sessions admitted so far.
+    pub arrivals: Counter,
+    /// Sessions fully completed.
+    pub completions: Counter,
+    /// Interactions dispatched.
+    pub dispatches: Counter,
+    /// Live sessions: arrived but not yet completed.
+    pub in_flight: Gauge,
+    /// Sessions with a ready step waiting for the scheduler.
+    pub queue_depth: Gauge,
+    /// Distribution of per-interaction queue waits (µs).
+    pub queue_wait_us: Histogram,
+}
+
+impl LoadMetrics {
+    /// Attaches every handle to `registry` under `prefix` (dotted names,
+    /// e.g. `engine.queue_depth`).
+    pub fn register_with(&self, registry: &Registry, prefix: &str) {
+        registry.attach_counter(format!("{prefix}.arrivals"), &self.arrivals);
+        registry.attach_counter(format!("{prefix}.completions"), &self.completions);
+        registry.attach_counter(format!("{prefix}.dispatches"), &self.dispatches);
+        registry.attach_gauge(format!("{prefix}.in_flight"), &self.in_flight);
+        registry.attach_gauge(format!("{prefix}.queue_depth"), &self.queue_depth);
+        registry.attach_histogram(format!("{prefix}.queue_wait_us"), &self.queue_wait_us);
+    }
+
+    /// Tracks arrival/dispatch rates and both level gauges in `timeline`
+    /// under the [`LoadMetrics::register_with`] names.
+    pub fn timeline_into(&self, timeline: &Timeline, prefix: &str) {
+        timeline.track_counter(format!("{prefix}.arrivals"), &self.arrivals);
+        timeline.track_counter(format!("{prefix}.dispatches"), &self.dispatches);
+        timeline.track_gauge(format!("{prefix}.in_flight"), &self.in_flight);
+        timeline.track_gauge(format!("{prefix}.queue_depth"), &self.queue_depth);
+    }
+}
+
+/// The result of one loaded run.
+#[derive(Debug, Clone)]
+pub struct LoadedRun {
+    /// Every dispatched interaction, in dispatch order.
+    pub interactions: Vec<LoadedInteraction>,
+    /// When the first session arrived.
+    pub first_arrival: SimTime,
+    /// When the last interaction completed.
+    pub end: SimTime,
+    /// Largest ready-queue depth observed.
+    pub peak_queue_depth: u64,
+    /// The scheduler's recorded choice sequence length (one per dispatch).
+    pub schedule_len: usize,
+}
+
+impl LoadedRun {
+    /// Virtual time from first arrival to last completion.
+    pub fn makespan(&self) -> SimDuration {
+        self.end
+            .checked_since(self.first_arrival)
+            .expect("a run ends after its first arrival")
+    }
+
+    /// Achieved throughput: completed interactions per second of virtual
+    /// time over the makespan.
+    pub fn achieved_tps(&self) -> f64 {
+        let span_s = self.makespan().as_micros() as f64 / 1e6;
+        if span_s == 0.0 {
+            0.0
+        } else {
+            self.interactions.len() as f64 / span_s
+        }
+    }
+
+    /// Per-interaction total latencies (queue wait + service) in ms.
+    pub fn total_latencies_ms(&self) -> Vec<f64> {
+        self.interactions
+            .iter()
+            .map(|i| i.total().as_millis_f64())
+            .collect()
+    }
+}
+
+/// A live session mid-run: its client (cookie state), remaining script and
+/// the instant its next step becomes ready.
+struct LiveSession<'t> {
+    id: u32,
+    client: VirtualClient<'t>,
+    actions: Vec<TradeAction>,
+    next: usize,
+    ready_at: SimTime,
+}
+
+/// The concurrent-session main loop over one [`Testbed`].
+pub struct LoadEngine<'t> {
+    testbed: &'t Testbed,
+    metrics: Arc<LoadMetrics>,
+}
+
+impl<'t> LoadEngine<'t> {
+    /// Creates an engine over `testbed` and registers its metrics with the
+    /// testbed's telemetry registry under `engine.*`.
+    pub fn new(testbed: &'t Testbed) -> LoadEngine<'t> {
+        let metrics = Arc::new(LoadMetrics::default());
+        metrics.register_with(testbed.telemetry(), "engine");
+        LoadEngine { testbed, metrics }
+    }
+
+    /// The engine's own telemetry handles (see [`LoadMetrics`]).
+    pub fn metrics(&self) -> &Arc<LoadMetrics> {
+        &self.metrics
+    }
+
+    /// Runs `plan` to completion: admits sessions per the arrival schedule,
+    /// lets the scheduler pick among ready sessions at every step, and
+    /// returns every interaction with its queue-wait/service split.
+    ///
+    /// If `timeline` is given it is sampled after every dispatch, so level
+    /// series capture the queue building and draining. Arrival offsets are
+    /// anchored at the clock's position on entry (testbed construction has
+    /// already spent some virtual time on connection handshakes).
+    pub fn run(&self, plan: &LoadPlan, timeline: Option<&Timeline>) -> LoadedRun {
+        assert!(plan.sessions > 0, "a loaded run needs at least one session");
+        let clock = &self.testbed.clock;
+        let edges = self.testbed.edges.len();
+        let start = clock.now();
+
+        // The whole schedule and every script are fixed up front: the run
+        // is a pure function of the plan.
+        let arrival_times: Vec<SimTime> = plan
+            .arrivals
+            .times_us(plan.sessions)
+            .into_iter()
+            .map(|us| start + SimDuration::from_micros(us))
+            .collect();
+        let mut generator = SessionGenerator::new(plan.session_seed, plan.population);
+        let scripts: Vec<Vec<TradeAction>> =
+            (0..plan.sessions).map(|_| generator.session()).collect();
+        let mut scheduler = Scheduler::random(plan.scheduler_seed);
+
+        let expected: usize = scripts.iter().map(Vec::len).sum();
+        let mut interactions = Vec::with_capacity(expected);
+        let mut live: Vec<LiveSession<'t>> = Vec::new();
+        let mut next_arrival = 0usize;
+        let mut peak_queue_depth = 0u64;
+
+        loop {
+            let now = clock.now();
+            // Admit every session whose arrival instant has passed.
+            while next_arrival < plan.sessions && arrival_times[next_arrival] <= now {
+                live.push(LiveSession {
+                    id: next_arrival as u32,
+                    client: VirtualClient::new(self.testbed, next_arrival % edges.max(1)),
+                    actions: scripts[next_arrival].clone(),
+                    next: 0,
+                    ready_at: arrival_times[next_arrival],
+                });
+                self.metrics.arrivals.inc();
+                next_arrival += 1;
+            }
+            self.metrics.in_flight.set(live.len() as u64);
+
+            let ready: Vec<usize> = (0..live.len())
+                .filter(|&i| live[i].ready_at <= now)
+                .collect();
+            self.metrics.queue_depth.set(ready.len() as u64);
+            peak_queue_depth = peak_queue_depth.max(ready.len() as u64);
+
+            if ready.is_empty() {
+                // Idle: jump straight to the next event — the earliest
+                // pending arrival or think-time expiry. Nothing left means
+                // the run is over.
+                let next_event = live
+                    .iter()
+                    .map(|s| s.ready_at)
+                    .chain(arrival_times.get(next_arrival).copied())
+                    .min();
+                match next_event {
+                    Some(t) => {
+                        clock.advance_to(t);
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+
+            // The scheduler — the slicheck execution model — picks which
+            // ready session's step fires.
+            let pick = scheduler.pick(ready.len() as u32) as usize;
+            let idx = ready[pick];
+            let queue_wait = now
+                .checked_since(live[idx].ready_at)
+                .expect("ready sessions became ready in the past");
+            let action = live[idx].actions[live[idx].next].clone();
+            let outcome = live[idx].client.perform(&action);
+            self.metrics.dispatches.inc();
+            self.metrics.queue_wait_us.record(queue_wait.as_micros());
+            interactions.push(LoadedInteraction {
+                session: live[idx].id,
+                queue_wait,
+                service: outcome.latency,
+                status: outcome.status,
+            });
+
+            live[idx].next += 1;
+            if live[idx].next == live[idx].actions.len() {
+                live.swap_remove(idx);
+                self.metrics.completions.inc();
+                self.metrics.in_flight.set(live.len() as u64);
+            } else {
+                live[idx].ready_at = clock.now() + plan.think;
+            }
+            if let Some(tl) = timeline {
+                tl.sample(clock.now().as_micros());
+            }
+        }
+
+        LoadedRun {
+            interactions,
+            first_arrival: arrival_times[0],
+            end: clock.now(),
+            peak_queue_depth,
+            schedule_len: scheduler.taken().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Architecture, Flavor, Testbed, TestbedConfig};
+
+    fn plan(rps: f64, sessions: usize) -> LoadPlan {
+        LoadPlan::poisson(rps, sessions, 77)
+    }
+
+    #[test]
+    fn loaded_run_dispatches_every_scripted_interaction() {
+        let tb = Testbed::build(Architecture::EsRdb(Flavor::Jdbc), TestbedConfig::default());
+        let engine = LoadEngine::new(&tb);
+        let run = engine.run(&plan(20.0, 12), None);
+        assert_eq!(run.schedule_len, run.interactions.len());
+        assert_eq!(engine.metrics().completions.get(), 12);
+        assert_eq!(
+            engine.metrics().dispatches.get() as usize,
+            run.interactions.len()
+        );
+        assert!(run.interactions.iter().all(|i| i.status == 200));
+        assert!(run.makespan() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn loaded_runs_are_deterministic() {
+        let collect = || {
+            let tb = Testbed::build(Architecture::EsRbes, TestbedConfig::default());
+            let engine = LoadEngine::new(&tb);
+            engine.run(&plan(50.0, 10), None).interactions
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn overload_builds_a_queue_and_underload_does_not() {
+        // Service time is ~5–15 ms per interaction; 2 sessions/s (~22
+        // interactions/s with 11 actions each at zero think) is light,
+        // 2 000/s is far past saturation.
+        let run_at = |rps: f64| {
+            let tb = Testbed::build(Architecture::EsRdb(Flavor::Jdbc), TestbedConfig::default());
+            let engine = LoadEngine::new(&tb);
+            let mut p = plan(rps, 30);
+            p.think = SimDuration::ZERO;
+            engine.run(&p, None)
+        };
+        let light = run_at(2.0);
+        let crushed = run_at(2_000.0);
+        assert!(
+            crushed.peak_queue_depth >= 10,
+            "overload must pile sessions up, saw {}",
+            crushed.peak_queue_depth
+        );
+        let wait = |r: &LoadedRun| {
+            r.interactions
+                .iter()
+                .map(|i| i.queue_wait.as_micros())
+                .sum::<u64>()
+                / r.interactions.len() as u64
+        };
+        assert!(
+            wait(&crushed) > 10 * wait(&light).max(1),
+            "mean queue wait must explode past the knee: light {} vs crushed {}",
+            wait(&light),
+            wait(&crushed)
+        );
+        assert!(light.peak_queue_depth <= 3);
+    }
+
+    #[test]
+    fn sessions_interleave_under_load() {
+        let tb = Testbed::build(Architecture::EsRdb(Flavor::Jdbc), TestbedConfig::default());
+        let engine = LoadEngine::new(&tb);
+        let mut p = plan(500.0, 8);
+        p.think = SimDuration::ZERO;
+        let run = engine.run(&p, None);
+        // Under heavy load the dispatch order must mix sessions rather
+        // than running them back-to-back.
+        let order: Vec<u32> = run.interactions.iter().map(|i| i.session).collect();
+        let switches = order.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(
+            switches > 8,
+            "expected interleaving, saw session order {order:?}"
+        );
+    }
+
+    #[test]
+    fn engine_metrics_land_in_the_registry() {
+        let tb = Testbed::build(Architecture::EsRdb(Flavor::Jdbc), TestbedConfig::default());
+        let engine = LoadEngine::new(&tb);
+        engine.run(&plan(100.0, 5), None);
+        let names = tb.telemetry().names();
+        for expected in [
+            "engine.arrivals",
+            "engine.completions",
+            "engine.in_flight",
+            "engine.queue_depth",
+            "engine.queue_wait_us",
+        ] {
+            assert!(
+                names.iter().any(|n| n == expected),
+                "missing {expected}; have {names:?}"
+            );
+        }
+    }
+}

@@ -23,12 +23,20 @@
 //! built world under a deterministic [`Scheduler`](sli_simnet::Scheduler),
 //! records an operation history, and [`analyze`] checks it for
 //! serializability and the SLI invariants post-hoc.
+//!
+//! The same scheduler is the *main-loop* execution model too: the
+//! open-loop [`LoadEngine`] multiplexes many logical sessions on virtual
+//! time, admitting them from a deterministic arrival schedule and letting
+//! the scheduler pick which session's RPC fires next — so high-load
+//! throughput/latency measurements carry the same replayability guarantees
+//! as checker runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod checker;
 mod client;
+mod engine;
 mod report;
 mod servlet;
 mod slicheck;
@@ -36,6 +44,7 @@ mod topology;
 
 pub use checker::{analyze, ChainVersion, HistoryAnalysis, TxnRef, Violation};
 pub use client::{Interaction, VirtualClient};
+pub use engine::{LoadEngine, LoadMetrics, LoadPlan, LoadedInteraction, LoadedRun};
 pub use report::collect_report;
 pub use servlet::{parse_action, AppServer, AppServerCost, ServletMetrics};
 pub use slicheck::{

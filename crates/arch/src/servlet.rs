@@ -11,7 +11,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use parking_lot::Mutex;
 use sli_simnet::{Clock, HttpRequest, HttpResponse, SimDuration};
-use sli_telemetry::{Counter, Histogram, HistogramSnapshot, Registry, SpanOutcome, Tracer};
+use sli_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, SpanOutcome, Tracer};
 use sli_trade::{page, TradeAction, TradeEngine, TradeResult};
 use std::sync::Arc;
 
@@ -99,6 +99,10 @@ pub struct ServletMetrics {
     other: Counter,
     /// End-to-end handling latency (µs of simulated time) per action.
     actions: Vec<(&'static str, Histogram)>,
+    /// Live HTTP sessions (login raises, logout lowers) — the servlet
+    /// tier's concurrency level. Flat at 0–1 under the paper's sequential
+    /// client; the open-loop load engine is what makes it climb.
+    sessions: Gauge,
 }
 
 impl Default for ServletMetrics {
@@ -124,6 +128,7 @@ impl ServletMetrics {
                 .iter()
                 .map(|&name| (name, Histogram::new()))
                 .collect(),
+            sessions: Gauge::new(),
         }
     }
 
@@ -188,6 +193,7 @@ impl ServletMetrics {
         for (name, hist) in &self.actions {
             registry.attach_histogram(format!("{prefix}.action.{name}_us"), hist);
         }
+        registry.attach_gauge(format!("{prefix}.sessions"), &self.sessions);
     }
 
     /// Tracks the servlet's throughput and abort rate in `timeline` under
@@ -201,6 +207,7 @@ impl ServletMetrics {
                 timeline.track_counter(format!("{prefix}.status.{code}"), counter);
             }
         }
+        timeline.track_gauge(format!("{prefix}.sessions"), &self.sessions);
     }
 
     /// Zeroes every counter and histogram.
@@ -213,6 +220,7 @@ impl ServletMetrics {
         for (_, hist) in &self.actions {
             hist.reset();
         }
+        self.sessions.reset();
     }
 }
 
@@ -278,6 +286,13 @@ impl AppServer {
         self.sessions.lock().len()
     }
 
+    /// Re-derives the live-session gauge from the session table — called
+    /// after a blanket telemetry reset, which zeroes the gauge while the
+    /// HTTP sessions themselves survive into the measured phase.
+    pub fn refresh_session_gauge(&self) {
+        self.metrics.sessions.set(self.sessions.lock().len() as u64);
+    }
+
     fn perform_with_retry(&self, action: &TradeAction) -> sli_component::EjbResult<TradeResult> {
         let mut last_err = None;
         for _ in 0..self.retries.max(1) {
@@ -334,11 +349,15 @@ impl AppServer {
                 match action {
                     TradeAction::Login { user } => {
                         let cookie = format!("sess-{user}");
-                        self.sessions.lock().insert(cookie.clone(), user.clone());
+                        let mut sessions = self.sessions.lock();
+                        sessions.insert(cookie.clone(), user.clone());
+                        self.metrics.sessions.set(sessions.len() as u64);
                         resp = resp.with_cookie(cookie);
                     }
                     TradeAction::Logout { user } => {
-                        self.sessions.lock().remove(&format!("sess-{user}"));
+                        let mut sessions = self.sessions.lock();
+                        sessions.remove(&format!("sess-{user}"));
+                        self.metrics.sessions.set(sessions.len() as u64);
                     }
                     _ => {}
                 }

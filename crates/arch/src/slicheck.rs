@@ -1039,6 +1039,29 @@ mod tests {
     }
 
     #[test]
+    fn loaded_client_count_stays_serializable_on_every_architecture() {
+        // The high-load engine's whole point is more concurrency on the
+        // same commit protocols, so re-check the invariants with double
+        // the default client count on every combination.
+        for key in ARCH_KEYS {
+            for seed in [3, 11] {
+                let mut cfg = SliCheckConfig::new(arch_by_key(key).unwrap(), seed);
+                cfg.clients = 6;
+                let outcome = run_slicheck(&cfg, ScheduleSource::Random(seed));
+                assert!(
+                    outcome.violations.is_empty(),
+                    "{key} seed {seed}: violations under load {:?}",
+                    outcome.violations
+                );
+                assert!(
+                    outcome.committed > 0,
+                    "{key} seed {seed}: nothing committed"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn injected_bug_is_caught_and_shrinks() {
         let mut cfg = SliCheckConfig::new(Architecture::EsRdb(Flavor::CachedEjb), 1);
         cfg.inject_bug = true;

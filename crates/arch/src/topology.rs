@@ -423,11 +423,13 @@ impl Testbed {
         self.telemetry.reset_all();
         // The blanket reset zeroes the working-set gauges while the cached
         // images survive into the measured phase; re-derive them so level
-        // series start from the truth.
+        // series start from the truth. Live HTTP sessions survive the same
+        // way, so their gauge is re-derived too.
         for edge in &self.edges {
             if let Some(store) = &edge.store {
                 store.refresh_size();
             }
+            edge.server.refresh_session_gauge();
         }
         self.commit_trace.clear();
     }
@@ -462,6 +464,16 @@ impl Testbed {
             let path = self.delayed_path(i);
             path.metrics()
                 .timeline_into(&timeline, &format!("simnet.path.{}", path.name()));
+            // For the edge architectures the client LAN path is distinct
+            // from the delayed path; under concurrent load its traffic and
+            // in-flight depth are worth watching too. (For Clients/RAS the
+            // client path *is* the delayed path, already tracked above.)
+            if !matches!(self.arch, Architecture::ClientsRas(_)) {
+                let client = &self.edges[i].client_path;
+                client
+                    .metrics()
+                    .timeline_into(&timeline, &format!("simnet.path.{}", client.name()));
+            }
         }
         timeline
     }

@@ -101,9 +101,10 @@ fn main() {
     );
 
     println!(
-        "perfguard: measuring the {} profile ({} points)...\n",
+        "perfguard: measuring the {} profile ({} closed-loop + {} loaded points)...\n",
         profile.label(),
-        profile.points().len()
+        profile.points().len(),
+        profile.loaded_points().len()
     );
     let current = guard_suite(profile, cfg);
     print_suite(&current);
@@ -172,8 +173,17 @@ fn main() {
     }
 }
 
-/// Prints the measured suite as a table, one row per guarded point.
+/// Prints the measured suite: one table for the closed-loop points, one
+/// for the open-loop loaded points (their metric sets differ).
 fn print_suite(entries: &[GuardEntry]) {
+    let get = |e: &GuardEntry, name: &str| {
+        e.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .map_or(0.0, |m| m.value)
+    };
+    let (loaded, closed): (Vec<&GuardEntry>, Vec<&GuardEntry>) =
+        entries.iter().partition(|e| e.key.contains(" loaded @ "));
     let mut table = TextTable::new(&[
         "point",
         "latency (ms)",
@@ -182,20 +192,34 @@ fn print_suite(entries: &[GuardEntry]) {
         "failure rate",
         "shared bytes/interaction",
     ]);
-    for e in entries {
-        let get = |name: &str| {
-            e.metrics
-                .iter()
-                .find(|m| m.name == name)
-                .map_or(0.0, |m| m.value)
-        };
+    for e in closed {
         table.row(vec![
             e.key.clone(),
-            format!("{:.2}", get("latency_ms")),
-            format!("{:.3}", get("hit_ratio")),
-            format!("{:.3}", get("abort_rate")),
-            format!("{:.3}", get("failure_rate")),
-            format!("{:.0}", get("shared_bytes_per_interaction")),
+            format!("{:.2}", get(e, "latency_ms")),
+            format!("{:.3}", get(e, "hit_ratio")),
+            format!("{:.3}", get(e, "abort_rate")),
+            format!("{:.3}", get(e, "failure_rate")),
+            format!("{:.0}", get(e, "shared_bytes_per_interaction")),
+        ]);
+    }
+    println!("{}", table.render());
+    if loaded.is_empty() {
+        return;
+    }
+    let mut table = TextTable::new(&[
+        "loaded point",
+        "achieved tps",
+        "p95 latency (ms)",
+        "failure rate",
+        "peak queue depth",
+    ]);
+    for e in loaded {
+        table.row(vec![
+            e.key.clone(),
+            format!("{:.2}", get(e, "achieved_tps")),
+            format!("{:.2}", get(e, "latency_p95_ms")),
+            format!("{:.3}", get(e, "failure_rate")),
+            format!("{:.0}", get(e, "peak_queue_depth")),
         ]);
     }
     println!("{}", table.render());

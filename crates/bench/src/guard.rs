@@ -20,7 +20,7 @@ use sli_arch::Architecture;
 use sli_simnet::SimDuration;
 use sli_telemetry::Json;
 
-use crate::{run_point_full, RunConfig};
+use crate::{run_point_full, run_point_loaded, LoadedConfig, RunConfig};
 
 /// Schema identifier stamped into every baseline file.
 pub const PERFGUARD_SCHEMA: &str = "sli-edge.perfguard-baseline/v1";
@@ -121,6 +121,34 @@ impl GuardProfile {
             }
         }
     }
+
+    /// The open-loop loaded points this profile guards, as
+    /// `(architecture, delay_ms, sessions_per_second)` — deliberately
+    /// beyond each point's knee, so queueing behaviour is part of the
+    /// guarded surface.
+    pub fn loaded_points(&self) -> Vec<(Architecture, u64, f64)> {
+        use sli_arch::Flavor::Jdbc;
+        match self {
+            GuardProfile::Smoke => vec![
+                (Architecture::EsRdb(Jdbc), 10, 3.0),
+                (Architecture::EsRbes, 10, 8.0),
+            ],
+            GuardProfile::Full => vec![
+                (Architecture::EsRdb(Jdbc), 10, 2.0),
+                (Architecture::EsRbes, 10, 8.0),
+                (Architecture::ClientsRas(Jdbc), 10, 8.0),
+            ],
+        }
+    }
+
+    /// The loaded measurement protocol this profile runs (rate is filled
+    /// in per point).
+    pub fn loaded_config(&self) -> LoadedConfig {
+        match self {
+            GuardProfile::Smoke => LoadedConfig::quick(1.0),
+            GuardProfile::Full => LoadedConfig::at_rps(1.0),
+        }
+    }
 }
 
 /// Absolute floor for the latency metric (ms): differences below a
@@ -177,15 +205,85 @@ pub fn guard_run(arch: Architecture, delay_ms: u64, cfg: RunConfig) -> GuardEntr
     }
 }
 
+/// Absolute floor for the achieved-throughput metric (interactions/s).
+const TPS_FLOOR: f64 = 0.5;
+/// Absolute floor for the peak-queue-depth metric (sessions).
+const QUEUE_FLOOR: f64 = 2.0;
+
+/// Measures one *loaded* guarded point: the open-loop engine at a fixed
+/// session arrival rate, guarding the throughput–latency behaviour the
+/// closed-loop metrics can't see — achieved throughput, tail latency with
+/// queue wait included, and how deep the ready queue gets.
+pub fn guard_run_loaded(
+    arch: Architecture,
+    delay_ms: u64,
+    session_rps: f64,
+    cfg: LoadedConfig,
+) -> GuardEntry {
+    let run = run_point_loaded(
+        arch,
+        SimDuration::from_millis(delay_ms),
+        LoadedConfig { session_rps, ..cfg },
+    );
+    let scalar = |name: &str, value: f64, higher_is_worse: bool, floor: f64| GuardMetric {
+        name: name.to_owned(),
+        value,
+        stdev: 0.0,
+        n: 1,
+        higher_is_worse,
+        floor,
+    };
+    GuardEntry {
+        key: format!(
+            "{} loaded @ {}ms @ {:.1}/s",
+            run.report.arch, delay_ms, session_rps
+        ),
+        metrics: vec![
+            scalar("achieved_tps", run.point.achieved_tps, false, TPS_FLOOR),
+            scalar(
+                "latency_p95_ms",
+                run.point.latency_p95_ms,
+                true,
+                LATENCY_FLOOR_MS,
+            ),
+            scalar(
+                "failure_rate",
+                run.point.failed as f64 / (run.point.ok + run.point.failed).max(1) as f64,
+                true,
+                RATIO_FLOOR,
+            ),
+            scalar(
+                "peak_queue_depth",
+                run.point.peak_queue_depth as f64,
+                true,
+                QUEUE_FLOOR,
+            ),
+        ],
+    }
+}
+
 /// Measures every point of `profile` under `cfg` (pass
 /// `profile.config()` for the canonical protocol; `perfguard --faults`
-/// passes a sabotaged copy to stage a regression on purpose).
+/// passes a sabotaged copy to stage a regression on purpose), then the
+/// profile's loaded points — `cfg.faults` carries over so a staged fault
+/// plan perturbs the loaded entries too.
 pub fn guard_suite(profile: GuardProfile, cfg: RunConfig) -> Vec<GuardEntry> {
-    profile
+    let mut entries: Vec<GuardEntry> = profile
         .points()
         .into_iter()
         .map(|(arch, delay_ms)| guard_run(arch, delay_ms, cfg))
-        .collect()
+        .collect();
+    let loaded_cfg = LoadedConfig {
+        faults: cfg.faults,
+        ..profile.loaded_config()
+    };
+    entries.extend(
+        profile
+            .loaded_points()
+            .into_iter()
+            .map(|(arch, delay_ms, rps)| guard_run_loaded(arch, delay_ms, rps, loaded_cfg)),
+    );
+    entries
 }
 
 /// One metric that worsened beyond its allowance.
@@ -555,7 +653,38 @@ mod tests {
     fn profiles_enumerate_the_expected_points() {
         assert_eq!(GuardProfile::Smoke.points().len(), 4);
         assert_eq!(GuardProfile::Full.points().len(), 14);
+        assert_eq!(GuardProfile::Smoke.loaded_points().len(), 2);
+        assert_eq!(GuardProfile::Full.loaded_points().len(), 3);
         assert_eq!(GuardProfile::Smoke.label(), "smoke");
+    }
+
+    #[test]
+    fn loaded_guard_run_is_deterministic_and_names_its_metrics() {
+        let cfg = LoadedConfig {
+            sessions: 30,
+            warmup_sessions: 5,
+            ..GuardProfile::Smoke.loaded_config()
+        };
+        let a = guard_run_loaded(Architecture::EsRbes, 10, 6.0, cfg);
+        let b = guard_run_loaded(Architecture::EsRbes, 10, 6.0, cfg);
+        assert_eq!(a, b, "virtual time makes loaded reruns bit-identical");
+        assert_eq!(a.key, "ES/RBES (Cached EJBs) loaded @ 10ms @ 6.0/s");
+        let names: Vec<&str> = a.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "achieved_tps",
+                "latency_p95_ms",
+                "failure_rate",
+                "peak_queue_depth"
+            ]
+        );
+        // Throughput guards the good direction: a *drop* regresses.
+        let mut slower = a.clone();
+        slower.metrics[0].value *= 0.5;
+        let regs = compare_guard(&[a], &[slower], 0.05).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "achieved_tps");
     }
 
     #[test]

@@ -18,7 +18,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use sli_arch::{collect_report, Architecture, Testbed, TestbedConfig, VirtualClient};
+use sli_arch::{
+    collect_report, Architecture, LoadEngine, LoadPlan, Testbed, TestbedConfig, VirtualClient,
+};
 use sli_simnet::{FaultPlan, SimDuration};
 use sli_telemetry::{
     chrome_trace, conflict_leaderboard, critical_path, sparkline, validate_chrome_trace,
@@ -27,15 +29,17 @@ use sli_telemetry::{
 };
 use sli_trade::seed::Population;
 use sli_trade::session::SessionGenerator;
-use sli_workload::{batch_means, fit, percentile, LinearFit, TextTable};
+use sli_workload::{
+    batch_means, fit, percentile, ArrivalPlan, ArrivalProcess, LinearFit, TextTable,
+};
 
 mod cli;
 mod guard;
 
 pub use cli::{Cli, CliArgs, CliError};
 pub use guard::{
-    compare_guard, guard_run, guard_suite, parse_baseline, render_baseline, GuardEntry,
-    GuardMetric, GuardProfile, Regression, PERFGUARD_SCHEMA,
+    compare_guard, guard_run, guard_run_loaded, guard_suite, parse_baseline, render_baseline,
+    GuardEntry, GuardMetric, GuardProfile, Regression, PERFGUARD_SCHEMA,
 };
 
 /// Measurement-protocol parameters (§4.3 of the paper).
@@ -450,6 +454,238 @@ pub fn timeline_table(report: &TimelineReport) -> String {
     out
 }
 
+/// Open-loop loaded-run parameters: the high-load engine's protocol, the
+/// counterpart of [`RunConfig`] for runs where sessions *arrive* at a
+/// configured rate instead of being issued one at a time.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadedConfig {
+    /// Session arrival rate (sessions per second of virtual time). Each
+    /// session issues ~11 interactions, so the offered interaction rate is
+    /// roughly 11× this.
+    pub session_rps: f64,
+    /// Shape of the arrival schedule around that rate.
+    pub process: ArrivalProcess,
+    /// Sessions arriving in the measured open-loop phase.
+    pub sessions: usize,
+    /// Closed-loop warm-up sessions before the loaded phase (cache and
+    /// connection state, exactly like the §4.3 warm-up).
+    pub warmup_sessions: usize,
+    /// Per-session think time between consecutive interactions (ms).
+    /// Zero by default so the knee reflects pure queueing.
+    pub think_ms: u64,
+    /// Seed for arrivals, session scripts and the dispatch scheduler.
+    pub seed: u64,
+    /// Database population.
+    pub population: Population,
+    /// Initial timeline window width in virtual microseconds.
+    pub timeline_window_us: u64,
+    /// Fault plan dialled into the delayed paths for the loaded phase.
+    pub faults: FaultPlan,
+}
+
+impl LoadedConfig {
+    /// The standard loaded protocol at `session_rps` Poisson arrivals per
+    /// second: 200 sessions measured after a 40-session warm-up.
+    pub fn at_rps(session_rps: f64) -> LoadedConfig {
+        LoadedConfig {
+            session_rps,
+            process: ArrivalProcess::Poisson,
+            sessions: 200,
+            warmup_sessions: 40,
+            think_ms: 0,
+            seed: 20040101,
+            population: Population::default(),
+            timeline_window_us: 500_000,
+            faults: FaultPlan::NONE,
+        }
+    }
+
+    /// A scaled-down loaded protocol for unit tests and CI smoke runs.
+    pub fn quick(session_rps: f64) -> LoadedConfig {
+        LoadedConfig {
+            sessions: 60,
+            warmup_sessions: 10,
+            ..LoadedConfig::at_rps(session_rps)
+        }
+    }
+}
+
+/// One point of a load sweep: offered vs achieved throughput plus the
+/// latency distribution including queue wait.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadedPoint {
+    /// Configured session arrival rate (sessions/s of virtual time).
+    pub session_rps: f64,
+    /// Empirical offered interaction rate: interactions divided by the
+    /// realized arrival span, so sampling noise in the random schedule
+    /// doesn't masquerade as a throughput deficit.
+    pub offered_tps: f64,
+    /// Achieved interaction throughput over the run's makespan.
+    pub achieved_tps: f64,
+    /// Batched mean total latency (queue wait + service) in ms.
+    pub latency_ms: f64,
+    /// Median total latency (ms).
+    pub latency_p50_ms: f64,
+    /// 95th-percentile total latency (ms).
+    pub latency_p95_ms: f64,
+    /// 99th-percentile total latency (ms).
+    pub latency_p99_ms: f64,
+    /// Mean service time alone (ms) — the closed-loop view of the same
+    /// interactions, for separating queueing delay from service cost.
+    pub service_ms: f64,
+    /// 95th-percentile queue wait (ms).
+    pub queue_wait_p95_ms: f64,
+    /// Largest ready-queue depth the engine observed.
+    pub peak_queue_depth: u64,
+    /// Interactions that returned HTTP 200.
+    pub ok: usize,
+    /// Interactions that returned a non-200 status.
+    pub failed: usize,
+}
+
+/// Everything one loaded point yields: the summary point, the structured
+/// report row, and the windowed timeline of the loaded phase (including
+/// the `engine.*` queue/in-flight series).
+#[derive(Debug, Clone)]
+pub struct LoadedPointRun {
+    /// Throughput/latency summary of the point.
+    pub point: LoadedPoint,
+    /// The structured per-architecture report row (latencies are total,
+    /// i.e. queue wait included).
+    pub report: ArchReport,
+    /// Per-window rate/level series of the loaded phase.
+    pub timeline: TimelineReport,
+}
+
+/// Runs the open-loop loaded protocol for one architecture at one delay:
+/// closed-loop warm-up, telemetry reset, then [`LoadEngine::run`] over a
+/// deterministic arrival schedule, sampling the timeline at every
+/// dispatch.
+pub fn run_point_loaded(
+    arch: Architecture,
+    delay: SimDuration,
+    cfg: LoadedConfig,
+) -> LoadedPointRun {
+    let testbed = Testbed::build(
+        arch,
+        TestbedConfig {
+            population: cfg.population,
+            edges: 1,
+            ..TestbedConfig::default()
+        },
+    );
+    testbed.set_delay(delay);
+    if !cfg.faults.is_clean() {
+        testbed.set_faults(cfg.faults);
+    }
+    let timeline = testbed.standard_timeline(cfg.timeline_window_us.max(1));
+    let engine = LoadEngine::new(&testbed);
+    engine.metrics().timeline_into(&timeline, "engine");
+
+    let mut generator = SessionGenerator::new(cfg.seed, cfg.population);
+    let mut warm = VirtualClient::new(&testbed, 0);
+    for _ in 0..cfg.warmup_sessions {
+        let session = generator.session();
+        warm.run_session(&session);
+    }
+    testbed.reset_path_stats();
+    testbed.reset_telemetry();
+    timeline.rebase(testbed.clock.now().as_micros());
+
+    let plan = LoadPlan {
+        arrivals: ArrivalPlan {
+            seed: cfg.seed,
+            rps: cfg.session_rps,
+            process: cfg.process,
+        },
+        sessions: cfg.sessions,
+        think: SimDuration::from_millis(cfg.think_ms),
+        session_seed: cfg.seed ^ 0x5e55_1011,
+        scheduler_seed: cfg.seed ^ 0x5c4e_d01e,
+        population: cfg.population,
+    };
+    let arrival_us = plan.arrivals.times_us(plan.sessions);
+    let run = engine.run(&plan, Some(&timeline));
+
+    let arrival_span_s = arrival_us
+        .last()
+        .zip(arrival_us.first())
+        .map_or(0.0, |(last, first)| (last - first) as f64 / 1e6);
+    let totals = run.total_latencies_ms();
+    let waits: Vec<f64> = run
+        .interactions
+        .iter()
+        .map(|i| i.queue_wait.as_millis_f64())
+        .collect();
+    let services: Vec<f64> = run
+        .interactions
+        .iter()
+        .map(|i| i.service.as_millis_f64())
+        .collect();
+    let ok = run.interactions.iter().filter(|i| i.status == 200).count();
+    let failed = run.interactions.len() - ok;
+    let report = collect_report(&testbed, delay, &totals, failed as u64);
+    let batched = batch_means(&totals, 20);
+    let point = LoadedPoint {
+        session_rps: cfg.session_rps,
+        offered_tps: run.interactions.len() as f64 / arrival_span_s.max(1e-6),
+        achieved_tps: run.achieved_tps(),
+        latency_ms: batched.overall.mean,
+        latency_p50_ms: percentile(&totals, 0.50).unwrap_or(0.0),
+        latency_p95_ms: percentile(&totals, 0.95).unwrap_or(0.0),
+        latency_p99_ms: percentile(&totals, 0.99).unwrap_or(0.0),
+        service_ms: sli_workload::RunStats::of(&services).mean,
+        queue_wait_p95_ms: percentile(&waits, 0.95).unwrap_or(0.0),
+        peak_queue_depth: run.peak_queue_depth,
+        ok,
+        failed,
+    };
+    let timeline = timeline.report(format!(
+        "{} loaded @ {:.2} sessions/s",
+        report.arch, cfg.session_rps
+    ));
+    LoadedPointRun {
+        point,
+        report,
+        timeline,
+    }
+}
+
+/// Sweeps the session arrival rate for one architecture at a fixed delay,
+/// one loaded run per rate — the throughput–latency curve the `knee` bin
+/// plots.
+pub fn sweep_loaded(
+    arch: Architecture,
+    delay: SimDuration,
+    session_rates: &[f64],
+    cfg: LoadedConfig,
+) -> Vec<LoadedPointRun> {
+    session_rates
+        .iter()
+        .map(|&rps| {
+            run_point_loaded(
+                arch,
+                delay,
+                LoadedConfig {
+                    session_rps: rps,
+                    ..cfg
+                },
+            )
+        })
+        .collect()
+}
+
+/// Finds the saturation knee of a rate-ordered load sweep: the first point
+/// whose achieved throughput falls more than 10% short of offered, or
+/// whose mean latency exceeds 3× the lightest point's. `None` if the sweep
+/// never saturates.
+pub fn knee_index(points: &[LoadedPoint]) -> Option<usize> {
+    let base_latency = points.first()?.latency_ms;
+    points.iter().position(|p| {
+        p.achieved_tps < 0.9 * p.offered_tps || p.latency_ms > 3.0 * base_latency.max(0.001)
+    })
+}
+
 /// The delay sweep of Figures 6 and 7: 0–100 ms one-way in 20 ms steps.
 pub const PAPER_DELAYS_MS: &[u64] = &[0, 20, 40, 60, 80, 100];
 
@@ -581,6 +817,123 @@ mod tests {
         let table = breakdown_table(&[("ES/RDB cached".to_owned(), harvest.breakdown)]);
         assert!(table.contains("network-crossing"));
         assert!(table.contains("statement-execution"));
+    }
+
+    #[test]
+    fn knee_index_flags_the_first_saturated_point() {
+        let mut p = LoadedPoint {
+            session_rps: 1.0,
+            offered_tps: 10.0,
+            achieved_tps: 10.0,
+            latency_ms: 50.0,
+            latency_p50_ms: 50.0,
+            latency_p95_ms: 60.0,
+            latency_p99_ms: 70.0,
+            service_ms: 45.0,
+            queue_wait_p95_ms: 1.0,
+            peak_queue_depth: 1,
+            ok: 100,
+            failed: 0,
+        };
+        let light = p;
+        p.offered_tps = 40.0;
+        p.achieved_tps = 22.0; // achieved falls >10% short of offered
+        let saturated = p;
+        assert_eq!(knee_index(&[light, light, saturated]), Some(2));
+        // A latency blow-up alone (3× the lightest point) also counts.
+        p.achieved_tps = p.offered_tps;
+        p.latency_ms = 200.0;
+        assert_eq!(knee_index(&[light, p]), Some(1));
+        assert_eq!(knee_index(&[light, light]), None);
+        assert_eq!(knee_index(&[]), None);
+    }
+
+    #[test]
+    fn loaded_point_emits_validated_artifacts_with_live_queue_gauges() {
+        let run = run_point_loaded(
+            Architecture::EsRdb(Flavor::Jdbc),
+            SimDuration::from_millis(10),
+            LoadedConfig::quick(4.0),
+        );
+        let p = run.point;
+        assert!(p.ok > 0, "loaded run completed interactions");
+        assert_eq!(p.failed, 0, "clean run has no failures");
+        assert!(p.offered_tps > 0.0 && p.achieved_tps > 0.0);
+        assert!(
+            p.latency_ms >= p.service_ms,
+            "total latency includes queue wait: {} < {}",
+            p.latency_ms,
+            p.service_ms
+        );
+        assert!(p.latency_p99_ms >= p.latency_p95_ms && p.latency_p95_ms >= p.latency_p50_ms);
+
+        // The report row validates against the run-report schema.
+        assert_eq!(run.report.interactions as usize, p.ok + p.failed);
+        let mut doc = sli_telemetry::RunReport::new("loaded smoke");
+        doc.entries.push(run.report.clone());
+        sli_telemetry::validate_run_report(&doc.to_json()).expect("valid loaded report");
+
+        // The timeline validates and carries live engine gauges.
+        let mut tl = TimelineDoc::new("loaded smoke");
+        tl.runs.push(run.timeline.clone());
+        validate_timeline(&tl.to_json()).expect("valid loaded timeline");
+        let series = |name: &str| {
+            run.timeline
+                .series
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("timeline missing {name}"))
+        };
+        assert!(
+            series("engine.in_flight").values.iter().any(|&v| v > 0),
+            "in_flight gauge must be non-trivially populated"
+        );
+        assert!(
+            series("engine.queue_depth").values.iter().any(|&v| v > 0),
+            "queue_depth gauge must register contention at 4 sessions/s"
+        );
+        assert_eq!(
+            series("engine.dispatches").total,
+            p.ok as u64 + p.failed as u64,
+            "every interaction is one scheduler dispatch"
+        );
+        assert_eq!(series("engine.arrivals").total, 60, "one per session");
+    }
+
+    #[test]
+    fn loaded_sweep_finds_the_saturation_knee() {
+        let runs = sweep_loaded(
+            Architecture::EsRdb(Flavor::Jdbc),
+            SimDuration::from_millis(10),
+            &[0.5, 30.0],
+            LoadedConfig::quick(0.5),
+        );
+        let points: Vec<LoadedPoint> = runs.iter().map(|r| r.point).collect();
+        // Light load keeps up with the offered rate; 30 sessions/s is far
+        // beyond the single-server capacity (~22 interactions/s at 10 ms
+        // delay) so throughput flattens and latency explodes.
+        assert!(
+            points[0].achieved_tps >= 0.9 * points[0].offered_tps,
+            "light load keeps up: achieved {} vs offered {}",
+            points[0].achieved_tps,
+            points[0].offered_tps
+        );
+        assert_eq!(knee_index(&points), Some(1), "overload point is the knee");
+        assert!(points[1].latency_ms > 3.0 * points[0].latency_ms);
+        assert!(points[1].peak_queue_depth > points[0].peak_queue_depth);
+    }
+
+    #[test]
+    fn loaded_runs_are_deterministic_at_the_bench_layer() {
+        let cfg = LoadedConfig {
+            sessions: 25,
+            warmup_sessions: 5,
+            ..LoadedConfig::quick(3.0)
+        };
+        let a = run_point_loaded(Architecture::EsRbes, SimDuration::from_millis(10), cfg);
+        let b = run_point_loaded(Architecture::EsRbes, SimDuration::from_millis(10), cfg);
+        assert_eq!(a.point, b.point);
+        assert_eq!(a.timeline, b.timeline);
     }
 
     #[test]

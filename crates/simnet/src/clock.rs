@@ -52,8 +52,58 @@ impl Add<SimDuration> for SimTime {
 impl Sub for SimTime {
     type Output = SimDuration;
 
+    /// Elapsed time between two instants.
+    ///
+    /// The left operand must not precede the right: a negative elapsed time
+    /// means the caller mixed up an interval's endpoints (exactly the bug
+    /// class concurrent interleaving produces when a "start" timestamp is
+    /// captured after a context switch). Debug builds panic on such a time
+    /// warp; release builds saturate to zero as before. Code that cannot
+    /// statically guarantee ordering — the load engine's queue-wait
+    /// accounting, for instance — should use [`SimTime::checked_since`]
+    /// and handle the error.
     fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(
+            self.0 >= rhs.0,
+            "time warp: computing {self} - {rhs} would yield a negative elapsed time"
+        );
         SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+/// A negative elapsed-time computation: the supposed end of an interval
+/// precedes its start. Returned by [`SimTime::checked_since`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeWarp {
+    /// The instant that was supposed to be later.
+    pub end: SimTime,
+    /// The instant that was supposed to be earlier.
+    pub start: SimTime,
+}
+
+impl fmt::Display for TimeWarp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "time warp: interval ends at {} but starts at {}",
+            self.end, self.start
+        )
+    }
+}
+
+impl std::error::Error for TimeWarp {}
+
+impl SimTime {
+    /// Checked elapsed time since `earlier`: `Err(TimeWarp)` if `earlier`
+    /// is actually later than `self` instead of silently clamping to zero.
+    pub fn checked_since(self, earlier: SimTime) -> Result<SimDuration, TimeWarp> {
+        match self.0.checked_sub(earlier.0) {
+            Some(us) => Ok(SimDuration(us)),
+            None => Err(TimeWarp {
+                end: self,
+                start: earlier,
+            }),
+        }
     }
 }
 
@@ -74,8 +124,27 @@ impl SimDuration {
     }
 
     /// Builds a duration from whole milliseconds.
+    ///
+    /// # Panics
+    /// If `ms * 1_000` overflows `u64` — open-loop sweeps pass large
+    /// durations, and a silent wrap would turn an hours-long run budget
+    /// into microseconds.
     pub fn from_millis(ms: u64) -> SimDuration {
-        SimDuration(ms * 1_000)
+        match ms.checked_mul(1_000) {
+            Some(us) => SimDuration(us),
+            None => panic!("SimDuration::from_millis({ms}) overflows the u64 microsecond range"),
+        }
+    }
+
+    /// Builds a duration from whole seconds.
+    ///
+    /// # Panics
+    /// If `secs * 1_000_000` overflows `u64`.
+    pub fn from_secs(secs: u64) -> SimDuration {
+        match secs.checked_mul(1_000_000) {
+            Some(us) => SimDuration(us),
+            None => panic!("SimDuration::from_secs({secs}) overflows the u64 microsecond range"),
+        }
     }
 
     /// The duration in whole microseconds.
@@ -152,6 +221,18 @@ impl Clock {
         self.micros.fetch_add(d.0, Ordering::Relaxed);
     }
 
+    /// Advances simulated time to instant `t` if `t` is in the future; a
+    /// no-op otherwise.
+    ///
+    /// This is the load engine's idle transition: when no session has a
+    /// ready step, the clock jumps straight to the next arrival or
+    /// think-time expiry instead of spinning. Dispatching work whose due
+    /// time has already passed (it queued behind earlier work) must *not*
+    /// rewind the clock, hence the monotone no-op rather than an error.
+    pub fn advance_to(&self, t: SimTime) {
+        self.micros.fetch_max(t.0, Ordering::Relaxed);
+    }
+
     /// Rewinds the clock to zero (used between measurement runs).
     pub fn reset(&self) {
         self.micros.store(0, Ordering::Relaxed);
@@ -212,9 +293,51 @@ mod tests {
     }
 
     #[test]
-    fn subtraction_saturates() {
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "time warp")]
+    fn reversed_time_subtraction_panics_in_debug() {
         let early = SimTime::ZERO;
         let late = SimTime::ZERO + SimDuration::from_millis(1);
-        assert_eq!((early - late), SimDuration::ZERO);
+        let _ = early - late;
+    }
+
+    #[test]
+    fn checked_since_flags_reversed_intervals() {
+        let early = SimTime::ZERO + SimDuration::from_millis(1);
+        let late = SimTime::ZERO + SimDuration::from_millis(3);
+        assert_eq!(late.checked_since(early), Ok(SimDuration::from_millis(2)));
+        assert_eq!(late.checked_since(late), Ok(SimDuration::ZERO));
+        let err = early.checked_since(late).unwrap_err();
+        assert_eq!(err.end, early);
+        assert_eq!(err.start, late);
+        assert!(err.to_string().contains("time warp"));
+    }
+
+    #[test]
+    fn from_secs_counts_microseconds() {
+        assert_eq!(SimDuration::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(SimDuration::from_secs(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_millis")]
+    fn from_millis_overflow_panics_loudly() {
+        let _ = SimDuration::from_millis(u64::MAX / 999);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_secs")]
+    fn from_secs_overflow_panics_loudly() {
+        let _ = SimDuration::from_secs(u64::MAX / 999_999);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let c = Clock::new();
+        c.advance_to(SimTime::ZERO + SimDuration::from_millis(5));
+        assert_eq!(c.now().as_micros(), 5_000);
+        // Dispatching overdue work must not rewind the clock.
+        c.advance_to(SimTime::ZERO + SimDuration::from_millis(2));
+        assert_eq!(c.now().as_micros(), 5_000);
     }
 }

@@ -58,7 +58,7 @@ mod remote;
 mod sched;
 pub mod wire;
 
-pub use clock::{Clock, SimDuration, SimTime};
+pub use clock::{Clock, SimDuration, SimTime, TimeWarp};
 pub use fault::{Fault, FaultPlan, FaultStats};
 pub use http::{HttpRequest, HttpResponse};
 pub use path::{Path, PathMetrics, PathSpec, PathStats};

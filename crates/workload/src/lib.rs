@@ -5,15 +5,20 @@
 //! batches) average", and a linear fit over the delay sweep whose slope is
 //! the *latency sensitivity* of Table 2 (the paper quotes fits with
 //! R² ≈ 99%). This crate provides exactly those tools: batched statistics,
-//! least-squares regression, and plain-text/CSV report tables.
+//! least-squares regression, and plain-text/CSV report tables — plus the
+//! deterministic open-loop [`ArrivalPlan`]s (Poisson, bursty, flash-crowd)
+//! that push the testbed past the paper's single-client protocol and into
+//! the saturation regime.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arrival;
 mod linreg;
 mod report;
 mod stats;
 
+pub use arrival::{ArrivalPlan, ArrivalProcess};
 pub use linreg::{fit, LinearFit};
 pub use report::{Csv, TextTable};
 pub use stats::{batch_means, percentile, BatchStats, RunStats};

@@ -42,7 +42,13 @@ impl RunStats {
 }
 
 /// The `q`-quantile (`0.0 ..= 1.0`) of `values` by linear interpolation
-/// between order statistics; `None` on an empty slice.
+/// between order statistics; `None` on an empty slice or a NaN quantile.
+///
+/// Out-of-range quantiles clamp, so `q = 0.0` is exactly the minimum and
+/// `q = 1.0` exactly the maximum (matching [`RunStats::of`]), a single
+/// observation is returned for every `q`, and the interpolation indices are
+/// clamped to the slice so no rounding of the fractional rank can reach
+/// past the last order statistic.
 ///
 /// ```
 /// let xs = [1.0, 2.0, 3.0, 4.0];
@@ -50,15 +56,16 @@ impl RunStats {
 /// assert_eq!(sli_workload::percentile(&xs, 1.0), Some(4.0));
 /// ```
 pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
-    if values.is_empty() {
+    if values.is_empty() || q.is_nan() {
         return None;
     }
     let mut sorted: Vec<f64> = values.to_vec();
     sorted.sort_by(|a, b| a.total_cmp(b));
+    let top = sorted.len() - 1;
     let q = q.clamp(0.0, 1.0);
-    let rank = q * (sorted.len() - 1) as f64;
-    let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
+    let rank = q * top as f64;
+    let lo = (rank.floor() as usize).min(top);
+    let hi = (rank.ceil() as usize).min(top);
     let frac = rank - lo as f64;
     Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
 }
@@ -144,6 +151,65 @@ mod tests {
         assert_eq!(percentile(&[7.0], 0.99), Some(7.0));
         // out-of-range quantiles clamp
         assert_eq!(percentile(&xs, 2.0), Some(100.0));
+    }
+
+    /// Reference implementation: interpolate between explicitly indexed
+    /// order statistics, no floating-point rank tricks.
+    fn naive_percentile(sorted: &[f64], q: f64) -> f64 {
+        let top = sorted.len() - 1;
+        let rank = q * top as f64;
+        let lo = (rank as usize).min(top);
+        let hi = (lo + 1).min(top);
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+
+    #[test]
+    fn percentile_exhaustive_small_n() {
+        // Every slice length 1..=6 × a dense grid of quantiles, checked
+        // against the naive reference.
+        for n in 1..=6usize {
+            let xs: Vec<f64> = (0..n).map(|v| (v * v) as f64 + 1.0).collect();
+            for step in 0..=100 {
+                let q = step as f64 / 100.0;
+                let got = percentile(&xs, q).unwrap();
+                let want = naive_percentile(&xs, q);
+                assert!(
+                    (got - want).abs() < 1e-12,
+                    "n={n} q={q}: got {got}, want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_endpoints_match_run_stats() {
+        // p0/p100 must agree with the min/max the batch-means path reports.
+        let xs = [3.5, -1.0, 9.25, 0.0, 2.0, 2.0];
+        let s = RunStats::of(&xs);
+        assert_eq!(percentile(&xs, 0.0), Some(s.min));
+        assert_eq!(percentile(&xs, 1.0), Some(s.max));
+        assert_eq!(percentile(&xs, -3.0), Some(s.min), "clamps below");
+        assert_eq!(percentile(&xs, 7.0), Some(s.max), "clamps above");
+    }
+
+    #[test]
+    fn percentile_single_sample_is_that_sample_for_every_q() {
+        for step in 0..=10 {
+            let q = step as f64 / 10.0;
+            assert_eq!(percentile(&[42.0], q), Some(42.0), "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_nan_quantile_is_none() {
+        assert_eq!(percentile(&[1.0, 2.0], f64::NAN), None);
+    }
+
+    #[test]
+    fn percentile_two_samples_interpolates() {
+        assert_eq!(percentile(&[10.0, 20.0], 0.5), Some(15.0));
+        assert_eq!(percentile(&[10.0, 20.0], 0.25), Some(12.5));
     }
 
     #[test]
