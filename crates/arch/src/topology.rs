@@ -204,6 +204,7 @@ impl Testbed {
         let commit_trace = Arc::new(TraceLog::with_capacity(1 << 18));
         let tracer = Arc::new(Tracer::new(Arc::clone(&commit_trace)));
         db_server.metrics().register_with(&telemetry, "db.stmt");
+        db.register_plan_metrics(&telemetry, "db.plan");
         db_server.set_tracer(Arc::clone(&tracer));
 
         let mut edges = Vec::with_capacity(config.edges);
@@ -629,6 +630,8 @@ mod tests {
         let names = tb.telemetry().names();
         for expected in [
             "db.stmt.statements",
+            "db.plan.hits",
+            "db.plan.misses",
             "backend.commit.committed",
             "backend.commit.dedup_replays",
             "store.edge-1.hits",

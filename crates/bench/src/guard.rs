@@ -209,6 +209,8 @@ pub fn guard_run(arch: Architecture, delay_ms: u64, cfg: RunConfig) -> GuardEntr
 const TPS_FLOOR: f64 = 0.5;
 /// Absolute floor for the peak-queue-depth metric (sessions).
 const QUEUE_FLOOR: f64 = 2.0;
+/// Absolute floor for the round-trips-per-interaction metric (crossings).
+const ROUND_TRIPS_FLOOR: f64 = 0.5;
 
 /// Measures one *loaded* guarded point: the open-loop engine at a fixed
 /// session arrival rate, guarding the throughput–latency behaviour the
@@ -257,6 +259,12 @@ pub fn guard_run_loaded(
                 run.point.peak_queue_depth as f64,
                 true,
                 QUEUE_FLOOR,
+            ),
+            scalar(
+                "round_trips_per_interaction",
+                run.point.round_trips_per_interaction,
+                true,
+                ROUND_TRIPS_FLOOR,
             ),
         ],
     }
@@ -676,7 +684,8 @@ mod tests {
                 "achieved_tps",
                 "latency_p95_ms",
                 "failure_rate",
-                "peak_queue_depth"
+                "peak_queue_depth",
+                "round_trips_per_interaction"
             ]
         );
         // Throughput guards the good direction: a *drop* regresses.

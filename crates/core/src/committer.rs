@@ -1,11 +1,11 @@
 //! Optimistic validation and the combined-servers committer.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use sli_component::{EjbError, EjbResult, EntityMeta, Memento};
-use sli_datastore::{SqlConnection, Value};
+use sli_datastore::{BatchStatement, SqlConnection, Value};
 use sli_simnet::Clock;
 use sli_telemetry::{
     ConflictInfo, Counter, HistoryEvent, HistoryLog, OpenSpan, Registry, SpanDetail, SpanOutcome,
@@ -390,6 +390,19 @@ pub(crate) fn validate_and_apply_forensic(
     }
 }
 
+/// Whether every entry names a distinct (bean, key). Requests built from a
+/// [`TxContext`](sli_component::TxContext) always do (enlistment is keyed),
+/// but the validators accept arbitrary requests, and batched prefetching is
+/// only order-equivalent to the sequential loop when no entry reads a key
+/// an earlier entry wrote.
+fn distinct_keys(request: &CommitRequest) -> bool {
+    let mut seen = HashSet::with_capacity(request.entries.len());
+    request
+        .entries
+        .iter()
+        .all(|e| seen.insert((e.bean.as_str(), &e.key)))
+}
+
 fn run_validation(
     conn: &mut dyn SqlConnection,
     registry: &MetaRegistry,
@@ -397,6 +410,9 @@ fn run_validation(
     forensics: &mut Option<ConflictInfo>,
     unchecked_writes: bool,
 ) -> EjbResult<CommitOutcome> {
+    if request.entries.len() > 1 && distinct_keys(request) {
+        return run_validation_batched(conn, registry, request, forensics, unchecked_writes);
+    }
     for entry in &request.entries {
         let meta = registry.meta(&entry.bean)?;
         let current = fetch_current(conn, meta, &entry.key)?;
@@ -433,6 +449,87 @@ fn run_validation(
                 conn.execute(&meta.delete_sql(), std::slice::from_ref(&entry.key))?;
             }
         }
+    }
+    Ok(CommitOutcome::Committed)
+}
+
+/// The batched split-servers validation: **one** round trip fetches every
+/// entry's current image, validation runs locally against the before-images,
+/// and a second round trip applies every after-image. On a wired connection
+/// the commit's statement cost stops growing with the transaction footprint
+/// — this is the group commit the back-end runs over its database path.
+///
+/// Trade-off versus the sequential loop: all images are fetched before any
+/// entry validates, so a fetch failure on a *later* entry (a deadlock, say)
+/// surfaces as an error even when an earlier entry would have conflicted
+/// first. The applied state and the committed/not-committed outcome are
+/// unchanged.
+fn run_validation_batched(
+    conn: &mut dyn SqlConnection,
+    registry: &MetaRegistry,
+    request: &CommitRequest,
+    forensics: &mut Option<ConflictInfo>,
+    unchecked_writes: bool,
+) -> EjbResult<CommitOutcome> {
+    let mut fetches = Vec::with_capacity(request.entries.len());
+    for entry in &request.entries {
+        let meta = registry.meta(&entry.bean)?;
+        fetches.push(BatchStatement::new(
+            meta.load_sql(),
+            vec![entry.key.clone()],
+        ));
+    }
+    let fetched = conn.execute_batch(&fetches)?.into_result()?;
+
+    let mut writes = Vec::new();
+    for (entry, rs) in request.entries.iter().zip(&fetched) {
+        let meta = registry.meta(&entry.bean)?;
+        let current = rs.rows().first().map(|row| meta.memento_from_row(row));
+        let conflict = || CommitOutcome::Conflict {
+            bean: entry.bean.clone(),
+            key: entry.key.to_string(),
+        };
+        match &entry.kind {
+            EntryKind::Read { before } => {
+                if current.as_ref() != Some(before) {
+                    *forensics = Some(conflict_info(entry, Some(before), current.as_ref()));
+                    return Ok(conflict());
+                }
+            }
+            EntryKind::Update { before, after } => {
+                if !unchecked_writes && current.as_ref() != Some(before) {
+                    *forensics = Some(conflict_info(entry, Some(before), current.as_ref()));
+                    return Ok(conflict());
+                }
+                writes.push(BatchStatement::new(
+                    meta.update_sql(),
+                    meta.update_params(after),
+                ));
+            }
+            EntryKind::Create { after } => {
+                if current.is_some() {
+                    *forensics = Some(conflict_info(entry, None, current.as_ref()));
+                    return Ok(conflict());
+                }
+                writes.push(BatchStatement::new(
+                    meta.insert_sql(),
+                    meta.insert_params(after),
+                ));
+            }
+            EntryKind::Remove { before } => {
+                if current.as_ref() != Some(before) {
+                    *forensics = Some(conflict_info(entry, Some(before), current.as_ref()));
+                    return Ok(conflict());
+                }
+                writes.push(BatchStatement::new(
+                    meta.delete_sql(),
+                    vec![entry.key.clone()],
+                ));
+            }
+        }
+    }
+    if !writes.is_empty() {
+        conn.execute_batch(&writes)?.into_result()?;
     }
     Ok(CommitOutcome::Committed)
 }
@@ -511,6 +608,9 @@ fn run_per_image(
     forensics: &mut Option<ConflictInfo>,
     unchecked_writes: bool,
 ) -> EjbResult<CommitOutcome> {
+    if request.entries.len() > 1 {
+        return run_per_image_batched(conn, registry, request, forensics, unchecked_writes);
+    }
     for entry in &request.entries {
         let meta = registry.meta(&entry.bean)?;
         let conflict = || CommitOutcome::Conflict {
@@ -554,6 +654,97 @@ fn run_per_image(
                 }
             }
         }
+    }
+    Ok(CommitOutcome::Committed)
+}
+
+/// The batched combined-servers commit: every entry's single validate+apply
+/// statement ships in **one** `OP_EXEC_BATCH` round trip. The server runs
+/// the statements strictly in request order inside the open transaction, so
+/// conditional `WHERE` clauses observe earlier entries' writes exactly as
+/// the sequential loop's statements did; the client then walks the executed
+/// prefix and reports the first validation failure (0 rows affected, or a
+/// duplicate-key `INSERT`) as the conflict. Statements past a conflicting
+/// one may have executed — the caller's rollback undoes them.
+fn run_per_image_batched(
+    conn: &mut dyn SqlConnection,
+    registry: &MetaRegistry,
+    request: &CommitRequest,
+    forensics: &mut Option<ConflictInfo>,
+    unchecked_writes: bool,
+) -> EjbResult<CommitOutcome> {
+    let mut stmts = Vec::with_capacity(request.entries.len());
+    for entry in &request.entries {
+        let meta = registry.meta(&entry.bean)?;
+        stmts.push(match &entry.kind {
+            EntryKind::Read { .. } => BatchStatement::new(meta.load_sql(), vec![entry.key.clone()]),
+            EntryKind::Update { before, after } => {
+                if unchecked_writes {
+                    BatchStatement::new(meta.update_sql(), meta.update_params(after))
+                } else {
+                    let (sql, params) = meta.conditional_update_sql(before, after);
+                    BatchStatement::new(sql, params)
+                }
+            }
+            EntryKind::Create { after } => {
+                BatchStatement::new(meta.insert_sql(), meta.insert_params(after))
+            }
+            EntryKind::Remove { before } => {
+                let (sql, params) = meta.conditional_delete_sql(before);
+                BatchStatement::new(sql, params)
+            }
+        });
+    }
+    let outcome = conn.execute_batch(&stmts)?;
+
+    // First validation failure in the executed prefix wins, in order.
+    for (entry, rs) in request.entries.iter().zip(&outcome.results) {
+        let meta = registry.meta(&entry.bean)?;
+        let conflict = || CommitOutcome::Conflict {
+            bean: entry.bean.clone(),
+            key: entry.key.to_string(),
+        };
+        match &entry.kind {
+            EntryKind::Read { before } => {
+                let current = rs.rows().first().map(|row| meta.memento_from_row(row));
+                if current.as_ref() != Some(before) {
+                    *forensics = Some(conflict_info(entry, Some(before), current.as_ref()));
+                    return Ok(conflict());
+                }
+            }
+            EntryKind::Update { before, .. } => {
+                if !unchecked_writes && rs.affected_rows() == 0 {
+                    *forensics = Some(conflict_info(entry, Some(before), None));
+                    return Ok(conflict());
+                }
+            }
+            // An executed INSERT succeeded; failure surfaces as the batch
+            // error below.
+            EntryKind::Create { .. } => {}
+            EntryKind::Remove { before } => {
+                if rs.affected_rows() == 0 {
+                    *forensics = Some(conflict_info(entry, Some(before), None));
+                    return Ok(conflict());
+                }
+            }
+        }
+    }
+    // No conflict in the prefix: the statement that stopped the batch (at
+    // index `results.len()`) decides. A duplicate-key INSERT is a Create
+    // losing its key race — a conflict; anything else is a real error.
+    if let Some(err) = outcome.error {
+        if let Some(entry) = request.entries.get(outcome.results.len()) {
+            if matches!(entry.kind, EntryKind::Create { .. })
+                && matches!(err, sli_datastore::DbError::DuplicateKey(_))
+            {
+                *forensics = Some(conflict_info(entry, None, None));
+                return Ok(CommitOutcome::Conflict {
+                    bean: entry.bean.clone(),
+                    key: entry.key.to_string(),
+                });
+            }
+        }
+        return Err(err.into());
     }
     Ok(CommitOutcome::Committed)
 }

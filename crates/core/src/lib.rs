@@ -57,4 +57,6 @@ pub use home::SliHome;
 pub use registry::MetaRegistry;
 pub use rm::{RmStats, SliResourceManager};
 pub use source::{DirectSource, StateSource};
-pub use store::{CacheStats, CommonStore, DeferredInvalidationSink, InvalidationSink};
+pub use store::{
+    CacheStats, CommonStore, DeferredInvalidationSink, InvalidationSink, STORE_SHARDS,
+};

@@ -1,6 +1,7 @@
 //! The common transient store: inter-transaction bean-image cache.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -10,6 +11,14 @@ use sli_datastore::Value;
 use sli_simnet::wire::{Reader, Writer};
 use sli_simnet::Service;
 use sli_telemetry::{Counter, Gauge, Registry, Timeline};
+
+/// Number of independently locked shards in a [`CommonStore`].
+///
+/// Every key hashes to exactly one shard, so two sessions touching
+/// different shards never contend on the same lock. Eight is small enough
+/// that cross-shard scans (global-LRU eviction, `clear`) stay cheap and
+/// large enough that the load engine's concurrent sessions spread out.
+pub const STORE_SHARDS: usize = 8;
 
 /// Hit/miss counters for a [`CommonStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -46,6 +55,13 @@ impl CacheStats {
 /// common store, the conflict window widens — which is exactly what the
 /// optimistic validator exists to catch.
 ///
+/// Internally the image map is split into [`STORE_SHARDS`] key-hash shards,
+/// each behind its own lock, so concurrent sessions only serialize when
+/// they touch the same shard. Recency ticks come from one shared counter,
+/// which keeps LRU ordering *global*: eviction always removes the
+/// least-recently-used image across the whole store, exactly as the
+/// single-lock implementation did.
+///
 /// ```
 /// use sli_core::CommonStore;
 /// use sli_component::Memento;
@@ -58,32 +74,67 @@ impl CacheStats {
 /// assert_eq!(store.stats().hits, 1);
 /// assert_eq!(store.stats().misses, 1);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CommonStore {
-    inner: RwLock<StoreInner>,
+    shards: Vec<RwLock<StoreShard>>,
     capacity: Option<usize>,
+    /// Resident-bytes budget: the store evicts LRU images until the summed
+    /// wire-encoded size fits (always keeping at least one image).
+    budget: Option<u64>,
+    /// Shared recency clock — global ticks make per-shard recency maps
+    /// comparable, so eviction order is identical to a single LRU list.
+    tick: AtomicU64,
+    /// Total images across all shards.
+    entries: AtomicU64,
+    /// Total wire-encoded bytes across all shards.
+    resident: AtomicU64,
     hits: Counter,
     misses: Counter,
     invalidations: Counter,
     evictions: Counter,
-    /// Working-set size: number of cached images, kept in sync with
-    /// `inner.images.len()` so timelines can watch the cache fill.
+    /// Times the LRU index disagreed with the image map (an invariant slip
+    /// that previously aborted the simulation; now counted and skipped).
+    lru_desync: Counter,
+    /// Working-set size: number of cached images, kept in sync with the
+    /// shard maps so timelines can watch the cache fill.
     size: Gauge,
+    /// Working-set size in wire-encoded bytes (`Memento::encoded_len`).
+    resident_bytes: Gauge,
 }
 
-/// Image map plus LRU bookkeeping: every entry carries the tick of its last
-/// use, and `recency` orders entries by that tick for O(log n) eviction.
+impl Default for CommonStore {
+    fn default() -> CommonStore {
+        CommonStore {
+            shards: (0..STORE_SHARDS)
+                .map(|_| RwLock::new(StoreShard::default()))
+                .collect(),
+            capacity: None,
+            budget: None,
+            tick: AtomicU64::new(0),
+            entries: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            invalidations: Counter::new(),
+            evictions: Counter::new(),
+            lru_desync: Counter::new(),
+            size: Gauge::new(),
+            resident_bytes: Gauge::new(),
+        }
+    }
+}
+
+/// One shard: image map plus LRU bookkeeping. Every entry carries the
+/// global tick of its last use, and `recency` orders the shard's entries by
+/// that tick for O(log n) eviction.
 #[derive(Debug, Default)]
-struct StoreInner {
+struct StoreShard {
     images: HashMap<(String, Value), (Memento, u64)>,
     recency: std::collections::BTreeMap<u64, (String, Value)>,
-    tick: u64,
 }
 
-impl StoreInner {
-    fn touch(&mut self, key: &(String, Value)) {
-        self.tick += 1;
-        let tick = self.tick;
+impl StoreShard {
+    fn touch(&mut self, key: &(String, Value), tick: u64) {
         if let Some((_, old_tick)) = self.images.get_mut(key) {
             self.recency.remove(old_tick);
             *old_tick = tick;
@@ -95,6 +146,50 @@ impl StoreInner {
         let (image, tick) = self.images.remove(key)?;
         self.recency.remove(&tick);
         Some(image)
+    }
+
+    /// The tick of this shard's least-recently-used entry, if any.
+    fn lru_tick(&self) -> Option<u64> {
+        self.recency.keys().next().copied()
+    }
+
+    /// Removes this shard's least-recently-used entry. Returns `None` when
+    /// the recency index and image map disagree (desync) or the shard is
+    /// empty.
+    fn pop_lru(&mut self) -> Option<Memento> {
+        let key = self.recency.values().next().cloned()?;
+        match self.images.remove(&key) {
+            Some((image, tick)) => {
+                self.recency.remove(&tick);
+                Some(image)
+            }
+            None => {
+                // The index points at an image that is gone: drop the stale
+                // index entry so the caller can count the slip and move on.
+                if let Some(tick) = self.lru_tick() {
+                    self.recency.remove(&tick);
+                }
+                None
+            }
+        }
+    }
+}
+
+/// FNV-1a: a fixed, seed-free hasher so shard assignment is deterministic
+/// across runs and platforms (a randomized hasher would make perfguard
+/// baselines and slicheck replays irreproducible).
+struct Fnv(u64);
+
+impl std::hash::Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
     }
 }
 
@@ -109,8 +204,24 @@ impl CommonStore {
     /// common store unbounded; this bound is an ablation knob for studying
     /// constrained edge servers (see the `ablation_cache` bench binary).
     pub fn with_capacity(capacity: usize) -> Arc<CommonStore> {
+        CommonStore::with_limits(Some(capacity), None)
+    }
+
+    /// Creates a store bounded by total wire-encoded bytes rather than
+    /// entry count: images are evicted in global LRU order until the
+    /// resident set fits `budget` bytes. At least one image always stays
+    /// resident, mirroring [`CommonStore::with_capacity`]'s floor of one.
+    pub fn with_resident_budget(budget: u64) -> Arc<CommonStore> {
+        CommonStore::with_limits(None, Some(budget))
+    }
+
+    /// Creates a store with an optional entry-count cap and an optional
+    /// resident-bytes budget; whichever limit is exceeded first triggers
+    /// global-LRU eviction.
+    pub fn with_limits(capacity: Option<usize>, budget: Option<u64>) -> Arc<CommonStore> {
         Arc::new(CommonStore {
-            capacity: Some(capacity.max(1)),
+            capacity: capacity.map(|c| c.max(1)),
+            budget,
             ..CommonStore::default()
         })
     }
@@ -120,14 +231,61 @@ impl CommonStore {
         self.capacity
     }
 
+    /// The configured resident-bytes budget, if any.
+    pub fn resident_budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Total wire-encoded bytes currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// How many times the LRU index was observed out of sync with the
+    /// image map (each one a skipped eviction, not an abort).
+    pub fn lru_desyncs(&self) -> u64 {
+        self.lru_desync.get()
+    }
+
+    /// Number of key-hash shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard (`bean`, `key`) hashes to. Deterministic across runs:
+    /// shard choice feeds eviction order, which perfguard baselines pin.
+    pub fn shard_index(&self, bean: &str, key: &Value) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        h.write(bean.as_bytes());
+        h.write(&[0xff]);
+        key.hash(&mut h);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    fn shard_for(&self, entry_key: &(String, Value)) -> &RwLock<StoreShard> {
+        &self.shards[self.shard_index(&entry_key.0, &entry_key.1)]
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Re-syncs both working-set gauges from the shared totals.
+    fn sync_gauges(&self) {
+        self.size.set(self.entries.load(Ordering::Relaxed));
+        self.resident_bytes
+            .set(self.resident.load(Ordering::Relaxed));
+    }
+
     /// Looks up the cached image for (`bean`, `key`), counting hit or miss
     /// and refreshing the entry's recency.
     pub fn get(&self, bean: &str, key: &Value) -> Option<Memento> {
         let entry_key = (bean.to_owned(), key.clone());
-        let mut inner = self.inner.write();
-        let found = inner.images.get(&entry_key).map(|(m, _)| m.clone());
+        let mut shard = self.shard_for(&entry_key).write();
+        let found = shard.images.get(&entry_key).map(|(m, _)| m.clone());
         if found.is_some() {
-            inner.touch(&entry_key);
+            shard.touch(&entry_key, self.next_tick());
             self.hits.inc();
         } else {
             self.misses.inc();
@@ -135,57 +293,119 @@ impl CommonStore {
         found
     }
 
-    /// Installs or refreshes a committed image, evicting the LRU entry if
-    /// the store is over capacity.
+    /// Installs or refreshes a committed image, evicting global-LRU entries
+    /// while the store is over its entry cap or resident-bytes budget.
     pub fn put(&self, image: Memento) {
         let entry_key = (image.bean().to_owned(), image.primary_key().clone());
-        let mut inner = self.inner.write();
-        inner.remove(&entry_key);
-        inner.tick += 1;
-        let tick = inner.tick;
-        inner.images.insert(entry_key.clone(), (image, tick));
-        inner.recency.insert(tick, entry_key);
+        let encoded = image.encoded_len() as u64;
+        {
+            let mut shard = self.shard_for(&entry_key).write();
+            if let Some(old) = shard.remove(&entry_key) {
+                self.entries.fetch_sub(1, Ordering::Relaxed);
+                self.resident
+                    .fetch_sub(old.encoded_len() as u64, Ordering::Relaxed);
+            }
+            let tick = self.next_tick();
+            shard.images.insert(entry_key.clone(), (image, tick));
+            shard.recency.insert(tick, entry_key);
+            self.entries.fetch_add(1, Ordering::Relaxed);
+            self.resident.fetch_add(encoded, Ordering::Relaxed);
+        }
+        self.enforce_limits();
+        self.sync_gauges();
+    }
+
+    /// Whether the store currently exceeds either configured limit. The
+    /// byte budget keeps at least one image resident, so a single outsized
+    /// image cannot evict the store into a livelock.
+    fn over_limits(&self) -> bool {
+        let entries = self.entries.load(Ordering::Relaxed);
         if let Some(capacity) = self.capacity {
-            while inner.images.len() > capacity {
-                let victim = inner
-                    .recency
-                    .iter()
-                    .next()
-                    .map(|(_, k)| k.clone())
-                    .expect("recency tracks every image");
-                inner.remove(&victim);
-                self.evictions.inc();
+            if entries as usize > capacity {
+                return true;
             }
         }
-        self.size.set(inner.images.len() as u64);
+        if let Some(budget) = self.budget {
+            if entries > 1 && self.resident.load(Ordering::Relaxed) > budget {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn enforce_limits(&self) {
+        while self.over_limits() {
+            if !self.evict_global_lru() {
+                // The recency index lost an image somewhere: count the slip
+                // and stop evicting rather than aborting the simulation.
+                self.lru_desync.inc();
+                break;
+            }
+        }
+    }
+
+    /// Evicts the least-recently-used image across *all* shards: peek every
+    /// shard's oldest tick, then pop from the shard holding the global
+    /// minimum. Ticks are globally ordered, so this reproduces single-list
+    /// LRU exactly.
+    fn evict_global_lru(&self) -> bool {
+        for _attempt in 0..3 {
+            let mut victim: Option<(usize, u64)> = None;
+            for (i, shard) in self.shards.iter().enumerate() {
+                if let Some(tick) = shard.read().lru_tick() {
+                    if victim.is_none_or(|(_, best)| tick < best) {
+                        victim = Some((i, tick));
+                    }
+                }
+            }
+            let Some((i, _)) = victim else {
+                return false;
+            };
+            if let Some(image) = self.shards[i].write().pop_lru() {
+                self.entries.fetch_sub(1, Ordering::Relaxed);
+                self.resident
+                    .fetch_sub(image.encoded_len() as u64, Ordering::Relaxed);
+                self.evictions.inc();
+                return true;
+            }
+            // The shard drained (or desynced) between peek and pop; rescan.
+        }
+        false
     }
 
     /// Drops the image for (`bean`, `key`), if present.
     pub fn invalidate(&self, bean: &str, key: &Value) {
         let entry_key = (bean.to_owned(), key.clone());
-        let mut inner = self.inner.write();
-        if inner.remove(&entry_key).is_some() {
+        let removed = self.shard_for(&entry_key).write().remove(&entry_key);
+        if let Some(old) = removed {
+            self.entries.fetch_sub(1, Ordering::Relaxed);
+            self.resident
+                .fetch_sub(old.encoded_len() as u64, Ordering::Relaxed);
             self.invalidations.inc();
         }
-        self.size.set(inner.images.len() as u64);
+        self.sync_gauges();
     }
 
     /// Drops every cached image (e.g. between benchmark runs).
     pub fn clear(&self) {
-        let mut inner = self.inner.write();
-        inner.images.clear();
-        inner.recency.clear();
-        self.size.set(0);
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            shard.images.clear();
+            shard.recency.clear();
+        }
+        self.entries.store(0, Ordering::Relaxed);
+        self.resident.store(0, Ordering::Relaxed);
+        self.sync_gauges();
     }
 
     /// Number of cached images.
     pub fn len(&self) -> usize {
-        self.inner.read().images.len()
+        self.entries.load(Ordering::Relaxed) as usize
     }
 
     /// Whether the store holds no images.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().images.is_empty()
+        self.len() == 0
     }
 
     /// Counter snapshot.
@@ -204,38 +424,42 @@ impl CommonStore {
         self.misses.reset();
         self.invalidations.reset();
         self.evictions.reset();
+        self.lru_desync.reset();
     }
 
-    /// Re-derives the working-set gauge from the image map. A blanket
+    /// Re-derives the working-set gauges from the shard totals. A blanket
     /// registry reset zeroes every gauge while the cached images survive
     /// the warm-up/measure boundary; call this afterwards so the level
-    /// series starts from the true cache size.
+    /// series start from the true cache size.
     pub fn refresh_size(&self) {
-        self.size.set(self.inner.read().images.len() as u64);
+        self.sync_gauges();
     }
 
     /// Attaches this store's counters to `registry` under
-    /// `{prefix}.hits`, `.misses`, `.invalidations`, `.evictions` and the
-    /// `.size` working-set gauge (e.g. `store.edge-0.hits`). The store
-    /// keeps using the same shared handles, so registration costs nothing
-    /// on the hot path.
+    /// `{prefix}.hits`, `.misses`, `.invalidations`, `.evictions`,
+    /// `.lru_desync` and the `.size` / `.resident_bytes` working-set gauges
+    /// (e.g. `store.edge-0.hits`). The store keeps using the same shared
+    /// handles, so registration costs nothing on the hot path.
     pub fn register_with(&self, registry: &Registry, prefix: &str) {
         registry.attach_counter(format!("{prefix}.hits"), &self.hits);
         registry.attach_counter(format!("{prefix}.misses"), &self.misses);
         registry.attach_counter(format!("{prefix}.invalidations"), &self.invalidations);
         registry.attach_counter(format!("{prefix}.evictions"), &self.evictions);
+        registry.attach_counter(format!("{prefix}.lru_desync"), &self.lru_desync);
         registry.attach_gauge(format!("{prefix}.size"), &self.size);
+        registry.attach_gauge(format!("{prefix}.resident_bytes"), &self.resident_bytes);
     }
 
     /// Tracks this store's activity in `timeline`: hit/miss/invalidation/
-    /// eviction rates plus the working-set size level, under the same
-    /// names [`CommonStore::register_with`] uses.
+    /// eviction rates plus the working-set size and resident-bytes levels,
+    /// under the same names [`CommonStore::register_with`] uses.
     pub fn timeline_into(&self, timeline: &Timeline, prefix: &str) {
         timeline.track_counter(format!("{prefix}.hits"), &self.hits);
         timeline.track_counter(format!("{prefix}.misses"), &self.misses);
         timeline.track_counter(format!("{prefix}.invalidations"), &self.invalidations);
         timeline.track_counter(format!("{prefix}.evictions"), &self.evictions);
         timeline.track_gauge(format!("{prefix}.size"), &self.size);
+        timeline.track_gauge(format!("{prefix}.resident_bytes"), &self.resident_bytes);
     }
 }
 
@@ -361,14 +585,24 @@ impl DeferredInvalidationSink {
         })
     }
 
+    /// The single gateway to the pending queue: runs `f` under the lock and
+    /// re-syncs the `queue_depth` gauge before releasing it, so *every*
+    /// mutation — enqueue, drain, future compaction — reports the standing
+    /// depth and timelines can never under-read it between drains.
+    fn with_pending<T>(&self, f: impl FnOnce(&mut Vec<(sli_simnet::SimTime, Bytes)>) -> T) -> T {
+        let mut pending = self.pending.lock();
+        let out = f(&mut pending);
+        self.queue_depth.set(pending.len() as u64);
+        out
+    }
+
     /// Applies every queued notification whose delivery deadline has
     /// passed. The edge server calls this when it starts processing a
     /// request — the point at which an in-flight message would have been
     /// picked off the wire.
     pub fn deliver_due(&self) {
         let now = self.delay.now();
-        let due: Vec<Bytes> = {
-            let mut pending = self.pending.lock();
+        let due: Vec<Bytes> = self.with_pending(|pending| {
             let mut due = Vec::new();
             pending.retain(|(deadline, frame)| {
                 if *deadline <= now {
@@ -378,9 +612,8 @@ impl DeferredInvalidationSink {
                     true
                 }
             });
-            self.queue_depth.set(pending.len() as u64);
             due
-        };
+        });
         self.delivered.add(due.len() as u64);
         for frame in due {
             apply_invalidation_frame(&self.store, frame);
@@ -415,10 +648,7 @@ impl DeferredInvalidationSink {
 impl Service for DeferredInvalidationSink {
     fn handle(&self, request: Bytes) -> Bytes {
         let deadline = self.delay.deadline(request.len());
-        let mut pending = self.pending.lock();
-        pending.push((deadline, request));
-        self.queue_depth.set(pending.len() as u64);
-        drop(pending);
+        self.with_pending(|pending| pending.push((deadline, request)));
         self.queued.inc();
         Bytes::new()
     }
@@ -540,6 +770,126 @@ mod tests {
         assert_eq!(read(&registry), 1, "refresh re-derives it from the map");
         store.clear();
         assert_eq!(read(&registry), 0);
+    }
+
+    #[test]
+    fn resident_bytes_gauge_tracks_encoded_working_set() {
+        use sli_telemetry::Registry;
+        let store = CommonStore::new();
+        let registry = Registry::new();
+        store.register_with(&registry, "store.t");
+        let read = |reg: &Registry| match reg.get("store.t.resident_bytes").expect("registered") {
+            sli_telemetry::Metric::Gauge(g) => g.get(),
+            other => panic!("expected gauge, got {other:?}"),
+        };
+        let a = image("a", 1.0);
+        let b = image("bb", 2.0);
+        let expected = (a.encoded_len() + b.encoded_len()) as u64;
+        store.put(a.clone());
+        store.put(b);
+        assert_eq!(read(&registry), expected);
+        assert_eq!(store.resident_bytes(), expected);
+        // Refreshing an entry replaces its bytes instead of double-counting.
+        store.put(a.clone());
+        assert_eq!(read(&registry), expected);
+        store.invalidate("Account", &Value::from("a"));
+        assert_eq!(read(&registry), expected - a.encoded_len() as u64);
+        registry.reset_all();
+        assert_eq!(read(&registry), 0);
+        store.refresh_size();
+        assert_eq!(read(&registry), expected - a.encoded_len() as u64);
+        store.clear();
+        assert_eq!(store.resident_bytes(), 0);
+        assert_eq!(read(&registry), 0);
+    }
+
+    #[test]
+    fn resident_budget_evicts_lru_until_it_fits() {
+        let one = image("k0", 0.0).encoded_len() as u64;
+        // Room for two same-sized images, not three.
+        let store = CommonStore::with_resident_budget(one * 2);
+        assert_eq!(store.resident_budget(), Some(one * 2));
+        store.put(image("k0", 0.0));
+        store.put(image("k1", 1.0));
+        assert_eq!(store.stats().evictions, 0);
+        // Touch k0 so k1 is the global LRU victim when k2 overflows.
+        store.get("Account", &Value::from("k0"));
+        store.put(image("k2", 2.0));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stats().evictions, 1);
+        assert!(store.get("Account", &Value::from("k1")).is_none());
+        assert!(store.get("Account", &Value::from("k0")).is_some());
+        assert!(store.resident_bytes() <= one * 2);
+    }
+
+    #[test]
+    fn resident_budget_keeps_at_least_one_image() {
+        // A budget smaller than any single image must not evict the store
+        // empty (nor spin): the newest image stays resident.
+        let store = CommonStore::with_resident_budget(1);
+        store.put(image("a", 1.0));
+        store.put(image("b", 2.0));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stats().evictions, 1);
+        assert!(store.get("Account", &Value::from("b")).is_some());
+        assert_eq!(store.lru_desyncs(), 0);
+    }
+
+    #[test]
+    fn shard_index_is_deterministic_and_in_range() {
+        let store = CommonStore::new();
+        assert_eq!(store.shard_count(), STORE_SHARDS);
+        for i in 0..64 {
+            let key = Value::from(format!("k{i}"));
+            let s = store.shard_index("Account", &key);
+            assert!(s < store.shard_count());
+            assert_eq!(s, store.shard_index("Account", &key), "stable per key");
+        }
+        // The hash actually spreads keys: 64 keys must not all land on one
+        // shard.
+        let first = store.shard_index("Account", &Value::from("k0"));
+        assert!(
+            (0..64).any(|i| store.shard_index("Account", &Value::from(format!("k{i}"))) != first),
+            "64 keys all hashed to shard {first}"
+        );
+    }
+
+    #[test]
+    fn same_shard_and_cross_shard_keys_evict_in_global_lru_order() {
+        let store = CommonStore::with_capacity(3);
+        // Pick two keys that share a shard and one that does not, so the
+        // eviction scan must compare recency *across* shard boundaries.
+        let mut same: Vec<String> = Vec::new();
+        let mut other: Option<String> = None;
+        let home = store.shard_index("Account", &Value::from("seed"));
+        for i in 0..256 {
+            let k = format!("k{i}");
+            if store.shard_index("Account", &Value::from(k.as_str())) == home {
+                if same.len() < 2 {
+                    same.push(k);
+                }
+            } else if other.is_none() {
+                other = Some(k);
+            }
+            if same.len() == 2 && other.is_some() {
+                break;
+            }
+        }
+        let (a, b) = (same[0].clone(), same[1].clone());
+        let c = other.expect("256 keys cover more than one shard");
+        store.put(image("seed", 0.0)); // oldest, lives in `home`
+        store.put(image(&a, 1.0));
+        store.put(image(&c, 2.0));
+        // Overflow: the victim must be "seed" (globally oldest) even though
+        // the newest insert lands in a different shard than `c`.
+        store.put(image(&b, 3.0));
+        assert_eq!(store.len(), 3);
+        assert!(store.get("Account", &Value::from("seed")).is_none());
+        assert!(store.get("Account", &Value::from(a.as_str())).is_some());
+        assert!(store.get("Account", &Value::from(c.as_str())).is_some());
+        assert!(store.get("Account", &Value::from(b.as_str())).is_some());
+        assert_eq!(store.stats().evictions, 1);
+        assert_eq!(store.lru_desyncs(), 0);
     }
 
     #[test]
@@ -668,6 +1018,46 @@ mod tests {
     }
 
     #[test]
+    fn queue_depth_gauge_tracks_every_mutation() {
+        use sli_simnet::{Clock, SimDuration};
+        use sli_telemetry::Registry;
+        let store = CommonStore::new();
+        let clock = Arc::new(Clock::new());
+        let sink = DeferredInvalidationSink::new(
+            Arc::clone(&store),
+            Arc::clone(&clock),
+            SimDuration::from_millis(10),
+        );
+        let registry = Registry::new();
+        sink.register_with(&registry, "inv.t");
+        let depth = |reg: &Registry| match reg.get("inv.t.queue_depth").expect("registered") {
+            sli_telemetry::Metric::Gauge(g) => g.get(),
+            other => panic!("expected gauge, got {other:?}"),
+        };
+        let frame = |key: &str| {
+            sli_simnet::wire::frame(
+                sli_simnet::wire::protocol::BACKEND,
+                0,
+                &encode_invalidations(&[("Account".to_owned(), Value::from(key))]),
+            )
+        };
+        // Enqueue must raise the gauge immediately, not only on drain.
+        sink.handle(frame("a"));
+        assert_eq!(depth(&registry), 1);
+        clock.advance(SimDuration::from_millis(10));
+        sink.handle(frame("b")); // due 10ms later than "a"
+        assert_eq!(depth(&registry), 2);
+        // Partial drain: only "a" is due, so the gauge drops to 1.
+        sink.deliver_due();
+        assert_eq!(depth(&registry), 1);
+        assert_eq!(sink.in_flight(), 1);
+        clock.advance(SimDuration::from_millis(10));
+        sink.deliver_due();
+        assert_eq!(depth(&registry), 0);
+        assert_eq!(sink.in_flight(), 0);
+    }
+
+    #[test]
     fn invalidation_keeps_lru_bookkeeping_consistent() {
         let store = CommonStore::with_capacity(2);
         store.put(image("a", 1.0));
@@ -677,5 +1067,65 @@ mod tests {
         // a was invalidated, so b and c fit without eviction
         assert_eq!(store.len(), 2);
         assert_eq!(store.stats().evictions, 0);
+    }
+
+    #[test]
+    fn seeded_scheduler_interleavings_preserve_store_invariants() {
+        use sli_simnet::Scheduler;
+        // Three logical clients race put/get/invalidate programs over an
+        // overlapping key set under a seeded scheduler. Whatever order the
+        // scheduler picks, the store's bookkeeping must stay conserved:
+        // entry count, resident bytes and the LRU index all agree, and no
+        // desync is ever counted.
+        for seed in [3u64, 11, 42, 1999] {
+            let store = CommonStore::with_capacity(4);
+            let mut sched = Scheduler::random(seed);
+            // Each client's program, as (step index → op) closures.
+            let keys = ["a", "b", "c", "d", "e", "f"];
+            let mut cursors = [0usize; 3];
+            let steps_per_client = 12usize;
+            let mut live = 3u32;
+            while live > 0 {
+                let pick = sched.pick(live) as usize;
+                // Map pick onto the pick-th still-live client.
+                let client = cursors
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| **c < steps_per_client)
+                    .map(|(i, _)| i)
+                    .nth(pick)
+                    .expect("pick is within live clients");
+                let step = cursors[client];
+                cursors[client] += 1;
+                let key = keys[(client * 7 + step) % keys.len()];
+                match step % 3 {
+                    0 => store.put(image(key, step as f64)),
+                    1 => {
+                        store.get("Account", &Value::from(key));
+                    }
+                    _ => store.invalidate("Account", &Value::from(key)),
+                }
+                live = cursors.iter().filter(|c| **c < steps_per_client).count() as u32;
+            }
+            // Conservation: every put either survives, was invalidated, was
+            // evicted, or was an in-place refresh.
+            let s = store.stats();
+            assert_eq!(store.lru_desyncs(), 0, "seed {seed}");
+            assert!(store.len() <= 4, "seed {seed}: capacity respected");
+            let resident: u64 = keys
+                .iter()
+                .filter_map(|k| store.get("Account", &Value::from(*k)))
+                .map(|m| m.encoded_len() as u64)
+                .sum();
+            assert_eq!(
+                store.resident_bytes(),
+                resident,
+                "seed {seed}: resident bytes re-derivable from surviving images"
+            );
+            assert!(
+                s.evictions + s.invalidations + store.len() as u64 > 0,
+                "seed {seed}: the programs did something"
+            );
+        }
     }
 }

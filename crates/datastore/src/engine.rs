@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
+use sli_telemetry::{Counter, Registry};
 
 use crate::connection::Connection;
 use crate::error::DbError;
@@ -105,6 +106,139 @@ pub(crate) struct TxnState {
     undo: Vec<UndoRecord>,
 }
 
+/// Default number of plans the per-database plan cache holds before the
+/// least-recently-used one is evicted. Real prepared-statement caches are
+/// capped (DB2's package cache, for one); unbounded growth under a
+/// hostile or diverse workload is a leak.
+pub const PLAN_CACHE_CAPACITY: usize = 256;
+
+/// The access path the planner chose for a statement's predicate,
+/// recorded in its cached plan the first time the statement executes and
+/// reused until DDL changes the physical design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Point lookup on the primary key.
+    PkPoint,
+    /// Equality probe of the secondary index on the named column.
+    Index(String),
+    /// Full table scan.
+    Scan,
+}
+
+impl AccessPath {
+    /// Stable label for diagnostics: `pk-point`, `index:<col>` or `scan`.
+    pub fn label(&self) -> String {
+        match self {
+            AccessPath::PkPoint => "pk-point".to_owned(),
+            AccessPath::Index(col) => format!("index:{col}"),
+            AccessPath::Scan => "scan".to_owned(),
+        }
+    }
+}
+
+/// A parsed statement plus planner bookkeeping, cached per SQL text.
+#[derive(Debug)]
+struct CachedPlan {
+    stmt: Statement,
+    /// `(ddl_epoch, chosen path)` — valid while the epoch matches; a
+    /// `CREATE INDEX` bumps the epoch so stale scan plans replan lazily.
+    access: Mutex<Option<(u64, AccessPath)>>,
+}
+
+impl CachedPlan {
+    fn new(stmt: Statement) -> CachedPlan {
+        CachedPlan {
+            stmt,
+            access: Mutex::new(None),
+        }
+    }
+
+    fn recorded(&self, epoch: u64) -> Option<AccessPath> {
+        self.access
+            .lock()
+            .as_ref()
+            .filter(|(e, _)| *e == epoch)
+            .map(|(_, p)| p.clone())
+    }
+
+    fn record(&self, epoch: u64, path: AccessPath) {
+        *self.access.lock() = Some((epoch, path));
+    }
+}
+
+/// Counter snapshot for the plan cache (see
+/// [`Database::plan_cache_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Statement lookups served from the cache.
+    pub hits: u64,
+    /// Statement lookups that had to parse.
+    pub misses: u64,
+    /// Cached plans evicted by the LRU cap.
+    pub evictions: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+}
+
+/// LRU-capped map from SQL text to its cached plan.
+#[derive(Debug)]
+struct PlanCache {
+    plans: HashMap<String, (Arc<CachedPlan>, u64)>,
+    recency: BTreeMap<u64, String>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            plans: HashMap::new(),
+            recency: BTreeMap::new(),
+            tick: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks up and touches `sql`'s plan.
+    fn get(&mut self, sql: &str) -> Option<Arc<CachedPlan>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (plan, old_tick) = self.plans.get_mut(sql)?;
+        self.recency.remove(old_tick);
+        *old_tick = tick;
+        self.recency.insert(tick, sql.to_owned());
+        Some(Arc::clone(plan))
+    }
+
+    /// Reads `sql`'s plan without touching its recency (diagnostics).
+    fn peek(&self, sql: &str) -> Option<Arc<CachedPlan>> {
+        self.plans.get(sql).map(|(plan, _)| Arc::clone(plan))
+    }
+
+    /// Installs a plan, evicting LRU entries past the cap. Returns how
+    /// many plans were evicted.
+    fn insert(&mut self, sql: String, plan: Arc<CachedPlan>) -> u64 {
+        if let Some((_, old_tick)) = self.plans.remove(&sql) {
+            self.recency.remove(&old_tick);
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        self.plans.insert(sql.clone(), (plan, tick));
+        self.recency.insert(tick, sql);
+        let mut evicted = 0;
+        while self.plans.len() > self.capacity {
+            let Some((&victim_tick, _)) = self.recency.iter().next() else {
+                break;
+            };
+            if let Some(victim_sql) = self.recency.remove(&victim_tick) {
+                self.plans.remove(&victim_sql);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+}
+
 /// The embedded relational database.
 ///
 /// All methods take `&self`; interior locking makes the engine safe to
@@ -118,7 +252,13 @@ pub struct Database {
     /// Commit-order witness: bumped once per committed *writing*
     /// transaction (see [`Database::commit_seq`]).
     commit_seq: AtomicU64,
-    stmt_cache: Mutex<HashMap<String, Arc<Statement>>>,
+    plans: Mutex<PlanCache>,
+    /// Bumped by every successful DDL statement; cached access paths
+    /// recorded under an older epoch are replanned on next use.
+    ddl_epoch: AtomicU64,
+    plan_hits: Counter,
+    plan_misses: Counter,
+    plan_evictions: Counter,
     trace: Trace,
 }
 
@@ -129,7 +269,11 @@ impl Default for Database {
             locks: LockManager::default(),
             next_txn: AtomicU64::new(1),
             commit_seq: AtomicU64::new(0),
-            stmt_cache: Mutex::new(HashMap::new()),
+            plans: Mutex::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
+            ddl_epoch: AtomicU64::new(0),
+            plan_hits: Counter::new(),
+            plan_misses: Counter::new(),
+            plan_evictions: Counter::new(),
             trace: Trace::default(),
         }
     }
@@ -162,7 +306,6 @@ impl Database {
                     return Err(DbError::AlreadyExists(format!("table {name}")));
                 }
                 tables.insert(name, Arc::new(RwLock::new(Table::new(schema))));
-                Ok(())
             }
             Statement::CreateIndex { table, column, .. } => {
                 let t = self.table(&table)?;
@@ -176,10 +319,14 @@ impl Database {
                     index.entry(row[ci].clone()).or_default().insert(pk.clone());
                 }
                 t.indexes.insert(column, index);
-                Ok(())
             }
-            _ => Err(DbError::Parse("execute_ddl expects DDL".to_owned())),
+            _ => return Err(DbError::Parse("execute_ddl expects DDL".to_owned())),
         }
+        // Physical design changed: access paths recorded in cached plans
+        // are stale (a scan plan may now have an index). Bumping the
+        // epoch makes every plan replan lazily on its next execution.
+        self.ddl_epoch.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// The schema of `table`, if it exists. The SLI cache layer uses this
@@ -233,6 +380,42 @@ impl Database {
         &self.locks
     }
 
+    /// Creates an empty database whose plan cache holds at most `capacity`
+    /// plans (the default is [`PLAN_CACHE_CAPACITY`]).
+    pub fn with_plan_cache_capacity(capacity: usize) -> Arc<Database> {
+        let db = Database {
+            plans: Mutex::new(PlanCache::new(capacity)),
+            ..Database::default()
+        };
+        Arc::new(db)
+    }
+
+    /// Plan-cache counters: hits, misses, LRU evictions and current size.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.plan_hits.get(),
+            misses: self.plan_misses.get(),
+            evictions: self.plan_evictions.get(),
+            entries: self.plans.lock().plans.len(),
+        }
+    }
+
+    /// The access path recorded for `sql`'s cached plan, if the statement
+    /// is cached and its plan is current (recorded under the present DDL
+    /// epoch). Does not touch the plan's LRU recency.
+    pub fn plan_access(&self, sql: &str) -> Option<AccessPath> {
+        let plan = self.plans.lock().peek(sql)?;
+        plan.recorded(self.ddl_epoch.load(Ordering::Relaxed))
+    }
+
+    /// Attaches the plan-cache counters to `registry` as
+    /// `{prefix}.hits` / `{prefix}.misses` / `{prefix}.evictions`.
+    pub fn register_plan_metrics(&self, registry: &Registry, prefix: &str) {
+        registry.attach_counter(format!("{prefix}.hits"), &self.plan_hits);
+        registry.attach_counter(format!("{prefix}.misses"), &self.plan_misses);
+        registry.attach_counter(format!("{prefix}.evictions"), &self.plan_evictions);
+    }
+
     /// Columns with secondary indexes on `table` (sorted; empty for
     /// unknown tables). Used by the checkpointer.
     pub fn index_columns(&self, table: &str) -> Vec<String> {
@@ -264,15 +447,18 @@ impl Database {
             .ok_or_else(|| DbError::NoSuchTable(name.to_owned()))
     }
 
-    fn cached_stmt(&self, sql: &str) -> DbResult<Arc<Statement>> {
-        if let Some(stmt) = self.stmt_cache.lock().get(sql) {
-            return Ok(Arc::clone(stmt));
+    fn cached_plan(&self, sql: &str) -> DbResult<Arc<CachedPlan>> {
+        if let Some(plan) = self.plans.lock().get(sql) {
+            self.plan_hits.inc();
+            return Ok(plan);
         }
-        let stmt = Arc::new(parse(sql)?);
-        self.stmt_cache
-            .lock()
-            .insert(sql.to_owned(), Arc::clone(&stmt));
-        Ok(stmt)
+        // Count the miss before parsing so a malformed statement still
+        // shows up as a miss — but never grows the cache.
+        self.plan_misses.inc();
+        let plan = Arc::new(CachedPlan::new(parse(sql)?));
+        let evicted = self.plans.lock().insert(sql.to_owned(), Arc::clone(&plan));
+        self.plan_evictions.add(evicted);
+        Ok(plan)
     }
 
     pub(crate) fn begin_txn(&self) -> TxnState {
@@ -323,15 +509,15 @@ impl Database {
         sql: &str,
         params: &[Value],
     ) -> DbResult<ResultSet> {
-        let stmt = self.cached_stmt(sql)?;
-        let expected = stmt.param_count();
+        let plan = self.cached_plan(sql)?;
+        let expected = plan.stmt.param_count();
         if params.len() != expected {
             return Err(DbError::ParamCount {
                 expected,
                 actual: params.len(),
             });
         }
-        match &*stmt {
+        match &plan.stmt {
             Statement::CreateTable { .. } | Statement::CreateIndex { .. } => {
                 Err(DbError::Parse("DDL must go through execute_ddl".to_owned()))
             }
@@ -354,14 +540,15 @@ impl Database {
                 order_by.as_ref(),
                 *limit,
                 params,
+                &plan,
             ),
             Statement::Update {
                 table,
                 sets,
                 predicate,
-            } => self.exec_update(txn, table, sets, predicate, params),
+            } => self.exec_update(txn, table, sets, predicate, params, &plan),
             Statement::Delete { table, predicate } => {
-                self.exec_delete(txn, table, predicate, params)
+                self.exec_delete(txn, table, predicate, params, &plan)
             }
         }
     }
@@ -414,12 +601,18 @@ impl Database {
     /// Plans a bound predicate: point lookup by primary key, index probe,
     /// or full scan. Returns matching primary keys, acquiring the
     /// appropriate locks.
+    ///
+    /// The chosen [`AccessPath`] is recorded in `plan` the first time the
+    /// statement executes (per DDL epoch) and reused afterwards, so repeat
+    /// executions skip the planning probes — the prepared-statement
+    /// behaviour the paper's JDBC tier gets from DB2's package cache.
     fn plan_matches(
         &self,
         txn: &mut TxnState,
         table: &str,
         predicate: &Predicate,
         for_write: bool,
+        plan: &CachedPlan,
     ) -> DbResult<Vec<Value>> {
         let t = self.table(table)?;
         let schema = t.read().schema.clone();
@@ -433,32 +626,53 @@ impl Database {
         } else {
             LockMode::IntentShared
         };
+        let epoch = self.ddl_epoch.load(Ordering::Relaxed);
+        let recorded = plan.recorded(epoch);
 
-        // Point lookup by primary key.
-        if let Some(pk) = predicate.equality_on(schema.pk_name()) {
-            self.locks
-                .acquire(txn.id, Resource::Table(table.to_owned()), intent_mode)?;
-            self.locks.acquire(
-                txn.id,
-                Resource::Row(table.to_owned(), pk.clone()),
-                row_mode,
-            )?;
-            let t = t.read();
-            return Ok(match t.rows.get(pk) {
-                Some(row) if predicate.matches(&schema, row)? => vec![pk.clone()],
-                _ => Vec::new(),
-            });
+        // Point lookup by primary key. A recorded non-PK path skips the
+        // probe; the predicate's shape is fixed per SQL text, so a recorded
+        // `PkPoint` implies the equality is still there.
+        if !matches!(
+            recorded,
+            Some(AccessPath::Index(_)) | Some(AccessPath::Scan)
+        ) {
+            if let Some(pk) = predicate.equality_on(schema.pk_name()) {
+                if recorded.is_none() {
+                    plan.record(epoch, AccessPath::PkPoint);
+                }
+                self.locks
+                    .acquire(txn.id, Resource::Table(table.to_owned()), intent_mode)?;
+                self.locks.acquire(
+                    txn.id,
+                    Resource::Row(table.to_owned(), pk.clone()),
+                    row_mode,
+                )?;
+                let t = t.read();
+                return Ok(match t.rows.get(pk) {
+                    Some(row) if predicate.matches(&schema, row)? => vec![pk.clone()],
+                    _ => Vec::new(),
+                });
+            }
         }
 
-        // Secondary-index probe.
-        let indexed_col = {
-            let t = t.read();
-            t.indexes
-                .keys()
-                .find(|col| predicate.equality_on(col).is_some())
-                .cloned()
+        // Secondary-index probe. A recorded `Index` path goes straight to
+        // its column; otherwise search the physical design for a usable
+        // equality.
+        let indexed_col = match &recorded {
+            Some(AccessPath::Index(col)) => Some(col.clone()),
+            Some(_) => None,
+            None => {
+                let t = t.read();
+                t.indexes
+                    .keys()
+                    .find(|col| predicate.equality_on(col).is_some())
+                    .cloned()
+            }
         };
         if let Some(col) = indexed_col {
+            if recorded.is_none() {
+                plan.record(epoch, AccessPath::Index(col.clone()));
+            }
             self.locks
                 .acquire(txn.id, Resource::Table(table.to_owned()), intent_mode)?;
             let candidates: Vec<Value> = {
@@ -466,8 +680,9 @@ impl Database {
                 let key = predicate
                     .equality_on(&col)
                     .expect("column chosen by equality_on");
-                t.indexes[&col]
-                    .get(key)
+                t.indexes
+                    .get(&col)
+                    .and_then(|index| index.get(key))
                     .map(|pks| pks.iter().cloned().collect())
                     .unwrap_or_default()
             };
@@ -489,6 +704,9 @@ impl Database {
         }
 
         // Full scan: table-level S (readers) or S+IX→SIX (writers).
+        if recorded.is_none() {
+            plan.record(epoch, AccessPath::Scan);
+        }
         self.locks
             .acquire(txn.id, Resource::Table(table.to_owned()), LockMode::Shared)?;
         if for_write {
@@ -528,9 +746,10 @@ impl Database {
         order_by: Option<&(String, bool)>,
         limit: Option<usize>,
         params: &[Value],
+        plan: &CachedPlan,
     ) -> DbResult<ResultSet> {
         let bound = predicate.bind(params)?;
-        let pks = self.plan_matches(txn, table, &bound, false)?;
+        let pks = self.plan_matches(txn, table, &bound, false, plan)?;
         let t = self.table(table)?;
         let t = t.read();
         let schema = &t.schema;
@@ -641,9 +860,10 @@ impl Database {
         sets: &[(String, Scalar)],
         predicate: &Predicate,
         params: &[Value],
+        plan: &CachedPlan,
     ) -> DbResult<ResultSet> {
         let bound = predicate.bind(params)?;
-        let pks = self.plan_matches(txn, table, &bound, true)?;
+        let pks = self.plan_matches(txn, table, &bound, true, plan)?;
         let t = self.table(table)?;
         let schema = t.read().schema.clone();
 
@@ -698,9 +918,10 @@ impl Database {
         table: &str,
         predicate: &Predicate,
         params: &[Value],
+        plan: &CachedPlan,
     ) -> DbResult<ResultSet> {
         let bound = predicate.bind(params)?;
-        let pks = self.plan_matches(txn, table, &bound, true)?;
+        let pks = self.plan_matches(txn, table, &bound, true, plan)?;
         let t = self.table(table)?;
         let mut affected = 0;
         {
@@ -1066,6 +1287,93 @@ mod tests {
         let schema = db.schema_of("quote").unwrap();
         assert_eq!(schema.pk_name(), "symbol");
         assert!(db.schema_of("ghost").is_none());
+    }
+
+    #[test]
+    fn plan_cache_counts_hits_and_misses() {
+        let db = db_with_quotes();
+        let before = db.plan_cache_stats();
+        let mut conn = db.connect();
+        let sql = "SELECT price FROM quote WHERE symbol = ?";
+        conn.execute(sql, &[Value::from("s:1")]).unwrap();
+        conn.execute(sql, &[Value::from("s:2")]).unwrap();
+        conn.execute(sql, &[Value::from("s:3")]).unwrap();
+        let after = db.plan_cache_stats();
+        assert_eq!(after.misses - before.misses, 1);
+        assert_eq!(after.hits - before.hits, 2);
+        // A parse error counts as a miss but never grows the cache.
+        assert!(conn.execute("SELEKT nope", &[]).is_err());
+        let bad = db.plan_cache_stats();
+        assert_eq!(bad.misses - after.misses, 1);
+        assert_eq!(bad.entries, after.entries);
+    }
+
+    #[test]
+    fn plan_cache_evicts_least_recently_used_past_cap() {
+        let db = Database::with_plan_cache_capacity(2);
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY)")
+            .unwrap();
+        let mut conn = db.connect();
+        conn.execute("SELECT a FROM t WHERE a = 1", &[]).unwrap();
+        conn.execute("SELECT a FROM t WHERE a = 2", &[]).unwrap();
+        // Touch the first so the second is the LRU victim.
+        conn.execute("SELECT a FROM t WHERE a = 1", &[]).unwrap();
+        conn.execute("SELECT a FROM t WHERE a = 3", &[]).unwrap();
+        let stats = db.plan_cache_stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert!(db.plan_access("SELECT a FROM t WHERE a = 1").is_some());
+        assert!(db.plan_access("SELECT a FROM t WHERE a = 2").is_none());
+        // Re-running the evicted statement re-parses: a miss, not a hit.
+        let before = db.plan_cache_stats();
+        conn.execute("SELECT a FROM t WHERE a = 2", &[]).unwrap();
+        assert_eq!(db.plan_cache_stats().misses - before.misses, 1);
+    }
+
+    #[test]
+    fn plans_record_their_access_path() {
+        let db = Database::new();
+        db.execute_ddl("CREATE TABLE h (id INT PRIMARY KEY, owner VARCHAR, qty INT)")
+            .unwrap();
+        db.execute_ddl("CREATE INDEX h_owner ON h (owner)").unwrap();
+        let mut conn = db.connect();
+        conn.execute("INSERT INTO h (id, owner, qty) VALUES (1, 'a', 5)", &[])
+            .unwrap();
+        let by_pk = "SELECT qty FROM h WHERE id = ?";
+        let by_index = "SELECT qty FROM h WHERE owner = ?";
+        let by_scan = "SELECT id FROM h WHERE qty > ?";
+        conn.execute(by_pk, &[Value::from(1)]).unwrap();
+        conn.execute(by_index, &[Value::from("a")]).unwrap();
+        conn.execute(by_scan, &[Value::from(0)]).unwrap();
+        assert_eq!(db.plan_access(by_pk), Some(AccessPath::PkPoint));
+        assert_eq!(
+            db.plan_access(by_index),
+            Some(AccessPath::Index("owner".to_owned()))
+        );
+        assert_eq!(db.plan_access(by_scan), Some(AccessPath::Scan));
+        assert_eq!(AccessPath::Index("owner".to_owned()).label(), "index:owner");
+    }
+
+    #[test]
+    fn ddl_invalidates_recorded_paths_so_scans_upgrade_to_index_probes() {
+        let db = Database::new();
+        db.execute_ddl("CREATE TABLE h (id INT PRIMARY KEY, owner VARCHAR)")
+            .unwrap();
+        let mut conn = db.connect();
+        conn.execute("INSERT INTO h (id, owner) VALUES (1, 'a')", &[])
+            .unwrap();
+        let sql = "SELECT id FROM h WHERE owner = ?";
+        conn.execute(sql, &[Value::from("a")]).unwrap();
+        assert_eq!(db.plan_access(sql), Some(AccessPath::Scan));
+        db.execute_ddl("CREATE INDEX h_owner ON h (owner)").unwrap();
+        // The stale scan plan is invisible until the statement replans…
+        assert_eq!(db.plan_access(sql), None);
+        // …and the next execution picks up the new index.
+        conn.execute(sql, &[Value::from("a")]).unwrap();
+        assert_eq!(
+            db.plan_access(sql),
+            Some(AccessPath::Index("owner".to_owned()))
+        );
     }
 
     #[test]

@@ -52,7 +52,7 @@ mod trace;
 mod value;
 
 pub use connection::Connection;
-pub use engine::Database;
+pub use engine::{AccessPath, Database, PlanCacheStats, PLAN_CACHE_CAPACITY};
 pub use error::DbError;
 pub use lock::{LockManager, LockMode};
 pub use predicate::{CmpOp, Predicate};
@@ -63,6 +63,53 @@ pub use value::Value;
 
 /// Convenient result alias for datastore operations.
 pub type DbResult<T> = std::result::Result<T, DbError>;
+
+/// One statement in a batched execution: SQL text plus bound parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchStatement {
+    /// SQL text with `?` placeholders.
+    pub sql: String,
+    /// Parameter values bound to the placeholders, in order.
+    pub params: Vec<Value>,
+}
+
+impl BatchStatement {
+    /// Builds a batch entry from SQL text and its bound parameters.
+    pub fn new(sql: impl Into<String>, params: Vec<Value>) -> BatchStatement {
+        BatchStatement {
+            sql: sql.into(),
+            params,
+        }
+    }
+}
+
+/// What came back from a statement batch.
+///
+/// Statements execute strictly in order and the batch stops at the first
+/// failure, so `results` always holds the result sets of the executed
+/// prefix and `error`, when present, belongs to the statement at index
+/// `results.len()`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// Result sets of the successfully executed prefix, in order.
+    pub results: Vec<ResultSet>,
+    /// The error that stopped the batch after `results.len()` statements.
+    pub error: Option<DbError>,
+}
+
+impl BatchOutcome {
+    /// Collapses the outcome: every result set on full success, or the
+    /// statement error that stopped the batch.
+    ///
+    /// # Errors
+    /// Returns the captured statement error, if any.
+    pub fn into_result(self) -> DbResult<Vec<ResultSet>> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.results),
+        }
+    }
+}
 
 /// The interface shared by local and remote JDBC-style connections.
 ///
@@ -109,5 +156,41 @@ pub trait SqlConnection {
     /// needing the witness there must obtain it out of band.
     fn commit_seq(&self) -> Option<u64> {
         None
+    }
+
+    /// Executes `statements` in order, stopping at the first statement
+    /// failure.
+    ///
+    /// Connections that cross a wire override this to ship the whole batch
+    /// in **one** round trip (`OP_EXEC_BATCH`); this default runs each
+    /// statement through [`SqlConnection::execute`], so in-process
+    /// connections keep their exact per-statement semantics. A statement
+    /// failure is reported *inside* the returned [`BatchOutcome`] (with the
+    /// executed prefix's result sets); only transport-level failures
+    /// surface as `Err`.
+    ///
+    /// Outside an explicit transaction each statement autocommits
+    /// individually, matching the unbatched loop this replaces.
+    ///
+    /// # Errors
+    /// Fails on transport-level errors; statement errors are captured in
+    /// the outcome.
+    fn execute_batch(&mut self, statements: &[BatchStatement]) -> DbResult<BatchOutcome> {
+        let mut results = Vec::with_capacity(statements.len());
+        for stmt in statements {
+            match self.execute(&stmt.sql, &stmt.params) {
+                Ok(rs) => results.push(rs),
+                Err(e) => {
+                    return Ok(BatchOutcome {
+                        results,
+                        error: Some(e),
+                    })
+                }
+            }
+        }
+        Ok(BatchOutcome {
+            results,
+            error: None,
+        })
     }
 }

@@ -24,7 +24,7 @@ use crate::error::DbError;
 use crate::result::ResultSet;
 use crate::trace::statement_class;
 use crate::value::Value;
-use crate::{DbResult, SqlConnection};
+use crate::{BatchOutcome, BatchStatement, DbResult, SqlConnection};
 
 const OP_OPEN: u8 = 0;
 const OP_BEGIN: u8 = 1;
@@ -32,6 +32,10 @@ const OP_EXEC: u8 = 2;
 const OP_COMMIT: u8 = 3;
 const OP_ROLLBACK: u8 = 4;
 const OP_CLOSE: u8 = 5;
+/// K statements in one frame: the fixed `per_request` cost and the two
+/// network crossings are paid once for the whole batch instead of per
+/// statement — the wire-level amortization the edge architectures need.
+const OP_EXEC_BATCH: u8 = 6;
 
 const STATUS_OK: u8 = 0;
 const STATUS_ERR: u8 = 1;
@@ -139,24 +143,40 @@ impl Default for DbCostModel {
 /// [`Registry`](sli_telemetry::Registry) under dotted names.
 #[derive(Debug, Clone, Default)]
 pub struct DbServerMetrics {
-    /// `OP_EXEC` statements dispatched over the wire.
+    /// Statements executed over the wire — one per `OP_EXEC` frame plus
+    /// one per statement carried inside an `OP_EXEC_BATCH` frame.
     pub statements: Counter,
-    /// Simulated CPU cost charged per statement, microseconds.
+    /// Simulated CPU cost charged per single-statement (`OP_EXEC`) frame,
+    /// microseconds. Batched statements are accounted in `batch_us`
+    /// instead, because the fixed `per_request` cost is shared.
     pub statement_us: Histogram,
+    /// `OP_EXEC_BATCH` frames dispatched over the wire.
+    pub batches: Counter,
+    /// Statements carried per batch frame (records the batch size).
+    pub batch_statements: Histogram,
+    /// Simulated CPU cost charged per batch frame, microseconds.
+    pub batch_us: Histogram,
 }
 
 impl DbServerMetrics {
-    /// Attaches the handles to `registry` under `{prefix}.statements` and
-    /// `{prefix}.statement_us`.
+    /// Attaches the handles to `registry` under `{prefix}.statements`,
+    /// `{prefix}.statement_us`, `{prefix}.batches`,
+    /// `{prefix}.batch_statements` and `{prefix}.batch_us`.
     pub fn register_with(&self, registry: &Registry, prefix: &str) {
         registry.attach_counter(format!("{prefix}.statements"), &self.statements);
         registry.attach_histogram(format!("{prefix}.statement_us"), &self.statement_us);
+        registry.attach_counter(format!("{prefix}.batches"), &self.batches);
+        registry.attach_histogram(format!("{prefix}.batch_statements"), &self.batch_statements);
+        registry.attach_histogram(format!("{prefix}.batch_us"), &self.batch_us);
     }
 
-    /// Zeroes both metrics (between measurement phases).
+    /// Zeroes every metric (between measurement phases).
     pub fn reset(&self) {
         self.statements.reset();
         self.statement_us.reset();
+        self.batches.reset();
+        self.batch_statements.reset();
+        self.batch_us.reset();
     }
 }
 
@@ -219,6 +239,7 @@ impl DbServer {
             OP_BEGIN => "db.txn.begin",
             OP_COMMIT => "db.txn.commit",
             OP_ROLLBACK => "db.txn.rollback",
+            OP_EXEC_BATCH => "db.batch",
             _ => "db.stmt",
         };
         let tracer = self.tracer.lock().clone();
@@ -233,7 +254,8 @@ impl DbServer {
             } else {
                 SpanOutcome::Error
             };
-            let detail = (op == OP_EXEC).then_some(SpanDetail::Statement { class });
+            let detail =
+                (op == OP_EXEC || op == OP_EXEC_BATCH).then_some(SpanDetail::Statement { class });
             tracer.finish_with(span, 0, 0, start_us, self.now_us(), outcome, detail);
         }
         result
@@ -264,7 +286,7 @@ impl DbServer {
                 self.sessions.lock().remove(&session);
                 Ok(w)
             }
-            OP_BEGIN | OP_EXEC | OP_COMMIT | OP_ROLLBACK => {
+            OP_BEGIN | OP_EXEC | OP_EXEC_BATCH | OP_COMMIT | OP_ROLLBACK => {
                 let session = request
                     .get_u64()
                     .map_err(|e| DbError::Remote(e.to_string()))?;
@@ -302,6 +324,71 @@ impl DbServer {
                         self.metrics.statements.inc();
                         self.metrics.statement_us.record(total_us);
                         rs.encode(&mut w);
+                    }
+                    OP_EXEC_BATCH => {
+                        let count = request
+                            .get_u32()
+                            .map_err(|e| DbError::Remote(e.to_string()))?
+                            as usize;
+                        let mut stmts = Vec::with_capacity(count);
+                        for _ in 0..count {
+                            let _package = request
+                                .get_str()
+                                .map_err(|e| DbError::Remote(e.to_string()))?;
+                            let sql = request
+                                .get_str()
+                                .map_err(|e| DbError::Remote(e.to_string()))?;
+                            let n = request
+                                .get_u32()
+                                .map_err(|e| DbError::Remote(e.to_string()))?
+                                as usize;
+                            let mut params = Vec::with_capacity(n);
+                            for _ in 0..n {
+                                params.push(
+                                    Value::decode(request)
+                                        .map_err(|e| DbError::Remote(e.to_string()))?,
+                                );
+                            }
+                            stmts.push((sql, params));
+                        }
+                        *class = format!("batch:{count}");
+                        // One per_request charge (taken above) covers the
+                        // whole frame; rows still cost per_row each, so the
+                        // db.batch span's duration decomposes exactly into
+                        // what the clock was charged.
+                        let mut total_us = self.cost.per_request.as_micros();
+                        let mut results: Vec<ResultSet> = Vec::with_capacity(count);
+                        let mut first_err: Option<DbError> = None;
+                        for (sql, params) in &stmts {
+                            match conn.execute(sql, params) {
+                                Ok(rs) => {
+                                    let row_cost =
+                                        self.cost.per_row.saturating_mul(rs.len() as u64);
+                                    self.clock.advance(row_cost);
+                                    total_us += row_cost.as_micros();
+                                    self.metrics.statements.inc();
+                                    results.push(rs);
+                                }
+                                Err(e) => {
+                                    // Stop at the first failure: statements
+                                    // after it never run, mirroring the
+                                    // unbatched loop this replaces.
+                                    first_err = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                        self.metrics.batches.inc();
+                        self.metrics.batch_statements.record(results.len() as u64);
+                        self.metrics.batch_us.record(total_us);
+                        w.put_u32(results.len() as u32);
+                        for rs in &results {
+                            rs.encode(&mut w);
+                        }
+                        w.put_bool(first_err.is_some());
+                        if let Some(e) = &first_err {
+                            encode_db_error(&mut w, e);
+                        }
                     }
                     _ => unreachable!(),
                 }
@@ -469,6 +556,44 @@ impl SqlConnection for RemoteConnection {
     fn in_transaction(&self) -> bool {
         self.in_txn
     }
+
+    /// Ships the whole batch as a single `OP_EXEC_BATCH` frame: one round
+    /// trip for K statements, against K round trips for the default
+    /// per-statement loop. Statement errors come back inside the frame
+    /// (with the executed prefix's result sets), so they land in the
+    /// [`BatchOutcome`] exactly like the local implementation's.
+    fn execute_batch(&mut self, statements: &[BatchStatement]) -> DbResult<BatchOutcome> {
+        if statements.is_empty() {
+            return Ok(BatchOutcome {
+                results: Vec::new(),
+                error: None,
+            });
+        }
+        let mut w = Writer::new();
+        w.put_u8(OP_EXEC_BATCH).put_u64(self.session);
+        w.put_u32(statements.len() as u32);
+        for stmt in statements {
+            w.put_str("NULLID.SYSSH200");
+            w.put_str(&stmt.sql);
+            w.put_u32(stmt.params.len() as u32);
+            for p in &stmt.params {
+                p.encode(&mut w);
+            }
+        }
+        let mut r = self.exchange(w)?;
+        let executed = r.get_u32().map_err(|e| DbError::Remote(e.to_string()))? as usize;
+        let mut results = Vec::with_capacity(executed);
+        for _ in 0..executed {
+            results.push(ResultSet::decode(&mut r).map_err(|e| DbError::Remote(e.to_string()))?);
+        }
+        let failed = r.get_bool().map_err(|e| DbError::Remote(e.to_string()))?;
+        let error = if failed {
+            Some(decode_db_error(&mut r).unwrap_or_else(|e| DbError::Remote(e.to_string())))
+        } else {
+            None
+        };
+        Ok(BatchOutcome { results, error })
+    }
 }
 
 #[cfg(test)]
@@ -574,6 +699,106 @@ mod tests {
         );
         m.reset();
         assert_eq!(m.statement_us.count(), 0);
+    }
+
+    #[test]
+    fn batched_statements_are_one_round_trip() {
+        let (_clock, path, mut conn, server) = setup();
+        path.reset_stats();
+        let out = conn
+            .execute_batch(&[
+                BatchStatement::new(
+                    "INSERT INTO t (a, b) VALUES (?, ?)",
+                    vec![Value::from(1), Value::from("x")],
+                ),
+                BatchStatement::new(
+                    "INSERT INTO t (a, b) VALUES (?, ?)",
+                    vec![Value::from(2), Value::from("y")],
+                ),
+                BatchStatement::new("SELECT b FROM t WHERE a = ?", vec![Value::from(2)]),
+            ])
+            .unwrap();
+        assert_eq!(path.stats().round_trips(), 1, "K statements, one frame");
+        assert!(out.error.is_none());
+        assert_eq!(out.results.len(), 3);
+        assert_eq!(out.results[2].rows()[0][0], Value::from("y"));
+        assert_eq!(server.database().row_count("t").unwrap(), 2);
+        // An empty batch never touches the wire.
+        let before = path.stats().round_trips();
+        let out = conn.execute_batch(&[]).unwrap();
+        assert!(out.results.is_empty() && out.error.is_none());
+        assert_eq!(path.stats().round_trips(), before);
+    }
+
+    #[test]
+    fn batch_stops_at_first_error_with_prefix_results() {
+        let (_clock, _path, mut conn, server) = setup();
+        conn.execute("INSERT INTO t (a, b) VALUES (1, 'x')", &[])
+            .unwrap();
+        let out = conn
+            .execute_batch(&[
+                BatchStatement::new("SELECT b FROM t WHERE a = 1", Vec::new()),
+                BatchStatement::new("INSERT INTO t (a, b) VALUES (1, 'dup')", Vec::new()),
+                BatchStatement::new("INSERT INTO t (a, b) VALUES (9, 'never')", Vec::new()),
+            ])
+            .unwrap();
+        assert_eq!(out.results.len(), 1, "only the prefix before the error ran");
+        assert!(matches!(out.error, Some(DbError::DuplicateKey(_))));
+        assert!(out.clone().into_result().is_err());
+        assert_eq!(
+            server.database().row_count("t").unwrap(),
+            1,
+            "statements after the failure never execute"
+        );
+    }
+
+    #[test]
+    fn batches_record_db_batch_spans_and_metrics() {
+        let db = Database::new();
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR)")
+            .unwrap();
+        let clock = Arc::new(Clock::new());
+        let server = DbServer::new(db, Arc::clone(&clock), DbCostModel::default());
+        let log = Arc::new(sli_telemetry::TraceLog::with_capacity(64));
+        let tracer = Arc::new(Tracer::new(Arc::clone(&log)));
+        server.set_tracer(Arc::clone(&tracer));
+        let path = Path::new("edge-db", Arc::clone(&clock), PathSpec::lan());
+        let remote =
+            Remote::new(Arc::clone(&path), Arc::clone(&server)).with_tracer(Arc::clone(&tracer));
+        let mut conn = RemoteConnection::open(remote).unwrap();
+        conn.execute_batch(&[
+            BatchStatement::new("INSERT INTO t (a, b) VALUES (1, 'x')", Vec::new()),
+            BatchStatement::new("SELECT b FROM t WHERE a = 1", Vec::new()),
+        ])
+        .unwrap();
+        let batches: Vec<_> = log
+            .events()
+            .into_iter()
+            .filter(|e| e.op == "db.batch")
+            .collect();
+        assert_eq!(batches.len(), 1);
+        // One shared per_request (400) + one returned row (25): the span
+        // covers exactly what the clock was charged, so trace bucket sums
+        // still decompose.
+        assert_eq!(batches[0].duration_us(), 425);
+        match &batches[0].detail {
+            Some(SpanDetail::Statement { class }) => assert_eq!(class, "batch:2"),
+            other => panic!("expected statement detail, got {other:?}"),
+        }
+        let m = server.metrics();
+        assert_eq!(m.batches.get(), 1);
+        assert_eq!(m.batch_statements.sum(), 2);
+        assert_eq!(m.batch_us.sum(), 425);
+        assert_eq!(m.statements.get(), 2, "batched statements still count");
+        assert_eq!(m.statement_us.count(), 0, "no single-statement frames");
+        let telemetry = Registry::new();
+        m.register_with(&telemetry, "db.stmt");
+        assert_eq!(
+            telemetry.snapshot()["db.stmt.batches"],
+            sli_telemetry::MetricValue::Counter(1)
+        );
+        m.reset();
+        assert_eq!(m.batch_statements.count(), 0);
     }
 
     #[test]

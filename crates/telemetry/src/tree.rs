@@ -72,7 +72,7 @@ pub fn bucket_for(op: &str) -> Bucket {
         Bucket::Network
     } else if op.starts_with("db.txn") || op == "db.open" || op == "db.close" {
         Bucket::DbLockWait
-    } else if op.starts_with("db.stmt") {
+    } else if op.starts_with("db.stmt") || op.starts_with("db.batch") {
         Bucket::Statement
     } else if op.starts_with("commit.") || op.starts_with("occ.") || op.starts_with("invalidate.") {
         Bucket::OccValidation
@@ -236,6 +236,7 @@ mod tests {
         assert_eq!(bucket_for("db.txn.begin"), Bucket::DbLockWait);
         assert_eq!(bucket_for("db.open"), Bucket::DbLockWait);
         assert_eq!(bucket_for("db.stmt"), Bucket::Statement);
+        assert_eq!(bucket_for("db.batch"), Bucket::Statement);
         assert_eq!(bucket_for("commit.validate_apply"), Bucket::OccValidation);
         assert_eq!(bucket_for("occ.conflict"), Bucket::OccValidation);
         assert_eq!(bucket_for("servlet.buy"), Bucket::LocalCompute);

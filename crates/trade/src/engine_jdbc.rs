@@ -4,12 +4,16 @@
 //! provide better performance than higher-level implementations such as
 //! EJBs" (§4.3). Each action issues the minimum number of SQL statements:
 //! single-statement reads run in autocommit mode, multi-statement actions
-//! use one explicit transaction. No existence probes, no N+1 loads.
+//! use one explicit transaction. No existence probes, no N+1 loads, and
+//! statements with no data dependency between them ship together in one
+//! batched round trip (`addBatch`/`executeBatch` in real JDBC) — on a
+//! remote connection that is the difference between paying the wide-area
+//! delay per statement and paying it per *group*.
 
 use std::sync::atomic::{AtomicI64, Ordering};
 
 use sli_component::{EjbError, EjbResult};
-use sli_datastore::{SqlConnection, Value};
+use sli_datastore::{BatchStatement, ResultSet, SqlConnection, Value};
 
 use crate::action::{TradeAction, TradeResult};
 use crate::util::show;
@@ -43,6 +47,16 @@ impl JdbcTradeEngine {
         EjbError::not_found(table, key)
     }
 
+    /// Ships `stmts` in one round trip, surfacing the first statement
+    /// failure as the action's error (the surrounding transaction rolls
+    /// back, exactly as when the statement ran on its own).
+    fn batch(
+        conn: &mut dyn SqlConnection,
+        stmts: Vec<BatchStatement>,
+    ) -> EjbResult<Vec<ResultSet>> {
+        Ok(conn.execute_batch(&stmts)?.into_result()?)
+    }
+
     /// Runs `f` inside one explicit transaction, rolling back on error.
     fn in_txn<T>(&self, f: impl FnOnce(&mut dyn SqlConnection) -> EjbResult<T>) -> EjbResult<T> {
         let mut conn = self.conn.lock();
@@ -73,15 +87,22 @@ impl JdbcTradeEngine {
                 .as_int()
                 .unwrap_or(0)
                 + 1;
-            conn.execute(
-                "UPDATE registry SET loggedin = TRUE, logincount = ?, lastlogin = ? WHERE userid = ?",
-                &[Value::from(count), Value::from(now), Value::from(user)],
+            // The registry write and the balance read are independent:
+            // one batched round trip instead of two.
+            let results = Self::batch(
+                conn,
+                vec![
+                    BatchStatement::new(
+                        "UPDATE registry SET loggedin = TRUE, logincount = ?, lastlogin = ? WHERE userid = ?",
+                        vec![Value::from(count), Value::from(now), Value::from(user)],
+                    ),
+                    BatchStatement::new(
+                        "SELECT balance FROM account WHERE userid = ?",
+                        vec![Value::from(user)],
+                    ),
+                ],
             )?;
-            let rs = conn.execute(
-                "SELECT balance FROM account WHERE userid = ?",
-                &[Value::from(user)],
-            )?;
-            let balance = rs
+            let balance = results[1]
                 .rows()
                 .first()
                 .ok_or_else(|| Self::not_found("Account", user))?[0]
@@ -109,31 +130,40 @@ impl JdbcTradeEngine {
     fn register(&self, user: &str) -> EjbResult<TradeResult> {
         let now = self.clock_seq.fetch_add(1, Ordering::Relaxed);
         self.in_txn(|conn| {
-            conn.execute(
-                "INSERT INTO account (userid, balance, opentimestamp) VALUES (?, ?, ?)",
-                &[Value::from(user), Value::from(10_000.0), Value::from(now)],
-            )?;
-            let rs = conn.execute(
-                "SELECT balance FROM account WHERE userid = ?",
-                &[Value::from(user)],
-            )?;
-            let balance = rs.rows()[0][0].as_double().unwrap_or(0.0);
-            conn.execute(
-                "INSERT INTO profile (userid, fullname, address, email, creditcard, password) \
-                 VALUES (?, ?, ?, ?, ?, ?)",
-                &[
-                    Value::from(user),
-                    Value::from(format!("Trade User {user}")),
-                    Value::from("1 Wall St, New York"),
-                    Value::from(format!("{user}@trade.example.com")),
-                    Value::from("0000-1111-2222-3333"),
-                    Value::from("xxx"),
+            // All four statements are known up front (the balance SELECT
+            // reads the row the first INSERT writes, and the server runs a
+            // batch strictly in order): one round trip for the whole
+            // registration.
+            let results = Self::batch(
+                conn,
+                vec![
+                    BatchStatement::new(
+                        "INSERT INTO account (userid, balance, opentimestamp) VALUES (?, ?, ?)",
+                        vec![Value::from(user), Value::from(10_000.0), Value::from(now)],
+                    ),
+                    BatchStatement::new(
+                        "SELECT balance FROM account WHERE userid = ?",
+                        vec![Value::from(user)],
+                    ),
+                    BatchStatement::new(
+                        "INSERT INTO profile (userid, fullname, address, email, creditcard, password) \
+                         VALUES (?, ?, ?, ?, ?, ?)",
+                        vec![
+                            Value::from(user),
+                            Value::from(format!("Trade User {user}")),
+                            Value::from("1 Wall St, New York"),
+                            Value::from(format!("{user}@trade.example.com")),
+                            Value::from("0000-1111-2222-3333"),
+                            Value::from("xxx"),
+                        ],
+                    ),
+                    BatchStatement::new(
+                        "INSERT INTO registry (userid, loggedin, logincount, lastlogin) VALUES (?, FALSE, 0, 0)",
+                        vec![Value::from(user)],
+                    ),
                 ],
             )?;
-            conn.execute(
-                "INSERT INTO registry (userid, loggedin, logincount, lastlogin) VALUES (?, FALSE, 0, 0)",
-                &[Value::from(user)],
-            )?;
+            let balance = results[1].rows()[0][0].as_double().unwrap_or(0.0);
             Ok(TradeResult::new("Trade Registration")
                 .field("user", user)
                 .field("opening balance", format!("{balance:.2}")))
@@ -247,41 +277,53 @@ impl JdbcTradeEngine {
         let holding_id = self.next_holding.fetch_add(1, Ordering::Relaxed);
         let now = self.clock_seq.fetch_add(1, Ordering::Relaxed);
         self.in_txn(|conn| {
-            let rs = conn.execute(
-                "SELECT price FROM quote WHERE symbol = ?",
-                &[Value::from(symbol)],
+            // Two batched round trips: the independent price/balance reads
+            // together, then (once the cost is known) both writes together.
+            let reads = Self::batch(
+                conn,
+                vec![
+                    BatchStatement::new(
+                        "SELECT price FROM quote WHERE symbol = ?",
+                        vec![Value::from(symbol)],
+                    ),
+                    BatchStatement::new(
+                        "SELECT balance FROM account WHERE userid = ?",
+                        vec![Value::from(user)],
+                    ),
+                ],
             )?;
-            let price = rs
+            let price = reads[0]
                 .rows()
                 .first()
                 .ok_or_else(|| Self::not_found("Quote", symbol))?[0]
                 .as_double()
                 .unwrap_or(0.0);
-            let rs = conn.execute(
-                "SELECT balance FROM account WHERE userid = ?",
-                &[Value::from(user)],
-            )?;
-            let balance = rs
+            let balance = reads[1]
                 .rows()
                 .first()
                 .ok_or_else(|| Self::not_found("Account", user))?[0]
                 .as_double()
                 .unwrap_or(0.0);
             let cost = price * quantity;
-            conn.execute(
-                "UPDATE account SET balance = ? WHERE userid = ?",
-                &[Value::from(balance - cost), Value::from(user)],
-            )?;
-            conn.execute(
-                "INSERT INTO holding (holdingid, userid, symbol, quantity, purchaseprice, purchasedate) \
-                 VALUES (?, ?, ?, ?, ?, ?)",
-                &[
-                    Value::from(holding_id),
-                    Value::from(user),
-                    Value::from(symbol),
-                    Value::from(quantity),
-                    Value::from(price),
-                    Value::from(now),
+            Self::batch(
+                conn,
+                vec![
+                    BatchStatement::new(
+                        "UPDATE account SET balance = ? WHERE userid = ?",
+                        vec![Value::from(balance - cost), Value::from(user)],
+                    ),
+                    BatchStatement::new(
+                        "INSERT INTO holding (holdingid, userid, symbol, quantity, purchaseprice, purchasedate) \
+                         VALUES (?, ?, ?, ?, ?, ?)",
+                        vec![
+                            Value::from(holding_id),
+                            Value::from(user),
+                            Value::from(symbol),
+                            Value::from(quantity),
+                            Value::from(price),
+                            Value::from(now),
+                        ],
+                    ),
                 ],
             )?;
             Ok(TradeResult::new("Buy Confirmation")
@@ -307,24 +349,36 @@ impl JdbcTradeEngine {
                     .field("status", "no holdings to sell"));
             };
             let (hid, symbol, qty) = (row[0].clone(), row[1].clone(), row[2].clone());
-            let rs = conn.execute(
-                "SELECT price FROM quote WHERE symbol = ?",
-                std::slice::from_ref(&symbol),
+            // The holding row picked the symbol; from here the price and
+            // balance reads are independent, as are the two writes.
+            let reads = Self::batch(
+                conn,
+                vec![
+                    BatchStatement::new(
+                        "SELECT price FROM quote WHERE symbol = ?",
+                        vec![symbol.clone()],
+                    ),
+                    BatchStatement::new(
+                        "SELECT balance FROM account WHERE userid = ?",
+                        vec![Value::from(user)],
+                    ),
+                ],
             )?;
-            let price = rs.rows()[0][0].as_double().unwrap_or(0.0);
-            let rs = conn.execute(
-                "SELECT balance FROM account WHERE userid = ?",
-                &[Value::from(user)],
-            )?;
-            let balance = rs.rows()[0][0].as_double().unwrap_or(0.0);
+            let price = reads[0].rows()[0][0].as_double().unwrap_or(0.0);
+            let balance = reads[1].rows()[0][0].as_double().unwrap_or(0.0);
             let proceeds = price * qty.as_double().unwrap_or(0.0);
-            conn.execute(
-                "UPDATE account SET balance = ? WHERE userid = ?",
-                &[Value::from(balance + proceeds), Value::from(user)],
-            )?;
-            conn.execute(
-                "DELETE FROM holding WHERE holdingid = ?",
-                std::slice::from_ref(&hid),
+            Self::batch(
+                conn,
+                vec![
+                    BatchStatement::new(
+                        "UPDATE account SET balance = ? WHERE userid = ?",
+                        vec![Value::from(balance + proceeds), Value::from(user)],
+                    ),
+                    BatchStatement::new(
+                        "DELETE FROM holding WHERE holdingid = ?",
+                        vec![hid.clone()],
+                    ),
+                ],
             )?;
             Ok(TradeResult::new("Sell Confirmation")
                 .field("user", user)
