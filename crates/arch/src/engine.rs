@@ -25,7 +25,7 @@
 use std::sync::Arc;
 
 use sli_simnet::{Scheduler, SimDuration, SimTime};
-use sli_telemetry::{Counter, Gauge, Histogram, Registry, Timeline};
+use sli_telemetry::{Counter, Gauge, Histogram, Registry, SpanEvent, Timeline};
 use sli_trade::seed::Population;
 use sli_trade::session::SessionGenerator;
 use sli_trade::TradeAction;
@@ -119,10 +119,11 @@ impl LoadMetrics {
         registry.attach_histogram(format!("{prefix}.queue_wait_us"), &self.queue_wait_us);
     }
 
-    /// Tracks arrival/dispatch rates and both level gauges in `timeline`
-    /// under the [`LoadMetrics::register_with`] names.
+    /// Tracks arrival/completion/dispatch rates and both level gauges in
+    /// `timeline` under the [`LoadMetrics::register_with`] names.
     pub fn timeline_into(&self, timeline: &Timeline, prefix: &str) {
         timeline.track_counter(format!("{prefix}.arrivals"), &self.arrivals);
+        timeline.track_counter(format!("{prefix}.completions"), &self.completions);
         timeline.track_counter(format!("{prefix}.dispatches"), &self.dispatches);
         timeline.track_gauge(format!("{prefix}.in_flight"), &self.in_flight);
         timeline.track_gauge(format!("{prefix}.queue_depth"), &self.queue_depth);
@@ -142,6 +143,17 @@ pub struct LoadedRun {
     pub peak_queue_depth: u64,
     /// The scheduler's recorded choice sequence length (one per dispatch).
     pub schedule_len: usize,
+    /// Exact integral of the live-session level over the run
+    /// (`∫ in_flight dt`, in session-microseconds) — the numerator of
+    /// Little's-law `L̄`.
+    pub in_flight_area_us: u64,
+    /// Sum of per-session residences (admission → completion, µs) — the
+    /// numerator of Little's-law `W̄`. Equals `in_flight_area_us` by
+    /// construction (Fubini: each live session contributes its residence
+    /// interval to the level integral).
+    pub residence_sum_us: u64,
+    /// Sessions that ran their script to completion.
+    pub sessions_completed: u64,
 }
 
 impl LoadedRun {
@@ -170,7 +182,25 @@ impl LoadedRun {
             .map(|i| i.total().as_millis_f64())
             .collect()
     }
+
+    /// Little's-law check over the run: `L̄ = λ·W̄` with `L̄` from the exact
+    /// level integral, `λ` from completed sessions over the makespan and
+    /// `W̄` from measured residences. The identity is exact for the engine
+    /// (integer arithmetic, no sampling), so any drift flags an accounting
+    /// bug in the loop itself.
+    pub fn littles_law(&self) -> sli_telemetry::LittlesLaw {
+        sli_telemetry::littles_law(
+            self.in_flight_area_us,
+            self.residence_sum_us,
+            self.sessions_completed,
+            self.makespan().as_micros(),
+        )
+    }
 }
+
+/// Callback fed every span batch drained from the testbed's trace log
+/// after a dispatch step of an observed run.
+pub type SpanObserver<'a> = &'a mut dyn FnMut(&[SpanEvent]);
 
 /// A live session mid-run: its client (cookie state), remaining script and
 /// the instant its next step becomes ready.
@@ -180,6 +210,12 @@ struct LiveSession<'t> {
     actions: Vec<TradeAction>,
     next: usize,
     ready_at: SimTime,
+    /// When the session joined the live set (loop-top admission instant;
+    /// under saturation this can lag the scheduled arrival because the
+    /// loop only admits between dispatches). Residence is measured from
+    /// here so it matches the `in_flight` gauge exactly; the scheduled
+    /// lateness is already captured by `queue_wait`.
+    admitted_at: SimTime,
 }
 
 /// The concurrent-session main loop over one [`Testbed`].
@@ -211,6 +247,26 @@ impl<'t> LoadEngine<'t> {
     /// anchored at the clock's position on entry (testbed construction has
     /// already spent some virtual time on connection handshakes).
     pub fn run(&self, plan: &LoadPlan, timeline: Option<&Timeline>) -> LoadedRun {
+        self.run_observed(plan, timeline, None)
+    }
+
+    /// [`LoadEngine::run`] with a span-harvest hook: after every dispatch
+    /// the testbed's commit-trace log is drained and handed to `observer`
+    /// before being cleared.
+    ///
+    /// One dispatch ([`VirtualClient::perform`]) is one atomic step, so at
+    /// drain time the log holds only *complete* traces — no span of an
+    /// in-flight interaction can be split across two drains, and sessions
+    /// completing out of admission order cannot drop or double-count spans.
+    /// Draining per dispatch also bounds the log: without it a long loaded
+    /// run overflows the fixed-capacity trace ring and silently sheds the
+    /// oldest spans.
+    pub fn run_observed(
+        &self,
+        plan: &LoadPlan,
+        timeline: Option<&Timeline>,
+        mut observer: Option<SpanObserver<'_>>,
+    ) -> LoadedRun {
         assert!(plan.sessions > 0, "a loaded run needs at least one session");
         let clock = &self.testbed.clock;
         let edges = self.testbed.edges.len();
@@ -234,17 +290,31 @@ impl<'t> LoadEngine<'t> {
         let mut live: Vec<LiveSession<'t>> = Vec::new();
         let mut next_arrival = 0usize;
         let mut peak_queue_depth = 0u64;
+        // Little's-law accounting: the level integral advances at every
+        // change point (admission, completion); residences accumulate at
+        // completion. Both in exact integer microseconds.
+        let mut in_flight_area_us = 0u64;
+        let mut residence_sum_us = 0u64;
+        let mut sessions_completed = 0u64;
+        let mut last_level_change = start;
 
         loop {
             let now = clock.now();
             // Admit every session whose arrival instant has passed.
             while next_arrival < plan.sessions && arrival_times[next_arrival] <= now {
+                in_flight_area_us += live.len() as u64
+                    * now
+                        .checked_since(last_level_change)
+                        .expect("virtual time is monotonic")
+                        .as_micros();
+                last_level_change = now;
                 live.push(LiveSession {
                     id: next_arrival as u32,
                     client: VirtualClient::new(self.testbed, next_arrival % edges.max(1)),
                     actions: scripts[next_arrival].clone(),
                     next: 0,
                     ready_at: arrival_times[next_arrival],
+                    admitted_at: now,
                 });
                 self.metrics.arrivals.inc();
                 next_arrival += 1;
@@ -295,11 +365,31 @@ impl<'t> LoadEngine<'t> {
 
             live[idx].next += 1;
             if live[idx].next == live[idx].actions.len() {
+                let done_at = clock.now();
+                in_flight_area_us += live.len() as u64
+                    * done_at
+                        .checked_since(last_level_change)
+                        .expect("virtual time is monotonic")
+                        .as_micros();
+                last_level_change = done_at;
+                residence_sum_us += done_at
+                    .checked_since(live[idx].admitted_at)
+                    .expect("a session completes after its admission")
+                    .as_micros();
+                sessions_completed += 1;
                 live.swap_remove(idx);
                 self.metrics.completions.inc();
                 self.metrics.in_flight.set(live.len() as u64);
             } else {
                 live[idx].ready_at = clock.now() + plan.think;
+            }
+            if let Some(obs) = observer.as_mut() {
+                let trace = self.testbed.commit_trace();
+                let events = trace.events();
+                if !events.is_empty() {
+                    obs(&events);
+                    trace.clear();
+                }
             }
             if let Some(tl) = timeline {
                 tl.sample(clock.now().as_micros());
@@ -312,6 +402,9 @@ impl<'t> LoadEngine<'t> {
             end: clock.now(),
             peak_queue_depth,
             schedule_len: scheduler.taken().len(),
+            in_flight_area_us,
+            residence_sum_us,
+            sessions_completed,
         }
     }
 }
@@ -400,6 +493,66 @@ mod tests {
             switches > 8,
             "expected interleaving, saw session order {order:?}"
         );
+    }
+
+    #[test]
+    fn littles_law_is_an_exact_identity_for_the_engine() {
+        let tb = Testbed::build(Architecture::EsRdb(Flavor::Jdbc), TestbedConfig::default());
+        let engine = LoadEngine::new(&tb);
+        let mut p = plan(200.0, 25);
+        p.think = SimDuration::ZERO;
+        let run = engine.run(&p, None);
+        assert_eq!(run.sessions_completed, 25);
+        // Fubini: the level integral and the residence sum are the same
+        // quantity counted two ways — any difference is an accounting bug.
+        assert_eq!(run.in_flight_area_us, run.residence_sum_us);
+        assert!(run.in_flight_area_us > 0);
+        let ll = run.littles_law();
+        assert!(
+            ll.holds(1e-9),
+            "L = λW must hold exactly, relative error {}",
+            ll.relative_error
+        );
+        assert!(ll.avg_in_flight > 0.0);
+    }
+
+    #[test]
+    fn observed_runs_drain_every_span_exactly_once() {
+        let run_with = |observe: bool| {
+            let tb = Testbed::build(Architecture::EsRdb(Flavor::Jdbc), TestbedConfig::default());
+            let engine = LoadEngine::new(&tb);
+            let mut p = plan(300.0, 10);
+            p.think = SimDuration::ZERO;
+            if observe {
+                let mut drained: Vec<SpanEvent> = Vec::new();
+                let mut obs = |events: &[SpanEvent]| drained.extend_from_slice(events);
+                engine.run_observed(&p, None, Some(&mut obs));
+                assert!(
+                    tb.commit_trace().is_empty(),
+                    "observer must leave the log drained"
+                );
+                drained
+            } else {
+                engine.run(&p, None);
+                tb.commit_trace().events()
+            }
+        };
+        let drained = run_with(true);
+        let whole = run_with(false);
+        // Sessions complete out of admission order (swap_remove), yet the
+        // per-dispatch drain must see the same spans as an end-of-run
+        // harvest: none dropped, none twice.
+        let key = |e: &SpanEvent| (e.trace_id, e.span_id, e.op, e.start_us, e.end_us);
+        assert_eq!(drained.len(), whole.len());
+        assert_eq!(
+            drained.iter().map(key).collect::<Vec<_>>(),
+            whole.iter().map(key).collect::<Vec<_>>()
+        );
+        let mut ids: Vec<(u64, u64)> = drained.iter().map(|e| (e.trace_id, e.span_id)).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "span ids must be unique across drains");
     }
 
     #[test]

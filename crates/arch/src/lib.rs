@@ -44,11 +44,11 @@ mod topology;
 
 pub use checker::{analyze, ChainVersion, HistoryAnalysis, TxnRef, Violation};
 pub use client::{Interaction, VirtualClient};
-pub use engine::{LoadEngine, LoadMetrics, LoadPlan, LoadedInteraction, LoadedRun};
+pub use engine::{LoadEngine, LoadMetrics, LoadPlan, LoadedInteraction, LoadedRun, SpanObserver};
 pub use report::collect_report;
 pub use servlet::{parse_action, AppServer, AppServerCost, ServletMetrics};
 pub use slicheck::{
     arch_by_key, arch_key, counterexample_json, run_slicheck, shrink_schedule, ScheduleSource,
     SliCheckConfig, SliCheckOutcome, ARCH_KEYS,
 };
-pub use topology::{Architecture, EdgeNode, Flavor, Testbed, TestbedConfig};
+pub use topology::{Architecture, EdgeNode, Flavor, ResourceScale, Testbed, TestbedConfig};

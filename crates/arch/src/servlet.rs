@@ -10,9 +10,10 @@
 use std::collections::{BTreeMap, HashMap};
 
 use parking_lot::Mutex;
-use sli_simnet::{Clock, HttpRequest, HttpResponse, SimDuration};
+use sli_simnet::{scale_cost_us, Clock, HttpRequest, HttpResponse, SimDuration, COST_SCALE_UNIT};
 use sli_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, SpanOutcome, Tracer};
 use sli_trade::{page, TradeAction, TradeEngine, TradeResult};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// CPU cost model for an application-server machine (servlet container +
@@ -239,6 +240,11 @@ pub struct AppServer {
     /// Optional causal tracer: each handled request gets a
     /// `servlet.{action}` span under the caller's current context.
     tracer: Option<Arc<Tracer>>,
+    /// Virtual edge-CPU speed knob in parts-per-million of nominal cost
+    /// (`COST_SCALE_UNIT` = unscaled). The what-if engine lowers this to
+    /// answer "what if the app server were f× faster?" without touching
+    /// the cost model itself.
+    cost_scale_ppm: AtomicU64,
 }
 
 impl std::fmt::Debug for AppServer {
@@ -260,7 +266,30 @@ impl AppServer {
             retries: 3,
             metrics: ServletMetrics::new(),
             tracer: None,
+            cost_scale_ppm: AtomicU64::new(COST_SCALE_UNIT),
         }
+    }
+
+    /// Sets the virtual edge-CPU cost scale in parts-per-million
+    /// ([`COST_SCALE_UNIT`] = nominal). Scales the servlet dispatch and
+    /// JSP rendering charges; engine-internal costs are charged elsewhere.
+    pub fn set_cost_scale_ppm(&self, ppm: u64) {
+        assert!(ppm > 0, "cost scale must be positive");
+        self.cost_scale_ppm.store(ppm, Ordering::Relaxed);
+    }
+
+    /// Current edge-CPU cost scale in parts-per-million.
+    pub fn cost_scale_ppm(&self) -> u64 {
+        self.cost_scale_ppm.load(Ordering::Relaxed)
+    }
+
+    /// Advances the clock by `cost` scaled by the edge-CPU knob.
+    fn charge(&self, cost: SimDuration) {
+        let ppm = self.cost_scale_ppm.load(Ordering::Relaxed);
+        self.clock.advance(SimDuration::from_micros(scale_cost_us(
+            cost.as_micros(),
+            ppm,
+        )));
     }
 
     /// Enables causal tracing: every handled request records a
@@ -337,7 +366,7 @@ impl AppServer {
     }
 
     fn respond(&self, action: Option<&TradeAction>) -> HttpResponse {
-        self.clock.advance(self.cost.per_request);
+        self.charge(self.cost.per_request);
         let Some(action) = action else {
             let body = page::render_error("Invalid Request", "unknown action or missing parameter");
             return self.finish(HttpResponse::error(404, body));
@@ -384,8 +413,7 @@ impl AppServer {
 
     fn finish(&self, resp: HttpResponse) -> HttpResponse {
         let kib = (resp.body.len() as u64).div_ceil(1024);
-        self.clock
-            .advance(self.cost.render_per_kib.saturating_mul(kib));
+        self.charge(self.cost.render_per_kib.saturating_mul(kib));
         resp
     }
 }
@@ -484,6 +512,33 @@ mod tests {
         let t0 = clock.now();
         server.handle(&get(&[("action", "quote"), ("symbol", "s:1")]));
         assert!((clock.now() - t0).as_micros() > 2_000);
+    }
+
+    #[test]
+    fn edge_cost_scale_shrinks_servlet_charges() {
+        // Same request on two servers; one with the edge CPU virtually 2×
+        // faster. The difference must be exactly half the dispatch + render
+        // charges (the engine's own costs are not edge CPU and stay put).
+        let (nominal_clock, nominal) = server();
+        let (scaled_clock, scaled) = server();
+        scaled.set_cost_scale_ppm(COST_SCALE_UNIT / 2);
+        assert_eq!(scaled.cost_scale_ppm(), COST_SCALE_UNIT / 2);
+        let req = get(&[("action", "quote"), ("symbol", "s:1")]);
+        nominal.handle(&req);
+        scaled.handle(&req);
+        let nominal_us = nominal_clock.now().as_micros();
+        let scaled_us = scaled_clock.now().as_micros();
+        assert!(scaled_us < nominal_us);
+        // dispatch 2_500 halves to 1_250; render charge halves too.
+        let saved = nominal_us - scaled_us;
+        assert!(saved >= 1_250, "saved only {saved}µs");
+    }
+
+    #[test]
+    #[should_panic(expected = "cost scale must be positive")]
+    fn zero_edge_cost_scale_is_rejected() {
+        let (_clock, server) = server();
+        server.set_cost_scale_ppm(0);
     }
 
     /// An engine that conflicts twice before succeeding, to exercise the

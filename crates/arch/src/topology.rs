@@ -92,6 +92,10 @@ pub struct TestbedConfig {
     /// Optional bound on each edge's common transient store (LRU eviction).
     /// `None` reproduces the paper's unbounded store.
     pub cache_capacity: Option<usize>,
+    /// Whether remote database connections coalesce statement batches into
+    /// one wire round trip (`OP_EXEC_BATCH`). `false` is the ablation knob:
+    /// every statement pays its own round trip, as before PR 7.
+    pub wire_batching: bool,
 }
 
 impl Default for TestbedConfig {
@@ -100,7 +104,51 @@ impl Default for TestbedConfig {
             population: Population::default(),
             edges: 1,
             cache_capacity: None,
+            wire_batching: true,
         }
+    }
+}
+
+/// Virtual per-resource speed knobs for what-if (causal-profile) runs, in
+/// parts-per-million of nominal cost ([`sli_simnet::COST_SCALE_UNIT`] =
+/// unscaled). A resource `f×` faster runs at `COST_SCALE_UNIT / f` ppm.
+///
+/// The three knobs map onto the profile's resource taxonomy: `wire` scales
+/// every [`Path`] crossing, `db` scales the database server's CPU cost
+/// model, `edge` scales servlet dispatch + JSP rendering. Store/lock wait
+/// has no knob — it is contention, not a machine one can buy faster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceScale {
+    /// Scale on every network path's latency + transfer cost.
+    pub wire_ppm: u64,
+    /// Scale on the database server's per-request / per-row / per-lock-wait
+    /// charges.
+    pub db_ppm: u64,
+    /// Scale on the application server's dispatch + render charges.
+    pub edge_ppm: u64,
+}
+
+impl Default for ResourceScale {
+    fn default() -> ResourceScale {
+        ResourceScale {
+            wire_ppm: sli_simnet::COST_SCALE_UNIT,
+            db_ppm: sli_simnet::COST_SCALE_UNIT,
+            edge_ppm: sli_simnet::COST_SCALE_UNIT,
+        }
+    }
+}
+
+impl ResourceScale {
+    /// Nominal speed on every resource.
+    pub fn nominal() -> ResourceScale {
+        ResourceScale::default()
+    }
+
+    /// The ppm for a resource sped up by factor `f` (e.g. `f = 2.0` →
+    /// half-cost). Panics on non-positive factors.
+    pub fn ppm_for_speedup(f: f64) -> u64 {
+        assert!(f > 0.0, "speedup factor must be positive");
+        ((sli_simnet::COST_SCALE_UNIT as f64 / f).round() as u64).max(1)
     }
 }
 
@@ -163,6 +211,13 @@ pub struct Testbed {
     tracer: Arc<Tracer>,
     /// The shared back-end server (ES/RBES only).
     backend: Option<Arc<BackendServer>>,
+    /// The database server machine (owner of the `db.stmt.*` metrics and
+    /// the backend-db CPU cost knob).
+    db_server: Arc<DbServer>,
+    /// Every communication path in the testbed (client, shared,
+    /// invalidation, backend↔db) — the full set the wire what-if knob
+    /// scales together.
+    paths: Vec<Arc<Path>>,
 }
 
 impl std::fmt::Debug for Testbed {
@@ -208,6 +263,7 @@ impl Testbed {
         db_server.set_tracer(Arc::clone(&tracer));
 
         let mut edges = Vec::with_capacity(config.edges);
+        let mut paths: Vec<Arc<Path>> = Vec::new();
 
         // The ES/RBES back-end is shared by all edges and clustered with
         // the database over a LAN path of its own.
@@ -217,11 +273,13 @@ impl Testbed {
                 &telemetry,
                 &format!("simnet.path.{}", backend_db_path.name()),
             );
-            let conn = RemoteConnection::open(
+            paths.push(Arc::clone(&backend_db_path));
+            let mut conn = RemoteConnection::open(
                 Remote::new(backend_db_path, Arc::clone(&db_server))
                     .with_tracer(Arc::clone(&tracer)),
             )
             .expect("backend connects to fresh db");
+            conn.set_batching(config.wire_batching);
             let backend = BackendServer::new(Box::new(conn), trade_registry(), Arc::clone(&clock));
             backend.set_tracer(Arc::clone(&tracer));
             backend.register_with(&telemetry, "backend.commit");
@@ -249,11 +307,12 @@ impl Testbed {
             let mut invalidation_path = None;
             let (engine, store, rm): WiredEngine = match arch.flavor() {
                 Flavor::Jdbc => {
-                    let conn = RemoteConnection::open(
+                    let mut conn = RemoteConnection::open(
                         Remote::new(Arc::clone(&shared_path), Arc::clone(&db_server))
                             .with_tracer(Arc::clone(&tracer)),
                     )
                     .expect("edge connects to fresh db");
+                    conn.set_batching(config.wire_batching);
                     (
                         Box::new(JdbcTradeEngine::new(share_connection(conn), holding_base)),
                         None,
@@ -261,11 +320,12 @@ impl Testbed {
                     )
                 }
                 Flavor::VanillaEjb => {
-                    let conn = RemoteConnection::open(
+                    let mut conn = RemoteConnection::open(
                         Remote::new(Arc::clone(&shared_path), Arc::clone(&db_server))
                             .with_tracer(Arc::clone(&tracer)),
                     )
                     .expect("edge connects to fresh db");
+                    conn.set_batching(config.wire_batching);
                     let container = deploy::vanilla_container(share_connection(conn));
                     (
                         Box::new(EjbTradeEngine::new(container, "Vanilla EJBs", holding_base)),
@@ -315,16 +375,18 @@ impl Testbed {
                         // Combined-servers: fault and commit straight
                         // against the (remote) database.
                         None => {
-                            let fetch_conn = RemoteConnection::open(
+                            let mut fetch_conn = RemoteConnection::open(
                                 Remote::new(Arc::clone(&shared_path), Arc::clone(&db_server))
                                     .with_tracer(Arc::clone(&tracer)),
                             )
                             .expect("edge connects to fresh db");
-                            let commit_conn = RemoteConnection::open(
+                            fetch_conn.set_batching(config.wire_batching);
+                            let mut commit_conn = RemoteConnection::open(
                                 Remote::new(Arc::clone(&shared_path), Arc::clone(&db_server))
                                     .with_tracer(Arc::clone(&tracer)),
                             )
                             .expect("edge connects to fresh db");
+                            commit_conn.set_batching(config.wire_batching);
                             let committer =
                                 CombinedCommitter::new(Box::new(commit_conn), trade_registry())
                                     .with_tracer(Arc::clone(&tracer), Arc::clone(&clock));
@@ -364,6 +426,9 @@ impl Testbed {
             if let Some(rm) = &rm {
                 rm.register_with(&telemetry, &format!("rm.edge-{id}"));
             }
+            paths.push(Arc::clone(&client_path));
+            paths.push(Arc::clone(&shared_path));
+            paths.extend(invalidation_path.as_ref().map(Arc::clone));
             edges.push(EdgeNode {
                 server,
                 client_path,
@@ -384,6 +449,8 @@ impl Testbed {
             commit_trace,
             tracer,
             backend,
+            db_server,
+            paths,
         }
     }
 
@@ -418,6 +485,29 @@ impl Testbed {
         self.backend.as_ref()
     }
 
+    /// The database server machine.
+    pub fn db_server(&self) -> &Arc<DbServer> {
+        &self.db_server
+    }
+
+    /// Every communication path in the testbed.
+    pub fn paths(&self) -> &[Arc<Path>] {
+        &self.paths
+    }
+
+    /// Applies virtual per-resource speed knobs: every path, the database
+    /// server and every application server take their scale from `scale`.
+    /// [`ResourceScale::nominal`] restores measured-cost behaviour.
+    pub fn apply_scale(&self, scale: ResourceScale) {
+        for path in &self.paths {
+            path.set_cost_scale_ppm(scale.wire_ppm);
+        }
+        self.db_server.set_cost_scale_ppm(scale.db_ppm);
+        for edge in &self.edges {
+            edge.server.set_cost_scale_ppm(scale.edge_ppm);
+        }
+    }
+
     /// Zeroes every registered metric and clears the commit span log
     /// (between warm-up and measurement).
     pub fn reset_telemetry(&self) {
@@ -448,6 +538,11 @@ impl Testbed {
     /// interaction.
     pub fn standard_timeline(&self, window_us: u64) -> Timeline {
         let timeline = Timeline::new(window_us);
+        // The shared database machine: statement/batch throughput and the
+        // plan-cache hit/miss/eviction rates, under the same `db.stmt.*` /
+        // `db.plan.*` names the registry uses.
+        self.db_server.metrics().timeline_into(&timeline, "db.stmt");
+        self.db.plan_timeline_into(&timeline, "db.plan");
         for (i, edge) in self.edges.iter().enumerate() {
             let id = i + 1;
             edge.server
@@ -770,6 +865,96 @@ mod tests {
         assert!(
             board.iter().any(|e| e.entity.starts_with("Account[")),
             "the contended account must appear on the leaderboard: {board:?}"
+        );
+    }
+
+    #[test]
+    fn standard_timeline_tracks_the_db_and_cache_observability_series() {
+        // Audit: every counter/gauge the recent store/db work added must be
+        // wired into the standard timeline, not just the registry.
+        let tb = Testbed::build(Architecture::EsRbes, TestbedConfig::default());
+        let timeline = tb.standard_timeline(1_000);
+        let mut client = VirtualClient::new(&tb, 0);
+        client.perform(&TradeAction::Quote {
+            symbol: "s:1".into(),
+        });
+        timeline.sample(tb.clock.now().as_micros());
+        let report = timeline.report("audit");
+        let names: Vec<&str> = report.series.iter().map(|s| s.name.as_str()).collect();
+        for expected in [
+            "db.stmt.statements",
+            "db.stmt.batches",
+            "db.plan.hits",
+            "db.plan.misses",
+            "db.plan.evictions",
+            "store.edge-1.lru_desync",
+            "store.edge-1.resident_bytes",
+        ] {
+            assert!(
+                names.contains(&expected),
+                "standard timeline must track {expected}; have {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn resource_scale_knobs_shrink_the_matching_costs() {
+        let serve = |scale: ResourceScale| {
+            let tb = Testbed::build(Architecture::EsRdb(Flavor::Jdbc), TestbedConfig::default());
+            tb.set_delay(SimDuration::from_millis(10));
+            tb.apply_scale(scale);
+            let t0 = tb.clock.now();
+            let mut client = VirtualClient::new(&tb, 0);
+            client.perform(&TradeAction::Quote {
+                symbol: "s:1".into(),
+            });
+            tb.clock.now().checked_since(t0).unwrap().as_micros()
+        };
+        let nominal = serve(ResourceScale::nominal());
+        let fast_wire = serve(ResourceScale {
+            wire_ppm: ResourceScale::ppm_for_speedup(10.0),
+            ..ResourceScale::nominal()
+        });
+        let fast_db = serve(ResourceScale {
+            db_ppm: ResourceScale::ppm_for_speedup(10.0),
+            ..ResourceScale::nominal()
+        });
+        let fast_edge = serve(ResourceScale {
+            edge_ppm: ResourceScale::ppm_for_speedup(10.0),
+            ..ResourceScale::nominal()
+        });
+        assert!(fast_wire < nominal, "wire {fast_wire} vs nominal {nominal}");
+        assert!(fast_db < nominal, "db {fast_db} vs nominal {nominal}");
+        assert!(fast_edge < nominal, "edge {fast_edge} vs nominal {nominal}");
+        // With a 10 ms proxy delay the wire dominates this interaction, so
+        // speeding it up must save the most — the ranking what-if runs key
+        // off this separability.
+        assert!(fast_wire < fast_db && fast_wire < fast_edge);
+    }
+
+    #[test]
+    fn disabling_wire_batching_multiplies_round_trips() {
+        let trips = |wire_batching: bool| {
+            let tb = Testbed::build(
+                Architecture::EsRdb(Flavor::Jdbc),
+                TestbedConfig {
+                    wire_batching,
+                    ..TestbedConfig::default()
+                },
+            );
+            let mut client = VirtualClient::new(&tb, 0);
+            client.perform(&TradeAction::Buy {
+                user: "uid:0".into(),
+                symbol: "s:1".into(),
+                quantity: 1.0,
+            });
+            tb.delayed_path(0).stats().requests
+        };
+        let batched = trips(true);
+        let unbatched = trips(false);
+        assert!(
+            unbatched > batched,
+            "per-statement round trips ({unbatched}) must exceed batched ({batched})"
         );
     }
 

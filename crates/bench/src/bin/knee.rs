@@ -11,12 +11,18 @@
 //! **saturation knee**.
 //!
 //! Artifacts: `results/knee.csv` (the curves), `results/knee.report.json`
-//! (schema `sli-edge.run-report/v1`, one row per combo × rate) and
+//! (schema `sli-edge.run-report/v1`, one row per combo × rate),
 //! `results/knee.timeline.json` (schema `sli-edge.timeline/v1`, windowed
 //! series of every loaded run including the `engine.in_flight` /
-//! `engine.queue_depth` gauges). The run then re-checks consistency under
-//! load: a slicheck sweep with an elevated client count across all seven
-//! combinations must stay violation-free.
+//! `engine.queue_depth` gauges), plus the aggregate cross-session profile
+//! of every loaded interaction: `results/knee.folded` (collapsed-stack
+//! format — load it into speedscope or inferno) and
+//! `results/knee.profile.json` (schema `sli-edge.profile/v1`, per-class
+//! self times and per-resource attribution). Every loaded run is also
+//! checked against Little's law (`L = λ·W` from the exact in-flight
+//! integral). The run then re-checks consistency under load: a slicheck
+//! sweep with an elevated client count across all seven combinations must
+//! stay violation-free.
 //!
 //! Run with `cargo run --release -p sli-bench --bin knee`. Pass `--smoke`
 //! for the scaled-down CI profile. Exits non-zero if any artifact fails
@@ -25,10 +31,11 @@
 
 use sli_arch::{arch_by_key, arch_key, run_slicheck, ScheduleSource, SliCheckConfig, ARCH_KEYS};
 use sli_bench::{
-    knee_index, sweep_loaded, timeline_table, write_timeline_json, Cli, LoadedConfig, LoadedPoint,
+    knee_index, sweep_loaded, timeline_table, write_profile, write_timeline_json, Cli,
+    LoadedConfig, LoadedPoint,
 };
 use sli_simnet::SimDuration;
-use sli_telemetry::{validate_run_report, RunReport, TimelineDoc};
+use sli_telemetry::{validate_run_report, Profile, RunReport, TimelineDoc};
 use sli_workload::{Csv, TextTable};
 
 /// Session arrival rates (sessions/s) for the full sweep — geometric so
@@ -87,6 +94,7 @@ fn main() {
     let mut knees: Vec<(String, Option<f64>)> = Vec::new();
     let mut knee_timeline_shown = false;
     let mut gauges_live = false;
+    let mut profile = Profile::default();
 
     for key in ARCH_KEYS {
         let arch = arch_by_key(key).expect("built-in key");
@@ -144,6 +152,20 @@ fn main() {
         knees.push((key.to_owned(), knee.map(|i| points[i].session_rps)));
 
         for run in runs {
+            // Little's law is an exact identity for the engine; a loaded
+            // run that drifts past CI tolerance has an accounting bug.
+            if !run.littles.holds(0.01) {
+                eprintln!(
+                    "error: Little's law violated on {key} @ {:.1}/s: \
+                     L = {:.3}, lambda*W = {:.3} (relative error {:.4})",
+                    run.point.session_rps,
+                    run.littles.avg_in_flight,
+                    run.littles.throughput_per_s * run.littles.mean_residence_ms / 1e3,
+                    run.littles.relative_error,
+                );
+                std::process::exit(1);
+            }
+            profile.merge(&run.profile);
             let mut entry = run.report;
             entry.arch = format!("{} @ {:.2} sessions/s", entry.arch, run.point.session_rps);
             report.entries.push(entry);
@@ -199,6 +221,20 @@ fn main() {
         Ok(path) => println!("(timelines written to {path})"),
         Err(e) => {
             eprintln!("error: timeline export failed validation: {e}");
+            std::process::exit(1);
+        }
+    }
+    // The aggregate cross-session profile of every loaded run above:
+    // collapsed stacks for speedscope/inferno plus the schema-validated
+    // per-resource attribution.
+    match write_profile(
+        env!("CARGO_BIN_NAME"),
+        &profile,
+        "knee: aggregate loaded profile",
+    ) {
+        Ok((folded, json)) => println!("(profile written to {folded} and {json})"),
+        Err(e) => {
+            eprintln!("error: profile export failed validation: {e}");
             std::process::exit(1);
         }
     }

@@ -1,17 +1,21 @@
-//! CI gate for exported telemetry: re-parses every `results/*.trace.json`
-//! and `results/*.timeline.json` from its on-disk bytes and validates it.
+//! CI gate for exported telemetry: re-parses every `results/*.trace.json`,
+//! `results/*.timeline.json` and `results/*.profile.json` from its on-disk
+//! bytes and validates it.
 //!
 //! Trace files are checked for Chrome trace-event well-formedness —
 //! required fields present and every span's `ts + dur` contained within
 //! its parent's interval. Timeline files are checked against the
 //! `sli-edge.timeline/v1` schema, including the rate-conservation law
-//! (each rate series' windows must sum to its run-end total).
+//! (each rate series' windows must sum to its run-end total). Profile
+//! files are checked against the `sli-edge.profile/v1` schema, including
+//! its conservation law (per-class self times and per-resource times must
+//! each sum to the total measured latency).
 //!
 //! Run with `cargo run -p sli-bench --bin tracecheck` after the figure and
 //! table binaries. Exits non-zero if no exports exist or any fails.
 
 use sli_bench::Cli;
-use sli_telemetry::{validate_chrome_trace, validate_timeline, Json};
+use sli_telemetry::{validate_chrome_trace, validate_profile, validate_timeline, Json};
 
 /// Validates one file, returning a short success label.
 fn check(path: &std::path::Path) -> Result<String, String> {
@@ -25,6 +29,13 @@ fn check(path: &std::path::Path) -> Result<String, String> {
             .and_then(Json::as_arr)
             .map_or(0, <[Json]>::len);
         Ok(format!("{runs} timeline run(s)"))
+    } else if name.ends_with(".profile.json") {
+        validate_profile(&doc)?;
+        let classes = doc
+            .get("classes")
+            .and_then(Json::as_arr)
+            .map_or(0, <[Json]>::len);
+        Ok(format!("{classes} span class(es), conservation holds"))
     } else {
         validate_chrome_trace(&doc)?;
         let spans = doc
@@ -38,7 +49,7 @@ fn check(path: &std::path::Path) -> Result<String, String> {
 fn main() {
     Cli::new(
         "tracecheck",
-        "Validates every results/*.trace.json and results/*.timeline.json export",
+        "Validates every results/*.{trace,timeline,profile}.json export",
     )
     .parse();
     let entries = match std::fs::read_dir("results") {
@@ -51,14 +62,16 @@ fn main() {
     let mut paths: Vec<_> = entries
         .filter_map(|e| e.ok().map(|e| e.path()))
         .filter(|p| {
-            p.file_name()
-                .and_then(|n| n.to_str())
-                .is_some_and(|n| n.ends_with(".trace.json") || n.ends_with(".timeline.json"))
+            p.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                n.ends_with(".trace.json")
+                    || n.ends_with(".timeline.json")
+                    || n.ends_with(".profile.json")
+            })
         })
         .collect();
     paths.sort();
     if paths.is_empty() {
-        eprintln!("error: no results/*.trace.json or results/*.timeline.json files to validate");
+        eprintln!("error: no results/*.{{trace,timeline,profile}}.json files to validate");
         std::process::exit(1);
     }
 

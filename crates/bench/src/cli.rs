@@ -5,7 +5,7 @@
 //! gives them one declarative surface: declare flags and valued options,
 //! get usage text, `--help` handling and unknown-argument rejection for
 //! free. It is deliberately tiny (no external dependency, no subcommands,
-//! long options only) — exactly what nine single-purpose bins need.
+//! long options only) — exactly what thirteen single-purpose bins need.
 //!
 //! ```
 //! use sli_bench::Cli;

@@ -18,7 +18,7 @@
 
 use sli_arch::Architecture;
 use sli_simnet::SimDuration;
-use sli_telemetry::Json;
+use sli_telemetry::{Json, Resource};
 
 use crate::{run_point_full, run_point_loaded, LoadedConfig, RunConfig};
 
@@ -265,6 +265,34 @@ pub fn guard_run_loaded(
                 run.point.round_trips_per_interaction,
                 true,
                 ROUND_TRIPS_FLOOR,
+            ),
+            // The aggregate profile's per-resource latency shares. Shares
+            // sum to 1, so a bottleneck shift necessarily *raises* at
+            // least one share past its allowance — CI flags the shift
+            // even when absolute latency stays inside tolerance.
+            scalar(
+                "profile_share:wire",
+                run.profile.resource_share(Resource::Wire),
+                true,
+                RATIO_FLOOR,
+            ),
+            scalar(
+                "profile_share:backend-db",
+                run.profile.resource_share(Resource::BackendDb),
+                true,
+                RATIO_FLOOR,
+            ),
+            scalar(
+                "profile_share:edge-cpu",
+                run.profile.resource_share(Resource::EdgeCpu),
+                true,
+                RATIO_FLOOR,
+            ),
+            scalar(
+                "profile_share:store-lock",
+                run.profile.resource_share(Resource::StoreLock),
+                true,
+                RATIO_FLOOR,
             ),
         ],
     }
@@ -685,8 +713,22 @@ mod tests {
                 "latency_p95_ms",
                 "failure_rate",
                 "peak_queue_depth",
-                "round_trips_per_interaction"
+                "round_trips_per_interaction",
+                "profile_share:wire",
+                "profile_share:backend-db",
+                "profile_share:edge-cpu",
+                "profile_share:store-lock"
             ]
+        );
+        let share_sum: f64 = a
+            .metrics
+            .iter()
+            .filter(|m| m.name.starts_with("profile_share:"))
+            .map(|m| m.value)
+            .sum();
+        assert!(
+            (share_sum - 1.0).abs() < 1e-9,
+            "resource shares decompose the whole profile, got {share_sum}"
         );
         // Throughput guards the good direction: a *drop* regresses.
         let mut slower = a.clone();

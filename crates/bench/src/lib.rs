@@ -1,14 +1,26 @@
 //! # sli-bench — the experiment harness
 //!
-//! One binary per table/figure of the paper's evaluation:
+//! One binary per table/figure of the paper's evaluation, plus the
+//! harness's own validation and profiling bins:
 //!
-//! | binary | regenerates |
+//! | binary | regenerates / checks |
 //! |---|---|
 //! | `table1` | Trade2 runtime & database usage characteristics |
 //! | `fig6` | latency vs delay for the three architectures |
 //! | `fig7` | latency vs delay for the three ES/RDB flavors |
 //! | `fig8` | bytes to the shared site per client interaction |
 //! | `table2` | latency-sensitivity (slope) matrix |
+//! | `ablation_batching` | wire-batching on/off round-trip ablation |
+//! | `ablation_cache` | plan-cache capacity ablation |
+//! | `contention` | conflict leaderboard under contended load |
+//! | `knee` | throughput–latency curves, saturation knees, aggregate profile |
+//! | `whatif` | causal profiles via virtual resource speedups |
+//! | `perfguard` | performance-regression gate against recorded baselines |
+//! | `slicheck` | serializability checker across the seven combinations |
+//! | `tracecheck` | schema validation of every artifact in `results/` |
+//!
+//! All of them share the [`Cli`] parser: `--help` documents each bin and
+//! exits 0, unknown arguments exit 2.
 //!
 //! This library hosts the shared measurement loop implementing the paper's
 //! §4.3 protocol: one virtual client, 400 warm-up sessions, 300 measured
@@ -19,13 +31,14 @@
 #![warn(missing_docs)]
 
 use sli_arch::{
-    collect_report, Architecture, LoadEngine, LoadPlan, Testbed, TestbedConfig, VirtualClient,
+    collect_report, Architecture, LoadEngine, LoadPlan, ResourceScale, Testbed, TestbedConfig,
+    VirtualClient,
 };
 use sli_simnet::{FaultPlan, SimDuration};
 use sli_telemetry::{
     chrome_trace, conflict_leaderboard, critical_path, sparkline, validate_chrome_trace,
-    validate_timeline, ArchReport, Breakdown, Bucket, ConflictEntry, SpanEvent, TimelineDoc,
-    TimelineReport,
+    validate_profile, validate_timeline, ArchReport, Breakdown, Bucket, ConflictEntry, LittlesLaw,
+    Profile, Resource, SpanEvent, TimelineDoc, TimelineReport,
 };
 use sli_trade::seed::Population;
 use sli_trade::session::SessionGenerator;
@@ -165,6 +178,10 @@ impl TraceHarvest {
 
 /// Measured sessions whose raw spans are kept as the Chrome-trace sample.
 const SAMPLE_SESSIONS: usize = 2;
+
+/// Span-sample cap for loaded runs (the per-dispatch drain keeps appending
+/// until the sample holds at least this many events).
+const LOADED_SAMPLE_EVENTS: usize = 4_000;
 
 /// Like [`run_point`], but also returns the structured [`ArchReport`] row
 /// assembled from the testbed's telemetry (cache hit ratio, commit abort
@@ -423,6 +440,172 @@ pub fn write_timeline_json(name: &str, doc: &TimelineDoc) -> Result<String, Stri
     Ok(path)
 }
 
+/// Exports `profile` to `results/{name}.folded` in collapsed-stack format
+/// (speedscope / inferno / `flamegraph.pl` loadable) and to
+/// `results/{name}.profile.json` under the `sli-edge.profile/v1` schema,
+/// validating the JSON (conservation laws included) before writing.
+/// Returns both paths written (folded first).
+///
+/// # Errors
+/// Returns a description of the validation or I/O failure.
+pub fn write_profile(
+    name: &str,
+    profile: &Profile,
+    label: &str,
+) -> Result<(String, String), String> {
+    let json = profile.to_json(label);
+    validate_profile(&json)?;
+    std::fs::create_dir_all("results").map_err(|e| format!("create results/: {e}"))?;
+    let folded_path = format!("results/{name}.folded");
+    std::fs::write(&folded_path, profile.folded())
+        .map_err(|e| format!("write {folded_path}: {e}"))?;
+    let json_path = format!("results/{name}.profile.json");
+    std::fs::write(&json_path, json.render()).map_err(|e| format!("write {json_path}: {e}"))?;
+    Ok((folded_path, json_path))
+}
+
+/// The three virtually-speedable resources of the what-if engine, with the
+/// [`ResourceScale`] each one's knob drives. Store/lock wait is
+/// deliberately absent: it is contention, not a machine to buy faster —
+/// its causal impact shows up as *divergence* on the other knobs instead.
+pub const WHATIF_KNOBS: [Resource; 3] = [Resource::Wire, Resource::BackendDb, Resource::EdgeCpu];
+
+/// One row of a causal profile: what actually happened when `resource` was
+/// virtually sped up by `speedup`, compared with what the aggregate
+/// profile predicted.
+#[derive(Debug, Clone, Copy)]
+pub struct WhatIfRow {
+    /// The resource whose knob was turned.
+    pub resource: Resource,
+    /// The applied virtual speedup factor (`f` → costs scaled by `1/f`).
+    pub speedup: f64,
+    /// Achieved throughput with the speedup applied.
+    pub achieved_tps: f64,
+    /// Mean total latency (ms) with the speedup applied.
+    pub latency_ms: f64,
+    /// p95 total latency (ms) with the speedup applied.
+    pub latency_p95_ms: f64,
+    /// Measured causal share: fraction of baseline mean latency removed,
+    /// normalized by the fraction of the resource's cost removed
+    /// (`s = 1 − 1/f`). A resource the workload fully serializes on shows
+    /// `causal ≈ profile` share; an off-critical-path resource shows ~0.
+    pub causal_share: f64,
+    /// The aggregate profile's (critical-path-weighted) share for the same
+    /// resource — the *prediction* the causal run tests.
+    pub profile_share: f64,
+    /// Normalized throughput derivative: `d(achieved_tps)/d(s)` divided by
+    /// the baseline throughput.
+    pub d_tps: f64,
+    /// Normalized p95 derivative: fraction of baseline p95 removed per
+    /// unit of cost removed.
+    pub d_p95: f64,
+}
+
+impl WhatIfRow {
+    /// Causal-vs-profile amplification (`causal / profile`; 0 when the
+    /// profile share vanishes).
+    pub fn amplification(&self) -> f64 {
+        if self.profile_share <= f64::EPSILON {
+            0.0
+        } else {
+            self.causal_share / self.profile_share
+        }
+    }
+
+    /// Whether the causal measurement diverges from the profile
+    /// prediction by more than 2× either way — the contention signature
+    /// (queueing or lock waits redistribute time when a resource speeds
+    /// up, which a flat profile cannot anticipate).
+    pub fn diverges(&self) -> bool {
+        self.profile_share > 0.02 && !(0.5..=2.0).contains(&self.amplification())
+    }
+}
+
+/// A full causal profile of one loaded point: the baseline run plus one
+/// virtually-sped-up rerun per [`WHATIF_KNOBS`] resource.
+#[derive(Debug, Clone)]
+pub struct WhatIfReport {
+    /// The unscaled loaded run everything is measured against.
+    pub baseline: LoadedPointRun,
+    /// One row per speedable resource, in [`WHATIF_KNOBS`] order.
+    pub rows: Vec<WhatIfRow>,
+}
+
+impl WhatIfReport {
+    /// Resources ranked by measured causal impact on latency, strongest
+    /// first — the *causal* bottleneck ranking, to set against
+    /// [`Profile::bottleneck_ranking`]'s profile-predicted one.
+    pub fn causal_ranking(&self) -> Vec<Resource> {
+        let mut rows = self.rows.clone();
+        rows.sort_by(|a, b| {
+            b.causal_share
+                .partial_cmp(&a.causal_share)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        rows.into_iter().map(|r| r.resource).collect()
+    }
+
+    /// The top causal bottleneck among the speedable resources.
+    pub fn top_bottleneck(&self) -> Resource {
+        self.causal_ranking()[0]
+    }
+}
+
+/// Runs the what-if (causal-profile) protocol: one baseline loaded run,
+/// then for each speedable resource the *same* deterministic loaded point
+/// with that resource's cost virtually scaled by `1/speedup` — exact
+/// fixed-point scaling inside the simulation, the virtual-time analogue of
+/// a Coz experiment. Latency/throughput deltas are normalized into causal
+/// shares and compared against the aggregate profile's prediction.
+pub fn whatif(
+    arch: Architecture,
+    delay: SimDuration,
+    cfg: LoadedConfig,
+    speedup: f64,
+) -> WhatIfReport {
+    assert!(speedup > 1.0, "a what-if speedup must exceed 1×");
+    let baseline = run_point_loaded(arch, delay, cfg);
+    let s = 1.0 - 1.0 / speedup;
+    let base = baseline.point;
+    let rows = WHATIF_KNOBS
+        .iter()
+        .map(|&resource| {
+            let ppm = ResourceScale::ppm_for_speedup(speedup);
+            let nominal = ResourceScale::nominal();
+            let scale = match resource {
+                Resource::Wire => ResourceScale {
+                    wire_ppm: ppm,
+                    ..nominal
+                },
+                Resource::BackendDb => ResourceScale {
+                    db_ppm: ppm,
+                    ..nominal
+                },
+                Resource::EdgeCpu => ResourceScale {
+                    edge_ppm: ppm,
+                    ..nominal
+                },
+                Resource::StoreLock => unreachable!("store/lock wait has no speed knob"),
+            };
+            let sped = run_point_loaded(arch, delay, LoadedConfig { scale, ..cfg }).point;
+            WhatIfRow {
+                resource,
+                speedup,
+                achieved_tps: sped.achieved_tps,
+                latency_ms: sped.latency_ms,
+                latency_p95_ms: sped.latency_p95_ms,
+                causal_share: ((base.latency_ms - sped.latency_ms) / base.latency_ms.max(1e-9)) / s,
+                profile_share: baseline.profile.resource_share(resource),
+                d_tps: ((sped.achieved_tps - base.achieved_tps) / base.achieved_tps.max(1e-9)) / s,
+                d_p95: ((base.latency_p95_ms - sped.latency_p95_ms)
+                    / base.latency_p95_ms.max(1e-9))
+                    / s,
+            }
+        })
+        .collect();
+    WhatIfReport { baseline, rows }
+}
+
 /// Renders one timeline run as an ASCII sparkline table: one row per
 /// series that saw any activity (quiet series are summarised in a trailing
 /// note), darkest glyph = the series' busiest window.
@@ -481,6 +664,12 @@ pub struct LoadedConfig {
     pub timeline_window_us: u64,
     /// Fault plan dialled into the delayed paths for the loaded phase.
     pub faults: FaultPlan,
+    /// Whether remote database connections batch statements onto the wire
+    /// (`false` is the pre-batching ablation).
+    pub wire_batching: bool,
+    /// Virtual per-resource speed knobs for what-if runs (nominal by
+    /// default — measured costs).
+    pub scale: ResourceScale,
 }
 
 impl LoadedConfig {
@@ -497,6 +686,8 @@ impl LoadedConfig {
             population: Population::default(),
             timeline_window_us: 500_000,
             faults: FaultPlan::NONE,
+            wire_batching: true,
+            scale: ResourceScale::nominal(),
         }
     }
 
@@ -558,6 +749,15 @@ pub struct LoadedPointRun {
     pub report: ArchReport,
     /// Per-window rate/level series of the loaded phase.
     pub timeline: TimelineReport,
+    /// Critical-path breakdown, conflict forensics and span sample of the
+    /// loaded phase (harvested per dispatch, so nothing is evicted).
+    pub harvest: TraceHarvest,
+    /// The aggregate cross-session profile: per-class self times,
+    /// collapsed stacks and per-resource attribution.
+    pub profile: Profile,
+    /// Little's-law cross-check over the loaded phase (exact identity for
+    /// a clean run).
+    pub littles: LittlesLaw,
 }
 
 /// Runs the open-loop loaded protocol for one architecture at one delay:
@@ -574,10 +774,12 @@ pub fn run_point_loaded(
         TestbedConfig {
             population: cfg.population,
             edges: 1,
+            wire_batching: cfg.wire_batching,
             ..TestbedConfig::default()
         },
     );
     testbed.set_delay(delay);
+    testbed.apply_scale(cfg.scale);
     if !cfg.faults.is_clean() {
         testbed.set_faults(cfg.faults);
     }
@@ -608,7 +810,19 @@ pub fn run_point_loaded(
         population: cfg.population,
     };
     let arrival_us = plan.arrivals.times_us(plan.sessions);
-    let run = engine.run(&plan, Some(&timeline));
+    let mut harvest = TraceHarvest::default();
+    let mut profile = Profile::default();
+    let mut observer = |events: &[SpanEvent]| {
+        profile.fold(events);
+        harvest.breakdown.merge(&critical_path(events));
+        harvest
+            .conflict_events
+            .extend(events.iter().filter(|e| e.conflict().is_some()).cloned());
+        if harvest.sample_events.len() < LOADED_SAMPLE_EVENTS {
+            harvest.sample_events.extend_from_slice(events);
+        }
+    };
+    let run = engine.run_observed(&plan, Some(&timeline), Some(&mut observer));
 
     let arrival_span_s = arrival_us
         .last()
@@ -649,10 +863,14 @@ pub fn run_point_loaded(
         "{} loaded @ {:.2} sessions/s",
         report.arch, cfg.session_rps
     ));
+    let littles = run.littles_law();
     LoadedPointRun {
         point,
         report,
         timeline,
+        harvest,
+        profile,
+        littles,
     }
 }
 
@@ -946,6 +1164,82 @@ mod tests {
         let b = run_point_loaded(Architecture::EsRbes, SimDuration::from_millis(10), cfg);
         assert_eq!(a.point, b.point);
         assert_eq!(a.timeline, b.timeline);
+    }
+
+    #[test]
+    fn loaded_profiles_conserve_latency_for_every_architecture() {
+        use sli_arch::{arch_by_key, ARCH_KEYS};
+        let cfg = LoadedConfig {
+            sessions: 12,
+            warmup_sessions: 4,
+            ..LoadedConfig::quick(3.0)
+        };
+        for key in ARCH_KEYS {
+            let arch = arch_by_key(key).unwrap();
+            let run = run_point_loaded(arch, SimDuration::from_millis(10), cfg);
+            // Every dispatched interaction is one complete trace; the
+            // profile and the critical-path breakdown must agree on both
+            // the trace count and the total measured latency.
+            let interactions = (run.point.ok + run.point.failed) as u64;
+            assert_eq!(run.profile.traces, interactions, "{key}: trace count");
+            assert_eq!(run.harvest.breakdown.traces, interactions, "{key}");
+            assert_eq!(
+                run.profile.total_us, run.harvest.breakdown.total_us,
+                "{key}: profile vs breakdown total"
+            );
+            // Per-resource self times decompose the total exactly.
+            let resource_sum: u64 = Resource::ALL
+                .iter()
+                .map(|&r| run.profile.resource_us(r))
+                .sum();
+            assert_eq!(resource_sum, run.profile.total_us, "{key}: conservation");
+            validate_profile(&run.profile.to_json(key)).expect("schema-valid profile");
+            assert!(!run.profile.folded().is_empty(), "{key}: folded output");
+            // Little's law holds exactly on a clean deterministic run.
+            assert!(
+                run.littles.holds(1e-9),
+                "{key}: L = λW violated, relative error {}",
+                run.littles.relative_error
+            );
+        }
+    }
+
+    #[test]
+    fn whatif_ranks_the_wire_as_the_jdbc_bottleneck() {
+        let cfg = LoadedConfig {
+            sessions: 15,
+            warmup_sessions: 4,
+            ..LoadedConfig::quick(3.0)
+        };
+        let report = whatif(
+            Architecture::EsRdb(Flavor::Jdbc),
+            SimDuration::from_millis(10),
+            cfg,
+            2.0,
+        );
+        assert_eq!(report.rows.len(), WHATIF_KNOBS.len());
+        for row in &report.rows {
+            assert!(row.causal_share.is_finite());
+            assert!(
+                row.causal_share > -0.25,
+                "{:?}: speeding a resource up must not slow the system meaningfully, got {}",
+                row.resource,
+                row.causal_share
+            );
+        }
+        // At 10 ms one-way delay the JDBC engine's latency is wire
+        // crossings; both the profile and the causal run must agree.
+        assert_eq!(report.top_bottleneck(), Resource::Wire);
+        assert_eq!(
+            report.baseline.profile.bottleneck_ranking()[0],
+            Resource::Wire
+        );
+        let wire = &report.rows[0];
+        assert!(
+            wire.causal_share > 0.5,
+            "wire causal share {} should dominate",
+            wire.causal_share
+        );
     }
 
     #[test]

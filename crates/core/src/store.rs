@@ -458,6 +458,7 @@ impl CommonStore {
         timeline.track_counter(format!("{prefix}.misses"), &self.misses);
         timeline.track_counter(format!("{prefix}.invalidations"), &self.invalidations);
         timeline.track_counter(format!("{prefix}.evictions"), &self.evictions);
+        timeline.track_counter(format!("{prefix}.lru_desync"), &self.lru_desync);
         timeline.track_gauge(format!("{prefix}.size"), &self.size);
         timeline.track_gauge(format!("{prefix}.resident_bytes"), &self.resident_bytes);
     }

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use sli_simnet::wire::{frame, frame_traced, protocol, unframe, DecodeError, Reader, Writer};
-use sli_simnet::{Clock, Remote, Service, SimDuration};
+use sli_simnet::{scale_cost_us, Clock, Remote, Service, SimDuration, COST_SCALE_UNIT};
 use sli_telemetry::{Counter, Histogram, Registry, SpanDetail, SpanOutcome, Tracer};
 
 use crate::connection::Connection;
@@ -170,6 +170,16 @@ impl DbServerMetrics {
         registry.attach_histogram(format!("{prefix}.batch_us"), &self.batch_us);
     }
 
+    /// Tracks the counter-backed handles in `timeline` under the
+    /// [`DbServerMetrics::register_with`] names. The histograms
+    /// (`statement_us`, `batch_statements`, `batch_us`) are distributions,
+    /// not counters, so they have no windowed rate series — the timeline
+    /// layer only folds counters and gauges.
+    pub fn timeline_into(&self, timeline: &sli_telemetry::Timeline, prefix: &str) {
+        timeline.track_counter(format!("{prefix}.statements"), &self.statements);
+        timeline.track_counter(format!("{prefix}.batches"), &self.batches);
+    }
+
     /// Zeroes every metric (between measurement phases).
     pub fn reset(&self) {
         self.statements.reset();
@@ -187,6 +197,10 @@ pub struct DbServer {
     sessions: Mutex<HashMap<u64, Connection>>,
     next_session: AtomicU64,
     cost: DbCostModel,
+    /// Virtual-speedup scale applied to every CPU charge (ppm of nominal;
+    /// see [`COST_SCALE_UNIT`]). The what-if profiler dials it down to
+    /// measure the causal impact of a faster database.
+    cost_scale_ppm: AtomicU64,
     clock: Arc<Clock>,
     metrics: DbServerMetrics,
     tracer: Mutex<Option<Arc<Tracer>>>,
@@ -200,6 +214,7 @@ impl DbServer {
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
             cost,
+            cost_scale_ppm: AtomicU64::new(COST_SCALE_UNIT),
             clock,
             metrics: DbServerMetrics::default(),
             tracer: Mutex::new(None),
@@ -227,6 +242,35 @@ impl DbServer {
     /// Number of currently open sessions.
     pub fn session_count(&self) -> usize {
         self.sessions.lock().len()
+    }
+
+    /// Sets the virtual-speedup cost scale: every subsequent `per_request`
+    /// and `per_row` charge is multiplied by `ppm / 1e6`. Span durations
+    /// and the `statement_us`/`batch_us` histograms record the scaled
+    /// charges, so the trace conservation law keeps holding under what-if
+    /// experiments.
+    ///
+    /// # Panics
+    /// Panics if `ppm` is zero (a free database would break causality).
+    pub fn set_cost_scale_ppm(&self, ppm: u64) {
+        assert!(ppm > 0, "cost scale must be positive");
+        self.cost_scale_ppm.store(ppm, Ordering::Relaxed);
+    }
+
+    /// The current virtual-speedup cost scale (ppm of nominal).
+    pub fn cost_scale_ppm(&self) -> u64 {
+        self.cost_scale_ppm.load(Ordering::Relaxed)
+    }
+
+    /// Charges `cost` to the clock after the speedup scale, returning the
+    /// microseconds actually charged.
+    fn charge(&self, cost: SimDuration) -> u64 {
+        let us = scale_cost_us(
+            cost.as_micros(),
+            self.cost_scale_ppm.load(Ordering::Relaxed),
+        );
+        self.clock.advance(SimDuration::from_micros(us));
+        us
     }
 
     fn dispatch(&self, request: &mut Reader, wire_trace_id: u64) -> DbResult<Writer> {
@@ -266,7 +310,7 @@ impl DbServer {
     }
 
     fn run_op(&self, op: u8, request: &mut Reader, class: &mut String) -> DbResult<Writer> {
-        self.clock.advance(self.cost.per_request);
+        let per_request_us = self.charge(self.cost.per_request);
         let mut w = Writer::new();
         w.put_u8(STATUS_OK);
         // DRDA-style SQL communications area: SQLSTATE, SQLCODE, warning
@@ -318,11 +362,9 @@ impl DbServer {
                         }
                         *class = statement_class(&sql);
                         let rs = conn.execute(&sql, &params)?;
-                        let row_cost = self.cost.per_row.saturating_mul(rs.len() as u64);
-                        self.clock.advance(row_cost);
-                        let total_us = self.cost.per_request.as_micros() + row_cost.as_micros();
+                        let row_us = self.charge(self.cost.per_row.saturating_mul(rs.len() as u64));
                         self.metrics.statements.inc();
-                        self.metrics.statement_us.record(total_us);
+                        self.metrics.statement_us.record(per_request_us + row_us);
                         rs.encode(&mut w);
                     }
                     OP_EXEC_BATCH => {
@@ -356,16 +398,14 @@ impl DbServer {
                         // whole frame; rows still cost per_row each, so the
                         // db.batch span's duration decomposes exactly into
                         // what the clock was charged.
-                        let mut total_us = self.cost.per_request.as_micros();
+                        let mut total_us = per_request_us;
                         let mut results: Vec<ResultSet> = Vec::with_capacity(count);
                         let mut first_err: Option<DbError> = None;
                         for (sql, params) in &stmts {
                             match conn.execute(sql, params) {
                                 Ok(rs) => {
-                                    let row_cost =
-                                        self.cost.per_row.saturating_mul(rs.len() as u64);
-                                    self.clock.advance(row_cost);
-                                    total_us += row_cost.as_micros();
+                                    total_us += self
+                                        .charge(self.cost.per_row.saturating_mul(rs.len() as u64));
                                     self.metrics.statements.inc();
                                     results.push(rs);
                                 }
@@ -434,6 +474,10 @@ pub struct RemoteConnection {
     remote: Remote<Arc<DbServer>>,
     session: u64,
     in_txn: bool,
+    /// Whether `execute_batch` ships one `OP_EXEC_BATCH` frame (true, the
+    /// default) or falls back to one round trip per statement — the
+    /// pre-batching wire protocol, kept as an ablation knob.
+    batching: bool,
     correlation: std::sync::atomic::AtomicU64,
 }
 
@@ -460,6 +504,7 @@ impl RemoteConnection {
                     remote,
                     session,
                     in_txn: false,
+                    batching: true,
                     correlation: std::sync::atomic::AtomicU64::new(1),
                 })
             }
@@ -508,6 +553,19 @@ impl RemoteConnection {
         w.put_u8(op).put_u64(self.session);
         self.exchange(w)?;
         Ok(())
+    }
+
+    /// Enables or disables wire batching. With batching off,
+    /// `execute_batch` degrades to the pre-`OP_EXEC_BATCH` behaviour — one
+    /// round trip per statement — which the what-if profiler uses as the
+    /// ablation configuration when ranking the wire as a bottleneck.
+    pub fn set_batching(&mut self, enabled: bool) {
+        self.batching = enabled;
+    }
+
+    /// Whether `execute_batch` currently ships one frame per batch.
+    pub fn batching(&self) -> bool {
+        self.batching
     }
 }
 
@@ -566,6 +624,26 @@ impl SqlConnection for RemoteConnection {
         if statements.is_empty() {
             return Ok(BatchOutcome {
                 results: Vec::new(),
+                error: None,
+            });
+        }
+        if !self.batching {
+            // Ablation mode: replay the trait's default per-statement loop
+            // so every statement pays its own wire round trip.
+            let mut results = Vec::with_capacity(statements.len());
+            for stmt in statements {
+                match self.execute(&stmt.sql, &stmt.params) {
+                    Ok(rs) => results.push(rs),
+                    Err(e) => {
+                        return Ok(BatchOutcome {
+                            results,
+                            error: Some(e),
+                        })
+                    }
+                }
+            }
+            return Ok(BatchOutcome {
+                results,
                 error: None,
             });
         }
@@ -799,6 +877,59 @@ mod tests {
         );
         m.reset();
         assert_eq!(m.batch_statements.count(), 0);
+    }
+
+    #[test]
+    fn cost_scale_halves_every_db_charge() {
+        let (clock, path, mut conn, server) = setup();
+        conn.execute("INSERT INTO t (a, b) VALUES (1, 'x')", &[])
+            .unwrap();
+        path.set_cost_scale_ppm(1); // silence the wire; measure db cpu only
+        let t0 = clock.now();
+        conn.execute("SELECT b FROM t WHERE a = 1", &[]).unwrap();
+        let nominal = (clock.now() - t0).as_micros();
+        assert_eq!(nominal, 425, "per_request 400 + one row at 25");
+        server.set_cost_scale_ppm(COST_SCALE_UNIT / 2);
+        assert_eq!(server.cost_scale_ppm(), COST_SCALE_UNIT / 2);
+        let t0 = clock.now();
+        conn.execute("SELECT b FROM t WHERE a = 1", &[]).unwrap();
+        let scaled = (clock.now() - t0).as_micros();
+        assert_eq!(scaled, 213, "200 + 13: each charge rounds to nearest");
+        // The recorded histogram carries the scaled charge, so metric sums
+        // keep matching clock time under what-if experiments.
+        // Insert (no rows) 400, nominal select 425, scaled select 213.
+        assert_eq!(server.metrics().statement_us.sum(), 400 + 425 + 213);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost scale must be positive")]
+    fn zero_db_cost_scale_is_rejected() {
+        let (_clock, _path, _conn, server) = setup();
+        server.set_cost_scale_ppm(0);
+    }
+
+    #[test]
+    fn disabled_batching_pays_one_round_trip_per_statement() {
+        let (_clock, path, mut conn, server) = setup();
+        assert!(conn.batching());
+        conn.set_batching(false);
+        path.reset_stats();
+        let out = conn
+            .execute_batch(&[
+                BatchStatement::new("INSERT INTO t (a, b) VALUES (1, 'x')", Vec::new()),
+                BatchStatement::new("INSERT INTO t (a, b) VALUES (1, 'dup')", Vec::new()),
+                BatchStatement::new("INSERT INTO t (a, b) VALUES (9, 'never')", Vec::new()),
+            ])
+            .unwrap();
+        assert_eq!(
+            path.stats().round_trips(),
+            2,
+            "unbatched: one crossing per statement, stopping at the failure"
+        );
+        assert_eq!(out.results.len(), 1);
+        assert!(matches!(out.error, Some(DbError::DuplicateKey(_))));
+        assert_eq!(server.metrics().batches.get(), 0, "no batch frames sent");
+        assert_eq!(server.database().row_count("t").unwrap(), 1);
     }
 
     #[test]

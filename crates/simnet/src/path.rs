@@ -182,6 +182,19 @@ impl PathMetrics {
     }
 }
 
+/// The fixed-point unit of the virtual-speedup cost scale: a component
+/// whose `cost_scale_ppm` is `COST_SCALE_UNIT` charges its nominal costs;
+/// `COST_SCALE_UNIT / 2` halves them (a 2× virtual speedup). Parts per
+/// million keeps the arithmetic in integers, so scaled runs remain exactly
+/// deterministic.
+pub const COST_SCALE_UNIT: u64 = 1_000_000;
+
+/// Applies a parts-per-million cost scale to `us` microseconds, rounding
+/// to nearest so small charges do not vanish under mild speedups.
+pub fn scale_cost_us(us: u64, ppm: u64) -> u64 {
+    ((us as u128 * ppm as u128 + (COST_SCALE_UNIT as u128 / 2)) / COST_SCALE_UNIT as u128) as u64
+}
+
 /// A bidirectional communication path between two simulated nodes.
 ///
 /// Crossing the path advances the shared [`Clock`] by
@@ -198,6 +211,7 @@ pub struct Path {
     base_latency_us: AtomicU64,
     bandwidth: AtomicU64,
     proxy_delay_us: AtomicU64,
+    cost_scale_ppm: AtomicU64,
     jitter_max_us: AtomicU64,
     jitter_seed: AtomicU64,
     jitter_counter: AtomicU64,
@@ -216,6 +230,7 @@ impl Path {
             base_latency_us: AtomicU64::new(spec.base_latency.as_micros()),
             bandwidth: AtomicU64::new(spec.bandwidth_bytes_per_sec.max(1)),
             proxy_delay_us: AtomicU64::new(0),
+            cost_scale_ppm: AtomicU64::new(COST_SCALE_UNIT),
             jitter_max_us: AtomicU64::new(0),
             jitter_seed: AtomicU64::new(0),
             jitter_counter: AtomicU64::new(0),
@@ -297,7 +312,8 @@ impl Path {
     }
 
     /// The nominal cost of moving an `n`-byte message one way across this
-    /// path (excluding any configured jitter).
+    /// path (excluding any configured jitter), after the virtual-speedup
+    /// cost scale.
     pub fn one_way_cost(&self, n: usize) -> SimDuration {
         let latency = self.base_latency_us.load(Ordering::Relaxed)
             + self.proxy_delay_us.load(Ordering::Relaxed);
@@ -305,7 +321,28 @@ impl Path {
         // division anyway: a zero here must saturate, not panic mid-run.
         let bw = self.bandwidth.load(Ordering::Relaxed).max(1);
         let transfer_us = (n as u64).saturating_mul(1_000_000) / bw;
-        SimDuration::from_micros(latency + transfer_us)
+        let ppm = self.cost_scale_ppm.load(Ordering::Relaxed);
+        SimDuration::from_micros(scale_cost_us(latency + transfer_us, ppm))
+    }
+
+    /// Sets the virtual-speedup cost scale in parts per million of
+    /// [`COST_SCALE_UNIT`]: every subsequent crossing's latency, proxy
+    /// delay and serialisation cost are multiplied by `ppm / 1e6` (what-if
+    /// profiling scales a resource down to probe its causal impact).
+    /// Jitter is deliberately *not* scaled — it models ambient noise, not
+    /// link speed.
+    ///
+    /// # Panics
+    /// Panics if `ppm` is zero: a free wire would collapse the simulated
+    /// causality the clock depends on.
+    pub fn set_cost_scale_ppm(&self, ppm: u64) {
+        assert!(ppm > 0, "cost scale must be positive");
+        self.cost_scale_ppm.store(ppm, Ordering::Relaxed);
+    }
+
+    /// The current virtual-speedup cost scale (ppm of nominal).
+    pub fn cost_scale_ppm(&self) -> u64 {
+        self.cost_scale_ppm.load(Ordering::Relaxed)
     }
 
     /// Changes the usable link bandwidth (Figure 8 sweeps it); zero is
@@ -449,6 +486,35 @@ mod tests {
         path.request(10);
         path.respond(10);
         assert_eq!(clock.now().as_micros(), 80_000);
+    }
+
+    #[test]
+    fn cost_scale_speeds_every_crossing_component() {
+        let (clock, path) = test_path(PathSpec {
+            base_latency: SimDuration::from_millis(1),
+            bandwidth_bytes_per_sec: 1_000_000,
+            faults: FaultPlan::NONE,
+        });
+        path.set_proxy_delay(SimDuration::from_millis(2));
+        // Nominal: 1ms latency + 2ms proxy + 1ms transfer = 4ms.
+        assert_eq!(path.one_way_cost(1_000).as_micros(), 4_000);
+        // A 2× virtual speedup halves latency, proxy delay and transfer.
+        path.set_cost_scale_ppm(COST_SCALE_UNIT / 2);
+        assert_eq!(path.cost_scale_ppm(), COST_SCALE_UNIT / 2);
+        assert_eq!(path.one_way_cost(1_000).as_micros(), 2_000);
+        path.request(1_000);
+        assert_eq!(clock.now().as_micros(), 2_000);
+        // Rounding is to nearest, so odd costs do not vanish.
+        assert_eq!(scale_cost_us(3, 500_000), 2);
+        assert_eq!(scale_cost_us(1, 250_000), 0);
+        assert_eq!(scale_cost_us(7, COST_SCALE_UNIT), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost scale must be positive")]
+    fn zero_cost_scale_is_rejected() {
+        let (_clock, path) = test_path(PathSpec::lan());
+        path.set_cost_scale_ppm(0);
     }
 
     #[test]

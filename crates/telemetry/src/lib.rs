@@ -22,6 +22,11 @@
 //!   stack would use).
 //! * [`critical_path`] / [`conflict_leaderboard`] — span-tree analysis:
 //!   per-[`Bucket`] latency attribution and OCC abort forensics.
+//! * [`Profile`] / [`Resource`] — cross-session aggregate profiling:
+//!   per-span-class self times, collapsed-stack flamegraph export,
+//!   per-resource accounting with utilization ρ, validated under
+//!   [`PROFILE_SCHEMA`] by [`validate_profile`], plus the [`littles_law`]
+//!   L = λ·W consistency check for loaded runs.
 //! * [`chrome_trace`] / [`validate_chrome_trace`] — Chrome trace-event
 //!   JSON export (Perfetto-loadable) and the CI well-formedness check.
 //! * [`Json`] — a tiny self-contained JSON value (deterministic key order),
@@ -44,6 +49,7 @@ mod export;
 mod history;
 mod json;
 mod metrics;
+mod profile;
 mod registry;
 mod report;
 mod span;
@@ -58,6 +64,10 @@ pub use history::{
 };
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use profile::{
+    littles_law, resource_for, span_class, validate_profile, ClassStat, LittlesLaw, Profile,
+    Resource, PROFILE_SCHEMA,
+};
 pub use registry::{Metric, MetricValue, Registry};
 pub use report::{validate_run_report, ArchReport, RunReport, RUN_REPORT_SCHEMA};
 pub use span::{ConflictInfo, SpanDetail, SpanEvent, SpanOutcome, TraceLog};

@@ -264,6 +264,55 @@ mod tests {
     }
 
     #[test]
+    fn nested_batch_spans_attribute_only_framing_overhead_to_the_batch() {
+        // PR 7's wire batching nests db.stmt leaves under a db.batch span:
+        // request [0,100) → net [10,90) → db.batch [20,80) holding two
+        // statements [20,50) and [50,75). The batch's *self* time is only
+        // its framing overhead (5 µs), never the statements' work, and the
+        // whole tree still decomposes the root exactly.
+        let events = vec![
+            span("request", 9, 1, 0, 0, 100),
+            span("net.request", 9, 2, 1, 10, 90),
+            span("db.batch", 9, 3, 2, 20, 80),
+            span("db.stmt", 9, 4, 3, 20, 50),
+            span("db.stmt", 9, 5, 3, 50, 75),
+        ];
+        let b = critical_path(&events);
+        assert_eq!(b.traces, 1);
+        assert_eq!(b.total_us, 100);
+        // Batch self 5 + statement selves 30 + 25: batching must not
+        // double-count the statements it wraps.
+        assert_eq!(b.bucket_us(Bucket::Statement), 60);
+        assert_eq!(b.bucket_us(Bucket::Network), 20);
+        assert_eq!(b.bucket_us(Bucket::LocalCompute), 20);
+        assert_eq!(b.sum_us(), b.total_us);
+    }
+
+    #[test]
+    fn conflicts_nested_under_batch_spans_still_reach_the_leaderboard() {
+        let mut conflict = span("occ.conflict", 11, 4, 3, 60, 61);
+        conflict.outcome = SpanOutcome::Conflict;
+        conflict.detail = Some(SpanDetail::Conflict(ConflictInfo {
+            bean: "holding".to_owned(),
+            key: "42".to_owned(),
+            field: Some("quantity".to_owned()),
+            expected_digest: 1,
+            found_digest: Some(2),
+        }));
+        let events = vec![
+            span("request", 11, 1, 0, 0, 100),
+            span("db.batch", 11, 2, 1, 10, 90),
+            span("db.stmt", 11, 3, 2, 20, 70),
+            conflict,
+        ];
+        let rows = conflict_leaderboard(&events);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].entity, "holding[42]");
+        assert_eq!(rows[0].conflicts, 1);
+        assert_eq!(rows[0].fields, vec!["quantity".to_owned()]);
+    }
+
+    #[test]
     fn incomplete_and_untraced_events_are_skipped() {
         let events = vec![
             // Orphan: parent 99 was evicted.
