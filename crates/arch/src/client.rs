@@ -1,10 +1,23 @@
 //! The virtual client: the paper's load-generator machine.
 
-use sli_simnet::{HttpRequest, HttpResponse, SimDuration};
+use sli_simnet::{Fault, HttpRequest, HttpResponse, SimDuration};
 use sli_telemetry::SpanOutcome;
 use sli_trade::TradeAction;
 
 use crate::topology::Testbed;
+
+/// How long the client waits for a response before abandoning the request
+/// (a browser-style HTTP timeout). Matches the RPC tier's default
+/// [`RetryPolicy`](sli_simnet::RetryPolicy) timeout so a message lost on
+/// the access link costs the caller the same as one lost further in.
+const HTTP_TIMEOUT_MS: u64 = 1_000;
+
+/// Status the client reports when its HTTP timeout expires without a
+/// response (the request or the response was lost on the access link).
+const STATUS_CLIENT_TIMEOUT: u16 = 504;
+
+/// Status the client reports when the connection is refused outright.
+const STATUS_REFUSED: u16 = 503;
 
 /// Measurements for one client/server interaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +79,47 @@ impl<'t> VirtualClient<'t> {
         // the latency the client measures, so a trace's bucket decomposition
         // sums back to the per-request virtual latency.
         let root = tracer.begin("request");
+
+        // The access link draws from the same seeded fault schedule as every
+        // other path — one draw per interaction, stamped into the path's
+        // fault state as detection ground truth. A browser does not retry:
+        // a lost message surfaces as a client-side timeout, a refused
+        // connection as an immediate error page.
+        let fault = node.client_path.next_fault();
+        match fault {
+            None | Some(Fault::Duplicate) => {}
+            Some(Fault::DropRequest) => {
+                // The bytes leave but never arrive; the server does not run
+                // and the client waits out its timeout.
+                node.client_path.request_async(request_bytes);
+                clock.advance(SimDuration::from_millis(HTTP_TIMEOUT_MS));
+                return self.abandoned(root, start, request_bytes, STATUS_CLIENT_TIMEOUT);
+            }
+            Some(Fault::DropResponse) => {
+                // The request arrives and the server does the work — side
+                // effects happen — but the response is lost, so the client
+                // still times out, measured from the send.
+                node.client_path.request(request_bytes);
+                node.deliver_due_invalidations();
+                let parsed =
+                    HttpRequest::parse(&raw_request).expect("client emits well-formed HTTP");
+                let _ = node.server.handle(&parsed);
+                let timeout = SimDuration::from_millis(HTTP_TIMEOUT_MS);
+                let elapsed = clock.now() - start;
+                if elapsed < timeout {
+                    clock.advance(timeout - elapsed);
+                }
+                return self.abandoned(root, start, request_bytes, STATUS_CLIENT_TIMEOUT);
+            }
+            Some(Fault::Unavailable) => {
+                // Connection refused: the request crosses, a one-byte
+                // refusal comes straight back, the server never runs.
+                node.client_path.request(request_bytes);
+                node.client_path.respond(1);
+                return self.abandoned(root, start, request_bytes, STATUS_REFUSED);
+            }
+        }
+
         let crossing = tracer.begin("net.client.request");
         let crossing_start = clock.now().as_micros();
         node.client_path.request(request_bytes);
@@ -82,6 +136,13 @@ impl<'t> VirtualClient<'t> {
         node.deliver_due_invalidations();
         let parsed = HttpRequest::parse(&raw_request).expect("client emits well-formed HTTP");
         let resp = node.server.handle(&parsed);
+        if fault == Some(Fault::Duplicate) {
+            // The request was delivered twice: the second copy crosses on
+            // the async stream (the client sent once) and the server runs
+            // again on identical bytes; one response returns.
+            node.client_path.request_async(request_bytes);
+            let _ = node.server.handle(&parsed);
+        }
         let raw_response = resp.encode();
         let response_bytes = raw_response.len();
         let crossing = tracer.begin("net.client.respond");
@@ -128,6 +189,37 @@ impl<'t> VirtualClient<'t> {
         }
     }
 
+    /// Closes out an interaction the client gave up on (timeout or refused
+    /// connection): the root span ends in error and no response bytes ever
+    /// arrived.
+    fn abandoned(
+        &self,
+        root: sli_telemetry::OpenSpan,
+        start: sli_simnet::SimTime,
+        request_bytes: usize,
+        status: u16,
+    ) -> Interaction {
+        let clock = &self.testbed.clock;
+        let latency = clock
+            .now()
+            .checked_since(start)
+            .expect("virtual time is monotone across a round trip");
+        self.testbed.tracer().finish(
+            root,
+            self.edge as u32 + 1,
+            0,
+            start.as_micros(),
+            clock.now().as_micros(),
+            SpanOutcome::Error,
+        );
+        Interaction {
+            latency,
+            status,
+            request_bytes,
+            response_bytes: 0,
+        }
+    }
+
     /// Runs a full session (sequence of actions), returning one
     /// measurement per interaction.
     pub fn run_session(&mut self, actions: &[TradeAction]) -> Vec<Interaction> {
@@ -139,7 +231,7 @@ impl<'t> VirtualClient<'t> {
 mod tests {
     use super::*;
     use crate::topology::{Architecture, Flavor, Testbed, TestbedConfig};
-    use sli_simnet::SimDuration;
+    use sli_simnet::{FaultPlan, SimDuration};
     use sli_trade::seed::Population;
     use sli_trade::session::SessionGenerator;
 
@@ -199,6 +291,65 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn access_link_faults_fail_the_interaction_and_stamp_ground_truth() {
+        let tb = Testbed::build(
+            Architecture::ClientsRas(Flavor::Jdbc),
+            TestbedConfig::default(),
+        );
+        let quote = TradeAction::Quote {
+            symbol: "s:1".into(),
+        };
+        let mut client = VirtualClient::new(&tb, 0);
+
+        // Connection refused: immediate failure, the server never runs.
+        tb.edges[0]
+            .client_path
+            .script_faults([Some(sli_simnet::Fault::Unavailable)]);
+        let refused = client.perform(&quote);
+        assert_eq!(refused.status, 503);
+        assert_eq!(refused.response_bytes, 0);
+        assert!(refused.latency < SimDuration::from_millis(1_000));
+
+        // Lost request: the client waits out its full HTTP timeout.
+        tb.edges[0]
+            .client_path
+            .script_faults([Some(sli_simnet::Fault::DropRequest)]);
+        let lost = client.perform(&quote);
+        assert_eq!(lost.status, 504);
+        assert!(lost.latency >= SimDuration::from_millis(1_000));
+
+        // A duplicated request still succeeds — the server merely ran twice.
+        tb.edges[0]
+            .client_path
+            .script_faults([Some(sli_simnet::Fault::Duplicate)]);
+        assert_eq!(client.perform(&quote).status, 200);
+
+        // Every injection latched the detection ground-truth timestamp.
+        assert!(tb.fault_first_effect_us().is_some());
+    }
+
+    #[test]
+    fn dialled_outage_on_clients_ras_refuses_service_at_the_access_link() {
+        // Clients/RAS puts the WAN on the client path, so a total outage
+        // dialled through the testbed must surface to the client directly.
+        let tb = Testbed::build(
+            Architecture::ClientsRas(Flavor::Jdbc),
+            TestbedConfig::default(),
+        );
+        tb.set_faults(FaultPlan {
+            seed: 3,
+            unavailable_per_mille: 1_000,
+            ..FaultPlan::NONE
+        });
+        let mut client = VirtualClient::new(&tb, 0);
+        let o = client.perform(&TradeAction::Quote {
+            symbol: "s:1".into(),
+        });
+        assert_eq!(o.status, 503);
+        assert!(tb.fault_first_effect_us().is_some());
     }
 
     #[test]

@@ -24,8 +24,8 @@
 
 use std::sync::Arc;
 
-use sli_simnet::{Scheduler, SimDuration, SimTime};
-use sli_telemetry::{Counter, Gauge, Histogram, Registry, SpanEvent, Timeline};
+use sli_simnet::{FaultPlan, Scheduler, SimDuration, SimTime};
+use sli_telemetry::{Counter, Gauge, Histogram, Registry, SloMonitor, SpanEvent, Timeline};
 use sli_trade::seed::Population;
 use sli_trade::session::SessionGenerator;
 use sli_trade::TradeAction;
@@ -202,6 +202,21 @@ impl LoadedRun {
 /// after a dispatch step of an observed run.
 pub type SpanObserver<'a> = &'a mut dyn FnMut(&[SpanEvent]);
 
+/// One mid-run fault-plan change on a monitored run's script: at virtual
+/// offset `at` from the run's start, dial `plan` onto the testbed's delayed
+/// paths ([`Testbed::set_faults`]). A scenario is a sequence of these — an
+/// outage is a faulty plan followed by [`FaultPlan::NONE`] at the recovery
+/// instant. The plan change itself is instantaneous; its *first effect* is
+/// the next delivery attempt, which the paths timestamp
+/// (`Path::first_fault_at_us`) as the detection ground truth.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduledFault {
+    /// Virtual-time offset from the run's start.
+    pub at: SimDuration,
+    /// The plan to dial at that instant.
+    pub plan: FaultPlan,
+}
+
 /// A live session mid-run: its client (cookie state), remaining script and
 /// the instant its next step becomes ready.
 struct LiveSession<'t> {
@@ -265,7 +280,46 @@ impl<'t> LoadEngine<'t> {
         &self,
         plan: &LoadPlan,
         timeline: Option<&Timeline>,
+        observer: Option<SpanObserver<'_>>,
+    ) -> LoadedRun {
+        self.run_driven(plan, timeline, observer, None, &[])
+    }
+
+    /// [`LoadEngine::run_observed`] under live SLO monitoring, with an
+    /// optional script of mid-run fault-plan changes.
+    ///
+    /// The monitor is fed at the loop's existing change points, so its
+    /// detection timestamps are exact virtual times of state transitions
+    /// rather than sampling artifacts: [`SloMonitor::evaluate`] runs after
+    /// every admission batch (the queue detectors see depth the instant it
+    /// changes) and [`SloMonitor::observe_interaction`] runs at each
+    /// completion with the interaction's total latency and HTTP verdict.
+    /// The engine binds its own `queue_depth` gauge into the monitor and
+    /// drains the commit-trace log into the flight recorder (sharing the
+    /// drain with `observer`, which still sees every span exactly once).
+    /// Entries in `schedule` are applied in offset order the moment virtual
+    /// time crosses them.
+    pub fn run_monitored(
+        &self,
+        plan: &LoadPlan,
+        timeline: Option<&Timeline>,
+        observer: Option<SpanObserver<'_>>,
+        monitor: &mut SloMonitor,
+        schedule: &[ScheduledFault],
+    ) -> LoadedRun {
+        monitor.bind_queue_gauge(self.metrics.queue_depth.clone());
+        self.run_driven(plan, timeline, observer, Some(monitor), schedule)
+    }
+
+    /// The one loaded main loop behind [`LoadEngine::run`],
+    /// [`LoadEngine::run_observed`] and [`LoadEngine::run_monitored`].
+    fn run_driven(
+        &self,
+        plan: &LoadPlan,
+        timeline: Option<&Timeline>,
         mut observer: Option<SpanObserver<'_>>,
+        mut monitor: Option<&mut SloMonitor>,
+        schedule: &[ScheduledFault],
     ) -> LoadedRun {
         assert!(plan.sessions > 0, "a loaded run needs at least one session");
         let clock = &self.testbed.clock;
@@ -284,6 +338,10 @@ impl<'t> LoadEngine<'t> {
         let scripts: Vec<Vec<TradeAction>> =
             (0..plan.sessions).map(|_| generator.session()).collect();
         let mut scheduler = Scheduler::random(plan.scheduler_seed);
+        let mut fault_script: Vec<(SimTime, FaultPlan)> =
+            schedule.iter().map(|s| (start + s.at, s.plan)).collect();
+        fault_script.sort_by_key(|&(t, _)| t);
+        let mut next_fault_change = 0usize;
 
         let expected: usize = scripts.iter().map(Vec::len).sum();
         let mut interactions = Vec::with_capacity(expected);
@@ -300,6 +358,12 @@ impl<'t> LoadEngine<'t> {
 
         loop {
             let now = clock.now();
+            // Dial any fault-plan change whose instant has passed.
+            while next_fault_change < fault_script.len() && fault_script[next_fault_change].0 <= now
+            {
+                self.testbed.set_faults(fault_script[next_fault_change].1);
+                next_fault_change += 1;
+            }
             // Admit every session whose arrival instant has passed.
             while next_arrival < plan.sessions && arrival_times[next_arrival] <= now {
                 in_flight_area_us += live.len() as u64
@@ -326,6 +390,9 @@ impl<'t> LoadEngine<'t> {
                 .collect();
             self.metrics.queue_depth.set(ready.len() as u64);
             peak_queue_depth = peak_queue_depth.max(ready.len() as u64);
+            if let Some(mon) = monitor.as_deref_mut() {
+                mon.evaluate(now.as_micros());
+            }
 
             if ready.is_empty() {
                 // Idle: jump straight to the next event — the earliest
@@ -383,13 +450,30 @@ impl<'t> LoadEngine<'t> {
             } else {
                 live[idx].ready_at = clock.now() + plan.think;
             }
-            if let Some(obs) = observer.as_mut() {
+            if observer.is_some() || monitor.is_some() {
                 let trace = self.testbed.commit_trace();
                 let events = trace.events();
                 if !events.is_empty() {
-                    obs(&events);
+                    if let Some(mon) = monitor.as_deref_mut() {
+                        mon.observe_spans(&events);
+                    }
+                    if let Some(obs) = observer.as_mut() {
+                        obs(&events);
+                    }
                     trace.clear();
                 }
+            }
+            if let Some(mon) = monitor.as_deref_mut() {
+                // Completion change point: the dispatch just finished at
+                // the clock's position, with the latency the user saw.
+                let done = interactions
+                    .last()
+                    .expect("a dispatch step pushes its interaction");
+                mon.observe_interaction(
+                    clock.now().as_micros(),
+                    done.total().as_micros(),
+                    done.status == 200,
+                );
             }
             if let Some(tl) = timeline {
                 tl.sample(clock.now().as_micros());
@@ -413,6 +497,7 @@ impl<'t> LoadEngine<'t> {
 mod tests {
     use super::*;
     use crate::topology::{Architecture, Flavor, Testbed, TestbedConfig};
+    use sli_telemetry::SloConfig;
 
     fn plan(rps: f64, sessions: usize) -> LoadPlan {
         LoadPlan::poisson(rps, sessions, 77)
@@ -553,6 +638,97 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), before, "span ids must be unique across drains");
+    }
+
+    fn quick_slo() -> SloConfig {
+        // Shortened windows / early arming so a sub-second loaded run can
+        // exercise every detector; thresholds keep the defaults' shape.
+        SloConfig {
+            fast_window_us: 500_000,
+            slow_window_us: 2_000_000,
+            avail_window_us: 1_000_000,
+            min_events: 6,
+            calibration: 30,
+            ..SloConfig::default()
+        }
+    }
+
+    #[test]
+    fn monitored_run_detects_a_scripted_outage_after_it_starts() {
+        let tb = Testbed::build(Architecture::EsRbes, TestbedConfig::default());
+        let engine = LoadEngine::new(&tb);
+        let mut p = plan(60.0, 25);
+        p.think = SimDuration::ZERO;
+        let mut monitor = SloMonitor::new(quick_slo())
+            .with_label("EsRbes outage drill")
+            .share_metrics(tb.monitor_metrics());
+        let outage = FaultPlan {
+            seed: 9,
+            unavailable_per_mille: 1_000,
+            ..FaultPlan::NONE
+        };
+        let schedule = [ScheduledFault {
+            at: SimDuration::from_millis(120),
+            plan: outage,
+        }];
+        let t0 = tb.clock.now().as_micros();
+        let run = engine.run_monitored(&p, None, None, &mut monitor, &schedule);
+        assert_eq!(run.sessions_completed, 25, "the run must still complete");
+        // Ground truth is the first *injected* fault, not the dial instant:
+        // the plan change only bites on the next delivery attempt.
+        let truth = tb
+            .fault_first_effect_us()
+            .expect("a total outage must inject at least one fault");
+        assert!(truth >= t0 + 120_000, "truth {truth} vs dial at {t0}+120ms");
+        let detections = monitor.detections();
+        assert!(
+            !detections.is_empty(),
+            "a total back-end outage must trip at least one detector"
+        );
+        for (name, at) in &detections {
+            assert!(
+                *at >= truth,
+                "detector {name} fired at {at}, before the first injection at {truth}"
+            );
+        }
+        // Every frozen incident is a valid artifact, and the shared
+        // registry handles saw exactly those firings.
+        assert_eq!(monitor.incidents().len(), detections.len());
+        for incident in monitor.incidents() {
+            sli_telemetry::validate_incident(&incident.to_json()).expect("incident validates");
+        }
+        assert_eq!(
+            tb.monitor_metrics().incidents.get(),
+            detections.len() as u64
+        );
+        assert!(tb.monitor_metrics().evaluations.get() > 0);
+    }
+
+    #[test]
+    fn monitored_clean_run_fires_nothing_and_matches_plain_run() {
+        let interactions_of = |monitored: bool| {
+            let tb = Testbed::build(Architecture::EsRdb(Flavor::Jdbc), TestbedConfig::default());
+            let engine = LoadEngine::new(&tb);
+            // Below the saturation knee: stationary latency. (Past the
+            // knee, queue growth is *genuine* drift and should fire.)
+            let mut p = plan(4.0, 15);
+            p.think = SimDuration::ZERO;
+            if monitored {
+                let mut monitor = SloMonitor::new(quick_slo());
+                let run = engine.run_monitored(&p, None, None, &mut monitor, &[]);
+                assert!(
+                    monitor.incidents().is_empty(),
+                    "clean traffic must not trip detectors: {:?}",
+                    monitor.detections()
+                );
+                assert!(tb.fault_first_effect_us().is_none());
+                run.interactions
+            } else {
+                engine.run(&p, None).interactions
+            }
+        };
+        // Monitoring is pure observation: the run itself is bit-identical.
+        assert_eq!(interactions_of(true), interactions_of(false));
     }
 
     #[test]

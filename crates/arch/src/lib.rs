@@ -44,7 +44,9 @@ mod topology;
 
 pub use checker::{analyze, ChainVersion, HistoryAnalysis, TxnRef, Violation};
 pub use client::{Interaction, VirtualClient};
-pub use engine::{LoadEngine, LoadMetrics, LoadPlan, LoadedInteraction, LoadedRun, SpanObserver};
+pub use engine::{
+    LoadEngine, LoadMetrics, LoadPlan, LoadedInteraction, LoadedRun, ScheduledFault, SpanObserver,
+};
 pub use report::collect_report;
 pub use servlet::{parse_action, AppServer, AppServerCost, ServletMetrics};
 pub use slicheck::{

@@ -197,17 +197,18 @@ impl ServletMetrics {
         registry.attach_gauge(format!("{prefix}.sessions"), &self.sessions);
     }
 
-    /// Tracks the servlet's throughput and abort rate in `timeline` under
-    /// the [`ServletMetrics::register_with`] names: the total request rate
-    /// plus the `409` series (optimistic aborts surfacing as HTTP
-    /// conflicts) and the `503` series (unavailable back end).
+    /// Tracks the servlet's throughput and every per-status rate in
+    /// `timeline` under the [`ServletMetrics::register_with`] names —
+    /// successes, `409` (optimistic aborts surfacing as HTTP conflicts),
+    /// `503` (unavailable back end) and the rest, so nothing the registry
+    /// counts is invisible to the timeline (the action histograms have no
+    /// windowed form and are exempt).
     pub fn timeline_into(&self, timeline: &sli_telemetry::Timeline, prefix: &str) {
         timeline.track_counter(format!("{prefix}.requests"), &self.requests);
         for (code, counter) in &self.statuses {
-            if matches!(code, 409 | 503) {
-                timeline.track_counter(format!("{prefix}.status.{code}"), counter);
-            }
+            timeline.track_counter(format!("{prefix}.status.{code}"), counter);
         }
+        timeline.track_counter(format!("{prefix}.status.other"), &self.other);
         timeline.track_gauge(format!("{prefix}.sessions"), &self.sessions);
     }
 

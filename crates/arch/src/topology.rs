@@ -11,7 +11,7 @@ use sli_core::{
 use sli_datastore::server::{DbCostModel, DbServer, RemoteConnection};
 use sli_datastore::Database;
 use sli_simnet::{Clock, FaultPlan, Path, PathSpec, Remote, SimDuration};
-use sli_telemetry::{Registry, Timeline, TraceLog, Tracer};
+use sli_telemetry::{MonitorMetrics, Registry, Timeline, TraceLog, Tracer};
 use sli_trade::deploy;
 use sli_trade::model::trade_registry;
 use sli_trade::seed::{create_and_seed, Population};
@@ -170,6 +170,9 @@ pub struct EdgeNode {
     pub invalidations: Option<Arc<DeferredInvalidationSink>>,
     /// The back-end → edge invalidation path (ES/RBES only).
     pub invalidation_path: Option<Arc<Path>>,
+    /// The combined commit pipeline (CachedEjb without a back-end only) —
+    /// retained so its commit counters can be timeline-tracked.
+    pub committer: Option<Arc<CombinedCommitter>>,
 }
 
 impl EdgeNode {
@@ -218,6 +221,10 @@ pub struct Testbed {
     /// invalidation, backend↔db) — the full set the wire what-if knob
     /// scales together.
     paths: Vec<Arc<Path>>,
+    /// Shared handles for the online SLO monitor, registered under
+    /// `monitor.*` so incidents/evaluations/budget land in the same
+    /// registry and timeline as every machine metric.
+    monitor: MonitorMetrics,
 }
 
 impl std::fmt::Debug for Testbed {
@@ -305,6 +312,7 @@ impl Testbed {
 
             let mut invalidations = None;
             let mut invalidation_path = None;
+            let mut combined_committer = None;
             let (engine, store, rm): WiredEngine = match arch.flavor() {
                 Flavor::Jdbc => {
                     let mut conn = RemoteConnection::open(
@@ -387,13 +395,15 @@ impl Testbed {
                             )
                             .expect("edge connects to fresh db");
                             commit_conn.set_batching(config.wire_batching);
-                            let committer =
+                            let combined = Arc::new(
                                 CombinedCommitter::new(Box::new(commit_conn), trade_registry())
-                                    .with_tracer(Arc::clone(&tracer), Arc::clone(&clock));
-                            committer.register_with(&telemetry, &format!("committer.edge-{id}"));
+                                    .with_tracer(Arc::clone(&tracer), Arc::clone(&clock)),
+                            );
+                            combined.register_with(&telemetry, &format!("committer.edge-{id}"));
+                            combined_committer = Some(Arc::clone(&combined));
                             (
                                 Arc::new(DirectSource::new(Box::new(fetch_conn), trade_registry())),
-                                Arc::new(committer),
+                                combined,
                             )
                         }
                     };
@@ -437,8 +447,12 @@ impl Testbed {
                 rm,
                 invalidations,
                 invalidation_path,
+                committer: combined_committer,
             });
         }
+
+        let monitor = MonitorMetrics::new();
+        monitor.register_with(&telemetry, "monitor");
 
         Testbed {
             clock,
@@ -451,6 +465,7 @@ impl Testbed {
             backend,
             db_server,
             paths,
+            monitor,
         }
     }
 
@@ -495,6 +510,27 @@ impl Testbed {
         &self.paths
     }
 
+    /// The shared `monitor.*` metric handles (incidents, evaluations,
+    /// remaining error budget). An [`SloMonitor`]
+    /// (sli_telemetry::SloMonitor) shares these via
+    /// [`SloMonitor::share_metrics`](sli_telemetry::SloMonitor::share_metrics)
+    /// so its counts land in this testbed's registry and timeline.
+    pub fn monitor_metrics(&self) -> &MonitorMetrics {
+        &self.monitor
+    }
+
+    /// The virtual timestamp (µs) at which the first fault was actually
+    /// injected on any path, if one was. This is the ground truth a
+    /// time-to-detect measurement compares detection timestamps against:
+    /// dialling a [`FaultPlan`](sli_simnet::FaultPlan) has no observable
+    /// effect until the next delivery attempt draws a fault.
+    pub fn fault_first_effect_us(&self) -> Option<u64> {
+        self.paths
+            .iter()
+            .filter_map(|p| p.first_fault_at_us())
+            .min()
+    }
+
     /// Applies virtual per-resource speed knobs: every path, the database
     /// server and every application server take their scale from `scale`.
     /// [`ResourceScale::nominal`] restores measured-cost behaviour.
@@ -526,11 +562,19 @@ impl Testbed {
     }
 
     /// Builds the standard observability timeline for this testbed: every
-    /// edge's servlet throughput/abort series, cache rates and working-set
-    /// size, commit/conflict rates, invalidation-queue depth, and the
-    /// delayed path's traffic — all under the same dotted names the
-    /// [`Testbed::telemetry`] registry uses, so per-window rate totals can
-    /// be checked against run-end counter reads.
+    /// edge's servlet status series, cache rates and working-set size,
+    /// commit/conflict rates (edge committers *and* the shared back-end),
+    /// invalidation-queue depth, every communication path's traffic and
+    /// RPC-outcome rates, and the `monitor.*` SLO series — all under the
+    /// same dotted names the [`Testbed::telemetry`] registry uses, so
+    /// per-window rate totals can be checked against run-end counter reads.
+    ///
+    /// Coverage is *total* by construction: everything any machine
+    /// registers at build time is tracked here, except histograms (which
+    /// have no windowed form) and the `engine.*` metrics a [`LoadEngine`]
+    /// (crate::LoadEngine) registers later and tracks itself. The
+    /// `registry_is_fully_timeline_tracked` test pins that invariant —
+    /// three previous PRs silently grew the registry past the timeline.
     ///
     /// The caller drives it: [`Timeline::rebase`] at the warm-up/measure
     /// boundary (after [`Testbed::reset_telemetry`]), then
@@ -543,6 +587,13 @@ impl Testbed {
         // `db.plan.*` names the registry uses.
         self.db_server.metrics().timeline_into(&timeline, "db.stmt");
         self.db.plan_timeline_into(&timeline, "db.plan");
+        // The shared ES/RBES back-end's commit outcomes.
+        if let Some(backend) = &self.backend {
+            backend.timeline_into(&timeline, "backend.commit");
+        }
+        // The SLO monitor's own series: incident/evaluation rates and the
+        // remaining error budget as a level.
+        self.monitor.timeline_into(&timeline, "monitor");
         for (i, edge) in self.edges.iter().enumerate() {
             let id = i + 1;
             edge.server
@@ -557,19 +608,16 @@ impl Testbed {
             if let Some(sink) = &edge.invalidations {
                 sink.timeline_into(&timeline, &format!("invalidations.edge-{id}"));
             }
-            let path = self.delayed_path(i);
+            if let Some(committer) = &edge.committer {
+                committer.timeline_into(&timeline, &format!("committer.edge-{id}"));
+            }
+        }
+        // Every communication path, exactly once: client and shared paths
+        // (distinct objects even for Clients/RAS), invalidation channels
+        // and the back-end ↔ database LAN.
+        for path in &self.paths {
             path.metrics()
                 .timeline_into(&timeline, &format!("simnet.path.{}", path.name()));
-            // For the edge architectures the client LAN path is distinct
-            // from the delayed path; under concurrent load its traffic and
-            // in-flight depth are worth watching too. (For Clients/RAS the
-            // client path *is* the delayed path, already tracked above.)
-            if !matches!(self.arch, Architecture::ClientsRas(_)) {
-                let client = &self.edges[i].client_path;
-                client
-                    .metrics()
-                    .timeline_into(&timeline, &format!("simnet.path.{}", client.name()));
-            }
         }
         timeline
     }
@@ -889,11 +937,86 @@ mod tests {
             "db.plan.evictions",
             "store.edge-1.lru_desync",
             "store.edge-1.resident_bytes",
+            "backend.commit.committed",
+            "backend.commit.conflicts",
+            "monitor.incidents",
+            "monitor.evaluations",
+            "monitor.budget_remaining_ppm",
+            "simnet.path.backend-db.requests",
+            "simnet.path.backend-invalidate-1.rpc_unavailable",
         ] {
             assert!(
                 names.contains(&expected),
                 "standard timeline must track {expected}; have {names:?}"
             );
+        }
+    }
+
+    #[test]
+    fn combined_committer_series_are_timeline_tracked() {
+        // The combined-servers configuration commits through an in-edge
+        // CombinedCommitter rather than a back-end; its conflict counters
+        // are the ones the incident artifact's hot-entity view corroborates,
+        // so they must be visible as windowed series too.
+        let tb = Testbed::build(
+            Architecture::EsRdb(Flavor::CachedEjb),
+            TestbedConfig::default(),
+        );
+        let timeline = tb.standard_timeline(1_000);
+        let mut client = VirtualClient::new(&tb, 0);
+        client.perform(&TradeAction::Buy {
+            user: "uid:0".into(),
+            symbol: "s:1".into(),
+            quantity: 1.0,
+        });
+        timeline.sample(tb.clock.now().as_micros());
+        let report = timeline.report("audit");
+        let names: Vec<&str> = report.series.iter().map(|s| s.name.as_str()).collect();
+        for expected in [
+            "committer.edge-1.committed",
+            "committer.edge-1.conflicts",
+            "committer.edge-1.dedup_replays",
+        ] {
+            assert!(
+                names.contains(&expected),
+                "standard timeline must track {expected}; have {names:?}"
+            );
+        }
+        let committed = report
+            .series
+            .iter()
+            .find(|s| s.name == "committer.edge-1.committed")
+            .unwrap();
+        assert!(committed.total > 0, "the buy ran the commit pipeline");
+    }
+
+    #[test]
+    fn registry_is_fully_timeline_tracked() {
+        // Completeness gate: every metric any architecture registers must
+        // be a windowed series in the standard timeline (plus the engine's
+        // own series, which the load harness tracks itself), or be a
+        // histogram — the one structural exemption, since histograms have
+        // no windowed form. A metric added to a machine's `register_with`
+        // without a matching `timeline_into` line fails here by name.
+        use sli_telemetry::Metric;
+        for arch in all_architectures() {
+            let tb = Testbed::build(arch, TestbedConfig::default());
+            let timeline = tb.standard_timeline(1_000);
+            let engine = crate::LoadEngine::new(&tb);
+            engine.metrics().timeline_into(&timeline, "engine");
+            timeline.sample(tb.clock.now().as_micros());
+            let report = timeline.report("audit");
+            let tracked: Vec<&str> = report.series.iter().map(|s| s.name.as_str()).collect();
+            for name in tb.telemetry().names() {
+                if let Some(Metric::Histogram(_)) = tb.telemetry().get(&name) {
+                    continue;
+                }
+                assert!(
+                    tracked.contains(&name.as_str()),
+                    "{arch:?}: registry metric {name} is not tracked by the \
+                     standard timeline (and is not a histogram)"
+                );
+            }
         }
     }
 

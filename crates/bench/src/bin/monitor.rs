@@ -1,0 +1,284 @@
+//! `monitor` — online SLO detection with measured time-to-detect.
+//!
+//! Two experiments share the monitored open-loop protocol
+//! ([`sli_bench::run_point_monitored`]):
+//!
+//! 1. **False-positive gate.** Every architecture × flavor combination runs
+//!    a clean sub-knee loaded point under the full detector suite. Any
+//!    incident on a clean run fails the bin — an SLO monitor that pages on
+//!    stationary traffic is worse than none.
+//! 2. **Time-to-detect.** Three scripted disturbances — a total back-end
+//!    outage, a WAN loss burst, and a flash-crowd arrival surge — are
+//!    dialled in mid-run. Ground truth is exact: for fault injection, the
+//!    virtual timestamp of the first *actually injected* fault (recorded
+//!    by the path's fault state, not the dial instant); for the flash
+//!    crowd, the scripted surge instant. The bin reports a detector ×
+//!    fault-class table of detection latencies against that truth.
+//!
+//! Artifacts: `results/monitor_ttd.csv` (one row per combo × fault ×
+//! detector) and `results/monitor-{arch}-{fault}.incident.json` — the
+//! earliest frozen incident of each scenario run, schema
+//! `sli-edge.incident/v1` (the flight-recorder page an operator would
+//! open).
+//!
+//! Run with `cargo run --release -p sli-bench --bin monitor`. Pass
+//! `--smoke` for the CI profile (scenarios on one combination). Exits
+//! non-zero if a clean run pages, a scripted disturbance goes undetected,
+//! any detection precedes its ground truth, any detector × fault-class
+//! cell of the aggregate table stays empty, or an artifact fails
+//! validation. Smoke mode is stricter still: its single combination must
+//! light up *all six* detectors for every fault class. Full mode demands
+//! that per cell, not per combination — an architecture that fails fast
+//! under a given fault legitimately never moves the latency or queue
+//! signals (the error-budget detectors catch it instead).
+
+use sli_arch::{arch_by_key, ARCH_KEYS};
+use sli_bench::{
+    run_point_monitored, write_incident_json, Cli, FaultClass, LoadedConfig, MonitorOutcome,
+    MonitoredConfig,
+};
+use sli_simnet::SimDuration;
+use sli_telemetry::DETECTOR_NAMES;
+use sli_workload::{Csv, TextTable};
+
+/// Sub-knee session rate for every combination at the default delay: the
+/// knee bin places even es-rdb-vanilla's knee (the slowest combination,
+/// ~9 interactions/s at 10 ms) above this offered rate at 5 ms one-way.
+const CLEAN_RPS: f64 = 0.5;
+
+/// The scenario combination for `--smoke` (full mode runs all seven).
+const SMOKE_COMBO: &str = "es-rbes";
+
+fn main() {
+    let args = Cli::new(
+        "monitor",
+        "Online SLO monitor: clean-run false-positive gate and time-to-detect table",
+    )
+    .flag(
+        "smoke",
+        "scaled-down run for CI (scenarios on one combination)",
+    )
+    .option("delay", "MS", "one-way delay in ms (default 5)")
+    .parse();
+    let smoke = args.has("smoke");
+    let delay_ms: u64 = match args.get("delay") {
+        None => 5,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: --delay needs a non-negative integer, got {v:?}");
+            std::process::exit(2);
+        }),
+    };
+    let delay = SimDuration::from_millis(delay_ms);
+    let load = if smoke {
+        LoadedConfig::quick(CLEAN_RPS)
+    } else {
+        LoadedConfig::at_rps(CLEAN_RPS)
+    };
+    let mut failed = false;
+
+    // ---- Experiment 1: the clean sweep must not page. -------------------
+    println!(
+        "Clean-run false-positive gate ({} sessions at {CLEAN_RPS} sessions/s, \
+         {delay_ms} ms one-way delay)",
+        load.sessions
+    );
+    for key in ARCH_KEYS {
+        let arch = arch_by_key(key).expect("built-in key");
+        let outcome = run_point_monitored(arch, delay, MonitoredConfig::around(load));
+        if outcome.detections.is_empty() {
+            println!(
+                "ok   {key}: 0 incidents ({} interactions, p95 {:.1} ms)",
+                outcome.point.ok + outcome.point.failed,
+                outcome.point.latency_p95_ms
+            );
+        } else {
+            failed = true;
+            for (detector, at) in &outcome.detections {
+                eprintln!("FAIL {key}: clean traffic paged {detector} at {at} us");
+            }
+        }
+    }
+
+    // ---- Experiment 2: scripted disturbances, measured TTD. -------------
+    let combos: Vec<&str> = if smoke {
+        vec![SMOKE_COMBO]
+    } else {
+        ARCH_KEYS.to_vec()
+    };
+    println!(
+        "\nScripted disturbances on {} (dialled at +{} ms for {} ms):",
+        combos.join(", "),
+        MonitoredConfig::around(load).fault_at_ms,
+        MonitoredConfig::around(load).fault_dur_ms,
+    );
+    let mut csv = Csv::new(&[
+        "arch",
+        "fault",
+        "detector",
+        "ttd_ms",
+        "detected_at_us",
+        "truth_us",
+    ]);
+    // ttd[detector][fault] across combos, for the aggregate table.
+    let mut cells: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); FaultClass::ALL.len()]; 6];
+    for key in &combos {
+        let arch = arch_by_key(key).expect("built-in key");
+        for fault in FaultClass::ALL {
+            let outcome =
+                run_point_monitored(arch, delay, MonitoredConfig::with_fault(load, fault));
+            let Some(truth) = outcome.truth_us else {
+                eprintln!("FAIL {key}/{}: disturbance never took effect", fault.key());
+                failed = true;
+                continue;
+            };
+            let f = FaultClass::ALL
+                .iter()
+                .position(|c| *c == fault)
+                .expect("scripted class");
+            if outcome.detections.is_empty() {
+                eprintln!(
+                    "FAIL {key}/{}: no detector fired (ground truth {truth} us)",
+                    fault.key()
+                );
+                failed = true;
+            }
+            for (d, detector) in DETECTOR_NAMES.iter().enumerate() {
+                match outcome.ttd_ms(detector) {
+                    Some(ttd) if ttd >= 0.0 => {
+                        cells[d][f].push(ttd);
+                        let at = outcome
+                            .detections
+                            .iter()
+                            .find(|(n, _)| n == detector)
+                            .map(|(_, at)| *at)
+                            .expect("fired detector has a timestamp");
+                        csv.row(vec![
+                            (*key).to_owned(),
+                            fault.key().to_owned(),
+                            (*detector).to_owned(),
+                            format!("{ttd:.1}"),
+                            at.to_string(),
+                            truth.to_string(),
+                        ]);
+                    }
+                    Some(ttd) => {
+                        eprintln!(
+                            "FAIL {key}/{}: {detector} fired {:.1} ms BEFORE the \
+                             disturbance (ground truth {truth} us)",
+                            fault.key(),
+                            -ttd
+                        );
+                        failed = true;
+                    }
+                    // A quiet detector is a smoke failure (the smoke combo
+                    // must exercise the full suite) but full-mode
+                    // information: an architecture that fails *fast* under
+                    // a given fault legitimately never moves the latency or
+                    // queue signals — the aggregate-cell gate below still
+                    // demands every detector prove itself on some combo.
+                    None if smoke => {
+                        eprintln!(
+                            "FAIL {key}/{}: {detector} never fired (ground truth {truth} us)",
+                            fault.key()
+                        );
+                        failed = true;
+                    }
+                    None => println!("  {key}/{}: {detector} quiet", fault.key()),
+                }
+            }
+            // Freeze the page an operator would open: the earliest incident.
+            if let Some(first) = earliest_incident(&outcome) {
+                match write_incident_json(&format!("monitor-{key}-{}", fault.key()), first) {
+                    Ok(path) => println!("  {key}/{}: incident frozen to {path}", fault.key()),
+                    Err(e) => {
+                        eprintln!("FAIL {key}/{}: incident export: {e}", fault.key());
+                        failed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- The aggregate detector × fault-class table. --------------------
+    let mut table = TextTable::new(&[
+        "detector",
+        "backend_outage ttd ms",
+        "loss_burst ttd ms",
+        "flash_crowd ttd ms",
+    ]);
+    for (d, detector) in DETECTOR_NAMES.iter().enumerate() {
+        let mut row = vec![(*detector).to_owned()];
+        for cell in &cells[d] {
+            row.push(summarize(cell));
+        }
+        table.row(row);
+    }
+    println!(
+        "\nTime-to-detect, virtual ms past ground truth{}:\n{}",
+        if combos.len() > 1 {
+            " (median [min..max] across combos)"
+        } else {
+            ""
+        },
+        table.render()
+    );
+
+    // Every detector must prove itself against every fault class somewhere
+    // in the combo pool — a cell nobody fills means a signal the suite
+    // cannot actually detect.
+    for (d, detector) in DETECTOR_NAMES.iter().enumerate() {
+        for (f, fault) in FaultClass::ALL.iter().enumerate() {
+            if cells[d][f].is_empty() {
+                eprintln!(
+                    "FAIL aggregate: {detector} never detected a {} on any combination",
+                    fault.key()
+                );
+                failed = true;
+            }
+        }
+    }
+
+    if std::fs::create_dir_all("results").is_ok()
+        && std::fs::write("results/monitor_ttd.csv", csv.render()).is_ok()
+    {
+        println!("(detections written to results/monitor_ttd.csv)");
+    }
+
+    if failed {
+        eprintln!("error: the SLO monitor missed a disturbance or paged a clean run");
+        std::process::exit(1);
+    }
+    println!("every scripted disturbance detected; no clean run paged");
+}
+
+/// The earliest-firing incident of a run.
+fn earliest_incident(outcome: &MonitorOutcome) -> Option<&sli_telemetry::Json> {
+    let first = outcome
+        .detections
+        .iter()
+        .min_by_key(|(_, at)| *at)
+        .map(|(d, _)| *d)?;
+    outcome
+        .incidents
+        .iter()
+        .find(|json| json.get("detector").and_then(sli_telemetry::Json::as_str) == Some(first))
+}
+
+/// `median [min..max]` of a cell, or `-` if the cell is empty.
+fn summarize(ttds: &[f64]) -> String {
+    if ttds.is_empty() {
+        return "-".to_owned();
+    }
+    let mut sorted = ttds.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite ttd"));
+    let median = sorted[sorted.len() / 2];
+    if sorted.len() == 1 {
+        format!("{median:.1}")
+    } else {
+        format!(
+            "{median:.1} [{:.1}..{:.1}]",
+            sorted[0],
+            sorted[sorted.len() - 1]
+        )
+    }
+}

@@ -1,6 +1,6 @@
 //! CI gate for exported telemetry: re-parses every `results/*.trace.json`,
-//! `results/*.timeline.json` and `results/*.profile.json` from its on-disk
-//! bytes and validates it.
+//! `results/*.timeline.json`, `results/*.profile.json` and
+//! `results/*.incident.json` from its on-disk bytes and validates it.
 //!
 //! Trace files are checked for Chrome trace-event well-formedness —
 //! required fields present and every span's `ts + dur` contained within
@@ -9,13 +9,18 @@
 //! (each rate series' windows must sum to its run-end total). Profile
 //! files are checked against the `sli-edge.profile/v1` schema, including
 //! its conservation law (per-class self times and per-resource times must
-//! each sum to the total measured latency).
+//! each sum to the total measured latency). Incident files — the SLO
+//! monitor's frozen flight-recorder pages — are checked against the
+//! `sli-edge.incident/v1` schema (detector name known, budget arithmetic
+//! in range, span intervals well-formed).
 //!
 //! Run with `cargo run -p sli-bench --bin tracecheck` after the figure and
 //! table binaries. Exits non-zero if no exports exist or any fails.
 
 use sli_bench::Cli;
-use sli_telemetry::{validate_chrome_trace, validate_profile, validate_timeline, Json};
+use sli_telemetry::{
+    validate_chrome_trace, validate_incident, validate_profile, validate_timeline, Json,
+};
 
 /// Validates one file, returning a short success label.
 fn check(path: &std::path::Path) -> Result<String, String> {
@@ -29,6 +34,18 @@ fn check(path: &std::path::Path) -> Result<String, String> {
             .and_then(Json::as_arr)
             .map_or(0, <[Json]>::len);
         Ok(format!("{runs} timeline run(s)"))
+    } else if name.ends_with(".incident.json") {
+        validate_incident(&doc)?;
+        let detector = doc
+            .get("detector")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_owned();
+        let spans = doc
+            .get("recent_spans")
+            .and_then(Json::as_arr)
+            .map_or(0, <[Json]>::len);
+        Ok(format!("{detector} incident, {spans} recorded span(s)"))
     } else if name.ends_with(".profile.json") {
         validate_profile(&doc)?;
         let classes = doc
@@ -49,7 +66,7 @@ fn check(path: &std::path::Path) -> Result<String, String> {
 fn main() {
     Cli::new(
         "tracecheck",
-        "Validates every results/*.{trace,timeline,profile}.json export",
+        "Validates every results/*.{trace,timeline,profile,incident}.json export",
     )
     .parse();
     let entries = match std::fs::read_dir("results") {
@@ -66,12 +83,13 @@ fn main() {
                 n.ends_with(".trace.json")
                     || n.ends_with(".timeline.json")
                     || n.ends_with(".profile.json")
+                    || n.ends_with(".incident.json")
             })
         })
         .collect();
     paths.sort();
     if paths.is_empty() {
-        eprintln!("error: no results/*.{{trace,timeline,profile}}.json files to validate");
+        eprintln!("error: no results/*.{{trace,timeline,profile,incident}}.json files to validate");
         std::process::exit(1);
     }
 

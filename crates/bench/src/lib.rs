@@ -16,6 +16,7 @@
 //! | `knee` | throughput–latency curves, saturation knees, aggregate profile |
 //! | `whatif` | causal profiles via virtual resource speedups |
 //! | `perfguard` | performance-regression gate against recorded baselines |
+//! | `monitor` | online SLO detection: false-positive gate + time-to-detect table |
 //! | `slicheck` | serializability checker across the seven combinations |
 //! | `tracecheck` | schema validation of every artifact in `results/` |
 //!
@@ -31,14 +32,15 @@
 #![warn(missing_docs)]
 
 use sli_arch::{
-    collect_report, Architecture, LoadEngine, LoadPlan, ResourceScale, Testbed, TestbedConfig,
-    VirtualClient,
+    arch_key, collect_report, Architecture, LoadEngine, LoadPlan, ResourceScale, ScheduledFault,
+    Testbed, TestbedConfig, VirtualClient,
 };
 use sli_simnet::{FaultPlan, SimDuration};
 use sli_telemetry::{
     chrome_trace, conflict_leaderboard, critical_path, sparkline, validate_chrome_trace,
-    validate_profile, validate_timeline, ArchReport, Breakdown, Bucket, ConflictEntry, LittlesLaw,
-    Profile, Resource, SpanEvent, TimelineDoc, TimelineReport,
+    validate_incident, validate_profile, validate_timeline, ArchReport, Breakdown, Bucket,
+    ConflictEntry, Json, LittlesLaw, Profile, Resource, SloConfig, SloMonitor, SpanEvent,
+    TimelineDoc, TimelineReport,
 };
 use sli_trade::seed::Population;
 use sli_trade::session::SessionGenerator;
@@ -911,6 +913,336 @@ pub fn knee_index(points: &[LoadedPoint]) -> Option<usize> {
 
 /// The delay sweep of Figures 6 and 7: 0–100 ms one-way in 20 ms steps.
 pub const PAPER_DELAYS_MS: &[u64] = &[0, 20, 40, 60, 80, 100];
+
+/// The scripted fault classes the `monitor` bin injects mid-run, each
+/// exercising a different failure surface: the shared back-end going dark,
+/// the WAN shedding traffic, and the paper's "flash crowd" arrival surge
+/// (no injected fault at all — the *workload* is the incident).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Every delivery on the delayed path fails for the outage window.
+    BackendOutage,
+    /// A burst window in which the delayed path drops/duplicates/refuses a
+    /// large share of attempts.
+    LossBurst,
+    /// A step surge in the session arrival rate; paths stay clean.
+    FlashCrowd,
+}
+
+impl FaultClass {
+    /// Every scripted class, in report-column order.
+    pub const ALL: [FaultClass; 3] = [
+        FaultClass::BackendOutage,
+        FaultClass::LossBurst,
+        FaultClass::FlashCrowd,
+    ];
+
+    /// Stable key used in filenames, CSV columns and incident labels.
+    pub fn key(self) -> &'static str {
+        match self {
+            FaultClass::BackendOutage => "backend_outage",
+            FaultClass::LossBurst => "loss_burst",
+            FaultClass::FlashCrowd => "flash_crowd",
+        }
+    }
+}
+
+/// Everything that defines one monitored run: the loaded protocol, the SLO
+/// detector configuration, and the shape of the mid-run disturbance.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitoredConfig {
+    /// The open-loop load protocol (rate, sessions, warm-up, seed).
+    pub load: LoadedConfig,
+    /// Detector thresholds and windows.
+    pub slo: SloConfig,
+    /// Scripted disturbance, or `None` for a clean false-positive run.
+    pub fault: Option<FaultClass>,
+    /// When the disturbance starts, ms of virtual time after the loaded
+    /// phase begins. Must leave room for drift calibration first.
+    pub fault_at_ms: u64,
+    /// How long the disturbance lasts (ms); the fault plan is dialled back
+    /// to [`FaultPlan::NONE`] afterwards.
+    pub fault_dur_ms: u64,
+    /// Per-mille attempt loss during a [`FaultClass::LossBurst`].
+    pub loss_per_mille: u16,
+    /// Arrival-rate multiplier during a [`FaultClass::FlashCrowd`].
+    pub flash_peak: f64,
+}
+
+impl MonitoredConfig {
+    /// The standard monitored protocol around `load`: disturbance from
+    /// 25 s to 45 s of the loaded phase (the default 100-sample drift
+    /// calibration finishes first at ≥ 5 interactions/s; 20 s of outage
+    /// lets the ready queue back up far enough for the queue charts),
+    /// heavy loss, a 20× surge. The burn/availability windows are
+    /// stretched over the defaults so they hold `min_events` even at
+    /// half-session-per-second rates, where an outage thins completions to
+    /// a trickle, and the latency σ floor is raised (12% of the SLO) to
+    /// clear the vanilla-EJB combination's legitimately large
+    /// clean-traffic latency swings without loosening the queue charts.
+    pub fn around(load: LoadedConfig) -> MonitoredConfig {
+        MonitoredConfig {
+            load,
+            slo: SloConfig {
+                fast_window_us: 4_000_000,
+                slow_window_us: 16_000_000,
+                min_events: 10,
+                latency_sigma_floor_us: 60_000.0,
+                ..SloConfig::default()
+            },
+            fault: None,
+            fault_at_ms: 25_000,
+            fault_dur_ms: 20_000,
+            loss_per_mille: 700,
+            flash_peak: 20.0,
+        }
+    }
+
+    /// Same protocol with `fault` scripted in.
+    pub fn with_fault(load: LoadedConfig, fault: FaultClass) -> MonitoredConfig {
+        MonitoredConfig {
+            fault: Some(fault),
+            ..MonitoredConfig::around(load)
+        }
+    }
+}
+
+/// The outcome of one monitored run: what the detectors saw, when the
+/// disturbance actually began, and the frozen incident artifacts.
+#[derive(Debug, Clone)]
+pub struct MonitorOutcome {
+    /// Throughput/latency summary of the run (same shape as a knee point).
+    pub point: LoadedPoint,
+    /// The scripted class, if any.
+    pub fault: Option<FaultClass>,
+    /// Ground-truth disturbance onset, µs of virtual time. For fault
+    /// injection this is the first *actually injected* fault
+    /// ([`Testbed::fault_first_effect_us`]) — dialling a plan has no
+    /// observable effect until a delivery attempt draws a fault. For a
+    /// flash crowd it is the scripted surge instant.
+    pub truth_us: Option<u64>,
+    /// `(detector, virtual firing instant µs)` for every latched detector.
+    pub detections: Vec<(&'static str, u64)>,
+    /// Every frozen incident, rendered and schema-validated.
+    pub incidents: Vec<Json>,
+}
+
+impl MonitorOutcome {
+    /// Time-to-detect for `detector` in virtual ms: firing instant minus
+    /// ground truth. `None` if the detector never fired or the run had no
+    /// disturbance.
+    pub fn ttd_ms(&self, detector: &str) -> Option<f64> {
+        let truth = self.truth_us?;
+        let (_, at) = self.detections.iter().find(|(d, _)| *d == detector)?;
+        Some((*at as f64 - truth as f64) / 1_000.0)
+    }
+}
+
+/// Renders a fault plan for incident context.
+fn fault_plan_json(plan: FaultPlan) -> Json {
+    Json::obj([
+        ("seed", Json::from(plan.seed)),
+        (
+            "drop_request_per_mille",
+            Json::from(u64::from(plan.drop_request_per_mille)),
+        ),
+        (
+            "drop_response_per_mille",
+            Json::from(u64::from(plan.drop_response_per_mille)),
+        ),
+        (
+            "duplicate_per_mille",
+            Json::from(u64::from(plan.duplicate_per_mille)),
+        ),
+        (
+            "unavailable_per_mille",
+            Json::from(u64::from(plan.unavailable_per_mille)),
+        ),
+    ])
+}
+
+/// Runs the monitored open-loop protocol for one architecture at one
+/// delay: closed-loop warm-up, telemetry reset, then
+/// [`LoadEngine::run_monitored`] with the scripted disturbance, returning
+/// detection timestamps against ground truth and the validated incident
+/// artifacts.
+///
+/// # Panics
+/// Panics if a frozen incident fails `validate_incident` — an artifact the
+/// monitor itself produced must round-trip its own schema.
+pub fn run_point_monitored(
+    arch: Architecture,
+    delay: SimDuration,
+    cfg: MonitoredConfig,
+) -> MonitorOutcome {
+    let testbed = Testbed::build(
+        arch,
+        TestbedConfig {
+            population: cfg.load.population,
+            edges: 1,
+            wire_batching: cfg.load.wire_batching,
+            ..TestbedConfig::default()
+        },
+    );
+    testbed.set_delay(delay);
+    testbed.apply_scale(cfg.load.scale);
+    let engine = LoadEngine::new(&testbed);
+
+    let mut generator = SessionGenerator::new(cfg.load.seed, cfg.load.population);
+    let mut warm = VirtualClient::new(&testbed, 0);
+    for _ in 0..cfg.load.warmup_sessions {
+        let session = generator.session();
+        warm.run_session(&session);
+    }
+    testbed.reset_path_stats();
+    testbed.reset_telemetry();
+
+    // The arrival process and the fault script realise the scenario.
+    let mut process = cfg.load.process;
+    let mut schedule: Vec<ScheduledFault> = Vec::new();
+    let at = SimDuration::from_millis(cfg.fault_at_ms);
+    let until = SimDuration::from_millis(cfg.fault_at_ms + cfg.fault_dur_ms);
+    match cfg.fault {
+        Some(FaultClass::BackendOutage) => {
+            let outage = FaultPlan {
+                seed: cfg.load.seed,
+                unavailable_per_mille: 1_000,
+                ..FaultPlan::NONE
+            };
+            schedule.push(ScheduledFault { at, plan: outage });
+            schedule.push(ScheduledFault {
+                at: until,
+                plan: FaultPlan::NONE,
+            });
+        }
+        Some(FaultClass::LossBurst) => {
+            schedule.push(ScheduledFault {
+                at,
+                plan: FaultPlan::lossy(cfg.load.seed, cfg.loss_per_mille),
+            });
+            schedule.push(ScheduledFault {
+                at: until,
+                plan: FaultPlan::NONE,
+            });
+        }
+        Some(FaultClass::FlashCrowd) => {
+            process = ArrivalProcess::FlashCrowd {
+                at_us: cfg.fault_at_ms * 1_000,
+                dur_us: cfg.fault_dur_ms * 1_000,
+                peak: cfg.flash_peak,
+            };
+        }
+        None => {}
+    }
+
+    let scripted_plan = schedule.first().map(|s| s.plan);
+    let mut monitor = SloMonitor::new(cfg.slo)
+        .with_label(format!(
+            "{} {}",
+            arch_key(arch),
+            cfg.fault.map_or("clean", FaultClass::key)
+        ))
+        .share_metrics(testbed.monitor_metrics());
+    monitor.set_context("arch", Json::from(arch_key(arch)));
+    monitor.set_context(
+        "scenario",
+        Json::from(cfg.fault.map_or("clean", FaultClass::key)),
+    );
+    monitor.set_context("delay_ms", Json::from(delay.as_micros() / 1_000));
+    monitor.set_context("session_rps", Json::from(cfg.load.session_rps));
+    monitor.set_context(
+        "fault_plan",
+        fault_plan_json(scripted_plan.unwrap_or(FaultPlan::NONE)),
+    );
+
+    let plan = LoadPlan {
+        arrivals: ArrivalPlan {
+            seed: cfg.load.seed,
+            rps: cfg.load.session_rps,
+            process,
+        },
+        sessions: cfg.load.sessions,
+        think: SimDuration::from_millis(cfg.load.think_ms),
+        session_seed: cfg.load.seed ^ 0x5e55_1011,
+        scheduler_seed: cfg.load.seed ^ 0x5c4e_d01e,
+        population: cfg.load.population,
+    };
+    let arrival_us = plan.arrivals.times_us(plan.sessions);
+    let t0 = testbed.clock.now().as_micros();
+    let run = engine.run_monitored(&plan, None, None, &mut monitor, &schedule);
+
+    let truth_us = match cfg.fault {
+        Some(FaultClass::FlashCrowd) => Some(t0 + cfg.fault_at_ms * 1_000),
+        Some(_) => testbed.fault_first_effect_us(),
+        None => None,
+    };
+
+    let arrival_span_s = arrival_us
+        .last()
+        .zip(arrival_us.first())
+        .map_or(0.0, |(last, first)| (last - first) as f64 / 1e6);
+    let totals = run.total_latencies_ms();
+    let waits: Vec<f64> = run
+        .interactions
+        .iter()
+        .map(|i| i.queue_wait.as_millis_f64())
+        .collect();
+    let services: Vec<f64> = run
+        .interactions
+        .iter()
+        .map(|i| i.service.as_millis_f64())
+        .collect();
+    let ok = run.interactions.iter().filter(|i| i.status == 200).count();
+    let failed = run.interactions.len() - ok;
+    let batched = batch_means(&totals, 20);
+    let point = LoadedPoint {
+        session_rps: cfg.load.session_rps,
+        offered_tps: run.interactions.len() as f64 / arrival_span_s.max(1e-6),
+        achieved_tps: run.achieved_tps(),
+        latency_ms: batched.overall.mean,
+        latency_p50_ms: percentile(&totals, 0.50).unwrap_or(0.0),
+        latency_p95_ms: percentile(&totals, 0.95).unwrap_or(0.0),
+        latency_p99_ms: percentile(&totals, 0.99).unwrap_or(0.0),
+        service_ms: sli_workload::RunStats::of(&services).mean,
+        queue_wait_p95_ms: percentile(&waits, 0.95).unwrap_or(0.0),
+        peak_queue_depth: run.peak_queue_depth,
+        round_trips_per_interaction: testbed.delayed_path(0).stats().round_trips() as f64
+            / run.interactions.len().max(1) as f64,
+        ok,
+        failed,
+    };
+
+    let incidents: Vec<Json> = monitor
+        .incidents()
+        .iter()
+        .map(|incident| {
+            let json = incident.to_json();
+            validate_incident(&json).expect("monitor-frozen incident validates");
+            json
+        })
+        .collect();
+    MonitorOutcome {
+        point,
+        fault: cfg.fault,
+        truth_us,
+        detections: monitor.detections(),
+        incidents,
+    }
+}
+
+/// Exports `incident` to `results/{name}.incident.json`, validating it
+/// against the `sli-edge.incident/v1` schema before writing. Returns the
+/// path written.
+///
+/// # Errors
+/// Returns a description of the validation or I/O failure.
+pub fn write_incident_json(name: &str, incident: &Json) -> Result<String, String> {
+    validate_incident(incident)?;
+    let path = format!("results/{name}.incident.json");
+    std::fs::create_dir_all("results").map_err(|e| format!("create results/: {e}"))?;
+    std::fs::write(&path, incident.render()).map_err(|e| format!("write {path}: {e}"))?;
+    Ok(path)
+}
 
 /// Fits latency (ms) against one-way delay (ms); the slope is the latency
 /// sensitivity of Table 2.

@@ -16,7 +16,7 @@ use sli_datastore::{Predicate, SqlConnection, Value};
 use sli_simnet::wire::{frame, frame_traced, protocol, unframe, DecodeError, Reader, Writer};
 use sli_simnet::{CallError, Clock, Remote, Service, SimDuration};
 
-use sli_telemetry::{HistoryLog, Registry, SpanOutcome, Tracer};
+use sli_telemetry::{HistoryLog, Registry, SpanOutcome, Timeline, Tracer};
 
 use crate::commit::{CommitOutcome, CommitRequest};
 use crate::committer::{
@@ -137,6 +137,12 @@ impl BackendServer {
     /// `.conflicts`, `.errors` and `.dedup_replays`.
     pub fn register_with(&self, registry: &Registry, prefix: &str) {
         self.metrics.register_with(registry, prefix);
+    }
+
+    /// Tracks the same commit counters in `timeline` under the
+    /// [`BackendServer::register_with`] names.
+    pub fn timeline_into(&self, timeline: &Timeline, prefix: &str) {
+        self.metrics.timeline_into(timeline, prefix);
     }
 
     /// Counter snapshot.

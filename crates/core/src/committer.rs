@@ -9,7 +9,7 @@ use sli_datastore::{BatchStatement, SqlConnection, Value};
 use sli_simnet::Clock;
 use sli_telemetry::{
     ConflictInfo, Counter, HistoryEvent, HistoryLog, OpenSpan, Registry, SpanDetail, SpanOutcome,
-    Tracer,
+    Timeline, Tracer,
 };
 
 use crate::commit::{CommitOutcome, CommitRequest, EntryKind};
@@ -108,6 +108,13 @@ impl CommitMetrics {
         registry.attach_counter(format!("{prefix}.conflicts"), &self.conflicts);
         registry.attach_counter(format!("{prefix}.errors"), &self.errors);
         registry.attach_counter(format!("{prefix}.dedup_replays"), &self.dedup_replays);
+    }
+
+    pub(crate) fn timeline_into(&self, timeline: &Timeline, prefix: &str) {
+        timeline.track_counter(format!("{prefix}.committed"), &self.committed);
+        timeline.track_counter(format!("{prefix}.conflicts"), &self.conflicts);
+        timeline.track_counter(format!("{prefix}.errors"), &self.errors);
+        timeline.track_counter(format!("{prefix}.dedup_replays"), &self.dedup_replays);
     }
 
     pub(crate) fn snapshot(&self) -> CommitterStats {
@@ -842,6 +849,12 @@ impl CombinedCommitter {
     /// `.conflicts`, `.errors` and `.dedup_replays`.
     pub fn register_with(&self, registry: &Registry, prefix: &str) {
         self.metrics.register_with(registry, prefix);
+    }
+
+    /// Tracks the same commit counters in `timeline` under the
+    /// [`CombinedCommitter::register_with`] names.
+    pub fn timeline_into(&self, timeline: &Timeline, prefix: &str) {
+        self.metrics.timeline_into(timeline, prefix);
     }
 
     /// Counter snapshot.

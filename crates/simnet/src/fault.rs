@@ -117,6 +117,17 @@ impl FaultPlan {
         }
         None
     }
+
+    /// The first delivery attempt (0-based) this plan faults, scanning at
+    /// most `limit` attempts. This is the *schedule-level* ground truth a
+    /// time-to-detect measurement starts from: the plan is pure, so the
+    /// answer depends only on `(seed, rates)` — dialling the plan onto a
+    /// path at time t has no effect until the attempt stream reaches this
+    /// index, which [`FaultState`] timestamps as the first actual
+    /// injection.
+    pub fn first_effect_attempt(&self, limit: u64) -> Option<u64> {
+        (0..limit).find(|&n| self.draw(n).is_some())
+    }
 }
 
 /// Counters of faults actually injected on a path.
@@ -141,15 +152,34 @@ impl FaultStats {
 
 /// Per-path fault state: the dialled plan, a scripted override queue, the
 /// attempt counter feeding the seeded stream, and injection counters.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct FaultState {
     plan: Mutex<FaultPlan>,
     script: Mutex<VecDeque<Option<Fault>>>,
     attempts: AtomicU64,
+    /// Virtual timestamp (µs) of the first fault actually injected since
+    /// the last reset — the ground truth a time-to-detect measurement is
+    /// anchored to. `u64::MAX` = none yet.
+    first_injected_us: AtomicU64,
     dropped_requests: AtomicU64,
     dropped_responses: AtomicU64,
     duplicates: AtomicU64,
     unavailable: AtomicU64,
+}
+
+impl Default for FaultState {
+    fn default() -> FaultState {
+        FaultState {
+            plan: Mutex::new(FaultPlan::default()),
+            script: Mutex::new(VecDeque::new()),
+            attempts: AtomicU64::new(0),
+            first_injected_us: AtomicU64::new(u64::MAX),
+            dropped_requests: AtomicU64::new(0),
+            dropped_responses: AtomicU64::new(0),
+            duplicates: AtomicU64::new(0),
+            unavailable: AtomicU64::new(0),
+        }
+    }
 }
 
 impl FaultState {
@@ -178,8 +208,9 @@ impl FaultState {
             .extend(faults);
     }
 
-    /// Decides the fault for the next delivery attempt.
-    pub(crate) fn next(&self) -> Option<Fault> {
+    /// Decides the fault for the next delivery attempt, which happens at
+    /// virtual time `now_us` (used to timestamp the first injection).
+    pub(crate) fn next(&self, now_us: u64) -> Option<Fault> {
         let scripted = self
             .script
             .lock()
@@ -207,7 +238,18 @@ impl FaultState {
             }
             None => {}
         }
+        if fault.is_some() {
+            self.first_injected_us.fetch_min(now_us, Ordering::Relaxed);
+        }
         fault
+    }
+
+    /// Virtual timestamp of the first fault injected since the last reset.
+    pub(crate) fn first_injected_us(&self) -> Option<u64> {
+        match self.first_injected_us.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            t => Some(t),
+        }
     }
 
     pub(crate) fn stats(&self) -> FaultStats {
@@ -225,6 +267,7 @@ impl FaultState {
             .unwrap_or_else(|e| e.into_inner())
             .clear();
         self.attempts.store(0, Ordering::Relaxed);
+        self.first_injected_us.store(u64::MAX, Ordering::Relaxed);
         self.dropped_requests.store(0, Ordering::Relaxed);
         self.dropped_responses.store(0, Ordering::Relaxed);
         self.duplicates.store(0, Ordering::Relaxed);
@@ -273,10 +316,10 @@ mod tests {
     fn script_takes_priority_then_plan_resumes() {
         let state = FaultState::new(FaultPlan::default());
         state.push_script([Some(Fault::DropResponse), None, Some(Fault::Unavailable)]);
-        assert_eq!(state.next(), Some(Fault::DropResponse));
-        assert_eq!(state.next(), None);
-        assert_eq!(state.next(), Some(Fault::Unavailable));
-        assert_eq!(state.next(), None, "empty script falls back to the plan");
+        assert_eq!(state.next(10), Some(Fault::DropResponse));
+        assert_eq!(state.next(20), None);
+        assert_eq!(state.next(30), Some(Fault::Unavailable));
+        assert_eq!(state.next(40), None, "empty script falls back to the plan");
         let stats = state.stats();
         assert_eq!(stats.dropped_responses, 1);
         assert_eq!(stats.unavailable, 1);
@@ -287,11 +330,68 @@ mod tests {
     fn reset_clears_script_and_counters() {
         let state = FaultState::new(FaultPlan::default());
         state.push_script([Some(Fault::Duplicate)]);
-        assert_eq!(state.next(), Some(Fault::Duplicate));
+        assert_eq!(state.next(5), Some(Fault::Duplicate));
         state.push_script([Some(Fault::Duplicate)]);
         state.reset();
-        assert_eq!(state.next(), None);
+        assert_eq!(state.next(6), None);
         assert_eq!(state.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn first_effect_attempt_is_pinned_per_seed() {
+        // The schedule-level ground truth is a pure function of the plan;
+        // pin the exact attempt indices for known seeds so any change to
+        // the stream or threshold cascade is caught loudly.
+        let heavy = FaultPlan {
+            seed: 20040101,
+            unavailable_per_mille: 1000,
+            ..FaultPlan::default()
+        };
+        assert_eq!(
+            heavy.first_effect_attempt(16),
+            Some(0),
+            "1000‰ faults attempt 0"
+        );
+        let light = FaultPlan {
+            seed: 20040101,
+            drop_request_per_mille: 50,
+            ..FaultPlan::default()
+        };
+        let first = light.first_effect_attempt(10_000).expect("5% must hit");
+        assert_eq!(first, 16);
+        assert_eq!(light.draw(first), Some(Fault::DropRequest));
+        assert!((0..first).all(|n| light.draw(n).is_none()));
+        assert_eq!(FaultPlan::NONE.first_effect_attempt(10_000), None);
+    }
+
+    #[test]
+    fn first_injection_is_timestamped_and_reset() {
+        let plan = FaultPlan {
+            seed: 20040101,
+            drop_request_per_mille: 50,
+            ..FaultPlan::default()
+        };
+        let state = FaultState::new(plan);
+        let first = plan.first_effect_attempt(10_000).unwrap();
+        assert_eq!(state.first_injected_us(), None);
+        for n in 0..=first {
+            state.next(1_000 * (n + 1));
+        }
+        // The timestamp is the clock value passed on the faulting attempt,
+        // not the attempt index — exactly what TTD subtracts.
+        assert_eq!(state.first_injected_us(), Some(1_000 * (first + 1)));
+        // Later faults do not move it.
+        for n in first + 1..first + 500 {
+            state.next(1_000 * (n + 1));
+        }
+        assert_eq!(state.first_injected_us(), Some(1_000 * (first + 1)));
+        state.reset();
+        assert_eq!(state.first_injected_us(), None);
+        // Scripted faults are ground truth too.
+        state.push_script([None, Some(Fault::Unavailable)]);
+        state.next(7);
+        state.next(9);
+        assert_eq!(state.first_injected_us(), Some(9));
     }
 
     #[test]

@@ -152,8 +152,11 @@ impl PathMetrics {
     }
 
     /// Tracks this path's traffic in `timeline` under the
-    /// [`PathMetrics::register_with`] names: request/response/retry rates
-    /// plus the in-flight depth level.
+    /// [`PathMetrics::register_with`] names: request/response/byte rates,
+    /// every RPC outcome counter (calls, retries, timeouts, unavailability,
+    /// backoff time) and the in-flight depth level — everything the
+    /// registry holds except the crossing-time histogram, which has no
+    /// windowed form.
     pub fn timeline_into(&self, timeline: &Timeline, prefix: &str) {
         timeline.track_counter(format!("{prefix}.requests"), &self.requests);
         timeline.track_counter(format!("{prefix}.responses"), &self.responses);
@@ -162,7 +165,11 @@ impl PathMetrics {
             format!("{prefix}.bytes_from_server"),
             &self.bytes_from_server,
         );
+        timeline.track_counter(format!("{prefix}.rpc_calls"), &self.rpc_calls);
         timeline.track_counter(format!("{prefix}.rpc_retries"), &self.rpc_retries);
+        timeline.track_counter(format!("{prefix}.rpc_timeouts"), &self.rpc_timeouts);
+        timeline.track_counter(format!("{prefix}.rpc_unavailable"), &self.rpc_unavailable);
+        timeline.track_counter(format!("{prefix}.rpc_backoff_us"), &self.rpc_backoff_us);
         timeline.track_gauge(format!("{prefix}.in_flight"), &self.in_flight);
     }
 
@@ -437,14 +444,24 @@ impl Path {
     ///
     /// Transports such as [`Remote`](crate::Remote) call this once per
     /// attempt and act on the result; it is public so alternative transports
-    /// can share the same fault schedule.
+    /// can share the same fault schedule. The attempt is stamped with the
+    /// path clock's current virtual time so the first actual injection is
+    /// recorded as ground truth for time-to-detect measurements.
     pub fn next_fault(&self) -> Option<Fault> {
-        self.faults.next()
+        self.faults.next(self.clock.now().as_micros())
     }
 
     /// Counters of faults injected so far.
     pub fn fault_stats(&self) -> FaultStats {
         self.faults.stats()
+    }
+
+    /// Virtual timestamp (µs) of the first fault actually injected on this
+    /// path since the last [`reset_faults`](Path::reset_faults) — the
+    /// ground-truth instant a detector's time-to-detect is measured from.
+    /// `None` until something is injected.
+    pub fn first_fault_at_us(&self) -> Option<u64> {
+        self.faults.first_injected_us()
     }
 
     /// Clears the scripted queue, the fault-stream position and the fault

@@ -41,6 +41,12 @@
 //!   counters and gauges sampled into fixed-width windows, exported under
 //!   [`TIMELINE_SCHEMA`] and checked by [`validate_timeline`], with
 //!   [`sparkline`] for terminal rendering.
+//! * [`SloMonitor`] / [`Incident`] — *online* SLO detection on virtual
+//!   time: multi-window burn-rate, EWMA/CUSUM drift and availability-floor
+//!   detectors over the same shared handles, plus a flight recorder that
+//!   freezes [`INCIDENT_SCHEMA`] artifacts (checked by
+//!   [`validate_incident`]) the instant a detector fires — making
+//!   time-to-detect an exact measurement instead of a dashboard anecdote.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +55,7 @@ mod export;
 mod history;
 mod json;
 mod metrics;
+mod monitor;
 mod profile;
 mod registry;
 mod report;
@@ -64,6 +71,10 @@ pub use history::{
 };
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use monitor::{
+    validate_incident, Incident, MonitorMetrics, SloConfig, SloMonitor, DETECTOR_NAMES,
+    INCIDENT_SCHEMA,
+};
 pub use profile::{
     littles_law, resource_for, span_class, validate_profile, ClassStat, LittlesLaw, Profile,
     Resource, PROFILE_SCHEMA,
