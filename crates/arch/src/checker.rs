@@ -60,7 +60,7 @@ pub struct Violation {
     /// Violation class: `"non-serializable"`, `"phantom-read"`,
     /// `"witness-order"`, `"non-monotonic-read"`, or one of the
     /// harness-side kinds (`"money-conservation"`, `"abort-leak"`,
-    /// `"stale-invalidation"`).
+    /// `"stale-invalidation"`, `"lost-committed-write"`).
     pub kind: String,
     /// Human-readable description naming the entities and versions.
     pub details: String,

@@ -24,7 +24,7 @@
 
 use std::sync::Arc;
 
-use sli_simnet::{FaultPlan, Scheduler, SimDuration, SimTime};
+use sli_simnet::{CrashKind, FaultPlan, Scheduler, SimDuration, SimTime};
 use sli_telemetry::{Counter, Gauge, Histogram, Registry, SloMonitor, SpanEvent, Timeline};
 use sli_trade::seed::Population;
 use sli_trade::session::SessionGenerator;
@@ -217,6 +217,25 @@ pub struct ScheduledFault {
     pub plan: FaultPlan,
 }
 
+/// One scripted machine death on a loaded run: at virtual offset `at` from
+/// the run's start the machine `kind` names is killed ([`Testbed::crash`]),
+/// and `restart_after` later it is restarted ([`Testbed::restart`] — a
+/// backend restart replays the WAL and reseeds the dedup tables; an edge
+/// restart comes back with cold caches). Both transitions apply at the
+/// loop's change points — the instants between atomic dispatch steps — so
+/// a crash lands at an exact, replayable position in the interleaving:
+/// every RPC issued toward the dead machine fails as an outage and the
+/// affected sessions retry through the transport's backoff policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduledCrash {
+    /// Virtual-time offset of the kill from the run's start.
+    pub at: SimDuration,
+    /// Which machine dies.
+    pub kind: CrashKind,
+    /// How long the machine stays down before restarting.
+    pub restart_after: SimDuration,
+}
+
 /// A live session mid-run: its client (cookie state), remaining script and
 /// the instant its next step becomes ready.
 struct LiveSession<'t> {
@@ -282,7 +301,21 @@ impl<'t> LoadEngine<'t> {
         timeline: Option<&Timeline>,
         observer: Option<SpanObserver<'_>>,
     ) -> LoadedRun {
-        self.run_driven(plan, timeline, observer, None, &[])
+        self.run_driven(plan, timeline, observer, None, &[], &[])
+    }
+
+    /// [`LoadEngine::run`] with a script of machine deaths: each
+    /// [`ScheduledCrash`] kills its machine at an exact virtual-time change
+    /// point mid-run and restarts it after its downtime. Sessions whose
+    /// RPCs land in the downtime window fail as outages and retry; a
+    /// backend restart replays the WAL before traffic resumes.
+    pub fn run_with_crashes(
+        &self,
+        plan: &LoadPlan,
+        timeline: Option<&Timeline>,
+        crashes: &[ScheduledCrash],
+    ) -> LoadedRun {
+        self.run_driven(plan, timeline, None, None, &[], crashes)
     }
 
     /// [`LoadEngine::run_observed`] under live SLO monitoring, with an
@@ -308,7 +341,7 @@ impl<'t> LoadEngine<'t> {
         schedule: &[ScheduledFault],
     ) -> LoadedRun {
         monitor.bind_queue_gauge(self.metrics.queue_depth.clone());
-        self.run_driven(plan, timeline, observer, Some(monitor), schedule)
+        self.run_driven(plan, timeline, observer, Some(monitor), schedule, &[])
     }
 
     /// The one loaded main loop behind [`LoadEngine::run`],
@@ -320,6 +353,7 @@ impl<'t> LoadEngine<'t> {
         mut observer: Option<SpanObserver<'_>>,
         mut monitor: Option<&mut SloMonitor>,
         schedule: &[ScheduledFault],
+        crashes: &[ScheduledCrash],
     ) -> LoadedRun {
         assert!(plan.sessions > 0, "a loaded run needs at least one session");
         let clock = &self.testbed.clock;
@@ -342,6 +376,20 @@ impl<'t> LoadEngine<'t> {
             schedule.iter().map(|s| (start + s.at, s.plan)).collect();
         fault_script.sort_by_key(|&(t, _)| t);
         let mut next_fault_change = 0usize;
+        // Each scripted crash unrolls to a kill event and a restart event;
+        // both apply at the loop-top change point the moment virtual time
+        // crosses them, so the interleaving position is exact and replays.
+        let mut crash_script: Vec<(SimTime, CrashKind, bool)> = crashes
+            .iter()
+            .flat_map(|c| {
+                [
+                    (start + c.at, c.kind, true),
+                    (start + c.at + c.restart_after, c.kind, false),
+                ]
+            })
+            .collect();
+        crash_script.sort_by_key(|&(t, _, _)| t);
+        let mut next_crash_change = 0usize;
 
         let expected: usize = scripts.iter().map(Vec::len).sum();
         let mut interactions = Vec::with_capacity(expected);
@@ -363,6 +411,17 @@ impl<'t> LoadEngine<'t> {
             {
                 self.testbed.set_faults(fault_script[next_fault_change].1);
                 next_fault_change += 1;
+            }
+            // Apply any machine death / restart whose instant has passed.
+            while next_crash_change < crash_script.len() && crash_script[next_crash_change].0 <= now
+            {
+                let (_, kind, down) = crash_script[next_crash_change];
+                if down {
+                    self.testbed.crash(kind);
+                } else {
+                    self.testbed.restart(kind);
+                }
+                next_crash_change += 1;
             }
             // Admit every session whose arrival instant has passed.
             while next_arrival < plan.sessions && arrival_times[next_arrival] <= now {
@@ -402,6 +461,7 @@ impl<'t> LoadEngine<'t> {
                     .iter()
                     .map(|s| s.ready_at)
                     .chain(arrival_times.get(next_arrival).copied())
+                    .chain(crash_script.get(next_crash_change).map(|&(t, _, _)| t))
                     .min();
                 match next_event {
                     Some(t) => {
@@ -729,6 +789,79 @@ mod tests {
         };
         // Monitoring is pure observation: the run itself is bit-identical.
         assert_eq!(interactions_of(true), interactions_of(false));
+    }
+
+    #[test]
+    fn scripted_backend_crash_recovers_and_the_run_completes() {
+        let tb = Testbed::build(Architecture::EsRdb(Flavor::Jdbc), TestbedConfig::default());
+        let engine = LoadEngine::new(&tb);
+        let mut p = plan(60.0, 12);
+        p.think = SimDuration::ZERO;
+        let crashes = [ScheduledCrash {
+            at: SimDuration::from_millis(40),
+            kind: CrashKind::Backend,
+            restart_after: SimDuration::from_millis(25),
+        }];
+        let run = engine.run_with_crashes(&p, None, &crashes);
+        assert_eq!(run.sessions_completed, 12, "every session must finish");
+        let wal = tb.db.wal_stats();
+        assert_eq!(wal.recoveries, 1, "the restart must replay the WAL");
+        assert!(wal.flushes > 0, "writing commits group-commit to the log");
+        assert!(
+            tb.fault_first_effect_us().is_some(),
+            "RPCs into the downtime window must fail as outages"
+        );
+        assert!(
+            run.interactions.iter().any(|i| i.status != 200),
+            "some interaction lands in the downtime window"
+        );
+        assert!(
+            run.interactions
+                .iter()
+                .rev()
+                .take(5)
+                .all(|i| i.status == 200),
+            "traffic must be healthy again after the restart"
+        );
+        assert!(!tb.db.is_crashed());
+    }
+
+    #[test]
+    fn scripted_crash_runs_replay_deterministically() {
+        let collect = || {
+            let tb = Testbed::build(Architecture::EsRbes, TestbedConfig::default());
+            let engine = LoadEngine::new(&tb);
+            let mut p = plan(50.0, 10);
+            p.think = SimDuration::ZERO;
+            let crashes = [ScheduledCrash {
+                at: SimDuration::from_millis(30),
+                kind: CrashKind::Backend,
+                restart_after: SimDuration::from_millis(20),
+            }];
+            let run = engine.run_with_crashes(&p, None, &crashes);
+            (run.interactions, tb.db.wal_stats())
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn scripted_edge_crash_restarts_caches_cold() {
+        let tb = Testbed::build(Architecture::EsRbes, TestbedConfig::default());
+        let engine = LoadEngine::new(&tb);
+        let mut p = plan(40.0, 10);
+        p.think = SimDuration::ZERO;
+        let crashes = [ScheduledCrash {
+            at: SimDuration::from_millis(60),
+            kind: CrashKind::Edge,
+            restart_after: SimDuration::from_millis(20),
+        }];
+        let run = engine.run_with_crashes(&p, None, &crashes);
+        assert_eq!(run.sessions_completed, 10);
+        // The edge restarted cold mid-run, so the store was rebuilt by
+        // post-restart misses — and no WAL replay happened (the database
+        // machine never died).
+        assert_eq!(tb.db.wal_stats().recoveries, 0);
+        assert!(tb.edges[0].store.as_ref().unwrap().stats().misses > 0);
     }
 
     #[test]

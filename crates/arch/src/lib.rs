@@ -45,7 +45,8 @@ mod topology;
 pub use checker::{analyze, ChainVersion, HistoryAnalysis, TxnRef, Violation};
 pub use client::{Interaction, VirtualClient};
 pub use engine::{
-    LoadEngine, LoadMetrics, LoadPlan, LoadedInteraction, LoadedRun, ScheduledFault, SpanObserver,
+    LoadEngine, LoadMetrics, LoadPlan, LoadedInteraction, LoadedRun, ScheduledCrash,
+    ScheduledFault, SpanObserver,
 };
 pub use report::collect_report;
 pub use servlet::{parse_action, AppServer, AppServerCost, ServletMetrics};

@@ -109,6 +109,17 @@ pub struct SliCheckConfig {
     /// Seed the deliberate lost-update bug in the committer (cached
     /// flavors only) — the checker must then find a violation.
     pub inject_bug: bool,
+    /// Number of backend crash/restart cycles the scheduler may interleave
+    /// with the clients. Each cycle is two schedulable steps — a kill
+    /// (volatile state gone, WAL tail discarded) and a restart (ARIES-lite
+    /// replay + dedup reseed) — so the exact position of a crash in the
+    /// interleaving is explored and replayed like any other choice.
+    pub crashes: u32,
+    /// Seed the deliberate torn-commit bug: the WAL reports group-commit
+    /// flushes as durable but drops them, so a crash loses acknowledged
+    /// transactions and the checker must find a `lost-committed-write`
+    /// violation. Only meaningful with `crashes > 0`.
+    pub inject_wal_bug: bool,
 }
 
 impl SliCheckConfig {
@@ -124,6 +135,8 @@ impl SliCheckConfig {
             max_retries: 4,
             faults: FaultPlan::NONE,
             inject_bug: false,
+            crashes: 0,
+            inject_wal_bug: false,
         }
     }
 }
@@ -153,6 +166,14 @@ pub struct SliCheckOutcome {
     pub committed: usize,
     /// Aborted (conflicted / errored) transactions.
     pub aborted: usize,
+    /// WAL/recovery counters at run end (`None` when the run had no WAL
+    /// attached, i.e. `crashes == 0` and no WAL bug). Two replays of the
+    /// same crash schedule must produce identical values — the
+    /// determinism pin.
+    pub wal: Option<sli_datastore::WalStats>,
+    /// Checkpoint of the database's final committed state, byte-for-byte.
+    /// Replaying the same schedule must reproduce it exactly.
+    pub final_state: Vec<u8>,
 }
 
 /// The deterministic client program: every writer is a transfer, so the
@@ -618,15 +639,28 @@ struct World {
     clients: Vec<ClientState>,
     sinks: Vec<Arc<DeferredInvalidationSink>>,
     stores: Vec<(String, Arc<CommonStore>)>,
+    /// The split-servers back-end (ES/RBES only) — its dedup table must be
+    /// reseeded from the recovery report after a crash.
+    backend: Option<Arc<BackendServer>>,
+    /// Combined committers (cached flavors) — same reseed obligation.
+    committers: Vec<Arc<CombinedCommitter>>,
 }
 
 fn build_world(cfg: &SliCheckConfig) -> World {
     let accounts = cfg.accounts.max(2);
     let db = seeded_db(accounts);
+    if cfg.crashes > 0 || cfg.inject_wal_bug {
+        // Crash exploration needs durability: WAL from the seeded state,
+        // optionally with the torn-commit bug armed.
+        db.attach_wal();
+        db.set_wal_drop_flush(cfg.inject_wal_bug);
+    }
     let clock = Arc::new(Clock::new());
     let log = Arc::new(HistoryLog::new());
     let mut sinks = Vec::new();
     let mut stores = Vec::new();
+    let mut backend_handle = None;
+    let mut committers = Vec::new();
 
     let client_shell = |id: u32, access: Access| ClientState {
         id,
@@ -653,13 +687,14 @@ fn build_world(cfg: &SliCheckConfig) -> World {
         if cfg.inject_bug {
             committer = committer.with_injected_bug();
         }
+        let committer = Arc::new(committer);
         let rm = Arc::new(
-            SliResourceManager::new(origin, Arc::new(committer), Arc::clone(&store))
+            SliResourceManager::new(origin, Arc::clone(&committer) as _, Arc::clone(&store))
                 .with_history(Arc::clone(&log), Arc::clone(&clock)),
         );
         let home: Arc<dyn Home> =
             Arc::new(SliHome::new(account_meta(), Arc::clone(&store), source));
-        (home, rm, store)
+        (home, rm, store, committer)
     };
 
     let clients: Vec<ClientState> = match cfg.arch {
@@ -667,16 +702,18 @@ fn build_world(cfg: &SliCheckConfig) -> World {
             .map(|id| {
                 // One combined-servers edge per client over the shared
                 // database — the ES/RDB cached configuration.
-                let (home, rm, store) = combined_edge(id + 1);
+                let (home, rm, store, committer) = combined_edge(id + 1);
                 stores.push((format!("edge{}", id + 1), store));
+                committers.push(committer);
                 client_shell(id, Access::Fine { home, rm })
             })
             .collect(),
         Architecture::ClientsRas(Flavor::CachedEjb) => {
             // One shared application server: every client runs against the
             // same store and resource manager, with its own context.
-            let (home, rm, store) = combined_edge(1);
+            let (home, rm, store, committer) = combined_edge(1);
             stores.push(("ras".to_owned(), store));
+            committers.push(committer);
             (0..cfg.clients)
                 .map(|id| {
                     client_shell(
@@ -699,6 +736,7 @@ fn build_world(cfg: &SliCheckConfig) -> World {
             if cfg.inject_bug {
                 backend.set_inject_bug(true);
             }
+            backend_handle = Some(Arc::clone(&backend));
             (0..cfg.clients)
                 .map(|id| {
                     let origin = id + 1;
@@ -768,6 +806,24 @@ fn build_world(cfg: &SliCheckConfig) -> World {
         clients,
         sinks,
         stores,
+        backend: backend_handle,
+        committers,
+    }
+}
+
+/// ARIES-lite restart: replay the flushed WAL in place, then reseed every
+/// committer-side `(origin, txn_id)` dedup table from the recovered commit
+/// order so retry dedup agrees with the durable state.
+fn restart_world(world: &World) {
+    let report = world
+        .db
+        .recover()
+        .expect("flushed WAL replays cleanly on restart");
+    if let Some(backend) = &world.backend {
+        backend.reseed_completed(&report.committed);
+    }
+    for committer in &world.committers {
+        committer.reseed_completed(&report.committed);
     }
 }
 
@@ -780,19 +836,25 @@ pub fn run_slicheck(cfg: &SliCheckConfig, source: ScheduleSource) -> SliCheckOut
     let mut world = build_world(cfg);
 
     // Generous upper bound: phases per attempt × attempts per txn × txns,
-    // plus invalidation deliveries. Purely a runaway guard.
+    // plus invalidation deliveries and crash/restart steps. Purely a
+    // runaway guard.
     let max_steps = u64::from(cfg.clients)
         * u64::from(cfg.txns_per_client)
         * u64::from(cfg.max_retries + 1)
         * 8
+        + u64::from(cfg.crashes) * 2
         + 64;
 
     enum Ready {
         Client(usize),
         Sink(usize),
+        Crash,
+        Restart,
     }
 
     let mut steps = 0u64;
+    let mut crashes_left = cfg.crashes;
+    let mut down = false;
     loop {
         let mut ready: Vec<Ready> = Vec::new();
         for (i, client) in world.clients.iter().enumerate() {
@@ -805,6 +867,14 @@ pub fn run_slicheck(cfg: &SliCheckConfig, source: ScheduleSource) -> SliCheckOut
                 ready.push(Ready::Sink(j));
             }
         }
+        // A crash and its restart are schedulable steps too, so the
+        // scheduler explores (and replays) exactly where in the client
+        // interleaving the back-end dies and comes back.
+        if down {
+            ready.push(Ready::Restart);
+        } else if crashes_left > 0 {
+            ready.push(Ready::Crash);
+        }
         if ready.is_empty() || steps >= max_steps {
             break;
         }
@@ -814,8 +884,25 @@ pub fn run_slicheck(cfg: &SliCheckConfig, source: ScheduleSource) -> SliCheckOut
             Ready::Sink(j) => {
                 world.sinks[j].deliver_due();
             }
+            Ready::Crash => {
+                world.db.crash();
+                if let Some(backend) = &world.backend {
+                    backend.reseed_completed(&[]);
+                }
+                down = true;
+                crashes_left -= 1;
+            }
+            Ready::Restart => {
+                restart_world(&world);
+                down = false;
+            }
         }
         steps += 1;
+    }
+    if down {
+        // The schedule ended mid-outage: restart so the final-state checks
+        // compare the recovered database, not a fenced one.
+        restart_world(&world);
     }
     // Drain every pending invalidation so the completeness check below
     // sees the steady state.
@@ -845,6 +932,8 @@ pub fn run_slicheck(cfg: &SliCheckConfig, source: ScheduleSource) -> SliCheckOut
         steps,
         committed: analysis.committed,
         aborted: analysis.aborted,
+        wal: world.db.has_wal().then(|| world.db.wal_stats()),
+        final_state: world.db.checkpoint().to_vec(),
     }
 }
 
@@ -884,6 +973,43 @@ fn check_world(cfg: &SliCheckConfig, world: &World, analysis: &mut HistoryAnalys
                         ),
                     ));
                 }
+            }
+        }
+    }
+
+    // Lost committed write (crash runs without wire faults): every commit
+    // the scheduler let through was acknowledged durable before the next
+    // step could crash the back-end, so after the final recovery each
+    // account must hold exactly the balance its latest committed
+    // transaction installed. Only the torn-commit bug (a WAL that lies
+    // about group-commit flushes) can break this.
+    if cfg.crashes > 0 && cfg.faults.is_clean() {
+        let mut conn = world.db.connect();
+        for i in 0..accounts {
+            let key = acct(i);
+            let expected = match analysis.latest_digest("Account", &key.to_string()) {
+                None => balance_digest(&key, INITIAL_BALANCE),
+                Some(Some(digest)) => digest,
+                Some(None) => continue,
+            };
+            let digest = match jdbc_select(&mut conn, i) {
+                Ok(balance) => balance_digest(&key, balance),
+                Err(e) => {
+                    analysis.violations.push(Violation::new(
+                        "lost-committed-write",
+                        format!("Account[{key}] unreadable after recovery: {e}"),
+                    ));
+                    continue;
+                }
+            };
+            if digest != expected {
+                analysis.violations.push(Violation::new(
+                    "lost-committed-write",
+                    format!(
+                        "Account[{key}] holds digest {digest:#x} after recovery but the \
+                         latest committed transaction installed {expected:#x}"
+                    ),
+                ));
             }
         }
     }
@@ -970,6 +1096,8 @@ pub fn counterexample_json(cfg: &SliCheckConfig, outcome: &SliCheckOutcome) -> J
                     )),
                 ),
                 ("inject_bug", Json::Bool(cfg.inject_bug)),
+                ("crashes", Json::from(u64::from(cfg.crashes))),
+                ("inject_wal_bug", Json::Bool(cfg.inject_wal_bug)),
             ]),
         ),
         (
@@ -1059,6 +1187,82 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn crash_restart_sweep_stays_consistent_on_every_architecture() {
+        // Clean crashes (real group-commit flushes) must never lose an
+        // acknowledged commit, leak money, or break serializability — on
+        // any of the seven combinations, at any schedule position the
+        // seeded walk puts the kill.
+        for key in ARCH_KEYS {
+            for seed in [5, 21] {
+                let mut cfg = SliCheckConfig::new(arch_by_key(key).unwrap(), seed);
+                cfg.crashes = 2;
+                let outcome = run_slicheck(&cfg, ScheduleSource::Random(seed));
+                assert!(
+                    outcome.violations.is_empty(),
+                    "{key} seed {seed}: violations across crashes {:?}",
+                    outcome.violations
+                );
+                let wal = outcome.wal.expect("crash runs attach a WAL");
+                assert_eq!(
+                    wal.recoveries, 2,
+                    "{key} seed {seed}: every crash must be recovered"
+                );
+                assert_eq!(wal.dropped_flushes, 0, "{key} seed {seed}: no bug armed");
+            }
+        }
+    }
+
+    #[test]
+    fn crash_schedules_replay_to_identical_outcomes() {
+        // The determinism pin: replaying the recorded choice script must
+        // reproduce the same WAL counters and a byte-identical recovered
+        // database.
+        let mut cfg = SliCheckConfig::new(Architecture::EsRbes, 9);
+        cfg.crashes = 2;
+        let first = run_slicheck(&cfg, ScheduleSource::Random(9));
+        let choices: Vec<u32> = first.schedule.iter().map(|s| s.choice).collect();
+        let replay = run_slicheck(&cfg, ScheduleSource::Replay(choices));
+        assert_eq!(first.wal, replay.wal, "wal counters must replay exactly");
+        assert_eq!(
+            first.final_state, replay.final_state,
+            "recovered state must be byte-identical"
+        );
+        assert_eq!(first.committed, replay.committed);
+        assert_eq!(first.violations.len(), replay.violations.len());
+    }
+
+    #[test]
+    fn injected_wal_bug_is_caught_and_shrinks() {
+        // Arm the torn-commit bug (flushes acknowledged but dropped) and
+        // crash once: the checker must find a lost-committed-write, shrink
+        // it, and export a validated counterexample — the CI self-test.
+        let mut cfg = SliCheckConfig::new(Architecture::EsRdb(Flavor::Jdbc), 1);
+        cfg.crashes = 1;
+        cfg.inject_wal_bug = true;
+        let mut found = None;
+        for seed in 1..=64 {
+            cfg.seed = seed;
+            let outcome = run_slicheck(&cfg, ScheduleSource::Random(seed));
+            if outcome
+                .violations
+                .iter()
+                .any(|v| v.kind == "lost-committed-write")
+            {
+                found = Some((seed, outcome));
+                break;
+            }
+        }
+        let (seed, outcome) = found.expect("the torn-commit bug must be found");
+        cfg.seed = seed;
+        let choices: Vec<u32> = outcome.schedule.iter().map(|s| s.choice).collect();
+        let (shrunk, shrunk_outcome) = shrink_schedule(&cfg, &choices);
+        assert!(!shrunk_outcome.violations.is_empty());
+        assert!(shrunk.len() <= choices.len());
+        let doc = counterexample_json(&cfg, &shrunk_outcome);
+        sli_telemetry::validate_counterexample(&doc).expect("counterexample must validate");
     }
 
     #[test]

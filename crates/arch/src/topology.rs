@@ -9,8 +9,8 @@ use sli_core::{
     DirectSource, SliResourceManager, SplitCommitter,
 };
 use sli_datastore::server::{DbCostModel, DbServer, RemoteConnection};
-use sli_datastore::Database;
-use sli_simnet::{Clock, FaultPlan, Path, PathSpec, Remote, SimDuration};
+use sli_datastore::{Database, RecoveryReport};
+use sli_simnet::{Clock, CrashKind, FaultPlan, Path, PathSpec, Remote, SimDuration};
 use sli_telemetry::{MonitorMetrics, Registry, Timeline, TraceLog, Tracer};
 use sli_trade::deploy;
 use sli_trade::model::trade_registry;
@@ -259,6 +259,11 @@ impl Testbed {
         let clock = Arc::new(Clock::new());
         let db = Database::new();
         create_and_seed(&db, config.population).expect("fresh database seeds cleanly");
+        // Durability on by default: the seeded state becomes the WAL's base
+        // checkpoint, and every writing transaction group-commits redo/undo
+        // records from here on, so a scripted backend crash can be recovered
+        // to a prefix-consistent state.
+        db.attach_wal();
         let db_server = DbServer::new(Arc::clone(&db), Arc::clone(&clock), DbCostModel::default());
         let telemetry = Arc::new(Registry::new());
         // A measurement point at quick config already produces tens of
@@ -267,6 +272,7 @@ impl Testbed {
         let tracer = Arc::new(Tracer::new(Arc::clone(&commit_trace)));
         db_server.metrics().register_with(&telemetry, "db.stmt");
         db.register_plan_metrics(&telemetry, "db.plan");
+        db.register_wal_metrics(&telemetry, "db");
         db_server.set_tracer(Arc::clone(&tracer));
 
         let mut edges = Vec::with_capacity(config.edges);
@@ -587,6 +593,7 @@ impl Testbed {
         // `db.plan.*` names the registry uses.
         self.db_server.metrics().timeline_into(&timeline, "db.stmt");
         self.db.plan_timeline_into(&timeline, "db.plan");
+        self.db.wal_timeline_into(&timeline, "db");
         // The shared ES/RBES back-end's commit outcomes.
         if let Some(backend) = &self.backend {
             backend.timeline_into(&timeline, "backend.commit");
@@ -666,6 +673,88 @@ impl Testbed {
             };
             self.delayed_path(i).set_fault_plan(derived);
         }
+    }
+
+    /// The paths that lead to the machine `kind` names: every in-flight or
+    /// future RPC on them fails as an outage while that machine is down.
+    fn paths_to(&self, kind: CrashKind) -> Vec<&Arc<Path>> {
+        match kind {
+            // The shared site (database machine, or the ES/RBES back-end
+            // clustered with it) sits behind every edge's shared path; the
+            // back-end ↔ database LAN and the invalidation channels
+            // originate on the same machine.
+            CrashKind::Backend => self
+                .paths
+                .iter()
+                .filter(|p| !p.name().starts_with("client-"))
+                .collect(),
+            CrashKind::Edge => self.edges.iter().map(|e| &e.client_path).collect(),
+        }
+    }
+
+    /// Kills the machine `kind` names at the current virtual time, exactly
+    /// as a process death would: volatile state is gone and every RPC
+    /// toward it fails as [`sli_simnet::Fault::Unavailable`] until
+    /// [`Testbed::restart`].
+    ///
+    /// * `Backend` — the database machine (and, in ES/RBES, the back-end
+    ///   server clustered with it) dies. The engine's tables, lock table
+    ///   and unflushed WAL tail vanish; the back-end's `(origin, txn_id)`
+    ///   dedup memory vanishes with it. Only the flushed WAL prefix
+    ///   survives.
+    /// * `Edge` — the edge tier dies: every edge's common store restarts
+    ///   cold, so post-restart requests re-fault state from the shared
+    ///   site instead of serving possibly-stale cached images.
+    pub fn crash(&self, kind: CrashKind) {
+        if kind == CrashKind::Backend {
+            self.db.crash();
+            if let Some(backend) = &self.backend {
+                // The dedup table is volatile memory on the crashed
+                // machine; recovery reseeds it from the WAL's committed
+                // stamps.
+                backend.reseed_completed(&[]);
+            }
+        } else {
+            for edge in &self.edges {
+                if let Some(store) = &edge.store {
+                    store.clear();
+                }
+            }
+        }
+        for path in self.paths_to(kind) {
+            path.set_down(true);
+        }
+    }
+
+    /// Restarts the machine killed by [`Testbed::crash`]. A backend
+    /// restart replays the WAL (analysis / redo / undo) and reseeds every
+    /// commit-side dedup table from the recovered `(origin, txn_id)`
+    /// stamps, returning the [`RecoveryReport`]; an edge restart simply
+    /// comes back cold (`None`). Paths toward the machine come back up
+    /// either way, so retrying sessions get through again.
+    ///
+    /// # Panics
+    /// Panics if a backend recovery fails — the WAL is in-simulation
+    /// durable storage, so a decode failure is a harness bug.
+    pub fn restart(&self, kind: CrashKind) -> Option<RecoveryReport> {
+        let report = if kind == CrashKind::Backend {
+            let report = self.db.recover().expect("flushed WAL replays cleanly");
+            if let Some(backend) = &self.backend {
+                backend.reseed_completed(&report.committed);
+            }
+            for edge in &self.edges {
+                if let Some(committer) = &edge.committer {
+                    committer.reseed_completed(&report.committed);
+                }
+            }
+            Some(report)
+        } else {
+            None
+        };
+        for path in self.paths_to(kind) {
+            path.set_down(false);
+        }
+        report
     }
 
     /// Zeroes traffic counters on every path (between warm-up and

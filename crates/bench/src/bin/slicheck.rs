@@ -16,6 +16,15 @@
 //! the bug. CI runs both modes: a clean sweep must stay clean, and the
 //! seeded bug must be found.
 //!
+//! `--crashes N` lets the scheduler interleave N backend kill/restart
+//! cycles (WAL replay + dedup reseed) with the clients, checking that no
+//! acknowledged commit is ever lost. `--inject-wal-bug` arms the
+//! torn-commit bug — the WAL acknowledges group-commit flushes it actually
+//! drops — and inverts the exit code like `--inject-bug`: the run succeeds
+//! only if the checker catches a lost committed write. Unlike the
+//! lost-update bug, the WAL bug lives in the shared datastore, so every
+//! combination supports it.
+//!
 //! `--exhaustive <DEPTH>` switches from seeded random walks to bounded-
 //! exhaustive enumeration of every interleaving whose first `DEPTH`
 //! scheduling decisions differ (small configurations only).
@@ -117,9 +126,18 @@ fn main() {
         "N",
         "cap on exhaustive runs per combination (default 20000)",
     )
+    .option(
+        "crashes",
+        "N",
+        "backend kill/restart cycles the scheduler interleaves (default 0)",
+    )
     .flag(
         "inject-bug",
         "seed the lost-update bug; succeed only if it is caught",
+    )
+    .flag(
+        "inject-wal-bug",
+        "seed the torn-commit WAL bug; succeed only if it is caught",
     )
     .parse();
 
@@ -140,6 +158,7 @@ fn main() {
         },
     };
     let inject_bug = args.has("inject-bug");
+    let inject_wal_bug = args.has("inject-wal-bug");
     let archs: Vec<Architecture> = if inject_bug {
         let supported: Vec<Architecture> = archs
             .into_iter()
@@ -176,6 +195,10 @@ fn main() {
         })
     });
     let max_runs = parse_u64(&args, "max-runs", 20_000);
+    // The torn-commit bug only bites when something crashes and recovers,
+    // so arming it implies at least one crash cycle.
+    let floor = u64::from(inject_wal_bug);
+    let crashes = parse_u64(&args, "crashes", floor).max(floor) as u32;
 
     let make_cfg = |arch: Architecture, seed: u64| {
         let mut cfg = SliCheckConfig::new(arch, seed);
@@ -187,6 +210,8 @@ fn main() {
             cfg.faults = FaultPlan::lossy(seed, per_mille as u16);
         }
         cfg.inject_bug = inject_bug;
+        cfg.crashes = crashes;
+        cfg.inject_wal_bug = inject_wal_bug;
         cfg
     };
 
@@ -250,14 +275,14 @@ fn main() {
         }
     }
 
-    match (caught, inject_bug) {
+    match (caught, inject_bug || inject_wal_bug) {
         (Some(_), true) => {
-            println!("inject-bug: the seeded lost update was caught and shrunk, as expected");
+            println!("inject-bug: the seeded bug was caught and shrunk, as expected");
         }
         (None, true) => {
             eprintln!(
                 "FAIL inject-bug: {total_runs} run(s), {total_committed} committed txns, \
-                 but the seeded lost update was never detected"
+                 but the seeded bug was never detected"
             );
             std::process::exit(1);
         }

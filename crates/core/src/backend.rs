@@ -196,6 +196,9 @@ impl BackendServer {
         let mut forensics = None;
         let (result, csn) = {
             let mut conn = self.conn.lock();
+            // Announce the request's identity so the datastore's WAL commit
+            // record carries it and recovery can reseed this dedup table.
+            conn.stamp_next_commit(request.origin, request.txn_id);
             let result = validate_and_apply_forensic(
                 conn.as_mut(),
                 &self.registry,
@@ -254,6 +257,15 @@ impl BackendServer {
             }
         }
         result
+    }
+
+    /// Rebuilds the dedup table from the committed `(origin, txn_id)`
+    /// stamps a datastore recovery replayed out of its WAL (commit order,
+    /// oldest first). Called after a back-end crash + restart so retried
+    /// commits that were durable before the crash dedup instead of
+    /// double-applying their debits.
+    pub fn reseed_completed(&self, pairs: &[(u32, u64)]) {
+        self.completed.lock().reseed(pairs);
     }
 
     fn dispatch(&self, r: &mut Reader, wire_trace_id: u64) -> EjbResult<Writer> {

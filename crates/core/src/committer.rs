@@ -71,6 +71,31 @@ impl CompletedTxns {
         }
     }
 
+    /// Replaces the table's contents with `Committed` outcomes for `pairs`,
+    /// oldest first — the recovery path: committed stamps replayed from the
+    /// datastore's WAL reseed the dedup memory a crash wiped, so an edge
+    /// retrying an unacked-but-durable commit gets a replay, not a double
+    /// apply. The FIFO bound applies as usual, evicting the oldest stamps
+    /// when the log's committed prefix outgrows the table.
+    pub(crate) fn reseed(&mut self, pairs: &[(u32, u64)]) {
+        self.outcomes.clear();
+        self.order.clear();
+        for &(origin, txn_id) in pairs {
+            if txn_id == 0 {
+                continue;
+            }
+            let id = (origin, txn_id);
+            if self.outcomes.insert(id, CommitOutcome::Committed).is_none() {
+                self.order.push_back(id);
+                if self.order.len() > self.capacity {
+                    if let Some(evicted) = self.order.pop_front() {
+                        self.outcomes.remove(&evicted);
+                    }
+                }
+            }
+        }
+    }
+
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
         self.outcomes.len()
@@ -861,6 +886,14 @@ impl CombinedCommitter {
     pub fn stats(&self) -> CommitterStats {
         self.metrics.snapshot()
     }
+
+    /// Rebuilds the dedup table from the committed `(origin, txn_id)`
+    /// stamps a datastore recovery replayed out of its WAL (commit order,
+    /// oldest first). Called after a crash + restart so retried commits
+    /// that were durable before the crash dedup instead of double-applying.
+    pub fn reseed_completed(&self, pairs: &[(u32, u64)]) {
+        self.completed.lock().reseed(pairs);
+    }
 }
 
 impl Committer for CombinedCommitter {
@@ -881,6 +914,9 @@ impl Committer for CombinedCommitter {
         let mut forensics = None;
         let (result, csn) = {
             let mut conn = self.conn.lock();
+            // Announce the request's identity so the datastore's WAL commit
+            // record carries it and recovery can reseed this dedup table.
+            conn.stamp_next_commit(request.origin, request.txn_id);
             let result = validate_and_apply_per_image_forensic(
                 conn.as_mut(),
                 &self.registry,

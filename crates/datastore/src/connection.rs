@@ -17,11 +17,19 @@ use crate::{DbResult, SqlConnection};
 pub struct Connection {
     db: Arc<Database>,
     txn: Option<TxnState>,
+    /// `(origin, txn_id)` identity a committer announced for its next
+    /// writing commit; rides into the WAL commit record so recovery can
+    /// reseed the dedup table.
+    pending_stamp: Option<(u32, u64)>,
 }
 
 impl Connection {
     pub(crate) fn new(db: Arc<Database>) -> Connection {
-        Connection { db, txn: None }
+        Connection {
+            db,
+            txn: None,
+            pending_stamp: None,
+        }
     }
 
     /// The database this connection is attached to.
@@ -47,7 +55,17 @@ impl SqlConnection for Connection {
                 let mut txn = self.db.begin_txn();
                 match self.db.execute_in(&mut txn, sql, params) {
                     Ok(rs) => {
-                        self.db.commit_txn(txn);
+                        // A writing autocommitted statement is a commit
+                        // boundary: it consumes the pending stamp (the
+                        // committers' single-entry fast path commits this
+                        // way). Read-only statements leave it for the
+                        // writing commit that follows.
+                        let stamp = if txn.has_writes() {
+                            self.pending_stamp.take()
+                        } else {
+                            None
+                        };
+                        self.db.commit_txn(txn, stamp)?;
                         Ok(rs)
                     }
                     Err(e) => {
@@ -62,14 +80,19 @@ impl SqlConnection for Connection {
     fn commit(&mut self) -> DbResult<()> {
         match self.txn.take() {
             Some(txn) => {
-                self.db.commit_txn(txn);
-                Ok(())
+                let stamp = if txn.has_writes() {
+                    self.pending_stamp.take()
+                } else {
+                    None
+                };
+                self.db.commit_txn(txn, stamp)
             }
             None => Err(DbError::NoTransaction),
         }
     }
 
     fn rollback(&mut self) -> DbResult<()> {
+        self.pending_stamp = None;
         match self.txn.take() {
             Some(txn) => {
                 self.db.rollback_txn(txn);
@@ -85,6 +108,16 @@ impl SqlConnection for Connection {
 
     fn commit_seq(&self) -> Option<u64> {
         Some(self.db.commit_seq())
+    }
+
+    fn stamp_next_commit(&mut self, origin: u32, txn_id: u64) {
+        // txn_id 0 is the committers' "unstamped" sentinel (it bypasses
+        // dedup); it clears rather than records.
+        self.pending_stamp = if txn_id == 0 {
+            None
+        } else {
+            Some((origin, txn_id))
+        };
     }
 }
 

@@ -1,8 +1,8 @@
 //! The storage engine: tables, indexes, statement execution, undo-log
 //! rollback.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -17,6 +17,7 @@ use crate::schema::Schema;
 use crate::sql::{parse, Scalar, SelectList, Statement};
 use crate::trace::{OpKind, Trace, TraceSnapshot};
 use crate::value::Value;
+use crate::wal::{CrashPoint, RecoveryReport, WalBody, WalDisk, WalMetrics, WalOp, WalStats};
 use crate::DbResult;
 
 /// One table: schema, primary-key-ordered rows, secondary indexes.
@@ -98,12 +99,23 @@ enum UndoRecord {
     },
 }
 
-/// Server-side transaction state: id plus undo log. Owned by a
-/// [`Connection`] or by a remote session.
+/// Server-side transaction state: id, undo log, redo log (populated only
+/// while a WAL is attached) and the crash epoch the transaction was born
+/// under. Owned by a [`Connection`] or by a remote session.
 #[derive(Debug)]
 pub(crate) struct TxnState {
     pub(crate) id: TxnId,
     undo: Vec<UndoRecord>,
+    redo: Vec<WalOp>,
+    epoch: u64,
+}
+
+impl TxnState {
+    /// Whether this transaction wrote anything — only writers consume a
+    /// pending commit stamp or touch the WAL.
+    pub(crate) fn has_writes(&self) -> bool {
+        !self.undo.is_empty()
+    }
 }
 
 /// Default number of plans the per-database plan cache holds before the
@@ -260,6 +272,21 @@ pub struct Database {
     plan_misses: Counter,
     plan_evictions: Counter,
     trace: Trace,
+    /// The simulated durable log device, once [`Database::attach_wal`]
+    /// has been called.
+    wal: Mutex<Option<WalDisk>>,
+    wal_metrics: WalMetrics,
+    /// Cheap per-statement gate on redo-log capture (true iff `wal` is
+    /// attached).
+    logging: AtomicBool,
+    /// Set by [`Database::crash`]; every operation fails `Unavailable`
+    /// until [`Database::recover`] clears it.
+    crashed: AtomicBool,
+    /// Bumped by every crash. Transactions carry the epoch they were
+    /// born under so pre-crash survivors are fenced out after restart.
+    crash_epoch: AtomicU64,
+    /// One-shot scripted crash, consumed by the next writing commit.
+    scripted_crash: Mutex<Option<CrashPoint>>,
 }
 
 impl Default for Database {
@@ -275,6 +302,12 @@ impl Default for Database {
             plan_misses: Counter::new(),
             plan_evictions: Counter::new(),
             trace: Trace::default(),
+            wal: Mutex::new(None),
+            wal_metrics: WalMetrics::new(),
+            logging: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
+            crash_epoch: AtomicU64::new(0),
+            scripted_crash: Mutex::new(None),
         }
     }
 }
@@ -448,6 +481,240 @@ impl Database {
         }
     }
 
+    /// Attaches the write-ahead log, capturing the current committed
+    /// state as the base checkpoint the log is relative to. From here on
+    /// every writing transaction appends redo/undo mementos that are
+    /// group-flushed at its commit boundary, and [`Database::recover`]
+    /// can rebuild the engine after [`Database::crash`].
+    ///
+    /// DDL executed after attachment is not logged; attach the WAL once
+    /// the physical design is in place (as a deployment would).
+    pub fn attach_wal(&self) {
+        let base = self.checkpoint();
+        let disk = WalDisk::new(
+            base,
+            self.commit_seq.load(Ordering::Relaxed),
+            self.next_txn.load(Ordering::Relaxed),
+        );
+        *self.wal.lock() = Some(disk);
+        self.logging.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether a WAL is attached.
+    pub fn has_wal(&self) -> bool {
+        self.logging.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the `wal.*` / `recovery.*` counters (all zero before
+    /// [`Database::attach_wal`]).
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal_metrics.stats()
+    }
+
+    /// Injected bug for the slicheck self-test: when `on`, WAL flushes
+    /// silently discard the pending tail while reporting success, so an
+    /// acknowledged commit is not durable and a later crash loses it.
+    pub fn set_wal_drop_flush(&self, on: bool) {
+        if let Some(wal) = self.wal.lock().as_mut() {
+            wal.set_drop_flush(on);
+        }
+    }
+
+    /// Scripts a one-shot crash that fires at `point` inside the next
+    /// writing commit (requires an attached WAL).
+    pub fn script_crash(&self, point: CrashPoint) {
+        *self.scripted_crash.lock() = Some(point);
+    }
+
+    /// Whether the engine is currently down (crashed and not yet
+    /// recovered).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Relaxed)
+    }
+
+    /// Kills the engine in place: volatile state — tables, indexes, the
+    /// lock table and the un-flushed WAL tail — is discarded, and every
+    /// subsequent statement, commit or rollback fails with
+    /// [`DbError::Unavailable`] until [`Database::recover`] runs.
+    /// Existing `Arc` handles and connections stay valid; they simply
+    /// observe a dead machine, like clients of a crashed server.
+    pub fn crash(&self) {
+        self.crashed.store(true, Ordering::Relaxed);
+        self.crash_epoch.fetch_add(1, Ordering::Relaxed);
+        self.tables.write().clear();
+        self.locks.clear();
+        if let Some(wal) = self.wal.lock().as_mut() {
+            wal.discard_pending();
+        }
+    }
+
+    /// ARIES-lite restart: reloads the base checkpoint, then runs
+    /// analysis (winners are transactions whose commit record reached
+    /// the durable log), redo (repeat history — every logged op in LSN
+    /// order) and undo (reverse loser ops newest-first from their logged
+    /// old images), reconstructing tables, indexes, the `commit_seq`
+    /// witness and the committed `(origin, txn_id)` identities to a
+    /// prefix-consistent state. Rebuilds in place, so connections opened
+    /// before the crash keep working afterwards.
+    ///
+    /// # Errors
+    /// Fails if no WAL is attached or the durable log is corrupt.
+    pub fn recover(&self) -> DbResult<RecoveryReport> {
+        let (base, base_seq, base_next, records) = {
+            let guard = self.wal.lock();
+            let wal = guard
+                .as_ref()
+                .ok_or_else(|| DbError::Remote("recover: no WAL attached".to_owned()))?;
+            (
+                wal.base.clone(),
+                wal.base_commit_seq,
+                wal.base_next_txn,
+                wal.decode_flushed()?,
+            )
+        };
+        // Volatile state is gone (crash) or about to be rebuilt.
+        self.tables.write().clear();
+        self.locks.clear();
+        for img in crate::snapshot::decode_checkpoint(base)? {
+            self.execute_ddl(&img.table_ddl())?;
+            for col in &img.indexes {
+                self.execute_ddl(&img.index_ddl(col))?;
+            }
+            let t = self.table(&img.name)?;
+            let mut t = t.write();
+            for row in img.rows {
+                t.insert_row(row);
+            }
+        }
+        // Analysis.
+        let mut winners: BTreeMap<u64, Option<(u32, u64)>> = BTreeMap::new();
+        let mut committed: HashSet<u64> = HashSet::new();
+        let mut max_lsn = 0u64;
+        let mut max_txn = 0u64;
+        for rec in &records {
+            max_lsn = max_lsn.max(rec.lsn);
+            match &rec.body {
+                WalBody::Commit {
+                    txn,
+                    commit_seq,
+                    stamp,
+                } => {
+                    winners.insert(*commit_seq, *stamp);
+                    committed.insert(*txn);
+                    max_txn = max_txn.max(*txn);
+                }
+                WalBody::Op { txn, .. } => max_txn = max_txn.max(*txn),
+            }
+        }
+        // Redo.
+        let mut redo_count = 0u64;
+        for rec in &records {
+            if let WalBody::Op { op, .. } = &rec.body {
+                self.redo_op(op);
+                redo_count += 1;
+            }
+        }
+        // Undo.
+        let mut undo_count = 0u64;
+        let mut torn: HashSet<u64> = HashSet::new();
+        for rec in records.iter().rev() {
+            if let WalBody::Op { txn, op } = &rec.body {
+                if !committed.contains(txn) {
+                    self.undo_op(op);
+                    undo_count += 1;
+                    torn.insert(*txn);
+                }
+            }
+        }
+        // Restore the witness and the txn-id source past everything the
+        // log has seen, then bring the engine back up.
+        let max_seq = winners
+            .keys()
+            .next_back()
+            .copied()
+            .unwrap_or(0)
+            .max(base_seq);
+        self.commit_seq.store(max_seq, Ordering::Relaxed);
+        let next = self
+            .next_txn
+            .load(Ordering::Relaxed)
+            .max(base_next)
+            .max(max_txn + 1);
+        self.next_txn.store(next, Ordering::Relaxed);
+        self.crashed.store(false, Ordering::Relaxed);
+        self.wal_metrics.recoveries.inc();
+        self.wal_metrics.redone.add(redo_count);
+        self.wal_metrics.undone.add(undo_count);
+        self.wal_metrics.torn_discarded.add(torn.len() as u64);
+        Ok(RecoveryReport {
+            committed: winners.into_values().flatten().collect(),
+            redo_count,
+            undo_count,
+            torn_txns: torn.len() as u64,
+            max_lsn,
+        })
+    }
+
+    fn redo_op(&self, op: &WalOp) {
+        match op {
+            WalOp::Insert { table, row } => {
+                if let Ok(t) = self.table(table) {
+                    t.write().insert_row(row.clone());
+                }
+            }
+            WalOp::Update { table, pk, new, .. } => {
+                if let Ok(t) = self.table(table) {
+                    let mut t = t.write();
+                    t.remove_row(pk);
+                    t.insert_row(new.clone());
+                }
+            }
+            WalOp::Delete { table, old } => {
+                if let Ok(t) = self.table(table) {
+                    let mut t = t.write();
+                    let pk = t.pk_of(old);
+                    t.remove_row(&pk);
+                }
+            }
+        }
+    }
+
+    fn undo_op(&self, op: &WalOp) {
+        match op {
+            WalOp::Insert { table, row } => {
+                if let Ok(t) = self.table(table) {
+                    let mut t = t.write();
+                    let pk = t.pk_of(row);
+                    t.remove_row(&pk);
+                }
+            }
+            WalOp::Update { table, pk, old, .. } => {
+                if let Ok(t) = self.table(table) {
+                    let mut t = t.write();
+                    t.remove_row(pk);
+                    t.insert_row(old.clone());
+                }
+            }
+            WalOp::Delete { table, old } => {
+                if let Ok(t) = self.table(table) {
+                    t.write().insert_row(old.clone());
+                }
+            }
+        }
+    }
+
+    /// Attaches the WAL/recovery counters to `registry` as
+    /// `{prefix}.wal.*` and `{prefix}.recovery.*`.
+    pub fn register_wal_metrics(&self, registry: &Registry, prefix: &str) {
+        self.wal_metrics.register_with(registry, prefix);
+    }
+
+    /// Tracks the WAL/recovery counters in `timeline` under the
+    /// [`Database::register_wal_metrics`] names.
+    pub fn wal_timeline_into(&self, timeline: &sli_telemetry::Timeline, prefix: &str) {
+        self.wal_metrics.timeline_into(timeline, prefix);
+    }
+
     fn table(&self, name: &str) -> DbResult<Arc<RwLock<Table>>> {
         self.tables
             .read()
@@ -474,19 +741,96 @@ impl Database {
         TxnState {
             id: self.next_txn.fetch_add(1, Ordering::Relaxed),
             undo: Vec::new(),
+            redo: Vec::new(),
+            epoch: self.crash_epoch.load(Ordering::Relaxed),
         }
     }
 
-    pub(crate) fn commit_txn(&self, txn: TxnState) {
-        // Committed writers advance the commit-order witness; read-only
-        // transactions (an empty undo log) leave it untouched.
-        if !txn.undo.is_empty() {
-            self.commit_seq.fetch_add(1, Ordering::Relaxed);
+    fn down(&self, what: &str) -> DbError {
+        DbError::Unavailable(format!("database crashed: {what}"))
+    }
+
+    /// Whether `txn` predates the last crash (or the engine is down now).
+    fn fenced(&self, txn: &TxnState) -> bool {
+        self.crashed.load(Ordering::Relaxed)
+            || txn.epoch != self.crash_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Commits `txn`, group-flushing its redo records plus a commit record
+    /// (carrying the `commit_seq` witness and the caller's optional
+    /// `(origin, txn_id)` `stamp`) to the WAL when one is attached.
+    ///
+    /// A scripted [`CrashPoint`] fires here, mid-protocol: whichever step
+    /// dies, the caller sees [`DbError::Unavailable`] — exactly what a
+    /// client of a crashed machine observes, whether or not the commit
+    /// reached the durable log.
+    ///
+    /// # Errors
+    /// [`DbError::Unavailable`] if the engine is down, the transaction
+    /// predates the last crash, or a scripted crash fires.
+    pub(crate) fn commit_txn(&self, txn: TxnState, stamp: Option<(u32, u64)>) -> DbResult<()> {
+        if self.fenced(&txn) {
+            return Err(self.down("commit fenced"));
+        }
+        // Read-only transactions leave the witness and the log untouched.
+        if !txn.has_writes() {
+            self.locks.release_all(txn.id);
+            return Ok(());
+        }
+        let logging = self.logging.load(Ordering::Relaxed);
+        let point = if logging {
+            self.scripted_crash.lock().take()
+        } else {
+            None
+        };
+        if point == Some(CrashPoint::PreFlush) {
+            self.crash();
+            return Err(self.down("before WAL append: transaction lost"));
+        }
+        if logging {
+            let mut guard = self.wal.lock();
+            if let Some(wal) = guard.as_mut() {
+                for op in &txn.redo {
+                    wal.append_op(txn.id, op, &self.wal_metrics);
+                }
+                if point == Some(CrashPoint::MidApply) {
+                    // Torn group commit: the op records reach the platter,
+                    // the commit record never does.
+                    wal.flush(&self.wal_metrics);
+                    drop(guard);
+                    self.crash();
+                    return Err(self.down("mid-apply: ops flushed, commit record lost"));
+                }
+            }
+        }
+        let seq = self.commit_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        if logging {
+            if let Some(wal) = self.wal.lock().as_mut() {
+                wal.append_commit(txn.id, seq, stamp, &self.wal_metrics);
+                // Group commit: ops + commit record hit the disk together,
+                // once per transaction boundary.
+                wal.flush(&self.wal_metrics);
+            }
+            if point == Some(CrashPoint::PostFlushPreApply) {
+                self.crash();
+                return Err(self.down("post-flush: durable but unacknowledged"));
+            }
         }
         self.locks.release_all(txn.id);
+        if point == Some(CrashPoint::PostApplyPreAck) {
+            self.crash();
+            return Err(self.down("post-apply: acknowledgement lost"));
+        }
+        Ok(())
     }
 
     pub(crate) fn rollback_txn(&self, mut txn: TxnState) {
+        // A transaction fenced by a crash has nothing to undo: the crash
+        // already wiped the volatile state its undo records refer to.
+        if self.fenced(&txn) {
+            self.locks.release_all(txn.id);
+            return;
+        }
         while let Some(rec) = txn.undo.pop() {
             match rec {
                 UndoRecord::RemoveInserted { table, pk } => {
@@ -518,6 +862,9 @@ impl Database {
         sql: &str,
         params: &[Value],
     ) -> DbResult<ResultSet> {
+        if self.fenced(txn) {
+            return Err(self.down("statement rejected"));
+        }
         let plan = self.cached_plan(sql)?;
         let expected = plan.stmt.param_count();
         if params.len() != expected {
@@ -596,6 +943,12 @@ impl Database {
             let mut t = t.write();
             if t.rows.contains_key(&pk) {
                 return Err(DbError::DuplicateKey(format!("{table}[{pk}]")));
+            }
+            if self.logging.load(Ordering::Relaxed) {
+                txn.redo.push(WalOp::Insert {
+                    table: table.to_owned(),
+                    row: row.clone(),
+                });
             }
             t.insert_row(row);
         }
@@ -908,6 +1261,14 @@ impl Database {
                     new_row[*ci] = v.clone();
                 }
                 t.remove_row(pk);
+                if self.logging.load(Ordering::Relaxed) {
+                    txn.redo.push(WalOp::Update {
+                        table: table.to_owned(),
+                        pk: pk.clone(),
+                        old: old.clone(),
+                        new: new_row.clone(),
+                    });
+                }
                 t.insert_row(new_row);
                 txn.undo.push(UndoRecord::RestoreUpdated {
                     table: table.to_owned(),
@@ -937,6 +1298,12 @@ impl Database {
             let mut t = t.write();
             for pk in &pks {
                 if let Some(old) = t.remove_row(pk) {
+                    if self.logging.load(Ordering::Relaxed) {
+                        txn.redo.push(WalOp::Delete {
+                            table: table.to_owned(),
+                            old: old.clone(),
+                        });
+                    }
                     txn.undo.push(UndoRecord::RestoreDeleted {
                         table: table.to_owned(),
                         old,

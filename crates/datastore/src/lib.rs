@@ -50,6 +50,7 @@ mod snapshot;
 pub mod sql;
 mod trace;
 mod value;
+mod wal;
 
 pub use connection::Connection;
 pub use engine::{AccessPath, Database, PlanCacheStats, PLAN_CACHE_CAPACITY};
@@ -60,6 +61,7 @@ pub use result::ResultSet;
 pub use schema::{Column, ColumnType, Schema};
 pub use trace::{OpCounts, TraceSnapshot};
 pub use value::Value;
+pub use wal::{CrashPoint, RecoveryReport, WalStats, CRASH_POINTS};
 
 /// Convenient result alias for datastore operations.
 pub type DbResult<T> = std::result::Result<T, DbError>;
@@ -157,6 +159,14 @@ pub trait SqlConnection {
     fn commit_seq(&self) -> Option<u64> {
         None
     }
+
+    /// Announces the application-level `(origin, txn_id)` identity of the
+    /// next *writing* commit on this connection, so the engine can record
+    /// it in the WAL commit record and recovery can reseed the committers'
+    /// dedup tables. `txn_id` 0 (the dedup-bypass sentinel) clears any
+    /// pending stamp. Connections without WAL support ignore it — the
+    /// default is a no-op.
+    fn stamp_next_commit(&mut self, _origin: u32, _txn_id: u64) {}
 
     /// Executes `statements` in order, stopping at the first statement
     /// failure.

@@ -201,6 +201,16 @@ impl LockManager {
             .copied()
     }
 
+    /// Wipes the entire lock table — the lock manager is volatile state,
+    /// so a crash forgets every holder and waiter at once. Blocked
+    /// acquirers are woken and re-evaluate against the empty table.
+    pub(crate) fn clear(&self) {
+        let mut st = self.state.lock();
+        st.locks.clear();
+        st.waits_for.clear();
+        self.released.notify_all();
+    }
+
     /// Total number of (resource, holder) pairs — used by tests to check
     /// nothing leaks.
     pub fn lock_count(&self) -> usize {

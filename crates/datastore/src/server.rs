@@ -309,6 +309,18 @@ impl DbServer {
         self.clock.now().as_micros()
     }
 
+    /// Reads the optional trailing commit-stamp section a
+    /// [`RemoteConnection`] appends after a frame's payload and forwards
+    /// it to the session. Pre-WAL frames simply end here — a failed read
+    /// means no stamp.
+    fn read_stamp(request: &mut Reader, conn: &mut Connection) {
+        if let Ok(true) = request.get_bool() {
+            if let (Ok(origin), Ok(txn_id)) = (request.get_u32(), request.get_u64()) {
+                conn.stamp_next_commit(origin, txn_id);
+            }
+        }
+    }
+
     fn run_op(&self, op: u8, request: &mut Reader, class: &mut String) -> DbResult<Writer> {
         let per_request_us = self.charge(self.cost.per_request);
         let mut w = Writer::new();
@@ -340,8 +352,18 @@ impl DbServer {
                     .ok_or_else(|| DbError::Remote(format!("no session {session}")))?;
                 match op {
                     OP_BEGIN => conn.begin()?,
-                    OP_COMMIT => conn.commit()?,
-                    OP_ROLLBACK => conn.rollback()?,
+                    OP_COMMIT => {
+                        Self::read_stamp(request, conn);
+                        conn.commit()?
+                    }
+                    // Idempotent, like real drivers: a commit attempt always
+                    // finishes the server-side transaction (even when it
+                    // fails), so a client cleaning up after a failed commit
+                    // must not be punished with NoTransaction.
+                    OP_ROLLBACK => match conn.rollback() {
+                        Err(DbError::NoTransaction) => {}
+                        other => other?,
+                    },
                     OP_EXEC => {
                         let _package = request
                             .get_str()
@@ -360,6 +382,7 @@ impl DbServer {
                                     .map_err(|e| DbError::Remote(e.to_string()))?,
                             );
                         }
+                        Self::read_stamp(request, conn);
                         *class = statement_class(&sql);
                         let rs = conn.execute(&sql, &params)?;
                         let row_us = self.charge(self.cost.per_row.saturating_mul(rs.len() as u64));
@@ -393,6 +416,7 @@ impl DbServer {
                             }
                             stmts.push((sql, params));
                         }
+                        Self::read_stamp(request, conn);
                         *class = format!("batch:{count}");
                         // One per_request charge (taken above) covers the
                         // whole frame; rows still cost per_row each, so the
@@ -478,6 +502,11 @@ pub struct RemoteConnection {
     /// default) or falls back to one round trip per statement — the
     /// pre-batching wire protocol, kept as an ablation knob.
     batching: bool,
+    /// `(origin, txn_id)` commit identity announced via
+    /// [`SqlConnection::stamp_next_commit`], shipped as a trailing section
+    /// on the next statement/commit frame so the server-side session can
+    /// record it in the WAL commit record.
+    pending_stamp: Option<(u32, u64)>,
     correlation: std::sync::atomic::AtomicU64,
 }
 
@@ -505,6 +534,7 @@ impl RemoteConnection {
                     session,
                     in_txn: false,
                     batching: true,
+                    pending_stamp: None,
                     correlation: std::sync::atomic::AtomicU64::new(1),
                 })
             }
@@ -555,6 +585,15 @@ impl RemoteConnection {
         Ok(())
     }
 
+    /// Appends the pending commit stamp (if any) as a trailing
+    /// `true, origin, txn_id` section and clears it — frames without a
+    /// stamp are byte-identical to the pre-WAL protocol.
+    fn put_stamp(&mut self, w: &mut Writer) {
+        if let Some((origin, txn_id)) = self.pending_stamp.take() {
+            w.put_bool(true).put_u32(origin).put_u64(txn_id);
+        }
+    }
+
     /// Enables or disables wire batching. With batching off,
     /// `execute_batch` degrades to the pre-`OP_EXEC_BATCH` behaviour — one
     /// round trip per statement — which the what-if profiler uses as the
@@ -589,6 +628,7 @@ impl SqlConnection for RemoteConnection {
         for p in params {
             p.encode(&mut w);
         }
+        self.put_stamp(&mut w);
         let mut r = self.exchange(w)?;
         ResultSet::decode(&mut r).map_err(|e| DbError::Remote(e.to_string()))
     }
@@ -597,7 +637,10 @@ impl SqlConnection for RemoteConnection {
         if !self.in_txn {
             return Err(DbError::NoTransaction);
         }
-        self.simple_call(OP_COMMIT)?;
+        let mut w = Writer::new();
+        w.put_u8(OP_COMMIT).put_u64(self.session);
+        self.put_stamp(&mut w);
+        self.exchange(w)?;
         self.in_txn = false;
         Ok(())
     }
@@ -606,6 +649,7 @@ impl SqlConnection for RemoteConnection {
         if !self.in_txn {
             return Err(DbError::NoTransaction);
         }
+        self.pending_stamp = None;
         self.simple_call(OP_ROLLBACK)?;
         self.in_txn = false;
         Ok(())
@@ -613,6 +657,15 @@ impl SqlConnection for RemoteConnection {
 
     fn in_transaction(&self) -> bool {
         self.in_txn
+    }
+
+    fn stamp_next_commit(&mut self, origin: u32, txn_id: u64) {
+        // txn_id 0 is the dedup-bypass sentinel: clear, don't record.
+        self.pending_stamp = if txn_id == 0 {
+            None
+        } else {
+            Some((origin, txn_id))
+        };
     }
 
     /// Ships the whole batch as a single `OP_EXEC_BATCH` frame: one round
@@ -658,6 +711,7 @@ impl SqlConnection for RemoteConnection {
                 p.encode(&mut w);
             }
         }
+        self.put_stamp(&mut w);
         let mut r = self.exchange(w)?;
         let executed = r.get_u32().map_err(|e| DbError::Remote(e.to_string()))? as usize;
         let mut results = Vec::with_capacity(executed);

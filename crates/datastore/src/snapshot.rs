@@ -91,67 +91,114 @@ impl Database {
     /// [`DbError::Remote`] wraps malformed frames; DDL/DML failures cannot
     /// occur on a well-formed checkpoint.
     pub fn restore(frame: Bytes) -> DbResult<Arc<Database>> {
-        let wire = |e: DecodeError| DbError::Remote(format!("corrupt checkpoint: {e}"));
-        let mut r = Reader::new(frame);
-        if r.get_u32().map_err(wire)? != SNAPSHOT_MAGIC {
-            return Err(DbError::Remote("corrupt checkpoint: bad magic".to_owned()));
-        }
-        if r.get_u16().map_err(wire)? != SNAPSHOT_VERSION {
-            return Err(DbError::Remote(
-                "corrupt checkpoint: unsupported version".to_owned(),
-            ));
-        }
         let db = Database::new();
-        let tables = r.get_u32().map_err(wire)? as usize;
-        for _ in 0..tables {
-            let name = r.get_str().map_err(wire)?;
-            let ncols = r.get_u32().map_err(wire)? as usize;
-            let mut cols = Vec::with_capacity(ncols);
-            for _ in 0..ncols {
-                let col = r.get_str().map_err(wire)?;
-                let ty = type_from_tag(r.get_u8().map_err(wire)?).map_err(wire)?;
-                cols.push((col, ty));
+        for img in decode_checkpoint(frame)? {
+            db.execute_ddl(&img.table_ddl())?;
+            for col in &img.indexes {
+                db.execute_ddl(&img.index_ddl(col))?;
             }
-            let pk = r.get_str().map_err(wire)?;
-            let ddl_cols: Vec<String> = cols
-                .iter()
-                .map(|(col, ty)| {
-                    if *col == pk {
-                        format!("{col} {} PRIMARY KEY", type_ddl(*ty))
-                    } else {
-                        format!("{col} {}", type_ddl(*ty))
-                    }
-                })
-                .collect();
-            db.execute_ddl(&format!("CREATE TABLE {name} ({})", ddl_cols.join(", ")))?;
-            let nindexes = r.get_u32().map_err(wire)? as usize;
-            for _ in 0..nindexes {
-                let col = r.get_str().map_err(wire)?;
-                db.execute_ddl(&format!("CREATE INDEX {name}_{col} ON {name} ({col})"))?;
-            }
-            let nrows = r.get_u32().map_err(wire)? as usize;
-            if nrows > 0 {
+            if !img.rows.is_empty() {
                 let insert = format!(
-                    "INSERT INTO {name} ({}) VALUES ({})",
-                    cols.iter()
+                    "INSERT INTO {} ({}) VALUES ({})",
+                    img.name,
+                    img.cols
+                        .iter()
                         .map(|(c, _)| c.as_str())
                         .collect::<Vec<_>>()
                         .join(", "),
-                    vec!["?"; ncols].join(", ")
+                    vec!["?"; img.cols.len()].join(", ")
                 );
                 let mut conn = db.connect();
                 use crate::SqlConnection as _;
-                for _ in 0..nrows {
-                    let mut row = Vec::with_capacity(ncols);
-                    for _ in 0..ncols {
-                        row.push(Value::decode(&mut r).map_err(wire)?);
-                    }
-                    conn.execute(&insert, &row)?;
+                for row in &img.rows {
+                    conn.execute(&insert, row)?;
                 }
             }
         }
         Ok(db)
     }
+}
+
+/// A decoded table from a checkpoint frame: schema, secondary-index
+/// declarations and rows. Shared by [`Database::restore`] (which builds a
+/// fresh engine through the SQL layer) and [`Database::recover`] (which
+/// reloads the base image in place before replaying the WAL).
+pub(crate) struct TableImage {
+    pub(crate) name: String,
+    pub(crate) cols: Vec<(String, ColumnType)>,
+    pub(crate) pk: String,
+    pub(crate) indexes: Vec<String>,
+    pub(crate) rows: Vec<Vec<Value>>,
+}
+
+impl TableImage {
+    pub(crate) fn table_ddl(&self) -> String {
+        let ddl_cols: Vec<String> = self
+            .cols
+            .iter()
+            .map(|(col, ty)| {
+                if *col == self.pk {
+                    format!("{col} {} PRIMARY KEY", type_ddl(*ty))
+                } else {
+                    format!("{col} {}", type_ddl(*ty))
+                }
+            })
+            .collect();
+        format!("CREATE TABLE {} ({})", self.name, ddl_cols.join(", "))
+    }
+
+    pub(crate) fn index_ddl(&self, col: &str) -> String {
+        format!("CREATE INDEX {}_{col} ON {} ({col})", self.name, self.name)
+    }
+}
+
+/// Decodes a [`Database::checkpoint`] frame into per-table images.
+pub(crate) fn decode_checkpoint(frame: Bytes) -> DbResult<Vec<TableImage>> {
+    let wire = |e: DecodeError| DbError::Remote(format!("corrupt checkpoint: {e}"));
+    let mut r = Reader::new(frame);
+    if r.get_u32().map_err(wire)? != SNAPSHOT_MAGIC {
+        return Err(DbError::Remote("corrupt checkpoint: bad magic".to_owned()));
+    }
+    if r.get_u16().map_err(wire)? != SNAPSHOT_VERSION {
+        return Err(DbError::Remote(
+            "corrupt checkpoint: unsupported version".to_owned(),
+        ));
+    }
+    let tables = r.get_u32().map_err(wire)? as usize;
+    let mut images = Vec::with_capacity(tables);
+    for _ in 0..tables {
+        let name = r.get_str().map_err(wire)?;
+        let ncols = r.get_u32().map_err(wire)? as usize;
+        let mut cols = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let col = r.get_str().map_err(wire)?;
+            let ty = type_from_tag(r.get_u8().map_err(wire)?).map_err(wire)?;
+            cols.push((col, ty));
+        }
+        let pk = r.get_str().map_err(wire)?;
+        let nindexes = r.get_u32().map_err(wire)? as usize;
+        let mut indexes = Vec::with_capacity(nindexes);
+        for _ in 0..nindexes {
+            indexes.push(r.get_str().map_err(wire)?);
+        }
+        let nrows = r.get_u32().map_err(wire)? as usize;
+        let mut rows = Vec::with_capacity(nrows);
+        for _ in 0..nrows {
+            let mut row = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                row.push(Value::decode(&mut r).map_err(wire)?);
+            }
+            rows.push(row);
+        }
+        images.push(TableImage {
+            name,
+            cols,
+            pk,
+            indexes,
+            rows,
+        });
+    }
+    Ok(images)
 }
 
 #[cfg(test)]

@@ -1,0 +1,448 @@
+//! Write-ahead/undo log and the types behind ARIES-lite crash recovery.
+//!
+//! The paper's persistent tier (DB2) survives process death; PR 1's
+//! idempotent commit protocol has so far only been exercised against
+//! message loss. This module adds the missing half: an in-simulation
+//! durable log that a scripted crash cannot take down. Every writing
+//! transaction appends redo/undo mementos (txn id, LSN, old and new row
+//! images) and a commit record carrying the `commit_seq` witness plus the
+//! caller's `(origin, txn_id)` dedup identity, flushed together at the
+//! transaction boundary (group commit). After a crash,
+//! [`Database::recover`](crate::Database::recover) runs
+//! analysis/redo/undo over the flushed prefix and hands back a
+//! [`RecoveryReport`] the committers use to reseed their dedup tables.
+//!
+//! The "disk" is a `Vec<Bytes>` of encoded records: durable in the
+//! simulation's sense (it survives [`Database::crash`](crate::Database::crash),
+//! which wipes only volatile state), while unflushed `pending` records die
+//! with the process — exactly the distinction recovery semantics hinge on.
+
+use bytes::Bytes;
+use sli_simnet::wire::{DecodeError, Reader, Writer};
+use sli_telemetry::{Counter, Registry, Timeline};
+
+use crate::error::DbError;
+use crate::value::Value;
+use crate::DbResult;
+
+/// Where a scripted crash fires inside the commit protocol (see
+/// DESIGN.md §18). Each point models one step of the group-commit
+/// sequence dying; all four surface to the caller as
+/// [`DbError::Unavailable`], so the PR 1 retry path is exercised whether
+/// or not the commit made it to the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// Before anything reaches the log: the transaction evaporates.
+    PreFlush,
+    /// After the op records are flushed but before the commit record — a
+    /// torn group commit. Recovery redoes the ops (repeating history)
+    /// and then undoes them as a loser.
+    MidApply,
+    /// After the commit record is flushed but before in-memory
+    /// completion: durable yet unacknowledged, so the client retries and
+    /// the reseeded dedup table replays the outcome.
+    PostFlushPreApply,
+    /// Fully applied and durable; only the acknowledgement is lost.
+    PostApplyPreAck,
+}
+
+impl CrashPoint {
+    /// Stable label for diagnostics and artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            CrashPoint::PreFlush => "pre-flush",
+            CrashPoint::MidApply => "mid-apply",
+            CrashPoint::PostFlushPreApply => "post-flush-pre-apply",
+            CrashPoint::PostApplyPreAck => "post-apply-pre-ack",
+        }
+    }
+}
+
+/// Every commit-protocol step a crash can be scripted at, in protocol
+/// order — the crash-point matrix in `tests/failure.rs` walks this.
+pub const CRASH_POINTS: [CrashPoint; 4] = [
+    CrashPoint::PreFlush,
+    CrashPoint::MidApply,
+    CrashPoint::PostFlushPreApply,
+    CrashPoint::PostApplyPreAck,
+];
+
+/// One logged operation: enough to redo (new image) and undo (old image)
+/// the physical change.
+#[derive(Debug, Clone)]
+pub(crate) enum WalOp {
+    Insert {
+        table: String,
+        row: Vec<Value>,
+    },
+    Update {
+        table: String,
+        pk: Value,
+        old: Vec<Value>,
+        new: Vec<Value>,
+    },
+    Delete {
+        table: String,
+        old: Vec<Value>,
+    },
+}
+
+/// A decoded log record: LSN plus body.
+#[derive(Debug)]
+pub(crate) struct WalRecord {
+    pub(crate) lsn: u64,
+    pub(crate) body: WalBody,
+}
+
+#[derive(Debug)]
+pub(crate) enum WalBody {
+    /// A physical operation belonging to transaction `txn`.
+    Op { txn: u64, op: WalOp },
+    /// Transaction `txn` committed at `commit_seq`, optionally on behalf
+    /// of the application-level identity `stamp = (origin, txn_id)`.
+    Commit {
+        txn: u64,
+        commit_seq: u64,
+        stamp: Option<(u32, u64)>,
+    },
+}
+
+const REC_INSERT: u8 = 1;
+const REC_UPDATE: u8 = 2;
+const REC_DELETE: u8 = 3;
+const REC_COMMIT: u8 = 4;
+
+fn put_row(w: &mut Writer, row: &[Value]) {
+    w.put_u32(row.len() as u32);
+    for v in row {
+        v.encode(w);
+    }
+}
+
+fn get_row(r: &mut Reader) -> Result<Vec<Value>, DecodeError> {
+    let n = r.get_u32()? as usize;
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        row.push(Value::decode(r)?);
+    }
+    Ok(row)
+}
+
+fn encode_op(lsn: u64, txn: u64, op: &WalOp) -> Bytes {
+    let mut w = Writer::new();
+    match op {
+        WalOp::Insert { table, row } => {
+            w.put_u8(REC_INSERT)
+                .put_u64(lsn)
+                .put_u64(txn)
+                .put_str(table);
+            put_row(&mut w, row);
+        }
+        WalOp::Update {
+            table,
+            pk,
+            old,
+            new,
+        } => {
+            w.put_u8(REC_UPDATE)
+                .put_u64(lsn)
+                .put_u64(txn)
+                .put_str(table);
+            pk.encode(&mut w);
+            put_row(&mut w, old);
+            put_row(&mut w, new);
+        }
+        WalOp::Delete { table, old } => {
+            w.put_u8(REC_DELETE)
+                .put_u64(lsn)
+                .put_u64(txn)
+                .put_str(table);
+            put_row(&mut w, old);
+        }
+    }
+    w.finish()
+}
+
+fn encode_commit(lsn: u64, txn: u64, commit_seq: u64, stamp: Option<(u32, u64)>) -> Bytes {
+    let mut w = Writer::new();
+    w.put_u8(REC_COMMIT)
+        .put_u64(lsn)
+        .put_u64(txn)
+        .put_u64(commit_seq);
+    match stamp {
+        Some((origin, txn_id)) => {
+            w.put_bool(true).put_u32(origin).put_u64(txn_id);
+        }
+        None => {
+            w.put_bool(false);
+        }
+    }
+    w.finish()
+}
+
+fn decode_record(frame: &Bytes) -> Result<WalRecord, DecodeError> {
+    let mut r = Reader::new(frame.clone());
+    let kind = r.get_u8()?;
+    let lsn = r.get_u64()?;
+    let txn = r.get_u64()?;
+    let body = match kind {
+        REC_INSERT => WalBody::Op {
+            txn,
+            op: WalOp::Insert {
+                table: r.get_str()?,
+                row: get_row(&mut r)?,
+            },
+        },
+        REC_UPDATE => {
+            let table = r.get_str()?;
+            let pk = Value::decode(&mut r)?;
+            let old = get_row(&mut r)?;
+            let new = get_row(&mut r)?;
+            WalBody::Op {
+                txn,
+                op: WalOp::Update {
+                    table,
+                    pk,
+                    old,
+                    new,
+                },
+            }
+        }
+        REC_DELETE => WalBody::Op {
+            txn,
+            op: WalOp::Delete {
+                table: r.get_str()?,
+                old: get_row(&mut r)?,
+            },
+        },
+        REC_COMMIT => {
+            let commit_seq = r.get_u64()?;
+            let stamp = if r.get_bool()? {
+                Some((r.get_u32()?, r.get_u64()?))
+            } else {
+                None
+            };
+            WalBody::Commit {
+                txn,
+                commit_seq,
+                stamp,
+            }
+        }
+        _ => return Err(DecodeError::new("wal record kind")),
+    };
+    Ok(WalRecord { lsn, body })
+}
+
+/// The simulated durable log device.
+///
+/// `flushed` frames survive a crash; `pending` frames are the in-memory
+/// tail that a crash discards. `base` is the checkpoint the log is
+/// relative to, captured when the WAL is attached.
+#[derive(Debug)]
+pub(crate) struct WalDisk {
+    pub(crate) base: Bytes,
+    pub(crate) base_commit_seq: u64,
+    pub(crate) base_next_txn: u64,
+    pending: Vec<Bytes>,
+    flushed: Vec<Bytes>,
+    next_lsn: u64,
+    /// Inject-bug switch: when set, `flush` silently discards the pending
+    /// tail while reporting success — an acked-but-not-durable commit the
+    /// slicheck crash sweep must catch as a lost committed write.
+    drop_flush: bool,
+}
+
+impl WalDisk {
+    pub(crate) fn new(base: Bytes, base_commit_seq: u64, base_next_txn: u64) -> WalDisk {
+        WalDisk {
+            base,
+            base_commit_seq,
+            base_next_txn,
+            pending: Vec::new(),
+            flushed: Vec::new(),
+            next_lsn: 0,
+            drop_flush: false,
+        }
+    }
+
+    pub(crate) fn set_drop_flush(&mut self, on: bool) {
+        self.drop_flush = on;
+    }
+
+    fn append(&mut self, frame: Bytes, metrics: &WalMetrics) {
+        self.pending.push(frame);
+        metrics.appends.inc();
+    }
+
+    pub(crate) fn append_op(&mut self, txn: u64, op: &WalOp, metrics: &WalMetrics) {
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        self.append(encode_op(lsn, txn, op), metrics);
+    }
+
+    pub(crate) fn append_commit(
+        &mut self,
+        txn: u64,
+        commit_seq: u64,
+        stamp: Option<(u32, u64)>,
+        metrics: &WalMetrics,
+    ) {
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        self.append(encode_commit(lsn, txn, commit_seq, stamp), metrics);
+    }
+
+    /// Makes the pending tail durable (or, under the injected bug, lies
+    /// about it).
+    pub(crate) fn flush(&mut self, metrics: &WalMetrics) {
+        metrics.flushes.inc();
+        if self.drop_flush {
+            metrics.dropped_flushes.add(self.pending.len() as u64);
+            self.pending.clear();
+            return;
+        }
+        for frame in self.pending.drain(..) {
+            metrics.flushed_records.inc();
+            metrics.flushed_bytes.add(frame.len() as u64);
+            self.flushed.push(frame);
+        }
+    }
+
+    /// Drops the un-flushed tail — what a crash does to volatile buffers.
+    pub(crate) fn discard_pending(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Decodes the durable prefix in LSN order.
+    pub(crate) fn decode_flushed(&self) -> DbResult<Vec<WalRecord>> {
+        self.flushed
+            .iter()
+            .map(|f| {
+                decode_record(f).map_err(|e| DbError::Remote(format!("corrupt wal record: {e}")))
+            })
+            .collect()
+    }
+}
+
+/// Counters for the log device and the restart path, attached to the
+/// telemetry registry as `{prefix}.wal.*` / `{prefix}.recovery.*`.
+#[derive(Debug)]
+pub(crate) struct WalMetrics {
+    pub(crate) appends: Counter,
+    pub(crate) flushes: Counter,
+    pub(crate) flushed_records: Counter,
+    pub(crate) flushed_bytes: Counter,
+    pub(crate) dropped_flushes: Counter,
+    pub(crate) recoveries: Counter,
+    pub(crate) redone: Counter,
+    pub(crate) undone: Counter,
+    pub(crate) torn_discarded: Counter,
+}
+
+impl WalMetrics {
+    pub(crate) fn new() -> WalMetrics {
+        WalMetrics {
+            appends: Counter::new(),
+            flushes: Counter::new(),
+            flushed_records: Counter::new(),
+            flushed_bytes: Counter::new(),
+            dropped_flushes: Counter::new(),
+            recoveries: Counter::new(),
+            redone: Counter::new(),
+            undone: Counter::new(),
+            torn_discarded: Counter::new(),
+        }
+    }
+
+    pub(crate) fn register_with(&self, registry: &Registry, prefix: &str) {
+        registry.attach_counter(format!("{prefix}.wal.appends"), &self.appends);
+        registry.attach_counter(format!("{prefix}.wal.flushes"), &self.flushes);
+        registry.attach_counter(
+            format!("{prefix}.wal.flushed_records"),
+            &self.flushed_records,
+        );
+        registry.attach_counter(format!("{prefix}.wal.flushed_bytes"), &self.flushed_bytes);
+        registry.attach_counter(
+            format!("{prefix}.wal.dropped_flushes"),
+            &self.dropped_flushes,
+        );
+        registry.attach_counter(format!("{prefix}.recovery.recoveries"), &self.recoveries);
+        registry.attach_counter(format!("{prefix}.recovery.redone_ops"), &self.redone);
+        registry.attach_counter(format!("{prefix}.recovery.undone_ops"), &self.undone);
+        registry.attach_counter(format!("{prefix}.recovery.torn_txns"), &self.torn_discarded);
+    }
+
+    pub(crate) fn timeline_into(&self, timeline: &Timeline, prefix: &str) {
+        timeline.track_counter(format!("{prefix}.wal.appends"), &self.appends);
+        timeline.track_counter(format!("{prefix}.wal.flushes"), &self.flushes);
+        timeline.track_counter(
+            format!("{prefix}.wal.flushed_records"),
+            &self.flushed_records,
+        );
+        timeline.track_counter(format!("{prefix}.wal.flushed_bytes"), &self.flushed_bytes);
+        timeline.track_counter(
+            format!("{prefix}.wal.dropped_flushes"),
+            &self.dropped_flushes,
+        );
+        timeline.track_counter(format!("{prefix}.recovery.recoveries"), &self.recoveries);
+        timeline.track_counter(format!("{prefix}.recovery.redone_ops"), &self.redone);
+        timeline.track_counter(format!("{prefix}.recovery.undone_ops"), &self.undone);
+        timeline.track_counter(format!("{prefix}.recovery.torn_txns"), &self.torn_discarded);
+    }
+
+    pub(crate) fn stats(&self) -> WalStats {
+        WalStats {
+            appends: self.appends.get(),
+            flushes: self.flushes.get(),
+            flushed_records: self.flushed_records.get(),
+            flushed_bytes: self.flushed_bytes.get(),
+            dropped_flushes: self.dropped_flushes.get(),
+            recoveries: self.recoveries.get(),
+            redone_ops: self.redone.get(),
+            undone_ops: self.undone.get(),
+            torn_txns: self.torn_discarded.get(),
+        }
+    }
+}
+
+/// Snapshot of the `wal.*` / `recovery.*` counters — `PartialEq` so the
+/// seeded-determinism pin can assert two replays agree bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalStats {
+    /// Records appended to the pending tail.
+    pub appends: u64,
+    /// Group-commit flush calls.
+    pub flushes: u64,
+    /// Records made durable.
+    pub flushed_records: u64,
+    /// Bytes made durable.
+    pub flushed_bytes: u64,
+    /// Records silently discarded by the injected drop-flush bug.
+    pub dropped_flushes: u64,
+    /// Completed restart passes.
+    pub recoveries: u64,
+    /// Operations replayed during redo (repeating history).
+    pub redone_ops: u64,
+    /// Loser operations reversed during undo.
+    pub undone_ops: u64,
+    /// Distinct torn (uncommitted-but-logged) transactions discarded.
+    pub torn_txns: u64,
+}
+
+/// What [`Database::recover`](crate::Database::recover) reconstructed,
+/// handed to the committers so they can reseed their `(origin, txn_id)`
+/// dedup tables to the same prefix-consistent point as the data.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// `(origin, txn_id)` identities of committed (winner) transactions,
+    /// in commit order.
+    pub committed: Vec<(u32, u64)>,
+    /// Operations replayed during the redo pass.
+    pub redo_count: u64,
+    /// Loser operations reversed during the undo pass.
+    pub undo_count: u64,
+    /// Distinct torn transactions rolled back.
+    pub torn_txns: u64,
+    /// Highest LSN seen in the durable log (0 when the log is empty).
+    pub max_lsn: u64,
+}

@@ -13,8 +13,31 @@
 //! errors.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Which machine a scripted process-death fault kills. Unlike the
+/// transient [`Fault`]s below, a crash takes a whole endpoint down at an
+/// exact virtual-time point: its volatile state is gone (the datastore
+/// replays its WAL, edge caches restart cold) and every in-flight RPC on
+/// the paths leading to it fails as an outage until restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashKind {
+    /// The shared back-end database machine dies mid-commit.
+    Backend,
+    /// An edge server dies; its local cache restarts cold.
+    Edge,
+}
+
+impl CrashKind {
+    /// Stable label for diagnostics and artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            CrashKind::Backend => "backend",
+            CrashKind::Edge => "edge",
+        }
+    }
+}
 
 /// One injected transport/service failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -156,6 +179,11 @@ impl FaultStats {
 pub(crate) struct FaultState {
     plan: Mutex<FaultPlan>,
     script: Mutex<VecDeque<Option<Fault>>>,
+    /// While set, the endpoint this path leads to is crashed: every
+    /// delivery attempt fails as [`Fault::Unavailable`] without consuming
+    /// the script or the seeded attempt stream, so a crash window does not
+    /// perturb the fault schedule that resumes after restart.
+    down: AtomicBool,
     attempts: AtomicU64,
     /// Virtual timestamp (µs) of the first fault actually injected since
     /// the last reset — the ground truth a time-to-detect measurement is
@@ -172,6 +200,7 @@ impl Default for FaultState {
         FaultState {
             plan: Mutex::new(FaultPlan::default()),
             script: Mutex::new(VecDeque::new()),
+            down: AtomicBool::new(false),
             attempts: AtomicU64::new(0),
             first_injected_us: AtomicU64::new(u64::MAX),
             dropped_requests: AtomicU64::new(0),
@@ -208,9 +237,26 @@ impl FaultState {
             .extend(faults);
     }
 
+    /// Marks the endpoint behind this path crashed (or restarted).
+    pub(crate) fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::Relaxed);
+    }
+
+    pub(crate) fn is_down(&self) -> bool {
+        self.down.load(Ordering::Relaxed)
+    }
+
     /// Decides the fault for the next delivery attempt, which happens at
     /// virtual time `now_us` (used to timestamp the first injection).
     pub(crate) fn next(&self, now_us: u64) -> Option<Fault> {
+        if self.is_down() {
+            // Crashed endpoint: outage on every attempt. Counted as an
+            // injected unavailability so TTD anchoring and fault stats see
+            // the outage, but the script/attempt stream is untouched.
+            self.unavailable.fetch_add(1, Ordering::Relaxed);
+            self.first_injected_us.fetch_min(now_us, Ordering::Relaxed);
+            return Some(Fault::Unavailable);
+        }
         let scripted = self
             .script
             .lock()
@@ -392,6 +438,34 @@ mod tests {
         state.next(7);
         state.next(9);
         assert_eq!(state.first_injected_us(), Some(9));
+    }
+
+    #[test]
+    fn down_path_faults_every_attempt_without_consuming_schedule() {
+        let state = FaultState::new(FaultPlan::default());
+        state.push_script([Some(Fault::Duplicate)]);
+        state.set_down(true);
+        assert!(state.is_down());
+        // Outages on every attempt while down, timestamped as injections.
+        assert_eq!(state.next(100), Some(Fault::Unavailable));
+        assert_eq!(state.next(200), Some(Fault::Unavailable));
+        assert_eq!(state.first_injected_us(), Some(100));
+        assert_eq!(state.stats().unavailable, 2);
+        // Restart: the scripted entry queued before the crash is intact.
+        state.set_down(false);
+        assert_eq!(state.next(300), Some(Fault::Duplicate));
+        // reset() clears counters and scripts but NOT the down flag — a
+        // crashed machine stays crashed until explicitly restarted.
+        state.set_down(true);
+        state.reset();
+        assert!(state.is_down());
+        assert_eq!(state.next(400), Some(Fault::Unavailable));
+    }
+
+    #[test]
+    fn crash_kind_labels_are_stable() {
+        assert_eq!(CrashKind::Backend.label(), "backend");
+        assert_eq!(CrashKind::Edge.label(), "edge");
     }
 
     #[test]

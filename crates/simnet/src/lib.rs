@@ -59,7 +59,7 @@ mod sched;
 pub mod wire;
 
 pub use clock::{Clock, SimDuration, SimTime, TimeWarp};
-pub use fault::{Fault, FaultPlan, FaultStats};
+pub use fault::{CrashKind, Fault, FaultPlan, FaultStats};
 pub use http::{HttpRequest, HttpResponse};
 pub use path::{scale_cost_us, Path, PathMetrics, PathSpec, PathStats, COST_SCALE_UNIT};
 pub use remote::{CallError, Remote, RetryPolicy, Service};

@@ -465,9 +465,25 @@ impl Path {
     }
 
     /// Clears the scripted queue, the fault-stream position and the fault
-    /// counters (the dialled plan itself is kept).
+    /// counters (the dialled plan itself is kept). The crash flag
+    /// ([`set_down`](Path::set_down)) is *not* cleared — a crashed machine
+    /// stays crashed until explicitly restarted.
     pub fn reset_faults(&self) {
         self.faults.reset();
+    }
+
+    /// Marks the endpoint behind this path crashed (`true`) or restarted
+    /// (`false`). While down, every delivery attempt fails as
+    /// [`Fault::Unavailable`] — in-flight RPCs surface as outages and retry
+    /// through the caller's backoff policy — without consuming the scripted
+    /// queue or the seeded fault stream.
+    pub fn set_down(&self, down: bool) {
+        self.faults.set_down(down);
+    }
+
+    /// Whether the endpoint behind this path is currently crashed.
+    pub fn is_down(&self) -> bool {
+        self.faults.is_down()
     }
 }
 

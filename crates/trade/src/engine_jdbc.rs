@@ -60,7 +60,13 @@ impl JdbcTradeEngine {
     /// Runs `f` inside one explicit transaction, rolling back on error.
     fn in_txn<T>(&self, f: impl FnOnce(&mut dyn SqlConnection) -> EjbResult<T>) -> EjbResult<T> {
         let mut conn = self.conn.lock();
-        conn.begin()?;
+        if let Err(e) = conn.begin() {
+            // A transaction stranded by a failed commit or rollback (the
+            // database crashed mid-protocol, say) blocks every later begin;
+            // roll it back so the next attempt gets a clean connection.
+            let _ = conn.rollback();
+            return Err(e.into());
+        }
         match f(&mut *conn) {
             Ok(v) => {
                 conn.commit()?;

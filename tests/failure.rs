@@ -9,11 +9,13 @@ use sli_edge::component::{
 };
 use sli_edge::core::{BackendServer, BackendSource};
 use sli_edge::core::{
-    CombinedCommitter, CommitRequest, CommonStore, DirectSource, MetaRegistry, SliHome,
-    SliResourceManager, SplitCommitter,
+    CombinedCommitter, CommitEntry, CommitOutcome, CommitRequest, Committer, CommonStore,
+    DirectSource, EntryKind, MetaRegistry, SliHome, SliResourceManager, SplitCommitter,
 };
 use sli_edge::datastore::server::{DbCostModel, DbServer, RemoteConnection};
-use sli_edge::datastore::{ColumnType, Database, DbError, SqlConnection, Value};
+use sli_edge::datastore::{
+    ColumnType, CrashPoint, Database, DbError, SqlConnection, Value, CRASH_POINTS,
+};
 use sli_edge::simnet::{
     Clock, Fault, FaultPlan, Path, PathSpec, Remote, RetryPolicy, Service, SimDuration,
 };
@@ -69,11 +71,24 @@ fn split_edge(
     path: &Arc<Path>,
     policy: RetryPolicy,
 ) -> (Container, Arc<CommonStore>) {
+    split_edge_with_origin(backend, path, policy, 1)
+}
+
+fn split_edge_with_origin(
+    backend: &Arc<BackendServer>,
+    path: &Arc<Path>,
+    policy: RetryPolicy,
+    origin: u32,
+) -> (Container, Arc<CommonStore>) {
     let store = CommonStore::new();
     let remote = Remote::new(Arc::clone(path), Arc::clone(backend)).with_policy(policy);
     let source = Arc::new(BackendSource::new(remote.clone()));
     let committer = Arc::new(SplitCommitter::new(remote));
-    let rm = Arc::new(SliResourceManager::new(1, committer, Arc::clone(&store)));
+    let rm = Arc::new(SliResourceManager::new(
+        origin,
+        committer,
+        Arc::clone(&store),
+    ));
     let mut container = Container::new(rm as Arc<dyn ResourceManager>);
     container.register(Arc::new(SliHome::new(
         account_meta(),
@@ -519,6 +534,451 @@ fn create_after_failed_create_retries_cleanly() {
         .unwrap();
     assert_eq!(read_back, Value::from(1.0));
     assert!(store.get("Account", &Value::from("bob")).is_some());
+}
+
+// ---------------------------------------------------------------------------
+// Crash-point matrix: kill the back-end at every step of the commit
+// protocol, on every architecture × flavor combination, and prove the
+// restart path (WAL replay + dedup reseed) preserves exactly-once debits,
+// loses no acknowledged commit, and conserves money.
+// ---------------------------------------------------------------------------
+
+fn seeded_two_account_db() -> Arc<Database> {
+    let db = Database::new();
+    registry().create_schema(&db).unwrap();
+    let mut conn = db.connect();
+    conn.execute(
+        "INSERT INTO account (userid, balance) VALUES ('alice', 100.0)",
+        &[],
+    )
+    .unwrap();
+    conn.execute(
+        "INSERT INTO account (userid, balance) VALUES ('bob', 28.0)",
+        &[],
+    )
+    .unwrap();
+    db
+}
+
+fn account_memento(user: &str, balance: f64) -> Memento {
+    Memento::new("Account", Value::from(user)).with_field("balance", balance)
+}
+
+fn balance_of(db: &Arc<Database>, user: &str) -> f64 {
+    let mut conn = db.connect();
+    conn.execute(
+        "SELECT balance FROM account WHERE userid = ?",
+        &[Value::from(user)],
+    )
+    .unwrap()
+    .rows()[0][0]
+        .as_double()
+        .unwrap()
+}
+
+/// The fixed transfer every matrix cell retries: alice pays bob 10.0, as a
+/// `(1, 7)`-stamped commit request (the committer combos' retry identity).
+fn transfer_request() -> CommitRequest {
+    CommitRequest {
+        origin: 1,
+        txn_id: 7,
+        entries: vec![
+            CommitEntry {
+                bean: "Account".to_owned(),
+                key: Value::from("alice"),
+                kind: EntryKind::Update {
+                    before: account_memento("alice", 100.0),
+                    after: account_memento("alice", 90.0),
+                },
+            },
+            CommitEntry {
+                bean: "Account".to_owned(),
+                key: Value::from("bob"),
+                kind: EntryKind::Update {
+                    before: account_memento("bob", 28.0),
+                    after: account_memento("bob", 38.0),
+                },
+            },
+        ],
+    }
+}
+
+/// One explicit SQL transaction moving 10.0 alice → bob, optionally armed
+/// to crash the database at `crash` inside its commit.
+fn jdbc_transfer(
+    db: &Arc<Database>,
+    conn: &mut dyn SqlConnection,
+    crash: Option<CrashPoint>,
+) -> Result<(), DbError> {
+    conn.begin()?;
+    let a = conn
+        .execute("SELECT balance FROM account WHERE userid = 'alice'", &[])?
+        .rows()[0][0]
+        .as_double()
+        .unwrap();
+    let b = conn
+        .execute("SELECT balance FROM account WHERE userid = 'bob'", &[])?
+        .rows()[0][0]
+        .as_double()
+        .unwrap();
+    conn.execute(
+        "UPDATE account SET balance = ? WHERE userid = 'alice'",
+        &[Value::from(a - 10.0)],
+    )?;
+    conn.execute(
+        "UPDATE account SET balance = ? WHERE userid = 'bob'",
+        &[Value::from(b + 10.0)],
+    )?;
+    if let Some(point) = crash {
+        db.script_crash(point);
+    }
+    conn.commit()
+}
+
+fn vanilla_container(db: &Arc<Database>) -> Container {
+    let conn = share_connection(db.connect());
+    let mut container = Container::new(Arc::new(sli_edge::component::JdbcResourceManager::new(
+        Arc::clone(&conn),
+    )));
+    container.register(Arc::new(sli_edge::component::BmpHome::new(
+        account_meta(),
+        conn,
+    )));
+    container
+}
+
+fn vanilla_transfer(container: &Container) -> Result<(), EjbError> {
+    container.with_transaction(|ctx, c| {
+        let home = c.home("Account")?;
+        let ka = Value::from("alice");
+        let kb = Value::from("bob");
+        let a = home.get_field(ctx, &ka, "balance")?.as_double().unwrap();
+        let b = home.get_field(ctx, &kb, "balance")?.as_double().unwrap();
+        home.set_field(ctx, &ka, "balance", Value::from(a - 10.0))?;
+        home.set_field(ctx, &kb, "balance", Value::from(b + 10.0))?;
+        Ok(())
+    })
+}
+
+/// The committer under test for the stamped (dedup-capable) combos.
+enum MatrixCommitter {
+    Combined(Arc<CombinedCommitter>),
+    Split(Arc<SplitCommitter>, Arc<BackendServer>),
+}
+
+impl MatrixCommitter {
+    fn commit(&self, request: &CommitRequest) -> Result<CommitOutcome, EjbError> {
+        match self {
+            MatrixCommitter::Combined(c) => c.commit(request),
+            MatrixCommitter::Split(s, _) => s.commit(request),
+        }
+    }
+
+    fn reseed(&self, pairs: &[(u32, u64)]) {
+        match self {
+            MatrixCommitter::Combined(c) => c.reseed_completed(pairs),
+            MatrixCommitter::Split(_, b) => b.reseed_completed(pairs),
+        }
+    }
+}
+
+/// Whether the crash point leaves the commit record on the durable log
+/// (so recovery must redo the transaction and retries must dedup).
+fn is_durable(point: CrashPoint) -> bool {
+    matches!(
+        point,
+        CrashPoint::PostFlushPreApply | CrashPoint::PostApplyPreAck
+    )
+}
+
+fn run_crash_point_cell(key: &str, point: CrashPoint) {
+    let db = seeded_two_account_db();
+    db.attach_wal();
+    let durable = is_durable(point);
+    let tag = format!("{key}/{}", point.label());
+
+    match key {
+        "es-rdb-cached" | "clients-ras-cached" | "es-rbes" => {
+            // Committer combos: the retry carries the same (origin, txn_id),
+            // so exactly-once rests on the dedup table the WAL reseeds.
+            let committer = if key == "es-rbes" {
+                let clock = Arc::new(Clock::new());
+                let backend =
+                    BackendServer::new(Box::new(db.connect()), registry(), Arc::clone(&clock));
+                let path = Path::new("edge-backend", clock, PathSpec::lan());
+                let split = Arc::new(SplitCommitter::new(Remote::new(path, Arc::clone(&backend))));
+                MatrixCommitter::Split(split, backend)
+            } else {
+                MatrixCommitter::Combined(Arc::new(CombinedCommitter::new(
+                    Box::new(db.connect()),
+                    registry(),
+                )))
+            };
+            let request = transfer_request();
+            db.script_crash(point);
+            let first = committer.commit(&request);
+            assert!(first.is_err(), "{tag}: commit through a crash must fail");
+
+            let report = db.recover().unwrap();
+            committer.reseed(&report.committed);
+            if durable {
+                assert_eq!(
+                    balance_of(&db, "alice"),
+                    90.0,
+                    "{tag}: durable commit lost in recovery"
+                );
+                assert_eq!(report.committed, vec![(1, 7)], "{tag}: stamp not recovered");
+            } else {
+                assert_eq!(
+                    balance_of(&db, "alice"),
+                    100.0,
+                    "{tag}: unflushed commit must not survive"
+                );
+                assert!(report.committed.is_empty(), "{tag}: phantom winner");
+            }
+            if point == CrashPoint::MidApply {
+                assert_eq!(report.torn_txns, 1, "{tag}: torn group commit not detected");
+            }
+
+            // The retry: a replay for durable points (the before-images no
+            // longer match, so a re-application would conflict instead),
+            // a first application otherwise.
+            let second = committer.commit(&request).unwrap();
+            assert_eq!(
+                second,
+                CommitOutcome::Committed,
+                "{tag}: retry must report success"
+            );
+            if let MatrixCommitter::Split(_, backend) = &committer {
+                assert_eq!(
+                    backend.stats().dedup_replays,
+                    u64::from(durable),
+                    "{tag}: dedup replay count"
+                );
+            }
+        }
+        "es-rdb-jdbc" | "clients-ras-jdbc" => {
+            // SQL transactions carry no retry identity: the client re-reads
+            // after restart to decide whether to re-submit. The edge variant
+            // crosses the wire to the database server; the RAS variant is
+            // co-located.
+            let mut remote;
+            let mut local;
+            let conn: &mut dyn SqlConnection = if key == "es-rdb-jdbc" {
+                let clock = Arc::new(Clock::new());
+                let server =
+                    DbServer::new(Arc::clone(&db), Arc::clone(&clock), DbCostModel::default());
+                let path = Path::new("edge-db", clock, PathSpec::lan());
+                remote = RemoteConnection::open(Remote::new(path, server)).unwrap();
+                &mut remote
+            } else {
+                local = db.connect();
+                &mut local
+            };
+            let first = jdbc_transfer(&db, conn, Some(point));
+            assert!(first.is_err(), "{tag}: commit through a crash must fail");
+            let _ = conn.rollback();
+
+            let report = db.recover().unwrap();
+            assert!(
+                report.committed.is_empty(),
+                "{tag}: unstamped SQL commits carry no dedup identity"
+            );
+            if durable {
+                assert_eq!(balance_of(&db, "alice"), 90.0, "{tag}: durable commit lost");
+            } else {
+                assert_eq!(
+                    balance_of(&db, "alice"),
+                    100.0,
+                    "{tag}: unflushed commit must not survive"
+                );
+                // The whole transfer re-runs.
+                jdbc_transfer(&db, conn, None).unwrap();
+            }
+        }
+        "es-rdb-vanilla" | "clients-ras-vanilla" => {
+            // Vanilla BMP beans over the pessimistic JDBC RM: same re-read
+            // retry contract as raw SQL.
+            let container = vanilla_container(&db);
+            db.script_crash(point);
+            let first = vanilla_transfer(&container);
+            assert!(first.is_err(), "{tag}: commit through a crash must fail");
+
+            let report = db.recover().unwrap();
+            assert!(report.committed.is_empty());
+            if durable {
+                assert_eq!(balance_of(&db, "alice"), 90.0, "{tag}: durable commit lost");
+            } else {
+                assert_eq!(balance_of(&db, "alice"), 100.0);
+                vanilla_transfer(&container).unwrap();
+            }
+        }
+        other => panic!("unknown matrix key {other}"),
+    }
+
+    // Every cell converges to the exactly-once outcome: one debit, one
+    // credit, and the bank total intact.
+    assert_eq!(balance_of(&db, "alice"), 90.0, "{tag}: final alice");
+    assert_eq!(balance_of(&db, "bob"), 38.0, "{tag}: final bob");
+    assert_eq!(db.lock_manager().lock_count(), 0, "{tag}: leaked locks");
+    assert!(!db.is_crashed(), "{tag}: database left fenced");
+}
+
+#[test]
+fn backend_crash_at_every_commit_step_is_exactly_once_on_all_combos() {
+    for key in sli_edge::arch::ARCH_KEYS {
+        for point in CRASH_POINTS {
+            run_crash_point_cell(key, point);
+        }
+    }
+}
+
+/// The seeded determinism pin: on every architecture × flavor combination,
+/// replaying a recorded crash schedule must reproduce the exact WAL/recovery
+/// counters and a byte-identical recovered database image.
+#[test]
+fn crash_schedules_replay_byte_identically_on_all_combos() {
+    use sli_edge::arch::{arch_by_key, run_slicheck, ScheduleSource, SliCheckConfig, ARCH_KEYS};
+    for key in ARCH_KEYS {
+        let mut cfg = SliCheckConfig::new(arch_by_key(key).unwrap(), 17);
+        cfg.crashes = 2;
+        let first = run_slicheck(&cfg, ScheduleSource::Random(17));
+        let choices: Vec<u32> = first.schedule.iter().map(|s| s.choice).collect();
+        let replay = run_slicheck(&cfg, ScheduleSource::Replay(choices));
+        assert!(
+            first.violations.is_empty(),
+            "{key}: clean crash run must check out: {:?}",
+            first.violations
+        );
+        let wal = first.wal.expect("crash runs attach a WAL");
+        assert_eq!(wal.recoveries, 2, "{key}: both scheduled crashes recover");
+        assert_eq!(
+            first.wal, replay.wal,
+            "{key}: WAL counters must replay exactly"
+        );
+        assert_eq!(
+            first.final_state, replay.final_state,
+            "{key}: recovered state must be byte-identical across replays"
+        );
+    }
+}
+
+/// Edge kill/restart, combined flavor: the replacement edge comes up with a
+/// cold common store, so its first reads are misses served from the
+/// database's ground truth — including state that changed behind the dead
+/// edge's warm cache.
+#[test]
+fn killed_combined_edge_restarts_cold_and_reads_ground_truth() {
+    let db = seeded_db();
+    {
+        let (edge, store) = cached_edge(&db);
+        // Warm the doomed edge's cache.
+        debit_alice(&edge, 0.0).unwrap();
+        assert!(store.get("Account", &Value::from("alice")).is_some());
+        // edge + store die here
+    }
+    // While the edge is down, the balance moves underneath it.
+    let mut conn = db.connect();
+    conn.execute(
+        "UPDATE account SET balance = 55.0 WHERE userid = 'alice'",
+        &[],
+    )
+    .unwrap();
+
+    let (edge2, store2) = cached_edge(&db);
+    assert!(
+        store2.get("Account", &Value::from("alice")).is_none(),
+        "restarted edge must start cold"
+    );
+    let read = edge2
+        .with_transaction(|ctx, c| {
+            c.home("Account")?
+                .get_field(ctx, &Value::from("alice"), "balance")
+        })
+        .unwrap();
+    assert_eq!(read, Value::from(55.0), "cold miss must serve ground truth");
+    assert!(
+        store2.stats().misses > 0,
+        "rewarm goes through the miss path"
+    );
+    // And the rewarmed image validates: an OCC write on top of it commits.
+    debit_alice(&edge2, 5.0).unwrap();
+    assert_eq!(balance(&db), 50.0);
+}
+
+/// Edge kill/restart, split flavor with deferred invalidations: the killed
+/// edge had an invalidation in flight that never arrived. Its replacement
+/// starts cold, so the miss refetches from the back-end and the lost
+/// invalidation cannot cause a stale read.
+#[test]
+fn killed_split_edge_with_pending_invalidation_rewarms_coherently() {
+    use sli_edge::core::DeferredInvalidationSink;
+    use sli_edge::simnet::SimDuration;
+
+    let db = seeded_db();
+    let clock = Arc::new(Clock::new());
+    let backend = BackendServer::new(Box::new(db.connect()), registry(), Arc::clone(&clock));
+
+    // Edge 1 commits; edge 2 caches and is the invalidation target.
+    let path1 = Path::new("edge-backend-1", Arc::clone(&clock), PathSpec::lan());
+    let (edge1, _s1) = split_edge(&backend, &path1, RetryPolicy::default());
+    let path2 = Path::new("edge-backend-2", Arc::clone(&clock), PathSpec::lan());
+    let (edge2, store2) = split_edge_with_origin(&backend, &path2, RetryPolicy::default(), 2);
+    let sink2 = DeferredInvalidationSink::new(
+        Arc::clone(&store2),
+        Arc::clone(&clock),
+        SimDuration::from_millis(5),
+    );
+    let inv_path = Path::new("backend-invalidate-2", Arc::clone(&clock), PathSpec::lan());
+    backend.register_edge(2, Remote::new(inv_path, Arc::clone(&sink2)));
+
+    // Warm edge 2's cache with alice@100.
+    let warm = edge2
+        .with_transaction(|ctx, c| {
+            c.home("Account")?
+                .get_field(ctx, &Value::from("alice"), "balance")
+        })
+        .unwrap();
+    assert_eq!(warm, Value::from(100.0));
+
+    // Edge 1 commits a debit: the invalidation to edge 2 is now in flight
+    // (deferred), and the kill below loses it forever.
+    debit_alice(&edge1, 40.0).unwrap();
+    assert_eq!(sink2.in_flight(), 1, "invalidation must be pending");
+    assert!(
+        store2.get("Account", &Value::from("alice")).is_some(),
+        "the stale image is still cached when the edge dies"
+    );
+
+    // Kill edge 2: volatile cache gone, pending invalidation never applied.
+    store2.clear();
+
+    // Restart cold: the first read misses and refetches the back-end's
+    // ground truth — not the stale 100.0 the dead cache held.
+    let read = edge2
+        .with_transaction(|ctx, c| {
+            c.home("Account")?
+                .get_field(ctx, &Value::from("alice"), "balance")
+        })
+        .unwrap();
+    assert_eq!(
+        read,
+        Value::from(60.0),
+        "cold rewarm must not serve stale state"
+    );
+
+    // The lost invalidation's late twin (delivered after restart) is
+    // harmless: it may blow the fresh image away, but the next miss
+    // refetches the same ground truth.
+    clock.advance(SimDuration::from_millis(10));
+    sink2.deliver_due();
+    let read = edge2
+        .with_transaction(|ctx, c| {
+            c.home("Account")?
+                .get_field(ctx, &Value::from("alice"), "balance")
+        })
+        .unwrap();
+    assert_eq!(read, Value::from(60.0));
 }
 
 #[test]
