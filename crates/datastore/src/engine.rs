@@ -359,6 +359,37 @@ impl Database {
         // are stale (a scan plan may now have an index). Bumping the
         // epoch makes every plan replan lazily on its next execution.
         self.ddl_epoch.fetch_add(1, Ordering::Relaxed);
+        // With a WAL attached, fold the new physical design into the base
+        // checkpoint right away. DDL runs outside transactions, so the
+        // current committed image plus the log's committed stamps re-base
+        // losslessly — post-attach tables are durable, and recovery never
+        // meets a logged op whose table is missing from the base. The
+        // crashed gate keeps recovery's own rebuild DDL out of here.
+        if self.logging.load(Ordering::Relaxed) && !self.crashed.load(Ordering::Relaxed) {
+            let stamps = {
+                let guard = self.wal.lock();
+                match guard.as_ref() {
+                    Some(wal) => {
+                        let mut stamps = wal.base_stamps.clone();
+                        let mut winners: BTreeMap<u64, Option<(u32, u64)>> = BTreeMap::new();
+                        for rec in wal.decode_flushed()? {
+                            if let WalBody::Commit {
+                                commit_seq, stamp, ..
+                            } = rec.body
+                            {
+                                winners.insert(commit_seq, stamp);
+                            }
+                        }
+                        stamps.extend(winners.into_values().flatten());
+                        Some(stamps)
+                    }
+                    None => None,
+                }
+            };
+            if let Some(stamps) = stamps {
+                self.rebase_wal(stamps);
+            }
+        }
         Ok(())
     }
 
@@ -487,8 +518,9 @@ impl Database {
     /// group-flushed at its commit boundary, and [`Database::recover`]
     /// can rebuild the engine after [`Database::crash`].
     ///
-    /// DDL executed after attachment is not logged; attach the WAL once
-    /// the physical design is in place (as a deployment would).
+    /// DDL executed after attachment re-bases the checkpoint (see
+    /// [`Database::execute_ddl`]), so later-created tables are as durable
+    /// as the original physical design.
     pub fn attach_wal(&self) {
         let base = self.checkpoint();
         let disk = WalDisk::new(
@@ -557,10 +589,19 @@ impl Database {
     /// prefix-consistent state. Rebuilds in place, so connections opened
     /// before the crash keep working afterwards.
     ///
+    /// A successful recovery *re-bases* the log: the recovered image
+    /// becomes the new base checkpoint and the replayed records are
+    /// truncated (committed stamps carry forward in the base). Without
+    /// this, a torn transaction's durable op records would be re-undone
+    /// by the next crash's recovery — silently reverting any later
+    /// committed write to the same keys.
+    ///
     /// # Errors
-    /// Fails if no WAL is attached or the durable log is corrupt.
+    /// Fails if no WAL is attached or the durable log is corrupt
+    /// (undecodable records, or ops referencing tables absent from the
+    /// base checkpoint). On error the engine stays down.
     pub fn recover(&self) -> DbResult<RecoveryReport> {
-        let (base, base_seq, base_next, records) = {
+        let (base, base_seq, base_next, base_stamps, records) = {
             let guard = self.wal.lock();
             let wal = guard
                 .as_ref()
@@ -569,6 +610,7 @@ impl Database {
                 wal.base.clone(),
                 wal.base_commit_seq,
                 wal.base_next_txn,
+                wal.base_stamps.clone(),
                 wal.decode_flushed()?,
             )
         };
@@ -610,7 +652,7 @@ impl Database {
         let mut redo_count = 0u64;
         for rec in &records {
             if let WalBody::Op { op, .. } = &rec.body {
-                self.redo_op(op);
+                self.redo_op(op)?;
                 redo_count += 1;
             }
         }
@@ -620,7 +662,7 @@ impl Database {
         for rec in records.iter().rev() {
             if let WalBody::Op { txn, op } = &rec.body {
                 if !committed.contains(txn) {
-                    self.undo_op(op);
+                    self.undo_op(op)?;
                     undo_count += 1;
                     torn.insert(*txn);
                 }
@@ -646,8 +688,13 @@ impl Database {
         self.wal_metrics.redone.add(redo_count);
         self.wal_metrics.undone.add(undo_count);
         self.wal_metrics.torn_discarded.add(torn.len() as u64);
+        // Committed identities accumulate across rebases: stamps already
+        // folded into the base, then this log's winners in commit order.
+        let mut stamps = base_stamps;
+        stamps.extend(winners.into_values().flatten());
+        self.rebase_wal(stamps.clone());
         Ok(RecoveryReport {
-            committed: winners.into_values().flatten().collect(),
+            committed: stamps,
             redo_count,
             undo_count,
             torn_txns: torn.len() as u64,
@@ -655,52 +702,84 @@ impl Database {
         })
     }
 
-    fn redo_op(&self, op: &WalOp) {
-        match op {
-            WalOp::Insert { table, row } => {
-                if let Ok(t) = self.table(table) {
-                    t.write().insert_row(row.clone());
-                }
-            }
-            WalOp::Update { table, pk, new, .. } => {
-                if let Ok(t) = self.table(table) {
-                    let mut t = t.write();
-                    t.remove_row(pk);
-                    t.insert_row(new.clone());
-                }
-            }
-            WalOp::Delete { table, old } => {
-                if let Ok(t) = self.table(table) {
-                    let mut t = t.write();
-                    let pk = t.pk_of(old);
-                    t.remove_row(&pk);
-                }
-            }
+    /// Captures the current committed state as the WAL's new base
+    /// checkpoint, truncating the durable records it subsumes. `stamps`
+    /// is the full committed `(origin, txn_id)` history the new base
+    /// represents. Call between transactions (recovery and DDL both
+    /// qualify) so the checkpoint is transaction-consistent.
+    fn rebase_wal(&self, stamps: Vec<(u32, u64)>) {
+        let base = self.checkpoint();
+        let seq = self.commit_seq.load(Ordering::Relaxed);
+        let next = self.next_txn.load(Ordering::Relaxed);
+        if let Some(wal) = self.wal.lock().as_mut() {
+            wal.rebase(base, seq, next, stamps);
         }
     }
 
-    fn undo_op(&self, op: &WalOp) {
+    /// A recovered table handle: unlike the execution path, restart
+    /// treats a logged op whose table is missing from the base checkpoint
+    /// as log corruption, not a no-op — silently skipping it would turn
+    /// committed writes into undetectable data loss.
+    fn recovered_table(&self, name: &str) -> DbResult<Arc<RwLock<Table>>> {
+        self.table(name).map_err(|_| {
+            DbError::Remote(format!(
+                "recovery: logged op references table {name} absent from the base checkpoint"
+            ))
+        })
+    }
+
+    // Redo/undo remove rows by the pk of the image being replaced
+    // (`old` forward, `new` backward) rather than the record's stored
+    // pre-image pk, so a pk-changing update could never strand a ghost
+    // row under the other key. The SQL layer rejects SET on the pk
+    // column, so today the two coincide; this keeps the recovery path
+    // correct on its own terms.
+    fn redo_op(&self, op: &WalOp) -> DbResult<()> {
         match op {
             WalOp::Insert { table, row } => {
-                if let Ok(t) = self.table(table) {
-                    let mut t = t.write();
-                    let pk = t.pk_of(row);
-                    t.remove_row(&pk);
-                }
+                self.recovered_table(table)?.write().insert_row(row.clone());
             }
-            WalOp::Update { table, pk, old, .. } => {
-                if let Ok(t) = self.table(table) {
-                    let mut t = t.write();
-                    t.remove_row(pk);
-                    t.insert_row(old.clone());
-                }
+            WalOp::Update {
+                table, old, new, ..
+            } => {
+                let t = self.recovered_table(table)?;
+                let mut t = t.write();
+                let pk = t.pk_of(old);
+                t.remove_row(&pk);
+                t.insert_row(new.clone());
             }
             WalOp::Delete { table, old } => {
-                if let Ok(t) = self.table(table) {
-                    t.write().insert_row(old.clone());
-                }
+                let t = self.recovered_table(table)?;
+                let mut t = t.write();
+                let pk = t.pk_of(old);
+                t.remove_row(&pk);
             }
         }
+        Ok(())
+    }
+
+    fn undo_op(&self, op: &WalOp) -> DbResult<()> {
+        match op {
+            WalOp::Insert { table, row } => {
+                let t = self.recovered_table(table)?;
+                let mut t = t.write();
+                let pk = t.pk_of(row);
+                t.remove_row(&pk);
+            }
+            WalOp::Update {
+                table, old, new, ..
+            } => {
+                let t = self.recovered_table(table)?;
+                let mut t = t.write();
+                let pk = t.pk_of(new);
+                t.remove_row(&pk);
+                t.insert_row(old.clone());
+            }
+            WalOp::Delete { table, old } => {
+                self.recovered_table(table)?.write().insert_row(old.clone());
+            }
+        }
+        Ok(())
     }
 
     /// Attaches the WAL/recovery counters to `registry` as

@@ -637,11 +637,16 @@ impl SqlConnection for RemoteConnection {
         if !self.in_txn {
             return Err(DbError::NoTransaction);
         }
+        // A commit attempt finishes the transaction win or lose: the
+        // server-side connection consumes its txn before applying, so after
+        // an error there is nothing left to roll back. Keeping `in_txn` set
+        // here would wedge the connection — every later `begin` would fail
+        // with AlreadyInTransaction.
+        self.in_txn = false;
         let mut w = Writer::new();
         w.put_u8(OP_COMMIT).put_u64(self.session);
         self.put_stamp(&mut w);
         self.exchange(w)?;
-        self.in_txn = false;
         Ok(())
     }
 

@@ -243,6 +243,12 @@ pub(crate) struct WalDisk {
     pub(crate) base: Bytes,
     pub(crate) base_commit_seq: u64,
     pub(crate) base_next_txn: u64,
+    /// Committed `(origin, txn_id)` stamps already folded into `base`, in
+    /// commit order. A rebase truncates the log, but the dedup identities
+    /// it held must keep flowing into every later `RecoveryReport` — the
+    /// committers *replace* their dedup tables from it, and forgetting a
+    /// stamp would turn a very late retry into a double apply.
+    pub(crate) base_stamps: Vec<(u32, u64)>,
     pending: Vec<Bytes>,
     flushed: Vec<Bytes>,
     next_lsn: u64,
@@ -258,11 +264,35 @@ impl WalDisk {
             base,
             base_commit_seq,
             base_next_txn,
+            base_stamps: Vec::new(),
             pending: Vec::new(),
             flushed: Vec::new(),
             next_lsn: 0,
             drop_flush: false,
         }
+    }
+
+    /// Re-bases the log on a fresh checkpoint: `base` becomes the image
+    /// the (now empty) log is relative to and the durable records are
+    /// truncated. ARIES would write compensation records during undo;
+    /// truncating to a post-recovery checkpoint is the equivalent for an
+    /// in-simulation log, and is what stops a torn transaction's op
+    /// records from being re-undone — on top of later committed state —
+    /// by the *next* crash's recovery. LSNs stay monotonic across
+    /// rebases so record order is globally unambiguous.
+    pub(crate) fn rebase(
+        &mut self,
+        base: Bytes,
+        base_commit_seq: u64,
+        base_next_txn: u64,
+        base_stamps: Vec<(u32, u64)>,
+    ) {
+        self.base = base;
+        self.base_commit_seq = base_commit_seq;
+        self.base_next_txn = base_next_txn;
+        self.base_stamps = base_stamps;
+        self.pending.clear();
+        self.flushed.clear();
     }
 
     pub(crate) fn set_drop_flush(&mut self, on: bool) {

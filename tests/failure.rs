@@ -4,6 +4,7 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
+use sli_edge::arch::{Architecture, Testbed, TestbedConfig, VirtualClient};
 use sli_edge::component::{
     share_connection, Container, EjbError, EntityMeta, Memento, ResourceManager,
 };
@@ -17,8 +18,9 @@ use sli_edge::datastore::{
     ColumnType, CrashPoint, Database, DbError, SqlConnection, Value, CRASH_POINTS,
 };
 use sli_edge::simnet::{
-    Clock, Fault, FaultPlan, Path, PathSpec, Remote, RetryPolicy, Service, SimDuration,
+    Clock, CrashKind, Fault, FaultPlan, Path, PathSpec, Remote, RetryPolicy, Service, SimDuration,
 };
+use sli_edge::trade::TradeAction;
 
 fn account_meta() -> EntityMeta {
     EntityMeta::new("Account", "account", "userid", ColumnType::Varchar)
@@ -833,6 +835,109 @@ fn backend_crash_at_every_commit_step_is_exactly_once_on_all_combos() {
     }
 }
 
+/// Double-crash cell: a torn group commit is rolled back by the first
+/// recovery, a fresh transaction then commits durably on the same keys,
+/// and a second crash must not re-undo the torn transaction's op records
+/// on top of the later committed state. This is what the post-recovery
+/// log rebase exists for — without it, recovery #2 replays T1's durable
+/// ops and undoes them again, silently reverting T2's acknowledged write.
+#[test]
+fn torn_commit_rollback_survives_a_second_crash() {
+    let db = seeded_two_account_db();
+    db.attach_wal();
+    let mut conn = db.connect();
+
+    // T1 tears at mid-apply: op records durable, commit record lost.
+    assert!(jdbc_transfer(&db, &mut conn, Some(CrashPoint::MidApply)).is_err());
+    let _ = conn.rollback();
+    let r1 = db.recover().unwrap();
+    assert_eq!(r1.torn_txns, 1, "first recovery must see the torn commit");
+    assert_eq!(balance_of(&db, "alice"), 100.0);
+
+    // T2 commits durably on the same rows.
+    jdbc_transfer(&db, &mut conn, None).unwrap();
+    assert_eq!(balance_of(&db, "alice"), 90.0);
+
+    // Second crash: T1's records must be gone from the replayed log.
+    db.crash();
+    let r2 = db.recover().unwrap();
+    assert_eq!(r2.torn_txns, 0, "torn txn re-surfaced after the rebase");
+    assert_eq!(
+        balance_of(&db, "alice"),
+        90.0,
+        "second recovery reverted a committed write"
+    );
+    assert_eq!(balance_of(&db, "bob"), 38.0);
+    assert_eq!(db.lock_manager().lock_count(), 0);
+}
+
+/// The recovery rebase truncates the log, but committed `(origin, txn_id)`
+/// stamps must keep flowing into every later `RecoveryReport`: the
+/// committers *replace* their dedup tables from it, so a forgotten stamp
+/// would turn a very late retry into a double debit.
+#[test]
+fn committed_stamps_survive_recovery_rebase() {
+    let db = seeded_two_account_db();
+    db.attach_wal();
+    let committer = CombinedCommitter::new(Box::new(db.connect()), registry());
+    let request = transfer_request();
+
+    // Durable but unacknowledged: the stamp is on the log.
+    db.script_crash(CrashPoint::PostFlushPreApply);
+    assert!(committer.commit(&request).is_err());
+    let r1 = db.recover().unwrap();
+    assert_eq!(r1.committed, vec![(1, 7)]);
+
+    // An unrelated second crash after the rebase: the stamp now lives in
+    // the base checkpoint, not the (truncated) log, and must still be
+    // reported.
+    db.crash();
+    let r2 = db.recover().unwrap();
+    assert_eq!(r2.committed, vec![(1, 7)], "stamp lost by the rebase");
+    committer.reseed_completed(&r2.committed);
+
+    // The late retry replays instead of double-debiting.
+    assert_eq!(
+        committer.commit(&request).unwrap(),
+        CommitOutcome::Committed
+    );
+    assert_eq!(balance_of(&db, "alice"), 90.0);
+    assert_eq!(balance_of(&db, "bob"), 38.0);
+}
+
+/// DDL after `attach_wal` folds the new physical design into the base
+/// checkpoint, so committed writes to a post-attach table survive a crash
+/// instead of silently vanishing (their ops used to reference a table
+/// recovery could not find).
+#[test]
+fn ddl_after_attach_wal_is_durable() {
+    let db = seeded_two_account_db();
+    db.attach_wal();
+    db.execute_ddl("CREATE TABLE audit (id INT PRIMARY KEY, note VARCHAR)")
+        .unwrap();
+    db.execute_ddl("CREATE INDEX audit_note ON audit (note)")
+        .unwrap();
+    let mut conn = db.connect();
+    conn.execute("INSERT INTO audit (id, note) VALUES (1, 'pre-crash')", &[])
+        .unwrap();
+
+    db.crash();
+    db.recover().unwrap();
+
+    let rs = conn
+        .execute("SELECT note FROM audit WHERE id = 1", &[])
+        .unwrap();
+    assert_eq!(rs.rows()[0][0], Value::from("pre-crash"));
+    // The secondary index created post-attach is rebuilt too.
+    let rs = conn
+        .execute("SELECT id FROM audit WHERE note = 'pre-crash'", &[])
+        .unwrap();
+    assert_eq!(rs.len(), 1);
+    // And the original tables rode through the DDL-time rebase intact.
+    assert_eq!(balance_of(&db, "alice"), 100.0);
+    assert_eq!(balance_of(&db, "bob"), 28.0);
+}
+
 /// The seeded determinism pin: on every architecture × flavor combination,
 /// replaying a recorded crash schedule must reproduce the exact WAL/recovery
 /// counters and a byte-identical recovered database image.
@@ -1035,4 +1140,74 @@ fn database_crash_and_restore_preserves_committed_state_only() {
             .get("balance"),
         Some(&Value::from(80.0))
     );
+}
+
+/// Full-stack double-crash drive through the es-rbes servlet: a torn
+/// mid-commit Buy is rolled back, the next Buy commits durably on the
+/// restarted stack (a failed remote commit must not wedge the backend's
+/// connection with a stale open-transaction flag), and a second
+/// crash/recovery neither re-undoes the torn ops nor loses the committed
+/// Buy — the WAL was re-based onto a fresh checkpoint after recovery.
+#[test]
+fn trade_survives_double_crash_end_to_end() {
+    let tb = Testbed::build(Architecture::EsRbes, TestbedConfig::default());
+    let mut client = VirtualClient::new(&tb, 0);
+    let user = "uid:0".to_owned();
+    let holdings = |tb: &Testbed| {
+        let mut conn = tb.db.connect();
+        conn.execute(
+            "SELECT holdingid FROM holding WHERE userid = ?",
+            &[Value::from(user.as_str())],
+        )
+        .unwrap()
+        .len()
+    };
+
+    assert_eq!(
+        client
+            .perform(&TradeAction::Login { user: user.clone() })
+            .status,
+        200
+    );
+    let before = holdings(&tb);
+
+    // Buy #1 commits and is durable.
+    let buy = client.perform(&TradeAction::Buy {
+        user: user.clone(),
+        symbol: "s:1".to_owned(),
+        quantity: 10.0,
+    });
+    assert_eq!(buy.status, 200, "buy 1");
+    assert_eq!(holdings(&tb), before + 1);
+
+    // Buy #2 tears mid-commit: ops flushed, commit record lost.
+    tb.db.script_crash(CrashPoint::MidApply);
+    let torn = client.perform(&TradeAction::Buy {
+        user: user.clone(),
+        symbol: "s:2".to_owned(),
+        quantity: 5.0,
+    });
+    assert_ne!(torn.status, 200, "torn buy must fail");
+    let r1 = tb.restart(CrashKind::Backend).expect("first restart");
+    assert_eq!(r1.torn_txns, 1, "torn commit detected");
+    assert_eq!(holdings(&tb), before + 1, "torn buy rolled back");
+
+    // Buy #3 commits durably on the recovered stack, first attempt.
+    let buy3 = client.perform(&TradeAction::Buy {
+        user: user.clone(),
+        symbol: "s:3".to_owned(),
+        quantity: 2.0,
+    });
+    assert_eq!(buy3.status, 200, "buy 3 after restart");
+    assert_eq!(holdings(&tb), before + 2);
+
+    // Second crash: recovery must not re-undo the torn buy's records on
+    // top of buy #3's committed state.
+    tb.crash(CrashKind::Backend);
+    let r2 = tb.restart(CrashKind::Backend).expect("second restart");
+    assert_eq!(r2.torn_txns, 0, "torn txn re-surfaced after rebase");
+    assert_eq!(holdings(&tb), before + 2, "second recovery lost a buy");
+
+    // The stack still serves reads coherently after the double restart.
+    assert_eq!(client.perform(&TradeAction::Portfolio { user }).status, 200);
 }
